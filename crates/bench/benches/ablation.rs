@@ -1,0 +1,111 @@
+//! A1–A3 — ablations on the design choices DESIGN.md calls out:
+//! optimizer passes, classifier backend, and incremental regexp matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hilti::passes::OptLevel;
+use hilti::value::Value;
+use hilti_rt::addr::Addr;
+use hilti_rt::classifier::{Backend, Classifier, FieldMatcher, FieldValue};
+use hilti_rt::regexp::Regex;
+
+const KERNEL: &str = r#"
+module M
+int<64> kernel(int<64> n) {
+    local int<64> i
+    local int<64> acc
+    local int<64> a
+    local int<64> b
+    local int<64> c
+    local bool more
+    i = assign 0
+    acc = assign 0
+loop:
+    a = int.add 40 2
+    b = int.mul a 10
+    c = int.mul a 10
+    c = int.add b c
+    acc = int.add acc c
+    acc = int.add acc i
+    i = int.add i 1
+    more = int.lt i n
+    if.else more loop done
+done:
+    return acc
+}
+"#;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_optimizer");
+    for (name, level) in [("none", OptLevel::None), ("full", OptLevel::Full)] {
+        group.bench_function(name, |b| {
+            let mut p = hilti::Program::from_sources(&[KERNEL], level).expect("kernel");
+            b.iter(|| p.run("M::kernel", &[Value::Int(2_000)]).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+fn build_classifier(backend: Backend, n_rules: usize) -> Classifier<u32> {
+    let mut c = Classifier::with_backend(backend);
+    for i in 0..n_rules {
+        let net: hilti_rt::addr::Network =
+            format!("10.{}.{}.0/24", (i / 250) % 250, i % 250)
+                .parse()
+                .expect("net");
+        c.add(vec![FieldMatcher::Net(net), FieldMatcher::Wildcard], i as u32)
+            .expect("rule");
+    }
+    c.compile();
+    c
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_classifier");
+    for rules in [16usize, 256, 1024] {
+        for (name, backend) in [
+            ("linear", Backend::LinearScan),
+            ("indexed", Backend::FieldIndexed),
+        ] {
+            let cls = build_classifier(backend, rules);
+            group.bench_with_input(
+                BenchmarkId::new(name, rules),
+                &cls,
+                |b, cls| {
+                    let probe = [
+                        FieldValue::Addr(Addr::v4(10, 1, 77, 1)),
+                        FieldValue::Addr(Addr::v4(192, 168, 0, 1)),
+                    ];
+                    b.iter(|| cls.matches(&probe))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_regexp(c: &mut Criterion) {
+    let re = Regex::new("[A-Z]+ [^ ]+ HTTP\\/[0-9]\\.[0-9]\\r\\n").expect("pattern");
+    let line = b"GET /index/with/a/moderately/long/path?x=123456 HTTP/1.1\r\n";
+    let mut group = c.benchmark_group("a3_regexp");
+    group.bench_function("whole_buffer", |b| {
+        b.iter(|| re.match_prefix(line))
+    });
+    group.bench_function("chunked_incremental", |b| {
+        b.iter(|| {
+            let mut m = re.matcher();
+            for chunk in line.chunks(7) {
+                m.feed(chunk);
+            }
+            m.finish()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_optimizer, bench_classifier, bench_regexp
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E2 — BPF filtering (§6.2): classic interpreted BPF vs the HILTI-compiled
+//! filter, per packet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hilti::passes::OptLevel;
+use netpkt::synth::{http_trace, SynthConfig};
+
+fn bench_bpf(c: &mut Criterion) {
+    let trace = http_trace(&SynthConfig::new(0xB1FF, 10));
+    let filter = "host 10.1.0.1 or src net 93.184.3.0/24";
+    let expr = hilti_bpf::parse_filter(filter).expect("filter");
+    let classic = hilti_bpf::classic::compile_classic(&expr).expect("classic backend");
+    let mut hf = hilti_bpf::HiltiFilter::compile(&expr, OptLevel::Full).expect("hilti backend");
+
+    let mut group = c.benchmark_group("bpf");
+    group.bench_function("classic_interpreter", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for p in &trace {
+                n += u64::from(hilti_bpf::classic::bpf_filter(&classic, &p.data));
+            }
+            n
+        })
+    });
+    group.bench_function("hilti_compiled", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for p in &trace {
+                n += u64::from(hf.matches(&p.data).expect("filter run"));
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bpf
+}
+criterion_main!(benches);

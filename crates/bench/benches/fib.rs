@@ -1,0 +1,29 @@
+//! E8 — the §6.5 Fibonacci baseline: recursive script function on the
+//! interpreter vs compiled to HILTI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use broscript::host::{Engine, ScriptHost};
+use broscript::scripts::FIB_BRO;
+use hilti::value::Value;
+
+fn bench_fib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fib");
+    group.bench_function("interpreted", |b| {
+        let mut host =
+            ScriptHost::new(&[FIB_BRO], Engine::Interpreted, None).expect("interpreter");
+        b.iter(|| host.call("fib", &[Value::Int(16)]).expect("fib"))
+    });
+    group.bench_function("compiled", |b| {
+        let mut host = ScriptHost::new(&[FIB_BRO], Engine::Compiled, None).expect("compiler");
+        b.iter(|| host.call("fib", &[Value::Int(16)]).expect("fib"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fib
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E1 — fiber micro-benchmark (§5): context-switch rate and full
+//! create-run-delete cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hilti::fiber::{Fiber, Step};
+use hilti::value::Value;
+
+const SRC: &str = r#"
+module M
+void spin(int<64> n) {
+    local int<64> i
+    local bool more
+    i = assign 0
+loop:
+    yield
+    i = int.add i 1
+    more = int.lt i n
+    if.else more loop done
+done:
+    return
+}
+void nop() {
+    return
+}
+"#;
+
+fn bench_fibers(c: &mut Criterion) {
+    let mut prog = hilti::Program::from_source(SRC).expect("fiber program");
+
+    c.bench_function("fiber_switch", |b| {
+        b.iter_custom(|iters| {
+            let mut fiber = Fiber::new("M::spin", vec![Value::Int(iters as i64)]);
+            let start = std::time::Instant::now();
+            while let Step::Suspended = prog.resume(&mut fiber).expect("resume") {}
+            start.elapsed()
+        })
+    });
+
+    c.bench_function("fiber_create_run_delete", |b| {
+        b.iter(|| {
+            let mut f = Fiber::new("M::nop", vec![]);
+            match prog.resume(&mut f).expect("resume") {
+                Step::Finished(v) => v,
+                Step::Suspended => unreachable!(),
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fibers
+}
+criterion_main!(benches);

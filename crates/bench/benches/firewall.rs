@@ -1,0 +1,64 @@
+//! E3 — stateful firewall (§6.3): HILTI-compiled rule matching vs the
+//! plain-Rust reference, per packet stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hilti::passes::OptLevel;
+use hilti_firewall::{HiltiFirewall, ReferenceFirewall, Rule};
+use hilti_rt::addr::Addr;
+use hilti_rt::time::Time;
+
+fn rules() -> Vec<Rule> {
+    vec![
+        Rule::new("10.2.0.0/16", "8.8.8.0/24", true).expect("rule"),
+        Rule::new("10.2.3.0/24", "8.8.8.0/24", false).expect("rule"),
+        Rule::new("8.8.8.0/24", "10.2.0.0/16", false).expect("rule"),
+    ]
+}
+
+fn stream(n: usize) -> Vec<(Time, Addr, Addr)> {
+    (0..n)
+        .map(|i| {
+            (
+                Time::from_secs(i as u64),
+                Addr::v4(10, 2, (i % 5) as u8, (i % 9) as u8 + 1),
+                Addr::v4(8, 8, 8, (i % 7) as u8 + 1),
+            )
+        })
+        .collect()
+}
+
+fn bench_firewall(c: &mut Criterion) {
+    let pkts = stream(500);
+    let mut group = c.benchmark_group("firewall");
+
+    group.bench_function("hilti_compiled", |b| {
+        let mut fw = HiltiFirewall::compile(&rules(), OptLevel::Full).expect("firewall");
+        b.iter(|| {
+            let mut n = 0u64;
+            for (t, s, d) in &pkts {
+                n += u64::from(fw.match_packet(*t, *s, *d).expect("verdict"));
+            }
+            n
+        })
+    });
+
+    group.bench_function("reference_rust", |b| {
+        let mut fw = ReferenceFirewall::new(&rules());
+        b.iter(|| {
+            let mut n = 0u64;
+            for (t, s, d) in &pkts {
+                n += u64::from(fw.match_packet(*t, *s, *d));
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_firewall
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E5 — Figure 9: protocol-parsing cost, standard handwritten parsers vs
+//! BinPAC++-generated parsers on the HILTI VM (script engine held fixed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use broscript::host::Engine;
+use broscript::pipeline::{run_dns_analysis, run_http_analysis, ParserStack};
+use netpkt::synth::{dns_trace, http_trace, SynthConfig};
+
+fn bench_parsing(c: &mut Criterion) {
+    let http = http_trace(&SynthConfig::new(0xF19, 10));
+    let dns = dns_trace(&SynthConfig::new(0xF19, 150));
+
+    let mut group = c.benchmark_group("parsing");
+    group.bench_function("http_standard", |b| {
+        b.iter(|| {
+            run_http_analysis(&http, ParserStack::Standard, Engine::Interpreted)
+                .expect("analysis")
+                .events
+        })
+    });
+    group.bench_function("http_binpac", |b| {
+        b.iter(|| {
+            run_http_analysis(&http, ParserStack::Binpac, Engine::Interpreted)
+                .expect("analysis")
+                .events
+        })
+    });
+    group.bench_function("dns_standard", |b| {
+        b.iter(|| {
+            run_dns_analysis(&dns, ParserStack::Standard, Engine::Interpreted)
+                .expect("analysis")
+                .events
+        })
+    });
+    group.bench_function("dns_binpac", |b| {
+        b.iter(|| {
+            run_dns_analysis(&dns, ParserStack::Binpac, Engine::Interpreted)
+                .expect("analysis")
+                .events
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parsing
+}
+criterion_main!(benches);

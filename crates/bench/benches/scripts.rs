@@ -1,0 +1,51 @@
+//! E7 — Figure 10: script-execution cost, interpreter vs HILTI-compiled
+//! scripts (parser stack held fixed at the standard parsers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use broscript::host::Engine;
+use broscript::pipeline::{run_dns_analysis, run_http_analysis, ParserStack};
+use netpkt::synth::{dns_trace, http_trace, SynthConfig};
+
+fn bench_scripts(c: &mut Criterion) {
+    let http = http_trace(&SynthConfig::new(0xF20, 10));
+    let dns = dns_trace(&SynthConfig::new(0xF20, 150));
+
+    let mut group = c.benchmark_group("scripts");
+    group.bench_function("http_interpreted", |b| {
+        b.iter(|| {
+            run_http_analysis(&http, ParserStack::Standard, Engine::Interpreted)
+                .expect("analysis")
+                .events
+        })
+    });
+    group.bench_function("http_compiled", |b| {
+        b.iter(|| {
+            run_http_analysis(&http, ParserStack::Standard, Engine::Compiled)
+                .expect("analysis")
+                .events
+        })
+    });
+    group.bench_function("dns_interpreted", |b| {
+        b.iter(|| {
+            run_dns_analysis(&dns, ParserStack::Standard, Engine::Interpreted)
+                .expect("analysis")
+                .events
+        })
+    });
+    group.bench_function("dns_compiled", |b| {
+        b.iter(|| {
+            run_dns_analysis(&dns, ParserStack::Standard, Engine::Compiled)
+                .expect("analysis")
+                .events
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scripts
+}
+criterion_main!(benches);

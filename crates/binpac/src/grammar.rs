@@ -1,0 +1,371 @@
+//! The BinPAC++ grammar model — the in-memory form of a `.pac2` file.
+//!
+//! A grammar is a set of *units* (Figure 6a / 7a of the paper): sequences
+//! of fields parsed in order. Field kinds cover the paper's constructs —
+//! regexp tokens, fixed-width integers, length-delimited byte runs,
+//! sub-units, repetitions terminated by a token or counted by an earlier
+//! field — plus the "semantic constructs for annotating, controlling, and
+//! interfacing to the parsing process" that BinPAC++ added over classic
+//! BinPAC (§4): unit variables, embedded HILTI statements, conditional
+//! fields, and switches. Hand-written helper functions in HILTI can be
+//! attached to the grammar (`raw_hilti`), the analog of helpers a `.pac2`
+//! author writes.
+
+use hilti_rt::error::{RtError, RtResult};
+
+/// How repeated fields terminate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Repeat {
+    /// Parse items until the terminator token matches (the terminator is
+    /// consumed).
+    UntilToken(Vec<String>),
+    /// Exactly the value of a previously parsed field / unit variable.
+    CountVar(String),
+    /// Fixed count.
+    Count(u64),
+}
+
+/// What a field parses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldKind {
+    /// A regular-expression token; the value is the matched bytes.
+    /// A failed match raises a parse error.
+    Token(Vec<String>),
+    /// Big-endian unsigned integer of 1–8 bytes.
+    UInt(u8),
+    /// Little-endian unsigned integer of 1–8 bytes.
+    UIntLE(u8),
+    /// Raw byte run whose length is the value of a variable/earlier field.
+    BytesVar(String),
+    /// Raw byte run of fixed length.
+    BytesConst(u64),
+    /// Everything until the end of (frozen) input — HTTP's read-to-close
+    /// bodies. Suspends until the input freezes.
+    Eod,
+    /// A nested unit; the value is the sub-unit's struct.
+    SubUnit(String),
+    /// Repeated sub-units; the value is a vector of structs.
+    List(String, Repeat),
+    /// Embedded HILTI statements (run, not parsed; no value). The code can
+    /// reference `self` (the unit struct), `data`, `it` (current input
+    /// iterator), unit variables, and earlier fields via `struct.get`.
+    Embedded(Vec<String>),
+    /// Parse the inner field only when the named bool variable is true;
+    /// otherwise the field stays unset.
+    IfVar(String, Box<Field>),
+    /// Switch on an int variable: the first matching case's field parses
+    /// into this field's slot; `default` (optional) otherwise.
+    SwitchInt {
+        on: String,
+        cases: Vec<(i64, Box<Field>)>,
+        default: Option<Box<Field>>,
+    },
+}
+
+/// One field of a unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    /// Field name; anonymous fields (the paper's `: WhiteSpace;`) use ""
+    /// and do not get a struct slot.
+    pub name: String,
+    pub kind: FieldKind,
+    /// Host hook to call when this field finishes parsing: the name of a
+    /// registered host function receiving (unit struct, field value).
+    pub hook: Option<String>,
+}
+
+impl Field {
+    pub fn named(name: &str, kind: FieldKind) -> Field {
+        Field {
+            name: name.to_owned(),
+            kind,
+            hook: None,
+        }
+    }
+
+    pub fn anon(kind: FieldKind) -> Field {
+        Field::named("", kind)
+    }
+
+    pub fn with_hook(mut self, hook: &str) -> Field {
+        self.hook = Some(hook.to_owned());
+        self
+    }
+
+    /// Token-field helper.
+    pub fn token(name: &str, pattern: &str) -> Field {
+        Field::named(name, FieldKind::Token(vec![pattern.to_owned()]))
+    }
+}
+
+/// One unit ("type X = unit { ... }").
+#[derive(Clone, Debug, PartialEq)]
+pub struct Unit {
+    pub name: String,
+    /// Extra parse-function parameters: (name, HILTI type text).
+    pub params: Vec<(String, String)>,
+    /// Unit variables: (name, HILTI type text) — locals of the parse
+    /// function, usable from embedded code and `BytesVar`/`IfVar` fields.
+    pub vars: Vec<(String, String)>,
+    pub fields: Vec<Field>,
+    /// Additional struct slots populated by embedded code rather than by a
+    /// parse field (`&let`-style computed members).
+    pub extra_slots: Vec<String>,
+    /// Host hook called when the unit finishes parsing (the `.evt` layer's
+    /// `on SSH::Banner -> event ...`, Figure 7b): receives the struct.
+    pub done_hook: Option<String>,
+}
+
+impl Unit {
+    pub fn new(name: &str) -> Unit {
+        Unit {
+            name: name.to_owned(),
+            params: Vec::new(),
+            vars: Vec::new(),
+            fields: Vec::new(),
+            extra_slots: Vec::new(),
+            done_hook: None,
+        }
+    }
+
+    /// Declares a computed struct slot (filled from embedded code).
+    pub fn slot(mut self, name: &str) -> Unit {
+        self.extra_slots.push(name.to_owned());
+        self
+    }
+
+    pub fn param(mut self, name: &str, ty: &str) -> Unit {
+        self.params.push((name.to_owned(), ty.to_owned()));
+        self
+    }
+
+    pub fn var(mut self, name: &str, ty: &str) -> Unit {
+        self.vars.push((name.to_owned(), ty.to_owned()));
+        self
+    }
+
+    pub fn field(mut self, f: Field) -> Unit {
+        self.fields.push(f);
+        self
+    }
+
+    pub fn on_done(mut self, hook: &str) -> Unit {
+        self.done_hook = Some(hook.to_owned());
+        self
+    }
+
+    /// Names of the named fields, in order (the struct layout).
+    pub fn named_fields(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| !f.name.is_empty())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+/// A whole grammar: units plus optional hand-written HILTI helpers.
+#[derive(Clone, Debug, Default)]
+pub struct Grammar {
+    pub module: String,
+    pub units: Vec<Unit>,
+    /// Raw HILTI source fragments (function definitions) appended to the
+    /// generated module.
+    pub raw_hilti: Vec<String>,
+}
+
+impl Grammar {
+    pub fn new(module: &str) -> Grammar {
+        Grammar {
+            module: module.to_owned(),
+            ..Default::default()
+        }
+    }
+
+    pub fn unit(mut self, u: Unit) -> Grammar {
+        self.units.push(u);
+        self
+    }
+
+    pub fn raw(mut self, code: &str) -> Grammar {
+        self.raw_hilti.push(code.to_owned());
+        self
+    }
+
+    pub fn get_unit(&self, name: &str) -> Option<&Unit> {
+        self.units.iter().find(|u| u.name == name)
+    }
+
+    /// Structural validation: referenced units exist, field names are
+    /// unique, variable references resolve, integer widths are sane.
+    pub fn validate(&self) -> RtResult<()> {
+        for u in &self.units {
+            let mut seen = std::collections::HashSet::new();
+            for f in &u.fields {
+                if !f.name.is_empty() && !seen.insert(f.name.as_str()) {
+                    return Err(RtError::value(format!(
+                        "unit {}: duplicate field {}",
+                        u.name, f.name
+                    )));
+                }
+                self.validate_kind(u, &f.kind)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_kind(&self, u: &Unit, kind: &FieldKind) -> RtResult<()> {
+        match kind {
+            FieldKind::UInt(w) | FieldKind::UIntLE(w)
+                if !(1..=8).contains(w) => {
+                    return Err(RtError::value(format!(
+                        "unit {}: uint width {w} out of range",
+                        u.name
+                    )));
+                }
+            FieldKind::Token(pats) if pats.is_empty() => {
+                return Err(RtError::value(format!("unit {}: empty token set", u.name)));
+            }
+            FieldKind::SubUnit(name)
+                if self.get_unit(name).is_none() => {
+                    return Err(RtError::value(format!(
+                        "unit {}: unknown sub-unit {name}",
+                        u.name
+                    )));
+                }
+            FieldKind::List(name, repeat) => {
+                if self.get_unit(name).is_none() {
+                    return Err(RtError::value(format!(
+                        "unit {}: unknown sub-unit {name}",
+                        u.name
+                    )));
+                }
+                if let Repeat::CountVar(var) = repeat {
+                    if !self.var_or_field_exists(u, var) {
+                        return Err(RtError::value(format!(
+                            "unit {}: unknown count variable {var}",
+                            u.name
+                        )));
+                    }
+                }
+            }
+            FieldKind::BytesVar(var)
+                if !self.var_or_field_exists(u, var) => {
+                    return Err(RtError::value(format!(
+                        "unit {}: unknown length variable {var}",
+                        u.name
+                    )));
+                }
+            FieldKind::IfVar(var, inner) => {
+                if !self.var_or_field_exists(u, var) {
+                    return Err(RtError::value(format!(
+                        "unit {}: unknown condition variable {var}",
+                        u.name
+                    )));
+                }
+                self.validate_kind(u, &inner.kind)?;
+            }
+            FieldKind::SwitchInt { on, cases, default } => {
+                if !self.var_or_field_exists(u, on) {
+                    return Err(RtError::value(format!(
+                        "unit {}: unknown switch variable {on}",
+                        u.name
+                    )));
+                }
+                for (_, c) in cases {
+                    self.validate_kind(u, &c.kind)?;
+                }
+                if let Some(d) = default {
+                    self.validate_kind(u, &d.kind)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn var_or_field_exists(&self, u: &Unit, name: &str) -> bool {
+        u.vars.iter().any(|(n, _)| n == name)
+            || u.params.iter().any(|(n, _)| n == name)
+            || u.fields.iter().any(|f| f.name == name)
+    }
+}
+
+/// The SSH banner grammar from Figure 7(a) of the paper.
+pub fn ssh_banner_grammar() -> Grammar {
+    Grammar::new("SSH").unit(
+        Unit::new("Banner")
+            .field(Field::anon(FieldKind::Token(vec!["SSH-".into()])))
+            .field(Field::token("version", "[^-]*"))
+            .field(Field::anon(FieldKind::Token(vec!["-".into()])))
+            .field(Field::token("software", "[^\\r\\n]*")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssh_grammar_validates() {
+        let g = ssh_banner_grammar();
+        g.validate().unwrap();
+        let u = g.get_unit("Banner").unwrap();
+        assert_eq!(u.named_fields(), vec!["version", "software"]);
+    }
+
+    #[test]
+    fn duplicate_fields_rejected() {
+        let g = Grammar::new("X").unit(
+            Unit::new("U")
+                .field(Field::token("a", "x"))
+                .field(Field::token("a", "y")),
+        );
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_subunit_rejected() {
+        let g = Grammar::new("X")
+            .unit(Unit::new("U").field(Field::named("s", FieldKind::SubUnit("Nope".into()))));
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_length_var_rejected() {
+        let g = Grammar::new("X")
+            .unit(Unit::new("U").field(Field::named("b", FieldKind::BytesVar("len".into()))));
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn length_from_earlier_field_ok() {
+        let g = Grammar::new("X").unit(
+            Unit::new("U")
+                .field(Field::named("len", FieldKind::UInt(2)))
+                .field(Field::named("body", FieldKind::BytesVar("len".into()))),
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_uint_width_rejected() {
+        let g = Grammar::new("X")
+            .unit(Unit::new("U").field(Field::named("x", FieldKind::UInt(0))));
+        assert!(g.validate().is_err());
+        let g = Grammar::new("X")
+            .unit(Unit::new("U").field(Field::named("x", FieldKind::UInt(9))));
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_count_var_rejected() {
+        let g = Grammar::new("X")
+            .unit(Unit::new("Item").field(Field::token("t", "x")))
+            .unit(Unit::new("U").field(Field::named(
+                "items",
+                FieldKind::List("Item".into(), Repeat::CountVar("n".into())),
+            )));
+        assert!(g.validate().is_err());
+    }
+}

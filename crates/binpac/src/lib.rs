@@ -1,0 +1,29 @@
+//! # binpac — BinPAC++, a "yacc for network protocols" on HILTI (§4)
+//!
+//! The paper's third host application, and the most substantial: a
+//! reimplementation of the BinPAC parser generator targeting HILTI instead
+//! of C++. Given a protocol grammar — units of fields, where fields are
+//! regexp tokens, fixed-width integers, length-delimited byte runs,
+//! sub-units, repetitions — the compiler emits HILTI functions that parse
+//! wire input into struct values, **fully incrementally**: generated
+//! parsers suspend whenever they run out of input (through the VM's
+//! `Hilti::WouldBlock` fiber mechanism) and transparently resume once the
+//! host appends more (§4: "fully incremental LL(1)-parsers that postpone
+//! parsing whenever they run out of input").
+//!
+//! * [`grammar`] — the grammar model (the `.pac2` AST).
+//! * [`codegen`] — lowering grammars to HILTI IR text.
+//! * [`parser`] — the host-side driver: sessions, fibers, field hooks, and
+//!   the event configuration layer (Figure 7's `.evt` files).
+//! * [`http`] / [`dns`] — the built-in HTTP and DNS grammars plus the
+//!   event adapters that make them drop-in replacements for the standard
+//!   handwritten parsers (Table 2 / Figure 9).
+
+pub mod codegen;
+pub mod dns;
+pub mod grammar;
+pub mod http;
+pub mod parser;
+
+pub use grammar::{Field, FieldKind, Grammar, Unit};
+pub use parser::{BinpacParser, Session};

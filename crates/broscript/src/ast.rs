@@ -1,0 +1,210 @@
+//! The script-language AST.
+//!
+//! A deliberately Bro-shaped surface: `global` declarations with container
+//! attributes, `event` handlers, `function`s, and statement/expression
+//! forms matching the paper's Figure 8 example (`add hosts[...]`, `for (i
+//! in hosts) print i;`).
+
+use hilti_rt::time::Interval;
+
+/// Script-level types.
+#[derive(Clone, Debug, PartialEq)]
+pub enum STy {
+    Bool,
+    /// Unsigned counter (Bro's `count`); both map to int<64> in HILTI.
+    Count,
+    Int,
+    Double,
+    Str,
+    Addr,
+    Port,
+    Time,
+    Interval,
+    Set(Box<STy>),
+    Table(Box<STy>, Box<STy>),
+    Vector(Box<STy>),
+    /// Named record type (Bro's `record { ... }`).
+    Record(String),
+    /// No value (function return).
+    Void,
+}
+
+impl STy {
+    pub fn is_container(&self) -> bool {
+        matches!(self, STy::Set(_) | STy::Table(_, _) | STy::Vector(_))
+    }
+}
+
+/// Container expiration attribute (`&create_expire=300.0`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExpireAttr {
+    Create(Interval),
+    Read(Interval),
+}
+
+/// A global declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Global {
+    pub name: String,
+    pub ty: STy,
+    pub expire: Option<ExpireAttr>,
+    pub init: Option<Expr>,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Count(u64),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Bool(bool),
+    /// `5 secs` / `2.5 secs` interval literal.
+    IntervalLit(f64),
+    Var(String),
+    /// `t[k]` — table lookup / vector index.
+    Index(Box<Expr>, Box<Expr>),
+    /// `k in t` — membership.
+    In(Box<Expr>, Box<Expr>),
+    /// `|x|` — size of container or string.
+    Size(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+    /// `vector()` — empty vector constructor.
+    VectorCtor,
+    /// `r$field` — record field access.
+    Field(Box<Expr>, String),
+    /// `conn_id($orig_h = e, ...)` — record constructor.
+    RecordCtor(String, Vec<(String, Expr)>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `local x = e;` (type inferred) or `local x: T = e;`.
+    Local(String, Option<STy>, Expr),
+    /// `x = e;` or `t[k] = e;`.
+    Assign(Expr, Expr),
+    /// `add s[k];`
+    Add(String, Expr),
+    /// `delete t[k];`
+    Delete(String, Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for ( i in container ) body` — iterates set members / table keys.
+    For(String, Expr, Vec<Stmt>),
+    /// `while ( cond ) body`
+    While(Expr, Vec<Stmt>),
+    Print(Vec<Expr>),
+    Return(Option<Expr>),
+    /// Expression statement (function call for effect).
+    ExprStmt(Expr),
+}
+
+/// An event handler.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Handler {
+    pub event: String,
+    pub params: Vec<(String, STy)>,
+    pub body: Vec<Stmt>,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<(String, STy)>,
+    pub ret: STy,
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed script.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Script {
+    pub globals: Vec<Global>,
+    pub handlers: Vec<Handler>,
+    pub functions: Vec<FuncDef>,
+    /// Record type declarations: name → fields in order.
+    pub records: Vec<(String, Vec<(String, STy)>)>,
+}
+
+impl Script {
+    /// Handlers for a given event, in declaration order.
+    pub fn handlers_for(&self, event: &str) -> Vec<&Handler> {
+        self.handlers.iter().filter(|h| h.event == event).collect()
+    }
+
+    /// Merges several scripts (like loading multiple .bro files).
+    pub fn merge(mut self, other: Script) -> Script {
+        self.globals.extend(other.globals);
+        self.handlers.extend(other.handlers);
+        self.functions.extend(other.functions);
+        for r in other.records {
+            if !self.records.iter().any(|(n, _)| *n == r.0) {
+                self.records.push(r);
+            }
+        }
+        self
+    }
+
+    /// Looks up a record layout.
+    pub fn record(&self, name: &str) -> Option<&[(String, STy)]> {
+        self.records
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f.as_slice())
+    }
+
+    /// The record types every script sees without declaring them: Bro's
+    /// `conn_id` and `connection` (Figure 8 of the paper uses both).
+    pub fn builtin_records() -> Vec<(String, Vec<(String, STy)>)> {
+        vec![
+            (
+                "conn_id".to_owned(),
+                vec![
+                    ("orig_h".to_owned(), STy::Addr),
+                    ("orig_p".to_owned(), STy::Port),
+                    ("resp_h".to_owned(), STy::Addr),
+                    ("resp_p".to_owned(), STy::Port),
+                ],
+            ),
+            (
+                "connection".to_owned(),
+                vec![
+                    ("uid".to_owned(), STy::Str),
+                    ("id".to_owned(), STy::Record("conn_id".to_owned())),
+                ],
+            ),
+        ]
+    }
+
+    /// Adds the builtin record types (idempotent).
+    pub fn with_builtin_records(mut self) -> Script {
+        for r in Script::builtin_records() {
+            if !self.records.iter().any(|(n, _)| *n == r.0) {
+                self.records.push(r);
+            }
+        }
+        self
+    }
+}

@@ -1,0 +1,838 @@
+//! Parser for the Bro-style script language.
+//!
+//! Hand-written recursive descent over a simple token stream. The grammar
+//! covers the constructs the §6 analysis scripts use; see
+//! [`crate::scripts`] for representative inputs.
+
+use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::time::Interval;
+
+use crate::ast::*;
+
+/// Parses a script source file.
+pub fn parse_script(src: &str) -> RtResult<Script> {
+    let toks = lex(src)?;
+    let mut p = P {
+        toks,
+        pos: 0,
+        records: Vec::new(),
+    };
+    p.script()
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Count(u64),
+    Double(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+fn lex(src: &str) -> RtResult<Vec<Tok>> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        s.push(match b[i + 1] {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            other => other as char,
+                        });
+                        i += 2;
+                    } else {
+                        s.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                if i >= b.len() {
+                    return Err(RtError::value("unterminated string in script"));
+                }
+                i += 1;
+                out.push(Tok::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if text.contains('.') {
+                    out.push(Tok::Double(text.parse().map_err(|_| {
+                        RtError::value(format!("bad number {text}"))
+                    })?));
+                } else {
+                    out.push(Tok::Count(text.parse().map_err(|_| {
+                        RtError::value(format!("bad number {text}"))
+                    })?));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(src[start..i].to_owned()));
+            }
+            _ => {
+                // Multi-char symbols first.
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let sym2 = ["==", "!=", "<=", ">=", "&&", "||", "+=", "!i"];
+                let _ = sym2;
+                let known2 = ["==", "!=", "<=", ">=", "&&", "||", "+="];
+                if known2.contains(&two) {
+                    out.push(Tok::Sym(match two {
+                        "==" => "==",
+                        "!=" => "!=",
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "&&" => "&&",
+                        "||" => "||",
+                        "+=" => "+=",
+                        _ => unreachable!(),
+                    }));
+                    i += 2;
+                } else {
+                    let sym = match c {
+                        b'{' => "{",
+                        b'}' => "}",
+                        b'(' => "(",
+                        b')' => ")",
+                        b'[' => "[",
+                        b']' => "]",
+                        b';' => ";",
+                        b':' => ":",
+                        b',' => ",",
+                        b'=' => "=",
+                        b'+' => "+",
+                        b'-' => "-",
+                        b'*' => "*",
+                        b'/' => "/",
+                        b'%' => "%",
+                        b'<' => "<",
+                        b'>' => ">",
+                        b'!' => "!",
+                        b'|' => "|",
+                        b'&' => "&",
+                        b'$' => "$",
+                        _ => {
+                            return Err(RtError::value(format!(
+                                "unexpected character {:?} in script",
+                                c as char
+                            )))
+                        }
+                    };
+                    out.push(Tok::Sym(sym));
+                    i += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+    /// Record type names in scope (builtin + declared so far).
+    records: Vec<String>,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> RtError {
+        RtError::value(format!(
+            "script parse error near token {}: {msg} (found {:?})",
+            self.pos,
+            self.peek()
+        ))
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> RtResult<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(x)) if x == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> RtResult<String> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(RtError::value(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn script(&mut self) -> RtResult<Script> {
+        let mut s = Script::default().with_builtin_records();
+        // Record declarations must be visible while parsing types, so keep
+        // the parser's own view in sync.
+        self.records = s.records.iter().map(|(n, _)| n.clone()).collect();
+        while self.peek().is_some() {
+            if self.eat_kw("global") {
+                s.globals.push(self.global()?);
+            } else if self.eat_kw("event") {
+                s.handlers.push(self.handler()?);
+            } else if self.eat_kw("function") {
+                s.functions.push(self.function()?);
+            } else if self.eat_kw("type") {
+                let (name, fields) = self.record_decl()?;
+                self.records.push(name.clone());
+                s.records.push((name, fields));
+            } else {
+                return Err(self.err("expected 'global', 'event', 'function', or 'type'"));
+            }
+        }
+        Ok(s)
+    }
+
+    /// `type <name>: record { f: T; ... };`
+    fn record_decl(&mut self) -> RtResult<(String, Vec<(String, STy)>)> {
+        let name = self.expect_ident()?;
+        self.expect_sym(":")?;
+        if !self.eat_kw("record") {
+            return Err(self.err("only record type declarations are supported"));
+        }
+        self.expect_sym("{")?;
+        let mut fields = Vec::new();
+        loop {
+            if self.eat_sym("}") {
+                break;
+            }
+            let f = self.expect_ident()?;
+            self.expect_sym(":")?;
+            let t = self.ty()?;
+            fields.push((f, t));
+            self.eat_sym(";");
+            self.eat_sym(",");
+        }
+        self.eat_sym(";");
+        Ok((name, fields))
+    }
+
+    fn global(&mut self) -> RtResult<Global> {
+        let name = self.expect_ident()?;
+        self.expect_sym(":")?;
+        let ty = self.ty()?;
+        let mut expire = None;
+        let mut init = None;
+        // Attributes: &create_expire=300.0 / &read_expire=60.0
+        while self.eat_sym("&") {
+            let attr = self.expect_ident()?;
+            self.expect_sym("=")?;
+            let secs = match self.bump() {
+                Some(Tok::Double(d)) => d,
+                Some(Tok::Count(c)) => c as f64,
+                other => return Err(RtError::value(format!("bad expire value {other:?}"))),
+            };
+            // Optional unit keyword.
+            let secs = if self.eat_kw("secs") || self.eat_kw("sec") {
+                secs
+            } else if self.eat_kw("mins") || self.eat_kw("min") {
+                secs * 60.0
+            } else {
+                secs
+            };
+            let iv = Interval::from_secs_f64(secs);
+            expire = Some(match attr.as_str() {
+                "create_expire" => ExpireAttr::Create(iv),
+                "read_expire" => ExpireAttr::Read(iv),
+                other => return Err(RtError::value(format!("unknown attribute &{other}"))),
+            });
+        }
+        if self.eat_sym("=") {
+            init = Some(self.expr()?);
+        }
+        self.expect_sym(";")?;
+        Ok(Global {
+            name,
+            ty,
+            expire,
+            init,
+        })
+    }
+
+    fn ty(&mut self) -> RtResult<STy> {
+        let head = self.expect_ident()?;
+        Ok(match head.as_str() {
+            "bool" => STy::Bool,
+            "count" => STy::Count,
+            "int" => STy::Int,
+            "double" => STy::Double,
+            "string" => STy::Str,
+            "addr" => STy::Addr,
+            "port" => STy::Port,
+            "time" => STy::Time,
+            "interval" => STy::Interval,
+            "set" => {
+                self.expect_sym("[")?;
+                let inner = self.ty()?;
+                self.expect_sym("]")?;
+                STy::Set(Box::new(inner))
+            }
+            "table" => {
+                self.expect_sym("[")?;
+                let k = self.ty()?;
+                self.expect_sym("]")?;
+                if !self.eat_kw("of") {
+                    return Err(self.err("expected 'of' after table key type"));
+                }
+                let v = self.ty()?;
+                STy::Table(Box::new(k), Box::new(v))
+            }
+            "vector" => {
+                if !self.eat_kw("of") {
+                    return Err(self.err("expected 'of' after vector"));
+                }
+                let inner = self.ty()?;
+                STy::Vector(Box::new(inner))
+            }
+            other => {
+                if self.records.iter().any(|r| r == other) {
+                    STy::Record(other.to_owned())
+                } else {
+                    return Err(RtError::value(format!("unknown type {other}")));
+                }
+            }
+        })
+    }
+
+    fn params(&mut self) -> RtResult<Vec<(String, STy)>> {
+        self.expect_sym("(")?;
+        let mut out = Vec::new();
+        loop {
+            if self.eat_sym(")") {
+                break;
+            }
+            let name = self.expect_ident()?;
+            self.expect_sym(":")?;
+            let ty = self.ty()?;
+            out.push((name, ty));
+            self.eat_sym(",");
+        }
+        Ok(out)
+    }
+
+    fn handler(&mut self) -> RtResult<Handler> {
+        let event = self.expect_ident()?;
+        let params = self.params()?;
+        let body = self.block()?;
+        Ok(Handler {
+            event,
+            params,
+            body,
+        })
+    }
+
+    fn function(&mut self) -> RtResult<FuncDef> {
+        let name = self.expect_ident()?;
+        let params = self.params()?;
+        let ret = if self.eat_sym(":") {
+            self.ty()?
+        } else {
+            STy::Void
+        };
+        let body = self.block()?;
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> RtResult<Vec<Stmt>> {
+        self.expect_sym("{")?;
+        let mut out = Vec::new();
+        loop {
+            if self.eat_sym("}") {
+                break;
+            }
+            if self.peek().is_none() {
+                return Err(self.err("unterminated block"));
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt_or_block(&mut self) -> RtResult<Vec<Stmt>> {
+        if matches!(self.peek(), Some(Tok::Sym("{"))) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> RtResult<Stmt> {
+        if self.eat_kw("local") {
+            let name = self.expect_ident()?;
+            let ty = if self.eat_sym(":") { Some(self.ty()?) } else { None };
+            self.expect_sym("=")?;
+            let e = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Local(name, ty, e));
+        }
+        if self.eat_kw("add") {
+            let set = self.expect_ident()?;
+            self.expect_sym("[")?;
+            let k = self.expr()?;
+            self.expect_sym("]")?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Add(set, k));
+        }
+        if self.eat_kw("delete") {
+            let t = self.expect_ident()?;
+            self.expect_sym("[")?;
+            let k = self.expr()?;
+            self.expect_sym("]")?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Delete(t, k));
+        }
+        if self.eat_kw("if") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let then = self.stmt_or_block()?;
+            let els = if self.eat_kw("else") {
+                self.stmt_or_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("for") {
+            self.expect_sym("(")?;
+            let var = self.expect_ident()?;
+            if !self.eat_kw("in") {
+                return Err(self.err("expected 'in' in for loop"));
+            }
+            let container = self.expr()?;
+            self.expect_sym(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::For(var, container, body));
+        }
+        if self.eat_kw("while") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_kw("print") {
+            let mut args = vec![self.expr()?];
+            while self.eat_sym(",") {
+                args.push(self.expr()?);
+            }
+            self.expect_sym(";")?;
+            return Ok(Stmt::Print(args));
+        }
+        if self.eat_kw("return") {
+            if self.eat_sym(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        // Assignment or expression statement.
+        let lhs = self.expr()?;
+        if self.eat_sym("=") {
+            let rhs = self.expr()?;
+            self.expect_sym(";")?;
+            match &lhs {
+                Expr::Var(_) | Expr::Index(_, _) | Expr::Field(_, _) => {
+                    return Ok(Stmt::Assign(lhs, rhs))
+                }
+                _ => return Err(self.err("invalid assignment target")),
+            }
+        }
+        if self.eat_sym("+=") {
+            let rhs = self.expr()?;
+            self.expect_sym(";")?;
+            // x += e  →  x = x + e
+            return Ok(Stmt::Assign(
+                lhs.clone(),
+                Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs)),
+            ));
+        }
+        self.expect_sym(";")?;
+        Ok(Stmt::ExprStmt(lhs))
+    }
+
+    // Precedence climbing: || < && < comparisons/in < add/sub < mul/div/mod
+    // < unary < postfix.
+    fn expr(&mut self) -> RtResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> RtResult<Expr> {
+        let mut l = self.and_expr()?;
+        while self.eat_sym("||") {
+            let r = self.and_expr()?;
+            l = Expr::Bin(BinOp::Or, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> RtResult<Expr> {
+        let mut l = self.cmp_expr()?;
+        while self.eat_sym("&&") {
+            let r = self.cmp_expr()?;
+            l = Expr::Bin(BinOp::And, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn cmp_expr(&mut self) -> RtResult<Expr> {
+        let l = self.add_expr()?;
+        // `in` / `!in`-style membership.
+        if self.eat_kw("in") {
+            let r = self.add_expr()?;
+            return Ok(Expr::In(Box::new(l), Box::new(r)));
+        }
+        for (sym, op) in [
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat_sym(sym) {
+                let r = self.add_expr()?;
+                return Ok(Expr::Bin(op, Box::new(l), Box::new(r)));
+            }
+        }
+        Ok(l)
+    }
+
+    fn add_expr(&mut self) -> RtResult<Expr> {
+        let mut l = self.mul_expr()?;
+        loop {
+            if self.eat_sym("+") {
+                let r = self.mul_expr()?;
+                l = Expr::Bin(BinOp::Add, Box::new(l), Box::new(r));
+            } else if self.eat_sym("-") {
+                let r = self.mul_expr()?;
+                l = Expr::Bin(BinOp::Sub, Box::new(l), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(l)
+    }
+
+    fn mul_expr(&mut self) -> RtResult<Expr> {
+        let mut l = self.unary()?;
+        loop {
+            if self.eat_sym("*") {
+                let r = self.unary()?;
+                l = Expr::Bin(BinOp::Mul, Box::new(l), Box::new(r));
+            } else if self.eat_sym("/") {
+                let r = self.unary()?;
+                l = Expr::Bin(BinOp::Div, Box::new(l), Box::new(r));
+            } else if self.eat_sym("%") {
+                let r = self.unary()?;
+                l = Expr::Bin(BinOp::Mod, Box::new(l), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(l)
+    }
+
+    fn unary(&mut self) -> RtResult<Expr> {
+        if self.eat_sym("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_sym("|") {
+            let inner = self.expr()?;
+            self.expect_sym("|")?;
+            return Ok(Expr::Size(Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> RtResult<Expr> {
+        let mut e = self.atom()?;
+        loop {
+            if matches!(self.peek(), Some(Tok::Sym("["))) {
+                self.bump();
+                let idx = self.expr()?;
+                self.expect_sym("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if matches!(self.peek(), Some(Tok::Sym("$"))) {
+                self.bump();
+                let field = self.expect_ident()?;
+                e = Expr::Field(Box::new(e), field);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> RtResult<Expr> {
+        match self.bump() {
+            Some(Tok::Count(c)) => {
+                // `5 secs` → interval literal.
+                if self.eat_kw("secs") || self.eat_kw("sec") {
+                    return Ok(Expr::IntervalLit(c as f64));
+                }
+                if self.eat_kw("mins") || self.eat_kw("min") {
+                    return Ok(Expr::IntervalLit(c as f64 * 60.0));
+                }
+                Ok(Expr::Count(c))
+            }
+            Some(Tok::Double(d)) => {
+                if self.eat_kw("secs") || self.eat_kw("sec") {
+                    return Ok(Expr::IntervalLit(d));
+                }
+                Ok(Expr::Double(d))
+            }
+            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
+            Some(Tok::Sym("(")) => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "T" | "true" => Ok(Expr::Bool(true)),
+                "F" | "false" => Ok(Expr::Bool(false)),
+                "vector" => {
+                    self.expect_sym("(")?;
+                    self.expect_sym(")")?;
+                    Ok(Expr::VectorCtor)
+                }
+                _ => {
+                    if matches!(self.peek(), Some(Tok::Sym("("))) {
+                        self.bump();
+                        // Record constructor: `conn_id($orig_h = e, ...)`.
+                        if matches!(self.peek(), Some(Tok::Sym("$"))) {
+                            let mut fields = Vec::new();
+                            loop {
+                                if self.eat_sym(")") {
+                                    break;
+                                }
+                                self.expect_sym("$")?;
+                                let f = self.expect_ident()?;
+                                self.expect_sym("=")?;
+                                fields.push((f, self.expr()?));
+                                self.eat_sym(",");
+                            }
+                            return Ok(Expr::RecordCtor(name, fields));
+                        }
+                        let mut args = Vec::new();
+                        loop {
+                            if self.eat_sym(")") {
+                                break;
+                            }
+                            args.push(self.expr()?);
+                            self.eat_sym(",");
+                        }
+                        Ok(Expr::Call(name, args))
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            other => Err(RtError::value(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_track_bro_parses() {
+        let s = parse_script(
+            r#"
+global hosts: set[addr];
+
+event connection_established(uid: string, orig_h: addr, orig_p: port, resp_h: addr, resp_p: port) {
+    add hosts[resp_h];
+}
+
+event bro_done() {
+    for ( i in hosts )
+        print i;
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(s.globals.len(), 1);
+        assert_eq!(s.globals[0].ty, STy::Set(Box::new(STy::Addr)));
+        assert_eq!(s.handlers.len(), 2);
+        assert_eq!(s.handlers[0].params.len(), 5);
+        assert!(matches!(s.handlers[0].body[0], Stmt::Add(_, _)));
+        assert!(matches!(s.handlers[1].body[0], Stmt::For(_, _, _)));
+    }
+
+    #[test]
+    fn fib_function_parses() {
+        let s = parse_script(
+            r#"
+function fib(n: count): count {
+    if ( n < 2 )
+        return n;
+    return fib(n - 1) + fib(n - 2);
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.functions[0].ret, STy::Count);
+    }
+
+    #[test]
+    fn table_with_expire_attr() {
+        let s = parse_script(
+            "global seen: table[string] of count &create_expire=300.0;\n",
+        )
+        .unwrap();
+        match s.globals[0].expire {
+            Some(ExpireAttr::Create(iv)) => {
+                assert_eq!(iv, hilti_rt::time::Interval::from_secs(300))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_script(
+            "global seen: table[string] of count &read_expire=5 mins;\n",
+        )
+        .unwrap();
+        assert!(matches!(s.globals[0].expire, Some(ExpireAttr::Read(_))));
+    }
+
+    #[test]
+    fn expressions_and_precedence() {
+        let s = parse_script(
+            r#"
+function f(a: count, b: count): bool {
+    return a + b * 2 == 10 && b != 0 || !(a < b);
+}
+"#,
+        )
+        .unwrap();
+        // || at the top.
+        match &s.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Bin(BinOp::Or, _, _))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn containers_and_membership() {
+        let s = parse_script(
+            r#"
+global t: table[string] of count;
+event x(k: string) {
+    if ( k in t )
+        t[k] = t[k] + 1;
+    else
+        t[k] = 1;
+    if ( |t| > 100 )
+        delete t[k];
+}
+"#,
+        )
+        .unwrap();
+        let body = &s.handlers[0].body;
+        assert!(matches!(&body[0], Stmt::If(Expr::In(_, _), _, els) if !els.is_empty()));
+        assert!(matches!(&body[1], Stmt::If(Expr::Bin(BinOp::Gt, l, _), _, _)
+            if matches!(&**l, Expr::Size(_))));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let s = parse_script(
+            r#"
+event x() {
+    local v = vector();
+    v[|v|] = "first";
+    print v[0], |v|;
+}
+"#,
+        )
+        .unwrap();
+        let body = &s.handlers[0].body;
+        assert!(matches!(&body[0], Stmt::Local(_, None, Expr::VectorCtor)));
+        assert!(matches!(&body[1], Stmt::Assign(Expr::Index(_, _), _)));
+    }
+
+    #[test]
+    fn plus_equals_desugars() {
+        let s = parse_script("event x() { local n = 0; n += 5; }").unwrap();
+        match &s.handlers[0].body[1] {
+            Stmt::Assign(Expr::Var(v), Expr::Bin(BinOp::Add, _, _)) => assert_eq!(v, "n"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_script("event x( {").is_err());
+        assert!(parse_script("global x;").is_err());
+        assert!(parse_script("event x() { local = 5; }").is_err());
+        assert!(parse_script("bogus top level").is_err());
+        assert!(parse_script("event x() { print \"unterminated; }").is_err());
+    }
+
+    #[test]
+    fn while_loop() {
+        let s = parse_script(
+            "function f(): count { local i = 0; while ( i < 10 ) i = i + 1; return i; }",
+        )
+        .unwrap();
+        assert!(matches!(&s.functions[0].body[1], Stmt::While(_, _)));
+    }
+}

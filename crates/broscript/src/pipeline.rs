@@ -1,0 +1,313 @@
+//! End-to-end analysis pipelines: trace → parser stack → script engine →
+//! logs.
+//!
+//! This is the experiment driver behind Tables 2/3 and Figures 9/10: it
+//! replays a packet trace through either the *standard* handwritten parsers
+//! or the *BinPAC++* generated ones, feeds the resulting events into either
+//! script engine, and collects logs plus a per-component time breakdown
+//! ([`Profiler`]): protocol parsing, script execution, HILTI-to-Bro glue,
+//! and other (decode/flow bookkeeping).
+
+use std::collections::HashMap;
+
+use binpac::dns::BinpacDns;
+use binpac::http::BinpacHttp;
+use hilti::passes::OptLevel;
+use hilti_rt::error::RtResult;
+use hilti_rt::profile::{Component, Profiler};
+use hilti_rt::time::Time;
+
+use netpkt::decode::decode_ethernet;
+use netpkt::events::{ConnId, DnsAnswer, Event};
+use netpkt::flow::FlowTable;
+use netpkt::http::HttpConnParser;
+use netpkt::pcap::RawPacket;
+
+use crate::host::{Engine, ScriptHost};
+use crate::scripts;
+
+/// Which protocol parsers produce the events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParserStack {
+    /// Handwritten parsers (Bro's standard analyzers).
+    Standard,
+    /// BinPAC++-generated parsers on the HILTI VM.
+    Binpac,
+}
+
+/// Result of one analysis run.
+pub struct AnalysisResult {
+    pub http_log: Vec<String>,
+    pub files_log: Vec<String>,
+    pub dns_log: Vec<String>,
+    pub profiler: Profiler,
+    pub events: u64,
+    pub packets: u64,
+    pub output: Vec<String>,
+}
+
+/// Replays an HTTP trace through the chosen parser stack and script engine.
+pub fn run_http_analysis(
+    packets: &[RawPacket],
+    stack: ParserStack,
+    engine: Engine,
+) -> RtResult<AnalysisResult> {
+    let profiler = Profiler::new();
+    let mut host = ScriptHost::new(&[scripts::HTTP_BRO], engine, Some(profiler.clone()))?;
+
+    let mut flows = FlowTable::new();
+    let mut std_parsers: HashMap<String, HttpConnParser> = HashMap::new();
+    let mut bp = match stack {
+        ParserStack::Binpac => Some(BinpacHttp::new(OptLevel::Full, Some(profiler.clone()))?),
+        ParserStack::Standard => None,
+    };
+    let mut n_events = 0u64;
+    let mut n_packets = 0u64;
+    let mut last_ts = Time::ZERO;
+
+    for pkt in packets {
+        n_packets += 1;
+        last_ts = pkt.ts;
+        let mut events: Vec<Event> = Vec::new();
+        {
+            let _o = profiler.enter(Component::Other);
+            let Ok(d) = decode_ethernet(pkt) else { continue };
+            let delivery = flows.process(&d);
+            let uid = delivery.flow.uid.clone();
+            let id = delivery.flow.id;
+            let is_orig = delivery.is_orig;
+            let finished = delivery.finished_now;
+            let payload = delivery.payload;
+
+            match stack {
+                ParserStack::Standard => {
+                    let _pp = profiler.enter(Component::ProtocolParsing);
+                    let parser = std_parsers
+                        .entry(uid.clone())
+                        .or_insert_with(|| HttpConnParser::new(uid.clone(), id));
+                    if !payload.is_empty() {
+                        parser.feed(is_orig, &payload, pkt.ts, &mut events);
+                    }
+                    if finished {
+                        parser.finish(pkt.ts, &mut events);
+                    }
+                }
+                ParserStack::Binpac => {
+                    let bp = bp.as_mut().expect("binpac stack");
+                    if !payload.is_empty() {
+                        bp.feed(&uid, id, is_orig, pkt.ts, &payload)?;
+                    }
+                    if finished {
+                        bp.finish_conn(&uid, id, pkt.ts)?;
+                    }
+                    events.extend(bp.take_events());
+                }
+            }
+        }
+        for ev in &events {
+            n_events += 1;
+            host.dispatch_event(ev)?;
+        }
+    }
+
+    // End of trace: flush all still-open connections.
+    let mut tail_events: Vec<Event> = Vec::new();
+    match stack {
+        ParserStack::Standard => {
+            let _pp = profiler.enter(Component::ProtocolParsing);
+            for parser in std_parsers.values_mut() {
+                parser.finish(last_ts, &mut tail_events);
+            }
+        }
+        ParserStack::Binpac => {
+            let bp = bp.as_mut().expect("binpac stack");
+            bp.finish_all(last_ts)?;
+            tail_events.extend(bp.take_events());
+        }
+    }
+    for ev in &tail_events {
+        n_events += 1;
+        host.dispatch_event(ev)?;
+    }
+    host.done()?;
+
+    Ok(AnalysisResult {
+        http_log: host.log_lines("http.log"),
+        files_log: host.log_lines("files.log"),
+        dns_log: host.log_lines("dns.log"),
+        output: host.take_output(),
+        profiler,
+        events: n_events,
+        packets: n_packets,
+    })
+}
+
+/// Builds standard-parser DNS events for one datagram (the handwritten
+/// counterpart of the BinPAC++ adapter).
+pub fn standard_dns_events(
+    uid: &str,
+    id: ConnId,
+    ts: Time,
+    payload: &[u8],
+    sink: &mut Vec<Event>,
+) -> bool {
+    let Ok(msg) = netpkt::dns::parse_message(payload) else {
+        return false;
+    };
+    if msg.is_response {
+        let answers: Vec<DnsAnswer> = msg.answers.clone();
+        sink.push(Event::DnsReply {
+            ts,
+            uid: uid.to_owned(),
+            id,
+            trans_id: msg.id,
+            rcode: msg.rcode,
+            answers,
+        });
+    } else if let Some(q) = msg.questions.first() {
+        sink.push(Event::DnsRequest {
+            ts,
+            uid: uid.to_owned(),
+            id,
+            trans_id: msg.id,
+            query: q.name.clone(),
+            qtype: q.qtype,
+        });
+    }
+    true
+}
+
+/// Replays a DNS trace through the chosen parser stack and script engine.
+pub fn run_dns_analysis(
+    packets: &[RawPacket],
+    stack: ParserStack,
+    engine: Engine,
+) -> RtResult<AnalysisResult> {
+    let profiler = Profiler::new();
+    let mut host = ScriptHost::new(&[scripts::DNS_BRO], engine, Some(profiler.clone()))?;
+
+    let mut flows = FlowTable::new();
+    let mut bp = match stack {
+        ParserStack::Binpac => Some(BinpacDns::new(OptLevel::Full, Some(profiler.clone()))?),
+        ParserStack::Standard => None,
+    };
+    let mut n_events = 0u64;
+    let mut n_packets = 0u64;
+
+    for pkt in packets {
+        n_packets += 1;
+        let mut events: Vec<Event> = Vec::new();
+        {
+            let _o = profiler.enter(Component::Other);
+            let Ok(d) = decode_ethernet(pkt) else { continue };
+            let delivery = flows.process(&d);
+            let uid = delivery.flow.uid.clone();
+            let id = delivery.flow.id;
+            let payload = delivery.payload;
+            if payload.is_empty() {
+                continue;
+            }
+            match stack {
+                ParserStack::Standard => {
+                    let _pp = profiler.enter(Component::ProtocolParsing);
+                    standard_dns_events(&uid, id, pkt.ts, &payload, &mut events);
+                }
+                ParserStack::Binpac => {
+                    let bp = bp.as_mut().expect("binpac stack");
+                    bp.datagram(&uid, id, pkt.ts, &payload)?;
+                    events.extend(bp.take_events());
+                }
+            }
+        }
+        for ev in &events {
+            n_events += 1;
+            host.dispatch_event(ev)?;
+        }
+    }
+    host.done()?;
+
+    Ok(AnalysisResult {
+        http_log: host.log_lines("http.log"),
+        files_log: host.log_lines("files.log"),
+        dns_log: host.log_lines("dns.log"),
+        output: host.take_output(),
+        profiler,
+        events: n_events,
+        packets: n_packets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::logs::agreement;
+    use netpkt::synth::{dns_trace, http_trace, SynthConfig};
+
+    #[test]
+    fn http_standard_stack_produces_logs() {
+        let trace = http_trace(&SynthConfig::new(42, 15));
+        let r = run_http_analysis(&trace, ParserStack::Standard, Engine::Interpreted).unwrap();
+        assert!(r.http_log.len() >= 10, "http.log: {}", r.http_log.len());
+        assert!(!r.files_log.is_empty());
+        assert!(r.events > 50);
+        // Every line has the full column count.
+        for l in &r.http_log {
+            assert_eq!(l.matches('\t').count(), 12, "{l}");
+        }
+    }
+
+    #[test]
+    fn http_engines_agree_table3_shape() {
+        // Table 3, HTTP rows: same parser stack, interpreter vs compiled.
+        let trace = http_trace(&SynthConfig::new(7, 12));
+        let a = run_http_analysis(&trace, ParserStack::Standard, Engine::Interpreted).unwrap();
+        let b = run_http_analysis(&trace, ParserStack::Standard, Engine::Compiled).unwrap();
+        let ag = agreement(&a.http_log, &b.http_log);
+        assert_eq!(ag.percent(), 100.0, "http.log {ag:?}");
+        let ag = agreement(&a.files_log, &b.files_log);
+        assert_eq!(ag.percent(), 100.0, "files.log {ag:?}");
+    }
+
+    #[test]
+    fn http_parser_stacks_agree_table2_shape() {
+        // Table 2, HTTP rows: standard vs BinPAC++ parsers, same engine.
+        let trace = http_trace(&SynthConfig::new(11, 12));
+        let a = run_http_analysis(&trace, ParserStack::Standard, Engine::Interpreted).unwrap();
+        let b = run_http_analysis(&trace, ParserStack::Binpac, Engine::Interpreted).unwrap();
+        let ag = agreement(&a.http_log, &b.http_log);
+        assert!(ag.percent() > 90.0, "http.log agreement {ag:?}");
+        assert!(a.http_log.len() > 5);
+        assert!(b.http_log.len() > 5);
+    }
+
+    #[test]
+    fn dns_engines_agree() {
+        let trace = dns_trace(&SynthConfig::new(3, 80));
+        let a = run_dns_analysis(&trace, ParserStack::Standard, Engine::Interpreted).unwrap();
+        let b = run_dns_analysis(&trace, ParserStack::Standard, Engine::Compiled).unwrap();
+        assert!(a.dns_log.len() > 40);
+        let ag = agreement(&a.dns_log, &b.dns_log);
+        assert_eq!(ag.percent(), 100.0, "dns.log {ag:?}");
+    }
+
+    #[test]
+    fn dns_parser_stacks_agree_except_txt() {
+        let trace = dns_trace(&SynthConfig::new(13, 100));
+        let a = run_dns_analysis(&trace, ParserStack::Standard, Engine::Interpreted).unwrap();
+        let b = run_dns_analysis(&trace, ParserStack::Binpac, Engine::Interpreted).unwrap();
+        assert_eq!(a.dns_log.len(), b.dns_log.len());
+        let ag = agreement(&a.dns_log, &b.dns_log);
+        // High but not perfect: multi-string TXT answers differ by design.
+        assert!(ag.percent() > 80.0, "{ag:?}");
+    }
+
+    #[test]
+    fn profiler_attributes_components() {
+        let trace = http_trace(&SynthConfig::new(21, 6));
+        let r = run_http_analysis(&trace, ParserStack::Binpac, Engine::Compiled).unwrap();
+        assert!(r.profiler.total(Component::ProtocolParsing) > 0);
+        assert!(r.profiler.total(Component::ScriptExecution) > 0);
+        assert!(r.profiler.total(Component::Glue) > 0);
+        assert!(r.profiler.total(Component::Other) > 0);
+    }
+}

@@ -1,0 +1,542 @@
+//! Classic BPF: the accumulator pseudo-machine of McCanne & Jacobson, its
+//! code generator, and its interpreter.
+//!
+//! This is the §6.2 baseline: the traditional implementation that
+//! "translates filters into code for its custom internal stack machine,
+//! which it then interprets at runtime". Instructions operate on an
+//! accumulator `A`, reading packet bytes at absolute offsets, with
+//! conditional jumps encoded as (jump-if-true, jump-if-false) deltas —
+//! the exact encoding the BSD kernel uses.
+
+use hilti_rt::error::{RtError, RtResult};
+
+use crate::expr::{Dir, FilterExpr};
+
+/// Instruction classes (`code` field encodings, subset of the BSD set).
+pub mod op {
+    /// A = u32 at absolute offset k (big-endian).
+    pub const LD_W_ABS: u16 = 0x20;
+    /// A = u16 at absolute offset k.
+    pub const LD_H_ABS: u16 = 0x28;
+    /// A = u8 at absolute offset k.
+    pub const LD_B_ABS: u16 = 0x30;
+    /// A = A & k.
+    pub const AND_K: u16 = 0x54;
+    /// pc += (A == k) ? jt : jf.
+    pub const JEQ_K: u16 = 0x15;
+    /// return k (accept when k != 0).
+    pub const RET_K: u16 = 0x06;
+}
+
+/// One BPF instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BpfInsn {
+    pub code: u16,
+    pub jt: u8,
+    pub jf: u8,
+    pub k: u32,
+}
+
+impl BpfInsn {
+    pub fn stmt(code: u16, k: u32) -> BpfInsn {
+        BpfInsn {
+            code,
+            jt: 0,
+            jf: 0,
+            k,
+        }
+    }
+
+    pub fn jump(code: u16, k: u32, jt: u8, jf: u8) -> BpfInsn {
+        BpfInsn { code, jt, jf, k }
+    }
+}
+
+/// A compiled classic-BPF program.
+#[derive(Clone, Debug)]
+pub struct BpfProgram {
+    pub insns: Vec<BpfInsn>,
+}
+
+/// Interprets `prog` over a raw Ethernet frame; true = accept.
+///
+/// Out-of-bounds loads reject the packet, as in the kernel.
+pub fn bpf_filter(prog: &BpfProgram, pkt: &[u8]) -> bool {
+    let mut a: u32 = 0;
+    let mut pc: usize = 0;
+    // Fail-safe bound on executed instructions.
+    let mut fuel = prog.insns.len().saturating_mul(4) + 64;
+    while pc < prog.insns.len() {
+        if fuel == 0 {
+            return false;
+        }
+        fuel -= 1;
+        let i = prog.insns[pc];
+        match i.code {
+            op::LD_W_ABS => {
+                let k = i.k as usize;
+                if k + 4 > pkt.len() {
+                    return false;
+                }
+                a = u32::from_be_bytes([pkt[k], pkt[k + 1], pkt[k + 2], pkt[k + 3]]);
+                pc += 1;
+            }
+            op::LD_H_ABS => {
+                let k = i.k as usize;
+                if k + 2 > pkt.len() {
+                    return false;
+                }
+                a = u32::from(u16::from_be_bytes([pkt[k], pkt[k + 1]]));
+                pc += 1;
+            }
+            op::LD_B_ABS => {
+                let k = i.k as usize;
+                if k >= pkt.len() {
+                    return false;
+                }
+                a = u32::from(pkt[k]);
+                pc += 1;
+            }
+            op::AND_K => {
+                a &= i.k;
+                pc += 1;
+            }
+            op::JEQ_K => {
+                pc += 1 + if a == i.k {
+                    usize::from(i.jt)
+                } else {
+                    usize::from(i.jf)
+                };
+            }
+            op::RET_K => return i.k != 0,
+            _ => return false, // unknown opcode: fail safe
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+//
+// Each expression node compiles into a fragment whose conditional jumps
+// target symbolic TRUE/FALSE exits; `link` resolves them to the accept /
+// reject trailer. This mirrors the structure of the BSD `bpf_compile`.
+
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    /// Fall through to the next instruction.
+    Next,
+    /// Jump to the TRUE exit.
+    True,
+    /// Jump to the FALSE exit.
+    False,
+    /// Jump `d` instructions past the fall-through (local resolution of
+    /// short-circuit exits inside or/not fragments).
+    Skip(u8),
+}
+
+#[derive(Clone, Debug)]
+struct SymInsn {
+    code: u16,
+    k: u32,
+    jt: Target,
+    jf: Target,
+}
+
+/// Frame layout constants (Ethernet II + IPv4, no options assumed for the
+/// port loads — the paper's proof-of-concept scope).
+const ETHERTYPE_OFF: u32 = 12;
+const ETHERTYPE_IPV4: u32 = 0x0800;
+const IP_OFF: u32 = 14;
+const IP_PROTO_OFF: u32 = IP_OFF + 9;
+const IP_SRC_OFF: u32 = IP_OFF + 12;
+const IP_DST_OFF: u32 = IP_OFF + 16;
+/// Transport header offset assuming IHL=5 (20-byte IP header).
+const TP_OFF: u32 = IP_OFF + 20;
+
+/// Compiles a filter expression to classic BPF.
+pub fn compile_classic(expr: &FilterExpr) -> RtResult<BpfProgram> {
+    let mut frag: Vec<SymInsn> = Vec::new();
+    // Every filter implicitly requires IPv4 (the paper's scope).
+    emit_ip_check(&mut frag);
+    emit(expr, &mut frag)?;
+    link(frag)
+}
+
+fn emit_ip_check(out: &mut Vec<SymInsn>) {
+    out.push(SymInsn {
+        code: op::LD_H_ABS,
+        k: ETHERTYPE_OFF,
+        jt: Target::Next,
+        jf: Target::Next,
+    });
+    out.push(SymInsn {
+        code: op::JEQ_K,
+        k: ETHERTYPE_IPV4,
+        jt: Target::Next,
+        jf: Target::False,
+    });
+}
+
+/// Emits code that falls through on match and jumps FALSE on mismatch.
+fn emit(expr: &FilterExpr, out: &mut Vec<SymInsn>) -> RtResult<()> {
+    match expr {
+        FilterExpr::Ip => {} // already guaranteed by the prologue
+        FilterExpr::Tcp => emit_proto(out, 6),
+        FilterExpr::Udp => emit_proto(out, 17),
+        FilterExpr::Host(dir, a) => {
+            let v4 = a
+                .as_v4_u32()
+                .ok_or_else(|| RtError::value("classic BPF backend is IPv4-only"))?;
+            emit_addr_cmp(out, *dir, v4, u32::MAX)?;
+        }
+        FilterExpr::Net(dir, n) => {
+            let prefix = n
+                .prefix()
+                .as_v4_u32()
+                .ok_or_else(|| RtError::value("classic BPF backend is IPv4-only"))?;
+            let mask = if n.is_empty() {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(n.len()))
+            };
+            emit_addr_cmp(out, *dir, prefix, mask)?;
+        }
+        FilterExpr::Port(dir, num) => {
+            // Port offsets assume a 20-byte IP header; the HILTI backend
+            // shares the assumption so both engines agree bit-for-bit.
+            let (first, second) = match dir {
+                Dir::Src => (TP_OFF, None),
+                Dir::Dst => (TP_OFF + 2, None),
+                Dir::Either => (TP_OFF, Some(TP_OFF + 2)),
+            };
+            out.push(SymInsn {
+                code: op::LD_H_ABS,
+                k: first,
+                jt: Target::Next,
+                jf: Target::Next,
+            });
+            match second {
+                None => out.push(SymInsn {
+                    code: op::JEQ_K,
+                    k: u32::from(*num),
+                    jt: Target::Next,
+                    jf: Target::False,
+                }),
+                Some(off2) => {
+                    // match → skip the second comparison.
+                    out.push(SymInsn {
+                        code: op::JEQ_K,
+                        k: u32::from(*num),
+                        jt: Target::True,
+                        jf: Target::Next,
+                    });
+                    out.push(SymInsn {
+                        code: op::LD_H_ABS,
+                        k: off2,
+                        jt: Target::Next,
+                        jf: Target::Next,
+                    });
+                    out.push(SymInsn {
+                        code: op::JEQ_K,
+                        k: u32::from(*num),
+                        jt: Target::Next,
+                        jf: Target::False,
+                    });
+                }
+            }
+        }
+        FilterExpr::And(l, r) => {
+            emit(l, out)?;
+            emit(r, out)?;
+        }
+        FilterExpr::Or(l, r) => {
+            // Layout: [l-fragment][bridge: jump TRUE][r-fragment].
+            // l falls through on match -> the bridge short-circuits TRUE;
+            // l's FALSE exits retarget to the start of r.
+            let base = out.len();
+            emit(l, out)?;
+            let bridge_pc = out.len();
+            let len = bridge_pc - base;
+            for (off, insn) in out[base..].iter_mut().enumerate() {
+                let skip = (len - off) as u8;
+                if matches!(insn.jt, Target::False) {
+                    insn.jt = Target::Skip(skip);
+                }
+                if matches!(insn.jf, Target::False) {
+                    insn.jf = Target::Skip(skip);
+                }
+            }
+            // Unconditional jump (both branches equal) to TRUE.
+            out.push(SymInsn {
+                code: op::JEQ_K,
+                k: 0,
+                jt: Target::True,
+                jf: Target::True,
+            });
+            emit(r, out)?;
+        }
+        FilterExpr::Not(e) => {
+            // Layout: [inner][bridge: jump FALSE]. Inner falls through on
+            // match -> the bridge rejects; inner's FALSE exits (mismatch)
+            // retarget past the bridge = the NOT matched, fall through.
+            // Inner TRUE exits (short-circuit matches) become FALSE.
+            let base = out.len();
+            emit(e, out)?;
+            let bridge_pc = out.len();
+            let len = bridge_pc - base;
+            for (off, insn) in out[base..].iter_mut().enumerate() {
+                let skip = (len - off) as u8;
+                if matches!(insn.jt, Target::True) {
+                    insn.jt = Target::False;
+                } else if matches!(insn.jt, Target::False) {
+                    insn.jt = Target::Skip(skip);
+                }
+                if matches!(insn.jf, Target::True) {
+                    insn.jf = Target::False;
+                } else if matches!(insn.jf, Target::False) {
+                    insn.jf = Target::Skip(skip);
+                }
+            }
+            out.push(SymInsn {
+                code: op::JEQ_K,
+                k: 0,
+                jt: Target::False,
+                jf: Target::False,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Resolves symbolic targets into the final program with an accept/reject
+/// trailer.
+fn link(frag: Vec<SymInsn>) -> RtResult<BpfProgram> {
+    let n = frag.len();
+    // Trailer: [n] = RET 1 (accept), [n+1] = RET 0 (reject).
+    let accept = n;
+    let reject = n + 1;
+    let mut insns = Vec::with_capacity(n + 2);
+    for (pc, s) in frag.iter().enumerate() {
+        let resolve = |t: Target| -> RtResult<u8> {
+            let dst = match t {
+                Target::Next => pc + 1,
+                Target::True => accept,
+                Target::False => reject,
+                Target::Skip(d) => pc + 1 + usize::from(d),
+            };
+            let delta = dst - (pc + 1);
+            u8::try_from(delta).map_err(|_| RtError::value("filter too large for BPF jumps"))
+        };
+        match s.code {
+            op::JEQ_K => insns.push(BpfInsn::jump(
+                op::JEQ_K,
+                s.k,
+                resolve(s.jt)?,
+                resolve(s.jf)?,
+            )),
+            code => insns.push(BpfInsn::stmt(code, s.k)),
+        }
+    }
+    insns.push(BpfInsn::stmt(op::RET_K, 1));
+    insns.push(BpfInsn::stmt(op::RET_K, 0));
+    Ok(BpfProgram { insns })
+}
+
+fn emit_proto(out: &mut Vec<SymInsn>, proto: u32) {
+    out.push(SymInsn {
+        code: op::LD_B_ABS,
+        k: IP_PROTO_OFF,
+        jt: Target::Next,
+        jf: Target::Next,
+    });
+    out.push(SymInsn {
+        code: op::JEQ_K,
+        k: proto,
+        jt: Target::Next,
+        jf: Target::False,
+    });
+}
+
+fn emit_addr_cmp(out: &mut Vec<SymInsn>, dir: Dir, value: u32, mask: u32) -> RtResult<()> {
+    let masked = value & mask;
+    let one = |out: &mut Vec<SymInsn>, off: u32, last_jf: Target| {
+        out.push(SymInsn {
+            code: op::LD_W_ABS,
+            k: off,
+            jt: Target::Next,
+            jf: Target::Next,
+        });
+        if mask != u32::MAX {
+            out.push(SymInsn {
+                code: op::AND_K,
+                k: mask,
+                jt: Target::Next,
+                jf: Target::Next,
+            });
+        }
+        out.push(SymInsn {
+            code: op::JEQ_K,
+            k: masked,
+            jt: Target::Next,
+            jf: last_jf,
+        });
+    };
+    match dir {
+        Dir::Src => one(out, IP_SRC_OFF, Target::False),
+        Dir::Dst => one(out, IP_DST_OFF, Target::False),
+        Dir::Either => {
+            // src match short-circuits to TRUE; else compare dst.
+            out.push(SymInsn {
+                code: op::LD_W_ABS,
+                k: IP_SRC_OFF,
+                jt: Target::Next,
+                jf: Target::Next,
+            });
+            if mask != u32::MAX {
+                out.push(SymInsn {
+                    code: op::AND_K,
+                    k: mask,
+                    jt: Target::Next,
+                    jf: Target::Next,
+                });
+            }
+            out.push(SymInsn {
+                code: op::JEQ_K,
+                k: masked,
+                jt: Target::True,
+                jf: Target::Next,
+            });
+            one(out, IP_DST_OFF, Target::False);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_filter;
+    use hilti_rt::addr::Addr;
+    use netpkt::decode::{build_tcp_frame, build_udp_frame, tcp_flags};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn tcp_frame(src: &str, dst: &str, sport: u16, dport: u16) -> Vec<u8> {
+        build_tcp_frame(a(src), a(dst), sport, dport, 1, 0, tcp_flags::ACK, b"x")
+    }
+
+    fn check(filter: &str, pkt: &[u8]) -> bool {
+        let prog = compile_classic(&parse_filter(filter).unwrap()).unwrap();
+        bpf_filter(&prog, pkt)
+    }
+
+    #[test]
+    fn host_filter() {
+        let p = tcp_frame("192.168.1.1", "8.8.8.8", 1234, 80);
+        assert!(check("host 192.168.1.1", &p));
+        assert!(check("src host 192.168.1.1", &p));
+        assert!(!check("dst host 192.168.1.1", &p));
+        assert!(!check("host 9.9.9.9", &p));
+    }
+
+    #[test]
+    fn net_filter() {
+        let p = tcp_frame("10.0.5.77", "8.8.8.8", 1234, 80);
+        assert!(check("net 10.0.5.0/24", &p));
+        assert!(check("src net 10.0.5.0/24", &p));
+        assert!(!check("dst net 10.0.5.0/24", &p));
+        assert!(!check("net 10.0.6.0/24", &p));
+        assert!(check("net 10.0.0.0/8", &p));
+    }
+
+    #[test]
+    fn port_and_proto() {
+        let tcp = tcp_frame("1.1.1.1", "2.2.2.2", 1234, 80);
+        let udp = build_udp_frame(a("1.1.1.1"), a("2.2.2.2"), 5353, 53, b"q");
+        assert!(check("tcp", &tcp));
+        assert!(!check("udp", &tcp));
+        assert!(check("udp", &udp));
+        assert!(check("port 80", &tcp));
+        assert!(check("dst port 80", &tcp));
+        assert!(!check("src port 80", &tcp));
+        assert!(check("port 53", &udp));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let p = tcp_frame("192.168.1.1", "8.8.8.8", 1234, 80);
+        assert!(check("host 192.168.1.1 or src net 10.0.5.0/24", &p));
+        assert!(check("tcp and port 80", &p));
+        assert!(!check("tcp and port 443", &p));
+        assert!(check("not host 9.9.9.9", &p));
+        assert!(!check("not host 192.168.1.1", &p));
+        assert!(check("not ( port 443 or port 22 )", &p));
+    }
+
+    #[test]
+    fn non_ip_rejected() {
+        let mut arp = vec![0u8; 60];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert!(!check("host 1.2.3.4", &arp));
+        assert!(!check("not host 1.2.3.4", &arp)); // still not IP
+    }
+
+    #[test]
+    fn short_packets_rejected() {
+        let p = tcp_frame("1.1.1.1", "2.2.2.2", 1, 2);
+        assert!(!check("port 80", &p[..20]));
+        assert!(!check("host 1.1.1.1", &[]));
+    }
+
+    #[test]
+    fn agrees_with_reference_on_corpus() {
+        use crate::expr::PacketView;
+        let filters = [
+            "host 192.168.1.1 or src net 10.0.5.0/24",
+            "tcp and dst port 80",
+            "udp",
+            "not ( net 10.0.0.0/8 )",
+            "src host 1.2.3.4 and not dst port 443",
+        ];
+        let mut packets = Vec::new();
+        for i in 0..50u8 {
+            packets.push(tcp_frame(
+                &format!("10.0.{}.{}", i % 6, i + 1),
+                &format!("192.168.1.{}", (i % 3) + 1),
+                1000 + u16::from(i),
+                if i % 2 == 0 { 80 } else { 443 },
+            ));
+        }
+        for f in filters {
+            let expr = parse_filter(f).unwrap();
+            let prog = compile_classic(&expr).unwrap();
+            for pkt in &packets {
+                let d = netpkt::decode::decode_ethernet(&netpkt::RawPacket::new(
+                    hilti_rt::time::Time::ZERO,
+                    pkt.clone(),
+                ))
+                .unwrap();
+                let view = PacketView {
+                    is_ip: true,
+                    proto: Some(match d.transport {
+                        netpkt::Transport::Tcp(_) => 6,
+                        netpkt::Transport::Udp => 17,
+                    }),
+                    src: Some(d.src),
+                    dst: Some(d.dst),
+                    sport: Some(d.sport),
+                    dport: Some(d.dport),
+                };
+                assert_eq!(
+                    bpf_filter(&prog, pkt),
+                    expr.matches(&view),
+                    "filter {f:?}"
+                );
+            }
+        }
+    }
+}

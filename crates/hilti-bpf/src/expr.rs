@@ -1,0 +1,270 @@
+//! BPF filter-expression front end.
+//!
+//! Grammar (tcpdump-style subset):
+//!
+//! ```text
+//! expr  := or
+//! or    := and ('or' and)*
+//! and   := unary ('and' unary)*
+//! unary := 'not' unary | '(' expr ')' | primitive
+//! primitive := [dir] 'host' ADDR
+//!            | [dir] 'net' CIDR
+//!            | [dir] 'port' NUM
+//!            | 'tcp' | 'udp' | 'ip'
+//! dir   := 'src' | 'dst'
+//! ```
+
+use hilti_rt::addr::{Addr, Network};
+use hilti_rt::error::{RtError, RtResult};
+
+/// Direction qualifier of a primitive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    Either,
+    Src,
+    Dst,
+}
+
+/// Parsed filter expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FilterExpr {
+    Host(Dir, Addr),
+    Net(Dir, Network),
+    Port(Dir, u16),
+    Tcp,
+    Udp,
+    Ip,
+    Not(Box<FilterExpr>),
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+}
+
+/// Parses a filter expression.
+pub fn parse_filter(src: &str) -> RtResult<FilterExpr> {
+    let tokens: Vec<&str> = src.split_whitespace().collect();
+    let mut p = P { tokens, pos: 0 };
+    let e = p.or_expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(RtError::value(format!(
+            "trailing tokens in filter: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(e)
+}
+
+struct P<'a> {
+    tokens: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn or_expr(&mut self) -> RtResult<FilterExpr> {
+        let mut left = self.and_expr()?;
+        while self.peek() == Some("or") {
+            self.bump();
+            let right = self.and_expr()?;
+            left = FilterExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> RtResult<FilterExpr> {
+        let mut left = self.unary()?;
+        while self.peek() == Some("and") {
+            self.bump();
+            let right = self.unary()?;
+            left = FilterExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> RtResult<FilterExpr> {
+        match self.peek() {
+            Some("not") => {
+                self.bump();
+                Ok(FilterExpr::Not(Box::new(self.unary()?)))
+            }
+            Some("(") => {
+                self.bump();
+                let e = self.or_expr()?;
+                if self.bump() != Some(")") {
+                    return Err(RtError::value("unbalanced parenthesis in filter"));
+                }
+                Ok(e)
+            }
+            _ => self.primitive(),
+        }
+    }
+
+    fn primitive(&mut self) -> RtResult<FilterExpr> {
+        let dir = match self.peek() {
+            Some("src") => {
+                self.bump();
+                Dir::Src
+            }
+            Some("dst") => {
+                self.bump();
+                Dir::Dst
+            }
+            _ => Dir::Either,
+        };
+        match self.bump() {
+            Some("host") => {
+                let a = self
+                    .bump()
+                    .ok_or_else(|| RtError::value("host needs an address"))?;
+                Ok(FilterExpr::Host(dir, a.parse()?))
+            }
+            Some("net") => {
+                let n = self
+                    .bump()
+                    .ok_or_else(|| RtError::value("net needs a CIDR"))?;
+                Ok(FilterExpr::Net(dir, n.parse()?))
+            }
+            Some("port") => {
+                let p = self
+                    .bump()
+                    .ok_or_else(|| RtError::value("port needs a number"))?;
+                let num: u16 = p
+                    .parse()
+                    .map_err(|_| RtError::value(format!("bad port {p:?}")))?;
+                Ok(FilterExpr::Port(dir, num))
+            }
+            Some("tcp") if dir == Dir::Either => Ok(FilterExpr::Tcp),
+            Some("udp") if dir == Dir::Either => Ok(FilterExpr::Udp),
+            Some("ip") if dir == Dir::Either => Ok(FilterExpr::Ip),
+            other => Err(RtError::value(format!(
+                "unexpected token {other:?} in filter"
+            ))),
+        }
+    }
+}
+
+/// Reference semantics of a filter over a decoded IPv4 frame: used by tests
+/// to validate both engines independently. `None` fields mean the packet
+/// did not decode that far.
+pub struct PacketView {
+    pub is_ip: bool,
+    pub proto: Option<u8>,
+    pub src: Option<Addr>,
+    pub dst: Option<Addr>,
+    pub sport: Option<u16>,
+    pub dport: Option<u16>,
+}
+
+impl FilterExpr {
+    /// Reference evaluation (oracle).
+    pub fn matches(&self, p: &PacketView) -> bool {
+        match self {
+            FilterExpr::Ip => p.is_ip,
+            FilterExpr::Tcp => p.proto == Some(6),
+            FilterExpr::Udp => p.proto == Some(17),
+            FilterExpr::Host(dir, a) => match dir {
+                Dir::Src => p.src == Some(*a),
+                Dir::Dst => p.dst == Some(*a),
+                Dir::Either => p.src == Some(*a) || p.dst == Some(*a),
+            },
+            FilterExpr::Net(dir, n) => {
+                let hit = |x: &Option<Addr>| x.map(|a| n.contains(&a)).unwrap_or(false);
+                match dir {
+                    Dir::Src => hit(&p.src),
+                    Dir::Dst => hit(&p.dst),
+                    Dir::Either => hit(&p.src) || hit(&p.dst),
+                }
+            }
+            FilterExpr::Port(dir, num) => match dir {
+                Dir::Src => p.sport == Some(*num),
+                Dir::Dst => p.dport == Some(*num),
+                Dir::Either => p.sport == Some(*num) || p.dport == Some(*num),
+            },
+            FilterExpr::Not(e) => !e.matches(p),
+            FilterExpr::And(a, b) => a.matches(p) && b.matches(p),
+            FilterExpr::Or(a, b) => a.matches(p) || b.matches(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_filter_parses() {
+        // The §6.2 filter: `host 192.168.1.1 or src net 10.0.5.0/24`.
+        let e = parse_filter("host 192.168.1.1 or src net 10.0.5.0/24").unwrap();
+        match e {
+            FilterExpr::Or(l, r) => {
+                assert!(matches!(*l, FilterExpr::Host(Dir::Either, _)));
+                assert!(matches!(*r, FilterExpr::Net(Dir::Src, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter() {
+        let e = parse_filter("tcp and port 80 or udp").unwrap();
+        assert!(matches!(e, FilterExpr::Or(_, _)));
+        if let FilterExpr::Or(l, _) = e {
+            assert!(matches!(*l, FilterExpr::And(_, _)));
+        }
+    }
+
+    #[test]
+    fn parens_and_not() {
+        let e = parse_filter("not ( host 1.2.3.4 or host 5.6.7.8 )").unwrap();
+        assert!(matches!(e, FilterExpr::Not(_)));
+    }
+
+    #[test]
+    fn directions() {
+        assert!(matches!(
+            parse_filter("src port 80").unwrap(),
+            FilterExpr::Port(Dir::Src, 80)
+        ));
+        assert!(matches!(
+            parse_filter("dst host 10.0.0.1").unwrap(),
+            FilterExpr::Host(Dir::Dst, _)
+        ));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_filter("host").is_err());
+        assert!(parse_filter("net notanet").is_err());
+        assert!(parse_filter("( tcp").is_err());
+        assert!(parse_filter("tcp garbage").is_err());
+        assert!(parse_filter("port http").is_err());
+    }
+
+    #[test]
+    fn reference_semantics() {
+        let e = parse_filter("host 192.168.1.1 or src net 10.0.5.0/24").unwrap();
+        let mk = |src: &str, dst: &str| PacketView {
+            is_ip: true,
+            proto: Some(6),
+            src: Some(src.parse().unwrap()),
+            dst: Some(dst.parse().unwrap()),
+            sport: Some(1234),
+            dport: Some(80),
+        };
+        assert!(e.matches(&mk("192.168.1.1", "8.8.8.8")));
+        assert!(e.matches(&mk("8.8.8.8", "192.168.1.1")));
+        assert!(e.matches(&mk("10.0.5.99", "8.8.8.8")));
+        assert!(!e.matches(&mk("8.8.8.8", "10.0.5.99"))); // dst, not src
+        assert!(!e.matches(&mk("8.8.8.8", "9.9.9.9")));
+    }
+}

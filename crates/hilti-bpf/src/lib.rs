@@ -1,0 +1,26 @@
+//! # hilti-bpf — a BPF-style packet filter engine on HILTI (§4, §6.2)
+//!
+//! The paper's first host application: a compiler for Berkeley Packet
+//! Filter expressions. "BPF traditionally translates filters into code for
+//! its custom internal stack machine, which it then interprets at runtime.
+//! Compiling filters into native code via HILTI avoids the overhead of
+//! interpreting."
+//!
+//! Three pieces:
+//! * [`expr`] — the filter-expression front end (`host 192.168.1.1 or src
+//!   net 10.0.5.0/24`).
+//! * [`classic`] — classic BPF: the McCanne/Jacobson accumulator machine
+//!   instruction set, a code generator for it, and its interpreter — the
+//!   baseline §6.2 compares against.
+//! * [`compile`] — the HILTI backend: filters become HILTI functions over
+//!   the `IP::Header` overlay (Figure 4), compiled and run by the VM.
+//!
+//! Like the paper's proof of concept, the engine covers IPv4 header
+//! conditions (hosts, nets, ports, protocols, boolean combinations).
+
+pub mod classic;
+pub mod compile;
+pub mod expr;
+
+pub use compile::HiltiFilter;
+pub use expr::{parse_filter, FilterExpr};

@@ -1,0 +1,520 @@
+//! HILTI's `bytes` type: an appendable, freezable byte string with
+//! position-stable iterators (§3.2 "Rich Data Types").
+//!
+//! `bytes` is the input type of every HILTI-based parser. Its distinguishing
+//! feature is *incremental* growth: a host application appends chunks of
+//! payload as they arrive on the wire, and parsing code holds iterators into
+//! the string that remain valid across appends. Reading past the currently
+//! available data yields [`RtError::would_block`] while the string is still
+//! open — which is the signal that makes a BinPAC++ parser suspend its fiber
+//! — and `Hilti::IndexError` once the string has been frozen (no more data
+//! will ever arrive).
+//!
+//! Iterators address *logical* offsets from the beginning of the stream, so
+//! they stay meaningful even after `trim()` has released already-parsed data,
+//! which is what bounds parser memory on long-lived connections.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::{RtError, RtResult};
+
+#[derive(Debug)]
+struct Inner {
+    /// Data from logical offset `base` onward.
+    buf: Vec<u8>,
+    /// Logical offset of `buf[0]` within the whole stream.
+    base: u64,
+    /// Once frozen, no further appends; reads past the end raise IndexError
+    /// instead of WouldBlock.
+    frozen: bool,
+}
+
+/// An appendable, freezable byte string with stable logical offsets.
+///
+/// Cloning a `Bytes` yields a second handle to the *same* underlying string
+/// (reference semantics, like HILTI's `ref<bytes>`). Use [`Bytes::deep_copy`]
+/// for value-semantics copies, e.g. when sending across a channel.
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Rc<RefCell<Inner>>,
+}
+
+/// A position within a [`Bytes`] string: the logical offset plus a handle to
+/// the string, so iterators survive appends and trims.
+#[derive(Clone)]
+pub struct BytesIter {
+    bytes: Bytes,
+    offset: u64,
+}
+
+impl Bytes {
+    /// Creates an empty, open (appendable) byte string.
+    pub fn new() -> Self {
+        Bytes {
+            inner: Rc::new(RefCell::new(Inner {
+                buf: Vec::new(),
+                base: 0,
+                frozen: false,
+            })),
+        }
+    }
+
+    /// Creates a byte string from existing data, still open for appends.
+    pub fn from_slice(data: &[u8]) -> Self {
+        let b = Bytes::new();
+        b.append(data).expect("fresh Bytes cannot be frozen");
+        b
+    }
+
+    /// Creates a frozen byte string from existing data (a complete PDU).
+    pub fn frozen_from_slice(data: &[u8]) -> Self {
+        let b = Bytes::from_slice(data);
+        b.freeze();
+        b
+    }
+
+    /// Appends a chunk of data. Fails if the string has been frozen.
+    pub fn append(&self, data: &[u8]) -> RtResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.frozen {
+            return Err(RtError::frozen("append to frozen bytes"));
+        }
+        inner.buf.extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Marks the string complete: no further data will arrive.
+    pub fn freeze(&self) {
+        self.inner.borrow_mut().frozen = true;
+    }
+
+    /// Reopens a frozen string (used by tests and by hosts that recycle
+    /// buffers; HILTI exposes this as `bytes.unfreeze`).
+    pub fn unfreeze(&self) {
+        self.inner.borrow_mut().frozen = false;
+    }
+
+    pub fn is_frozen(&self) -> bool {
+        self.inner.borrow().frozen
+    }
+
+    /// Number of bytes currently available (excluding trimmed data).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical offset one past the last available byte.
+    pub fn end_offset(&self) -> u64 {
+        let inner = self.inner.borrow();
+        inner.base + inner.buf.len() as u64
+    }
+
+    /// Logical offset of the first retained byte.
+    pub fn begin_offset(&self) -> u64 {
+        self.inner.borrow().base
+    }
+
+    /// Iterator at the first retained byte.
+    pub fn begin(&self) -> BytesIter {
+        BytesIter {
+            bytes: self.clone(),
+            offset: self.begin_offset(),
+        }
+    }
+
+    /// Iterator one past the currently available data. Note that for an
+    /// open string this position *moves* as data is appended; HILTI parsing
+    /// code treats it as "the frontier", not a fixed end.
+    pub fn end(&self) -> BytesIter {
+        BytesIter {
+            bytes: self.clone(),
+            offset: self.end_offset(),
+        }
+    }
+
+    /// Iterator at an absolute logical offset (no bounds check; checking
+    /// happens on dereference, as HILTI's iterator semantics prescribe).
+    pub fn iter_at(&self, offset: u64) -> BytesIter {
+        BytesIter {
+            bytes: self.clone(),
+            offset,
+        }
+    }
+
+    /// Reads one byte at a logical offset.
+    pub fn at(&self, offset: u64) -> RtResult<u8> {
+        let inner = self.inner.borrow();
+        if offset < inner.base {
+            return Err(RtError::index(format!(
+                "offset {offset} before trimmed base {}",
+                inner.base
+            )));
+        }
+        let rel = (offset - inner.base) as usize;
+        if rel >= inner.buf.len() {
+            if inner.frozen {
+                Err(RtError::index(format!(
+                    "offset {offset} past frozen end {}",
+                    inner.base + inner.buf.len() as u64
+                )))
+            } else {
+                Err(RtError::would_block())
+            }
+        } else {
+            Ok(inner.buf[rel])
+        }
+    }
+
+    /// Copies out `[from, to)` as a `Vec<u8>`. All requested data must be
+    /// available; otherwise WouldBlock/IndexError as for [`Bytes::at`].
+    pub fn extract(&self, from: u64, to: u64) -> RtResult<Vec<u8>> {
+        if to < from {
+            return Err(RtError::value(format!("bad range {from}..{to}")));
+        }
+        let inner = self.inner.borrow();
+        if from < inner.base {
+            return Err(RtError::index("range begins before trimmed base"));
+        }
+        let end = inner.base + inner.buf.len() as u64;
+        if to > end {
+            return if inner.frozen {
+                Err(RtError::index("range extends past frozen end"))
+            } else {
+                Err(RtError::would_block())
+            };
+        }
+        let a = (from - inner.base) as usize;
+        let b = (to - inner.base) as usize;
+        Ok(inner.buf[a..b].to_vec())
+    }
+
+    /// Calls `f` with the contiguous slice of available data starting at
+    /// `from` (empty if `from` is at/past the frontier). This is the
+    /// zero-copy path used by the regexp engine and unpack primitives.
+    pub fn with_available<R>(&self, from: u64, f: impl FnOnce(&[u8]) -> R) -> RtResult<R> {
+        let inner = self.inner.borrow();
+        if from < inner.base {
+            return Err(RtError::index("offset before trimmed base"));
+        }
+        let rel = ((from - inner.base) as usize).min(inner.buf.len());
+        Ok(f(&inner.buf[rel..]))
+    }
+
+    /// Releases all data before `offset`, keeping logical offsets stable.
+    /// Iterators pointing before `offset` become invalid (dereferencing
+    /// them raises `Hilti::IndexError`).
+    pub fn trim(&self, offset: u64) -> RtResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        if offset <= inner.base {
+            return Ok(());
+        }
+        let end = inner.base + inner.buf.len() as u64;
+        if offset > end {
+            return Err(RtError::index("trim past end of data"));
+        }
+        let n = (offset - inner.base) as usize;
+        inner.buf.drain(..n);
+        inner.base = offset;
+        Ok(())
+    }
+
+    /// Finds the first occurrence of `needle` at or after `from`, returning
+    /// the logical offset of its first byte. `Ok(None)` means "not found in
+    /// the frozen remainder"; WouldBlock means "not found *yet*" (an open
+    /// string where a later append could still complete a match).
+    pub fn find(&self, from: u64, needle: &[u8]) -> RtResult<Option<u64>> {
+        if needle.is_empty() {
+            return Ok(Some(from));
+        }
+        let inner = self.inner.borrow();
+        if from < inner.base {
+            return Err(RtError::index("search start before trimmed base"));
+        }
+        let rel = ((from - inner.base) as usize).min(inner.buf.len());
+        let hay = &inner.buf[rel..];
+        if let Some(pos) = hay
+            .windows(needle.len())
+            .position(|w| w == needle)
+        {
+            return Ok(Some(from + pos as u64));
+        }
+        if inner.frozen {
+            Ok(None)
+        } else {
+            Err(RtError::would_block())
+        }
+    }
+
+    /// Full contents currently retained, as a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.borrow().buf.clone()
+    }
+
+    /// A value-semantics copy (used when crossing thread boundaries).
+    pub fn deep_copy(&self) -> Bytes {
+        let inner = self.inner.borrow();
+        let b = Bytes::new();
+        {
+            let mut bi = b.inner.borrow_mut();
+            bi.buf = inner.buf.clone();
+            bi.base = inner.base;
+            bi.frozen = inner.frozen;
+        }
+        b
+    }
+
+    /// Identity comparison: do two handles refer to the same string?
+    pub fn same(&self, other: &Bytes) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    /// Content equality over the retained data, like HILTI's `bytes` equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.same(other) || self.inner.borrow().buf == other.inner.borrow().buf
+    }
+}
+
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(f, "b\"")?;
+        for &b in inner.buf.iter().take(64) {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if inner.buf.len() > 64 {
+            write!(f, "...({} bytes)", inner.buf.len())?;
+        }
+        write!(f, "\"")?;
+        if inner.frozen {
+            write!(f, " (frozen)")?;
+        }
+        Ok(())
+    }
+}
+
+impl BytesIter {
+    /// The logical offset this iterator addresses.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The underlying string.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Dereferences the iterator, raising WouldBlock/IndexError as for
+    /// [`Bytes::at`].
+    pub fn deref(&self) -> RtResult<u8> {
+        self.bytes.at(self.offset)
+    }
+
+    /// True once the iterator sits at the frontier of a *frozen* string —
+    /// i.e. there is definitively no more data.
+    pub fn at_frozen_end(&self) -> bool {
+        self.bytes.is_frozen() && self.offset >= self.bytes.end_offset()
+    }
+
+    /// True if dereferencing would currently block (open string, no data yet).
+    pub fn would_block(&self) -> bool {
+        !self.bytes.is_frozen() && self.offset >= self.bytes.end_offset()
+    }
+
+    /// Advances by `n` positions (no bounds check until dereference).
+    pub fn advance(&self, n: u64) -> BytesIter {
+        BytesIter {
+            bytes: self.bytes.clone(),
+            offset: self.offset + n,
+        }
+    }
+
+    /// Distance to another iterator over the same string.
+    pub fn distance(&self, other: &BytesIter) -> RtResult<u64> {
+        if !self.bytes.same(&other.bytes) {
+            return Err(RtError::new(
+                crate::error::ExceptionKind::InvalidIterator,
+                "iterators over different bytes objects",
+            ));
+        }
+        other
+            .offset
+            .checked_sub(self.offset)
+            .ok_or_else(|| RtError::value("negative iterator distance"))
+    }
+}
+
+impl fmt::Debug for BytesIter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesIter@{}", self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ExceptionKind;
+
+    #[test]
+    fn append_and_read() {
+        let b = Bytes::new();
+        b.append(b"hello").unwrap();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.at(0).unwrap(), b'h');
+        assert_eq!(b.at(4).unwrap(), b'o');
+    }
+
+    #[test]
+    fn read_past_open_end_would_block() {
+        let b = Bytes::from_slice(b"ab");
+        assert_eq!(b.at(2).unwrap_err().kind, ExceptionKind::WouldBlock);
+        b.append(b"c").unwrap();
+        assert_eq!(b.at(2).unwrap(), b'c');
+    }
+
+    #[test]
+    fn read_past_frozen_end_is_index_error() {
+        let b = Bytes::frozen_from_slice(b"ab");
+        assert_eq!(b.at(2).unwrap_err().kind, ExceptionKind::IndexError);
+    }
+
+    #[test]
+    fn append_after_freeze_fails() {
+        let b = Bytes::frozen_from_slice(b"x");
+        assert_eq!(b.append(b"y").unwrap_err().kind, ExceptionKind::Frozen);
+        b.unfreeze();
+        b.append(b"y").unwrap();
+        assert_eq!(b.to_vec(), b"xy");
+    }
+
+    #[test]
+    fn iterators_survive_appends() {
+        let b = Bytes::from_slice(b"GET ");
+        let it = b.begin().advance(4);
+        assert!(it.would_block());
+        b.append(b"/index.html").unwrap();
+        assert_eq!(it.deref().unwrap(), b'/');
+        assert!(!it.would_block());
+    }
+
+    #[test]
+    fn trim_keeps_logical_offsets() {
+        let b = Bytes::from_slice(b"0123456789");
+        b.trim(4).unwrap();
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.at(4).unwrap(), b'4');
+        assert_eq!(b.at(3).unwrap_err().kind, ExceptionKind::IndexError);
+        assert_eq!(b.begin_offset(), 4);
+        // Extraction across the retained region still works.
+        assert_eq!(b.extract(5, 8).unwrap(), b"567");
+    }
+
+    #[test]
+    fn trim_is_idempotent_backwards() {
+        let b = Bytes::from_slice(b"abcdef");
+        b.trim(3).unwrap();
+        b.trim(2).unwrap(); // no-op, already trimmed past
+        assert_eq!(b.begin_offset(), 3);
+        assert!(b.trim(100).is_err());
+    }
+
+    #[test]
+    fn extract_range_checks() {
+        let b = Bytes::from_slice(b"abcdef");
+        assert_eq!(b.extract(1, 4).unwrap(), b"bcd");
+        assert_eq!(b.extract(4, 9).unwrap_err().kind, ExceptionKind::WouldBlock);
+        b.freeze();
+        assert_eq!(b.extract(4, 9).unwrap_err().kind, ExceptionKind::IndexError);
+        assert!(b.extract(4, 2).is_err());
+    }
+
+    #[test]
+    fn find_semantics() {
+        let b = Bytes::from_slice(b"abc\r\ndef");
+        assert_eq!(b.find(0, b"\r\n").unwrap(), Some(3));
+        assert_eq!(b.find(4, b"\r\n").unwrap_err().kind, ExceptionKind::WouldBlock);
+        b.freeze();
+        assert_eq!(b.find(4, b"\r\n").unwrap(), None);
+        assert_eq!(b.find(0, b"").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn find_after_trim() {
+        let b = Bytes::from_slice(b"xxxxneedle");
+        b.trim(2).unwrap();
+        assert_eq!(b.find(2, b"needle").unwrap(), Some(4));
+        assert!(b.find(0, b"n").is_err());
+    }
+
+    #[test]
+    fn deep_copy_is_independent() {
+        let a = Bytes::from_slice(b"abc");
+        let b = a.deep_copy();
+        assert_eq!(a, b);
+        assert!(!a.same(&b));
+        b.append(b"d").unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn clone_is_shared() {
+        let a = Bytes::from_slice(b"abc");
+        let b = a.clone();
+        assert!(a.same(&b));
+        b.append(b"d").unwrap();
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn iter_distance() {
+        let b = Bytes::from_slice(b"hello world");
+        let i = b.begin();
+        let j = i.advance(5);
+        assert_eq!(i.distance(&j).unwrap(), 5);
+        assert!(j.distance(&i).is_err());
+        let other = Bytes::from_slice(b"x");
+        assert!(i.distance(&other.begin()).is_err());
+    }
+
+    #[test]
+    fn with_available_window() {
+        let b = Bytes::from_slice(b"0123456789");
+        b.trim(2).unwrap();
+        let got = b.with_available(5, |s| s.to_vec()).unwrap();
+        assert_eq!(got, b"56789");
+        let empty = b.with_available(99, |s| s.len()).unwrap();
+        assert_eq!(empty, 0);
+    }
+
+    #[test]
+    fn frontier_end_iterator_moves() {
+        let b = Bytes::from_slice(b"ab");
+        let end = b.end();
+        assert_eq!(end.offset(), 2);
+        b.append(b"cd").unwrap();
+        // A freshly taken end reflects growth; the old iterator now points
+        // at valid data (the frontier moved past it).
+        assert_eq!(b.end().offset(), 4);
+        assert_eq!(end.deref().unwrap(), b'c');
+    }
+}

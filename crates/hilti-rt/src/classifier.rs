@@ -1,0 +1,468 @@
+//! ACL-style packet classification — HILTI's `classifier` type (§3.2).
+//!
+//! A classifier stores rules keyed by tuples of matchable fields (CIDR
+//! networks, ports, exact integers, wildcards) and returns the value of the
+//! highest-priority matching rule. The paper's prototype "implements the
+//! classifier type as a linked list internally, which does not scale with
+//! larger numbers of rules" and notes it would be "straightforward to later
+//! transparently switch to a better data structure" (§5). We implement both:
+//! the faithful [`Backend::LinearScan`] baseline and a
+//! [`Backend::FieldIndexed`] variant that prunes candidates through a
+//! per-field prefix index — the ablation benchmark A2 compares them.
+//!
+//! Usage mirrors the paper's firewall (Figure 5): `add` rules, `compile()`
+//! to freeze, then `get`/`matches` per packet.
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, Network, Port};
+use crate::error::{RtError, RtResult};
+
+/// One matchable field of a rule key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldMatcher {
+    /// CIDR prefix match on an address field.
+    Net(Network),
+    /// Exact address (sugar for a host network).
+    Host(Addr),
+    /// Exact port (number and protocol).
+    Port(Port),
+    /// Exact integer.
+    Int(u64),
+    /// Matches anything (the `*` in Figure 5).
+    Wildcard,
+}
+
+/// One field of a lookup key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldValue {
+    Addr(Addr),
+    Port(Port),
+    Int(u64),
+}
+
+impl FieldMatcher {
+    /// Does this matcher cover `value`? Type mismatches simply don't match
+    /// (the HILTI type checker rules them out statically; at runtime we stay
+    /// conservative).
+    pub fn matches(&self, value: &FieldValue) -> bool {
+        match (self, value) {
+            (FieldMatcher::Wildcard, _) => true,
+            (FieldMatcher::Net(n), FieldValue::Addr(a)) => n.contains(a),
+            (FieldMatcher::Host(h), FieldValue::Addr(a)) => h == a,
+            (FieldMatcher::Port(p), FieldValue::Port(q)) => p == q,
+            (FieldMatcher::Int(i), FieldValue::Int(j)) => i == j,
+            _ => false,
+        }
+    }
+
+    /// Specificity for default priorities: more specific rules win. Network
+    /// matchers score by prefix length, exact matchers max out, wildcards
+    /// score zero.
+    fn specificity(&self) -> u32 {
+        match self {
+            FieldMatcher::Wildcard => 0,
+            FieldMatcher::Net(n) => u32::from(n.len()),
+            FieldMatcher::Host(_) => 128,
+            FieldMatcher::Port(_) | FieldMatcher::Int(_) => 128,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Rule<V> {
+    fields: Vec<FieldMatcher>,
+    value: V,
+    /// Higher wins; ties broken by insertion order (first added wins),
+    /// which reproduces the paper's "applied in order of specification".
+    priority: i64,
+    seq: usize,
+}
+
+/// Which lookup structure a compiled classifier uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Backend {
+    /// The paper's baseline: scan rules in priority order.
+    #[default]
+    LinearScan,
+    /// Candidate pruning through a per-field index on the first address
+    /// field (prefix buckets), falling back to the scan for the survivors.
+    FieldIndexed,
+}
+
+/// A priority-rule classifier mapping field tuples to values.
+pub struct Classifier<V> {
+    rules: Vec<Rule<V>>,
+    arity: Option<usize>,
+    compiled: bool,
+    backend: Backend,
+    /// FieldIndexed: rules bucketed by the first field's /16-masked prefix
+    /// (IPv4) or /32-masked prefix (IPv6); rules whose first field cannot
+    /// prune (wildcards, short prefixes, non-address) live in `always`.
+    index: HashMap<u128, Vec<usize>>,
+    always: Vec<usize>,
+}
+
+/// Prefix granularity of the FieldIndexed bucket key.
+const INDEX_BITS_V4: u8 = 16;
+const INDEX_BITS_V6: u8 = 32;
+
+impl<V: Clone> Classifier<V> {
+    pub fn new() -> Self {
+        Classifier {
+            rules: Vec::new(),
+            arity: None,
+            compiled: false,
+            backend: Backend::default(),
+            index: HashMap::new(),
+            always: Vec::new(),
+        }
+    }
+
+    pub fn with_backend(backend: Backend) -> Self {
+        let mut c = Self::new();
+        c.backend = backend;
+        c
+    }
+
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Adds a rule with the default priority (field specificity, so more
+    /// specific rules shadow broader ones; equal specificity keeps
+    /// specification order, as in Figure 5).
+    pub fn add(&mut self, fields: Vec<FieldMatcher>, value: V) -> RtResult<()> {
+        let prio = fields.iter().map(|f| i64::from(f.specificity())).sum();
+        self.add_with_priority(fields, value, prio)
+    }
+
+    /// Adds a rule with an explicit priority (higher wins).
+    pub fn add_with_priority(
+        &mut self,
+        fields: Vec<FieldMatcher>,
+        value: V,
+        priority: i64,
+    ) -> RtResult<()> {
+        if self.compiled {
+            return Err(RtError::frozen("classifier already compiled"));
+        }
+        match self.arity {
+            None => self.arity = Some(fields.len()),
+            Some(a) if a != fields.len() => {
+                return Err(RtError::value(format!(
+                    "rule arity {} does not match classifier arity {a}",
+                    fields.len()
+                )))
+            }
+            _ => {}
+        }
+        let seq = self.rules.len();
+        self.rules.push(Rule {
+            fields,
+            value,
+            priority,
+            seq,
+        });
+        Ok(())
+    }
+
+    /// Freezes the rule set and builds the lookup structure
+    /// (`classifier.compile` in HILTI).
+    pub fn compile(&mut self) {
+        if self.compiled {
+            return;
+        }
+        self.compiled = true;
+        // Priority order: higher priority first, then specification order.
+        self.rules
+            .sort_by(|a, b| b.priority.cmp(&a.priority).then(a.seq.cmp(&b.seq)));
+        if self.backend == Backend::FieldIndexed {
+            for (i, rule) in self.rules.iter().enumerate() {
+                match rule.fields.first() {
+                    Some(FieldMatcher::Net(n)) if n.prefix().is_v4() && n.len() >= INDEX_BITS_V4 => {
+                        let key = n.prefix().mask(INDEX_BITS_V4).raw();
+                        self.index.entry(key).or_default().push(i);
+                    }
+                    Some(FieldMatcher::Net(n)) if n.prefix().is_v6() && n.len() >= INDEX_BITS_V6 => {
+                        let key = n.prefix().mask(INDEX_BITS_V6).raw();
+                        self.index.entry(key).or_default().push(i);
+                    }
+                    Some(FieldMatcher::Host(a)) => {
+                        let bits = if a.is_v4() { INDEX_BITS_V4 } else { INDEX_BITS_V6 };
+                        let key = a.mask(bits).raw();
+                        self.index.entry(key).or_default().push(i);
+                    }
+                    _ => self.always.push(i),
+                }
+            }
+        }
+    }
+
+    pub fn is_compiled(&self) -> bool {
+        self.compiled
+    }
+
+    fn rule_matches(rule: &Rule<V>, key: &[FieldValue]) -> bool {
+        rule.fields.len() == key.len()
+            && rule.fields.iter().zip(key).all(|(f, v)| f.matches(v))
+    }
+
+    /// Returns the value of the best-matching rule, or `IndexError` if no
+    /// rule matches (mirroring `classifier.get` raising `Hilti::IndexError`,
+    /// Figure 5).
+    pub fn get(&self, key: &[FieldValue]) -> RtResult<V> {
+        self.matches(key)
+            .ok_or_else(|| RtError::index("no matching rule"))
+    }
+
+    /// Returns the best-matching rule's value, if any.
+    pub fn matches(&self, key: &[FieldValue]) -> Option<V> {
+        debug_assert!(self.compiled, "lookup before compile()");
+        match self.backend {
+            Backend::LinearScan => self
+                .rules
+                .iter()
+                .find(|r| Self::rule_matches(r, key))
+                .map(|r| r.value.clone()),
+            Backend::FieldIndexed => {
+                // `rules` is sorted by priority, so the matching rule with
+                // the lowest index wins.
+                let mut best: Option<usize> = None;
+                let mut consider = |idx: usize| {
+                    if best.is_none_or(|b| idx < b)
+                        && Self::rule_matches(&self.rules[idx], key)
+                    {
+                        best = Some(idx);
+                    }
+                };
+                if let Some(FieldValue::Addr(a)) = key.first() {
+                    let bits = if a.is_v4() { INDEX_BITS_V4 } else { INDEX_BITS_V6 };
+                    if let Some(bucket) = self.index.get(&a.mask(bits).raw()) {
+                        bucket.iter().for_each(|&i| consider(i));
+                    }
+                }
+                self.always.iter().for_each(|&i| consider(i));
+                best.map(|i| self.rules[i].value.clone())
+            }
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for Classifier<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Classifier {{ rules: {}, backend: {:?}, compiled: {} }}",
+            self.rules.len(),
+            self.backend,
+            self.compiled
+        )
+    }
+}
+
+impl<V: Clone> Default for Classifier<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> FieldMatcher {
+        FieldMatcher::Net(s.parse().unwrap())
+    }
+
+    fn akey(s: &str) -> FieldValue {
+        FieldValue::Addr(s.parse().unwrap())
+    }
+
+    /// The rule set from Figure 5 of the paper.
+    fn figure5(backend: Backend) -> Classifier<bool> {
+        let mut c = Classifier::with_backend(backend);
+        c.add(vec![net("10.3.2.1/32"), net("10.1.0.0/16")], true)
+            .unwrap();
+        c.add(vec![net("10.12.0.0/16"), net("10.1.0.0/16")], false)
+            .unwrap();
+        c.add(vec![net("10.1.6.0/24"), FieldMatcher::Wildcard], true)
+            .unwrap();
+        c.add(vec![net("10.1.7.0/24"), FieldMatcher::Wildcard], true)
+            .unwrap();
+        c.compile();
+        c
+    }
+
+    #[test]
+    fn figure5_semantics_linear() {
+        let c = figure5(Backend::LinearScan);
+        assert!(c.get(&[akey("10.3.2.1"), akey("10.1.99.1")]).unwrap());
+        assert!(!c.get(&[akey("10.12.5.5"), akey("10.1.0.1")]).unwrap());
+        assert!(c.get(&[akey("10.1.6.100"), akey("8.8.8.8")]).unwrap());
+        assert!(c.get(&[akey("10.1.7.1"), akey("1.2.3.4")]).unwrap());
+        // No rule: IndexError, the firewall's default-deny path.
+        assert!(c.get(&[akey("172.16.0.1"), akey("10.1.0.1")]).is_err());
+    }
+
+    #[test]
+    fn backends_agree_on_figure5() {
+        let lin = figure5(Backend::LinearScan);
+        let idx = figure5(Backend::FieldIndexed);
+        let probes = [
+            ("10.3.2.1", "10.1.99.1"),
+            ("10.12.5.5", "10.1.0.1"),
+            ("10.1.6.100", "8.8.8.8"),
+            ("10.1.7.1", "1.2.3.4"),
+            ("172.16.0.1", "10.1.0.1"),
+            ("10.3.2.2", "10.1.0.1"),
+            ("10.12.1.1", "10.2.0.1"),
+        ];
+        for (s, d) in probes {
+            assert_eq!(
+                lin.matches(&[akey(s), akey(d)]),
+                idx.matches(&[akey(s), akey(d)]),
+                "probe ({s},{d})"
+            );
+        }
+    }
+
+    #[test]
+    fn specificity_priority() {
+        let mut c = Classifier::new();
+        c.add(vec![net("10.0.0.0/8")], "broad").unwrap();
+        c.add(vec![net("10.1.0.0/16")], "narrow").unwrap();
+        c.compile();
+        assert_eq!(c.matches(&[akey("10.1.2.3")]), Some("narrow"));
+        assert_eq!(c.matches(&[akey("10.2.2.3")]), Some("broad"));
+    }
+
+    #[test]
+    fn explicit_priority_overrides() {
+        let mut c = Classifier::new();
+        c.add_with_priority(vec![net("10.0.0.0/8")], "broad-high", 1000)
+            .unwrap();
+        c.add_with_priority(vec![net("10.1.0.0/16")], "narrow-low", 1)
+            .unwrap();
+        c.compile();
+        assert_eq!(c.matches(&[akey("10.1.2.3")]), Some("broad-high"));
+    }
+
+    #[test]
+    fn insertion_order_breaks_ties() {
+        let mut c = Classifier::new();
+        c.add_with_priority(vec![FieldMatcher::Wildcard], "first", 0)
+            .unwrap();
+        c.add_with_priority(vec![FieldMatcher::Wildcard], "second", 0)
+            .unwrap();
+        c.compile();
+        assert_eq!(c.matches(&[akey("1.2.3.4")]), Some("first"));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut c = Classifier::new();
+        c.add(vec![FieldMatcher::Wildcard, FieldMatcher::Wildcard], 1)
+            .unwrap();
+        assert!(c.add(vec![FieldMatcher::Wildcard], 2).is_err());
+    }
+
+    #[test]
+    fn add_after_compile_fails() {
+        let mut c = Classifier::new();
+        c.add(vec![FieldMatcher::Wildcard], 1).unwrap();
+        c.compile();
+        assert!(c.add(vec![FieldMatcher::Wildcard], 2).is_err());
+    }
+
+    #[test]
+    fn port_and_int_fields() {
+        let mut c = Classifier::new();
+        c.add(
+            vec![FieldMatcher::Port(Port::tcp(80)), FieldMatcher::Int(4)],
+            "web4",
+        )
+        .unwrap();
+        c.add(
+            vec![FieldMatcher::Port(Port::tcp(80)), FieldMatcher::Wildcard],
+            "web",
+        )
+        .unwrap();
+        c.compile();
+        assert_eq!(
+            c.matches(&[FieldValue::Port(Port::tcp(80)), FieldValue::Int(4)]),
+            Some("web4")
+        );
+        assert_eq!(
+            c.matches(&[FieldValue::Port(Port::tcp(80)), FieldValue::Int(6)]),
+            Some("web")
+        );
+        assert_eq!(
+            c.matches(&[FieldValue::Port(Port::udp(80)), FieldValue::Int(4)]),
+            None
+        );
+    }
+
+    #[test]
+    fn wildcard_type_tolerance() {
+        // A wildcard matches values of any type.
+        assert!(FieldMatcher::Wildcard.matches(&FieldValue::Int(7)));
+        // Typed matchers never match mistyped values.
+        assert!(!FieldMatcher::Port(Port::tcp(80)).matches(&FieldValue::Int(80)));
+    }
+
+    #[test]
+    fn backends_agree_on_large_ruleset() {
+        let mut lin = Classifier::with_backend(Backend::LinearScan);
+        let mut idx = Classifier::with_backend(Backend::FieldIndexed);
+        for i in 0..200u32 {
+            let net_s = format!("10.{}.{}.0/24", i % 16, i % 256);
+            let action = i % 3 == 0;
+            lin.add(vec![net(&net_s), FieldMatcher::Wildcard], action)
+                .unwrap();
+            idx.add(vec![net(&net_s), FieldMatcher::Wildcard], action)
+                .unwrap();
+        }
+        // Plus a catch-all with low priority.
+        lin.add_with_priority(
+            vec![FieldMatcher::Wildcard, FieldMatcher::Wildcard],
+            true,
+            -1,
+        )
+        .unwrap();
+        idx.add_with_priority(
+            vec![FieldMatcher::Wildcard, FieldMatcher::Wildcard],
+            true,
+            -1,
+        )
+        .unwrap();
+        lin.compile();
+        idx.compile();
+        for i in 0..500u32 {
+            let probe = [
+                FieldValue::Addr(Addr::v4(10, (i % 20) as u8, (i % 250) as u8, 1)),
+                FieldValue::Addr(Addr::v4(192, 168, 0, 1)),
+            ];
+            assert_eq!(lin.matches(&probe), idx.matches(&probe), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn v6_rules() {
+        let mut c = Classifier::new();
+        c.add(vec![net("2001:db8::/32")], "doc").unwrap();
+        c.compile();
+        assert_eq!(c.matches(&[akey("2001:db8::1")]), Some("doc"));
+        assert_eq!(c.matches(&[akey("2001:db9::1")]), None);
+        // v4 probe against v6 rule: no match.
+        assert_eq!(c.matches(&[akey("10.0.0.1")]), None);
+    }
+}

@@ -1,0 +1,477 @@
+//! Containers with built-in state management (§2 "State Management", §3.2).
+//!
+//! HILTI's maps and sets can be given an expiration policy
+//! ([`ExpireStrategy`]): entries are evicted automatically once they have not
+//! been created/accessed for a configured timeout, relative to the clock of
+//! the timer manager the container is attached to. This is the mechanism the
+//! paper's firewall example uses (`set.timeout dyn ExpireStrategy::Access
+//! interval(300)`, Figure 5) and the foundation of every long-running
+//! session table.
+//!
+//! Eviction is driven by `advance(now)`: the owner (a HILTI timer manager,
+//! or the host directly) pushes the clock forward and the container drops
+//! expired entries. Internally each container keeps a deadline-ordered queue
+//! with lazy invalidation — re-touching an entry does not have to search the
+//! queue, it just enqueues a fresh deadline and the stale one is discarded
+//! when popped.
+
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry as HmEntry;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+use crate::time::{Interval, Time};
+
+/// When the expiration timeout for an entry restarts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExpireStrategy {
+    /// Timeout counts from entry creation; accesses do not refresh it.
+    Create,
+    /// Timeout counts from the most recent access (read or write).
+    Access,
+}
+
+#[derive(Clone, Debug)]
+struct Stamped<V> {
+    value: V,
+    /// Deadline currently considered authoritative for this entry.
+    deadline: Time,
+    /// Sequence number of the queue record carrying that deadline; stale
+    /// queue records (from earlier touches) carry older numbers.
+    stamp_seq: u64,
+}
+
+/// A hash map with optional per-entry expiration — HILTI's `map` type.
+pub struct ExpiringMap<K, V> {
+    entries: HashMap<K, Stamped<V>>,
+    /// Deadline-ordered queue of (deadline, seq) records; `seq_keys` maps a
+    /// record back to its key. Records whose seq no longer matches the
+    /// entry's authoritative `stamp_seq` are stale and skipped on pop.
+    queue: BinaryHeap<Reverse<(Time, u64)>>,
+    seq_keys: HashMap<u64, K>,
+    next_seq: u64,
+    policy: Option<(ExpireStrategy, Interval)>,
+    /// Entries evicted over the container's lifetime (observability; the
+    /// paper stresses measuring state-management behaviour, §3.3).
+    evicted: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
+    /// A map without expiration (plain hash map semantics).
+    pub fn new() -> Self {
+        ExpiringMap {
+            entries: HashMap::new(),
+            queue: BinaryHeap::new(),
+            seq_keys: HashMap::new(),
+            next_seq: 0,
+            policy: None,
+            evicted: 0,
+        }
+    }
+
+    /// Sets the expiration policy, like `map.timeout` / `set.timeout`.
+    /// Affects entries inserted or touched from now on.
+    pub fn set_timeout(&mut self, strategy: ExpireStrategy, timeout: Interval) {
+        self.policy = Some((strategy, timeout));
+    }
+
+    /// Clears the expiration policy; existing deadlines are forgotten.
+    pub fn clear_timeout(&mut self) {
+        self.policy = None;
+        self.queue.clear();
+        self.seq_keys.clear();
+    }
+
+    pub fn policy(&self) -> Option<(ExpireStrategy, Interval)> {
+        self.policy
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries evicted by expiration so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Enqueues a fresh deadline record for `key`, returning
+    /// (deadline, seq). With no policy, returns the never-expires sentinel.
+    fn stamp(&mut self, key: &K, now: Time) -> (Time, u64) {
+        match self.policy {
+            Some((_, timeout)) => {
+                let deadline = now + timeout;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.queue.push(Reverse((deadline, seq)));
+                self.seq_keys.insert(seq, key.clone());
+                (deadline, seq)
+            }
+            None => (Time::from_nanos(u64::MAX), u64::MAX),
+        }
+    }
+
+    /// Inserts or replaces; the entry's timeout (re)starts at `now`.
+    pub fn insert(&mut self, key: K, value: V, now: Time) -> Option<V> {
+        let (deadline, stamp_seq) = self.stamp(&key, now);
+        self.entries
+            .insert(
+                key,
+                Stamped {
+                    value,
+                    deadline,
+                    stamp_seq,
+                },
+            )
+            .map(|s| s.value)
+    }
+
+    /// Reads an entry. Under [`ExpireStrategy::Access`] this refreshes the
+    /// entry's deadline.
+    pub fn get(&mut self, key: &K, now: Time) -> Option<&V> {
+        let refresh = matches!(self.policy, Some((ExpireStrategy::Access, _)));
+        if refresh && self.entries.contains_key(key) {
+            let (deadline, stamp_seq) = self.stamp(key, now);
+            if let Some(s) = self.entries.get_mut(key) {
+                s.deadline = deadline;
+                s.stamp_seq = stamp_seq;
+            }
+        }
+        self.entries.get(key).map(|s| &s.value)
+    }
+
+    /// Mutable access; always counts as an access for the policy.
+    pub fn get_mut(&mut self, key: &K, now: Time) -> Option<&mut V> {
+        if matches!(self.policy, Some((ExpireStrategy::Access, _))) && self.entries.contains_key(key)
+        {
+            let (deadline, stamp_seq) = self.stamp(key, now);
+            if let Some(s) = self.entries.get_mut(key) {
+                s.deadline = deadline;
+                s.stamp_seq = stamp_seq;
+            }
+        }
+        self.entries.get_mut(key).map(|s| &mut s.value)
+    }
+
+    /// Membership test without refreshing the deadline (HILTI's
+    /// `map.exists` does not count as an access).
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts `default()` if missing, then returns mutable access.
+    pub fn entry_or_insert_with(
+        &mut self,
+        key: K,
+        now: Time,
+        default: impl FnOnce() -> V,
+    ) -> &mut V {
+        let refresh = match self.policy {
+            Some((ExpireStrategy::Access, _)) => true,
+            Some((ExpireStrategy::Create, _)) => !self.entries.contains_key(&key),
+            None => false,
+        };
+        let (deadline, stamp_seq) = if refresh {
+            self.stamp(&key, now)
+        } else {
+            self.entries
+                .get(&key)
+                .map(|s| (s.deadline, s.stamp_seq))
+                .unwrap_or((Time::from_nanos(u64::MAX), u64::MAX))
+        };
+        match self.entries.entry(key) {
+            HmEntry::Occupied(o) => {
+                let s = o.into_mut();
+                if refresh {
+                    s.deadline = deadline;
+                    s.stamp_seq = stamp_seq;
+                }
+                &mut s.value
+            }
+            HmEntry::Vacant(v) => {
+                &mut v
+                    .insert(Stamped {
+                        value: default(),
+                        deadline,
+                        stamp_seq,
+                    })
+                    .value
+            }
+        }
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|s| s.value)
+    }
+
+    /// Drops every entry whose deadline has passed, returning the evicted
+    /// pairs (so callers can run cleanup hooks, as HILTI timers would).
+    pub fn advance(&mut self, now: Time) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        while let Some(Reverse((deadline, _))) = self.queue.peek() {
+            if *deadline > now {
+                break;
+            }
+            let Reverse((_, seq)) = self.queue.pop().expect("peeked entry");
+            let Some(key) = self.seq_keys.remove(&seq) else {
+                continue;
+            };
+            // Only evict if this queue record is still the authoritative
+            // one; otherwise the entry was refreshed or replaced since.
+            let live = self
+                .entries
+                .get(&key)
+                .is_some_and(|s| s.stamp_seq == seq);
+            if live {
+                if let Some(s) = self.entries.remove(&key) {
+                    self.evicted += 1;
+                    out.push((key, s.value));
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over live entries (no deadline refresh).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, s)| (k, &s.value))
+    }
+
+    /// Drains all entries, e.g. at shutdown.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.queue.clear();
+        self.seq_keys.clear();
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for ExpiringMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for ExpiringMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ExpiringMap {{ len: {}, policy: {:?} }}",
+            self.entries.len(),
+            self.policy
+        )
+    }
+}
+
+/// A hash set with optional per-entry expiration — HILTI's `set` type.
+///
+/// Implemented as a thin wrapper over [`ExpiringMap`] with unit values, the
+/// same way the paper's runtime implements sets over its hash map.
+pub struct ExpiringSet<K> {
+    map: ExpiringMap<K, ()>,
+}
+
+impl<K: Eq + Hash + Clone> ExpiringSet<K> {
+    pub fn new() -> Self {
+        ExpiringSet {
+            map: ExpiringMap::new(),
+        }
+    }
+
+    pub fn set_timeout(&mut self, strategy: ExpireStrategy, timeout: Interval) {
+        self.map.set_timeout(strategy, timeout);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn evicted(&self) -> u64 {
+        self.map.evicted()
+    }
+
+    /// Inserts a member; returns true if it was new.
+    pub fn insert(&mut self, key: K, now: Time) -> bool {
+        self.map.insert(key, (), now).is_none()
+    }
+
+    /// Membership test. Under `Access` strategy this *does* refresh the
+    /// deadline — `set.exists` is the firewall's per-packet touch (Fig. 5).
+    pub fn exists(&mut self, key: &K, now: Time) -> bool {
+        self.map.get(key, now).is_some()
+    }
+
+    /// Membership test that never refreshes.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains(key)
+    }
+
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    pub fn advance(&mut self, now: Time) -> Vec<K> {
+        self.map.advance(now).into_iter().map(|(k, _)| k).collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.map.iter().map(|(k, _)| k)
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+impl<K: Eq + Hash + Clone> Default for ExpiringSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> std::fmt::Debug for ExpiringSet<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExpiringSet {{ len: {} }}", self.map.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn plain_map_never_expires() {
+        let mut m = ExpiringMap::new();
+        m.insert("k", 1, t(0));
+        assert!(m.advance(t(1_000_000)).is_empty());
+        assert_eq!(m.get(&"k", t(1_000_000)), Some(&1));
+    }
+
+    #[test]
+    fn create_strategy_ignores_accesses() {
+        let mut m = ExpiringMap::new();
+        m.set_timeout(ExpireStrategy::Create, Interval::from_secs(10));
+        m.insert("k", 1, t(0));
+        // Touch repeatedly; the creation deadline must stand.
+        for s in 1..=9 {
+            assert_eq!(m.get(&"k", t(s)), Some(&1));
+        }
+        let evicted = m.advance(t(10));
+        assert_eq!(evicted, vec![("k", 1)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn access_strategy_refreshes() {
+        let mut m = ExpiringMap::new();
+        m.set_timeout(ExpireStrategy::Access, Interval::from_secs(10));
+        m.insert("k", 1, t(0));
+        assert_eq!(m.get(&"k", t(8)), Some(&1)); // deadline now 18
+        assert!(m.advance(t(12)).is_empty());
+        assert_eq!(m.len(), 1);
+        let evicted = m.advance(t(18));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(m.evicted(), 1);
+    }
+
+    #[test]
+    fn reinsert_restarts_timeout() {
+        let mut m = ExpiringMap::new();
+        m.set_timeout(ExpireStrategy::Create, Interval::from_secs(10));
+        m.insert("k", 1, t(0));
+        m.insert("k", 2, t(5)); // new creation at t=5 → deadline 15
+        assert!(m.advance(t(10)).is_empty());
+        assert_eq!(m.advance(t(15)), vec![("k", 2)]);
+    }
+
+    #[test]
+    fn remove_then_expire_is_silent() {
+        let mut m = ExpiringMap::new();
+        m.set_timeout(ExpireStrategy::Create, Interval::from_secs(10));
+        m.insert("k", 1, t(0));
+        assert_eq!(m.remove(&"k"), Some(1));
+        assert!(m.advance(t(20)).is_empty());
+        assert_eq!(m.evicted(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_refresh() {
+        let mut m = ExpiringMap::new();
+        m.set_timeout(ExpireStrategy::Access, Interval::from_secs(10));
+        m.insert("k", 1, t(0));
+        assert!(m.contains(&"k")); // at t≈0, but contains() takes no time
+        assert_eq!(m.advance(t(10)).len(), 1);
+    }
+
+    #[test]
+    fn entry_or_insert_with_policies() {
+        let mut m = ExpiringMap::new();
+        m.set_timeout(ExpireStrategy::Create, Interval::from_secs(10));
+        *m.entry_or_insert_with("k", t(0), || 0) += 1;
+        *m.entry_or_insert_with("k", t(5), || 0) += 1; // not a creation
+        assert_eq!(m.get(&"k", t(5)), Some(&2));
+        assert_eq!(m.advance(t(10)), vec![("k", 2)]);
+    }
+
+    #[test]
+    fn set_access_touch_keeps_pair_alive() {
+        // The firewall pattern from Figure 5: 300s inactivity timeout,
+        // each matching packet refreshes the pair.
+        let mut s = ExpiringSet::new();
+        s.set_timeout(ExpireStrategy::Access, Interval::from_secs(300));
+        s.insert(("a", "b"), t(0));
+        for k in 1..10 {
+            s.advance(t(k * 100));
+            assert!(s.exists(&("a", "b"), t(k * 100)), "alive at {k}");
+        }
+        // Now go quiet for > 300s.
+        assert_eq!(s.advance(t(10 * 100 + 301)).len(), 1);
+        assert!(!s.contains(&("a", "b")));
+    }
+
+    #[test]
+    fn set_insert_reports_novelty() {
+        let mut s = ExpiringSet::new();
+        assert!(s.insert(1, t(0)));
+        assert!(!s.insert(1, t(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_deadline_order() {
+        let mut m = ExpiringMap::new();
+        m.set_timeout(ExpireStrategy::Create, Interval::from_secs(10));
+        m.insert("a", 1, t(3));
+        m.insert("b", 2, t(1));
+        m.insert("c", 3, t(2));
+        let evicted: Vec<_> = m.advance(t(100)).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(evicted, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn heavy_churn_does_not_leak_queue() {
+        let mut m = ExpiringMap::new();
+        m.set_timeout(ExpireStrategy::Access, Interval::from_secs(5));
+        for i in 0..10_000u64 {
+            m.insert(i % 100, i, t(i / 100));
+            m.advance(t(i / 100));
+        }
+        assert!(m.len() <= 100);
+        // Stale queue records get drained as time advances.
+        m.advance(t(10_000));
+        assert!(m.is_empty());
+        assert!(m.queue.is_empty());
+    }
+}

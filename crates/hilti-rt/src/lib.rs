@@ -1,0 +1,38 @@
+//! # hilti-rt — the HILTI runtime library
+//!
+//! This crate implements the runtime substrate of the HILTI abstract machine
+//! (Vallentin et al., IMC 2014, §3.2 and §5 "Runtime Library"): the
+//! domain-specific value types, the stateful containers with built-in
+//! expiration, timers and timer managers, thread-safe channels, the
+//! incremental multi-pattern regular-expression engine, the ACL-style packet
+//! classifier, overlay unpacking primitives, profiling support, and small
+//! utilities (SHA-1, FNV hashing) that the host applications need.
+//!
+//! Everything here is engine-agnostic: both the HILTI bytecode VM and the
+//! reference IR interpreter (crate `hilti`) call into these types, exactly as
+//! the paper's generated LLVM code calls into its C runtime library.
+//!
+//! The modules deliberately avoid global state. Where the paper's runtime
+//! keeps per-virtual-thread context objects, the corresponding state here is
+//! owned by the caller and passed explicitly (e.g. containers take the
+//! current [`time::Time`] when the expiration policy needs it).
+
+pub mod addr;
+pub mod bytestring;
+pub mod channel;
+pub mod classifier;
+pub mod containers;
+pub mod error;
+pub mod file;
+pub mod hashutil;
+pub mod overlay;
+pub mod profile;
+pub mod regexp;
+pub mod sha1;
+pub mod time;
+pub mod timer;
+
+pub use addr::{Addr, Network, Port, Protocol};
+pub use bytestring::Bytes;
+pub use error::{RtError, RtResult};
+pub use time::{Interval, Time};

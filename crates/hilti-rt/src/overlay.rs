@@ -1,0 +1,431 @@
+//! Overlays: type-safe dissection of binary wire structures (§3.2, §4 BPF).
+//!
+//! An overlay describes the layout of a packet header — field names, byte
+//! offsets, unpack formats, optional bit sub-ranges — and provides
+//! transparent access to fields while "accounting for specifics such as
+//! alignment and endianness" (Figure 4 shows the paper's `IP::Header`
+//! overlay). This module implements the unpack primitives and an
+//! [`OverlayType`] descriptor that the HILTI VM binds the `overlay.get`
+//! instruction to; it is also used directly by the BPF host application.
+
+use std::collections::HashMap;
+
+use crate::addr::Addr;
+use crate::bytestring::Bytes;
+use crate::error::{RtError, RtResult};
+
+/// How a field is decoded from raw bytes — HILTI's `unpack` formats.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnpackFormat {
+    /// Unsigned integer, big-endian (network order), 1/2/4/8 bytes.
+    UIntBE(u8),
+    /// Unsigned integer, little-endian.
+    UIntLE(u8),
+    /// Big-endian integer restricted to bits `[lo, hi]` (inclusive,
+    /// numbering from the least-significant bit of the decoded integer) —
+    /// the `(4,7)` suffix in Figure 4.
+    BitsBE { bytes: u8, lo: u8, hi: u8 },
+    /// IPv4 address in network order (4 bytes).
+    IPv4,
+    /// IPv6 address in network order (16 bytes).
+    IPv6,
+    /// Fixed-length run of raw bytes.
+    BytesRun(u32),
+}
+
+impl UnpackFormat {
+    /// The number of input bytes the format consumes.
+    pub fn width(&self) -> u32 {
+        match self {
+            UnpackFormat::UIntBE(n) | UnpackFormat::UIntLE(n) => u32::from(*n),
+            UnpackFormat::BitsBE { bytes, .. } => u32::from(*bytes),
+            UnpackFormat::IPv4 => 4,
+            UnpackFormat::IPv6 => 16,
+            UnpackFormat::BytesRun(n) => *n,
+        }
+    }
+}
+
+/// A decoded field value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Unpacked {
+    UInt(u64),
+    Addr(Addr),
+    Bytes(Vec<u8>),
+}
+
+impl Unpacked {
+    pub fn as_uint(&self) -> RtResult<u64> {
+        match self {
+            Unpacked::UInt(v) => Ok(*v),
+            other => Err(RtError::type_error(format!("expected uint, got {other:?}"))),
+        }
+    }
+
+    pub fn as_addr(&self) -> RtResult<Addr> {
+        match self {
+            Unpacked::Addr(a) => Ok(*a),
+            other => Err(RtError::type_error(format!("expected addr, got {other:?}"))),
+        }
+    }
+
+    pub fn as_bytes(&self) -> RtResult<&[u8]> {
+        match self {
+            Unpacked::Bytes(b) => Ok(b),
+            other => Err(RtError::type_error(format!(
+                "expected bytes, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Decodes one value at `offset` within `data` per `fmt`. All bounds are
+/// validated; short input yields WouldBlock/IndexError via [`Bytes::extract`].
+pub fn unpack(data: &Bytes, offset: u64, fmt: UnpackFormat) -> RtResult<Unpacked> {
+    let raw = data.extract(offset, offset + u64::from(fmt.width()))?;
+    unpack_slice(&raw, fmt)
+}
+
+/// Decodes from a plain slice (must be exactly the format's width or wider).
+pub fn unpack_slice(raw: &[u8], fmt: UnpackFormat) -> RtResult<Unpacked> {
+    let width = fmt.width() as usize;
+    if raw.len() < width {
+        return Err(RtError::index(format!(
+            "unpack needs {width} bytes, have {}",
+            raw.len()
+        )));
+    }
+    let raw = &raw[..width];
+    Ok(match fmt {
+        UnpackFormat::UIntBE(n) => {
+            if !matches!(n, 1 | 2 | 4 | 8) {
+                return Err(RtError::value(format!("bad uint width {n}")));
+            }
+            let mut v: u64 = 0;
+            for &b in raw {
+                v = (v << 8) | u64::from(b);
+            }
+            Unpacked::UInt(v)
+        }
+        UnpackFormat::UIntLE(n) => {
+            if !matches!(n, 1 | 2 | 4 | 8) {
+                return Err(RtError::value(format!("bad uint width {n}")));
+            }
+            let mut v: u64 = 0;
+            for &b in raw.iter().rev() {
+                v = (v << 8) | u64::from(b);
+            }
+            Unpacked::UInt(v)
+        }
+        UnpackFormat::BitsBE { bytes, lo, hi } => {
+            let max_bit = bytes * 8;
+            if lo > hi || hi >= max_bit {
+                return Err(RtError::value(format!("bad bit range ({lo},{hi})")));
+            }
+            let mut v: u64 = 0;
+            for &b in raw {
+                v = (v << 8) | u64::from(b);
+            }
+            let width = hi - lo + 1;
+            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            Unpacked::UInt((v >> lo) & mask)
+        }
+        UnpackFormat::IPv4 => {
+            Unpacked::Addr(Addr::from_v4_bytes([raw[0], raw[1], raw[2], raw[3]]))
+        }
+        UnpackFormat::IPv6 => {
+            let mut b = [0u8; 16];
+            b.copy_from_slice(raw);
+            Unpacked::Addr(Addr::from_v6_bytes(b))
+        }
+        UnpackFormat::BytesRun(_) => Unpacked::Bytes(raw.to_vec()),
+    })
+}
+
+/// One field of an overlay: name, byte offset, and unpack format.
+#[derive(Clone, Debug)]
+pub struct OverlayField {
+    pub name: String,
+    pub offset: u64,
+    pub format: UnpackFormat,
+}
+
+/// A user-definable composite type specifying the layout of a binary
+/// structure in wire format (the paper's `overlay` type).
+#[derive(Clone, Debug)]
+pub struct OverlayType {
+    pub name: String,
+    fields: Vec<OverlayField>,
+    by_name: HashMap<String, usize>,
+}
+
+impl OverlayType {
+    pub fn new(name: impl Into<String>) -> Self {
+        OverlayType {
+            name: name.into(),
+            fields: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Adds a field; duplicate names are rejected.
+    pub fn field(
+        mut self,
+        name: impl Into<String>,
+        offset: u64,
+        format: UnpackFormat,
+    ) -> RtResult<Self> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(RtError::value(format!(
+                "duplicate overlay field {name:?} in {}",
+                self.name
+            )));
+        }
+        self.by_name.insert(name.clone(), self.fields.len());
+        self.fields.push(OverlayField {
+            name,
+            offset,
+            format,
+        });
+        Ok(self)
+    }
+
+    pub fn fields(&self) -> &[OverlayField] {
+        &self.fields
+    }
+
+    /// Decodes the named field from `data` starting at `base` — the
+    /// `overlay.get` instruction.
+    pub fn get(&self, data: &Bytes, base: u64, field: &str) -> RtResult<Unpacked> {
+        let idx = self.by_name.get(field).ok_or_else(|| {
+            RtError::index(format!("overlay {} has no field {field:?}", self.name))
+        })?;
+        let f = &self.fields[*idx];
+        unpack(data, base + f.offset, f.format)
+    }
+
+    /// The standard IPv4 header overlay from Figure 4 of the paper,
+    /// extended with the remaining fixed-header fields.
+    pub fn ipv4_header() -> OverlayType {
+        OverlayType::new("IP::Header")
+            .field(
+                "version",
+                0,
+                UnpackFormat::BitsBE {
+                    bytes: 1,
+                    lo: 4,
+                    hi: 7,
+                },
+            )
+            .and_then(|o| {
+                o.field(
+                    "hdr_len",
+                    0,
+                    UnpackFormat::BitsBE {
+                        bytes: 1,
+                        lo: 0,
+                        hi: 3,
+                    },
+                )
+            })
+            .and_then(|o| o.field("tos", 1, UnpackFormat::UIntBE(1)))
+            .and_then(|o| o.field("len", 2, UnpackFormat::UIntBE(2)))
+            .and_then(|o| o.field("id", 4, UnpackFormat::UIntBE(2)))
+            .and_then(|o| o.field("ttl", 8, UnpackFormat::UIntBE(1)))
+            .and_then(|o| o.field("proto", 9, UnpackFormat::UIntBE(1)))
+            .and_then(|o| o.field("chksum", 10, UnpackFormat::UIntBE(2)))
+            .and_then(|o| o.field("src", 12, UnpackFormat::IPv4))
+            .and_then(|o| o.field("dst", 16, UnpackFormat::IPv4))
+            .expect("static layout is valid")
+    }
+
+    /// UDP header overlay.
+    pub fn udp_header() -> OverlayType {
+        OverlayType::new("UDP::Header")
+            .field("sport", 0, UnpackFormat::UIntBE(2))
+            .and_then(|o| o.field("dport", 2, UnpackFormat::UIntBE(2)))
+            .and_then(|o| o.field("len", 4, UnpackFormat::UIntBE(2)))
+            .and_then(|o| o.field("chksum", 6, UnpackFormat::UIntBE(2)))
+            .expect("static layout is valid")
+    }
+
+    /// TCP header overlay (fixed part).
+    pub fn tcp_header() -> OverlayType {
+        OverlayType::new("TCP::Header")
+            .field("sport", 0, UnpackFormat::UIntBE(2))
+            .and_then(|o| o.field("dport", 2, UnpackFormat::UIntBE(2)))
+            .and_then(|o| o.field("seq", 4, UnpackFormat::UIntBE(4)))
+            .and_then(|o| o.field("ack", 8, UnpackFormat::UIntBE(4)))
+            .and_then(|o| {
+                o.field(
+                    "data_off",
+                    12,
+                    UnpackFormat::BitsBE {
+                        bytes: 1,
+                        lo: 4,
+                        hi: 7,
+                    },
+                )
+            })
+            .and_then(|o| o.field("flags", 13, UnpackFormat::UIntBE(1)))
+            .and_then(|o| o.field("window", 14, UnpackFormat::UIntBE(2)))
+            .expect("static layout is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built IPv4 header: version 4, IHL 5, total len 40, TTL 64,
+    /// proto TCP(6), src 192.168.1.1, dst 10.0.5.9.
+    fn sample_ipv4() -> Bytes {
+        let mut h = vec![
+            0x45, 0x00, 0x00, 0x28, // ver/ihl, tos, len
+            0x12, 0x34, 0x40, 0x00, // id, flags/frag
+            0x40, 0x06, 0xab, 0xcd, // ttl, proto, checksum
+            192, 168, 1, 1, // src
+            10, 0, 5, 9, // dst
+        ];
+        h.extend_from_slice(&[0u8; 20]); // fake TCP header
+        Bytes::frozen_from_slice(&h)
+    }
+
+    #[test]
+    fn uint_be_le() {
+        let b = Bytes::frozen_from_slice(&[0x01, 0x02, 0x03, 0x04]);
+        assert_eq!(unpack(&b, 0, UnpackFormat::UIntBE(2)).unwrap(), Unpacked::UInt(0x0102));
+        assert_eq!(unpack(&b, 0, UnpackFormat::UIntLE(2)).unwrap(), Unpacked::UInt(0x0201));
+        assert_eq!(
+            unpack(&b, 0, UnpackFormat::UIntBE(4)).unwrap(),
+            Unpacked::UInt(0x01020304)
+        );
+        assert_eq!(unpack(&b, 2, UnpackFormat::UIntBE(1)).unwrap(), Unpacked::UInt(3));
+    }
+
+    #[test]
+    fn uint_widths_validated() {
+        let b = Bytes::frozen_from_slice(&[0; 8]);
+        assert!(unpack(&b, 0, UnpackFormat::UIntBE(3)).is_err());
+        assert!(unpack(&b, 0, UnpackFormat::UIntLE(5)).is_err());
+        assert!(unpack(&b, 0, UnpackFormat::UIntBE(8)).is_ok());
+    }
+
+    #[test]
+    fn bits_subrange() {
+        // 0x45 = version 4 (bits 4-7), IHL 5 (bits 0-3) — Figure 4's encoding.
+        let b = Bytes::frozen_from_slice(&[0x45]);
+        let version = unpack(&b, 0, UnpackFormat::BitsBE { bytes: 1, lo: 4, hi: 7 }).unwrap();
+        let ihl = unpack(&b, 0, UnpackFormat::BitsBE { bytes: 1, lo: 0, hi: 3 }).unwrap();
+        assert_eq!(version, Unpacked::UInt(4));
+        assert_eq!(ihl, Unpacked::UInt(5));
+    }
+
+    #[test]
+    fn bits_bad_ranges_rejected() {
+        let b = Bytes::frozen_from_slice(&[0xff, 0xff]);
+        assert!(unpack(&b, 0, UnpackFormat::BitsBE { bytes: 1, lo: 5, hi: 3 }).is_err());
+        assert!(unpack(&b, 0, UnpackFormat::BitsBE { bytes: 1, lo: 0, hi: 8 }).is_err());
+        assert!(unpack(&b, 0, UnpackFormat::BitsBE { bytes: 2, lo: 0, hi: 15 }).is_ok());
+    }
+
+    #[test]
+    fn addr_formats() {
+        let b = Bytes::frozen_from_slice(&[192, 168, 1, 1]);
+        assert_eq!(
+            unpack(&b, 0, UnpackFormat::IPv4).unwrap(),
+            Unpacked::Addr(Addr::v4(192, 168, 1, 1))
+        );
+        let mut v6 = [0u8; 16];
+        v6[0] = 0x20;
+        v6[1] = 0x01;
+        v6[15] = 0x01;
+        let b6 = Bytes::frozen_from_slice(&v6);
+        let got = unpack(&b6, 0, UnpackFormat::IPv6).unwrap().as_addr().unwrap();
+        assert_eq!(got.to_string(), "2001::1");
+    }
+
+    #[test]
+    fn bytes_run() {
+        let b = Bytes::frozen_from_slice(b"abcdef");
+        assert_eq!(
+            unpack(&b, 1, UnpackFormat::BytesRun(3)).unwrap(),
+            Unpacked::Bytes(b"bcd".to_vec())
+        );
+    }
+
+    #[test]
+    fn short_input_blocks_or_errors() {
+        let open = Bytes::from_slice(&[1, 2]);
+        assert_eq!(
+            unpack(&open, 0, UnpackFormat::UIntBE(4)).unwrap_err().kind,
+            crate::error::ExceptionKind::WouldBlock
+        );
+        open.freeze();
+        assert_eq!(
+            unpack(&open, 0, UnpackFormat::UIntBE(4)).unwrap_err().kind,
+            crate::error::ExceptionKind::IndexError
+        );
+    }
+
+    #[test]
+    fn figure4_overlay_fields() {
+        let overlay = OverlayType::ipv4_header();
+        let pkt = sample_ipv4();
+        assert_eq!(overlay.get(&pkt, 0, "version").unwrap(), Unpacked::UInt(4));
+        assert_eq!(overlay.get(&pkt, 0, "hdr_len").unwrap(), Unpacked::UInt(5));
+        assert_eq!(overlay.get(&pkt, 0, "ttl").unwrap(), Unpacked::UInt(64));
+        assert_eq!(overlay.get(&pkt, 0, "proto").unwrap(), Unpacked::UInt(6));
+        assert_eq!(
+            overlay.get(&pkt, 0, "src").unwrap(),
+            Unpacked::Addr(Addr::v4(192, 168, 1, 1))
+        );
+        assert_eq!(
+            overlay.get(&pkt, 0, "dst").unwrap(),
+            Unpacked::Addr(Addr::v4(10, 0, 5, 9))
+        );
+        assert!(overlay.get(&pkt, 0, "nonexistent").is_err());
+    }
+
+    #[test]
+    fn overlay_with_base_offset() {
+        // Same header, but prefixed by a 14-byte Ethernet header.
+        let overlay = OverlayType::ipv4_header();
+        let mut frame = vec![0u8; 14];
+        frame.extend_from_slice(&sample_ipv4().to_vec());
+        let pkt = Bytes::frozen_from_slice(&frame);
+        assert_eq!(overlay.get(&pkt, 14, "version").unwrap(), Unpacked::UInt(4));
+        assert_eq!(
+            overlay.get(&pkt, 14, "src").unwrap(),
+            Unpacked::Addr(Addr::v4(192, 168, 1, 1))
+        );
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let r = OverlayType::new("X")
+            .field("a", 0, UnpackFormat::UIntBE(1))
+            .and_then(|o| o.field("a", 1, UnpackFormat::UIntBE(1)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn tcp_and_udp_overlays() {
+        let udp = OverlayType::udp_header();
+        let data = Bytes::frozen_from_slice(&[0x00, 0x35, 0x04, 0xd2, 0x00, 0x10, 0x00, 0x00]);
+        assert_eq!(udp.get(&data, 0, "sport").unwrap(), Unpacked::UInt(53));
+        assert_eq!(udp.get(&data, 0, "dport").unwrap(), Unpacked::UInt(1234));
+
+        let tcp = OverlayType::tcp_header();
+        let mut th = vec![0u8; 20];
+        th[0] = 0x00;
+        th[1] = 0x50; // sport 80
+        th[12] = 0x50; // data offset 5
+        th[13] = 0x12; // SYN|ACK
+        let data = Bytes::frozen_from_slice(&th);
+        assert_eq!(tcp.get(&data, 0, "sport").unwrap(), Unpacked::UInt(80));
+        assert_eq!(tcp.get(&data, 0, "data_off").unwrap(), Unpacked::UInt(5));
+        assert_eq!(tcp.get(&data, 0, "flags").unwrap(), Unpacked::UInt(0x12));
+    }
+}

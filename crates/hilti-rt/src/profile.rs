@@ -1,0 +1,261 @@
+//! Profiling support (§3.3): measure where execution time goes.
+//!
+//! The paper instruments Bro to attribute CPU cycles to four components —
+//! protocol parsing, script execution, HILTI-to-Bro glue, and "other" — and
+//! plots the breakdown in Figures 9 and 10. [`Profiler`] reproduces that
+//! attribution model: callers bracket work with [`Profiler::enter`] guards,
+//! nesting is handled by charging inner spans to the inner component only,
+//! and the result is a per-component total plus arbitrary named counters.
+//!
+//! We substitute `std::time::Instant` for the paper's PAPI cycle counters
+//! (see DESIGN.md); the figures compare *relative* component shares, which
+//! survive the substitution.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The component a span of work is attributed to — the four categories of
+/// Figures 9/10.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Component {
+    ProtocolParsing,
+    ScriptExecution,
+    Glue,
+    Other,
+}
+
+impl Component {
+    pub const ALL: [Component; 4] = [
+        Component::ProtocolParsing,
+        Component::ScriptExecution,
+        Component::Glue,
+        Component::Other,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::ProtocolParsing => "Protocol Parsing",
+            Component::ScriptExecution => "Script Execution",
+            Component::Glue => "HILTI-to-Bro Glue",
+            Component::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// Nanoseconds charged per component.
+    totals: HashMap<Component, u64>,
+    /// Free-form named counters (allocations, events, cache hits, ...).
+    counters: HashMap<String, u64>,
+    /// Stack of (component, span start); the top is currently being charged.
+    stack: Vec<(Component, Instant)>,
+}
+
+/// A component-attributing profiler, cheap enough to leave on.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    state: Arc<Mutex<State>>,
+}
+
+/// RAII guard closing a span opened by [`Profiler::enter`].
+pub struct Span {
+    profiler: Profiler,
+    /// Guards against double-close if mem::forget'ed patterns appear.
+    closed: bool,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a span attributed to `component`. While the span is open, time
+    /// is charged to it; an enclosing span is paused (charged up to now) and
+    /// resumes when this span closes.
+    pub fn enter(&self, component: Component) -> Span {
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        if let Some((outer, started)) = st.stack.last_mut() {
+            let outer = *outer;
+            let elapsed = now.duration_since(*started).as_nanos() as u64;
+            *started = now;
+            *st.totals.entry(outer).or_default() += elapsed;
+        }
+        st.stack.push((component, now));
+        Span {
+            profiler: self.clone(),
+            closed: false,
+        }
+    }
+
+    fn exit(&self) {
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        if let Some((component, started)) = st.stack.pop() {
+            let elapsed = now.duration_since(started).as_nanos() as u64;
+            *st.totals.entry(component).or_default() += elapsed;
+        }
+        // Resume the enclosing span's clock.
+        if let Some((_, started)) = st.stack.last_mut() {
+            *started = now;
+        }
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn count(&self, name: &str, n: u64) {
+        *self
+            .state
+            .lock()
+            .counters
+            .entry(name.to_owned())
+            .or_default() += n;
+    }
+
+    /// Total nanoseconds charged to a component so far.
+    pub fn total(&self, component: Component) -> u64 {
+        self.state
+            .lock()
+            .totals
+            .get(&component)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Value of a named counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all component totals.
+    pub fn snapshot(&self) -> Vec<(Component, u64)> {
+        let st = self.state.lock();
+        Component::ALL
+            .iter()
+            .map(|c| (*c, st.totals.get(c).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Snapshot of all named counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let st = self.state.lock();
+        let mut v: Vec<_> = st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        v.sort();
+        v
+    }
+
+    /// Resets all measurements.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.totals.clear();
+        st.counters.clear();
+        st.stack.clear();
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.profiler.exit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spin(d: Duration) {
+        let start = Instant::now();
+        while start.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn charges_time_to_component() {
+        let p = Profiler::new();
+        {
+            let _s = p.enter(Component::ProtocolParsing);
+            spin(Duration::from_millis(5));
+        }
+        assert!(p.total(Component::ProtocolParsing) >= 4_000_000);
+        assert_eq!(p.total(Component::ScriptExecution), 0);
+    }
+
+    #[test]
+    fn nesting_charges_inner_to_inner() {
+        let p = Profiler::new();
+        {
+            let _outer = p.enter(Component::ScriptExecution);
+            spin(Duration::from_millis(3));
+            {
+                let _inner = p.enter(Component::Glue);
+                spin(Duration::from_millis(6));
+            }
+            spin(Duration::from_millis(3));
+        }
+        let script = p.total(Component::ScriptExecution);
+        let glue = p.total(Component::Glue);
+        assert!(glue >= 5_000_000, "glue={glue}");
+        assert!(script >= 4_000_000, "script={script}");
+        // The inner time must not be double-charged to the outer span.
+        assert!(script < 10_000_000, "script over-charged: {script}");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let p = Profiler::new();
+        p.count("allocations", 10);
+        p.count("allocations", 5);
+        p.count("events", 1);
+        assert_eq!(p.counter("allocations"), 15);
+        assert_eq!(p.counter("events"), 1);
+        assert_eq!(p.counter("missing"), 0);
+        assert_eq!(
+            p.counters(),
+            vec![("allocations".into(), 15), ("events".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn snapshot_lists_all_components() {
+        let p = Profiler::new();
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert!(snap.iter().all(|(_, ns)| *ns == 0));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let p = Profiler::new();
+        {
+            let _s = p.enter(Component::Other);
+            spin(Duration::from_millis(1));
+        }
+        p.count("x", 1);
+        p.reset();
+        assert_eq!(p.total(Component::Other), 0);
+        assert_eq!(p.counter("x"), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = Profiler::new();
+        let q = p.clone();
+        q.count("shared", 2);
+        assert_eq!(p.counter("shared"), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Timers and timer managers (§3.2): schedule work for the future and
+//! maintain multiple independent notions of time.
+//!
+//! A [`TimerMgr`] owns a virtual clock and a set of pending timers. Advancing
+//! the clock (`timer_mgr.advance` in HILTI, driven e.g. by packet
+//! timestamps) fires every timer whose deadline has passed, in deadline
+//! order. The manager is generic over the payload `T`; the HILTI VM
+//! instantiates it with "call this closure", containers instantiate it with
+//! eviction records.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::Time;
+
+/// Identifies a scheduled timer so it can be cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(u64);
+
+#[derive(PartialEq, Eq)]
+struct Entry<T> {
+    deadline: Time,
+    seq: u64,
+    payload: T,
+}
+
+impl<T: Eq> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest deadline first; FIFO among equal deadlines.
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A timer manager: a virtual clock plus a deadline-ordered queue of timers.
+pub struct TimerMgr<T> {
+    now: Time,
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<T: Eq> TimerMgr<T> {
+    /// A manager whose clock starts at the epoch.
+    pub fn new() -> Self {
+        TimerMgr {
+            now: Time::ZERO,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The manager's current notion of time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` to fire at `deadline`. Deadlines in the past fire
+    /// on the next `advance` call (HILTI semantics: never synchronously).
+    pub fn schedule(&mut self, deadline: Time, payload: T) -> TimerId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            deadline,
+            seq,
+            payload,
+        }));
+        TimerId(seq)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op returning `false`.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply tell "already fired" from "pending" without an
+        // index; record the cancellation and filter on pop. Guard against
+        // double-cancel inflating the tombstone set.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Moves the clock forward to `to` (never backwards) and returns the
+    /// payloads of all timers that fired, in deadline order.
+    pub fn advance(&mut self, to: Time) -> Vec<T> {
+        if to > self.now {
+            self.now = to;
+        }
+        let mut fired = Vec::new();
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.deadline > self.now {
+                break;
+            }
+            let Reverse(e) = self.heap.pop().expect("peeked entry");
+            if !self.cancelled.remove(&e.seq) {
+                fired.push(e.payload);
+            }
+        }
+        fired
+    }
+
+    /// The deadline of the next pending timer, if any.
+    pub fn next_deadline(&mut self) -> Option<Time> {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let Reverse(e) = self.heap.pop().expect("peeked entry");
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            return Some(top.deadline);
+        }
+        None
+    }
+}
+
+impl<T: Eq> Default for TimerMgr<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for TimerMgr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TimerMgr {{ now: {}, pending: {} }}",
+            self.now,
+            self.heap.len() - self.cancelled.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Interval;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut m = TimerMgr::new();
+        m.schedule(Time::from_secs(30), "b");
+        m.schedule(Time::from_secs(10), "a");
+        m.schedule(Time::from_secs(50), "c");
+        assert_eq!(m.advance(Time::from_secs(40)), vec!["a", "b"]);
+        assert_eq!(m.advance(Time::from_secs(60)), vec!["c"]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn fifo_among_equal_deadlines() {
+        let mut m = TimerMgr::new();
+        let t = Time::from_secs(5);
+        m.schedule(t, 1);
+        m.schedule(t, 2);
+        m.schedule(t, 3);
+        assert_eq!(m.advance(t), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut m = TimerMgr::<u32>::new();
+        m.advance(Time::from_secs(100));
+        m.advance(Time::from_secs(50));
+        assert_eq!(m.now(), Time::from_secs(100));
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let mut m = TimerMgr::new();
+        m.advance(Time::from_secs(100));
+        m.schedule(Time::from_secs(10), "late");
+        assert_eq!(m.advance(Time::from_secs(100)), vec!["late"]);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut m = TimerMgr::new();
+        let a = m.schedule(Time::from_secs(10), "a");
+        m.schedule(Time::from_secs(10), "b");
+        assert!(m.cancel(a));
+        assert!(!m.cancel(a));
+        assert_eq!(m.advance(Time::from_secs(10)), vec!["b"]);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut m = TimerMgr::new();
+        let a = m.schedule(Time::from_secs(10), 1);
+        m.schedule(Time::from_secs(20), 2);
+        assert_eq!(m.len(), 2);
+        m.cancel(a);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn next_deadline_skips_cancelled() {
+        let mut m = TimerMgr::new();
+        let a = m.schedule(Time::from_secs(10), 1);
+        m.schedule(Time::from_secs(20), 2);
+        m.cancel(a);
+        assert_eq!(m.next_deadline(), Some(Time::from_secs(20)));
+    }
+
+    #[test]
+    fn many_timers_interleaved() {
+        let mut m = TimerMgr::new();
+        for i in 0..1000u64 {
+            m.schedule(Time::from_secs(i % 97), i);
+        }
+        let mut t = Time::ZERO;
+        let mut seen = Vec::new();
+        for step in 0..100 {
+            t += Interval::from_secs(1);
+            let fired = m.advance(t);
+            for f in &fired {
+                assert!(f % 97 <= step + 1);
+            }
+            seen.extend(fired);
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+}

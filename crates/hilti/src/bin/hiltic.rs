@@ -1,0 +1,175 @@
+//! `hiltic` — the HILTI compiler driver (§3.1, Figure 3).
+//!
+//! The paper's prototype ships `hiltic` and `hilti-build`, which "employ
+//! this workflow to compile HILTI code into native objects and
+//! executables" and can "JIT-execute the source directly". This driver
+//! covers the same surface against our toolchain: parse → link → check →
+//! optimize → compile, then run an entry point or dump stages.
+//!
+//! ```text
+//! hiltic run  [-O0] [--interp] [--trace] [--entry Mod::fn] file.hlt [...]
+//! hiltic check         file.hlt ...      # parse + link + static checks
+//! hiltic dump-ir       file.hlt ...      # optimized IR, human-readable
+//! hiltic dump-bytecode file.hlt ...      # lowered bytecode
+//! ```
+//!
+//! Example (Figure 3):
+//!
+//! ```text
+//! $ hiltic run hello.hlt
+//! Hello, World!
+//! ```
+
+use std::process::ExitCode;
+
+use hilti::host::Program;
+use hilti::passes::OptLevel;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: hiltic <run|check|dump-ir|dump-bytecode> [flags] <file.hlt>...");
+        return ExitCode::FAILURE;
+    };
+
+    let mut opt = OptLevel::Full;
+    let mut interp = false;
+    let mut trace = false;
+    let mut entry = "Main::run".to_owned();
+    let mut files: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-O0" => opt = OptLevel::None,
+            "-O1" | "-O2" => opt = OptLevel::Full,
+            "--interp" => interp = true,
+            "--trace" => trace = true,
+            "--entry" => match it.next() {
+                Some(e) => entry = e.clone(),
+                None => {
+                    eprintln!("--entry needs a function name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            f => files.push(f.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("hiltic: no input files");
+        return ExitCode::FAILURE;
+    }
+
+    let sources: Vec<String> = match files
+        .iter()
+        .map(std::fs::read_to_string)
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hiltic: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+
+    let mut program = match Program::from_sources(&source_refs, opt) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("hiltic: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in program.warnings() {
+        eprintln!("warning: {w}");
+    }
+
+    match cmd.as_str() {
+        "check" => {
+            println!(
+                "ok: {} function(s), {} hook(s), {} global(s), {} warning(s)",
+                program.linked().functions.len(),
+                program.linked().hooks.len(),
+                program.linked().globals.len(),
+                program.warnings().len()
+            );
+            ExitCode::SUCCESS
+        }
+        "dump-ir" => {
+            let linked = program.linked();
+            let mut names: Vec<&String> = linked.functions.keys().collect();
+            names.sort();
+            for name in names {
+                let f = &linked.functions[name];
+                print!("{} {}(", f.ret, f.name);
+                for (i, (p, t)) in f.params.iter().enumerate() {
+                    if i > 0 {
+                        print!(", ");
+                    }
+                    print!("{t} {p}");
+                }
+                println!(") {{");
+                for b in &f.blocks {
+                    println!("{}:", b.label);
+                    for instr in &b.instrs {
+                        println!("    {instr}");
+                    }
+                    println!("    ; {:?}", b.term);
+                }
+                println!("}}\n");
+            }
+            ExitCode::SUCCESS
+        }
+        "dump-bytecode" => {
+            let compiled = program.compiled();
+            let mut indexed: Vec<(&String, u32)> = compiled
+                .func_index
+                .iter()
+                .map(|(n, i)| (n, *i))
+                .collect();
+            indexed.sort();
+            for (name, idx) in indexed {
+                let f = &compiled.funcs[idx as usize];
+                println!(
+                    "fn {name} (#{idx}, {} params, {} slots):",
+                    f.n_params, f.n_slots
+                );
+                for (pc, instr) in f.code.iter().enumerate() {
+                    println!("  {pc:>4}: {instr:?}");
+                }
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            program.context_mut().trace = trace;
+            let result = if interp {
+                program.run_interpreted(&entry, &[])
+            } else {
+                program.run(&entry, &[])
+            };
+            // The trace goes to stderr so program output stays clean.
+            for line in program.context_mut().take_trace() {
+                eprintln!("trace: {line}");
+            }
+            for line in program.take_output() {
+                println!("{line}");
+            }
+            match result {
+                Ok(v) => {
+                    if !matches!(v, hilti::value::Value::Null) {
+                        println!("=> {}", v.render());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("hiltic: uncaught exception: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("hiltic: unknown command {other:?}");
+            ExitCode::FAILURE
+        }
+    }
+}

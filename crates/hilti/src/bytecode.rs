@@ -1,0 +1,722 @@
+//! Lowering linked IR to flat register bytecode.
+//!
+//! This stage is our stand-in for the paper's LLVM backend (see DESIGN.md):
+//! it performs the work a native code generator does before emitting
+//! machine instructions — resolving every name to an index, flattening the
+//! CFG to program counters, converting constants to runtime representation
+//! (including compiling regexp literals), and pre-splitting identifier
+//! operands — so that the VM's hot loop executes with array indexing only,
+//! no hash lookups and no constant re-materialization. The interpreter
+//! baseline (`crate::interp`) deliberately skips all of this, which is
+//! exactly the compiled-vs-interpreted gap §6.5 measures.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::overlay::OverlayType;
+use hilti_rt::regexp::Regex;
+
+use crate::ir::{Const, Function, Opcode, Operand, Terminator, TypeDef};
+use crate::linker::Linked;
+use crate::types::Type;
+use crate::value::Value;
+
+/// A resolved operand.
+#[derive(Clone, Debug)]
+pub enum COperand {
+    /// Frame slot (parameters first, then locals/temps).
+    Slot(u16),
+    /// Thread-local global slot.
+    Global(u32),
+    /// Pre-converted constant value.
+    Value(Value),
+}
+
+/// A resolved instruction.
+#[derive(Clone, Debug)]
+pub enum CInstr {
+    /// A data instruction evaluated through `ops::eval`.
+    Op {
+        opcode: Opcode,
+        target: Option<u16>,
+        args: Box<[COperand]>,
+        idents: Rc<[String]>,
+    },
+    /// Direct call to a HILTI function.
+    Call {
+        target: Option<u16>,
+        func: u32,
+        args: Box<[COperand]>,
+    },
+    /// Call to a host-registered (C-level) function.
+    CallHost {
+        target: Option<u16>,
+        name: Rc<str>,
+        args: Box<[COperand]>,
+    },
+    /// Run all bodies of a hook.
+    RunHook {
+        hook: u32,
+        args: Box<[COperand]>,
+    },
+    /// Call through a callable value (extra args appended to bound ones).
+    CallCallable {
+        target: Option<u16>,
+        callable: COperand,
+        args: Box<[COperand]>,
+    },
+    /// Instantiate a type (`new`).
+    New {
+        target: u16,
+        ty: Type,
+        args: Box<[COperand]>,
+    },
+    Jump(u32),
+    Branch {
+        cond: COperand,
+        then_pc: u32,
+        else_pc: u32,
+    },
+    Return(Option<COperand>),
+    PushHandler {
+        pc: u32,
+        kind: Rc<str>,
+        binder: Option<u16>,
+    },
+    PopHandler,
+    Yield,
+    /// Execute `inner` (which writes the function's scratch slot), then
+    /// move the scratch slot into global `global`. This is how instructions
+    /// targeting a thread-local global lower.
+    GlobalStore { global: u32, inner: Box<CInstr> },
+    /// Fast path: two-operand integer arithmetic/comparison with a local
+    /// target — the hottest instructions in compiled scripts. Skips the
+    /// generic operand marshalling of `Op`.
+    IntFast {
+        op: Opcode,
+        target: u16,
+        a: COperand,
+        b: COperand,
+    },
+    /// Fast path: plain move into a local slot.
+    AssignFast { target: u16, src: COperand },
+}
+
+/// A lowered function.
+#[derive(Clone, Debug)]
+pub struct CFunc {
+    pub name: String,
+    pub n_params: u16,
+    pub n_slots: u16,
+    pub code: Vec<CInstr>,
+}
+
+/// A fully lowered program.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledProgram {
+    pub funcs: Vec<CFunc>,
+    pub func_index: HashMap<String, u32>,
+    /// Hook name → function indices, priority order.
+    pub hooks: Vec<Vec<u32>>,
+    pub hook_index: HashMap<String, u32>,
+    /// Global initializers, slot order (evaluated per context).
+    pub global_inits: Vec<Option<Value>>,
+    pub global_names: Vec<String>,
+    /// Struct type → field names.
+    pub struct_fields: HashMap<String, Vec<String>>,
+    /// Overlay types.
+    pub overlays: HashMap<String, Rc<OverlayType>>,
+}
+
+impl CompiledProgram {
+    pub fn func(&self, name: &str) -> Option<&CFunc> {
+        self.func_index.get(name).map(|i| &self.funcs[*i as usize])
+    }
+}
+
+/// Lowers a linked program to bytecode.
+pub fn compile(linked: &Linked) -> RtResult<CompiledProgram> {
+    let mut prog = CompiledProgram::default();
+
+    // Type tables.
+    for (name, def) in &linked.types {
+        match def {
+            TypeDef::Struct(fields) => {
+                prog.struct_fields.insert(
+                    name.clone(),
+                    fields.iter().map(|(n, _)| n.clone()).collect(),
+                );
+            }
+            TypeDef::Overlay(o) => {
+                prog.overlays.insert(name.clone(), Rc::new(o.clone()));
+            }
+            TypeDef::Enum(_) | TypeDef::Bitset(_) => {}
+        }
+    }
+
+    // Global slots.
+    for (name, _ty, init) in &linked.globals {
+        prog.global_names.push(name.clone());
+        prog.global_inits.push(match init {
+            Some(c) => Some(const_value(c)?),
+            None => None,
+        });
+    }
+    let global_index: HashMap<&str, u32> = linked
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _, _))| (n.as_str(), i as u32))
+        .collect();
+
+    // Assign function indices: plain functions plus hook bodies.
+    let mut ordered: Vec<&Function> = linked.functions.values().collect();
+    ordered.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut bodies: Vec<&Function> = Vec::new();
+    for f in &ordered {
+        prog.func_index.insert(f.name.clone(), bodies.len() as u32);
+        bodies.push(f);
+    }
+    let mut hook_names: Vec<&String> = linked.hooks.keys().collect();
+    hook_names.sort();
+    for hname in hook_names {
+        let hbodies = &linked.hooks[hname];
+        let mut indices = Vec::new();
+        for (i, f) in hbodies.iter().enumerate() {
+            let idx = bodies.len() as u32;
+            // Hook bodies get synthetic unique names.
+            prog.func_index
+                .insert(format!("{hname}#\u{1}{i}"), idx);
+            bodies.push(f);
+            indices.push(idx);
+        }
+        prog.hook_index
+            .insert(hname.clone(), prog.hooks.len() as u32);
+        prog.hooks.push(indices);
+    }
+
+    // Lower every body.
+    for f in bodies {
+        let lowered = lower_function(f, &prog.func_index, &prog.hook_index, &global_index)?;
+        prog.funcs.push(lowered);
+    }
+    Ok(prog)
+}
+
+/// Converts a constant to its runtime value (identifiers and labels are
+/// handled structurally during lowering, not here).
+pub fn const_value(c: &Const) -> RtResult<Value> {
+    Ok(match c {
+        Const::Null => Value::Null,
+        Const::Bool(b) => Value::Bool(*b),
+        Const::Int(i) => Value::Int(*i),
+        Const::Double(d) => Value::Double(*d),
+        Const::Str(s) => Value::str(s),
+        Const::BytesLit(b) => Value::Bytes(hilti_rt::Bytes::frozen_from_slice(b)),
+        Const::Addr(a) => Value::Addr(*a),
+        Const::Net(n) => Value::Net(*n),
+        Const::Port(p) => Value::Port(*p),
+        Const::Time(t) => Value::Time(*t),
+        Const::Interval(i) => Value::Interval(*i),
+        Const::EnumLit(name, idx) => Value::Enum(Rc::from(name.as_str()), *idx),
+        Const::Tuple(elems) => Value::Tuple(Rc::new(
+            elems.iter().map(const_value).collect::<RtResult<Vec<_>>>()?,
+        )),
+        Const::Patterns(pats) => {
+            let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+            Value::Regexp(Regex::set(&refs)?)
+        }
+        Const::TypeRef(t) => {
+            return Err(RtError::type_error(format!(
+                "type operand {t} has no value form"
+            )))
+        }
+        Const::Ident(i) => {
+            return Err(RtError::type_error(format!(
+                "identifier operand {i} has no value form"
+            )))
+        }
+        Const::Label(l) => {
+            return Err(RtError::type_error(format!(
+                "label operand {l} has no value form"
+            )))
+        }
+    })
+}
+
+struct SlotMap {
+    slots: HashMap<String, u16>,
+}
+
+impl SlotMap {
+    fn get(&self, name: &str) -> Option<u16> {
+        self.slots.get(name).copied()
+    }
+}
+
+fn lower_function(
+    f: &Function,
+    func_index: &HashMap<String, u32>,
+    hook_index: &HashMap<String, u32>,
+    global_index: &HashMap<&str, u32>,
+) -> RtResult<CFunc> {
+    // Slot layout: params, then locals in declaration order.
+    let mut slots = SlotMap {
+        slots: HashMap::new(),
+    };
+    for (i, (n, _)) in f.params.iter().enumerate() {
+        slots.slots.insert(n.clone(), i as u16);
+    }
+    for (n, _) in &f.locals {
+        let next = slots.slots.len() as u16;
+        slots.slots.entry(n.clone()).or_insert(next);
+    }
+
+    // First pass: compute the pc of every block.
+    let mut block_pc: HashMap<&str, u32> = HashMap::new();
+    let mut pc = 0u32;
+    for b in &f.blocks {
+        block_pc.insert(b.label.as_str(), pc);
+        pc += b.instrs.len() as u32 + 1; // +1 for the terminator
+    }
+
+    let operand = |op: &Operand| -> RtResult<COperand> {
+        Ok(match op {
+            Operand::Var(name) => {
+                if let Some(s) = slots.get(name) {
+                    COperand::Slot(s)
+                } else if let Some(g) = global_index.get(name.as_str()) {
+                    COperand::Global(*g)
+                } else {
+                    return Err(RtError::value(format!(
+                        "{}: unresolved variable {name}",
+                        f.name
+                    )));
+                }
+            }
+            Operand::Const(c) => COperand::Value(const_value(c)?),
+        })
+    };
+    // Instructions whose target is a global write through a dedicated
+    // scratch slot (the last one), wrapped in `GlobalStore`.
+    let scratch: u16 = slots.slots.len() as u16;
+    let target_slot = |t: &Option<String>| -> RtResult<(Option<u16>, Option<u32>)> {
+        match t {
+            None => Ok((None, None)),
+            Some(name) => {
+                if let Some(s) = slots.get(name) {
+                    Ok((Some(s), None))
+                } else if let Some(g) = global_index.get(name.as_str()) {
+                    Ok((Some(scratch), Some(*g)))
+                } else {
+                    Err(RtError::value(format!(
+                        "{}: unresolved target {name}",
+                        f.name
+                    )))
+                }
+            }
+        }
+    };
+
+    let mut code: Vec<CInstr> = Vec::with_capacity(pc as usize);
+    for b in &f.blocks {
+        for instr in &b.instrs {
+            // Split args into identifier constants and value operands.
+            let mut idents: Vec<String> = Vec::new();
+            let mut vargs: Vec<&Operand> = Vec::new();
+            for a in &instr.args {
+                match a {
+                    Operand::Const(Const::Ident(i)) => idents.push(i.clone()),
+                    Operand::Const(Const::Label(_)) => {} // handled below
+                    Operand::Const(Const::Patterns(ps)) => {
+                        idents.extend(ps.iter().cloned());
+                    }
+                    other => vargs.push(other),
+                }
+            }
+
+            let (ctarget, gtarget) = target_slot(&instr.target)?;
+
+            let lowered = match instr.opcode {
+                Opcode::Call | Opcode::CallVoid => {
+                    let callee = idents
+                        .first()
+                        .ok_or_else(|| RtError::value("call without callee"))?;
+                    if let Some(fi) = func_index.get(callee) {
+                        CInstr::Call {
+                            target: ctarget,
+                            func: *fi,
+                            args: vargs
+                                .iter()
+                                .map(|a| operand(a))
+                                .collect::<RtResult<Vec<_>>>()?
+                                .into_boxed_slice(),
+                        }
+                    } else {
+                        CInstr::CallHost {
+                            target: ctarget,
+                            name: Rc::from(callee.as_str()),
+                            args: vargs
+                                .iter()
+                                .map(|a| operand(a))
+                                .collect::<RtResult<Vec<_>>>()?
+                                .into_boxed_slice(),
+                        }
+                    }
+                }
+                Opcode::CallC => {
+                    let callee = idents
+                        .first()
+                        .ok_or_else(|| RtError::value("call.c without callee"))?;
+                    CInstr::CallHost {
+                        target: ctarget,
+                        name: Rc::from(callee.as_str()),
+                        args: vargs
+                            .iter()
+                            .map(|a| operand(a))
+                            .collect::<RtResult<Vec<_>>>()?
+                            .into_boxed_slice(),
+                    }
+                }
+                Opcode::HookRun | Opcode::HookRunVoid => {
+                    let hname = idents
+                        .first()
+                        .ok_or_else(|| RtError::value("hook.run without hook name"))?;
+                    match hook_index.get(hname) {
+                        Some(hi) => CInstr::RunHook {
+                            hook: *hi,
+                            args: vargs
+                                .iter()
+                                .map(|a| operand(a))
+                                .collect::<RtResult<Vec<_>>>()?
+                                .into_boxed_slice(),
+                        },
+                        // A hook with no bodies: no-op.
+                        None => CInstr::Op {
+                            opcode: Opcode::Assign,
+                            target: None,
+                            args: Box::new([COperand::Value(Value::Null)]),
+                            idents: Rc::from(Vec::new()),
+                        },
+                    }
+                }
+                Opcode::CallableCall | Opcode::CallableCallVoid => {
+                    let mut it = vargs.iter();
+                    let callable = it
+                        .next()
+                        .ok_or_else(|| RtError::value("callable.call without callable"))?;
+                    CInstr::CallCallable {
+                        target: ctarget,
+                        callable: operand(callable)?,
+                        args: it
+                            .map(|a| operand(a))
+                            .collect::<RtResult<Vec<_>>>()?
+                            .into_boxed_slice(),
+                    }
+                }
+                Opcode::New => {
+                    let ty = instr
+                        .args
+                        .iter()
+                        .find_map(|a| match a {
+                            Operand::Const(Const::TypeRef(t)) => Some(t.clone()),
+                            _ => None,
+                        })
+                        .ok_or_else(|| RtError::value("new without type"))?;
+                    let extra: Vec<&Operand> = vargs
+                        .iter()
+                        .filter(|a| !matches!(a, Operand::Const(Const::TypeRef(_))))
+                        .copied()
+                        .collect();
+                    CInstr::New {
+                        target: ctarget.ok_or_else(|| {
+                            RtError::value("new requires a local target")
+                        })?,
+                        ty,
+                        args: extra
+                            .iter()
+                            .map(|a| operand(a))
+                            .collect::<RtResult<Vec<_>>>()?
+                            .into_boxed_slice(),
+                    }
+                }
+                Opcode::PushHandler => {
+                    let label = instr
+                        .args
+                        .iter()
+                        .find_map(|a| match a {
+                            Operand::Const(Const::Label(l)) => Some(l.as_str()),
+                            _ => None,
+                        })
+                        .ok_or_else(|| RtError::value("push_handler without label"))?;
+                    let pc = *block_pc
+                        .get(label)
+                        .ok_or_else(|| RtError::value(format!("unknown handler label {label}")))?;
+                    let kind = idents.first().cloned().unwrap_or_else(|| "*".into());
+                    let binder = idents
+                        .get(1)
+                        .filter(|b| !b.is_empty())
+                        .and_then(|b| slots.get(b));
+                    CInstr::PushHandler {
+                        pc,
+                        kind: Rc::from(kind.as_str()),
+                        binder,
+                    }
+                }
+                Opcode::RegexpNew => {
+                    // Compile the pattern set once, at lowering time — the
+                    // "JIT compilation of regular expressions" of §7. The
+                    // compiled object is shared; runtime cost is one move.
+                    let refs: Vec<&str> = idents.iter().map(String::as_str).collect();
+                    if refs.is_empty() {
+                        return Err(RtError::pattern("regexp.new needs patterns"));
+                    }
+                    CInstr::Op {
+                        opcode: Opcode::Assign,
+                        target: ctarget,
+                        args: Box::new([COperand::Value(Value::Regexp(Regex::set(&refs)?))]),
+                        idents: Rc::from(Vec::new()),
+                    }
+                }
+                Opcode::PopHandler => CInstr::PopHandler,
+                Opcode::Yield => CInstr::Yield,
+                // Hot-path specializations (only with a plain local
+                // target; global targets keep the generic path so the
+                // GlobalStore wrapper semantics stay in one place).
+                Opcode::IntAdd
+                | Opcode::IntSub
+                | Opcode::IntMul
+                | Opcode::IntEq
+                | Opcode::IntLt
+                | Opcode::IntGt
+                | Opcode::IntLeq
+                | Opcode::IntGeq
+                | Opcode::IntAnd
+                | Opcode::IntOr
+                | Opcode::IntShl
+                    if vargs.len() == 2 && ctarget.is_some() && gtarget.is_none() =>
+                {
+                    CInstr::IntFast {
+                        op: instr.opcode,
+                        target: ctarget.expect("checked above"),
+                        a: operand(vargs[0])?,
+                        b: operand(vargs[1])?,
+                    }
+                }
+                Opcode::Assign
+                    if vargs.len() == 1 && ctarget.is_some() && gtarget.is_none() =>
+                {
+                    CInstr::AssignFast {
+                        target: ctarget.expect("checked above"),
+                        src: operand(vargs[0])?,
+                    }
+                }
+                _ => CInstr::Op {
+                    opcode: instr.opcode,
+                    target: ctarget,
+                    args: vargs
+                        .iter()
+                        .map(|a| operand(a))
+                        .collect::<RtResult<Vec<_>>>()?
+                        .into_boxed_slice(),
+                    idents: Rc::from(idents),
+                },
+            };
+            // Wrap global-target writes.
+            match gtarget {
+                None => code.push(lowered),
+                Some(g) => code.push(CInstr::GlobalStore {
+                    global: g,
+                    inner: Box::new(lowered),
+                }),
+            }
+        }
+        // Terminator.
+        let term = match &b.term {
+            Terminator::Jump(l) => CInstr::Jump(*block_pc.get(l.as_str()).ok_or_else(|| {
+                RtError::value(format!("unknown jump label {l}"))
+            })?),
+            Terminator::IfElse(cond, l1, l2) => CInstr::Branch {
+                cond: operand(cond)?,
+                then_pc: *block_pc
+                    .get(l1.as_str())
+                    .ok_or_else(|| RtError::value(format!("unknown label {l1}")))?,
+                else_pc: *block_pc
+                    .get(l2.as_str())
+                    .ok_or_else(|| RtError::value(format!("unknown label {l2}")))?,
+            },
+            Terminator::Return(v) => CInstr::Return(match v {
+                Some(op) => Some(operand(op)?),
+                None => None,
+            }),
+        };
+        code.push(term);
+    }
+
+    Ok(CFunc {
+        name: f.name.clone(),
+        n_params: f.params.len() as u16,
+        n_slots: slots.slots.len() as u16 + 1, // +1 scratch for global stores
+        code,
+    })
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linker::link_with_priorities;
+    use crate::parser::parse_module;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        let m = parse_module(src).unwrap();
+        let linked = link_with_priorities(vec![m]).unwrap();
+        compile(&linked).unwrap()
+    }
+
+    #[test]
+    fn labels_resolve_to_pcs() {
+        let prog = compiled(
+            r#"
+module M
+int<64> f(bool b) {
+    if.else b yes no
+yes:
+    return 1
+no:
+    return 2
+}
+"#,
+        );
+        let f = prog.func("M::f").unwrap();
+        match &f.code[0] {
+            CInstr::Branch { then_pc, else_pc, .. } => {
+                assert!(matches!(f.code[*then_pc as usize], CInstr::Return(Some(_))));
+                assert!(matches!(f.code[*else_pc as usize], CInstr::Return(Some(_))));
+                assert_ne!(then_pc, else_pc);
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regexp_literals_precompiled() {
+        // §7's "JIT compilation of regular expressions": regexp.new lowers
+        // to a constant move of an already-compiled object.
+        let prog = compiled(
+            "module M\nvoid f() {\n    local regexp re\n    re = regexp.new /[a-z]+/\n}\n",
+        );
+        let f = prog.func("M::f").unwrap();
+        let has_precompiled = f.code.iter().any(|i| {
+            matches!(
+                i,
+                CInstr::AssignFast { src: COperand::Value(Value::Regexp(_)), .. }
+            ) || matches!(
+                i,
+                CInstr::Op { opcode: Opcode::Assign, args, .. }
+                    if matches!(args.first(), Some(COperand::Value(Value::Regexp(_))))
+            )
+        });
+        assert!(has_precompiled, "{:#?}", f.code);
+    }
+
+    #[test]
+    fn hot_int_ops_use_fast_path() {
+        let prog = compiled(
+            r#"
+module M
+int<64> f(int<64> a, int<64> b) {
+    local int<64> x
+    x = int.add a b
+    return x
+}
+"#,
+        );
+        let f = prog.func("M::f").unwrap();
+        assert!(
+            f.code.iter().any(|i| matches!(i, CInstr::IntFast { .. })),
+            "{:#?}",
+            f.code
+        );
+    }
+
+    #[test]
+    fn global_targets_wrapped_in_global_store() {
+        let prog = compiled(
+            r#"
+module M
+global int<64> g = 0
+void f() {
+    g = int.add g 1
+}
+"#,
+        );
+        let f = prog.func("M::f").unwrap();
+        assert!(
+            f.code
+                .iter()
+                .any(|i| matches!(i, CInstr::GlobalStore { .. })),
+            "{:#?}",
+            f.code
+        );
+        assert_eq!(prog.global_names, vec!["M::g"]);
+        assert!(matches!(prog.global_inits[0], Some(Value::Int(0))));
+    }
+
+    #[test]
+    fn hooks_get_priority_ordered_bodies() {
+        let prog = compiled(
+            r#"
+module M
+hook void h() {
+    call Hilti::print "low"
+}
+hook void h() &priority = 9 {
+    call Hilti::print "high"
+}
+"#,
+        );
+        let hi = prog.hook_index.get("M::h").unwrap();
+        let bodies = &prog.hooks[*hi as usize];
+        assert_eq!(bodies.len(), 2);
+        // The first body must be the high-priority one.
+        let first = &prog.funcs[bodies[0] as usize];
+        let is_high = first.code.iter().any(|i| {
+            matches!(i, CInstr::CallHost { args, .. }
+                if matches!(args.first(), Some(COperand::Value(Value::String(s))) if &**s == "high"))
+        });
+        assert!(is_high);
+    }
+
+    #[test]
+    fn const_value_conversions() {
+        assert!(matches!(
+            const_value(&Const::Int(5)).unwrap(),
+            Value::Int(5)
+        ));
+        assert!(matches!(
+            const_value(&Const::Bool(true)).unwrap(),
+            Value::Bool(true)
+        ));
+        assert!(const_value(&Const::Ident("x".into())).is_err());
+        assert!(const_value(&Const::Label("l".into())).is_err());
+        let t = const_value(&Const::Tuple(vec![Const::Int(1), Const::Str("a".into())])).unwrap();
+        match t {
+            Value::Tuple(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolved_variable_is_compile_error() {
+        // Bypass the checker to confirm lowering itself validates too.
+        let m = parse_module("module M\nvoid f() {\n    local int<64> x\n    x = assign 1\n}\n")
+            .unwrap();
+        let mut linked = link_with_priorities(vec![m]).unwrap();
+        // Corrupt a reference.
+        let f = linked.functions.get_mut("M::f").unwrap();
+        f.blocks[0].instrs[0].args[0] = crate::ir::Operand::var("ghost");
+        assert!(compile(&linked).is_err());
+    }
+}

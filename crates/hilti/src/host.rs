@@ -1,0 +1,488 @@
+//! The host-application API (§3.4).
+//!
+//! This is the analog of the paper's generated C stubs plus the C++ AST
+//! interface: a host application either parses textual HILTI source or
+//! builds [`crate::ir::Module`]s programmatically, then obtains a
+//! [`Program`] — parsed, linked, checked, optimized, and lowered to
+//! bytecode ("all the way from user-level specification to native code on
+//! the fly"). The program exposes function calls in both directions,
+//! fibers for incremental processing, and access to output, logs, and
+//! profiling.
+
+use hilti_rt::error::{RtError, RtResult};
+
+use crate::bytecode::{compile, CompiledProgram};
+use crate::check;
+use crate::fiber::Fiber;
+use crate::ir::Module;
+use crate::linker::{link_with_priorities, Linked};
+use crate::passes::{optimize_linked, OptLevel, PassStats};
+use crate::value::Value;
+use crate::vm::{self, Context};
+
+/// Build-time options beyond the optimization level.
+#[derive(Clone, Debug, Default)]
+pub struct BuildOptions {
+    /// Insert per-function profiling spans (§3.3).
+    pub instrument: bool,
+    /// When set, prune functions unreachable from these roots (and from
+    /// hooks) — §7's link-time elimination of code "statically determined
+    /// as unreachable with the host application's parameterization".
+    pub prune_roots: Option<Vec<String>>,
+}
+
+/// A ready-to-run HILTI program: linked IR plus compiled bytecode plus the
+/// execution context (thread-local state of virtual thread 0).
+pub struct Program {
+    linked: Linked,
+    compiled: CompiledProgram,
+    ctx: Context,
+    pass_stats: PassStats,
+    warnings: Vec<check::Diagnostic>,
+}
+
+impl Program {
+    /// Builds a program from one textual source unit with full optimization.
+    pub fn from_source(src: &str) -> RtResult<Program> {
+        Self::from_sources(&[src], OptLevel::Full)
+    }
+
+    /// Builds a program from several textual units.
+    pub fn from_sources(srcs: &[&str], opt: OptLevel) -> RtResult<Program> {
+        let modules = srcs
+            .iter()
+            .map(|s| crate::parser::parse_module(s))
+            .collect::<RtResult<Vec<_>>>()?;
+        Self::from_modules(modules, opt)
+    }
+
+    /// Builds with per-function profiling instrumentation (§3.3): every
+    /// function's execution time accumulates under `fn:<name>` spans in
+    /// the context's profiler.
+    pub fn from_sources_instrumented(srcs: &[&str], opt: OptLevel) -> RtResult<Program> {
+        let modules = srcs
+            .iter()
+            .map(|s| crate::parser::parse_module(s))
+            .collect::<RtResult<Vec<_>>>()?;
+        Self::from_modules_opts(modules, opt, true)
+    }
+
+    /// Builds a program from in-memory modules (the AST-API path host
+    /// compilers use).
+    pub fn from_modules(modules: Vec<Module>, opt: OptLevel) -> RtResult<Program> {
+        Self::from_modules_opts(modules, opt, false)
+    }
+
+    /// Like [`Program::from_modules`], optionally inserting
+    /// function-granularity profiling instrumentation (§3.3).
+    pub fn from_modules_opts(
+        modules: Vec<Module>,
+        opt: OptLevel,
+        instrument: bool,
+    ) -> RtResult<Program> {
+        Self::build(
+            modules,
+            opt,
+            BuildOptions {
+                instrument,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The full build pipeline with all options.
+    pub fn build(
+        modules: Vec<Module>,
+        opt: OptLevel,
+        options: BuildOptions,
+    ) -> RtResult<Program> {
+        let mut linked = link_with_priorities(modules)?;
+        let warnings = check::check(&linked)?;
+        if let Some(roots) = &options.prune_roots {
+            let refs: Vec<&str> = roots.iter().map(String::as_str).collect();
+            crate::linker::prune_unreachable(&mut linked, &refs);
+        }
+        let pass_stats = optimize_linked(&mut linked, opt);
+        if options.instrument {
+            crate::passes::instrument_functions(&mut linked);
+        }
+        let compiled = compile(&linked)?;
+        let ctx = Context::for_program(&compiled);
+        Ok(Program {
+            linked,
+            compiled,
+            ctx,
+            pass_stats,
+            warnings,
+        })
+    }
+
+    /// Static-checker warnings collected at build time.
+    pub fn warnings(&self) -> &[check::Diagnostic] {
+        &self.warnings
+    }
+
+    /// Optimization statistics from the build.
+    pub fn pass_stats(&self) -> PassStats {
+        self.pass_stats
+    }
+
+    /// The linked IR (for inspection or the interpreter baseline).
+    pub fn linked(&self) -> &Linked {
+        &self.linked
+    }
+
+    /// The compiled bytecode.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// The execution context.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    pub fn context_mut(&mut self) -> &mut Context {
+        &mut self.ctx
+    }
+
+    /// Calls a HILTI function on the compiled engine and returns its value.
+    pub fn run(&mut self, func: &str, args: &[Value]) -> RtResult<Value> {
+        vm::call(&self.compiled, &mut self.ctx, func, args)
+    }
+
+    /// Calls a void HILTI function on the compiled engine.
+    pub fn run_void(&mut self, func: &str, args: &[Value]) -> RtResult<()> {
+        self.run(func, args).map(|_| ())
+    }
+
+    /// Calls a HILTI function on the interpreter baseline.
+    pub fn run_interpreted(&mut self, func: &str, args: &[Value]) -> RtResult<Value> {
+        crate::interp::call(&self.linked, &mut self.ctx, func, args)
+    }
+
+    /// Runs all bodies of a hook (host-driven callbacks, §3.2).
+    pub fn run_hook(&mut self, hook: &str, args: &[Value]) -> RtResult<()> {
+        let Some(hi) = self.compiled.hook_index.get(hook).copied() else {
+            return Ok(()); // a hook with no bodies does nothing
+        };
+        let bodies = self.compiled.hooks[hi as usize].clone();
+        for body in bodies {
+            let frames = vec![vm::Frame::new_public(&self.compiled, body, args.to_vec())];
+            match vm::run(&self.compiled, &mut self.ctx, frames, false)? {
+                vm::Outcome::Done(_) => {}
+                vm::Outcome::Suspended(_) => {
+                    return Err(RtError::runtime("hook body suspended"))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a fiber for an incremental computation.
+    pub fn fiber(&self, func: &str, args: Vec<Value>) -> Fiber {
+        Fiber::new(func, args)
+    }
+
+    /// Resumes a fiber against this program.
+    pub fn resume(&mut self, fiber: &mut Fiber) -> RtResult<crate::fiber::Step> {
+        fiber.resume(&self.compiled, &mut self.ctx)
+    }
+
+    /// Registers a host function callable from HILTI code (`call.c`).
+    pub fn register_host_fn(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&[Value]) -> RtResult<Value> + 'static,
+    ) {
+        self.ctx.register_host_fn(name, f);
+    }
+
+    /// Takes accumulated `Hilti::print` output.
+    pub fn take_output(&mut self) -> Vec<String> {
+        self.ctx.take_output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_hello_world() {
+        // Figure 3 of the paper, minus the shell.
+        let mut p = Program::from_source(
+            r#"
+module Main
+import Hilti
+
+void run() {
+    call Hilti::print "Hello, World!"
+}
+"#,
+        )
+        .unwrap();
+        p.run_void("Main::run", &[]).unwrap();
+        assert_eq!(p.take_output(), vec!["Hello, World!"]);
+    }
+
+    #[test]
+    fn vm_and_interpreter_agree() {
+        let src = r#"
+module M
+int<64> fib(int<64> n) {
+    local bool base
+    local int<64> a
+    local int<64> b
+    base = int.lt n 2
+    if.else base ret rec
+ret:
+    return n
+rec:
+    a = int.sub n 1
+    a = call fib (a)
+    b = int.sub n 2
+    b = call fib (b)
+    a = int.add a b
+    return a
+}
+"#;
+        let mut p = Program::from_source(src).unwrap();
+        let compiled = p.run("M::fib", &[Value::Int(18)]).unwrap();
+        let interpreted = p.run_interpreted("M::fib", &[Value::Int(18)]).unwrap();
+        assert!(compiled.equals(&interpreted));
+        assert!(compiled.equals(&Value::Int(2584)));
+    }
+
+    #[test]
+    fn host_function_roundtrip() {
+        let mut p = Program::from_source(
+            r#"
+module M
+int<64> f(int<64> x) {
+    local int<64> y
+    y = call host_double (x)
+    y = int.add y 1
+    return y
+}
+"#,
+        )
+        .unwrap();
+        p.register_host_fn("host_double", |args| {
+            Ok(Value::Int(args[0].as_int()? * 2))
+        });
+        let v = p.run("M::f", &[Value::Int(21)]).unwrap();
+        assert!(v.equals(&Value::Int(43)));
+    }
+
+    #[test]
+    fn unknown_host_function_errors() {
+        let mut p = Program::from_source(
+            "module M\nvoid f() {\n  call no_such_fn ()\n}\n",
+        )
+        .unwrap();
+        assert!(p.run_void("M::f", &[]).is_err());
+        // And the checker warned about it at build time.
+        assert!(p
+            .warnings()
+            .iter()
+            .any(|w| w.message.contains("no_such_fn")));
+    }
+
+    #[test]
+    fn host_driven_hooks() {
+        let mut p = Program::from_source(
+            r#"
+module M
+hook void on_banner(string sw) {
+    call Hilti::print sw
+}
+"#,
+        )
+        .unwrap();
+        p.run_hook("M::on_banner", &[Value::str("OpenSSH_3.9p1")])
+            .unwrap();
+        p.run_hook("M::nonexistent", &[]).unwrap(); // no bodies: no-op
+        assert_eq!(p.take_output(), vec!["OpenSSH_3.9p1"]);
+    }
+
+    #[test]
+    fn optimization_reported() {
+        let p = Program::from_sources(
+            &["module M\nint<64> f() {\n  local int<64> x\n  x = int.add 40 2\n  return x\n}\n"],
+            OptLevel::Full,
+        )
+        .unwrap();
+        assert!(p.pass_stats().constants_folded >= 1);
+        let p0 = Program::from_sources(
+            &["module M\nint<64> f() {\n  local int<64> x\n  x = int.add 40 2\n  return x\n}\n"],
+            OptLevel::None,
+        )
+        .unwrap();
+        assert_eq!(p0.pass_stats().total(), 0);
+    }
+
+    #[test]
+    fn multi_unit_program() {
+        let mut p = Program::from_sources(
+            &[
+                r#"
+module Lib
+int<64> triple(int<64> x) {
+    local int<64> y
+    y = int.mul x 3
+    return y
+}
+"#,
+                r#"
+module App
+int<64> main(int<64> x) {
+    local int<64> y
+    y = call Lib::triple (x)
+    return y
+}
+"#,
+            ],
+            OptLevel::Full,
+        )
+        .unwrap();
+        let v = p.run("App::main", &[Value::Int(14)]).unwrap();
+        assert!(v.equals(&Value::Int(42)));
+    }
+
+    #[test]
+    fn link_time_pruning_with_roots() {
+        // §7: the linker removes code unreachable from the host's
+        // parameterization — unused functions vanish from the binary.
+        let src = r#"
+module M
+void used_helper() {
+}
+void entry() {
+    call used_helper ()
+}
+void never_called() {
+    call also_dead ()
+}
+void also_dead() {
+}
+"#;
+        let modules = vec![crate::parser::parse_module(src).unwrap()];
+        let mut p = Program::build(
+            modules,
+            OptLevel::Full,
+            BuildOptions {
+                prune_roots: Some(vec!["M::entry".to_owned()]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(p.linked().function("M::entry").is_some());
+        assert!(p.linked().function("M::used_helper").is_some());
+        assert!(p.linked().function("M::never_called").is_none());
+        assert!(p.linked().function("M::also_dead").is_none());
+        // The kept entry still runs.
+        p.run_void("M::entry", &[]).unwrap();
+        // The pruned function is gone from the compiled image too.
+        assert!(p.run_void("M::never_called", &[]).is_err());
+    }
+
+    #[test]
+    fn function_granularity_profiling() {
+        // §3.3: instrumentation inserted by the compiler reports per-
+        // function time through the context profiler.
+        let src = r#"
+module M
+int<64> busy(int<64> n) {
+    local int<64> i
+    local int<64> acc
+    local bool more
+    i = assign 0
+    acc = assign 0
+loop:
+    acc = int.add acc i
+    i = int.add i 1
+    more = int.lt i n
+    if.else more loop done
+done:
+    return acc
+}
+int<64> outer(int<64> n) {
+    local int<64> r
+    r = call busy (n)
+    return r
+}
+"#;
+        let mut p = Program::from_sources_instrumented(&[src], OptLevel::Full).unwrap();
+        p.run("M::outer", &[Value::Int(50_000)]).unwrap();
+        let busy_ns = p.context().profile_ns("fn:M::busy");
+        let outer_ns = p.context().profile_ns("fn:M::outer");
+        assert!(busy_ns > 0, "busy must be charged");
+        // Spans are inclusive (outer includes its callees), the standard
+        // function-profiling convention; outer must cover busy.
+        assert!(
+            outer_ns >= busy_ns,
+            "outer ({outer_ns}ns) must include busy ({busy_ns}ns)"
+        );
+    }
+
+    #[test]
+    fn timers_fire_through_callables() {
+        let mut p = Program::from_source(
+            r#"
+module M
+global int<64> fired = 0
+
+void on_timer(int<64> k) {
+    fired = int.add fired k
+}
+
+void schedule_and_advance() {
+    local ref<timer_mgr> mgr
+    local callable c
+    local int<64> id
+    mgr = new timer_mgr
+    c = callable.bind on_timer (7)
+    id = timer_mgr.schedule mgr time(10.0) c
+    timer_mgr.advance mgr time(5.0)
+    timer_mgr.advance mgr time(10.0)
+}
+
+int<64> get() {
+    return fired
+}
+"#,
+        )
+        .unwrap();
+        p.run_void("M::schedule_and_advance", &[]).unwrap();
+        let v = p.run("M::get", &[]).unwrap();
+        assert!(v.equals(&Value::Int(7)), "{v:?}");
+    }
+
+    #[test]
+    fn execution_trace_capture() {
+        let mut p = Program::from_source(
+            "module M\nint<64> twice(int<64> x) {\n    x = int.add x x\n    return x\n}\n",
+        )
+        .unwrap();
+
+        // Off by default: nothing is recorded.
+        p.run("M::twice", &[Value::Int(3)]).unwrap();
+        assert!(p.context_mut().take_trace().is_empty());
+
+        // On: one line per executed instruction, engine-tagged by function.
+        p.context_mut().trace = true;
+        p.run("M::twice", &[Value::Int(3)]).unwrap();
+        let vm_trace = p.context_mut().take_trace();
+        assert!(!vm_trace.is_empty());
+        assert!(vm_trace.iter().all(|l| l.starts_with("M::twice@")), "{vm_trace:?}");
+        // take_trace drains.
+        assert!(p.context_mut().take_trace().is_empty());
+
+        // The interpreter records through the same channel.
+        p.run_interpreted("M::twice", &[Value::Int(3)]).unwrap();
+        let interp_trace = p.context_mut().take_trace();
+        assert!(!interp_trace.is_empty());
+        assert!(interp_trace.iter().all(|l| l.starts_with("M::twice::")), "{interp_trace:?}");
+    }
+}

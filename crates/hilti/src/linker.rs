@@ -1,0 +1,389 @@
+//! The HILTI linker: merges compilation units into one executable program.
+//!
+//! Per §5 "Linker", two jobs need a global view across units:
+//!
+//! 1. **Thread-local globals.** Each virtual thread owns one array holding a
+//!    copy of every global from every unit; only the link stage can compute
+//!    that aggregate layout. The linker qualifies global names with their
+//!    module, assigns each a slot index, and rewrites instructions to the
+//!    final names.
+//! 2. **Hooks.** A hook may have bodies in several units; the linker merges
+//!    them into one ordered list (higher priority first, then unit order).
+//!
+//! The linker also performs cross-unit dead-code elimination when asked: any
+//! function unreachable from a set of exported roots is dropped (§7: "the
+//! HILTI linker can remove any code ... that it can statically determine as
+//! unreachable with the host application's parameterization").
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use hilti_rt::error::{RtError, RtResult};
+
+use crate::ir::{Const, Function, Module, Opcode, Operand, TypeDef};
+use crate::types::Type;
+
+/// A fully linked program, ready for checking / optimization / execution.
+#[derive(Clone, Debug, Default)]
+pub struct Linked {
+    /// All functions, by fully qualified name.
+    pub functions: HashMap<String, Function>,
+    /// Hook name → bodies, highest priority first.
+    pub hooks: HashMap<String, Vec<Function>>,
+    /// Merged user-defined types.
+    pub types: HashMap<String, TypeDef>,
+    /// Global slot layout: qualified name → index.
+    pub global_index: HashMap<String, usize>,
+    /// Global declarations in slot order: (qualified name, type, initializer).
+    pub globals: Vec<(String, Type, Option<Const>)>,
+}
+
+impl Linked {
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.get(name)
+    }
+}
+
+/// Links modules into one program.
+pub fn link(modules: Vec<Module>) -> RtResult<Linked> {
+    let mut out = Linked::default();
+
+    for mut module in modules {
+        // Qualify and register globals.
+        let mut rename: HashMap<String, String> = HashMap::new();
+        for (name, ty, init) in &module.globals {
+            let qualified = format!("{}::{}", module.name, name);
+            if out.global_index.contains_key(&qualified) {
+                return Err(RtError::value(format!(
+                    "duplicate global {qualified} at link time"
+                )));
+            }
+            rename.insert(name.clone(), qualified.clone());
+            out.global_index.insert(qualified.clone(), out.globals.len());
+            out.globals.push((qualified, ty.clone(), init.clone()));
+        }
+
+        // Merge types.
+        for (name, def) in module.types.drain() {
+            if out.types.contains_key(&name) {
+                return Err(RtError::value(format!(
+                    "duplicate type {name} at link time"
+                )));
+            }
+            out.types.insert(name, def);
+        }
+
+        // Rewrite references to this module's globals in all bodies.
+        let module_name = module.name.clone();
+        for func in module
+            .functions
+            .iter_mut()
+            .chain(module.hooks.values_mut().flat_map(|bodies| {
+                bodies.iter_mut().map(|b| &mut b.func)
+            }))
+        {
+            rewrite_globals(func, &rename, &module_name);
+        }
+
+        // Register functions.
+        for func in module.functions {
+            if out.functions.contains_key(&func.name) {
+                return Err(RtError::value(format!(
+                    "duplicate function {} at link time",
+                    func.name
+                )));
+            }
+            out.functions.insert(func.name.clone(), func);
+        }
+
+        // Collect hook bodies (sorted by priority in
+        // `link_with_priorities`, which callers should use).
+        for (name, bodies) in module.hooks {
+            let entry = out.hooks.entry(name).or_default();
+            for b in bodies {
+                entry.push(b.func.clone());
+            }
+        }
+    }
+
+    qualify_callees(&mut out);
+    Ok(out)
+}
+
+/// Rewrites bare callee/hook/callable identifiers to their qualified names
+/// where the caller's own module defines them — `call fib (n)` inside
+/// module `M` resolves to `M::fib`. Names that resolve nowhere stay bare
+/// (host functions registered at runtime).
+fn qualify_callees(out: &mut Linked) {
+    let func_names: HashSet<String> = out.functions.keys().cloned().collect();
+    let hook_names: HashSet<String> = out.hooks.keys().cloned().collect();
+    let qualify_one = |caller: &str, name: &mut String, table: &HashSet<String>| {
+        if name.contains("::") || table.contains(name) {
+            return;
+        }
+        if let Some(module) = caller.rsplit_once("::").map(|(m, _)| m) {
+            let candidate = format!("{module}::{name}");
+            if table.contains(&candidate) {
+                *name = candidate;
+            }
+        }
+    };
+    let fix_function = |func: &mut Function| {
+        let caller = func.name.clone();
+        for block in &mut func.blocks {
+            for instr in &mut block.instrs {
+                let (pos, table): (usize, &HashSet<String>) = match instr.opcode {
+                    Opcode::Call | Opcode::CallVoid | Opcode::CallableBind => (0, &func_names),
+                    Opcode::HookRun | Opcode::HookRunVoid => (0, &hook_names),
+                    _ => continue,
+                };
+                if let Some(Operand::Const(Const::Ident(name))) = instr.args.get_mut(pos) {
+                    qualify_one(&caller, name, table);
+                }
+            }
+        }
+    };
+    // Collect-and-reinsert to appease the borrow checker (we read the name
+    // tables while mutating bodies).
+    let mut functions = std::mem::take(&mut out.functions);
+    for f in functions.values_mut() {
+        fix_function(f);
+    }
+    out.functions = functions;
+    let mut hooks = std::mem::take(&mut out.hooks);
+    for bodies in hooks.values_mut() {
+        for f in bodies {
+            fix_function(f);
+        }
+    }
+    out.hooks = hooks;
+}
+
+/// Links modules, sorting hook bodies by priority (higher first, stable).
+pub fn link_with_priorities(modules: Vec<Module>) -> RtResult<Linked> {
+    // Collect priorities before the plain link consumes the modules.
+    let mut priorities: HashMap<String, Vec<i64>> = HashMap::new();
+    for m in &modules {
+        for (name, bodies) in &m.hooks {
+            priorities
+                .entry(name.clone())
+                .or_default()
+                .extend(bodies.iter().map(|b| b.priority));
+        }
+    }
+    let mut linked = link(modules)?;
+    for (name, bodies) in linked.hooks.iter_mut() {
+        let prios = priorities.get(name).cloned().unwrap_or_default();
+        let mut tagged: Vec<(i64, usize, Function)> = bodies
+            .drain(..)
+            .enumerate()
+            .map(|(i, f)| (prios.get(i).copied().unwrap_or(0), i, f))
+            .collect();
+        tagged.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        *bodies = tagged.into_iter().map(|(_, _, f)| f).collect();
+    }
+    Ok(linked)
+}
+
+/// Replaces references to module globals with their qualified slot names.
+/// Locals and parameters shadow globals.
+fn rewrite_globals(func: &mut Function, rename: &HashMap<String, String>, module: &str) {
+    let shadowed: HashSet<&String> = func
+        .params
+        .iter()
+        .map(|(n, _)| n)
+        .chain(func.locals.iter().map(|(n, _)| n))
+        .collect();
+    let shadowed: HashSet<String> = shadowed.into_iter().cloned().collect();
+    let fix = |op: &mut Operand| {
+        if let Operand::Var(name) = op {
+            if !shadowed.contains(name) {
+                if let Some(q) = rename.get(name) {
+                    *name = q.clone();
+                } else if name.starts_with(&format!("{module}::")) {
+                    // Already qualified.
+                }
+            }
+        }
+    };
+    for block in &mut func.blocks {
+        for instr in &mut block.instrs {
+            for arg in &mut instr.args {
+                fix(arg);
+            }
+            if let Some(t) = &instr.target {
+                if !shadowed.contains(t) {
+                    if let Some(q) = rename.get(t) {
+                        instr.target = Some(q.clone());
+                    }
+                }
+            }
+        }
+        if let crate::ir::Terminator::IfElse(cond, _, _) = &mut block.term {
+            fix(cond);
+        }
+        if let crate::ir::Terminator::Return(Some(v)) = &mut block.term {
+            fix(v);
+        }
+    }
+}
+
+/// Drops functions unreachable from `roots` (and from hooks, which hosts
+/// can always trigger). Returns the number of functions removed.
+pub fn prune_unreachable(linked: &mut Linked, roots: &[&str]) -> usize {
+    let mut reachable: HashSet<String> = HashSet::new();
+    let mut queue: VecDeque<String> = roots.iter().map(|s| s.to_string()).collect();
+    // Hook bodies are externally triggerable; their callees stay.
+    let hook_funcs: Vec<Function> = linked.hooks.values().flatten().cloned().collect();
+    for f in &hook_funcs {
+        queue.push_back(f.name.clone());
+        reachable.insert(f.name.clone());
+        collect_callees(f, &mut queue);
+    }
+    while let Some(name) = queue.pop_front() {
+        if !reachable.insert(name.clone()) {
+            continue;
+        }
+        if let Some(f) = linked.functions.get(&name) {
+            collect_callees(f, &mut queue);
+        }
+    }
+    // Also anything referenced from roots' bodies transitively (collect on
+    // first visit above covers it).
+    let before = linked.functions.len();
+    linked.functions.retain(|name, _| reachable.contains(name));
+    before - linked.functions.len()
+}
+
+fn collect_callees(f: &Function, queue: &mut VecDeque<String>) {
+    for block in &f.blocks {
+        for instr in &block.instrs {
+            let callee_pos = match instr.opcode {
+                Opcode::Call | Opcode::CallVoid | Opcode::CallableBind => Some(0),
+                _ => None,
+            };
+            if let Some(pos) = callee_pos {
+                if let Some(Operand::Const(Const::Ident(name))) = instr.args.get(pos) {
+                    queue.push_back(name.clone());
+                }
+            }
+            // Timer/callable/thread indirect calls bind through
+            // callable.bind, covered above.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    #[test]
+    fn globals_get_qualified_slots() {
+        let a = parse_module(
+            "module A\nglobal int<64> x = 1\nvoid f() {\n  x = int.add x 1\n}\n",
+        )
+        .unwrap();
+        let b = parse_module(
+            "module B\nglobal int<64> x = 2\nvoid g() {\n  x = int.add x 10\n}\n",
+        )
+        .unwrap();
+        let linked = link_with_priorities(vec![a, b]).unwrap();
+        assert_eq!(linked.globals.len(), 2);
+        assert!(linked.global_index.contains_key("A::x"));
+        assert!(linked.global_index.contains_key("B::x"));
+        // References rewritten.
+        let f = linked.function("A::f").unwrap();
+        assert_eq!(f.blocks[0].instrs[0].args[0], Operand::var("A::x"));
+        let g = linked.function("B::g").unwrap();
+        assert_eq!(g.blocks[0].instrs[0].args[0], Operand::var("B::x"));
+    }
+
+    #[test]
+    fn locals_shadow_globals() {
+        let a = parse_module(
+            "module A\nglobal int<64> x = 1\nvoid f() {\n  local int<64> x = 5\n  x = int.add x 1\n}\n",
+        )
+        .unwrap();
+        let linked = link_with_priorities(vec![a]).unwrap();
+        let f = linked.function("A::f").unwrap();
+        // All references stay the bare local.
+        for i in &f.blocks[0].instrs {
+            for arg in &i.args {
+                assert_ne!(arg, &Operand::var("A::x"));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_functions_rejected() {
+        let a = parse_module("module A\nvoid f() {\n}\n").unwrap();
+        let b = parse_module("module A\nvoid f() {\n}\n").unwrap();
+        assert!(link_with_priorities(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn hooks_merge_across_units_by_priority() {
+        let a = parse_module(
+            "module A\nhook void h(int<64> x) {\n  call Hilti::print \"low\"\n}\n",
+        )
+        .unwrap();
+        let b = parse_module(
+            "module B\nhook void A::h(int<64> x) &priority = 10 {\n  call Hilti::print \"high\"\n}\n",
+        )
+        .unwrap();
+        let linked = link_with_priorities(vec![a, b]).unwrap();
+        let bodies = linked.hooks.get("A::h").unwrap();
+        assert_eq!(bodies.len(), 2);
+        // Higher priority (from unit B) must run first.
+        assert_eq!(bodies[0].name, "A::h");
+        let first_print = &bodies[0].blocks[0].instrs[0];
+        assert_eq!(
+            first_print.args[1],
+            Operand::Const(Const::Str("high".into()))
+        );
+    }
+
+    #[test]
+    fn prune_removes_unreachable() {
+        let a = parse_module(
+            r#"
+module A
+void used() {
+}
+void root() {
+    call used ()
+}
+void dead() {
+    call also_dead ()
+}
+void also_dead() {
+}
+"#,
+        )
+        .unwrap();
+        let mut linked = link_with_priorities(vec![a]).unwrap();
+        let removed = prune_unreachable(&mut linked, &["A::root"]);
+        assert_eq!(removed, 2);
+        assert!(linked.function("A::root").is_some());
+        assert!(linked.function("A::used").is_some());
+        assert!(linked.function("A::dead").is_none());
+    }
+
+    #[test]
+    fn prune_keeps_hook_callees() {
+        let a = parse_module(
+            r#"
+module A
+hook void h() {
+    call helper ()
+}
+void helper() {
+}
+"#,
+        )
+        .unwrap();
+        let mut linked = link_with_priorities(vec![a]).unwrap();
+        prune_unreachable(&mut linked, &[]);
+        assert!(linked.function("A::helper").is_some());
+    }
+}

@@ -1,0 +1,268 @@
+//! HILTI's static type system (§3.2 "Rich Data Types").
+//!
+//! The machine is statically typed: containers, iterators, and references
+//! are parameterized by type, and instructions validate their operand types
+//! before a program runs ([`crate::check`]). Types also provide "crucial
+//! context for type checking, optimization, and data flow/dependency
+//! analyses".
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A HILTI type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// Bottom type of `return` with no value.
+    Void,
+    Bool,
+    /// Fixed-width integer, `int<8|16|32|64>`.
+    Int(u8),
+    Double,
+    /// Unicode string.
+    String,
+    /// Raw bytes (appendable, freezable; see `hilti_rt::Bytes`).
+    Bytes,
+    /// Iterator over bytes.
+    BytesIter,
+    Addr,
+    Net,
+    Port,
+    Time,
+    Interval,
+    /// Named enum type.
+    Enum(Rc<str>),
+    /// Named bitset type (a set of named bits in an int<64>).
+    Bitset(Rc<str>),
+    Tuple(Rc<Vec<Type>>),
+    List(Rc<Type>),
+    Vector(Rc<Type>),
+    Set(Rc<Type>),
+    Map(Rc<Type>, Rc<Type>),
+    /// Named struct type; layout looked up in the module.
+    Struct(Rc<str>),
+    /// Reference to a heap value. In this implementation references are
+    /// implicit (values of heap types share state on copy), but `ref<T>`
+    /// remains in the surface syntax and the type checker treats it as
+    /// transparent.
+    Ref(Rc<Type>),
+    /// Compiled regular expression (possibly a set of patterns).
+    Regexp,
+    /// In-progress incremental regexp match.
+    Matcher,
+    Channel(Rc<Type>),
+    /// Packet classifier with rule-struct and value types.
+    Classifier(Rc<Type>, Rc<Type>),
+    /// Named overlay type.
+    Overlay(Rc<str>),
+    Timer,
+    TimerMgr,
+    File,
+    /// Input source for packets (trace file / interface).
+    IOSrc,
+    /// Bound function value.
+    Callable(Rc<Vec<Type>>, Rc<Type>),
+    Exception,
+    /// Caught-exception binder in `catch` clauses, or a wildcard in
+    /// signatures of overloaded instructions.
+    Any,
+}
+
+impl Type {
+    /// Strips `ref<...>` wrappers; the machine's reference semantics make
+    /// them transparent for checking purposes.
+    pub fn strip_ref(&self) -> &Type {
+        match self {
+            Type::Ref(inner) => inner.strip_ref(),
+            t => t,
+        }
+    }
+
+    /// Structural compatibility: equal after stripping refs, with `Any`
+    /// acting as a wildcard on either side.
+    pub fn compatible(&self, other: &Type) -> bool {
+        let a = self.strip_ref();
+        let b = other.strip_ref();
+        match (a, b) {
+            (Type::Any, _) | (_, Type::Any) => true,
+            (Type::Int(_), Type::Int(_)) => true,
+            (Type::Tuple(x), Type::Tuple(y)) => {
+                x.len() == y.len() && x.iter().zip(y.iter()).all(|(p, q)| p.compatible(q))
+            }
+            (Type::List(x), Type::List(y))
+            | (Type::Vector(x), Type::Vector(y))
+            | (Type::Set(x), Type::Set(y))
+            | (Type::Channel(x), Type::Channel(y)) => x.compatible(y),
+            (Type::Map(k1, v1), Type::Map(k2, v2)) => k1.compatible(k2) && v1.compatible(v2),
+            (Type::Classifier(k1, v1), Type::Classifier(k2, v2)) => {
+                k1.compatible(k2) && v1.compatible(v2)
+            }
+            (x, y) => x == y,
+        }
+    }
+
+    /// True for types whose values live on the heap and share state when
+    /// copied (the `ref` family in the paper's model).
+    pub fn is_heap(&self) -> bool {
+        matches!(
+            self.strip_ref(),
+            Type::Bytes
+                | Type::List(_)
+                | Type::Vector(_)
+                | Type::Set(_)
+                | Type::Map(_, _)
+                | Type::Struct(_)
+                | Type::Regexp
+                | Type::Matcher
+                | Type::Channel(_)
+                | Type::Classifier(_, _)
+                | Type::TimerMgr
+                | Type::File
+                | Type::IOSrc
+        )
+    }
+
+    pub fn int64() -> Type {
+        Type::Int(64)
+    }
+
+    pub fn list(t: Type) -> Type {
+        Type::List(Rc::new(t))
+    }
+
+    pub fn vector(t: Type) -> Type {
+        Type::Vector(Rc::new(t))
+    }
+
+    pub fn set(t: Type) -> Type {
+        Type::Set(Rc::new(t))
+    }
+
+    pub fn map(k: Type, v: Type) -> Type {
+        Type::Map(Rc::new(k), Rc::new(v))
+    }
+
+    pub fn tuple(ts: Vec<Type>) -> Type {
+        Type::Tuple(Rc::new(ts))
+    }
+
+    pub fn reference(t: Type) -> Type {
+        Type::Ref(Rc::new(t))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Bool => write!(f, "bool"),
+            Type::Int(w) => write!(f, "int<{w}>"),
+            Type::Double => write!(f, "double"),
+            Type::String => write!(f, "string"),
+            Type::Bytes => write!(f, "bytes"),
+            Type::BytesIter => write!(f, "iterator<bytes>"),
+            Type::Addr => write!(f, "addr"),
+            Type::Net => write!(f, "net"),
+            Type::Port => write!(f, "port"),
+            Type::Time => write!(f, "time"),
+            Type::Interval => write!(f, "interval"),
+            Type::Enum(n) => write!(f, "enum {n}"),
+            Type::Bitset(n) => write!(f, "bitset {n}"),
+            Type::Tuple(ts) => {
+                write!(f, "tuple<")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ">")
+            }
+            Type::List(t) => write!(f, "list<{t}>"),
+            Type::Vector(t) => write!(f, "vector<{t}>"),
+            Type::Set(t) => write!(f, "set<{t}>"),
+            Type::Map(k, v) => write!(f, "map<{k}, {v}>"),
+            Type::Struct(n) => write!(f, "struct {n}"),
+            Type::Ref(t) => write!(f, "ref<{t}>"),
+            Type::Regexp => write!(f, "regexp"),
+            Type::Matcher => write!(f, "matcher"),
+            Type::Channel(t) => write!(f, "channel<{t}>"),
+            Type::Classifier(k, v) => write!(f, "classifier<{k}, {v}>"),
+            Type::Overlay(n) => write!(f, "overlay {n}"),
+            Type::Timer => write!(f, "timer"),
+            Type::TimerMgr => write!(f, "timer_mgr"),
+            Type::File => write!(f, "file"),
+            Type::IOSrc => write!(f, "iosrc"),
+            Type::Callable(args, ret) => {
+                write!(f, "callable<{ret}")?;
+                for a in args.iter() {
+                    write!(f, ", {a}")?;
+                }
+                write!(f, ">")
+            }
+            Type::Exception => write!(f, "exception"),
+            Type::Any => write!(f, "any"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        assert_eq!(Type::Int(32).to_string(), "int<32>");
+        assert_eq!(
+            Type::map(Type::Addr, Type::set(Type::Port)).to_string(),
+            "map<addr, set<port>>"
+        );
+        assert_eq!(
+            Type::reference(Type::Bytes).to_string(),
+            "ref<bytes>"
+        );
+        assert_eq!(
+            Type::tuple(vec![Type::Addr, Type::Addr]).to_string(),
+            "tuple<addr, addr>"
+        );
+    }
+
+    #[test]
+    fn refs_are_transparent_for_compat() {
+        let a = Type::reference(Type::set(Type::Addr));
+        let b = Type::set(Type::Addr);
+        assert!(a.compatible(&b));
+        assert!(b.compatible(&a));
+    }
+
+    #[test]
+    fn any_is_wildcard() {
+        assert!(Type::Any.compatible(&Type::Port));
+        assert!(Type::map(Type::Any, Type::Any).compatible(&Type::map(Type::Addr, Type::Bool)));
+    }
+
+    #[test]
+    fn int_widths_are_compatible() {
+        // Width is a storage attribute; arithmetic instructions accept any
+        // combination and the checker warns rather than errors.
+        assert!(Type::Int(8).compatible(&Type::Int(64)));
+    }
+
+    #[test]
+    fn distinct_types_incompatible() {
+        assert!(!Type::Addr.compatible(&Type::Port));
+        assert!(!Type::list(Type::Addr).compatible(&Type::list(Type::Port)));
+        assert!(!Type::tuple(vec![Type::Addr]).compatible(&Type::tuple(vec![
+            Type::Addr,
+            Type::Addr
+        ])));
+    }
+
+    #[test]
+    fn heap_classification() {
+        assert!(Type::Bytes.is_heap());
+        assert!(Type::map(Type::Addr, Type::Bool).is_heap());
+        assert!(Type::reference(Type::Bytes).is_heap());
+        assert!(!Type::Addr.is_heap());
+        assert!(!Type::Int(64).is_heap());
+    }
+}

@@ -1,0 +1,991 @@
+//! The bytecode virtual machine — the "compiled" execution engine.
+//!
+//! The VM executes [`crate::bytecode::CompiledProgram`]s over an explicit,
+//! heap-allocated frame stack. That explicit stack is what makes fibers
+//! cheap (§3.2, §5 "Runtime Model"): suspending a computation detaches its
+//! frame vector into a [`crate::fiber::Fiber`]; resuming re-attaches it and
+//! re-executes the instruction that blocked. A `bytes` operation that hits
+//! the frontier of un-frozen input raises `Hilti::WouldBlock`, which in
+//! resumable mode suspends instead of unwinding — the mechanism behind
+//! BinPAC++'s transparent incremental parsing.
+//!
+//! Exception handling follows §3.2: `exception.push_handler` installs a
+//! (kind, handler-pc, binder) record in the current frame; a raised error
+//! dispatches to the innermost matching handler, or unwinds frames until
+//! one matches, or propagates out of the program.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use hilti_rt::error::{ExceptionKind, RtError, RtResult};
+use hilti_rt::file::LogFile;
+use hilti_rt::overlay::OverlayType;
+use hilti_rt::time::Time;
+
+use crate::bytecode::{CFunc, CInstr, COperand, CompiledProgram};
+use crate::ops::{self, ExecCtx, ExpiringHandle};
+use crate::value::{CallableVal, Value};
+
+/// A host-registered function (the inverse direction of the C stubs:
+/// HILTI code calling into the application, §3.4).
+pub type HostFn = Rc<RefCell<dyn FnMut(&[Value]) -> RtResult<Value>>>;
+
+/// Per-virtual-thread execution context: thread-local globals, output,
+/// registered state containers, files, host functions, profiler (§5
+/// "Runtime Model": "with each virtual thread HILTI's runtime associates a
+/// context object that stores all its relevant state").
+pub struct Context {
+    /// The thread-local global array, laid out by the linker.
+    pub globals: Vec<Value>,
+    /// Program output (`Hilti::print`).
+    pub out: Vec<String>,
+    global_time: Time,
+    expiring: Vec<ExpiringHandle>,
+    files: HashMap<String, LogFile>,
+    host_fns: HashMap<String, HostFn>,
+    iosrc_factories: HashMap<String, Box<dyn FnMut() -> RtResult<Value>>>,
+    /// name → (accumulated ns, open span start).
+    profiler: HashMap<String, (u64, Option<Instant>)>,
+    counters: HashMap<String, u64>,
+    /// The virtual thread this context belongs to.
+    pub thread_id: u64,
+    /// thread.schedule requests, drained by the thread runtime.
+    pub scheduled: Vec<(u64, CallableVal)>,
+    /// Struct/overlay tables copied from the program at setup.
+    pub struct_fields: HashMap<String, Vec<String>>,
+    pub overlays: HashMap<String, Rc<OverlayType>>,
+    /// When set, every executed instruction is appended to `trace_log`
+    /// (`hiltic run --trace`; the paper's §3.1 debugging support).
+    pub trace: bool,
+    /// Captured execution trace, one rendered instruction per line.
+    /// Capped at [`TRACE_CAP`] lines to bound memory on runaway programs.
+    pub trace_log: Vec<String>,
+}
+
+/// Upper bound on captured trace lines; tracing silently stops there.
+pub const TRACE_CAP: usize = 1_000_000;
+
+impl Context {
+    /// Creates a context for `prog`, with globals initialized.
+    pub fn for_program(prog: &CompiledProgram) -> Context {
+        let globals = prog
+            .global_inits
+            .iter()
+            .map(|init| init.clone().unwrap_or(Value::Null))
+            .collect();
+        Context {
+            globals,
+            out: Vec::new(),
+            global_time: Time::ZERO,
+            expiring: Vec::new(),
+            files: HashMap::new(),
+            host_fns: HashMap::new(),
+            iosrc_factories: HashMap::new(),
+            profiler: HashMap::new(),
+            counters: HashMap::new(),
+            thread_id: 0,
+            scheduled: Vec::new(),
+            struct_fields: prog.struct_fields.clone(),
+            overlays: prog.overlays.clone(),
+            trace: false,
+            trace_log: Vec::new(),
+        }
+    }
+
+    /// Takes the accumulated execution trace (see [`Context::trace`]).
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace_log)
+    }
+
+    /// Registers a host function callable from HILTI code.
+    pub fn register_host_fn(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&[Value]) -> RtResult<Value> + 'static,
+    ) {
+        self.host_fns.insert(name.to_owned(), Rc::new(RefCell::new(f)));
+    }
+
+    /// Registers a named input source factory for `iosrc.open`.
+    pub fn register_iosrc(
+        &mut self,
+        name: &str,
+        factory: impl FnMut() -> RtResult<Value> + 'static,
+    ) {
+        self.iosrc_factories.insert(name.to_owned(), Box::new(factory));
+    }
+
+    /// Pre-registers a named output file (e.g. disk-backed); otherwise
+    /// `file.open` creates in-memory logs.
+    pub fn register_file(&mut self, file: LogFile) {
+        self.files.insert(file.name().to_owned(), file);
+    }
+
+    /// Access to a named log file's captured lines.
+    pub fn file(&self, name: &str) -> Option<&LogFile> {
+        self.files.get(name)
+    }
+
+    /// Takes the accumulated program output.
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Accumulated nanoseconds for a named profiler span.
+    pub fn profile_ns(&self, name: &str) -> u64 {
+        self.profiler.get(name).map(|(t, _)| *t).unwrap_or(0)
+    }
+
+    /// Named profiler counter value.
+    pub fn profile_counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn global_time(&self) -> Time {
+        self.global_time
+    }
+
+    /// Looks up a registered host function (used by both engines).
+    pub fn host_fn(&self, name: &str) -> Option<HostFn> {
+        self.host_fns.get(name).cloned()
+    }
+}
+
+impl ExecCtx for Context {
+    fn output(&mut self, line: String) {
+        self.out.push(line);
+    }
+
+    fn global_time(&self) -> Time {
+        self.global_time
+    }
+
+    fn set_global_time(&mut self, t: Time) {
+        if t > self.global_time {
+            self.global_time = t;
+        }
+    }
+
+    fn register_expiring(&mut self, handle: ExpiringHandle) {
+        self.expiring.push(handle);
+    }
+
+    fn advance_expiring(&mut self, t: Time) {
+        self.expiring.retain(|h| match h {
+            ExpiringHandle::Set(s) => Rc::strong_count(s) > 1,
+            ExpiringHandle::Map(m) => Rc::strong_count(m) > 1,
+        });
+        for h in &self.expiring {
+            match h {
+                ExpiringHandle::Set(s) => {
+                    s.borrow_mut().advance(t);
+                }
+                ExpiringHandle::Map(m) => {
+                    m.borrow_mut().advance(t);
+                }
+            }
+        }
+    }
+
+    fn struct_fields(&self, type_name: &str) -> Option<Vec<String>> {
+        self.struct_fields.get(type_name).cloned()
+    }
+
+    fn overlay(&self, type_name: &str) -> Option<Rc<OverlayType>> {
+        self.overlays.get(type_name).cloned()
+    }
+
+    fn open_file(&mut self, name: &str) -> LogFile {
+        self.files
+            .entry(name.to_owned())
+            .or_insert_with(|| LogFile::in_memory(name))
+            .clone()
+    }
+
+    fn open_iosrc(&mut self, name: &str) -> RtResult<Value> {
+        match self.iosrc_factories.get_mut(name) {
+            Some(f) => f(),
+            None => Err(RtError::io(format!("no registered input source {name:?}"))),
+        }
+    }
+
+    fn schedule_thread(&mut self, tid: u64, callable: CallableVal) -> RtResult<()> {
+        self.scheduled.push((tid, callable));
+        Ok(())
+    }
+
+    fn thread_id(&self) -> u64 {
+        self.thread_id
+    }
+
+    fn profiler_start(&mut self, name: &str) {
+        let e = self.profiler.entry(name.to_owned()).or_insert((0, None));
+        if e.1.is_none() {
+            e.1 = Some(Instant::now());
+        }
+    }
+
+    fn profiler_stop(&mut self, name: &str) {
+        if let Some(e) = self.profiler.get_mut(name) {
+            if let Some(start) = e.1.take() {
+                e.0 += start.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    fn profiler_count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_default() += n;
+    }
+
+    fn profiler_time(&self, name: &str) -> u64 {
+        self.profile_ns(name)
+    }
+}
+
+/// An installed exception handler.
+#[derive(Clone, Debug)]
+pub struct Handler {
+    pub pc: u32,
+    pub kind: Rc<str>,
+    pub binder: Option<u16>,
+}
+
+/// One activation record.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    pub func: u32,
+    pub pc: u32,
+    pub slots: Vec<Value>,
+    pub handlers: Vec<Handler>,
+    /// Where the caller wants this frame's return value.
+    pub ret_slot: Option<u16>,
+    pub ret_global: Option<u32>,
+}
+
+impl Frame {
+    /// Builds a fresh activation record (public for the host API).
+    pub fn new_public(prog: &CompiledProgram, func: u32, args: Vec<Value>) -> Frame {
+        Frame::new(prog, func, args)
+    }
+
+    fn new(prog: &CompiledProgram, func: u32, args: Vec<Value>) -> Frame {
+        Frame::new_pooled(prog, func, args, &mut Vec::new())
+    }
+
+    /// Builds an activation record, reusing a slot vector from `pool` when
+    /// one is available (calls are the hottest allocation site in compiled
+    /// code; recycling frames is the analog of the paper's custom
+    /// free-list for fiber stacks, §5).
+    fn new_pooled(
+        prog: &CompiledProgram,
+        func: u32,
+        args: Vec<Value>,
+        pool: &mut Vec<Vec<Value>>,
+    ) -> Frame {
+        let cf = &prog.funcs[func as usize];
+        let n = cf.n_slots as usize;
+        let mut slots = match pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(n, Value::Null);
+                v
+            }
+            None => vec![Value::Null; n],
+        };
+        for (i, a) in args.into_iter().enumerate().take(cf.n_params as usize) {
+            slots[i] = a;
+        }
+        Frame {
+            func,
+            pc: 0,
+            slots,
+            handlers: Vec::new(),
+            ret_slot: None,
+            ret_global: None,
+        }
+    }
+}
+
+/// How an execution ended.
+pub enum Outcome {
+    /// The outermost function returned.
+    Done(Value),
+    /// Execution suspended (yield, or WouldBlock in resumable mode); the
+    /// frames can be resumed later.
+    Suspended(Vec<Frame>),
+}
+
+/// Executes `func` with `args` to completion (non-resumable).
+pub fn call(
+    prog: &CompiledProgram,
+    ctx: &mut Context,
+    func: &str,
+    args: &[Value],
+) -> RtResult<Value> {
+    let fi = *prog
+        .func_index
+        .get(func)
+        .ok_or_else(|| RtError::value(format!("unknown function {func}")))?;
+    let frames = vec![Frame::new(prog, fi, args.to_vec())];
+    match run(prog, ctx, frames, false)? {
+        Outcome::Done(v) => Ok(v),
+        Outcome::Suspended(_) => Err(RtError::runtime(format!(
+            "{func} suspended outside a fiber"
+        ))),
+    }
+}
+
+/// Starts `func` resumably; see [`crate::fiber::Fiber`] for the wrapper.
+pub fn start_resumable(
+    prog: &CompiledProgram,
+    ctx: &mut Context,
+    func: &str,
+    args: &[Value],
+) -> RtResult<Outcome> {
+    let fi = *prog
+        .func_index
+        .get(func)
+        .ok_or_else(|| RtError::value(format!("unknown function {func}")))?;
+    let frames = vec![Frame::new(prog, fi, args.to_vec())];
+    run(prog, ctx, frames, true)
+}
+
+/// Resumes suspended frames.
+pub fn resume(
+    prog: &CompiledProgram,
+    ctx: &mut Context,
+    frames: Vec<Frame>,
+) -> RtResult<Outcome> {
+    run(prog, ctx, frames, true)
+}
+
+fn operand_value(ctx: &Context, frame: &Frame, op: &COperand) -> Value {
+    match op {
+        COperand::Slot(s) => frame.slots[*s as usize].clone(),
+        COperand::Global(g) => ctx.globals[*g as usize].clone(),
+        COperand::Value(v) => v.clone(),
+    }
+}
+
+/// The main dispatch loop.
+pub fn run(
+    prog: &CompiledProgram,
+    ctx: &mut Context,
+    mut frames: Vec<Frame>,
+    resumable: bool,
+) -> RtResult<Outcome> {
+    // Re-used argument buffer to avoid per-instruction allocation, and a
+    // free list recycling frame slot vectors across calls.
+    let mut argbuf: Vec<Value> = Vec::with_capacity(8);
+    let mut frame_pool: Vec<Vec<Value>> = Vec::new();
+    'dispatch: loop {
+        let Some(frame) = frames.last_mut() else {
+            return Ok(Outcome::Done(Value::Null));
+        };
+        let cf: &CFunc = &prog.funcs[frame.func as usize];
+        let Some(instr) = cf.code.get(frame.pc as usize) else {
+            return Err(RtError::runtime(format!(
+                "{}: pc {} out of range",
+                cf.name, frame.pc
+            )));
+        };
+
+        if ctx.trace && ctx.trace_log.len() < TRACE_CAP {
+            ctx.trace_log
+                .push(format!("{}@{}: {:?}", cf.name, frame.pc, instr));
+        }
+
+        // Unwrap GlobalStore: execute the inner instruction; the global is
+        // written either immediately (data ops) or on callee return.
+        let (instr, store_global) = match instr {
+            CInstr::GlobalStore { global, inner } => (&**inner, Some(*global)),
+            other => (other, None),
+        };
+
+        macro_rules! raise {
+            ($err:expr) => {{
+                let err: RtError = $err;
+                if resumable && err.kind == ExceptionKind::WouldBlock {
+                    // Suspend *at* this instruction; resume retries it.
+                    return Ok(Outcome::Suspended(frames));
+                }
+                match dispatch_exception(&mut frames, err)? {
+                    () => continue 'dispatch,
+                }
+            }};
+        }
+
+        match instr {
+            CInstr::Op {
+                opcode,
+                target,
+                args,
+                idents,
+            } => {
+                argbuf.clear();
+                for a in args.iter() {
+                    argbuf.push(operand_value(ctx, frame, a));
+                }
+                match ops::eval(*opcode, &argbuf, idents, ctx) {
+                    Ok(evaluated) => {
+                        let frame = frames.last_mut().expect("frame exists");
+                        if let Some(t) = target {
+                            frame.slots[*t as usize] = evaluated.value.clone();
+                        }
+                        if let Some(g) = store_global {
+                            ctx.globals[g as usize] = evaluated.value;
+                        }
+                        frame.pc += 1;
+                        // Fire timer callables synchronously (nested runs).
+                        for fired in evaluated.fired {
+                            run_callable(prog, ctx, &fired, &[])?;
+                        }
+                    }
+                    Err(e) => raise!(e),
+                }
+            }
+            CInstr::New { target, ty, args } => {
+                argbuf.clear();
+                for a in args.iter() {
+                    argbuf.push(operand_value(ctx, frame, a));
+                }
+                match ops::instantiate(ty, &argbuf, ctx) {
+                    Ok(v) => {
+                        let frame = frames.last_mut().expect("frame exists");
+                        frame.slots[*target as usize] = v.clone();
+                        if let Some(g) = store_global {
+                            ctx.globals[g as usize] = v;
+                        }
+                        frame.pc += 1;
+                    }
+                    Err(e) => raise!(e),
+                }
+            }
+            CInstr::Call { target, func, args } => {
+                argbuf.clear();
+                for a in args.iter() {
+                    argbuf.push(operand_value(ctx, frame, a));
+                }
+                frame.pc += 1;
+                let mut callee =
+                    Frame::new_pooled(prog, *func, std::mem::take(&mut argbuf), &mut frame_pool);
+                argbuf = Vec::with_capacity(8);
+                callee.ret_slot = *target;
+                callee.ret_global = store_global;
+                frames.push(callee);
+            }
+            CInstr::CallHost { target, name, args } => {
+                argbuf.clear();
+                for a in args.iter() {
+                    argbuf.push(operand_value(ctx, frame, a));
+                }
+                match call_host(prog, ctx, name, &argbuf) {
+                    Ok(v) => {
+                        let frame = frames.last_mut().expect("frame exists");
+                        if let Some(t) = target {
+                            frame.slots[*t as usize] = v.clone();
+                        }
+                        if let Some(g) = store_global {
+                            ctx.globals[g as usize] = v;
+                        }
+                        frame.pc += 1;
+                    }
+                    Err(e) => raise!(e),
+                }
+            }
+            CInstr::RunHook { hook, args } => {
+                argbuf.clear();
+                for a in args.iter() {
+                    argbuf.push(operand_value(ctx, frame, a));
+                }
+                frame.pc += 1;
+                let bodies = prog.hooks[*hook as usize].clone();
+                let hook_args = std::mem::take(&mut argbuf);
+                argbuf = Vec::with_capacity(8);
+                for body in bodies {
+                    // Hook bodies run synchronously, in priority order
+                    // (nested execution; hooks do not suspend).
+                    let sub = vec![Frame::new(prog, body, hook_args.clone())];
+                    match run(prog, ctx, sub, false)? {
+                        Outcome::Done(_) => {}
+                        Outcome::Suspended(_) => unreachable!("non-resumable"),
+                    }
+                }
+            }
+            CInstr::CallCallable {
+                target,
+                callable,
+                args,
+            } => {
+                let cval = operand_value(ctx, frame, callable);
+                let Value::Callable(c) = cval else {
+                    raise!(RtError::type_error(format!(
+                        "callable.call on {}",
+                        cval.type_name()
+                    )));
+                };
+                argbuf.clear();
+                for a in args.iter() {
+                    argbuf.push(operand_value(ctx, frame, a));
+                }
+                let Some(fi) = prog.func_index.get(&*c.func).copied() else {
+                    // Host-function callable.
+                    match call_host(prog, ctx, &c.func, &{
+                        let mut full = c.bound.clone();
+                        full.extend(argbuf.iter().cloned());
+                        full
+                    }) {
+                        Ok(v) => {
+                            let frame = frames.last_mut().expect("frame exists");
+                            if let Some(t) = target {
+                                frame.slots[*t as usize] = v.clone();
+                            }
+                            if let Some(g) = store_global {
+                                ctx.globals[g as usize] = v;
+                            }
+                            frame.pc += 1;
+                            continue 'dispatch;
+                        }
+                        Err(e) => raise!(e),
+                    }
+                };
+                frame.pc += 1;
+                let mut full_args = c.bound.clone();
+                full_args.append(&mut argbuf);
+                let mut callee = Frame::new_pooled(prog, fi, full_args, &mut frame_pool);
+                callee.ret_slot = *target;
+                callee.ret_global = store_global;
+                frames.push(callee);
+            }
+            CInstr::IntFast { op, target, a, b } => {
+                let av = match a {
+                    COperand::Slot(s) => frame.slots[*s as usize].as_int(),
+                    COperand::Global(g) => ctx.globals[*g as usize].as_int(),
+                    COperand::Value(v) => v.as_int(),
+                };
+                let bv = match b {
+                    COperand::Slot(s) => frame.slots[*s as usize].as_int(),
+                    COperand::Global(g) => ctx.globals[*g as usize].as_int(),
+                    COperand::Value(v) => v.as_int(),
+                };
+                match (av, bv) {
+                    (Ok(x), Ok(y)) => {
+                        let result = match op {
+                            crate::ir::Opcode::IntAdd => Value::Int(x.wrapping_add(y)),
+                            crate::ir::Opcode::IntSub => Value::Int(x.wrapping_sub(y)),
+                            crate::ir::Opcode::IntMul => Value::Int(x.wrapping_mul(y)),
+                            crate::ir::Opcode::IntEq => Value::Bool(x == y),
+                            crate::ir::Opcode::IntLt => Value::Bool(x < y),
+                            crate::ir::Opcode::IntGt => Value::Bool(x > y),
+                            crate::ir::Opcode::IntLeq => Value::Bool(x <= y),
+                            crate::ir::Opcode::IntGeq => Value::Bool(x >= y),
+                            crate::ir::Opcode::IntAnd => Value::Int(x & y),
+                            crate::ir::Opcode::IntOr => Value::Int(x | y),
+                            crate::ir::Opcode::IntShl => Value::Int(x.wrapping_shl(y as u32)),
+                            other => unreachable!("non-fast opcode {other:?}"),
+                        };
+                        frame.slots[*target as usize] = result;
+                        frame.pc += 1;
+                    }
+                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                }
+            }
+            CInstr::AssignFast { target, src } => {
+                frame.slots[*target as usize] = operand_value(ctx, frame, src);
+                frame.pc += 1;
+            }
+            CInstr::Jump(pc) => {
+                frame.pc = *pc;
+            }
+            CInstr::Branch {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                let v = operand_value(ctx, frame, cond);
+                match v.as_bool() {
+                    Ok(true) => frame.pc = *then_pc,
+                    Ok(false) => frame.pc = *else_pc,
+                    Err(e) => raise!(e),
+                }
+            }
+            CInstr::Return(v) => {
+                let value = match v {
+                    Some(op) => operand_value(ctx, frame, op),
+                    None => Value::Null,
+                };
+                let mut finished = frames.pop().expect("frame exists");
+                // Recycle the finished frame's slot storage (bounded).
+                if frame_pool.len() < 64 {
+                    let mut slots = std::mem::take(&mut finished.slots);
+                    slots.clear();
+                    frame_pool.push(slots);
+                }
+                match frames.last_mut() {
+                    None => return Ok(Outcome::Done(value)),
+                    Some(caller) => {
+                        if let Some(t) = finished.ret_slot {
+                            caller.slots[t as usize] = value.clone();
+                        }
+                        if let Some(g) = finished.ret_global {
+                            ctx.globals[g as usize] = value;
+                        }
+                    }
+                }
+            }
+            CInstr::PushHandler { pc, kind, binder } => {
+                frame.handlers.push(Handler {
+                    pc: *pc,
+                    kind: kind.clone(),
+                    binder: *binder,
+                });
+                frame.pc += 1;
+            }
+            CInstr::PopHandler => {
+                frame.handlers.pop();
+                frame.pc += 1;
+            }
+            CInstr::Yield => {
+                frame.pc += 1;
+                if resumable {
+                    return Ok(Outcome::Suspended(frames));
+                }
+                // Outside a fiber, yield is a no-op scheduling point.
+            }
+            CInstr::GlobalStore { .. } => unreachable!("unwrapped above"),
+        }
+    }
+}
+
+/// Runs a callable value synchronously (used for fired timers).
+pub fn run_callable(
+    prog: &CompiledProgram,
+    ctx: &mut Context,
+    c: &CallableVal,
+    extra: &[Value],
+) -> RtResult<Value> {
+    let mut args = c.bound.clone();
+    args.extend(extra.iter().cloned());
+    if let Some(fi) = prog.func_index.get(&*c.func).copied() {
+        let frames = vec![Frame::new(prog, fi, args)];
+        match run(prog, ctx, frames, false)? {
+            Outcome::Done(v) => Ok(v),
+            Outcome::Suspended(_) => unreachable!("non-resumable"),
+        }
+    } else {
+        call_host(prog, ctx, &c.func, &args)
+    }
+}
+
+/// Calls a host-registered or builtin function.
+fn call_host(
+    _prog: &CompiledProgram,
+    ctx: &mut Context,
+    name: &str,
+    args: &[Value],
+) -> RtResult<Value> {
+    // Builtins.
+    if name == "Hilti::print" {
+        let line = args
+            .iter()
+            .map(Value::render)
+            .collect::<Vec<_>>()
+            .join(", ");
+        ctx.output(line);
+        return Ok(Value::Null);
+    }
+    let Some(f) = ctx.host_fns.get(name).cloned() else {
+        return Err(RtError::value(format!("unknown function {name}")));
+    };
+    let mut f = f.borrow_mut();
+    f(args)
+}
+
+/// Finds and dispatches to the innermost matching handler, unwinding
+/// frames as needed; errors if nothing catches.
+fn dispatch_exception(frames: &mut Vec<Frame>, err: RtError) -> RtResult<()> {
+    loop {
+        let Some(frame) = frames.last_mut() else {
+            return Err(err);
+        };
+        // Innermost handler first.
+        while let Some(h) = frame.handlers.pop() {
+            let matches = &*h.kind == "*"
+                || ops::exception_kind_from_name(&h.kind) == err.kind;
+            if matches {
+                if let Some(b) = h.binder {
+                    frame.slots[b as usize] = ops::exception_value(&err);
+                }
+                frame.pc = h.pc;
+                return Ok(());
+            }
+        }
+        frames.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Program;
+
+    fn program(src: &str) -> Program {
+        Program::from_source(src).expect("test program compiles")
+    }
+
+    #[test]
+    fn global_store_wraps_data_ops() {
+        let mut p = program(
+            r#"
+module M
+global int<64> g = 10
+void bump() {
+    g = int.add g 5
+}
+int<64> get() {
+    return g
+}
+"#,
+        );
+        p.run_void("M::bump", &[]).unwrap();
+        p.run_void("M::bump", &[]).unwrap();
+        assert!(p.run("M::get", &[]).unwrap().equals(&Value::Int(20)));
+    }
+
+    #[test]
+    fn global_store_wraps_call_returns() {
+        // `g = call f(...)`: the callee's return value must land in the
+        // global through the GlobalStore/ret_global path.
+        let mut p = program(
+            r#"
+module M
+global int<64> g = 0
+int<64> produce(int<64> x) {
+    local int<64> y
+    y = int.mul x 3
+    return y
+}
+void set_it() {
+    g = call produce (14)
+}
+int<64> get() {
+    return g
+}
+"#,
+        );
+        p.run_void("M::set_it", &[]).unwrap();
+        assert!(p.run("M::get", &[]).unwrap().equals(&Value::Int(42)));
+    }
+
+    #[test]
+    fn exceptions_unwind_across_frames() {
+        // The thrower has no handler; the caller's caller catches.
+        let mut p = program(
+            r#"
+module M
+void boom() {
+    exception.throw Hilti::IndexError "deep"
+}
+void middle() {
+    call boom ()
+}
+string top() {
+    try {
+        call middle ()
+    } catch ( ref<Hilti::IndexError> e ) {
+        local string m
+        m = exception.message e
+        return m
+    }
+    return "no exception"
+}
+"#,
+        );
+        let v = p.run("M::top", &[]).unwrap();
+        assert_eq!(v.render(), "deep");
+    }
+
+    #[test]
+    fn handler_kinds_filter_during_unwind() {
+        let mut p = program(
+            r#"
+module M
+void boom() {
+    exception.throw Hilti::ValueError "v"
+}
+string top() {
+    try {
+        try {
+            call boom ()
+        } catch ( ref<Hilti::IndexError> e ) {
+            return "wrong handler"
+        }
+    } catch ( ref<Hilti::ValueError> e2 ) {
+        return "right handler"
+    }
+    return "none"
+}
+"#,
+        );
+        assert_eq!(p.run("M::top", &[]).unwrap().render(), "right handler");
+    }
+
+    #[test]
+    fn int_fast_path_type_errors_are_catchable() {
+        // IntFast on a non-int raises a TypeError that handlers can catch.
+        let mut p = program(
+            r#"
+module M
+int<64> f(any x) {
+    local int<64> y
+    try {
+        y = int.add x 1
+    } catch ( exception e ) {
+        return -1
+    }
+    return y
+}
+"#,
+        );
+        assert!(p.run("M::f", &[Value::Int(41)]).unwrap().equals(&Value::Int(42)));
+        assert!(p.run("M::f", &[Value::str("nope")]).unwrap().equals(&Value::Int(-1)));
+    }
+
+    #[test]
+    fn yield_outside_fiber_is_noop() {
+        let mut p = program(
+            r#"
+module M
+int<64> f() {
+    yield
+    yield
+    return 7
+}
+"#,
+        );
+        assert!(p.run("M::f", &[]).unwrap().equals(&Value::Int(7)));
+    }
+
+    #[test]
+    fn deep_call_stack_via_explicit_frames() {
+        // The VM's heap frames allow recursion far past Rust's stack
+        // limits for an equivalent native recursion in debug builds.
+        let mut p = program(
+            r#"
+module M
+int<64> down(int<64> n) {
+    local bool base
+    local int<64> r
+    base = int.leq n 0
+    if.else base stop rec
+stop:
+    return 0
+rec:
+    r = int.sub n 1
+    r = call down (r)
+    r = int.add r 1
+    return r
+}
+"#,
+        );
+        let v = p.run("M::down", &[Value::Int(50_000)]).unwrap();
+        assert!(v.equals(&Value::Int(50_000)));
+    }
+
+    #[test]
+    fn uncaught_exception_reports_kind() {
+        let mut p = program(
+            "module M\nvoid f() {\n    exception.throw Hilti::PatternError \"bad\"\n}\n",
+        );
+        let e = p.run_void("M::f", &[]).unwrap_err();
+        assert_eq!(e.kind, hilti_rt::error::ExceptionKind::PatternError);
+        assert_eq!(e.message, "bad");
+    }
+
+    #[test]
+    fn context_profiler_spans() {
+        let prog = crate::bytecode::compile(
+            &crate::linker::link_with_priorities(vec![crate::parser::parse_module(
+                "module M\nvoid f() {\n    profiler.start p1\n    profiler.stop p1\n    profiler.count c1 3\n}\n",
+            )
+            .unwrap()])
+            .unwrap(),
+        )
+        .unwrap();
+        let mut ctx = Context::for_program(&prog);
+        call(&prog, &mut ctx, "M::f", &[]).unwrap();
+        assert_eq!(ctx.profile_counter("c1"), 3);
+    }
+
+    #[test]
+    fn channels_between_contexts() {
+        // A channel value created in one program context and read through
+        // HILTI instructions.
+        let mut p = program(
+            r#"
+module M
+int<64> roundtrip(int<64> x) {
+    local ref<channel<int<64>>> ch
+    local int<64> got
+    ch = new channel<int<64>>
+    channel.write ch x
+    channel.write ch 99
+    got = channel.read ch
+    return got
+}
+"#,
+        );
+        assert!(p.run("M::roundtrip", &[Value::Int(5)]).unwrap().equals(&Value::Int(5)));
+    }
+
+    #[test]
+    fn iosrc_reads_host_supplied_packets() {
+        let mut p = program(
+            r#"
+module M
+int<64> drain(ref<iosrc> src) {
+    local any pkt
+    local bool ok
+    local int<64> n
+    n = assign 0
+loop:
+    pkt = iosrc.read src
+    ok = tuple.get pkt 0
+    if.else ok count done
+count:
+    n = int.add n 1
+    jump loop
+done:
+    return n
+}
+"#,
+        );
+        // Install a source yielding three packets.
+        p.context_mut().register_iosrc("trace", || {
+            let mut k = 0;
+            let src = crate::value::IoSource {
+                name: "trace".into(),
+                producer: Box::new(move || {
+                    k += 1;
+                    if k <= 3 {
+                        Some((hilti_rt::time::Time::from_secs(k), vec![0u8; 10]))
+                    } else {
+                        None
+                    }
+                }),
+            };
+            // producer closure state resets per open; fine for this test
+            Ok(Value::IOSrc(std::rc::Rc::new(RefCell::new(src))))
+        });
+        let opened = {
+            let prog = p.compiled().clone();
+            let mut ctx_src = crate::ops::ExecCtx::open_iosrc(p.context_mut(), "trace").unwrap();
+            let _ = &prog;
+            std::mem::replace(&mut ctx_src, Value::Null)
+        };
+        let v = p.run("M::drain", &[opened]).unwrap();
+        assert!(v.equals(&Value::Int(3)));
+    }
+}

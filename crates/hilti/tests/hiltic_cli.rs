@@ -1,0 +1,114 @@
+//! End-to-end tests of the `hiltic` compiler driver (§3.1, Figure 3).
+
+use std::process::Command;
+
+fn hiltic() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hiltic"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hiltic_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const HELLO: &str = r#"
+module Main
+import Hilti
+
+void run() {
+    call Hilti::print "Hello, World!"
+}
+"#;
+
+#[test]
+fn figure3_run() {
+    let f = write_temp("hello.hlt", HELLO);
+    let out = hiltic().arg("run").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "Hello, World!\n");
+}
+
+#[test]
+fn run_interpreted_flag() {
+    let f = write_temp("hello2.hlt", HELLO);
+    let out = hiltic().args(["run", "--interp"]).arg(&f).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "Hello, World!\n");
+}
+
+#[test]
+fn check_reports_counts() {
+    let f = write_temp("hello3.hlt", HELLO);
+    let out = hiltic().arg("check").arg(&f).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 function(s)"), "{text}");
+}
+
+#[test]
+fn dump_stages() {
+    let f = write_temp("hello4.hlt", HELLO);
+    let ir = hiltic().arg("dump-ir").arg(&f).output().unwrap();
+    assert!(ir.status.success());
+    assert!(String::from_utf8_lossy(&ir.stdout).contains("Main::run"));
+    let bc = hiltic().arg("dump-bytecode").arg(&f).output().unwrap();
+    assert!(bc.status.success());
+    assert!(String::from_utf8_lossy(&bc.stdout).contains("CallHost"));
+}
+
+#[test]
+fn compile_errors_fail_with_diagnostics() {
+    let f = write_temp("broken.hlt", "module M\nvoid f() {\n    x = int.add 1 2\n}\n");
+    let out = hiltic().arg("run").arg(&f).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("undeclared target"));
+}
+
+#[test]
+fn custom_entry_point() {
+    let f = write_temp(
+        "entry.hlt",
+        "module App\nvoid go() {\n    call Hilti::print \"custom\"\n}\n",
+    );
+    let out = hiltic()
+        .args(["run", "--entry", "App::go"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "custom\n");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = hiltic().args(["run", "/no/such/file.hlt"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn trace_flag_logs_instructions_to_stderr() {
+    let f = write_temp("traced.hlt", HELLO);
+    let out = hiltic().args(["run", "--trace"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // Program output is unaffected on stdout...
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "Hello, World!\n");
+    // ...while stderr carries one line per executed instruction.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.lines().any(|l| l.starts_with("trace: Main::run@")), "{err}");
+}
+
+#[test]
+fn trace_flag_works_interpreted() {
+    let f = write_temp("traced2.hlt", HELLO);
+    let out = hiltic()
+        .args(["run", "--trace", "--interp"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("trace: Main::run"), "{err}");
+}

@@ -1,0 +1,375 @@
+//! Flow table: 5-tuple connection tracking with TCP state and stream
+//! reassembly.
+//!
+//! The flow table is the stateful core every monitor reimplements (§2): it
+//! orients packets into originator/responder direction, tracks the TCP
+//! three-way handshake, assigns Bro-style connection uids, and hands payload
+//! through per-direction [`StreamReassembler`]s to a pluggable application
+//! consumer. UDP "flows" are tracked by tuple only.
+
+use std::collections::HashMap;
+
+use hilti_rt::addr::{Addr, Port};
+use hilti_rt::hashutil::flow_hash;
+use hilti_rt::time::Time;
+
+use crate::decode::{DecodedPacket, Transport};
+use crate::events::ConnId;
+use crate::reassembly::StreamReassembler;
+
+/// TCP connection establishment state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcpState {
+    /// SYN seen from the originator.
+    SynSent,
+    /// SYN+ACK seen from the responder.
+    SynAckSeen,
+    /// Handshake complete (final ACK seen).
+    Established,
+    /// FIN or RST observed.
+    Closing,
+}
+
+/// Per-flow record.
+pub struct Flow {
+    pub id: ConnId,
+    pub uid: String,
+    pub first_ts: Time,
+    pub last_ts: Time,
+    pub tcp_state: Option<TcpState>,
+    /// Reassembler for originator→responder payload (TCP only).
+    pub orig_stream: Option<StreamReassembler>,
+    /// Reassembler for responder→originator payload (TCP only).
+    pub resp_stream: Option<StreamReassembler>,
+    pub orig_pkts: u64,
+    pub resp_pkts: u64,
+}
+
+/// What the flow table tells its consumer about one packet.
+pub struct FlowDelivery<'a> {
+    pub flow: &'a Flow,
+    /// True when this packet travels originator→responder.
+    pub is_orig: bool,
+    /// True exactly once, when the TCP handshake completes.
+    pub established_now: bool,
+    /// Newly in-order application payload (TCP: reassembled; UDP: the
+    /// datagram itself).
+    pub payload: Vec<u8>,
+    /// True when this packet ends the connection (FIN/RST), once.
+    pub finished_now: bool,
+}
+
+/// The flow table.
+pub struct FlowTable {
+    flows: HashMap<(u64, Addr, Port, Addr, Port), Flow>,
+    uid_counter: u64,
+    established_total: u64,
+}
+
+impl FlowTable {
+    pub fn new() -> Self {
+        FlowTable {
+            flows: HashMap::new(),
+            uid_counter: 0,
+            established_total: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Number of fully established TCP connections observed.
+    pub fn established_total(&self) -> u64 {
+        self.established_total
+    }
+
+    /// Canonical lookup key: endpoints sorted, plus the symmetric hash.
+    fn key(p: &DecodedPacket) -> (u64, Addr, Port, Addr, Port) {
+        let sp = p.src_port();
+        let dp = p.dst_port();
+        let h = flow_hash(p.src, sp, p.dst, dp);
+        if (p.src.raw(), p.sport) <= (p.dst.raw(), p.dport) {
+            (h, p.src, sp, p.dst, dp)
+        } else {
+            (h, p.dst, dp, p.src, sp)
+        }
+    }
+
+    /// Processes one decoded packet, returning the delivery description.
+    pub fn process(&mut self, pkt: &DecodedPacket) -> FlowDelivery<'_> {
+        let key = Self::key(pkt);
+        let uid_counter = &mut self.uid_counter;
+        let flow = self.flows.entry(key).or_insert_with(|| {
+            *uid_counter += 1;
+            // Orientation: the first packet's sender is the originator
+            // (for TCP with SYN this is the active opener).
+            Flow {
+                id: ConnId {
+                    orig_h: pkt.src,
+                    orig_p: pkt.src_port(),
+                    resp_h: pkt.dst,
+                    resp_p: pkt.dst_port(),
+                },
+                uid: format!("C{}{:x}", uid_counter, key.0 & 0xffff_ffff),
+                first_ts: pkt.ts,
+                last_ts: pkt.ts,
+                tcp_state: None,
+                orig_stream: None,
+                resp_stream: None,
+                orig_pkts: 0,
+                resp_pkts: 0,
+            }
+        });
+        flow.last_ts = pkt.ts;
+        let is_orig = pkt.src == flow.id.orig_h && pkt.src_port() == flow.id.orig_p;
+        if is_orig {
+            flow.orig_pkts += 1;
+        } else {
+            flow.resp_pkts += 1;
+        }
+
+        let mut established_now = false;
+        let mut finished_now = false;
+        let payload = match &pkt.transport {
+            Transport::Udp => pkt.payload.clone(),
+            Transport::Tcp(tcp) => {
+                // Handshake tracking.
+                match (flow.tcp_state, tcp.syn(), tcp.ack_flag(), is_orig) {
+                    (None, true, false, true) => {
+                        flow.tcp_state = Some(TcpState::SynSent);
+                        flow.orig_stream = Some(StreamReassembler::new(tcp.seq));
+                    }
+                    (Some(TcpState::SynSent), true, true, false) => {
+                        flow.tcp_state = Some(TcpState::SynAckSeen);
+                        flow.resp_stream = Some(StreamReassembler::new(tcp.seq));
+                    }
+                    (Some(TcpState::SynAckSeen), false, true, true) => {
+                        flow.tcp_state = Some(TcpState::Established);
+                        established_now = true;
+                        self.established_total += 1;
+                    }
+                    _ => {}
+                }
+                if (tcp.fin() || tcp.rst())
+                    && flow.tcp_state.is_some()
+                    && flow.tcp_state != Some(TcpState::Closing)
+                {
+                    flow.tcp_state = Some(TcpState::Closing);
+                    finished_now = true;
+                }
+                // Payload through the per-direction reassembler. Midstream
+                // flows (no SYN observed) get a reassembler seeded on first
+                // data, so partial connections still parse — real traces
+                // contain plenty of those (§6.1's "crud").
+                let stream = if is_orig {
+                    &mut flow.orig_stream
+                } else {
+                    &mut flow.resp_stream
+                };
+                if !pkt.payload.is_empty() {
+                    let r = stream.get_or_insert_with(|| {
+                        StreamReassembler::new(tcp.seq.wrapping_sub(1))
+                    });
+                    r.segment(tcp.seq, &pkt.payload)
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+
+        FlowDelivery {
+            flow,
+            is_orig,
+            established_now,
+            payload,
+            finished_now,
+        }
+    }
+
+    /// Iterates over all live flows.
+    pub fn flows(&self) -> impl Iterator<Item = &Flow> {
+        self.flows.values()
+    }
+
+    /// Removes flows idle since before `cutoff`; returns how many.
+    pub fn expire_idle(&mut self, cutoff: Time) -> usize {
+        let before = self.flows.len();
+        self.flows.retain(|_, f| f.last_ts >= cutoff);
+        before - self.flows.len()
+    }
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{build_tcp_frame, build_udp_frame, decode_ethernet, tcp_flags};
+    use crate::pcap::RawPacket;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn tcp_pkt(
+        src: &str,
+        dst: &str,
+        sport: u16,
+        dport: u16,
+        seq: u32,
+        ack: u32,
+        flags: u8,
+        payload: &[u8],
+        ts: u64,
+    ) -> DecodedPacket {
+        let frame = build_tcp_frame(a(src), a(dst), sport, dport, seq, ack, flags, payload);
+        decode_ethernet(&RawPacket::new(Time::from_secs(ts), frame)).unwrap()
+    }
+
+    fn udp_pkt(src: &str, dst: &str, sport: u16, dport: u16, payload: &[u8]) -> DecodedPacket {
+        let frame = build_udp_frame(a(src), a(dst), sport, dport, payload);
+        decode_ethernet(&RawPacket::new(Time::from_secs(1), frame)).unwrap()
+    }
+
+    #[test]
+    fn handshake_detected_once() {
+        let mut t = FlowTable::new();
+        let syn = tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 100, 0, tcp_flags::SYN, b"", 1);
+        let synack = tcp_pkt(
+            "1.2.3.4", "10.0.0.1", 80, 4000, 500, 101,
+            tcp_flags::SYN | tcp_flags::ACK, b"", 1,
+        );
+        let ack = tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 101, 501, tcp_flags::ACK, b"", 1);
+        assert!(!t.process(&syn).established_now);
+        assert!(!t.process(&synack).established_now);
+        let d = t.process(&ack);
+        assert!(d.established_now);
+        assert!(d.is_orig);
+        // A second ACK does not re-establish.
+        let ack2 = tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 101, 501, tcp_flags::ACK, b"", 2);
+        assert!(!t.process(&ack2).established_now);
+        assert_eq!(t.established_total(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn orientation_follows_first_packet() {
+        let mut t = FlowTable::new();
+        let syn = tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 100, 0, tcp_flags::SYN, b"", 1);
+        let d = t.process(&syn);
+        assert_eq!(d.flow.id.orig_h, a("10.0.0.1"));
+        assert_eq!(d.flow.id.resp_p, Port::tcp(80));
+        // Reply packet maps to the same flow, is_orig = false.
+        let synack = tcp_pkt(
+            "1.2.3.4", "10.0.0.1", 80, 4000, 1, 101,
+            tcp_flags::SYN | tcp_flags::ACK, b"", 1,
+        );
+        let d = t.process(&synack);
+        assert!(!d.is_orig);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn payload_is_reassembled_per_direction() {
+        let mut t = FlowTable::new();
+        t.process(&tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 100, 0, tcp_flags::SYN, b"", 1));
+        t.process(&tcp_pkt(
+            "1.2.3.4", "10.0.0.1", 80, 4000, 500, 101,
+            tcp_flags::SYN | tcp_flags::ACK, b"", 1,
+        ));
+        t.process(&tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 101, 501, tcp_flags::ACK, b"", 1));
+        // Out-of-order client data.
+        let d1 = t.process(&tcp_pkt(
+            "10.0.0.1", "1.2.3.4", 4000, 80, 105, 501, tcp_flags::ACK, b"XX", 2,
+        ));
+        assert!(d1.payload.is_empty());
+        let d2 = t.process(&tcp_pkt(
+            "10.0.0.1", "1.2.3.4", 4000, 80, 101, 501, tcp_flags::ACK, b"GET ", 2,
+        ));
+        assert_eq!(d2.payload, b"GET XX");
+        // Server data is a separate stream.
+        let d3 = t.process(&tcp_pkt(
+            "1.2.3.4", "10.0.0.1", 80, 4000, 501, 107, tcp_flags::ACK, b"HTTP", 3,
+        ));
+        assert_eq!(d3.payload, b"HTTP");
+        assert!(!d3.is_orig);
+    }
+
+    #[test]
+    fn fin_finishes_once() {
+        let mut t = FlowTable::new();
+        t.process(&tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 100, 0, tcp_flags::SYN, b"", 1));
+        let fin = tcp_pkt(
+            "10.0.0.1", "1.2.3.4", 4000, 80, 101, 0,
+            tcp_flags::FIN | tcp_flags::ACK, b"", 5,
+        );
+        assert!(t.process(&fin).finished_now);
+        assert!(!t.process(&fin).finished_now);
+    }
+
+    #[test]
+    fn midstream_tcp_still_delivers() {
+        // No SYN observed (partial capture): payload must still flow.
+        let mut t = FlowTable::new();
+        let d = t.process(&tcp_pkt(
+            "10.0.0.1", "1.2.3.4", 4000, 80, 9999, 1, tcp_flags::ACK, b"mid", 1,
+        ));
+        assert_eq!(d.payload, b"mid");
+        assert!(!d.established_now);
+    }
+
+    #[test]
+    fn udp_flows_deliver_datagrams() {
+        let mut t = FlowTable::new();
+        let q = udp_pkt("10.0.0.1", "8.8.8.8", 5000, 53, b"query");
+        let r = udp_pkt("8.8.8.8", "10.0.0.1", 53, 5000, b"reply");
+        let d = t.process(&q);
+        assert_eq!(d.payload, b"query");
+        assert!(d.is_orig);
+        let d = t.process(&r);
+        assert_eq!(d.payload, b"reply");
+        assert!(!d.is_orig);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_tuples_distinct_flows() {
+        let mut t = FlowTable::new();
+        t.process(&udp_pkt("10.0.0.1", "8.8.8.8", 5000, 53, b"a"));
+        t.process(&udp_pkt("10.0.0.1", "8.8.8.8", 5001, 53, b"b"));
+        t.process(&udp_pkt("10.0.0.2", "8.8.8.8", 5000, 53, b"c"));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn uids_are_unique() {
+        let mut t = FlowTable::new();
+        let mut uids = std::collections::HashSet::new();
+        for i in 0..100u16 {
+            let d = t.process(&udp_pkt("10.0.0.1", "8.8.8.8", 10000 + i, 53, b"x"));
+            uids.insert(d.flow.uid.clone());
+        }
+        assert_eq!(uids.len(), 100);
+    }
+
+    #[test]
+    fn idle_expiry() {
+        let mut t = FlowTable::new();
+        t.process(&udp_pkt("10.0.0.1", "8.8.8.8", 5000, 53, b"a"));
+        let mut late = udp_pkt("10.0.0.2", "8.8.8.8", 5000, 53, b"b");
+        late.ts = Time::from_secs(100);
+        t.process(&late);
+        assert_eq!(t.expire_idle(Time::from_secs(50)), 1);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # netpkt — packet substrate for the HILTI reproduction
+//!
+//! Everything between raw trace bytes and protocol events:
+//!
+//! * [`pcap`] — reader/writer for the classic libpcap trace format,
+//!   implemented from the on-disk layout (the paper's workloads are libpcap
+//!   traces captured with tcpdump, §6.1).
+//! * [`decode`] — Ethernet/IPv4/IPv6/TCP/UDP header decoding.
+//! * [`flow`] — 5-tuple flow table with TCP connection-state tracking
+//!   (detects the three-way handshake that drives Bro's
+//!   `connection_established` event).
+//! * [`reassembly`] — per-direction TCP stream reassembly delivering
+//!   in-order payload to application parsers.
+//! * [`synth`] — deterministic synthetic HTTP/DNS trace generation, the
+//!   workload substitute for the paper's UC Berkeley border traces (see
+//!   DESIGN.md §1).
+//! * [`http`], [`dns`] — the *standard* handwritten protocol parsers, the
+//!   baselines that §6.4 compares the generated BinPAC++ parsers against.
+//! * [`events`] — the host-application event vocabulary both parser stacks
+//!   emit (the analog of Bro's event engine interface).
+//! * [`logs`] — `http.log` / `files.log` / `dns.log` record formats and the
+//!   normalization used by the Table 2/3 agreement metrics.
+
+pub mod decode;
+pub mod dns;
+pub mod events;
+pub mod flow;
+pub mod http;
+pub mod logs;
+pub mod pcap;
+pub mod reassembly;
+pub mod synth;
+
+pub use decode::{DecodedPacket, Transport};
+pub use events::Event;
+pub use pcap::{PcapReader, PcapWriter, RawPacket};

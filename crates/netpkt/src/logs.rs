@@ -1,0 +1,318 @@
+//! Log-file records and the normalization used by the agreement metrics.
+//!
+//! The evaluation compares `http.log`, `files.log` and `dns.log` output
+//! between parser stacks and between script engines (Tables 2 and 3). The
+//! paper first *normalizes* logs "to account for a number of minor expected
+//! differences, including unique'ing them so that each entry appears only
+//! once", then reports the fraction of one side's entries that have an
+//! identical instance on the other side. [`normalize`] and [`agreement`]
+//! implement exactly that procedure.
+
+use hilti_rt::time::Time;
+
+use crate::events::ConnId;
+
+/// One `http.log` entry (the fields Bro's default HTTP script records that
+/// our scripts reproduce).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HttpLogEntry {
+    pub ts: Time,
+    pub uid: String,
+    pub id: ConnId,
+    pub method: String,
+    pub uri: String,
+    pub version: String,
+    pub status: Option<u32>,
+    pub reason: String,
+    pub request_len: u64,
+    pub response_len: u64,
+    pub mime_type: Option<String>,
+    pub host: Option<String>,
+}
+
+impl HttpLogEntry {
+    /// Tab-separated rendering, one line per entry.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.ts,
+            self.uid,
+            self.id.orig_h,
+            self.id.resp_h,
+            self.method,
+            self.host.as_deref().unwrap_or("-"),
+            self.uri,
+            self.version,
+            self.status.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            self.reason,
+            self.request_len,
+            self.response_len,
+        ) + &format!("\t{}", self.mime_type.as_deref().unwrap_or("-"))
+    }
+}
+
+/// One `files.log` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FilesLogEntry {
+    pub ts: Time,
+    pub uid: String,
+    pub mime_type: Option<String>,
+    pub size: u64,
+    pub sha1: String,
+}
+
+impl FilesLogEntry {
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}",
+            self.ts,
+            self.uid,
+            self.mime_type.as_deref().unwrap_or("-"),
+            self.size,
+            self.sha1,
+        )
+    }
+}
+
+/// One `dns.log` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DnsLogEntry {
+    pub ts: Time,
+    pub uid: String,
+    pub id: ConnId,
+    pub trans_id: u16,
+    pub query: String,
+    pub qtype_name: String,
+    pub rcode_name: String,
+    pub answers: Vec<String>,
+    pub ttls: Vec<u32>,
+}
+
+impl DnsLogEntry {
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.ts,
+            self.uid,
+            self.id.orig_h,
+            self.id.resp_h,
+            self.trans_id,
+            self.query,
+            self.qtype_name,
+            self.rcode_name,
+            if self.answers.is_empty() {
+                "-".to_string()
+            } else {
+                self.answers.join(",")
+            },
+        ) + &format!(
+            "\t{}",
+            if self.ttls.is_empty() {
+                "-".to_string()
+            } else {
+                self.ttls
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        )
+    }
+}
+
+/// Normalizes log lines for comparison: strips volatile columns
+/// (timestamps, uids — they legitimately differ run-to-run in ordering and
+/// identifier assignment), sorts, and uniques. Mirrors §6.4's normalization
+/// ("adjustments for slight timing and ordering differences ... unique'ing
+/// them so that each entry appears only once").
+pub fn normalize(lines: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            // Drop the first two tab-separated fields (ts, uid) when
+            // present; keep the semantic remainder.
+            let mut parts = l.splitn(3, '\t');
+            let _ts = parts.next();
+            let _uid = parts.next();
+            parts.next().unwrap_or("").to_owned()
+        })
+        .filter(|l| !l.is_empty())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Result of comparing two normalized logs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Agreement {
+    pub total_a: usize,
+    pub total_b: usize,
+    pub identical: usize,
+    /// Fraction of side A's entries with an identical instance on side B.
+    pub fraction: f64,
+}
+
+impl Agreement {
+    pub fn percent(&self) -> f64 {
+        self.fraction * 100.0
+    }
+}
+
+/// Computes the Table 2/3 agreement metric between two raw logs: normalize
+/// both sides, then count side A's entries that appear identically in B.
+pub fn agreement(a: &[String], b: &[String]) -> Agreement {
+    let na = normalize(a);
+    let nb = normalize(b);
+    let set_b: std::collections::HashSet<&String> = nb.iter().collect();
+    let identical = na.iter().filter(|l| set_b.contains(l)).count();
+    let fraction = if na.is_empty() {
+        1.0
+    } else {
+        identical as f64 / na.len() as f64
+    };
+    Agreement {
+        total_a: na.len(),
+        total_b: nb.len(),
+        identical,
+        fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilti_rt::addr::Port;
+
+    fn conn_id() -> ConnId {
+        ConnId {
+            orig_h: "10.0.0.1".parse().unwrap(),
+            orig_p: Port::tcp(40000),
+            resp_h: "1.2.3.4".parse().unwrap(),
+            resp_p: Port::tcp(80),
+        }
+    }
+
+    #[test]
+    fn http_line_renders_all_fields() {
+        let e = HttpLogEntry {
+            ts: Time::from_secs(10),
+            uid: "C1".into(),
+            id: conn_id(),
+            method: "GET".into(),
+            uri: "/index.html".into(),
+            version: "1.1".into(),
+            status: Some(200),
+            reason: "OK".into(),
+            request_len: 0,
+            response_len: 512,
+            mime_type: Some("text/html".into()),
+            host: Some("example.com".into()),
+        };
+        let line = e.to_line();
+        assert!(line.contains("GET"));
+        assert!(line.contains("/index.html"));
+        assert!(line.contains("200"));
+        assert!(line.contains("text/html"));
+        assert!(line.contains("example.com"));
+        assert_eq!(line.matches('\t').count(), 12);
+    }
+
+    #[test]
+    fn missing_fields_render_dashes() {
+        let e = HttpLogEntry {
+            ts: Time::ZERO,
+            uid: "C1".into(),
+            id: conn_id(),
+            method: "GET".into(),
+            uri: "/".into(),
+            version: "1.1".into(),
+            status: None,
+            reason: String::new(),
+            request_len: 0,
+            response_len: 0,
+            mime_type: None,
+            host: None,
+        };
+        let line = e.to_line();
+        assert!(line.contains("\t-\t")); // at least one dash column
+    }
+
+    #[test]
+    fn dns_line_joins_answers() {
+        let e = DnsLogEntry {
+            ts: Time::ZERO,
+            uid: "C2".into(),
+            id: conn_id(),
+            trans_id: 99,
+            query: "example.com".into(),
+            qtype_name: "A".into(),
+            rcode_name: "NOERROR".into(),
+            answers: vec!["1.2.3.4".into(), "5.6.7.8".into()],
+            ttls: vec![300, 600],
+        };
+        let line = e.to_line();
+        assert!(line.contains("1.2.3.4,5.6.7.8"));
+        assert!(line.contains("300,600"));
+    }
+
+    #[test]
+    fn empty_answers_render_dash() {
+        let e = DnsLogEntry {
+            ts: Time::ZERO,
+            uid: "C2".into(),
+            id: conn_id(),
+            trans_id: 1,
+            query: "q".into(),
+            qtype_name: "A".into(),
+            rcode_name: "NXDOMAIN".into(),
+            answers: vec![],
+            ttls: vec![],
+        };
+        let line = e.to_line();
+        assert!(line.ends_with("-\t-") || line.ends_with("-"));
+    }
+
+    #[test]
+    fn normalize_strips_ts_and_uid() {
+        let lines = vec![
+            "1.000000\tC1\tGET\t/a".to_string(),
+            "2.000000\tC2\tGET\t/a".to_string(),
+            "1.500000\tC3\tGET\t/b".to_string(),
+        ];
+        let n = normalize(&lines);
+        assert_eq!(n, vec!["GET\t/a".to_string(), "GET\t/b".to_string()]);
+    }
+
+    #[test]
+    fn agreement_metric() {
+        let a = vec![
+            "1\tC1\tx".to_string(),
+            "2\tC2\ty".to_string(),
+            "3\tC3\tz".to_string(),
+        ];
+        let b = vec![
+            "9\tD1\tx".to_string(),
+            "8\tD2\ty".to_string(),
+            "7\tD3\tw".to_string(),
+        ];
+        let ag = agreement(&a, &b);
+        assert_eq!(ag.total_a, 3);
+        assert_eq!(ag.identical, 2);
+        assert!((ag.percent() - 66.666).abs() < 0.1);
+    }
+
+    #[test]
+    fn agreement_of_identical_logs_is_100() {
+        let a = vec!["1\tC\tsame".to_string(); 10];
+        let ag = agreement(&a, &a);
+        assert_eq!(ag.percent(), 100.0);
+        assert_eq!(ag.total_a, 1); // unique'd
+    }
+
+    #[test]
+    fn agreement_of_empty_is_100() {
+        let ag = agreement(&[], &[]);
+        assert_eq!(ag.percent(), 100.0);
+    }
+}

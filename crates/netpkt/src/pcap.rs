@@ -1,0 +1,323 @@
+//! Classic libpcap trace format, implemented from the on-disk layout.
+//!
+//! The evaluation traces are "in libpcap format" captured with tcpdump
+//! (§6.1). We support the classic (non-ng) format: a 24-byte global header
+//! (magic `0xa1b2c3d4` for microsecond or `0xa1b23c4d` for nanosecond
+//! timestamps, either endianness) followed by per-packet records. Only
+//! link-type EN10MB (Ethernet, 1) is generated, but readers accept any
+//! link type and surface it to the caller.
+
+use std::io::{Read, Write};
+
+use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::time::Time;
+
+/// Magic for microsecond-resolution classic pcap.
+pub const MAGIC_USEC: u32 = 0xa1b2_c3d4;
+/// Magic for nanosecond-resolution classic pcap.
+pub const MAGIC_NSEC: u32 = 0xa1b2_3c4d;
+/// Link type: IEEE 802.3 Ethernet.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// One captured packet: timestamp plus raw link-layer bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawPacket {
+    pub ts: Time,
+    pub data: Vec<u8>,
+    /// Original wire length (>= data.len() when the capture was truncated).
+    pub orig_len: u32,
+}
+
+impl RawPacket {
+    pub fn new(ts: Time, data: Vec<u8>) -> Self {
+        let orig_len = data.len() as u32;
+        RawPacket { ts, data, orig_len }
+    }
+}
+
+/// Streaming reader for classic pcap data.
+pub struct PcapReader<R> {
+    input: R,
+    swapped: bool,
+    nanos: bool,
+    link_type: u32,
+    snaplen: u32,
+    packets_read: u64,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Parses the global header and prepares to stream packets.
+    pub fn new(mut input: R) -> RtResult<Self> {
+        let mut hdr = [0u8; 24];
+        input
+            .read_exact(&mut hdr)
+            .map_err(|e| RtError::io(format!("pcap global header: {e}")))?;
+        let magic_le = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let magic_be = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let (swapped, nanos) = match (magic_le, magic_be) {
+            (MAGIC_USEC, _) => (false, false),
+            (MAGIC_NSEC, _) => (false, true),
+            (_, MAGIC_USEC) => (true, false),
+            (_, MAGIC_NSEC) => (true, true),
+            _ => {
+                return Err(RtError::io(format!(
+                    "not a pcap file (magic {magic_le:#010x})"
+                )))
+            }
+        };
+        let u32_at = |b: &[u8], off: usize| -> u32 {
+            let raw = [b[off], b[off + 1], b[off + 2], b[off + 3]];
+            if swapped {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        let snaplen = u32_at(&hdr, 16);
+        let link_type = u32_at(&hdr, 20);
+        Ok(PcapReader {
+            input,
+            swapped,
+            nanos,
+            link_type,
+            snaplen,
+            packets_read: 0,
+        })
+    }
+
+    pub fn link_type(&self) -> u32 {
+        self.link_type
+    }
+
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    pub fn packets_read(&self) -> u64 {
+        self.packets_read
+    }
+
+    fn u32_field(&self, raw: [u8; 4]) -> u32 {
+        if self.swapped {
+            u32::from_be_bytes(raw)
+        } else {
+            u32::from_le_bytes(raw)
+        }
+    }
+
+    /// Reads the next packet; `Ok(None)` at a clean end of file.
+    pub fn next_packet(&mut self) -> RtResult<Option<RawPacket>> {
+        // Distinguish a clean end of file (zero bytes) from a truncated
+        // record header (some but not all 16 bytes).
+        let mut rec = [0u8; 16];
+        let mut got = 0usize;
+        while got < rec.len() {
+            match self.input.read(&mut rec[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(RtError::io(format!(
+                        "truncated pcap record header ({got} of 16 bytes)"
+                    )))
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(RtError::io(format!("pcap record header: {e}"))),
+            }
+        }
+        let sec = self.u32_field([rec[0], rec[1], rec[2], rec[3]]);
+        let frac = self.u32_field([rec[4], rec[5], rec[6], rec[7]]);
+        let incl_len = self.u32_field([rec[8], rec[9], rec[10], rec[11]]);
+        let orig_len = self.u32_field([rec[12], rec[13], rec[14], rec[15]]);
+        if incl_len > 256 * 1024 * 1024 {
+            return Err(RtError::io(format!("implausible packet length {incl_len}")));
+        }
+        let mut data = vec![0u8; incl_len as usize];
+        self.input
+            .read_exact(&mut data)
+            .map_err(|e| RtError::io(format!("pcap packet body: {e}")))?;
+        let ns = if self.nanos {
+            u64::from(frac)
+        } else {
+            u64::from(frac) * 1_000
+        };
+        self.packets_read += 1;
+        Ok(Some(RawPacket {
+            ts: Time::from_nanos(u64::from(sec) * 1_000_000_000 + ns),
+            data,
+            orig_len,
+        }))
+    }
+
+    /// Drains the remaining packets into a vector.
+    pub fn collect_packets(&mut self) -> RtResult<Vec<RawPacket>> {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+/// Writer producing classic little-endian microsecond pcap.
+pub struct PcapWriter<W> {
+    output: W,
+    packets_written: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header for the given link type.
+    pub fn new(mut output: W, link_type: u32) -> RtResult<Self> {
+        let mut hdr = Vec::with_capacity(24);
+        hdr.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        hdr.extend_from_slice(&2u16.to_le_bytes()); // version major
+        hdr.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        hdr.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        hdr.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        hdr.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+        hdr.extend_from_slice(&link_type.to_le_bytes());
+        output
+            .write_all(&hdr)
+            .map_err(|e| RtError::io(format!("pcap header write: {e}")))?;
+        Ok(PcapWriter {
+            output,
+            packets_written: 0,
+        })
+    }
+
+    /// Appends one packet record.
+    pub fn write_packet(&mut self, pkt: &RawPacket) -> RtResult<()> {
+        let sec = (pkt.ts.nanos() / 1_000_000_000) as u32;
+        let usec = ((pkt.ts.nanos() % 1_000_000_000) / 1_000) as u32;
+        let mut rec = Vec::with_capacity(16 + pkt.data.len());
+        rec.extend_from_slice(&sec.to_le_bytes());
+        rec.extend_from_slice(&usec.to_le_bytes());
+        rec.extend_from_slice(&(pkt.data.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&pkt.orig_len.to_le_bytes());
+        rec.extend_from_slice(&pkt.data);
+        self.output
+            .write_all(&rec)
+            .map_err(|e| RtError::io(format!("pcap record write: {e}")))?;
+        self.packets_written += 1;
+        Ok(())
+    }
+
+    pub fn packets_written(&self) -> u64 {
+        self.packets_written
+    }
+
+    pub fn into_inner(self) -> W {
+        self.output
+    }
+}
+
+/// Serializes packets to an in-memory pcap image.
+pub fn to_pcap_bytes(packets: &[RawPacket]) -> Vec<u8> {
+    let mut w = PcapWriter::new(Vec::new(), LINKTYPE_ETHERNET).expect("vec write cannot fail");
+    for p in packets {
+        w.write_packet(p).expect("vec write cannot fail");
+    }
+    w.into_inner()
+}
+
+/// Parses all packets from an in-memory pcap image.
+pub fn from_pcap_bytes(bytes: &[u8]) -> RtResult<Vec<RawPacket>> {
+    PcapReader::new(bytes)?.collect_packets()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packets() -> Vec<RawPacket> {
+        vec![
+            RawPacket::new(Time::from_nanos(1_000_001_000), vec![1, 2, 3, 4]),
+            RawPacket::new(Time::from_nanos(2_500_000_000), vec![5; 60]),
+            RawPacket::new(Time::from_nanos(2_500_000_000), vec![]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_via_memory() {
+        let pkts = sample_packets();
+        let img = to_pcap_bytes(&pkts);
+        let back = from_pcap_bytes(&img).unwrap();
+        assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn header_fields_visible() {
+        let img = to_pcap_bytes(&sample_packets());
+        let r = PcapReader::new(&img[..]).unwrap();
+        assert_eq!(r.link_type(), LINKTYPE_ETHERNET);
+        assert_eq!(r.snaplen(), 65535);
+    }
+
+    #[test]
+    fn big_endian_input_accepted() {
+        // Hand-build a big-endian (swapped) header + one record.
+        let mut img = Vec::new();
+        img.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        img.extend_from_slice(&2u16.to_be_bytes());
+        img.extend_from_slice(&4u16.to_be_bytes());
+        img.extend_from_slice(&0u32.to_be_bytes());
+        img.extend_from_slice(&0u32.to_be_bytes());
+        img.extend_from_slice(&65535u32.to_be_bytes());
+        img.extend_from_slice(&1u32.to_be_bytes());
+        img.extend_from_slice(&7u32.to_be_bytes()); // sec
+        img.extend_from_slice(&5u32.to_be_bytes()); // usec
+        img.extend_from_slice(&3u32.to_be_bytes()); // incl
+        img.extend_from_slice(&3u32.to_be_bytes()); // orig
+        img.extend_from_slice(&[9, 9, 9]);
+        let pkts = from_pcap_bytes(&img).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].ts, Time::from_nanos(7_000_005_000));
+        assert_eq!(pkts[0].data, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn nanosecond_magic() {
+        let mut img = Vec::new();
+        img.extend_from_slice(&MAGIC_NSEC.to_le_bytes());
+        img.extend_from_slice(&[0u8; 20]);
+        img.extend_from_slice(&1u32.to_le_bytes()); // sec
+        img.extend_from_slice(&42u32.to_le_bytes()); // nsec
+        img.extend_from_slice(&0u32.to_le_bytes());
+        img.extend_from_slice(&0u32.to_le_bytes());
+        let pkts = from_pcap_bytes(&img).unwrap();
+        assert_eq!(pkts[0].ts, Time::from_nanos(1_000_000_042));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(from_pcap_bytes(&[0u8; 24]).is_err());
+        assert!(from_pcap_bytes(b"short").is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let mut img = to_pcap_bytes(&sample_packets());
+        img.truncate(img.len() - 2);
+        assert!(from_pcap_bytes(&img).is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut img = Vec::new();
+        img.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        img.extend_from_slice(&[0u8; 20]);
+        img.extend_from_slice(&0u32.to_le_bytes());
+        img.extend_from_slice(&0u32.to_le_bytes());
+        img.extend_from_slice(&u32::MAX.to_le_bytes()); // incl_len
+        img.extend_from_slice(&0u32.to_le_bytes());
+        assert!(from_pcap_bytes(&img).is_err());
+    }
+
+    #[test]
+    fn truncated_capture_preserves_orig_len() {
+        let mut p = RawPacket::new(Time::from_secs(1), vec![0u8; 64]);
+        p.orig_len = 1500;
+        let back = from_pcap_bytes(&to_pcap_bytes(&[p.clone()])).unwrap();
+        assert_eq!(back[0].orig_len, 1500);
+        assert_eq!(back[0].data.len(), 64);
+    }
+}

@@ -1,0 +1,100 @@
+//! Link-order independence: the observable behaviour of a multi-module
+//! program must not depend on the order compilation units are handed to
+//! the linker — global slot layout, cross-unit hook merging, and callee
+//! qualification all have to produce equivalent programs either way
+//! (§5 "Linker").
+
+use hilti::passes::OptLevel;
+use hilti::{Program, Value};
+
+const MOD_A: &str = r#"
+module A
+import Hilti
+
+global int<64> base = 10
+
+int<64> compute(int<64> x) {
+    local int<64> y
+    y = call B::scale (x)
+    y = int.add y base
+    hook.run on_compute y
+    return y
+}
+
+hook void on_compute(int<64> v) {
+    call Hilti::print "A-hook"
+}
+"#;
+
+const MOD_B: &str = r#"
+module B
+import Hilti
+
+global int<64> factor = 3
+
+int<64> scale(int<64> x) {
+    local int<64> r
+    r = int.mul x factor
+    return r
+}
+
+hook void A::on_compute(int<64> v) &priority = 7 {
+    call Hilti::print "B-hook-first"
+    call Hilti::print v
+}
+"#;
+
+/// Runs `A::compute(5)` on a given module order and engine, returning the
+/// result and the printed output.
+fn run(order: &[&str], opt: OptLevel, interp: bool) -> (i64, Vec<String>) {
+    let mut p = Program::from_sources(order, opt).expect("program builds");
+    let r = if interp {
+        p.run_interpreted("A::compute", &[Value::Int(5)])
+    } else {
+        p.run("A::compute", &[Value::Int(5)])
+    };
+    (r.unwrap().as_int().unwrap(), p.take_output())
+}
+
+#[test]
+fn module_order_does_not_change_behaviour() {
+    let expected_out = vec![
+        "B-hook-first".to_string(),
+        "25".to_string(),
+        "A-hook".to_string(),
+    ];
+    for interp in [false, true] {
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let (v_ab, out_ab) = run(&[MOD_A, MOD_B], opt, interp);
+            let (v_ba, out_ba) = run(&[MOD_B, MOD_A], opt, interp);
+            assert_eq!(v_ab, 25, "interp={interp} opt={opt:?}");
+            assert_eq!(v_ab, v_ba, "interp={interp} opt={opt:?}");
+            assert_eq!(out_ab, expected_out, "interp={interp} opt={opt:?}");
+            assert_eq!(out_ab, out_ba, "interp={interp} opt={opt:?}");
+        }
+    }
+}
+
+/// Global initializers must land in the right slots whatever the unit
+/// order — a layout bug would silently swap `base` and `factor` here
+/// (both reads would still be in-bounds).
+#[test]
+fn global_slot_layout_is_order_independent() {
+    let (v_ab, _) = run(&[MOD_A, MOD_B], OptLevel::Full, false);
+    let (v_ba, _) = run(&[MOD_B, MOD_A], OptLevel::Full, false);
+    // compute(5) = 5 * factor(3) + base(10); a swapped layout would give
+    // 5 * 10 + 3 = 53 instead.
+    assert_eq!(v_ab, 25);
+    assert_eq!(v_ba, 25);
+}
+
+/// Hook priority wins over unit order: B's body (priority 7) runs before
+/// A's default-priority body even when A is linked first, and vice versa.
+#[test]
+fn hook_priority_beats_unit_order() {
+    for order in [[MOD_A, MOD_B], [MOD_B, MOD_A]] {
+        let (_, out) = run(&order, OptLevel::Full, false);
+        let first_hook = out.first().expect("hook output");
+        assert_eq!(first_hook, "B-hook-first", "order={order:?}");
+    }
+}
