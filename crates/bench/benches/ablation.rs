@@ -43,6 +43,23 @@ fn bench_optimizer(c: &mut Criterion) {
             b.iter(|| p.run("M::kernel", &[Value::Int(2_000)]).expect("run"))
         });
     }
+    // The bytecode-specialization tier on the same kernel (see
+    // `dispatch.rs` for the dedicated microbenchmarks): full optimizer
+    // with and without the typed fast path.
+    for (name, specialize) in [("full_spec", true), ("full_nospec", false)] {
+        group.bench_function(name, |b| {
+            let mut p = hilti::Program::from_sources_opts(
+                &[KERNEL],
+                OptLevel::Full,
+                hilti::host::BuildOptions {
+                    specialize,
+                    ..Default::default()
+                },
+            )
+            .expect("kernel");
+            b.iter(|| p.run("M::kernel", &[Value::Int(2_000)]).expect("run"))
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,76 @@
+//! Dispatch-tier microbenchmarks: the bytecode specializer on vs. off.
+//!
+//! Two kernels bracket the VM's hot paths: a tight integer loop (pure
+//! straight-line arithmetic plus a fused compare-and-branch back-edge —
+//! the best case for the typed tier) and recursive `fib` (call-dominated,
+//! so frame setup bounds how much specialization can buy). The same pair
+//! is registered alongside the A1 optimizer ablation in `ablation.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hilti::host::BuildOptions;
+use hilti::passes::OptLevel;
+use hilti::value::Value;
+use hilti::Program;
+
+const INT_LOOP: &str = r#"
+module M
+int<64> kernel(int<64> n) {
+    local int<64> i
+    local int<64> acc
+    local bool more
+    i = assign 0
+    acc = assign 0
+loop:
+    acc = int.add acc i
+    acc = int.and acc 1048575
+    i = int.add i 1
+    more = int.lt i n
+    if.else more loop done
+done:
+    return acc
+}
+"#;
+
+const FIB: &str = bench::experiments::FIB_HLT;
+
+fn build(src: &str, specialize: bool) -> Program {
+    Program::from_sources_opts(
+        &[src],
+        OptLevel::Full,
+        BuildOptions {
+            specialize,
+            ..Default::default()
+        },
+    )
+    .expect("kernel builds")
+}
+
+fn bench_int_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_int_loop");
+    for (name, specialize) in [("spec_on", true), ("spec_off", false)] {
+        group.bench_function(name, |b| {
+            let mut p = build(INT_LOOP, specialize);
+            b.iter(|| p.run("M::kernel", &[Value::Int(10_000)]).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_fib");
+    for (name, specialize) in [("spec_on", true), ("spec_off", false)] {
+        group.bench_function(name, |b| {
+            let mut p = build(FIB, specialize);
+            b.iter(|| p.run("Fib::fib", &[Value::Int(18)]).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_int_loop, bench_fib
+}
+criterion_main!(benches);

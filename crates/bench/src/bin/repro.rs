@@ -269,6 +269,12 @@ fn fib() {
         ms(r.ns_compiled),
         r.speedup
     );
+    println!(
+        "  dispatch tier: specializer on {} | off {} | specializer speedup {:.2}x",
+        ms(r.ns_vm_spec),
+        ms(r.ns_vm_nospec),
+        r.spec_speedup
+    );
 }
 
 fn threads() {

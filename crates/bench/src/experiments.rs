@@ -301,10 +301,50 @@ pub struct FibResult {
     pub ns_interpreted: u64,
     pub ns_compiled: u64,
     pub speedup: f64,
+    /// Compiled engine on the plain HILTI kernel, specializer on.
+    pub ns_vm_spec: u64,
+    /// Same kernel with the bytecode specialization tier disabled.
+    pub ns_vm_nospec: u64,
+    /// `ns_vm_nospec / ns_vm_spec` — what the typed fast tier buys.
+    pub spec_speedup: f64,
+}
+
+/// The HILTI-level Fibonacci kernel, used to isolate VM dispatch cost for
+/// the specializer ablation (no script-layer glue in the measurement).
+pub const FIB_HLT: &str = r#"
+module Fib
+int<64> fib(int<64> n) {
+    local bool base
+    local int<64> a
+    local int<64> b
+    base = int.lt n 2
+    if.else base ret rec
+ret:
+    return n
+rec:
+    a = int.sub n 1
+    a = call fib (a)
+    b = int.sub n 2
+    b = call fib (b)
+    a = int.add a b
+    return a
+}
+"#;
+
+fn hilti_fib(specialize: bool) -> RtResult<hilti::Program> {
+    hilti::Program::from_sources_opts(
+        &[FIB_HLT],
+        hilti::passes::OptLevel::Full,
+        hilti::host::BuildOptions {
+            specialize,
+            ..Default::default()
+        },
+    )
 }
 
 /// The §6.5 Fibonacci benchmark: "the compiled HILTI version solves this
 /// task orders of magnitude faster than Bro's standard interpreter".
+/// Also measures the bytecode-specialization ablation on the same kernel.
 pub fn fib_experiment(n: i64) -> RtResult<FibResult> {
     use broscript::host::ScriptHost;
     use broscript::scripts::FIB_BRO;
@@ -320,12 +360,33 @@ pub fn fib_experiment(n: i64) -> RtResult<FibResult> {
     let ns_compiled = start.elapsed().as_nanos() as u64;
 
     assert!(vi.equals(&vc), "engines disagree on fib({n})");
+
+    // Dispatch-tier ablation: the same HILTI kernel with the typed
+    // fast tier on and off (one warm-up run each, then the measurement).
+    let mut spec_on = hilti_fib(true)?;
+    let mut spec_off = hilti_fib(false)?;
+    spec_on.run("Fib::fib", &[Value::Int(n.min(15))])?;
+    spec_off.run("Fib::fib", &[Value::Int(n.min(15))])?;
+    let start = Instant::now();
+    let vs_on = spec_on.run("Fib::fib", &[Value::Int(n)])?;
+    let ns_vm_spec = start.elapsed().as_nanos() as u64;
+    let start = Instant::now();
+    let vs_off = spec_off.run("Fib::fib", &[Value::Int(n)])?;
+    let ns_vm_nospec = start.elapsed().as_nanos() as u64;
+    assert!(
+        vs_on.equals(&vs_off) && vs_on.equals(&vc),
+        "specializer changed fib({n})"
+    );
+
     Ok(FibResult {
         n,
         value: vc.as_int()?,
         ns_interpreted,
         ns_compiled,
         speedup: ns_interpreted as f64 / ns_compiled.max(1) as f64,
+        ns_vm_spec,
+        ns_vm_nospec,
+        spec_speedup: ns_vm_nospec as f64 / ns_vm_spec.max(1) as f64,
     })
 }
 

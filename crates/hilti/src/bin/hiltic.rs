@@ -7,11 +7,15 @@
 //! optimize → compile, then run an entry point or dump stages.
 //!
 //! ```text
-//! hiltic run  [-O0] [--interp] [--trace] [--entry Mod::fn] file.hlt [...]
+//! hiltic run  [-O0] [--interp] [--trace] [--stats] [--no-specialize]
+//!             [--entry Mod::fn] file.hlt [...]
 //! hiltic check         file.hlt ...      # parse + link + static checks
 //! hiltic dump-ir       file.hlt ...      # optimized IR, human-readable
-//! hiltic dump-bytecode file.hlt ...      # lowered bytecode
+//! hiltic dump-bytecode file.hlt ...      # lowered (specialized) bytecode
 //! ```
+//!
+//! `--no-specialize` disables the typed bytecode fast tier (the ablation
+//! switch); `--stats` prints the executed instruction mix to stderr.
 //!
 //! Example (Figure 3):
 //!
@@ -22,7 +26,7 @@
 
 use std::process::ExitCode;
 
-use hilti::host::Program;
+use hilti::host::{BuildOptions, Program};
 use hilti::passes::OptLevel;
 
 fn main() -> ExitCode {
@@ -35,6 +39,8 @@ fn main() -> ExitCode {
     let mut opt = OptLevel::Full;
     let mut interp = false;
     let mut trace = false;
+    let mut stats = false;
+    let mut specialize = true;
     let mut entry = "Main::run".to_owned();
     let mut files: Vec<String> = Vec::new();
     let mut it = rest.iter();
@@ -44,6 +50,8 @@ fn main() -> ExitCode {
             "-O1" | "-O2" => opt = OptLevel::Full,
             "--interp" => interp = true,
             "--trace" => trace = true,
+            "--stats" => stats = true,
+            "--no-specialize" => specialize = false,
             "--entry" => match it.next() {
                 Some(e) => entry = e.clone(),
                 None => {
@@ -72,7 +80,11 @@ fn main() -> ExitCode {
     };
     let source_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
 
-    let mut program = match Program::from_sources(&source_refs, opt) {
+    let options = BuildOptions {
+        specialize,
+        ..Default::default()
+    };
+    let mut program = match Program::from_sources_opts(&source_refs, opt, options) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("hiltic: {e}");
@@ -142,6 +154,7 @@ fn main() -> ExitCode {
         }
         "run" => {
             program.context_mut().trace = trace;
+            program.context_mut().stats = stats;
             let result = if interp {
                 program.run_interpreted(&entry, &[])
             } else {
@@ -150,6 +163,14 @@ fn main() -> ExitCode {
             // The trace goes to stderr so program output stays clean.
             for line in program.context_mut().take_trace() {
                 eprintln!("trace: {line}");
+            }
+            if stats {
+                let mix = program.context_mut().take_instr_mix();
+                let total: u64 = mix.iter().map(|(_, c)| *c).sum();
+                eprintln!("stats: {total} instructions executed");
+                for (name, count) in mix {
+                    eprintln!("stats: {count:>10}  {name}");
+                }
             }
             for line in program.take_output() {
                 println!("{line}");

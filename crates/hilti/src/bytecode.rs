@@ -90,17 +90,166 @@ pub enum CInstr {
     /// move the scratch slot into global `global`. This is how instructions
     /// targeting a thread-local global lower.
     GlobalStore { global: u32, inner: Box<CInstr> },
-    /// Fast path: two-operand integer arithmetic/comparison with a local
-    /// target — the hottest instructions in compiled scripts. Skips the
-    /// generic operand marshalling of `Op`.
-    IntFast {
-        op: Opcode,
-        target: u16,
-        a: COperand,
-        b: COperand,
+
+    // --- specialized tier ------------------------------------------------
+    // Emitted by `crate::specialize`, never by lowering itself. These are
+    // the typed superinstructions of the clone-free fast path: the VM
+    // executes them inline on `frame.slots`, with no operand marshalling
+    // and no `ops::eval` round-trip. Operand slots are statically typed
+    // (`CFunc::slot_types`), but values are still checked at run time so a
+    // mistyped slot raises the same catchable TypeError as the generic
+    // path (locals start as Null).
+    /// `dst = a + b`, wrapping (semantics of `int.add` in `ops::eval`).
+    AddInt { dst: u16, a: IntSrc, b: IntSrc },
+    /// `dst = a - b`, wrapping.
+    SubInt { dst: u16, a: IntSrc, b: IntSrc },
+    /// `dst = a * b`, wrapping.
+    MulInt { dst: u16, a: IntSrc, b: IntSrc },
+    /// Bitwise and shift forms (`int.and`/`or`/`xor`/`shl`/`shr`).
+    BitInt {
+        op: IntBit,
+        dst: u16,
+        a: IntSrc,
+        b: IntSrc,
     },
-    /// Fast path: plain move into a local slot.
-    AssignFast { target: u16, src: COperand },
+    /// `dst = a <cmp> b` as bool.
+    CmpInt {
+        cmp: IntCmp,
+        dst: u16,
+        a: IntSrc,
+        b: IntSrc,
+    },
+    /// Fused compare-and-branch superinstruction replacing a `CmpInt`
+    /// immediately followed by a branch on its result. It still writes the
+    /// bool `dst` slot (so later reads of the flag stay correct) and the
+    /// original branch remains at the following pc for explicit jump
+    /// targets; straight-line execution just never revisits it.
+    BrIfInt {
+        cmp: IntCmp,
+        a: IntSrc,
+        b: IntSrc,
+        dst: u16,
+        then_pc: u32,
+        else_pc: u32,
+    },
+    /// Slot-to-slot move (`assign` between statically known locals).
+    MoveSlot { dst: u16, src: u16 },
+    /// Constant load into a slot.
+    LoadImm { dst: u16, v: Value },
+    /// Branch on a slot statically known to be bool.
+    BrBool {
+        cond: u16,
+        then_pc: u32,
+        else_pc: u32,
+    },
+}
+
+/// Integer operand of a specialized instruction: a frame slot statically
+/// known to hold `int<n>`, or an immediate constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntSrc {
+    Slot(u16),
+    Imm(i64),
+}
+
+impl IntSrc {
+    /// Renders like the generic operand it replaced (`s3` / `42`).
+    pub fn render(&self) -> String {
+        match self {
+            IntSrc::Slot(s) => format!("s{s}"),
+            IntSrc::Imm(i) => i.to_string(),
+        }
+    }
+}
+
+/// Comparison relation of [`CInstr::CmpInt`] / [`CInstr::BrIfInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntCmp {
+    Eq,
+    Lt,
+    Gt,
+    Leq,
+    Geq,
+}
+
+impl IntCmp {
+    #[inline(always)]
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            IntCmp::Eq => a == b,
+            IntCmp::Lt => a < b,
+            IntCmp::Gt => a > b,
+            IntCmp::Leq => a <= b,
+            IntCmp::Geq => a >= b,
+        }
+    }
+
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntCmp::Eq => "int.eq",
+            IntCmp::Lt => "int.lt",
+            IntCmp::Gt => "int.gt",
+            IntCmp::Leq => "int.leq",
+            IntCmp::Geq => "int.geq",
+        }
+    }
+
+    pub fn from_opcode(op: Opcode) -> Option<IntCmp> {
+        Some(match op {
+            Opcode::IntEq => IntCmp::Eq,
+            Opcode::IntLt => IntCmp::Lt,
+            Opcode::IntGt => IntCmp::Gt,
+            Opcode::IntLeq => IntCmp::Leq,
+            Opcode::IntGeq => IntCmp::Geq,
+            _ => return None,
+        })
+    }
+}
+
+/// Bitwise/shift operation of [`CInstr::BitInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntBit {
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl IntBit {
+    /// Exactly the `ops::eval` semantics: `shl` wraps the shift amount,
+    /// `shr` is a logical shift on the 64-bit pattern.
+    #[inline(always)]
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            IntBit::And => a & b,
+            IntBit::Or => a | b,
+            IntBit::Xor => a ^ b,
+            IntBit::Shl => a.wrapping_shl(b as u32),
+            IntBit::Shr => ((a as u64) >> (b as u32 & 63)) as i64,
+        }
+    }
+
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntBit::And => "int.and",
+            IntBit::Or => "int.or",
+            IntBit::Xor => "int.xor",
+            IntBit::Shl => "int.shl",
+            IntBit::Shr => "int.shr",
+        }
+    }
+
+    pub fn from_opcode(op: Opcode) -> Option<IntBit> {
+        Some(match op {
+            Opcode::IntAnd => IntBit::And,
+            Opcode::IntOr => IntBit::Or,
+            Opcode::IntXor => IntBit::Xor,
+            Opcode::IntShl => IntBit::Shl,
+            Opcode::IntShr => IntBit::Shr,
+            _ => return None,
+        })
+    }
 }
 
 /// A lowered function.
@@ -110,6 +259,173 @@ pub struct CFunc {
     pub n_params: u16,
     pub n_slots: u16,
     pub code: Vec<CInstr>,
+    /// Static type of each slot (params, then locals; the trailing scratch
+    /// slot is `Any`). Carried from the checked IR so `crate::specialize`
+    /// can prove operands integer/bool without dataflow analysis. A slot
+    /// whose declared type is `Any` — or that is reused under conflicting
+    /// declarations — is never specialized on.
+    pub slot_types: Vec<Type>,
+}
+
+impl COperand {
+    /// Renders like the textual IR operand it lowered from (`s3`, `g1`,
+    /// or a constant).
+    pub fn render(&self) -> String {
+        match self {
+            COperand::Slot(s) => format!("s{s}"),
+            COperand::Global(g) => format!("g{g}"),
+            COperand::Value(v) => v.render(),
+        }
+    }
+}
+
+impl CInstr {
+    /// Canonical mnemonic-based rendering used by `--trace`. Specialized
+    /// variants render exactly like the generic instruction they replaced,
+    /// so traces from a specialized and an unspecialized build stay
+    /// diffable ([`CInstr::BrIfInt`] is the one exception: the VM traces it
+    /// as its two constituent lines).
+    pub fn render(&self) -> String {
+        fn assignment(target: Option<u16>, rhs: String) -> String {
+            match target {
+                Some(t) => format!("s{t} = {rhs}"),
+                None => rhs,
+            }
+        }
+        fn call_args(args: &[COperand]) -> String {
+            args.iter()
+                .map(COperand::render)
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        match self {
+            CInstr::Op {
+                opcode,
+                target,
+                args,
+                idents,
+            } => {
+                let mut parts: Vec<String> = vec![opcode.mnemonic().to_owned()];
+                parts.extend(idents.iter().cloned());
+                parts.extend(args.iter().map(COperand::render));
+                assignment(*target, parts.join(" "))
+            }
+            CInstr::Call { target, func, args } => {
+                assignment(*target, format!("call #{func} ({})", call_args(args)))
+            }
+            CInstr::CallHost { target, name, args } => {
+                assignment(*target, format!("call.c {name} ({})", call_args(args)))
+            }
+            CInstr::RunHook { hook, args } => {
+                format!("hook.run #{hook} ({})", call_args(args))
+            }
+            CInstr::CallCallable {
+                target,
+                callable,
+                args,
+            } => assignment(
+                *target,
+                format!("callable.call {} ({})", callable.render(), call_args(args)),
+            ),
+            CInstr::New { target, ty, args } => {
+                assignment(Some(*target), format!("new {ty} ({})", call_args(args)))
+            }
+            CInstr::Jump(pc) => format!("jump @{pc}"),
+            CInstr::Branch {
+                cond,
+                then_pc,
+                else_pc,
+            } => format!(
+                "if {} goto @{then_pc} else @{else_pc}",
+                cond.render()
+            ),
+            CInstr::Return(v) => match v {
+                Some(op) => format!("return {}", op.render()),
+                None => "return".to_owned(),
+            },
+            CInstr::PushHandler { pc, kind, binder } => match binder {
+                Some(b) => format!("push_handler {kind} @{pc} s{b}"),
+                None => format!("push_handler {kind} @{pc}"),
+            },
+            CInstr::PopHandler => "pop_handler".to_owned(),
+            CInstr::Yield => "yield".to_owned(),
+            CInstr::GlobalStore { global, inner } => {
+                format!("g{global} <- {}", inner.render())
+            }
+            CInstr::AddInt { dst, a, b } => {
+                format!("s{dst} = int.add {} {}", a.render(), b.render())
+            }
+            CInstr::SubInt { dst, a, b } => {
+                format!("s{dst} = int.sub {} {}", a.render(), b.render())
+            }
+            CInstr::MulInt { dst, a, b } => {
+                format!("s{dst} = int.mul {} {}", a.render(), b.render())
+            }
+            CInstr::BitInt { op, dst, a, b } => {
+                format!("s{dst} = {} {} {}", op.mnemonic(), a.render(), b.render())
+            }
+            CInstr::CmpInt { cmp, dst, a, b } => {
+                format!("s{dst} = {} {} {}", cmp.mnemonic(), a.render(), b.render())
+            }
+            CInstr::BrIfInt {
+                cmp,
+                a,
+                b,
+                dst,
+                then_pc,
+                else_pc,
+            } => format!(
+                "s{dst} = {} {} {} ; if s{dst} goto @{then_pc} else @{else_pc}",
+                cmp.mnemonic(),
+                a.render(),
+                b.render()
+            ),
+            CInstr::MoveSlot { dst, src } => format!("s{dst} = assign s{src}"),
+            CInstr::LoadImm { dst, v } => format!("s{dst} = assign {}", v.render()),
+            CInstr::BrBool {
+                cond,
+                then_pc,
+                else_pc,
+            } => format!("if s{cond} goto @{then_pc} else @{else_pc}"),
+        }
+    }
+
+    /// Bucket name for the instruction-mix histogram (`Context::stats`).
+    /// Generic data instructions count under their IR mnemonic; specialized
+    /// variants under distinct `spec.*` names so the histogram shows how
+    /// much of the stream runs on the fast tier.
+    pub fn stat_name(&self) -> &'static str {
+        match self {
+            CInstr::Op { opcode, .. } => opcode.mnemonic(),
+            CInstr::Call { .. } => "call",
+            CInstr::CallHost { .. } => "call.c",
+            CInstr::RunHook { .. } => "hook.run",
+            CInstr::CallCallable { .. } => "callable.call",
+            CInstr::New { .. } => "new",
+            CInstr::Jump(_) => "jump",
+            CInstr::Branch { .. } => "branch",
+            CInstr::Return(_) => "return",
+            CInstr::PushHandler { .. } => "exception.push_handler",
+            CInstr::PopHandler => "exception.pop_handler",
+            CInstr::Yield => "yield",
+            CInstr::GlobalStore { inner, .. } => inner.stat_name(),
+            CInstr::AddInt { .. } => "spec.int.add",
+            CInstr::SubInt { .. } => "spec.int.sub",
+            CInstr::MulInt { .. } => "spec.int.mul",
+            CInstr::BitInt { op, .. } => match op {
+                IntBit::And => "spec.int.and",
+                IntBit::Or => "spec.int.or",
+                IntBit::Xor => "spec.int.xor",
+                IntBit::Shl => "spec.int.shl",
+                IntBit::Shr => "spec.int.shr",
+            },
+            CInstr::CmpInt { .. } => "spec.int.cmp",
+            CInstr::BrIfInt { .. } => "spec.int.br_if",
+            CInstr::MoveSlot { .. } => "spec.move",
+            CInstr::LoadImm { .. } => "spec.load.imm",
+            CInstr::BrBool { .. } => "spec.br.bool",
+        }
+    }
 }
 
 /// A fully lowered program.
@@ -123,10 +439,11 @@ pub struct CompiledProgram {
     /// Global initializers, slot order (evaluated per context).
     pub global_inits: Vec<Option<Value>>,
     pub global_names: Vec<String>,
-    /// Struct type → field names.
-    pub struct_fields: HashMap<String, Vec<String>>,
-    /// Overlay types.
-    pub overlays: HashMap<String, Rc<OverlayType>>,
+    /// Struct type → field names. Behind `Rc`: every per-thread `Context`
+    /// shares the table instead of deep-cloning it.
+    pub struct_fields: Rc<HashMap<String, Vec<String>>>,
+    /// Overlay types, shared the same way.
+    pub overlays: Rc<HashMap<String, Rc<OverlayType>>>,
 }
 
 impl CompiledProgram {
@@ -139,21 +456,25 @@ impl CompiledProgram {
 pub fn compile(linked: &Linked) -> RtResult<CompiledProgram> {
     let mut prog = CompiledProgram::default();
 
-    // Type tables.
+    // Type tables (built flat, then shared behind Rc).
+    let mut struct_fields: HashMap<String, Vec<String>> = HashMap::new();
+    let mut overlays: HashMap<String, Rc<OverlayType>> = HashMap::new();
     for (name, def) in &linked.types {
         match def {
             TypeDef::Struct(fields) => {
-                prog.struct_fields.insert(
+                struct_fields.insert(
                     name.clone(),
                     fields.iter().map(|(n, _)| n.clone()).collect(),
                 );
             }
             TypeDef::Overlay(o) => {
-                prog.overlays.insert(name.clone(), Rc::new(o.clone()));
+                overlays.insert(name.clone(), Rc::new(o.clone()));
             }
             TypeDef::Enum(_) | TypeDef::Bitset(_) => {}
         }
     }
+    prog.struct_fields = Rc::new(struct_fields);
+    prog.overlays = Rc::new(overlays);
 
     // Global slots.
     for (name, _ty, init) in &linked.globals {
@@ -481,37 +802,9 @@ fn lower_function(
                 }
                 Opcode::PopHandler => CInstr::PopHandler,
                 Opcode::Yield => CInstr::Yield,
-                // Hot-path specializations (only with a plain local
-                // target; global targets keep the generic path so the
-                // GlobalStore wrapper semantics stay in one place).
-                Opcode::IntAdd
-                | Opcode::IntSub
-                | Opcode::IntMul
-                | Opcode::IntEq
-                | Opcode::IntLt
-                | Opcode::IntGt
-                | Opcode::IntLeq
-                | Opcode::IntGeq
-                | Opcode::IntAnd
-                | Opcode::IntOr
-                | Opcode::IntShl
-                    if vargs.len() == 2 && ctarget.is_some() && gtarget.is_none() =>
-                {
-                    CInstr::IntFast {
-                        op: instr.opcode,
-                        target: ctarget.expect("checked above"),
-                        a: operand(vargs[0])?,
-                        b: operand(vargs[1])?,
-                    }
-                }
-                Opcode::Assign
-                    if vargs.len() == 1 && ctarget.is_some() && gtarget.is_none() =>
-                {
-                    CInstr::AssignFast {
-                        target: ctarget.expect("checked above"),
-                        src: operand(vargs[0])?,
-                    }
-                }
+                // Everything else lowers generically; the typed fast tier
+                // is a separate pass (`crate::specialize`) so it can be
+                // switched off for ablation without changing lowering.
                 _ => CInstr::Op {
                     opcode: instr.opcode,
                     target: ctarget,
@@ -554,11 +847,33 @@ fn lower_function(
         code.push(term);
     }
 
+    // Static slot types for the specializer: params, then locals, with the
+    // scratch slot left `Any`. A slot shared by conflicting declarations
+    // degrades to `Any` (never specialized).
+    let mut slot_types = vec![Type::Any; slots.slots.len() + 1];
+    for (i, (_, t)) in f.params.iter().enumerate() {
+        slot_types[i] = t.clone();
+    }
+    let mut seen_locals: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for (n, t) in &f.locals {
+        let Some(s) = slots.get(n) else { continue };
+        let s = s as usize;
+        if s < f.params.len() {
+            continue; // a local shadowing a param keeps the param's slot
+        }
+        if seen_locals.insert(n.as_str()) {
+            slot_types[s] = t.clone();
+        } else if slot_types[s] != *t {
+            slot_types[s] = Type::Any;
+        }
+    }
+
     Ok(CFunc {
         name: f.name.clone(),
         n_params: f.params.len() as u16,
         n_slots: slots.slots.len() as u16 + 1, // +1 scratch for global stores
         code,
+        slot_types,
     })
 }
 
@@ -611,9 +926,6 @@ no:
         let has_precompiled = f.code.iter().any(|i| {
             matches!(
                 i,
-                CInstr::AssignFast { src: COperand::Value(Value::Regexp(_)), .. }
-            ) || matches!(
-                i,
                 CInstr::Op { opcode: Opcode::Assign, args, .. }
                     if matches!(args.first(), Some(COperand::Value(Value::Regexp(_))))
             )
@@ -622,7 +934,10 @@ no:
     }
 
     #[test]
-    fn hot_int_ops_use_fast_path() {
+    fn lowering_is_fully_generic_without_specializer() {
+        // The typed fast tier lives in `crate::specialize`; plain lowering
+        // must emit only generic instructions so the spec-off ablation
+        // measures the true generic dispatch path.
         let prog = compiled(
             r#"
 module M
@@ -635,10 +950,34 @@ int<64> f(int<64> a, int<64> b) {
         );
         let f = prog.func("M::f").unwrap();
         assert!(
-            f.code.iter().any(|i| matches!(i, CInstr::IntFast { .. })),
+            f.code
+                .iter()
+                .any(|i| matches!(i, CInstr::Op { opcode: Opcode::IntAdd, .. })),
             "{:#?}",
             f.code
         );
+    }
+
+    #[test]
+    fn slot_types_carry_param_and_local_types() {
+        let prog = compiled(
+            r#"
+module M
+int<64> f(int<64> a, bool c) {
+    local int<64> x
+    local any v
+    return a
+}
+"#,
+        );
+        let f = prog.func("M::f").unwrap();
+        assert_eq!(f.slot_types.len(), f.n_slots as usize);
+        assert!(matches!(f.slot_types[0], Type::Int(_)));
+        assert!(matches!(f.slot_types[1], Type::Bool));
+        assert!(matches!(f.slot_types[2], Type::Int(_)));
+        assert!(matches!(f.slot_types[3], Type::Any));
+        // The trailing scratch slot is never typed.
+        assert!(matches!(f.slot_types.last(), Some(Type::Any)));
     }
 
     #[test]

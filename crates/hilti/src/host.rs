@@ -17,11 +17,12 @@ use crate::fiber::Fiber;
 use crate::ir::Module;
 use crate::linker::{link_with_priorities, Linked};
 use crate::passes::{optimize_linked, OptLevel, PassStats};
+use crate::specialize::SpecStats;
 use crate::value::Value;
 use crate::vm::{self, Context};
 
 /// Build-time options beyond the optimization level.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct BuildOptions {
     /// Insert per-function profiling spans (§3.3).
     pub instrument: bool,
@@ -29,6 +30,20 @@ pub struct BuildOptions {
     /// hooks) — §7's link-time elimination of code "statically determined
     /// as unreachable with the host application's parameterization".
     pub prune_roots: Option<Vec<String>>,
+    /// Run the bytecode specialization pass (`crate::specialize`): typed
+    /// fast-path instructions and fused compare-and-branch. On by default;
+    /// switch off to ablate the tier (see `bench/benches/dispatch.rs`).
+    pub specialize: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            instrument: false,
+            prune_roots: None,
+            specialize: true,
+        }
+    }
 }
 
 /// A ready-to-run HILTI program: linked IR plus compiled bytecode plus the
@@ -38,6 +53,7 @@ pub struct Program {
     compiled: CompiledProgram,
     ctx: Context,
     pass_stats: PassStats,
+    spec_stats: SpecStats,
     warnings: Vec<check::Diagnostic>,
 }
 
@@ -54,6 +70,20 @@ impl Program {
             .map(|s| crate::parser::parse_module(s))
             .collect::<RtResult<Vec<_>>>()?;
         Self::from_modules(modules, opt)
+    }
+
+    /// Builds a program from textual units with explicit build options
+    /// (e.g. `specialize: false` for the dispatch-tier ablation).
+    pub fn from_sources_opts(
+        srcs: &[&str],
+        opt: OptLevel,
+        options: BuildOptions,
+    ) -> RtResult<Program> {
+        let modules = srcs
+            .iter()
+            .map(|s| crate::parser::parse_module(s))
+            .collect::<RtResult<Vec<_>>>()?;
+        Self::build(modules, opt, options)
     }
 
     /// Builds with per-function profiling instrumentation (§3.3): every
@@ -106,13 +136,19 @@ impl Program {
         if options.instrument {
             crate::passes::instrument_functions(&mut linked);
         }
-        let compiled = compile(&linked)?;
+        let mut compiled = compile(&linked)?;
+        let spec_stats = if options.specialize {
+            crate::specialize::specialize_program(&mut compiled)
+        } else {
+            SpecStats::default()
+        };
         let ctx = Context::for_program(&compiled);
         Ok(Program {
             linked,
             compiled,
             ctx,
             pass_stats,
+            spec_stats,
             warnings,
         })
     }
@@ -125,6 +161,12 @@ impl Program {
     /// Optimization statistics from the build.
     pub fn pass_stats(&self) -> PassStats {
         self.pass_stats
+    }
+
+    /// Bytecode-specialization statistics (zero when built with
+    /// `specialize: false`).
+    pub fn spec_stats(&self) -> SpecStats {
+        self.spec_stats
     }
 
     /// The linked IR (for inspection or the interpreter baseline).
@@ -457,6 +499,109 @@ int<64> get() {
         p.run_void("M::schedule_and_advance", &[]).unwrap();
         let v = p.run("M::get", &[]).unwrap();
         assert!(v.equals(&Value::Int(7)), "{v:?}");
+    }
+
+    const SUM_LOOP: &str = r#"
+module M
+int<64> sum(int<64> n) {
+    local int<64> i
+    local int<64> acc
+    local bool more
+    i = assign 0
+    acc = assign 0
+loop:
+    acc = int.add acc i
+    i = int.add i 1
+    more = int.lt i n
+    if.else more loop done
+done:
+    return acc
+}
+"#;
+
+    #[test]
+    fn specializer_preserves_behaviour_and_traces() {
+        let mut on = Program::from_sources(&[SUM_LOOP], OptLevel::None).unwrap();
+        let mut off = Program::from_sources_opts(
+            &[SUM_LOOP],
+            OptLevel::None,
+            BuildOptions {
+                specialize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(on.spec_stats().total() > 0, "{:?}", on.spec_stats());
+        assert_eq!(off.spec_stats().total(), 0);
+
+        on.context_mut().trace = true;
+        off.context_mut().trace = true;
+        let v_on = on.run("M::sum", &[Value::Int(10)]).unwrap();
+        let v_off = off.run("M::sum", &[Value::Int(10)]).unwrap();
+        assert!(v_on.equals(&v_off));
+        assert!(v_on.equals(&Value::Int(45)));
+        // Tracing parity: the specialized VM's trace is line-for-line
+        // identical to the unspecialized one (fused instructions emit
+        // their two constituent lines).
+        assert_eq!(
+            on.context_mut().take_trace(),
+            off.context_mut().take_trace()
+        );
+    }
+
+    #[test]
+    fn instruction_mix_histogram() {
+        let mut p = Program::from_source(SUM_LOOP).unwrap();
+        // Off by default.
+        p.run("M::sum", &[Value::Int(50)]).unwrap();
+        assert!(p.context_mut().take_instr_mix().is_empty());
+
+        p.context_mut().stats = true;
+        p.run("M::sum", &[Value::Int(50)]).unwrap();
+        let mix = p.context_mut().take_instr_mix();
+        let total: u64 = mix.iter().map(|(_, c)| *c).sum();
+        assert!(total > 100, "{mix:?}");
+        // The hot loop runs on the specialized tier.
+        assert!(
+            mix.iter().any(|(n, c)| n.starts_with("spec.") && *c >= 50),
+            "{mix:?}"
+        );
+        // Sorted by descending count, and drained by take.
+        assert!(mix.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(p.context_mut().take_instr_mix().is_empty());
+    }
+
+    #[test]
+    fn specialized_type_error_is_catchable() {
+        // A statically int slot read before initialization holds Null; the
+        // specialized instruction must raise the same catchable TypeError
+        // as the generic path.
+        let src = r#"
+module M
+int<64> f() {
+    local int<64> u
+    local int<64> y
+    try {
+        y = int.add u 1
+    } catch ( exception e ) {
+        return -1
+    }
+    return y
+}
+"#;
+        for specialize in [true, false] {
+            let mut p = Program::from_sources_opts(
+                &[src],
+                OptLevel::None,
+                BuildOptions {
+                    specialize,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let v = p.run("M::f", &[]).unwrap();
+            assert!(v.equals(&Value::Int(-1)), "specialize={specialize}: {v:?}");
+        }
     }
 
     #[test]

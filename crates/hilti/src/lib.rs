@@ -26,6 +26,9 @@
 //! * [`bytecode`] + [`vm`] — lowering to flat register bytecode and the
 //!   fiber-capable virtual machine (the *compiled* engine; see DESIGN.md
 //!   for the LLVM substitution rationale).
+//! * [`specialize`] — the typed bytecode fast tier: rewrites generic
+//!   instructions into direct typed variants and fused compare-and-branch
+//!   superinstructions the VM executes clone-free.
 //! * [`fiber`] — suspendable computations for transparent incremental
 //!   processing (§3.2).
 //! * [`threads`] — the Erlang-style virtual-thread scheduler with
@@ -60,6 +63,7 @@ pub mod linker;
 pub mod ops;
 pub mod parser;
 pub mod passes;
+pub mod specialize;
 pub mod threads;
 pub mod types;
 pub mod value;

@@ -1576,6 +1576,11 @@ pub fn eval(
     })
 }
 
+// NOTE: the specialized bytecode tier (`crate::specialize`, executed
+// inline by the VM) mirrors the wrapping/shift/comparison semantics of the
+// int ops evaluated through these helpers. `tests/differential.rs` checks
+// the two paths against each other; keep them in sync when touching either.
+#[inline]
 fn bin_int(
     args: &[Value],
     op: Opcode,
@@ -1588,6 +1593,7 @@ fn bin_int(
     )?)))
 }
 
+#[inline]
 fn bin_int_cmp(args: &[Value], op: Opcode, f: impl FnOnce(i64, i64) -> bool) -> RtResult<Evaluated> {
     arity(args, 2, op)?;
     Ok(Evaluated::value(Value::Bool(f(

@@ -24,7 +24,7 @@ use hilti_rt::file::LogFile;
 use hilti_rt::overlay::OverlayType;
 use hilti_rt::time::Time;
 
-use crate::bytecode::{CFunc, CInstr, COperand, CompiledProgram};
+use crate::bytecode::{CFunc, CInstr, COperand, CompiledProgram, IntSrc};
 use crate::ops::{self, ExecCtx, ExpiringHandle};
 use crate::value::{CallableVal, Value};
 
@@ -53,15 +53,21 @@ pub struct Context {
     pub thread_id: u64,
     /// thread.schedule requests, drained by the thread runtime.
     pub scheduled: Vec<(u64, CallableVal)>,
-    /// Struct/overlay tables copied from the program at setup.
-    pub struct_fields: HashMap<String, Vec<String>>,
-    pub overlays: HashMap<String, Rc<OverlayType>>,
+    /// Struct/overlay tables shared with the program (`Rc`: spawning a
+    /// virtual-thread context must not deep-copy whole type tables).
+    pub struct_fields: Rc<HashMap<String, Vec<String>>>,
+    pub overlays: Rc<HashMap<String, Rc<OverlayType>>>,
     /// When set, every executed instruction is appended to `trace_log`
     /// (`hiltic run --trace`; the paper's §3.1 debugging support).
     pub trace: bool,
     /// Captured execution trace, one rendered instruction per line.
     /// Capped at [`TRACE_CAP`] lines to bound memory on runaway programs.
     pub trace_log: Vec<String>,
+    /// When set, the VM counts executed instructions per mnemonic
+    /// (`hiltic run --stats`) — the data that drives which instructions
+    /// deserve specialized variants.
+    pub stats: bool,
+    instr_mix: HashMap<&'static str, u64>,
 }
 
 /// Upper bound on captured trace lines; tracing silently stops there.
@@ -87,16 +93,42 @@ impl Context {
             counters: HashMap::new(),
             thread_id: 0,
             scheduled: Vec::new(),
-            struct_fields: prog.struct_fields.clone(),
-            overlays: prog.overlays.clone(),
+            struct_fields: Rc::clone(&prog.struct_fields),
+            overlays: Rc::clone(&prog.overlays),
             trace: false,
             trace_log: Vec::new(),
+            stats: false,
+            instr_mix: HashMap::new(),
         }
     }
 
     /// Takes the accumulated execution trace (see [`Context::trace`]).
     pub fn take_trace(&mut self) -> Vec<String> {
         std::mem::take(&mut self.trace_log)
+    }
+
+    /// The instruction-mix histogram collected while [`Context::stats`] was
+    /// set, sorted by descending count (ties by name).
+    pub fn instr_mix(&self) -> Vec<(&'static str, u64)> {
+        let mut mix: Vec<(&'static str, u64)> = self
+            .instr_mix
+            .iter()
+            .map(|(n, c)| (*n, *c))
+            .collect();
+        mix.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        mix
+    }
+
+    /// Takes and resets the instruction-mix histogram.
+    pub fn take_instr_mix(&mut self) -> Vec<(&'static str, u64)> {
+        let mix = self.instr_mix();
+        self.instr_mix.clear();
+        mix
+    }
+
+    #[inline]
+    pub(crate) fn count_instr(&mut self, name: &'static str) {
+        *self.instr_mix.entry(name).or_default() += 1;
     }
 
     /// Registers a host function callable from HILTI code.
@@ -281,7 +313,19 @@ impl Frame {
     fn new_pooled(
         prog: &CompiledProgram,
         func: u32,
-        args: Vec<Value>,
+        mut args: Vec<Value>,
+        pool: &mut Vec<Vec<Value>>,
+    ) -> Frame {
+        Frame::new_from_buf(prog, func, &mut args, pool)
+    }
+
+    /// Like [`Frame::new_pooled`], but drains the arguments out of a caller
+    /// owned buffer so the dispatch loop's argument vector is reused across
+    /// calls instead of being reallocated per call.
+    fn new_from_buf(
+        prog: &CompiledProgram,
+        func: u32,
+        args: &mut Vec<Value>,
         pool: &mut Vec<Vec<Value>>,
     ) -> Frame {
         let cf = &prog.funcs[func as usize];
@@ -294,7 +338,7 @@ impl Frame {
             }
             None => vec![Value::Null; n],
         };
-        for (i, a) in args.into_iter().enumerate().take(cf.n_params as usize) {
+        for (i, a) in args.drain(..).enumerate().take(cf.n_params as usize) {
             slots[i] = a;
         }
         Frame {
@@ -369,6 +413,18 @@ fn operand_value(ctx: &Context, frame: &Frame, op: &COperand) -> Value {
     }
 }
 
+/// Reads a specialized integer operand without cloning. The slot is
+/// statically typed int, but the value is still checked (locals start as
+/// Null) so a mistyped read raises the same catchable TypeError as the
+/// generic path.
+#[inline(always)]
+fn int_src(frame: &Frame, s: IntSrc) -> RtResult<i64> {
+    match s {
+        IntSrc::Imm(i) => Ok(i),
+        IntSrc::Slot(s) => frame.slots[s as usize].as_int(),
+    }
+}
+
 /// The main dispatch loop.
 pub fn run(
     prog: &CompiledProgram,
@@ -385,6 +441,100 @@ pub fn run(
             return Ok(Outcome::Done(Value::Null));
         };
         let cf: &CFunc = &prog.funcs[frame.func as usize];
+
+        // Fast tier: consecutive specialized instructions execute in a
+        // tight inner loop that keeps the frame borrow, skipping the
+        // per-instruction re-dispatch overhead of the generic path
+        // (trace/stats builds skip this so every instruction is still
+        // observed one by one). On a type error the loop breaks *without*
+        // advancing pc; the generic body re-executes the pure instruction
+        // and raises through the one exception path.
+        if !ctx.trace && !ctx.stats {
+            while let Some(instr) = cf.code.get(frame.pc as usize) {
+                match instr {
+                    CInstr::AddInt { dst, a, b } => {
+                        match (int_src(frame, *a), int_src(frame, *b)) {
+                            (Ok(x), Ok(y)) => {
+                                frame.slots[*dst as usize] = Value::Int(x.wrapping_add(y));
+                                frame.pc += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    CInstr::SubInt { dst, a, b } => {
+                        match (int_src(frame, *a), int_src(frame, *b)) {
+                            (Ok(x), Ok(y)) => {
+                                frame.slots[*dst as usize] = Value::Int(x.wrapping_sub(y));
+                                frame.pc += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    CInstr::MulInt { dst, a, b } => {
+                        match (int_src(frame, *a), int_src(frame, *b)) {
+                            (Ok(x), Ok(y)) => {
+                                frame.slots[*dst as usize] = Value::Int(x.wrapping_mul(y));
+                                frame.pc += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    CInstr::BitInt { op, dst, a, b } => {
+                        match (int_src(frame, *a), int_src(frame, *b)) {
+                            (Ok(x), Ok(y)) => {
+                                frame.slots[*dst as usize] = Value::Int(op.apply(x, y));
+                                frame.pc += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    CInstr::CmpInt { cmp, dst, a, b } => {
+                        match (int_src(frame, *a), int_src(frame, *b)) {
+                            (Ok(x), Ok(y)) => {
+                                frame.slots[*dst as usize] = Value::Bool(cmp.apply(x, y));
+                                frame.pc += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    CInstr::BrIfInt {
+                        cmp,
+                        a,
+                        b,
+                        dst,
+                        then_pc,
+                        else_pc,
+                    } => match (int_src(frame, *a), int_src(frame, *b)) {
+                        (Ok(x), Ok(y)) => {
+                            let taken = cmp.apply(x, y);
+                            frame.slots[*dst as usize] = Value::Bool(taken);
+                            frame.pc = if taken { *then_pc } else { *else_pc };
+                        }
+                        _ => break,
+                    },
+                    CInstr::MoveSlot { dst, src } => {
+                        frame.slots[*dst as usize] = frame.slots[*src as usize].clone();
+                        frame.pc += 1;
+                    }
+                    CInstr::LoadImm { dst, v } => {
+                        frame.slots[*dst as usize] = v.clone();
+                        frame.pc += 1;
+                    }
+                    CInstr::BrBool {
+                        cond,
+                        then_pc,
+                        else_pc,
+                    } => match frame.slots[*cond as usize].as_bool() {
+                        Ok(true) => frame.pc = *then_pc,
+                        Ok(false) => frame.pc = *else_pc,
+                        Err(_) => break,
+                    },
+                    CInstr::Jump(pc) => frame.pc = *pc,
+                    _ => break,
+                }
+            }
+        }
+
         let Some(instr) = cf.code.get(frame.pc as usize) else {
             return Err(RtError::runtime(format!(
                 "{}: pc {} out of range",
@@ -393,8 +543,40 @@ pub fn run(
         };
 
         if ctx.trace && ctx.trace_log.len() < TRACE_CAP {
-            ctx.trace_log
-                .push(format!("{}@{}: {:?}", cf.name, frame.pc, instr));
+            // Mnemonic-based rendering keeps traces diffable against an
+            // unspecialized build. A fused compare-and-branch is traced as
+            // its two constituent instructions for the same reason.
+            if let CInstr::BrIfInt {
+                cmp,
+                a,
+                b,
+                dst,
+                then_pc,
+                else_pc,
+            } = instr
+            {
+                ctx.trace_log.push(format!(
+                    "{}@{}: s{dst} = {} {} {}",
+                    cf.name,
+                    frame.pc,
+                    cmp.mnemonic(),
+                    a.render(),
+                    b.render()
+                ));
+                if ctx.trace_log.len() < TRACE_CAP {
+                    ctx.trace_log.push(format!(
+                        "{}@{}: if s{dst} goto @{then_pc} else @{else_pc}",
+                        cf.name,
+                        frame.pc + 1
+                    ));
+                }
+            } else {
+                ctx.trace_log
+                    .push(format!("{}@{}: {}", cf.name, frame.pc, instr.render()));
+            }
+        }
+        if ctx.stats {
+            ctx.count_instr(instr.stat_name());
         }
 
         // Unwrap GlobalStore: execute the inner instruction; the global is
@@ -469,9 +651,7 @@ pub fn run(
                     argbuf.push(operand_value(ctx, frame, a));
                 }
                 frame.pc += 1;
-                let mut callee =
-                    Frame::new_pooled(prog, *func, std::mem::take(&mut argbuf), &mut frame_pool);
-                argbuf = Vec::with_capacity(8);
+                let mut callee = Frame::new_from_buf(prog, *func, &mut argbuf, &mut frame_pool);
                 callee.ret_slot = *target;
                 callee.ret_global = store_global;
                 frames.push(callee);
@@ -559,43 +739,88 @@ pub fn run(
                 callee.ret_global = store_global;
                 frames.push(callee);
             }
-            CInstr::IntFast { op, target, a, b } => {
-                let av = match a {
-                    COperand::Slot(s) => frame.slots[*s as usize].as_int(),
-                    COperand::Global(g) => ctx.globals[*g as usize].as_int(),
-                    COperand::Value(v) => v.as_int(),
-                };
-                let bv = match b {
-                    COperand::Slot(s) => frame.slots[*s as usize].as_int(),
-                    COperand::Global(g) => ctx.globals[*g as usize].as_int(),
-                    COperand::Value(v) => v.as_int(),
-                };
-                match (av, bv) {
+            // --- specialized tier: clone-free, inline on frame.slots ----
+            CInstr::AddInt { dst, a, b } => {
+                match (int_src(frame, *a), int_src(frame, *b)) {
                     (Ok(x), Ok(y)) => {
-                        let result = match op {
-                            crate::ir::Opcode::IntAdd => Value::Int(x.wrapping_add(y)),
-                            crate::ir::Opcode::IntSub => Value::Int(x.wrapping_sub(y)),
-                            crate::ir::Opcode::IntMul => Value::Int(x.wrapping_mul(y)),
-                            crate::ir::Opcode::IntEq => Value::Bool(x == y),
-                            crate::ir::Opcode::IntLt => Value::Bool(x < y),
-                            crate::ir::Opcode::IntGt => Value::Bool(x > y),
-                            crate::ir::Opcode::IntLeq => Value::Bool(x <= y),
-                            crate::ir::Opcode::IntGeq => Value::Bool(x >= y),
-                            crate::ir::Opcode::IntAnd => Value::Int(x & y),
-                            crate::ir::Opcode::IntOr => Value::Int(x | y),
-                            crate::ir::Opcode::IntShl => Value::Int(x.wrapping_shl(y as u32)),
-                            other => unreachable!("non-fast opcode {other:?}"),
-                        };
-                        frame.slots[*target as usize] = result;
+                        frame.slots[*dst as usize] = Value::Int(x.wrapping_add(y));
                         frame.pc += 1;
                     }
                     (Err(e), _) | (_, Err(e)) => raise!(e),
                 }
             }
-            CInstr::AssignFast { target, src } => {
-                frame.slots[*target as usize] = operand_value(ctx, frame, src);
+            CInstr::SubInt { dst, a, b } => {
+                match (int_src(frame, *a), int_src(frame, *b)) {
+                    (Ok(x), Ok(y)) => {
+                        frame.slots[*dst as usize] = Value::Int(x.wrapping_sub(y));
+                        frame.pc += 1;
+                    }
+                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                }
+            }
+            CInstr::MulInt { dst, a, b } => {
+                match (int_src(frame, *a), int_src(frame, *b)) {
+                    (Ok(x), Ok(y)) => {
+                        frame.slots[*dst as usize] = Value::Int(x.wrapping_mul(y));
+                        frame.pc += 1;
+                    }
+                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                }
+            }
+            CInstr::BitInt { op, dst, a, b } => {
+                match (int_src(frame, *a), int_src(frame, *b)) {
+                    (Ok(x), Ok(y)) => {
+                        frame.slots[*dst as usize] = Value::Int(op.apply(x, y));
+                        frame.pc += 1;
+                    }
+                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                }
+            }
+            CInstr::CmpInt { cmp, dst, a, b } => {
+                match (int_src(frame, *a), int_src(frame, *b)) {
+                    (Ok(x), Ok(y)) => {
+                        frame.slots[*dst as usize] = Value::Bool(cmp.apply(x, y));
+                        frame.pc += 1;
+                    }
+                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                }
+            }
+            CInstr::BrIfInt {
+                cmp,
+                a,
+                b,
+                dst,
+                then_pc,
+                else_pc,
+            } => {
+                match (int_src(frame, *a), int_src(frame, *b)) {
+                    (Ok(x), Ok(y)) => {
+                        let taken = cmp.apply(x, y);
+                        // The flag slot is still written: later reads of
+                        // the comparison result stay valid.
+                        frame.slots[*dst as usize] = Value::Bool(taken);
+                        frame.pc = if taken { *then_pc } else { *else_pc };
+                    }
+                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                }
+            }
+            CInstr::MoveSlot { dst, src } => {
+                frame.slots[*dst as usize] = frame.slots[*src as usize].clone();
                 frame.pc += 1;
             }
+            CInstr::LoadImm { dst, v } => {
+                frame.slots[*dst as usize] = v.clone();
+                frame.pc += 1;
+            }
+            CInstr::BrBool {
+                cond,
+                then_pc,
+                else_pc,
+            } => match frame.slots[*cond as usize].as_bool() {
+                Ok(true) => frame.pc = *then_pc,
+                Ok(false) => frame.pc = *else_pc,
+                Err(e) => raise!(e),
+            },
             CInstr::Jump(pc) => {
                 frame.pc = *pc;
             }
@@ -834,7 +1059,9 @@ string top() {
 
     #[test]
     fn int_fast_path_type_errors_are_catchable() {
-        // IntFast on a non-int raises a TypeError that handlers can catch.
+        // An `any`-typed operand stays on the generic path (the
+        // specializer must not touch it), and a non-int value raises a
+        // TypeError that handlers can catch.
         let mut p = program(
             r#"
 module M

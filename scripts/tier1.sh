@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#
+#   build (release)  — the artifacts the benchmarks run against
+#   test             — unit + integration suites across the workspace
+#   clippy           — lint wall; warnings are errors
+#
+# Usage: scripts/tier1.sh [extra cargo args, e.g. --offline]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release "$@"
+cargo test -q "$@"
+cargo clippy --workspace "$@" -- -D warnings

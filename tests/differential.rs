@@ -1,19 +1,25 @@
 //! Differential testing of the execution engines and the optimizer.
 //!
 //! Random structured programs are generated from a compact recipe, emitted
-//! as textual HILTI, and executed three ways:
+//! as textual HILTI, and executed several ways:
 //!
 //!   1. the tree-walking interpreter on unoptimized IR (the oracle),
-//!   2. the bytecode VM on unoptimized IR,
-//!   3. the bytecode VM on fully optimized IR (all passes enabled).
+//!   2. the bytecode VM on unoptimized IR, specializer off,
+//!   3. the bytecode VM on unoptimized IR, specializer on,
+//!   4. the bytecode VM on fully optimized IR, specializer off,
+//!   5. the bytecode VM on fully optimized IR, specializer on.
 //!
-//! All three must agree on the outcome: the returned value, or the kind of
-//! exception raised. Integer arithmetic wraps in HILTI, so the only
-//! reachable trap in these programs is division/modulo by zero — which the
-//! generator deliberately does not avoid, so that trap behaviour is
-//! differentially tested too (e.g. that dead-code elimination never
-//! deletes a trapping instruction and constant folding never hides one).
+//! All must agree on the outcome — the returned value, or the kind of
+//! exception raised — *and* on printed output (each kernel prints its
+//! result through `Hilti::print`, so host-call marshalling is covered
+//! too). Integer arithmetic wraps in HILTI, so the only reachable trap in
+//! these programs is division/modulo by zero — which the generator
+//! deliberately does not avoid, so that trap behaviour is differentially
+//! tested too (e.g. that dead-code elimination never deletes a trapping
+//! instruction, constant folding never hides one, and the specialized
+//! fast tier raises exactly where the generic path would).
 
+use hilti::host::BuildOptions;
 use hilti::passes::OptLevel;
 use hilti::{Program, Value};
 use proptest::prelude::*;
@@ -48,6 +54,22 @@ fn step_strategy() -> impl Strategy<Value = Step> {
             .prop_map(|(cmp, a, b, dst, x, y)| Step::Diamond { cmp, a, b, dst, x, y }),
         1 => (1u8..5, slot(), slot())
             .prop_map(|(iters, dst, src)| Step::Loop { iters, dst, src }),
+    ]
+}
+
+/// Loop-heavy variant: the distribution the specializer targets — counted
+/// loops with compare-and-branch back-edges dominate, with longer
+/// iteration counts so the fast tier executes thousands of specialized
+/// instructions per case rather than a handful.
+fn loop_heavy_step_strategy() -> impl Strategy<Value = Step> {
+    let slot = || 0u8..SLOTS;
+    prop_oneof![
+        4 => (1u8..40, slot(), slot())
+            .prop_map(|(iters, dst, src)| Step::Loop { iters, dst, src }),
+        2 => (0u8..3, slot(), slot(), slot(), slot(), slot())
+            .prop_map(|(cmp, a, b, dst, x, y)| Step::Diamond { cmp, a, b, dst, x, y }),
+        2 => (0u8..5, slot(), slot(), slot())
+            .prop_map(|(op, dst, a, b)| Step::Bin { op, dst, a, b }),
     ]
 }
 
@@ -107,8 +129,30 @@ fn emit(recipe: &[Step], consts: &[i64], ret: u8) -> String {
             }
         }
     }
+    // Print the result so output parity is differentially tested too.
+    src.push_str(&format!("    call Hilti::print t{ret}\n"));
     src.push_str(&format!("    return t{ret}\n}}\n"));
     src
+}
+
+/// Builds the generated source with the given optimization level and
+/// specializer switch.
+fn build(src: &str, opt: OptLevel, specialize: bool) -> Program {
+    Program::from_sources_opts(
+        &[src],
+        opt,
+        BuildOptions {
+            specialize,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"))
+}
+
+/// Runs one engine configuration, returning (outcome, printed output).
+fn run_vm(p: &mut Program, args: &[Value]) -> (Result<i64, String>, Vec<String>) {
+    let r = outcome(p.run("Fuzz::kernel", args));
+    (r, p.take_output())
 }
 
 /// Normalizes a run result to something comparable across engines:
@@ -134,17 +178,56 @@ proptest! {
         let src = emit(&recipe, &consts, ret);
         let args = [Value::Int(a), Value::Int(b)];
 
-        let mut plain = Program::from_sources(&[&src], OptLevel::None)
-            .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
-        let mut opt = Program::from_sources(&[&src], OptLevel::Full)
-            .unwrap_or_else(|e| panic!("optimized build rejected: {e}\n{src}"));
+        let mut plain = build(&src, OptLevel::None, true);
+        let mut plain_nospec = build(&src, OptLevel::None, false);
+        let mut opt = build(&src, OptLevel::Full, true);
+        let mut opt_nospec = build(&src, OptLevel::Full, false);
 
         let oracle = outcome(plain.run_interpreted("Fuzz::kernel", &args));
-        let vm = outcome(plain.run("Fuzz::kernel", &args));
-        let vm_opt = outcome(opt.run("Fuzz::kernel", &args));
+        let oracle_out = plain.take_output();
 
-        prop_assert_eq!(&oracle, &vm, "interpreter vs VM diverged\n{}", src);
-        prop_assert_eq!(&oracle, &vm_opt, "optimizer changed behaviour\n{}", src);
+        for (label, p) in [
+            ("plain VM, specialized", &mut plain),
+            ("plain VM, no specializer", &mut plain_nospec),
+            ("optimized VM, specialized", &mut opt),
+            ("optimized VM, no specializer", &mut opt_nospec),
+        ] {
+            let (r, out) = run_vm(p, &args);
+            prop_assert_eq!(&oracle, &r, "{} diverged from interpreter\n{}", label, src);
+            prop_assert_eq!(&oracle_out, &out, "{} printed differently\n{}", label, src);
+        }
+    }
+
+    /// The specializer's target distribution: loop-heavy integer/branch
+    /// kernels, run with the pass on and off at both optimization levels.
+    #[test]
+    fn loop_heavy_specializer_on_off_agree(
+        recipe in prop::collection::vec(loop_heavy_step_strategy(), 2..12),
+        consts in prop::collection::vec(-50i64..50, 4),
+        ret in 0u8..SLOTS,
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        let src = emit(&recipe, &consts, ret);
+        let args = [Value::Int(a), Value::Int(b)];
+
+        let mut plain_nospec = build(&src, OptLevel::None, false);
+        let mut plain_spec = build(&src, OptLevel::None, true);
+        let mut opt_spec = build(&src, OptLevel::Full, true);
+
+        let oracle = outcome(plain_nospec.run_interpreted("Fuzz::kernel", &args));
+        let oracle_out = plain_nospec.take_output();
+
+        let (vm_nospec, out_nospec) = run_vm(&mut plain_nospec, &args);
+        let (vm_spec, out_spec) = run_vm(&mut plain_spec, &args);
+        let (vm_opt_spec, out_opt_spec) = run_vm(&mut opt_spec, &args);
+
+        prop_assert_eq!(&oracle, &vm_nospec, "generic VM diverged\n{}", src);
+        prop_assert_eq!(&oracle, &vm_spec, "specialized VM diverged\n{}", src);
+        prop_assert_eq!(&oracle, &vm_opt_spec, "optimized+specialized VM diverged\n{}", src);
+        prop_assert_eq!(&oracle_out, &out_nospec, "generic VM printed differently\n{}", src);
+        prop_assert_eq!(&oracle_out, &out_spec, "specialized VM printed differently\n{}", src);
+        prop_assert_eq!(&oracle_out, &out_opt_spec, "optimized+specialized VM printed differently\n{}", src);
     }
 
     /// The optimizer is deterministic and idempotent at the outcome level:
