@@ -68,9 +68,53 @@ fn bench_fib(c: &mut Criterion) {
     group.finish();
 }
 
+/// Resource-governance overhead: the same kernels with fuel (and, for the
+/// call-heavy one, depth) limits configured high enough never to trip.
+/// The delta against the `unlimited` baselines above is the cost of the
+/// amortized fuel accounting in the dispatch loop; target < 5%.
+fn bench_governance_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("governance_overhead");
+    // Limits are re-armed every iteration (fuel is consumed run to run),
+    // so both variants pay the same set_limits call and the measured
+    // delta isolates the per-instruction accounting.
+    for (name, fuel) in [("int_loop_unlimited", None), ("int_loop_governed", Some(100_000_000u64))] {
+        let limits = hilti_rt::limits::ResourceLimits {
+            fuel,
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            let mut p = build(INT_LOOP, true);
+            b.iter(|| {
+                p.set_limits(limits);
+                p.run("M::kernel", &[Value::Int(10_000)]).expect("run")
+            })
+        });
+    }
+    for (name, limits) in [
+        ("fib_unlimited", hilti_rt::limits::ResourceLimits::default()),
+        (
+            "fib_governed",
+            hilti_rt::limits::ResourceLimits {
+                fuel: Some(100_000_000),
+                max_call_depth: Some(10_000),
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut p = build(FIB, true);
+            b.iter(|| {
+                p.set_limits(limits);
+                p.run("Fib::fib", &[Value::Int(18)]).expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_int_loop, bench_fib
+    targets = bench_int_loop, bench_fib, bench_governance_overhead
 }
 criterion_main!(benches);

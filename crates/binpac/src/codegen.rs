@@ -435,9 +435,17 @@ loop:
 step:
     off0 = iterator.offset it
     try {{
-        r = call parse_{unit_name} (data, it)
-        it = tuple.get r 1
-    }} catch ( exception e ) {{
+        try {{
+            try {{
+                r = call parse_{unit_name} (data, it)
+                it = tuple.get r 1
+            }} catch ( ref<Hilti::ValueError> pe ) {{
+                return
+            }}
+        }} catch ( ref<Hilti::WouldBlock> we ) {{
+            return
+        }}
+    }} catch ( ref<Hilti::IndexError> ie ) {{
         return
     }}
     off1 = iterator.offset it

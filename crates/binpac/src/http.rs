@@ -21,6 +21,7 @@ use std::rc::Rc;
 use hilti::passes::OptLevel;
 use hilti::value::Value;
 use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::limits::AllocBudget;
 use hilti_rt::profile::{Component, Profiler};
 use hilti_rt::time::Time;
 
@@ -330,10 +331,12 @@ impl Shared {
     }
 }
 
-/// Per-connection session pair (client + server streams).
+/// Per-connection session pair (client + server streams). Both directions
+/// share one [`AllocBudget`] when a per-connection limit is configured.
 struct ConnSessions {
     client: Session,
     server: Session,
+    budget: Option<AllocBudget>,
 }
 
 /// The generated HTTP parser wired to Bro-style events.
@@ -342,6 +345,10 @@ pub struct BinpacHttp {
     shared: Rc<RefCell<Shared>>,
     sessions: HashMap<String, ConnSessions>,
     profiler: Option<Profiler>,
+    /// Per-connection byte budget applied to newly created sessions.
+    session_budget: Option<u64>,
+    /// High-water mark of buffered bytes across all budgeted connections.
+    peak_session_bytes: u64,
 }
 
 /// Reads field `idx` from a unit struct value.
@@ -503,7 +510,39 @@ impl BinpacHttp {
             shared,
             sessions: HashMap::new(),
             profiler,
+            session_budget: None,
+            peak_session_bytes: 0,
         })
+    }
+
+    /// Caps buffered stream state per connection. Feeding a connection
+    /// past its budget raises `Hilti::ResourceExhausted` from
+    /// [`BinpacHttp::feed`]; existing connections keep their old budget.
+    pub fn set_session_budget(&mut self, bytes: u64) {
+        self.session_budget = Some(bytes);
+    }
+
+    /// High-water mark of buffered bytes over all budgeted connections.
+    pub fn peak_session_bytes(&self) -> u64 {
+        self.peak_session_bytes
+    }
+
+    /// UIDs of all live connections, sorted (deterministic teardown order).
+    pub fn live_uids(&self) -> Vec<String> {
+        let mut uids: Vec<String> = self.sessions.keys().cloned().collect();
+        uids.sort();
+        uids
+    }
+
+    /// Chaos hook: arms the parser VM to fail with `error` after `steps`
+    /// charged execution steps (see `Context::inject_fault_after`). The
+    /// fault surfaces from whichever flow's fiber is running at that
+    /// point — deterministic for a fixed trace.
+    pub fn inject_fault_after(&mut self, steps: u64, error: RtError) {
+        self.parser
+            .program_mut()
+            .context_mut()
+            .inject_fault_after(steps, error);
     }
 
     fn set_current(&self, uid: &str, id: ConnId, ts: Time) {
@@ -528,19 +567,34 @@ impl BinpacHttp {
             .as_ref()
             .map(|p| p.enter(Component::ProtocolParsing));
         self.set_current(uid, id, ts);
-        let sessions = self
-            .sessions
-            .entry(uid.to_owned())
-            .or_insert_with(|| ConnSessions {
-                client: self.parser.session("Request"),
-                server: self.parser.session("Reply"),
-            });
+        let limit = self.session_budget;
+        let parser = &self.parser;
+        let sessions = self.sessions.entry(uid.to_owned()).or_insert_with(|| {
+            let client = parser.session("Request");
+            let server = parser.session("Reply");
+            // One budget per connection, shared by both directions.
+            let budget = limit.map(AllocBudget::with_limit);
+            if let Some(b) = &budget {
+                client.set_budget(b.clone());
+                server.set_budget(b.clone());
+            }
+            ConnSessions {
+                client,
+                server,
+                budget,
+            }
+        });
+        let budget = sessions.budget.clone();
         let session = if is_orig {
             &mut sessions.client
         } else {
             &mut sessions.server
         };
-        self.parser.feed(session, data)
+        let r = self.parser.feed(session, data);
+        if let Some(b) = budget {
+            self.peak_session_bytes = self.peak_session_bytes.max(b.peak());
+        }
+        r
     }
 
     /// Ends a connection: freezes both directions (flushing read-to-close
@@ -558,6 +612,18 @@ impl BinpacHttp {
         }
         self.shared.borrow_mut().outstanding.remove(uid);
         Ok(())
+    }
+
+    /// Quarantine teardown: discards a connection's parser state without
+    /// running the finish path (which could re-raise out of a poisoned
+    /// session). Pending events for other flows are untouched.
+    pub fn drop_conn(&mut self, uid: &str) {
+        if let Some(sessions) = self.sessions.remove(uid) {
+            if let Some(b) = &sessions.budget {
+                self.peak_session_bytes = self.peak_session_bytes.max(b.peak());
+            }
+        }
+        self.shared.borrow_mut().outstanding.remove(uid);
     }
 
     /// Flushes all still-open connections (end of trace).
@@ -946,5 +1012,53 @@ mod more_http_tests {
         assert_eq!(h.live_sessions(), 2);
         h.finish_all(t(3)).unwrap();
         assert_eq!(h.live_sessions(), 0);
+    }
+
+    #[test]
+    fn session_budget_trips_and_drop_conn_quarantines_one_flow() {
+        use hilti_rt::error::ExceptionKind;
+
+        let mut h = BinpacHttp::new(OptLevel::Full, None).unwrap();
+        h.set_session_budget(1024);
+        // A request claiming a huge body that never completes: buffered
+        // state grows until the per-connection budget trips.
+        h.feed(
+            "C1",
+            conn_id(),
+            true,
+            t(1),
+            b"POST /upload HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n",
+        )
+        .unwrap();
+        let mut tripped = None;
+        for _ in 0..100 {
+            if let Err(e) = h.feed("C1", conn_id(), true, t(2), &[b'x'; 256]) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        let e = tripped.expect("per-connection budget never tripped");
+        assert_eq!(e.kind, ExceptionKind::ResourceExhausted, "{e}");
+        // Peak stays near the limit: the budget refused further growth.
+        assert!(
+            h.peak_session_bytes() <= 1024,
+            "peak {}",
+            h.peak_session_bytes()
+        );
+        // Tearing down only the poisoned flow leaves the parser usable.
+        h.drop_conn("C1");
+        assert_eq!(h.live_sessions(), 0);
+        h.feed(
+            "C2",
+            conn_id(),
+            true,
+            t(3),
+            b"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+        assert!(h
+            .take_events()
+            .iter()
+            .any(|e| matches!(e, Event::HttpRequest { .. })));
     }
 }

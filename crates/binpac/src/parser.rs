@@ -13,6 +13,7 @@ use hilti::passes::OptLevel;
 use hilti::value::Value;
 use hilti_rt::bytestring::Bytes;
 use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::limits::AllocBudget;
 
 use crate::codegen::{generate, generate_driver};
 use crate::grammar::Grammar;
@@ -93,7 +94,13 @@ impl BinpacParser {
         if session.failed {
             return Ok(()); // abandoned stream: ignore further data
         }
-        session.data.append(chunk)?;
+        if let Err(e) = session.data.append(chunk) {
+            // Heap budget exceeded (or frozen): the stream stops
+            // accumulating state, and the caller decides whether to tear
+            // the whole flow down.
+            session.failed = true;
+            return Err(e);
+        }
         self.pump(session)
     }
 
@@ -200,6 +207,14 @@ impl Session {
     /// The underlying input buffer (for inspection).
     pub fn data(&self) -> &Bytes {
         &self.data
+    }
+
+    /// Attaches a heap budget to the session's input buffer. Further
+    /// appends charge the budget and fail with
+    /// `Hilti::ResourceExhausted` once it is exceeded, which surfaces
+    /// through [`BinpacParser::feed`].
+    pub fn set_budget(&self, budget: AllocBudget) {
+        self.data.set_budget(budget);
     }
 }
 

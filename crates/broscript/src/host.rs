@@ -237,6 +237,16 @@ impl ScriptHost {
         self.engine
     }
 
+    /// Applies resource limits (fuel, heap, call depth) to whichever
+    /// engine runs the script. Re-applying resets the meters, so callers
+    /// can use this as a per-dispatch budget.
+    pub fn set_limits(&mut self, limits: hilti_rt::limits::ResourceLimits) {
+        match self.engine {
+            Engine::Interpreted => self.interp.as_mut().expect("engine").set_limits(limits),
+            Engine::Compiled => self.program.as_mut().expect("engine").set_limits(limits),
+        }
+    }
+
     /// Advances script network time (drives container expiration).
     pub fn advance_time(&mut self, t: Time) -> RtResult<()> {
         match self.engine {

@@ -14,6 +14,7 @@ use std::rc::Rc;
 use hilti::value::{Key, MapVal, SetVal, Value};
 use hilti_rt::containers::ExpireStrategy;
 use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::limits::{FuelMeter, ResourceLimits};
 use hilti_rt::time::{Interval, Time};
 
 use crate::ast::*;
@@ -40,9 +41,15 @@ pub struct Interp {
     /// `print` output.
     pub out: Vec<String>,
     depth: usize,
+    /// Loop-iteration fuel, shared across the whole script run. Defaults
+    /// to a generous fail-safe so runaway `while` loops still terminate.
+    fuel: FuelMeter,
 }
 
 const MAX_DEPTH: usize = 60;
+
+/// Default loop fuel when no explicit limit is configured.
+const DEFAULT_FUEL: u64 = 10_000_000;
 
 impl Interp {
     /// Initializes globals (containers instantiated, timeouts attached,
@@ -55,6 +62,7 @@ impl Interp {
             rt,
             out: Vec::new(),
             depth: 0,
+            fuel: FuelMeter::new(Some(DEFAULT_FUEL)),
         };
         for g in &script.globals {
             let v = match &g.ty {
@@ -94,6 +102,17 @@ impl Interp {
             interp.globals.insert(g.name.clone(), v);
         }
         Ok(interp)
+    }
+
+    /// Installs resource limits: an explicit fuel limit replaces the
+    /// default fail-safe loop budget (absent = unlimited).
+    pub fn set_limits(&mut self, limits: ResourceLimits) {
+        self.fuel = FuelMeter::new(limits.fuel);
+    }
+
+    /// Remaining loop fuel.
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel.remaining()
     }
 
     /// Advances network time, expiring container state.
@@ -319,12 +338,8 @@ impl Interp {
                 Ok(Flow::Normal)
             }
             Stmt::While(cond, body) => {
-                let mut fuel = 10_000_000u64; // fail-safe
                 while self.eval(cond, locals)?.as_bool()? {
-                    fuel -= 1;
-                    if fuel == 0 {
-                        return Err(RtError::runtime("while loop fuel exhausted"));
-                    }
+                    self.fuel.charge(1)?;
                     match self.run_block(body, locals)? {
                         Flow::Normal => {}
                         ret => return Ok(ret),

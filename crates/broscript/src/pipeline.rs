@@ -8,14 +8,16 @@
 //! ([`Profiler`]): protocol parsing, script execution, HILTI-to-Bro glue,
 //! and other (decode/flow bookkeeping).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use binpac::dns::BinpacDns;
 use binpac::http::BinpacHttp;
 use hilti::passes::OptLevel;
-use hilti_rt::error::RtResult;
+use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::limits::ResourceLimits;
 use hilti_rt::profile::{Component, Profiler};
-use hilti_rt::time::Time;
+use hilti_rt::time::{Interval, Time};
+use hilti_rt::timer::TimerMgr;
 
 use netpkt::decode::decode_ethernet;
 use netpkt::events::{ConnId, DnsAnswer, Event};
@@ -44,6 +46,71 @@ pub struct AnalysisResult {
     pub events: u64,
     pub packets: u64,
     pub output: Vec<String>,
+    /// Flows torn down by the fault quarantine, with the error that
+    /// killed each one (empty unless [`Governance::quarantine`] is set).
+    pub flow_errors: Vec<FlowError>,
+    /// Flows evicted by the idle-timeout policy.
+    pub flows_expired: u64,
+    /// High-water mark of budgeted per-flow parser state (BinPAC++
+    /// stack with [`Governance::per_flow_heap`] set; 0 otherwise).
+    pub peak_flow_bytes: u64,
+    /// Datagrams that failed protocol parsing (DNS runs).
+    pub parse_failures: u64,
+}
+
+/// Resource-governance policy for an analysis run. The default is the
+/// legacy ungoverned behavior: no limits, no expiration, and any error
+/// aborts the whole run.
+#[derive(Clone, Copy, Default)]
+pub struct Governance {
+    /// Evict flows — and their parser state — idle for longer than this
+    /// many milliseconds of trace time, driven by a [`TimerMgr`].
+    pub idle_timeout_ms: Option<u64>,
+    /// Byte budget for each connection's buffered parser state
+    /// (BinPAC++ stream sessions). Exceeding it raises
+    /// `Hilti::ResourceExhausted` on that flow.
+    pub per_flow_heap: Option<u64>,
+    /// Execution-fuel budget applied to the script engine before every
+    /// event dispatch.
+    pub script_fuel: Option<u64>,
+    /// Per-flow fault isolation: a parser or script error tears down only
+    /// the offending flow (recorded in [`AnalysisResult::flow_errors`])
+    /// and the run continues. Without it, errors abort the run.
+    pub quarantine: bool,
+    /// Chaos hook: arm the BinPAC++ parser VM to fail after this many
+    /// charged execution steps (deterministic for a fixed trace).
+    pub inject_fault_after: Option<u64>,
+}
+
+/// One flow the quarantine tore down.
+#[derive(Debug, Clone)]
+pub struct FlowError {
+    pub uid: String,
+    /// Exception type name, e.g. `Hilti::ResourceExhausted`.
+    pub kind: String,
+    pub detail: String,
+    pub ts: Time,
+}
+
+impl FlowError {
+    fn new(uid: &str, e: &RtError, ts: Time) -> Self {
+        FlowError {
+            uid: uid.to_owned(),
+            kind: e.kind.name().to_owned(),
+            detail: e.to_string(),
+            ts,
+        }
+    }
+}
+
+/// Placeholder ConnId for flushing connections whose close was never seen.
+fn placeholder_id() -> ConnId {
+    ConnId {
+        orig_h: hilti_rt::addr::Addr::v4(0, 0, 0, 0),
+        orig_p: hilti_rt::addr::Port::tcp(0),
+        resp_h: hilti_rt::addr::Addr::v4(0, 0, 0, 0),
+        resp_p: hilti_rt::addr::Port::tcp(0),
+    }
 }
 
 /// Replays an HTTP trace through the chosen parser stack and script engine.
@@ -52,15 +119,38 @@ pub fn run_http_analysis(
     stack: ParserStack,
     engine: Engine,
 ) -> RtResult<AnalysisResult> {
+    run_http_analysis_governed(packets, stack, engine, &Governance::default())
+}
+
+/// [`run_http_analysis`] under an explicit [`Governance`] policy.
+pub fn run_http_analysis_governed(
+    packets: &[RawPacket],
+    stack: ParserStack,
+    engine: Engine,
+    gov: &Governance,
+) -> RtResult<AnalysisResult> {
     let profiler = Profiler::new();
     let mut host = ScriptHost::new(&[scripts::HTTP_BRO], engine, Some(profiler.clone()))?;
 
     let mut flows = FlowTable::new();
     let mut std_parsers: HashMap<String, HttpConnParser> = HashMap::new();
     let mut bp = match stack {
-        ParserStack::Binpac => Some(BinpacHttp::new(OptLevel::Full, Some(profiler.clone()))?),
+        ParserStack::Binpac => {
+            let mut b = BinpacHttp::new(OptLevel::Full, Some(profiler.clone()))?;
+            if let Some(n) = gov.per_flow_heap {
+                b.set_session_budget(n);
+            }
+            if let Some(steps) = gov.inject_fault_after {
+                b.inject_fault_after(steps, RtError::runtime("injected chaos fault"));
+            }
+            Some(b)
+        }
         ParserStack::Standard => None,
     };
+    let mut timers: TimerMgr<String> = TimerMgr::new();
+    let mut quarantined: HashSet<String> = HashSet::new();
+    let mut flow_errors: Vec<FlowError> = Vec::new();
+    let mut flows_expired = 0u64;
     let mut n_events = 0u64;
     let mut n_packets = 0u64;
     let mut last_ts = Time::ZERO;
@@ -79,35 +169,69 @@ pub fn run_http_analysis(
             let finished = delivery.finished_now;
             let payload = delivery.payload;
 
-            match stack {
-                ParserStack::Standard => {
-                    let _pp = profiler.enter(Component::ProtocolParsing);
-                    let parser = std_parsers
-                        .entry(uid.clone())
-                        .or_insert_with(|| HttpConnParser::new(uid.clone(), id));
-                    if !payload.is_empty() {
-                        parser.feed(is_orig, &payload, pkt.ts, &mut events);
+            if !quarantined.contains(&uid) {
+                match stack {
+                    ParserStack::Standard => {
+                        let _pp = profiler.enter(Component::ProtocolParsing);
+                        let parser = std_parsers
+                            .entry(uid.clone())
+                            .or_insert_with(|| HttpConnParser::new(uid.clone(), id));
+                        if !payload.is_empty() {
+                            parser.feed(is_orig, &payload, pkt.ts, &mut events);
+                        }
+                        if finished {
+                            parser.finish(pkt.ts, &mut events);
+                        }
                     }
-                    if finished {
-                        parser.finish(pkt.ts, &mut events);
+                    ParserStack::Binpac => {
+                        let bp = bp.as_mut().expect("binpac stack");
+                        let mut fail: Option<RtError> = None;
+                        if !payload.is_empty() {
+                            if let Err(e) = bp.feed(&uid, id, is_orig, pkt.ts, &payload) {
+                                fail = Some(e);
+                            }
+                        }
+                        if fail.is_none() && finished {
+                            if let Err(e) = bp.finish_conn(&uid, id, pkt.ts) {
+                                fail = Some(e);
+                            }
+                        }
+                        // Events emitted before the fault still count.
+                        events.extend(bp.take_events());
+                        if let Some(e) = fail {
+                            if !gov.quarantine {
+                                return Err(e);
+                            }
+                            bp.drop_conn(&uid);
+                            std_parsers.remove(&uid);
+                            quarantined.insert(uid.clone());
+                            flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
+                        }
                     }
                 }
-                ParserStack::Binpac => {
-                    let bp = bp.as_mut().expect("binpac stack");
-                    if !payload.is_empty() {
-                        bp.feed(&uid, id, is_orig, pkt.ts, &payload)?;
+            }
+
+            // Idle-flow expiration on trace time: each packet re-arms its
+            // flow's deadline; fired timers trigger a (lazily re-checked)
+            // sweep that evicts the flow record and its parser state.
+            if let Some(ms) = gov.idle_timeout_ms {
+                timers.schedule(pkt.ts + Interval::from_millis(ms as i64), uid.clone());
+                if !timers.advance(pkt.ts).is_empty() {
+                    let cutoff = Time::from_nanos(
+                        pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)),
+                    );
+                    for dead in flows.expire_idle_uids(cutoff) {
+                        std_parsers.remove(&dead);
+                        if let Some(bp) = bp.as_mut() {
+                            bp.drop_conn(&dead);
+                        }
+                        quarantined.remove(&dead);
+                        flows_expired += 1;
                     }
-                    if finished {
-                        bp.finish_conn(&uid, id, pkt.ts)?;
-                    }
-                    events.extend(bp.take_events());
                 }
             }
         }
-        for ev in &events {
-            n_events += 1;
-            host.dispatch_event(ev)?;
-        }
+        dispatch_events(&mut host, &events, gov, &mut n_events, &mut flow_errors)?;
     }
 
     // End of trace: flush all still-open connections.
@@ -121,15 +245,32 @@ pub fn run_http_analysis(
         }
         ParserStack::Binpac => {
             let bp = bp.as_mut().expect("binpac stack");
-            bp.finish_all(last_ts)?;
+            if gov.quarantine {
+                for uid in bp.live_uids() {
+                    if let Err(e) = bp.finish_conn(&uid, placeholder_id(), last_ts) {
+                        bp.drop_conn(&uid);
+                        flow_errors.push(FlowError::new(&uid, &e, last_ts));
+                    }
+                }
+            } else {
+                bp.finish_all(last_ts)?;
+            }
             tail_events.extend(bp.take_events());
         }
     }
-    for ev in &tail_events {
-        n_events += 1;
-        host.dispatch_event(ev)?;
+    dispatch_events(&mut host, &tail_events, gov, &mut n_events, &mut flow_errors)?;
+    if gov.script_fuel.is_some() {
+        host.set_limits(ResourceLimits {
+            fuel: gov.script_fuel,
+            ..ResourceLimits::default()
+        });
     }
-    host.done()?;
+    if let Err(e) = host.done() {
+        if !gov.quarantine {
+            return Err(e);
+        }
+        flow_errors.push(FlowError::new("-", &e, last_ts));
+    }
 
     Ok(AnalysisResult {
         http_log: host.log_lines("http.log"),
@@ -139,7 +280,39 @@ pub fn run_http_analysis(
         profiler,
         events: n_events,
         packets: n_packets,
+        flow_errors,
+        flows_expired,
+        peak_flow_bytes: bp.as_ref().map(|b| b.peak_session_bytes()).unwrap_or(0),
+        parse_failures: 0,
     })
+}
+
+/// Dispatches a batch of events under the governance policy: the script
+/// fuel budget is re-armed per event, and failures either abort the run
+/// or are charged to the event's flow.
+fn dispatch_events(
+    host: &mut ScriptHost,
+    events: &[Event],
+    gov: &Governance,
+    n_events: &mut u64,
+    flow_errors: &mut Vec<FlowError>,
+) -> RtResult<()> {
+    for ev in events {
+        *n_events += 1;
+        if gov.script_fuel.is_some() {
+            host.set_limits(ResourceLimits {
+                fuel: gov.script_fuel,
+                ..ResourceLimits::default()
+            });
+        }
+        if let Err(e) = host.dispatch_event(ev) {
+            if !gov.quarantine {
+                return Err(e);
+            }
+            flow_errors.push(FlowError::new(ev.uid(), &e, ev.ts()));
+        }
+    }
+    Ok(())
 }
 
 /// Builds standard-parser DNS events for one datagram (the handwritten
@@ -183,6 +356,16 @@ pub fn run_dns_analysis(
     stack: ParserStack,
     engine: Engine,
 ) -> RtResult<AnalysisResult> {
+    run_dns_analysis_governed(packets, stack, engine, &Governance::default())
+}
+
+/// [`run_dns_analysis`] under an explicit [`Governance`] policy.
+pub fn run_dns_analysis_governed(
+    packets: &[RawPacket],
+    stack: ParserStack,
+    engine: Engine,
+    gov: &Governance,
+) -> RtResult<AnalysisResult> {
     let profiler = Profiler::new();
     let mut host = ScriptHost::new(&[scripts::DNS_BRO], engine, Some(profiler.clone()))?;
 
@@ -191,11 +374,17 @@ pub fn run_dns_analysis(
         ParserStack::Binpac => Some(BinpacDns::new(OptLevel::Full, Some(profiler.clone()))?),
         ParserStack::Standard => None,
     };
+    let mut timers: TimerMgr<String> = TimerMgr::new();
+    let mut flow_errors: Vec<FlowError> = Vec::new();
+    let mut flows_expired = 0u64;
+    let mut parse_failures = 0u64;
     let mut n_events = 0u64;
     let mut n_packets = 0u64;
+    let mut last_ts = Time::ZERO;
 
     for pkt in packets {
         n_packets += 1;
+        last_ts = pkt.ts;
         let mut events: Vec<Event> = Vec::new();
         {
             let _o = profiler.enter(Component::Other);
@@ -204,27 +393,54 @@ pub fn run_dns_analysis(
             let uid = delivery.flow.uid.clone();
             let id = delivery.flow.id;
             let payload = delivery.payload;
-            if payload.is_empty() {
-                continue;
-            }
-            match stack {
-                ParserStack::Standard => {
-                    let _pp = profiler.enter(Component::ProtocolParsing);
-                    standard_dns_events(&uid, id, pkt.ts, &payload, &mut events);
+            if !payload.is_empty() {
+                match stack {
+                    ParserStack::Standard => {
+                        let _pp = profiler.enter(Component::ProtocolParsing);
+                        if !standard_dns_events(&uid, id, pkt.ts, &payload, &mut events) {
+                            parse_failures += 1;
+                        }
+                    }
+                    ParserStack::Binpac => {
+                        let bp = bp.as_mut().expect("binpac stack");
+                        match bp.datagram(&uid, id, pkt.ts, &payload) {
+                            Ok(true) => {}
+                            Ok(false) => parse_failures += 1,
+                            Err(e) => {
+                                if !gov.quarantine {
+                                    return Err(e);
+                                }
+                                flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
+                            }
+                        }
+                        events.extend(bp.take_events());
+                    }
                 }
-                ParserStack::Binpac => {
-                    let bp = bp.as_mut().expect("binpac stack");
-                    bp.datagram(&uid, id, pkt.ts, &payload)?;
-                    events.extend(bp.take_events());
+            }
+            if let Some(ms) = gov.idle_timeout_ms {
+                timers.schedule(pkt.ts + Interval::from_millis(ms as i64), uid.clone());
+                if !timers.advance(pkt.ts).is_empty() {
+                    let cutoff = Time::from_nanos(
+                        pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)),
+                    );
+                    flows_expired += flows.expire_idle_uids(cutoff).len() as u64;
                 }
             }
         }
-        for ev in &events {
-            n_events += 1;
-            host.dispatch_event(ev)?;
-        }
+        dispatch_events(&mut host, &events, gov, &mut n_events, &mut flow_errors)?;
     }
-    host.done()?;
+    if gov.script_fuel.is_some() {
+        host.set_limits(ResourceLimits {
+            fuel: gov.script_fuel,
+            ..ResourceLimits::default()
+        });
+    }
+    if let Err(e) = host.done() {
+        if !gov.quarantine {
+            return Err(e);
+        }
+        flow_errors.push(FlowError::new("-", &e, last_ts));
+    }
 
     Ok(AnalysisResult {
         http_log: host.log_lines("http.log"),
@@ -234,6 +450,10 @@ pub fn run_dns_analysis(
         profiler,
         events: n_events,
         packets: n_packets,
+        flow_errors,
+        flows_expired,
+        peak_flow_bytes: 0,
+        parse_failures,
     })
 }
 

@@ -64,13 +64,14 @@ pub struct BpfProgram {
 pub fn bpf_filter(prog: &BpfProgram, pkt: &[u8]) -> bool {
     let mut a: u32 = 0;
     let mut pc: usize = 0;
-    // Fail-safe bound on executed instructions.
-    let mut fuel = prog.insns.len().saturating_mul(4) + 64;
+    // Fail-safe bound on executed instructions; exhaustion rejects the
+    // packet, like any other fault in kernel BPF.
+    let mut fuel =
+        hilti_rt::limits::FuelMeter::new(Some(prog.insns.len().saturating_mul(4) as u64 + 64));
     while pc < prog.insns.len() {
-        if fuel == 0 {
+        if fuel.charge(1).is_err() {
             return false;
         }
-        fuel -= 1;
         let i = prog.insns[pc];
         match i.code {
             op::LD_W_ABS => {

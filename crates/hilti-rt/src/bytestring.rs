@@ -19,6 +19,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::error::{RtError, RtResult};
+use crate::limits::AllocBudget;
 
 #[derive(Debug)]
 struct Inner {
@@ -29,6 +30,18 @@ struct Inner {
     /// Once frozen, no further appends; reads past the end raise IndexError
     /// instead of WouldBlock.
     frozen: bool,
+    /// Optional shared byte budget: appends charge it, trims credit it,
+    /// and dropping the string credits the retained bytes back — so a
+    /// torn-down flow returns its memory to the pool it drew from.
+    budget: Option<AllocBudget>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Some(b) = &self.budget {
+            b.credit(self.buf.len() as u64);
+        }
+    }
 }
 
 /// An appendable, freezable byte string with stable logical offsets.
@@ -57,6 +70,7 @@ impl Bytes {
                 buf: Vec::new(),
                 base: 0,
                 frozen: false,
+                budget: None,
             })),
         }
     }
@@ -75,14 +89,36 @@ impl Bytes {
         b
     }
 
-    /// Appends a chunk of data. Fails if the string has been frozen.
+    /// Appends a chunk of data. Fails if the string has been frozen, or if
+    /// an attached budget cannot cover the growth (the string is unchanged
+    /// in that case, so a caught `Hilti::ResourceExhausted` leaves it
+    /// consistent).
     pub fn append(&self, data: &[u8]) -> RtResult<()> {
         let mut inner = self.inner.borrow_mut();
         if inner.frozen {
             return Err(RtError::frozen("append to frozen bytes"));
         }
+        if let Some(b) = &inner.budget {
+            b.charge(data.len() as u64)?;
+        }
         inner.buf.extend_from_slice(data);
         Ok(())
+    }
+
+    /// Attaches a shared byte budget. The bytes already retained are
+    /// charged (without enforcement) so accounting stays consistent.
+    pub fn set_budget(&self, budget: AllocBudget) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(old) = inner.budget.take() {
+            old.credit(inner.buf.len() as u64);
+        }
+        budget.charge_unchecked(inner.buf.len() as u64);
+        inner.budget = Some(budget);
+    }
+
+    /// The attached budget, if any.
+    pub fn budget(&self) -> Option<AllocBudget> {
+        self.inner.borrow().budget.clone()
     }
 
     /// Marks the string complete: no further data will arrive.
@@ -221,6 +257,9 @@ impl Bytes {
         let n = (offset - inner.base) as usize;
         inner.buf.drain(..n);
         inner.base = offset;
+        if let Some(b) = &inner.budget {
+            b.credit(n as u64);
+        }
         Ok(())
     }
 
@@ -504,6 +543,39 @@ mod tests {
         assert_eq!(got, b"56789");
         let empty = b.with_available(99, |s| s.len()).unwrap();
         assert_eq!(empty, 0);
+    }
+
+    #[test]
+    fn budget_charged_on_append_credited_on_trim_and_drop() {
+        use crate::limits::AllocBudget;
+        let budget = AllocBudget::with_limit(10);
+        let b = Bytes::new();
+        b.set_budget(budget.clone());
+        b.append(b"12345678").unwrap();
+        assert_eq!(budget.used(), 8);
+        // Over-budget append fails without mutating the string.
+        let e = b.append(b"9abc").unwrap_err();
+        assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
+        assert_eq!(b.len(), 8);
+        assert_eq!(budget.used(), 8);
+        // Trimming parsed data returns bytes to the pool.
+        b.trim(5).unwrap();
+        assert_eq!(budget.used(), 3);
+        b.append(b"9abc").unwrap();
+        assert_eq!(budget.used(), 7);
+        assert_eq!(budget.peak(), 8);
+        drop(b);
+        assert_eq!(budget.used(), 0, "drop credits retained bytes");
+    }
+
+    #[test]
+    fn set_budget_adopts_existing_bytes() {
+        use crate::limits::AllocBudget;
+        let b = Bytes::from_slice(b"hello");
+        let budget = AllocBudget::with_limit(3);
+        b.set_budget(budget.clone());
+        assert_eq!(budget.used(), 5, "pre-existing bytes are accounted");
+        assert!(b.append(b"x").is_err(), "already over the cap");
     }
 
     #[test]

@@ -20,7 +20,18 @@ use std::collections::hash_map::Entry as HmEntry;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
 
+use crate::error::RtResult;
+use crate::limits::AllocBudget;
 use crate::time::{Interval, Time};
+
+/// Flat per-entry overhead charged against an attached [`AllocBudget`],
+/// approximating the hash-map slot plus one deadline-queue record.
+const ENTRY_OVERHEAD: u64 = 48;
+
+/// Bytes charged per live entry against an attached budget.
+fn entry_cost<K, V>() -> u64 {
+    (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64 + ENTRY_OVERHEAD
+}
 
 /// When the expiration timeout for an entry restarts.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,6 +65,9 @@ pub struct ExpiringMap<K, V> {
     /// Entries evicted over the container's lifetime (observability; the
     /// paper stresses measuring state-management behaviour, §3.3).
     evicted: u64,
+    /// Optional shared byte budget: live entries are charged a flat
+    /// per-entry cost; removal/eviction/teardown credit it back.
+    budget: Option<AllocBudget>,
 }
 
 impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
@@ -66,6 +80,40 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
             next_seq: 0,
             policy: None,
             evicted: 0,
+            budget: None,
+        }
+    }
+
+    /// Bytes charged per live entry against an attached budget.
+    fn entry_cost() -> u64 {
+        entry_cost::<K, V>()
+    }
+
+    /// Attaches a shared byte budget; entries already present are charged
+    /// (without enforcement) so accounting stays consistent.
+    pub fn set_budget(&mut self, budget: AllocBudget) {
+        if let Some(old) = self.budget.take() {
+            old.credit(self.entries.len() as u64 * Self::entry_cost());
+        }
+        budget.charge_unchecked(self.entries.len() as u64 * Self::entry_cost());
+        self.budget = Some(budget);
+    }
+
+    /// The attached budget, if any.
+    pub fn budget(&self) -> Option<&AllocBudget> {
+        self.budget.as_ref()
+    }
+
+    fn charge_entry(&self) -> RtResult<()> {
+        match &self.budget {
+            Some(b) => b.charge(Self::entry_cost()),
+            None => Ok(()),
+        }
+    }
+
+    fn credit_entries(&self, n: u64) {
+        if let Some(b) = &self.budget {
+            b.credit(n * Self::entry_cost());
         }
     }
 
@@ -116,7 +164,16 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
     }
 
     /// Inserts or replaces; the entry's timeout (re)starts at `now`.
+    ///
+    /// An attached budget is charged for genuinely new keys but *not*
+    /// enforced here; use [`ExpiringMap::try_insert`] on paths where
+    /// growth must be capped.
     pub fn insert(&mut self, key: K, value: V, now: Time) -> Option<V> {
+        if let Some(b) = &self.budget {
+            if !self.entries.contains_key(&key) {
+                b.charge_unchecked(Self::entry_cost());
+            }
+        }
         let (deadline, stamp_seq) = self.stamp(&key, now);
         self.entries
             .insert(
@@ -128,6 +185,27 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
                 },
             )
             .map(|s| s.value)
+    }
+
+    /// Like [`ExpiringMap::insert`], but fails with
+    /// `Hilti::ResourceExhausted` (leaving the map unchanged) when an
+    /// attached budget cannot cover a new entry.
+    pub fn try_insert(&mut self, key: K, value: V, now: Time) -> RtResult<Option<V>> {
+        if !self.entries.contains_key(&key) {
+            self.charge_entry()?;
+        }
+        let (deadline, stamp_seq) = self.stamp(&key, now);
+        Ok(self
+            .entries
+            .insert(
+                key,
+                Stamped {
+                    value,
+                    deadline,
+                    stamp_seq,
+                },
+            )
+            .map(|s| s.value))
     }
 
     /// Reads an entry. Under [`ExpireStrategy::Access`] this refreshes the
@@ -193,6 +271,9 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
                 &mut s.value
             }
             HmEntry::Vacant(v) => {
+                if let Some(b) = &self.budget {
+                    b.charge_unchecked(Self::entry_cost());
+                }
                 &mut v
                     .insert(Stamped {
                         value: default(),
@@ -206,7 +287,11 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
 
     /// Removes an entry.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        self.entries.remove(key).map(|s| s.value)
+        let removed = self.entries.remove(key).map(|s| s.value);
+        if removed.is_some() {
+            self.credit_entries(1);
+        }
+        removed
     }
 
     /// Drops every entry whose deadline has passed, returning the evicted
@@ -234,6 +319,7 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
                 }
             }
         }
+        self.credit_entries(out.len() as u64);
         out
     }
 
@@ -244,9 +330,18 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
 
     /// Drains all entries, e.g. at shutdown.
     pub fn clear(&mut self) {
+        self.credit_entries(self.entries.len() as u64);
         self.entries.clear();
         self.queue.clear();
         self.seq_keys.clear();
+    }
+}
+
+impl<K, V> Drop for ExpiringMap<K, V> {
+    fn drop(&mut self) {
+        if let Some(b) = &self.budget {
+            b.credit(self.entries.len() as u64 * entry_cost::<K, V>());
+        }
     }
 }
 
@@ -298,9 +393,24 @@ impl<K: Eq + Hash + Clone> ExpiringSet<K> {
         self.map.evicted()
     }
 
+    /// Attaches a shared byte budget (see [`ExpiringMap::set_budget`]).
+    pub fn set_budget(&mut self, budget: AllocBudget) {
+        self.map.set_budget(budget);
+    }
+
+    /// The attached budget, if any.
+    pub fn budget(&self) -> Option<&AllocBudget> {
+        self.map.budget()
+    }
+
     /// Inserts a member; returns true if it was new.
     pub fn insert(&mut self, key: K, now: Time) -> bool {
         self.map.insert(key, (), now).is_none()
+    }
+
+    /// Budget-enforcing insert; see [`ExpiringMap::try_insert`].
+    pub fn try_insert(&mut self, key: K, now: Time) -> RtResult<bool> {
+        Ok(self.map.try_insert(key, (), now)?.is_none())
     }
 
     /// Membership test. Under `Access` strategy this *does* refresh the
@@ -458,6 +568,63 @@ mod tests {
         m.insert("c", 3, t(2));
         let evicted: Vec<_> = m.advance(t(100)).into_iter().map(|(k, _)| k).collect();
         assert_eq!(evicted, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn budget_enforced_by_try_insert_and_credited_on_removal() {
+        use crate::limits::AllocBudget;
+        let cost = entry_cost::<u64, u64>();
+        let budget = AllocBudget::with_limit(3 * cost);
+        let mut m: ExpiringMap<u64, u64> = ExpiringMap::new();
+        m.set_budget(budget.clone());
+        for i in 0..3 {
+            m.try_insert(i, i, t(0)).unwrap();
+        }
+        assert_eq!(budget.used(), 3 * cost);
+        // Fourth entry exceeds the cap; map unchanged.
+        assert!(m.try_insert(9, 9, t(0)).is_err());
+        assert_eq!(m.len(), 3);
+        // Replacing an existing key is not growth.
+        m.try_insert(1, 100, t(0)).unwrap();
+        // Removal frees room.
+        m.remove(&0);
+        assert_eq!(budget.used(), 2 * cost);
+        m.try_insert(9, 9, t(0)).unwrap();
+        drop(m);
+        assert_eq!(budget.used(), 0, "drop credits live entries");
+    }
+
+    #[test]
+    fn budget_credited_on_expiration_eviction() {
+        use crate::limits::AllocBudget;
+        let cost = entry_cost::<&str, u64>();
+        let budget = AllocBudget::unlimited();
+        let mut m: ExpiringMap<&str, u64> = ExpiringMap::new();
+        m.set_budget(budget.clone());
+        m.set_timeout(ExpireStrategy::Create, Interval::from_secs(10));
+        m.insert("a", 1, t(0));
+        m.insert("b", 2, t(5));
+        assert_eq!(budget.used(), 2 * cost);
+        assert_eq!(m.advance(t(10)).len(), 1);
+        assert_eq!(budget.used(), cost);
+        m.clear();
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn set_budget_adopts_existing_entries() {
+        use crate::limits::AllocBudget;
+        let cost = entry_cost::<u64, ()>();
+        let mut s: ExpiringSet<u64> = ExpiringSet::new();
+        s.insert(1, t(0));
+        s.insert(2, t(0));
+        let budget = AllocBudget::with_limit(2 * cost);
+        s.set_budget(budget.clone());
+        assert_eq!(budget.used(), 2 * cost);
+        assert!(s.try_insert(3, t(0)).is_err());
+        // Re-inserting an existing member is not growth and still succeeds.
+        assert!(!s.try_insert(1, t(0)).unwrap());
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

@@ -114,6 +114,10 @@ impl RtError {
     pub fn runtime(message: impl Into<String>) -> Self {
         Self::new(ExceptionKind::RuntimeError, message)
     }
+
+    pub fn resource_exhausted(message: impl Into<String>) -> Self {
+        Self::new(ExceptionKind::ResourceExhausted, message)
+    }
 }
 
 impl fmt::Display for RtError {

@@ -25,6 +25,7 @@ pub mod containers;
 pub mod error;
 pub mod file;
 pub mod hashutil;
+pub mod limits;
 pub mod overlay;
 pub mod profile;
 pub mod regexp;
@@ -35,4 +36,5 @@ pub mod timer;
 pub use addr::{Addr, Network, Port, Protocol};
 pub use bytestring::Bytes;
 pub use error::{RtError, RtResult};
+pub use limits::{AllocBudget, FuelMeter, ResourceLimits};
 pub use time::{Interval, Time};

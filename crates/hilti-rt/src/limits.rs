@@ -1,0 +1,265 @@
+//! Resource governance: execution fuel, heap budgets, call-depth caps.
+//!
+//! The paper's pitch (§3.2, §7) is that the abstract machine makes traffic
+//! analysis *safe by construction*: hostile input must not be able to wedge
+//! the pipeline by spinning forever, growing state without bound, or
+//! blowing the host stack. This module provides the shared vocabulary both
+//! execution engines and all host applications use to enforce that:
+//!
+//! * [`ResourceLimits`] — a per-context configuration of the three caps.
+//! * [`FuelMeter`] — a countdown of abstract execution steps; exhaustion
+//!   raises the catchable `Hilti::ResourceExhausted` exception.
+//! * [`AllocBudget`] — a shared byte budget charged by containers and byte
+//!   strings on growth and credited on shrink/teardown, so per-flow state
+//!   is capped and accounted.
+//!
+//! Fuel is charged in units of *IR-level execution*: one unit per body
+//! instruction plus one per block terminator. The bytecode VM and the
+//! tree-walking interpreter charge along the same schedule (the lowering
+//! emits exactly one bytecode instruction per IR instruction plus one per
+//! terminator; the fused compare-and-branch charges two), so a given
+//! program exhausts a given fuel limit at the same observable point in
+//! both engines — which the differential tests assert.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::error::{RtError, RtResult};
+
+/// Per-context execution limits. `None` means unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Abstract execution steps before `Hilti::ResourceExhausted`.
+    pub fuel: Option<u64>,
+    /// Cap on bytes held by budget-tracked containers and byte strings.
+    pub max_heap_bytes: Option<u64>,
+    /// Cap on the call stack depth (activation records).
+    pub max_call_depth: Option<u32>,
+}
+
+impl ResourceLimits {
+    /// No limits at all — the default for contexts that never call
+    /// `set_limits`.
+    pub fn unlimited() -> Self {
+        ResourceLimits::default()
+    }
+}
+
+/// A countdown of abstract execution steps.
+///
+/// An unlimited meter carries `u64::MAX` units, which no realistic
+/// execution can consume; the charge path is branch-predictable either
+/// way, keeping governance nearly free on the fast path.
+#[derive(Clone, Copy, Debug)]
+pub struct FuelMeter {
+    left: u64,
+}
+
+impl FuelMeter {
+    pub fn new(limit: Option<u64>) -> Self {
+        FuelMeter {
+            left: limit.unwrap_or(u64::MAX),
+        }
+    }
+
+    pub fn unlimited() -> Self {
+        FuelMeter::new(None)
+    }
+
+    /// Consumes `cost` units; on exhaustion the meter pins to zero and
+    /// every further charge fails too (execution cannot outrun its limit
+    /// by catching the exception).
+    #[inline]
+    pub fn charge(&mut self, cost: u64) -> RtResult<()> {
+        if self.left < cost {
+            self.left = 0;
+            return Err(RtError::resource_exhausted("execution fuel exhausted"));
+        }
+        self.left -= cost;
+        Ok(())
+    }
+
+    /// Units remaining (meaningless for an unlimited meter).
+    pub fn remaining(&self) -> u64 {
+        self.left
+    }
+
+    /// Raw accessors for engines that keep the countdown in a local
+    /// variable across a tight inner loop and write it back on exit.
+    pub fn raw(&self) -> u64 {
+        self.left
+    }
+
+    pub fn set_raw(&mut self, left: u64) {
+        self.left = left;
+    }
+}
+
+impl Default for FuelMeter {
+    fn default() -> Self {
+        FuelMeter::unlimited()
+    }
+}
+
+struct BudgetInner {
+    limit: Option<u64>,
+    used: Cell<u64>,
+    peak: Cell<u64>,
+}
+
+/// A shared byte budget. Cloning yields another handle onto the *same*
+/// budget, so a flow's byte string and its session containers all draw
+/// from one pool; dropping a tracked object credits its bytes back.
+#[derive(Clone)]
+pub struct AllocBudget {
+    inner: Rc<BudgetInner>,
+}
+
+impl AllocBudget {
+    pub fn unlimited() -> Self {
+        AllocBudget {
+            inner: Rc::new(BudgetInner {
+                limit: None,
+                used: Cell::new(0),
+                peak: Cell::new(0),
+            }),
+        }
+    }
+
+    pub fn with_limit(limit: u64) -> Self {
+        AllocBudget {
+            inner: Rc::new(BudgetInner {
+                limit: Some(limit),
+                used: Cell::new(0),
+                peak: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Charges `n` bytes, failing with `Hilti::ResourceExhausted` when the
+    /// charge would exceed the limit (usage is unchanged on failure).
+    pub fn charge(&self, n: u64) -> RtResult<()> {
+        let used = self.inner.used.get().saturating_add(n);
+        if let Some(limit) = self.inner.limit {
+            if used > limit {
+                return Err(RtError::resource_exhausted(format!(
+                    "heap budget exceeded: {used} of {limit} bytes"
+                )));
+            }
+        }
+        self.inner.used.set(used);
+        if used > self.inner.peak.get() {
+            self.inner.peak.set(used);
+        }
+        Ok(())
+    }
+
+    /// Records `n` bytes without enforcing the limit — used when adopting
+    /// pre-existing state into a budget, so accounting stays consistent
+    /// even if the adopted state is already over the cap.
+    pub fn charge_unchecked(&self, n: u64) {
+        let used = self.inner.used.get().saturating_add(n);
+        self.inner.used.set(used);
+        if used > self.inner.peak.get() {
+            self.inner.peak.set(used);
+        }
+    }
+
+    /// Returns `n` bytes to the budget.
+    pub fn credit(&self, n: u64) {
+        self.inner.used.set(self.inner.used.get().saturating_sub(n));
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.inner.used.get()
+    }
+
+    /// High-water mark of [`AllocBudget::used`].
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.get()
+    }
+
+    pub fn limit(&self) -> Option<u64> {
+        self.inner.limit
+    }
+
+    /// Do two handles share the same underlying budget?
+    pub fn same(&self, other: &AllocBudget) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::fmt::Debug for AllocBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AllocBudget {{ used: {}, peak: {}, limit: {:?} }}",
+            self.used(),
+            self.peak(),
+            self.limit()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ExceptionKind;
+
+    #[test]
+    fn fuel_meter_counts_down_and_pins_at_zero() {
+        let mut m = FuelMeter::new(Some(3));
+        m.charge(2).unwrap();
+        assert_eq!(m.remaining(), 1);
+        let e = m.charge(2).unwrap_err();
+        assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
+        // Pinned: even a 1-unit charge now fails.
+        assert!(m.charge(1).is_err());
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn unlimited_fuel_never_exhausts() {
+        let mut m = FuelMeter::unlimited();
+        for _ in 0..1000 {
+            m.charge(u32::MAX as u64).unwrap();
+        }
+    }
+
+    #[test]
+    fn budget_charges_credits_and_tracks_peak() {
+        let b = AllocBudget::with_limit(100);
+        b.charge(60).unwrap();
+        b.charge(40).unwrap();
+        assert_eq!(b.used(), 100);
+        let e = b.charge(1).unwrap_err();
+        assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
+        assert_eq!(b.used(), 100, "failed charge must not change usage");
+        b.credit(50);
+        assert_eq!(b.used(), 50);
+        b.charge(10).unwrap();
+        assert_eq!(b.peak(), 100);
+    }
+
+    #[test]
+    fn budget_is_shared_across_clones() {
+        let a = AllocBudget::with_limit(10);
+        let b = a.clone();
+        a.charge(6).unwrap();
+        assert!(b.charge(5).is_err());
+        b.charge(4).unwrap();
+        assert!(a.same(&b));
+        assert!(!a.same(&AllocBudget::unlimited()));
+    }
+
+    #[test]
+    fn unchecked_charge_can_exceed_limit() {
+        let b = AllocBudget::with_limit(10);
+        b.charge_unchecked(20);
+        assert_eq!(b.used(), 20);
+        assert!(b.charge(1).is_err());
+        b.credit(15);
+        b.charge(5).unwrap();
+    }
+}

@@ -42,6 +42,12 @@ impl<T: Eq> PartialOrd for Entry<T> {
 pub struct TimerMgr<T> {
     now: Time,
     heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// Sequence numbers of timers that are scheduled but have neither
+    /// fired nor been cancelled. This is the authoritative liveness set:
+    /// it makes `cancel` exact (cancelling an already-fired timer is a
+    /// recognizable no-op, not a phantom tombstone) and `len` safe.
+    pending: HashSet<u64>,
+    /// Cancelled-but-still-heaped records, filtered lazily on pop.
     cancelled: HashSet<u64>,
     next_seq: u64,
 }
@@ -52,6 +58,7 @@ impl<T: Eq> TimerMgr<T> {
         TimerMgr {
             now: Time::ZERO,
             heap: BinaryHeap::new(),
+            pending: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
         }
@@ -62,9 +69,9 @@ impl<T: Eq> TimerMgr<T> {
         self.now
     }
 
-    /// Number of live (non-cancelled) timers.
+    /// Number of live (scheduled, not yet fired or cancelled) timers.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -76,6 +83,7 @@ impl<T: Eq> TimerMgr<T> {
     pub fn schedule(&mut self, deadline: Time, payload: T) -> TimerId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(seq);
         self.heap.push(Reverse(Entry {
             deadline,
             seq,
@@ -84,16 +92,15 @@ impl<T: Eq> TimerMgr<T> {
         TimerId(seq)
     }
 
-    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
-    /// is a no-op returning `false`.
+    /// Cancels a pending timer. Cancelling an already-fired, already-
+    /// cancelled, or unknown timer is a no-op returning `false`.
     pub fn cancel(&mut self, id: TimerId) -> bool {
-        if id.0 >= self.next_seq {
+        if !self.pending.remove(&id.0) {
             return false;
         }
-        // We cannot cheaply tell "already fired" from "pending" without an
-        // index; record the cancellation and filter on pop. Guard against
-        // double-cancel inflating the tombstone set.
-        self.cancelled.insert(id.0)
+        // The heap record stays until popped; mark it for lazy removal.
+        self.cancelled.insert(id.0);
+        true
     }
 
     /// Moves the clock forward to `to` (never backwards) and returns the
@@ -109,6 +116,7 @@ impl<T: Eq> TimerMgr<T> {
             }
             let Reverse(e) = self.heap.pop().expect("peeked entry");
             if !self.cancelled.remove(&e.seq) {
+                self.pending.remove(&e.seq);
                 fired.push(e.payload);
             }
         }
@@ -141,7 +149,7 @@ impl<T> fmt::Debug for TimerMgr<T> {
             f,
             "TimerMgr {{ now: {}, pending: {} }}",
             self.now,
-            self.heap.len() - self.cancelled.len()
+            self.pending.len()
         )
     }
 }
@@ -215,6 +223,49 @@ mod tests {
         m.schedule(Time::from_secs(20), 2);
         m.cancel(a);
         assert_eq!(m.next_deadline(), Some(Time::from_secs(20)));
+    }
+
+    #[test]
+    fn equal_deadline_firing_order_is_schedule_order() {
+        // Regression: eviction order must be reproducible run-to-run.
+        // Interleave two deadlines and verify strict FIFO within each.
+        let mut m = TimerMgr::new();
+        let t1 = Time::from_secs(10);
+        let t2 = Time::from_secs(20);
+        for i in 0..50u64 {
+            m.schedule(if i % 2 == 0 { t2 } else { t1 }, i);
+        }
+        let first = m.advance(t1);
+        assert_eq!(first, (0..50).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+        let second = m.advance(t2);
+        assert_eq!(second, (0..50).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop_and_len_stays_exact() {
+        // Regression: cancelling an already-fired timer used to leave a
+        // permanent tombstone that made len() underflow.
+        let mut m = TimerMgr::new();
+        let a = m.schedule(Time::from_secs(1), "a");
+        assert_eq!(m.advance(Time::from_secs(1)), vec!["a"]);
+        assert!(!m.cancel(a), "already fired");
+        assert_eq!(m.len(), 0);
+        m.schedule(Time::from_secs(2), "b");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.advance(Time::from_secs(2)), vec!["b"]);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        let mut m = TimerMgr::new();
+        let a = m.schedule(Time::from_secs(5), 1);
+        m.schedule(Time::from_secs(5), 2);
+        assert!(m.cancel(a));
+        assert!(!m.cancel(a));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.advance(Time::from_secs(5)), vec![2]);
+        assert_eq!(m.len(), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! hiltic run  [-O0] [--interp] [--trace] [--stats] [--no-specialize]
+//!             [--fuel N] [--max-heap N] [--max-depth N]
 //!             [--entry Mod::fn] file.hlt [...]
 //! hiltic check         file.hlt ...      # parse + link + static checks
 //! hiltic dump-ir       file.hlt ...      # optimized IR, human-readable
@@ -16,6 +17,9 @@
 //!
 //! `--no-specialize` disables the typed bytecode fast tier (the ablation
 //! switch); `--stats` prints the executed instruction mix to stderr.
+//! `--fuel`, `--max-heap` and `--max-depth` bound execution steps, bytes
+//! of tracked heap state, and call depth; exceeding any of them raises
+//! the catchable `Hilti::ResourceExhausted` exception.
 //!
 //! Example (Figure 3):
 //!
@@ -28,6 +32,22 @@ use std::process::ExitCode;
 
 use hilti::host::{BuildOptions, Program};
 use hilti::passes::OptLevel;
+use hilti_rt::limits::ResourceLimits;
+
+/// Parses the numeric argument of a `--fuel`-style flag.
+fn numeric_flag(flag: &str, arg: Option<&String>) -> Result<u64, ExitCode> {
+    match arg.map(|a| a.parse::<u64>()) {
+        Some(Ok(n)) => Ok(n),
+        Some(Err(_)) => {
+            eprintln!("{flag} needs a non-negative integer");
+            Err(ExitCode::FAILURE)
+        }
+        None => {
+            eprintln!("{flag} needs a value");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +62,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut specialize = true;
     let mut entry = "Main::run".to_owned();
+    let mut limits = ResourceLimits::default();
     let mut files: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -58,6 +79,18 @@ fn main() -> ExitCode {
                     eprintln!("--entry needs a function name");
                     return ExitCode::FAILURE;
                 }
+            },
+            "--fuel" => match numeric_flag("--fuel", it.next()) {
+                Ok(n) => limits.fuel = Some(n),
+                Err(code) => return code,
+            },
+            "--max-heap" => match numeric_flag("--max-heap", it.next()) {
+                Ok(n) => limits.max_heap_bytes = Some(n),
+                Err(code) => return code,
+            },
+            "--max-depth" => match numeric_flag("--max-depth", it.next()) {
+                Ok(n) => limits.max_call_depth = Some(n.min(u32::MAX as u64) as u32),
+                Err(code) => return code,
             },
             f => files.push(f.to_owned()),
         }
@@ -155,6 +188,7 @@ fn main() -> ExitCode {
         "run" => {
             program.context_mut().trace = trace;
             program.context_mut().stats = stats;
+            program.set_limits(limits);
             let result = if interp {
                 program.run_interpreted(&entry, &[])
             } else {

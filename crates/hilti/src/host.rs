@@ -188,6 +188,12 @@ impl Program {
         &mut self.ctx
     }
 
+    /// Installs resource limits (fuel, heap budget, call depth) on the
+    /// execution context; both engines enforce them from the next run.
+    pub fn set_limits(&mut self, limits: hilti_rt::limits::ResourceLimits) {
+        self.ctx.set_limits(limits);
+    }
+
     /// Calls a HILTI function on the compiled engine and returns its value.
     pub fn run(&mut self, func: &str, args: &[Value]) -> RtResult<Value> {
         vm::call(&self.compiled, &mut self.ctx, func, args)

@@ -101,6 +101,14 @@ impl<'a> Interp<'a> {
 
     fn run_body(&mut self, func: &Function, args: &[Value]) -> RtResult<Value> {
         self.depth += 1;
+        // Configured limit first (catchable resource governance), then the
+        // engine's own fail-safe recursion guard.
+        if let Some(max) = self.ctx.limits().max_call_depth {
+            if self.depth > max as usize {
+                self.depth -= 1;
+                return Err(RtError::resource_exhausted("call depth limit exceeded"));
+            }
+        }
         if self.depth > MAX_DEPTH {
             self.depth -= 1;
             return Err(RtError::runtime("interpreter recursion limit exceeded"));
@@ -179,6 +187,10 @@ impl<'a> Interp<'a> {
             }
             self.run_instr(func, instr, locals, handlers)?;
         }
+        // Block terminators cost one fuel unit, exactly like the VM's
+        // terminator instructions — without this, an empty self-looping
+        // block would spin forever under a fuel limit.
+        self.ctx.charge_fuel(1)?;
         match &block.term {
             Terminator::Jump(l) => Ok(Next::Goto(l.clone())),
             Terminator::IfElse(cond, l1, l2) => {
@@ -240,6 +252,10 @@ impl<'a> Interp<'a> {
         handlers: &mut Vec<HandlerRec>,
     ) -> RtResult<()> {
         use Opcode::*;
+
+        // One fuel unit per IR body instruction — the same charging scheme
+        // as the VM, which lowers each IR instruction to one CInstr.
+        self.ctx.charge_fuel(1)?;
 
         // Split constants: identifiers/patterns go to idents, the rest are
         // evaluated to values.

@@ -21,6 +21,7 @@ use hilti_rt::classifier::{Backend, Classifier, FieldMatcher, FieldValue};
 use hilti_rt::containers::ExpireStrategy;
 use hilti_rt::error::{ExceptionKind, RtError, RtResult};
 use hilti_rt::file::LogFile;
+use hilti_rt::limits::AllocBudget;
 use hilti_rt::overlay::{OverlayType, Unpacked};
 use hilti_rt::regexp::{MatchVerdict, Regex};
 use hilti_rt::time::{Interval, Time};
@@ -67,6 +68,11 @@ pub trait ExecCtx {
     fn profiler_stop(&mut self, name: &str);
     fn profiler_count(&mut self, name: &str, n: u64);
     fn profiler_time(&self, name: &str) -> u64;
+    /// The heap budget newly created values should charge against, if
+    /// this context enforces one. Default: unmetered.
+    fn alloc_budget(&self) -> Option<AllocBudget> {
+        None
+    }
 }
 
 /// Result of evaluating a data instruction: the produced value plus any
@@ -239,11 +245,29 @@ fn to_field_value(v: &Value) -> RtResult<FieldValue> {
 /// carries type-specific parameters (e.g. channel capacity).
 pub fn instantiate(ty: &Type, extra: &[Value], ctx: &mut dyn ExecCtx) -> RtResult<Value> {
     Ok(match ty.strip_ref() {
-        Type::Bytes => Value::Bytes(Bytes::new()),
+        Type::Bytes => {
+            let b = Bytes::new();
+            if let Some(budget) = ctx.alloc_budget() {
+                b.set_budget(budget);
+            }
+            Value::Bytes(b)
+        }
         Type::List(_) => Value::List(Rc::new(RefCell::new(VecDeque::new()))),
         Type::Vector(_) => Value::Vector(Rc::new(RefCell::new(Vec::new()))),
-        Type::Set(_) => Value::Set(Rc::new(RefCell::new(SetVal::new()))),
-        Type::Map(_, _) => Value::Map(Rc::new(RefCell::new(MapVal::new()))),
+        Type::Set(_) => {
+            let mut s = SetVal::new();
+            if let Some(budget) = ctx.alloc_budget() {
+                s.set_budget(budget);
+            }
+            Value::Set(Rc::new(RefCell::new(s)))
+        }
+        Type::Map(_, _) => {
+            let mut m = MapVal::new();
+            if let Some(budget) = ctx.alloc_budget() {
+                m.set_budget(budget);
+            }
+            Value::Map(Rc::new(RefCell::new(m)))
+        }
         Type::Struct(name) => {
             let fields = ctx
                 .struct_fields(name)
@@ -929,7 +953,7 @@ pub fn eval(
         SetInsert => {
             arity(args, 2, op)?;
             let k = args[1].to_key()?;
-            as_set(&args[0])?.borrow_mut().insert(k, now);
+            as_set(&args[0])?.borrow_mut().try_insert(k, now)?;
             Evaluated::null()
         }
         SetExists => {
@@ -976,7 +1000,9 @@ pub fn eval(
         MapInsert => {
             arity(args, 3, op)?;
             let k = args[1].to_key()?;
-            as_map(&args[0])?.borrow_mut().insert(k, args[2].clone(), now);
+            as_map(&args[0])?
+                .borrow_mut()
+                .try_insert(k, args[2].clone(), now)?;
             Evaluated::null()
         }
         MapGet => {

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use hilti_rt::error::{ExceptionKind, RtError, RtResult};
 use hilti_rt::file::LogFile;
+use hilti_rt::limits::{AllocBudget, ResourceLimits};
 use hilti_rt::overlay::OverlayType;
 use hilti_rt::time::Time;
 
@@ -68,6 +69,20 @@ pub struct Context {
     /// deserve specialized variants.
     pub stats: bool,
     instr_mix: HashMap<&'static str, u64>,
+    /// Resource-governance configuration (fuel, heap, call depth). The
+    /// enforcement state lives in the fields below so the dispatch loop
+    /// never re-derives it per instruction.
+    limits: ResourceLimits,
+    /// Remaining execution fuel; `u64::MAX` means "unlimited" (the
+    /// decrement still happens but can never reach zero in practice).
+    pub(crate) fuel_left: u64,
+    /// Shared heap budget handed to runtime values created by this
+    /// context (bytes, sets, maps). `None` when no limit is configured.
+    heap: Option<AllocBudget>,
+    /// Deterministic fault injection: when the countdown hits zero the
+    /// next fuel charge raises `fault_error` instead. `u64::MAX` = disarmed.
+    fault_countdown: u64,
+    fault_error: Option<RtError>,
 }
 
 /// Upper bound on captured trace lines; tracing silently stops there.
@@ -99,7 +114,75 @@ impl Context {
             trace_log: Vec::new(),
             stats: false,
             instr_mix: HashMap::new(),
+            limits: ResourceLimits::default(),
+            fuel_left: u64::MAX,
+            heap: None,
+            fault_countdown: u64::MAX,
+            fault_error: None,
         }
+    }
+
+    /// Installs resource limits, resetting the fuel meter and creating a
+    /// fresh heap budget. Call before `run`; limits apply from then on.
+    pub fn set_limits(&mut self, limits: ResourceLimits) {
+        self.fuel_left = limits.fuel.unwrap_or(u64::MAX);
+        self.heap = limits.max_heap_bytes.map(AllocBudget::with_limit);
+        self.limits = limits;
+    }
+
+    /// The configured resource limits.
+    pub fn limits(&self) -> &ResourceLimits {
+        &self.limits
+    }
+
+    /// Remaining fuel, or `None` when execution is unmetered.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.limits.fuel.map(|_| self.fuel_left)
+    }
+
+    /// The heap budget values created by this context charge against.
+    pub fn heap_budget(&self) -> Option<&AllocBudget> {
+        self.heap.as_ref()
+    }
+
+    /// Arms deterministic fault injection: after `n` further fuel charges
+    /// the engine raises `err` at the next charge point. Used by the chaos
+    /// harness to exercise mid-execution failure paths reproducibly.
+    pub fn inject_fault_after(&mut self, n: u64, err: RtError) {
+        self.fault_countdown = n;
+        self.fault_error = Some(err);
+    }
+
+    /// Whether a fault injection is armed (disables the specialized
+    /// fast-dispatch tier so the trigger point is deterministic).
+    #[inline]
+    pub(crate) fn fault_armed(&self) -> bool {
+        self.fault_countdown != u64::MAX
+    }
+
+    /// Charges `cost` units of fuel, raising `Hilti::ResourceExhausted`
+    /// when the meter runs dry (the meter pins to zero, so a handler that
+    /// catches the exception cannot outrun the limit) and honouring any
+    /// armed fault injection.
+    #[inline]
+    pub(crate) fn charge_fuel(&mut self, cost: u64) -> RtResult<()> {
+        if self.fault_countdown != u64::MAX {
+            if self.fault_countdown == 0 {
+                self.fault_countdown = u64::MAX;
+                let err = self
+                    .fault_error
+                    .take()
+                    .unwrap_or_else(|| RtError::runtime("injected fault"));
+                return Err(err);
+            }
+            self.fault_countdown -= 1;
+        }
+        if self.fuel_left < cost {
+            self.fuel_left = 0;
+            return Err(RtError::resource_exhausted("execution fuel exhausted"));
+        }
+        self.fuel_left -= cost;
+        Ok(())
     }
 
     /// Takes the accumulated execution trace (see [`Context::trace`]).
@@ -274,6 +357,10 @@ impl ExecCtx for Context {
     fn profiler_time(&self, name: &str) -> u64 {
         self.profile_ns(name)
     }
+
+    fn alloc_budget(&self) -> Option<AllocBudget> {
+        self.heap.clone()
+    }
 }
 
 /// An installed exception handler.
@@ -446,53 +533,79 @@ pub fn run(
         // tight inner loop that keeps the frame borrow, skipping the
         // per-instruction re-dispatch overhead of the generic path
         // (trace/stats builds skip this so every instruction is still
-        // observed one by one). On a type error the loop breaks *without*
-        // advancing pc; the generic body re-executes the pure instruction
-        // and raises through the one exception path.
-        if !ctx.trace && !ctx.stats {
+        // observed one by one; so do armed fault injections, which must
+        // trigger at a deterministic charge point on the generic path).
+        // On a type error the loop breaks *without* advancing pc or
+        // charging fuel; the generic body re-executes the pure instruction
+        // and raises — or charges — through the one exception path. Fuel
+        // lives in a local for the duration of the loop: each arm checks
+        // *before* executing and decrements only on success, so the meter
+        // can never be outrun and never double-charges.
+        if !ctx.trace && !ctx.stats && !ctx.fault_armed() {
+            let mut fuel = ctx.fuel_left;
             while let Some(instr) = cf.code.get(frame.pc as usize) {
                 match instr {
                     CInstr::AddInt { dst, a, b } => {
+                        if fuel < 1 {
+                            break;
+                        }
                         match (int_src(frame, *a), int_src(frame, *b)) {
                             (Ok(x), Ok(y)) => {
                                 frame.slots[*dst as usize] = Value::Int(x.wrapping_add(y));
                                 frame.pc += 1;
+                                fuel -= 1;
                             }
                             _ => break,
                         }
                     }
                     CInstr::SubInt { dst, a, b } => {
+                        if fuel < 1 {
+                            break;
+                        }
                         match (int_src(frame, *a), int_src(frame, *b)) {
                             (Ok(x), Ok(y)) => {
                                 frame.slots[*dst as usize] = Value::Int(x.wrapping_sub(y));
                                 frame.pc += 1;
+                                fuel -= 1;
                             }
                             _ => break,
                         }
                     }
                     CInstr::MulInt { dst, a, b } => {
+                        if fuel < 1 {
+                            break;
+                        }
                         match (int_src(frame, *a), int_src(frame, *b)) {
                             (Ok(x), Ok(y)) => {
                                 frame.slots[*dst as usize] = Value::Int(x.wrapping_mul(y));
                                 frame.pc += 1;
+                                fuel -= 1;
                             }
                             _ => break,
                         }
                     }
                     CInstr::BitInt { op, dst, a, b } => {
+                        if fuel < 1 {
+                            break;
+                        }
                         match (int_src(frame, *a), int_src(frame, *b)) {
                             (Ok(x), Ok(y)) => {
                                 frame.slots[*dst as usize] = Value::Int(op.apply(x, y));
                                 frame.pc += 1;
+                                fuel -= 1;
                             }
                             _ => break,
                         }
                     }
                     CInstr::CmpInt { cmp, dst, a, b } => {
+                        if fuel < 1 {
+                            break;
+                        }
                         match (int_src(frame, *a), int_src(frame, *b)) {
                             (Ok(x), Ok(y)) => {
                                 frame.slots[*dst as usize] = Value::Bool(cmp.apply(x, y));
                                 frame.pc += 1;
+                                fuel -= 1;
                             }
                             _ => break,
                         }
@@ -504,35 +617,69 @@ pub fn run(
                         dst,
                         then_pc,
                         else_pc,
-                    } => match (int_src(frame, *a), int_src(frame, *b)) {
-                        (Ok(x), Ok(y)) => {
-                            let taken = cmp.apply(x, y);
-                            frame.slots[*dst as usize] = Value::Bool(taken);
-                            frame.pc = if taken { *then_pc } else { *else_pc };
+                    } => {
+                        // Fused compare + branch: costs its two
+                        // constituent instructions.
+                        if fuel < 2 {
+                            break;
                         }
-                        _ => break,
-                    },
+                        match (int_src(frame, *a), int_src(frame, *b)) {
+                            (Ok(x), Ok(y)) => {
+                                let taken = cmp.apply(x, y);
+                                frame.slots[*dst as usize] = Value::Bool(taken);
+                                frame.pc = if taken { *then_pc } else { *else_pc };
+                                fuel -= 2;
+                            }
+                            _ => break,
+                        }
+                    }
                     CInstr::MoveSlot { dst, src } => {
+                        if fuel < 1 {
+                            break;
+                        }
                         frame.slots[*dst as usize] = frame.slots[*src as usize].clone();
                         frame.pc += 1;
+                        fuel -= 1;
                     }
                     CInstr::LoadImm { dst, v } => {
+                        if fuel < 1 {
+                            break;
+                        }
                         frame.slots[*dst as usize] = v.clone();
                         frame.pc += 1;
+                        fuel -= 1;
                     }
                     CInstr::BrBool {
                         cond,
                         then_pc,
                         else_pc,
-                    } => match frame.slots[*cond as usize].as_bool() {
-                        Ok(true) => frame.pc = *then_pc,
-                        Ok(false) => frame.pc = *else_pc,
-                        Err(_) => break,
-                    },
-                    CInstr::Jump(pc) => frame.pc = *pc,
+                    } => {
+                        if fuel < 1 {
+                            break;
+                        }
+                        match frame.slots[*cond as usize].as_bool() {
+                            Ok(true) => {
+                                frame.pc = *then_pc;
+                                fuel -= 1;
+                            }
+                            Ok(false) => {
+                                frame.pc = *else_pc;
+                                fuel -= 1;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    CInstr::Jump(pc) => {
+                        if fuel < 1 {
+                            break;
+                        }
+                        frame.pc = *pc;
+                        fuel -= 1;
+                    }
                     _ => break,
                 }
             }
+            ctx.fuel_left = fuel;
         }
 
         let Some(instr) = cf.code.get(frame.pc as usize) else {
@@ -599,6 +746,21 @@ pub fn run(
             }};
         }
 
+        // Fuel parity with the tree-walking interpreter: one unit per IR
+        // body instruction plus one per block terminator. Lowering emits
+        // exactly one CInstr for each of those, so every instruction here
+        // costs 1 — except the fused compare-and-branch, which covers a
+        // body instruction *and* a terminator. Instructions that bailed
+        // out of the fast tier above were not charged there, so this is
+        // the single charge point.
+        let fuel_cost = match instr {
+            CInstr::BrIfInt { .. } => 2,
+            _ => 1,
+        };
+        if let Err(e) = ctx.charge_fuel(fuel_cost) {
+            raise!(e);
+        }
+
         match instr {
             CInstr::Op {
                 opcode,
@@ -646,6 +808,12 @@ pub fn run(
                 }
             }
             CInstr::Call { target, func, args } => {
+                if let Some(max) = ctx.limits.max_call_depth {
+                    if frames.len() >= max as usize {
+                        raise!(RtError::resource_exhausted("call depth limit exceeded"));
+                    }
+                }
+                let frame = frames.last_mut().expect("frame exists");
                 argbuf.clear();
                 for a in args.iter() {
                     argbuf.push(operand_value(ctx, frame, a));
@@ -699,6 +867,12 @@ pub fn run(
                 callable,
                 args,
             } => {
+                if let Some(max) = ctx.limits.max_call_depth {
+                    if frames.len() >= max as usize {
+                        raise!(RtError::resource_exhausted("call depth limit exceeded"));
+                    }
+                }
+                let frame = frames.last_mut().expect("frame exists");
                 let cval = operand_value(ctx, frame, callable);
                 let Value::Callable(c) = cval else {
                     raise!(RtError::type_error(format!(

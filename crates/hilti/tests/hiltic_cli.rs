@@ -100,6 +100,136 @@ fn trace_flag_logs_instructions_to_stderr() {
     assert!(err.lines().any(|l| l.starts_with("trace: Main::run@")), "{err}");
 }
 
+const THROWER: &str = r#"
+module Main
+void run() {
+    exception.throw Hilti::ValueError "boom"
+}
+"#;
+
+const CATCHER: &str = r#"
+module Main
+import Hilti
+
+void run() {
+    try {
+        exception.throw Hilti::ValueError "boom"
+    } catch ( ref<Hilti::ValueError> e ) {
+        call Hilti::print "caught"
+    }
+}
+"#;
+
+const SPINNER: &str = r#"
+module Main
+void run() {
+loop:
+    jump loop
+}
+"#;
+
+const GLUTTON: &str = r#"
+module Main
+void run() {
+    local ref<bytes> b
+    local int<64> i
+    local bool m
+    b = new bytes
+    i = assign 0
+loop:
+    bytes.append b "xxxxxxxxxxxxxxxx"
+    i = int.add i 1
+    m = int.lt i 100000
+    if.else m loop done
+done:
+    return
+}
+"#;
+
+#[test]
+fn uncaught_exception_exits_nonzero_with_kind() {
+    let f = write_temp("thrower.hlt", THROWER);
+    for extra in [&[][..], &["--interp"][..]] {
+        let out = hiltic().arg("run").args(extra).arg(&f).output().unwrap();
+        assert!(!out.status.success(), "{extra:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("uncaught exception") && err.contains("Hilti::ValueError"),
+            "{extra:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn caught_exception_exits_clean() {
+    let f = write_temp("catcher.hlt", CATCHER);
+    for extra in [&[][..], &["--interp"][..]] {
+        let out = hiltic().arg("run").args(extra).arg(&f).output().unwrap();
+        assert!(out.status.success(), "{extra:?}: {out:?}");
+        assert_eq!(String::from_utf8_lossy(&out.stdout), "caught\n");
+        assert!(
+            !String::from_utf8_lossy(&out.stderr).contains("uncaught"),
+            "{extra:?}"
+        );
+    }
+}
+
+#[test]
+fn fuel_flag_bounds_infinite_loops() {
+    let f = write_temp("spinner.hlt", SPINNER);
+    for extra in [&[][..], &["--interp"][..]] {
+        let out = hiltic()
+            .args(["run", "--fuel", "100000"])
+            .args(extra)
+            .arg(&f)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{extra:?}: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("Hilti::ResourceExhausted"),
+            "{extra:?}: {out:?}"
+        );
+    }
+    // Plenty of fuel: a terminating program is unaffected.
+    let ok = write_temp("hello5.hlt", HELLO);
+    let out = hiltic()
+        .args(["run", "--fuel", "100000"])
+        .arg(&ok)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn max_heap_flag_bounds_state_growth() {
+    let f = write_temp("glutton.hlt", GLUTTON);
+    let out = hiltic()
+        .args(["run", "--max-heap", "4096"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("Hilti::ResourceExhausted"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn bad_limit_flag_values_fail_cleanly() {
+    let f = write_temp("hello6.hlt", HELLO);
+    for flag in ["--fuel", "--max-heap", "--max-depth"] {
+        let out = hiltic()
+            .args(["run", flag, "banana"])
+            .arg(&f)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flag}");
+        let out = hiltic().args(["run", flag]).output().unwrap();
+        assert!(!out.status.success(), "{flag} without value");
+    }
+}
+
 #[test]
 fn trace_flag_works_interpreted() {
     let f = write_temp("traced2.hlt", HELLO);

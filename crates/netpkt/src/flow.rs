@@ -198,9 +198,24 @@ impl FlowTable {
 
     /// Removes flows idle since before `cutoff`; returns how many.
     pub fn expire_idle(&mut self, cutoff: Time) -> usize {
-        let before = self.flows.len();
-        self.flows.retain(|_, f| f.last_ts >= cutoff);
-        before - self.flows.len()
+        self.expire_idle_uids(cutoff).len()
+    }
+
+    /// Removes flows idle since before `cutoff`, returning their uids in
+    /// sorted order so callers can tear down per-flow analyzer state
+    /// deterministically.
+    pub fn expire_idle_uids(&mut self, cutoff: Time) -> Vec<String> {
+        let mut dead = Vec::new();
+        self.flows.retain(|_, f| {
+            if f.last_ts >= cutoff {
+                true
+            } else {
+                dead.push(f.uid.clone());
+                false
+            }
+        });
+        dead.sort();
+        dead
     }
 }
 

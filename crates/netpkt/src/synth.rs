@@ -309,6 +309,214 @@ pub fn http_trace(cfg: &SynthConfig) -> Vec<RawPacket> {
     packets
 }
 
+/// Adversarial trace generation: deterministic counts of each protocol
+/// malformation, so harnesses can assert exact per-category error totals.
+///
+/// Every malformed session models a real attack on analyzer robustness:
+/// state that is opened but never completed (resource-exhaustion via
+/// idle flows), bodies that never end (unbounded buffering), and header
+/// streams with no terminator (per-flow heap growth). The generator is
+/// fully deterministic from `seed`.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    pub seed: u64,
+    /// Well-formed HTTP sessions mixed into the trace.
+    pub normal: usize,
+    /// Sessions that stop after the initial SYN: the flow table entry is
+    /// created but no data ever arrives (idle-expiration pressure).
+    pub truncated_handshakes: usize,
+    /// Responses advertising a large `Content-Length` but cut off after a
+    /// small prefix, with no FIN — the parser waits forever.
+    pub mid_body_cuts: usize,
+    /// Requests streaming header lines without the terminating blank
+    /// line — per-flow buffering grows until something bounds it.
+    pub header_bombs: usize,
+    /// Chunked responses that keep sending chunks and never emit the
+    /// terminating zero chunk.
+    pub infinite_chunks: usize,
+}
+
+impl ChaosConfig {
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            normal: 10,
+            truncated_handshakes: 4,
+            mid_body_cuts: 4,
+            header_bombs: 3,
+            infinite_chunks: 3,
+        }
+    }
+
+    pub fn total_sessions(&self) -> usize {
+        self.normal
+            + self.truncated_handshakes
+            + self.mid_body_cuts
+            + self.header_bombs
+            + self.infinite_chunks
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ChaosKind {
+    Normal,
+    TruncatedHandshake,
+    MidBodyCut,
+    HeaderBomb,
+    InfiniteChunk,
+}
+
+/// Generates an adversarial HTTP workload per `cfg`; packets are sorted
+/// by timestamp and sessions of all categories interleave.
+pub fn chaos_http_trace(cfg: &ChaosConfig) -> Vec<RawPacket> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut kinds = Vec::with_capacity(cfg.total_sessions());
+    kinds.extend(std::iter::repeat_n(ChaosKind::Normal, cfg.normal));
+    kinds.extend(std::iter::repeat_n(
+        ChaosKind::TruncatedHandshake,
+        cfg.truncated_handshakes,
+    ));
+    kinds.extend(std::iter::repeat_n(ChaosKind::MidBodyCut, cfg.mid_body_cuts));
+    kinds.extend(std::iter::repeat_n(ChaosKind::HeaderBomb, cfg.header_bombs));
+    kinds.extend(std::iter::repeat_n(
+        ChaosKind::InfiniteChunk,
+        cfg.infinite_chunks,
+    ));
+    // Deterministic interleave: Fisher-Yates off the seeded generator.
+    for i in (1..kinds.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        kinds.swap(i, j);
+    }
+
+    let mut packets = Vec::new();
+    for (s, kind) in kinds.iter().enumerate() {
+        let client = Addr::v4(10, 9, (s / 250) as u8, (s % 250 + 1) as u8);
+        let server = Addr::v4(93, 184, 0, (rng.gen_range(0..40) + 1) as u8);
+        let base_ns = (s as u64) * 3_000_000 + rng.gen_range(0..2_000) * 1_000;
+        let mut sess = TcpScripted {
+            client,
+            server,
+            cport: rng.gen_range(20000..60000),
+            sport: 80,
+            seq_c: rng.gen(),
+            seq_s: rng.gen(),
+            t_ns: base_ns,
+            rng: &mut rng,
+            packets: &mut packets,
+        };
+        match kind {
+            ChaosKind::TruncatedHandshake => {
+                // SYN into the void; the flow table entry goes stale.
+                sess.push(true, tcp_flags::SYN, b"");
+                continue;
+            }
+            ChaosKind::Normal => {
+                sess.handshake();
+                let req = b"GET /index.html HTTP/1.1\r\nHost: www.example.com\r\n\r\n";
+                sess.data(true, req);
+                let body = b"<html>ok</html>";
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                );
+                let mut payload = resp.into_bytes();
+                payload.extend_from_slice(body);
+                sess.data(false, &payload);
+                sess.close();
+            }
+            ChaosKind::MidBodyCut => {
+                sess.handshake();
+                sess.data(true, b"GET /download/file HTTP/1.1\r\nHost: cdn.example.net\r\n\r\n");
+                // Promise 100 KiB, deliver 2 KiB, go silent (no FIN).
+                let mut payload =
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/gzip\r\nContent-Length: 102400\r\n\r\n"
+                        .to_vec();
+                payload.extend_from_slice(&vec![0x1f; 2048]);
+                sess.data(false, &payload);
+            }
+            ChaosKind::HeaderBomb => {
+                sess.handshake();
+                // A header stream with no terminating blank line: ~48 KiB
+                // of headers, then silence.
+                let mut req = b"GET / HTTP/1.1\r\nHost: www.example.com\r\n".to_vec();
+                for i in 0..1200 {
+                    req.extend_from_slice(
+                        format!("X-Padding-{i}: aaaaaaaaaaaaaaaaaaaaaaaa\r\n").as_bytes(),
+                    );
+                }
+                sess.data(true, &req);
+            }
+            ChaosKind::InfiniteChunk => {
+                sess.handshake();
+                sess.data(true, b"GET /feed.xml HTTP/1.1\r\nHost: api.service.org\r\n\r\n");
+                let mut payload =
+                    b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nTransfer-Encoding: chunked\r\n\r\n"
+                        .to_vec();
+                // Chunks keep coming; the terminating `0` chunk never does.
+                for _ in 0..200 {
+                    payload.extend_from_slice(b"100\r\n");
+                    payload.extend_from_slice(&[b'z'; 0x100]);
+                    payload.extend_from_slice(b"\r\n");
+                }
+                sess.data(false, &payload);
+            }
+        }
+    }
+    packets.sort_by_key(|p| p.ts);
+    packets
+}
+
+/// Generates a DNS trace of `normal` well-formed A lookups plus
+/// `compression_loops` messages whose name is a self-referencing
+/// compression pointer — the classic parser-loop attack. Deterministic
+/// from `seed`.
+pub fn chaos_dns_trace(seed: u64, normal: usize, compression_loops: usize) -> Vec<RawPacket> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::new();
+    for i in 0..normal + compression_loops {
+        let client = Addr::v4(10, 8, (i / 250) as u8, (i % 250 + 1) as u8);
+        let server = Addr::v4(8, 8, 8, 8);
+        let cport: u16 = rng.gen_range(1024..65000);
+        let base = Time::from_nanos((i as u64) * 700_000 + rng.gen_range(0..500) * 1_000);
+        if i < normal {
+            let trans_id: u16 = rng.gen();
+            let name = DNS_NAMES[rng.gen_range(0..DNS_NAMES.len())];
+            let query = DnsBuilder::new(trans_id, false, 0)
+                .question(name, dns_types::A)
+                .build();
+            packets.push(RawPacket::new(
+                base,
+                build_udp_frame(client, server, cport, 53, &query),
+            ));
+            let resp = DnsBuilder::new(trans_id, true, 0)
+                .question(name, dns_types::A)
+                .answer_a(name, 300, [93, 184, 1, 1])
+                .build();
+            packets.push(RawPacket::new(
+                base + hilti_rt::time::Interval::from_nanos(2_000_000),
+                build_udp_frame(server, client, 53, cport, &resp),
+            ));
+        } else {
+            // Header claiming one question, whose name at offset 12 is a
+            // compression pointer back to offset 12: following it loops.
+            let trans_id: u16 = rng.gen();
+            let mut msg = Vec::new();
+            msg.extend_from_slice(&trans_id.to_be_bytes());
+            msg.extend_from_slice(&[0x01, 0x00]); // flags: standard query
+            msg.extend_from_slice(&[0x00, 0x01]); // qdcount = 1
+            msg.extend_from_slice(&[0x00, 0x00, 0x00, 0x00, 0x00, 0x00]);
+            msg.extend_from_slice(&[0xc0, 0x0c]); // name: pointer to itself
+            msg.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]); // A, IN
+            packets.push(RawPacket::new(
+                base,
+                build_udp_frame(client, server, cport, 53, &msg),
+            ));
+        }
+    }
+    packets.sort_by_key(|p| p.ts);
+    packets
+}
+
 const DNS_NAMES: &[&str] = &[
     "www.example.com", "mail.campus.edu", "cdn.assets.net", "api.cloud.io",
     "ns1.provider.org", "tracker.ads.example", "git.devhub.dev", "db.internal.corp",
@@ -508,5 +716,42 @@ mod tests {
         let img = crate::pcap::to_pcap_bytes(&pkts);
         let back = crate::pcap::from_pcap_bytes(&img).unwrap();
         assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn chaos_http_trace_is_deterministic_and_decodes() {
+        let cfg = ChaosConfig::new(99);
+        let a = chaos_http_trace(&cfg);
+        let b = chaos_http_trace(&cfg);
+        assert_eq!(a, b);
+        assert!(pksorted(&a));
+        for p in &a {
+            let d = decode_ethernet(p).expect("chaos packets still decode at L2-L4");
+            assert!(matches!(d.transport, Transport::Tcp(_)));
+        }
+        // Different seeds interleave differently.
+        assert_ne!(a, chaos_http_trace(&ChaosConfig::new(100)));
+    }
+
+    fn pksorted(pkts: &[RawPacket]) -> bool {
+        pkts.windows(2).all(|w| w[0].ts <= w[1].ts)
+    }
+
+    #[test]
+    fn chaos_dns_compression_loops_are_rejected_not_spun() {
+        let pkts = chaos_dns_trace(21, 10, 5);
+        let mut ok = 0;
+        let mut loops = 0;
+        for p in &pkts {
+            let d = decode_ethernet(p).unwrap();
+            match crate::dns::parse_message(&d.payload) {
+                Ok(_) => ok += 1,
+                Err(crate::dns::DnsError::TooManyJumps) => loops += 1,
+                Err(e) => panic!("unexpected parse error {e:?}"),
+            }
+        }
+        // 10 query/response pairs parse; the 5 loop packets are rejected.
+        assert_eq!(ok, 20);
+        assert_eq!(loops, 5);
     }
 }

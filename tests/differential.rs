@@ -230,6 +230,49 @@ proptest! {
         prop_assert_eq!(&oracle_out, &out_opt_spec, "optimized+specialized VM printed differently\n{}", src);
     }
 
+    /// Resource governance differential: under a fuel limit, the
+    /// tree-walking interpreter and the bytecode VM (specializer on and
+    /// off) must exhaust at the *same* point — same outcome (including
+    /// `Hilti::ResourceExhausted`), same printed prefix, same remaining
+    /// fuel. Fuel parity holds only at matching optimization level, so
+    /// every engine runs unoptimized IR here.
+    #[test]
+    fn fuel_exhaustion_is_engine_equivalent(
+        recipe in prop::collection::vec(loop_heavy_step_strategy(), 2..10),
+        consts in prop::collection::vec(-50i64..50, 4),
+        ret in 0u8..SLOTS,
+        a in -1000i64..1000,
+        fuel_limit in 0u64..400,
+    ) {
+        let src = emit(&recipe, &consts, ret);
+        let args = [Value::Int(a), Value::Int(9)];
+        let limits = hilti_rt::limits::ResourceLimits {
+            fuel: Some(fuel_limit),
+            ..Default::default()
+        };
+
+        let mut interp = build(&src, OptLevel::None, true);
+        interp.set_limits(limits);
+        let oracle = outcome(interp.run_interpreted("Fuzz::kernel", &args));
+        let oracle_out = interp.take_output();
+        let oracle_left = interp.context().fuel_remaining();
+
+        for (label, specialize) in [("specialized", true), ("generic", false)] {
+            let mut vm = build(&src, OptLevel::None, specialize);
+            vm.set_limits(limits);
+            let (r, out) = run_vm(&mut vm, &args);
+            prop_assert_eq!(&oracle, &r, "{} VM outcome diverged under fuel\n{}", label, src);
+            prop_assert_eq!(&oracle_out, &out, "{} VM output diverged under fuel\n{}", label, src);
+            prop_assert_eq!(
+                oracle_left,
+                vm.context().fuel_remaining(),
+                "{} VM remaining fuel diverged\n{}",
+                label,
+                src
+            );
+        }
+    }
+
     /// The optimizer is deterministic and idempotent at the outcome level:
     /// two independent optimized builds of the same source agree.
     #[test]
@@ -263,6 +306,46 @@ fn div_by_zero_trap_is_engine_independent() {
     assert_eq!(oracle, outcome(plain.run("Fuzz::kernel", &args)));
     assert_eq!(oracle, outcome(opt.run("Fuzz::kernel", &args)));
     assert_eq!(oracle, Err("Hilti::ArithmeticError".to_string()));
+}
+
+/// Fixed-case fuel differential: sweeping a small fuel budget over a
+/// looping, printing kernel, both engines transition from exhausted to
+/// completed at the same budget, and agree on everything in between.
+#[test]
+fn fuel_sweep_hits_resource_exhausted_at_equivalent_points() {
+    let recipe = [
+        Step::Loop { iters: 10, dst: 2, src: 3 },
+        Step::Bin { op: 0, dst: 0, a: 2, b: 1 },
+    ];
+    let src = emit(&recipe, &[1, 2, 3, 4], 0);
+    let args = [Value::Int(5), Value::Int(7)];
+    let (mut exhausted, mut completed) = (0u32, 0u32);
+    for fuel in 0..=120u64 {
+        let limits = hilti_rt::limits::ResourceLimits {
+            fuel: Some(fuel),
+            ..Default::default()
+        };
+        let mut interp = build(&src, OptLevel::None, true);
+        interp.set_limits(limits);
+        let oracle = outcome(interp.run_interpreted("Fuzz::kernel", &args));
+        let oracle_out = interp.take_output();
+        for specialize in [true, false] {
+            let mut vm = build(&src, OptLevel::None, specialize);
+            vm.set_limits(limits);
+            let (r, out) = run_vm(&mut vm, &args);
+            assert_eq!(oracle, r, "fuel={fuel} specialize={specialize}\n{src}");
+            assert_eq!(oracle_out, out, "fuel={fuel} specialize={specialize}\n{src}");
+        }
+        match &oracle {
+            Err(k) if k == "Hilti::ResourceExhausted" => exhausted += 1,
+            Ok(_) => completed += 1,
+            Err(other) => panic!("unexpected exception {other} at fuel={fuel}"),
+        }
+    }
+    // The sweep must actually cross the boundary: small budgets exhaust,
+    // large ones complete.
+    assert!(exhausted > 0, "no budget was small enough to exhaust");
+    assert!(completed > 0, "no budget was large enough to complete");
 }
 
 /// Exception handling differential: a trap raised inside `try` must be
