@@ -1,0 +1,73 @@
+//! Telemetry overhead: the acceptance gate for the observability layer.
+//!
+//! Two pairs, each off vs. on:
+//!
+//! * `engine_*` — the recursive `fib` kernel with and without a
+//!   [`Telemetry`] attached to the VM context. The delta is the cost of
+//!   the retired-instruction accounting (one saturating add per run plus
+//!   the pre-interned counter bumps).
+//! * `pipeline_*` — the governed HTTP analysis with
+//!   [`Governance::telemetry`] off and on. The delta is the per-packet
+//!   metric/event cost across the whole pipeline.
+//!
+//! Target: the `on` variants within 5% of their `off` baselines, and the
+//! `off` variants identical to pre-telemetry builds (the layer is
+//! `Option`-gated on every hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use broscript::host::Engine;
+use broscript::pipeline::{run_http_analysis_governed, Governance, ParserStack};
+use hilti::host::BuildOptions;
+use hilti::passes::OptLevel;
+use hilti::value::Value;
+use hilti::Program;
+use hilti_rt::telemetry::Telemetry;
+use netpkt::synth::{http_trace, SynthConfig};
+
+const FIB: &str = bench::experiments::FIB_HLT;
+
+fn build_fib() -> Program {
+    Program::from_sources_opts(&[FIB], OptLevel::Full, BuildOptions::default())
+        .expect("kernel builds")
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("engine_off", |b| {
+        let mut p = build_fib();
+        b.iter(|| p.run("Fib::fib", &[Value::Int(18)]).expect("run"))
+    });
+    group.bench_function("engine_on", |b| {
+        let mut p = build_fib();
+        let t = Telemetry::new();
+        p.context_mut().set_telemetry(&t);
+        b.iter(|| p.run("Fib::fib", &[Value::Int(18)]).expect("run"))
+    });
+    group.finish();
+}
+
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let trace = http_trace(&SynthConfig::new(77, 20));
+    let mut group = c.benchmark_group("telemetry_overhead");
+    for (name, telemetry) in [("pipeline_off", false), ("pipeline_on", true)] {
+        let gov = Governance {
+            telemetry,
+            ..Governance::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov)
+                    .expect("analysis run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_overhead, bench_pipeline_overhead
+}
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `repro [all|fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|ablations]`
+//! Usage: `repro [--out DIR] [all|fibers|bpf|firewall|table2|fig9|table3|fig10|fib|threads|ablations ...]`
 //!
 //! Each section prints the paper-reported value next to the measured one.
 //! Absolute numbers differ (the paper ran on real traces with an
@@ -8,8 +8,15 @@
 //! DESIGN.md), so the claims under reproduction are the *shapes*: parity
 //! checks, who is faster, and rough factors. Set `REPRO_SCALE=N` to scale
 //! workload sizes.
+//!
+//! With `--out DIR` (or `REPRO_OUT=DIR`), the figure/table sections also
+//! write machine-readable JSON artifacts — `fig9.json`, `fig10.json`,
+//! `table2.json`, `table3.json` — carrying exactly the numbers printed to
+//! stdout (see [`bench::artifacts`] for the schema). Every document is
+//! validated before it is written; a malformed artifact aborts the run.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bench::*;
@@ -43,8 +50,25 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    let run = |name: &str| what == "all" || what == name;
+    let mut out_dir: Option<PathBuf> = std::env::var_os("REPRO_OUT").map(PathBuf::from);
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(d) => out_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("repro: --out needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            section => selected.push(section.to_owned()),
+        }
+    }
+    if selected.is_empty() {
+        selected.push("all".to_owned());
+    }
+    let run = |name: &str| selected.iter().any(|s| s == "all" || s == name);
 
     println!("HILTI reproduction — evaluation (scale={})", scale());
     println!("==========================================================");
@@ -59,10 +83,10 @@ fn main() {
         firewall();
     }
     if run("table2") || run("fig9") {
-        parsers(run("table2"), run("fig9") || what == "all");
+        parsers(run("table2"), run("fig9"), out_dir.as_deref());
     }
     if run("table3") || run("fig10") {
-        engines(run("table3"), run("fig10") || what == "all");
+        engines(run("table3"), run("fig10"), out_dir.as_deref());
     }
     if run("fib") {
         fib();
@@ -76,6 +100,16 @@ fn main() {
     if run("ablations") {
         ablations();
     }
+}
+
+/// Writes one validated artifact, creating the directory on first use.
+fn write_artifact(dir: &Path, name: &str, doc: &str) {
+    let path = dir.join(name);
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, doc)) {
+        eprintln!("repro: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("  wrote {}", path.display());
 }
 
 fn fibers() {
@@ -148,7 +182,7 @@ fn firewall() {
     );
 }
 
-fn parsers(table2: bool, fig9: bool) {
+fn parsers(table2: bool, fig9: bool, out: Option<&Path>) {
     let http = http_workload();
     let dns = dns_workload();
     let ch = parser_comparison_http(&http).expect("http parser comparison");
@@ -181,9 +215,18 @@ fn parsers(table2: bool, fig9: bool) {
             );
         }
     }
+
+    if let Some(dir) = out {
+        if table2 {
+            write_artifact(dir, "table2.json", &artifacts::table2_json(&ch, &cd));
+        }
+        if fig9 {
+            write_artifact(dir, "fig9.json", &artifacts::fig9_json(&ch, &cd));
+        }
+    }
 }
 
-fn engines(table3: bool, fig10: bool) {
+fn engines(table3: bool, fig10: bool, out: Option<&Path>) {
     let http = http_workload();
     let dns = dns_workload();
     let eh = engine_comparison_http(&http).expect("http engine comparison");
@@ -235,6 +278,15 @@ fn engines(table3: bool, fig10: bool) {
                 "    -> {proto} script ratio Hlt/Std = {:.2}x",
                 sc as f64 / si.max(1) as f64
             );
+        }
+    }
+
+    if let Some(dir) = out {
+        if table3 {
+            write_artifact(dir, "table3.json", &artifacts::table3_json(&eh, &ed));
+        }
+        if fig10 {
+            write_artifact(dir, "fig10.json", &artifacts::fig10_json(&eh, &ed));
         }
     }
 }

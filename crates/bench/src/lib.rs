@@ -7,6 +7,7 @@
 //! benches under `benches/` measure the same code paths with statistical
 //! rigor.
 
+pub mod artifacts;
 pub mod experiments;
 
 pub use experiments::*;

@@ -447,6 +447,15 @@ impl BinpacDns {
         })
     }
 
+    /// Attaches telemetry to the parser VM (retired-instruction counters
+    /// and resource-limit events), mirroring `BinpacHttp::set_telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: &hilti_rt::telemetry::Telemetry) {
+        self.parser
+            .program_mut()
+            .context_mut()
+            .set_telemetry(telemetry);
+    }
+
     /// Parses one UDP datagram; returns false if it was not parseable DNS.
     pub fn datagram(
         &mut self,

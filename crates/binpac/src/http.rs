@@ -534,6 +534,16 @@ impl BinpacHttp {
         uids
     }
 
+    /// Attaches telemetry to the parser VM: retired-instruction counters
+    /// flushed per parse step, plus fiber suspend/resume and
+    /// resource-limit events on the sink.
+    pub fn set_telemetry(&mut self, telemetry: &hilti_rt::telemetry::Telemetry) {
+        self.parser
+            .program_mut()
+            .context_mut()
+            .set_telemetry(telemetry);
+    }
+
     /// Chaos hook: arms the parser VM to fail with `error` after `steps`
     /// charged execution steps (see `Context::inject_fault_after`). The
     /// fault surfaces from whichever flow's fiber is running at that

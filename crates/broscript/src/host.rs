@@ -247,6 +247,20 @@ impl ScriptHost {
         }
     }
 
+    /// Attaches a telemetry bundle to the script engine. The compiled
+    /// engine reports retired instructions per dispatch and emits
+    /// resource-limit events to the sink; the reference interpreter has no
+    /// instruction counter and only the pipeline-level metrics apply.
+    pub fn set_telemetry(&mut self, telemetry: &hilti_rt::telemetry::Telemetry) {
+        if self.engine == Engine::Compiled {
+            self.program
+                .as_mut()
+                .expect("engine")
+                .context_mut()
+                .set_telemetry(telemetry);
+        }
+    }
+
     /// Advances script network time (drives container expiration).
     pub fn advance_time(&mut self, t: Time) -> RtResult<()> {
         match self.engine {

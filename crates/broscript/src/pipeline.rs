@@ -16,6 +16,7 @@ use hilti::passes::OptLevel;
 use hilti_rt::error::{RtError, RtResult};
 use hilti_rt::limits::ResourceLimits;
 use hilti_rt::profile::{Component, Profiler};
+use hilti_rt::telemetry::{Counter, Histogram, Telemetry, TelemetrySnapshot};
 use hilti_rt::time::{Interval, Time};
 use hilti_rt::timer::TimerMgr;
 
@@ -56,6 +57,12 @@ pub struct AnalysisResult {
     pub peak_flow_bytes: u64,
     /// Datagrams that failed protocol parsing (DNS runs).
     pub parse_failures: u64,
+    /// Frozen per-run metrics and structured events, populated when
+    /// [`Governance::telemetry`] is set (empty otherwise). The metric and
+    /// event names are a stable interface — see DESIGN.md
+    /// ("Observability"). Contains no wall-time fields: equal traces
+    /// yield byte-identical snapshots.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Resource-governance policy for an analysis run. The default is the
@@ -80,6 +87,10 @@ pub struct Governance {
     /// Chaos hook: arm the BinPAC++ parser VM to fail after this many
     /// charged execution steps (deterministic for a fixed trace).
     pub inject_fault_after: Option<u64>,
+    /// Collect per-flow and per-stage metrics plus structured events into
+    /// [`AnalysisResult::telemetry`]. Off by default; the cost when on is
+    /// a handful of relaxed atomic increments per packet.
+    pub telemetry: bool,
 }
 
 /// One flow the quarantine tore down.
@@ -100,6 +111,106 @@ impl FlowError {
             detail: e.to_string(),
             ts,
         }
+    }
+}
+
+/// Pre-interned handles for the pipeline's metric schema, plus the
+/// first-seen set backing `flow_open` detection. Everything the per-packet
+/// path touches is a relaxed atomic; the only allocation is one
+/// `HashSet` insert per *new* flow.
+struct PipelineTelemetry {
+    telemetry: Telemetry,
+    packets: Counter,
+    bytes_parsed: Counter,
+    events_dispatched: Counter,
+    flows_opened: Counter,
+    flows_closed: Counter,
+    flows_expired: Counter,
+    flows_quarantined: Counter,
+    parse_failures: Counter,
+    payload_bytes: Histogram,
+    seen: HashSet<String>,
+}
+
+impl PipelineTelemetry {
+    fn new() -> PipelineTelemetry {
+        let telemetry = Telemetry::new();
+        PipelineTelemetry {
+            packets: telemetry.counter("pipeline.packets"),
+            bytes_parsed: telemetry.counter("pipeline.bytes_parsed"),
+            events_dispatched: telemetry.counter("pipeline.events_dispatched"),
+            flows_opened: telemetry.counter("pipeline.flows_opened"),
+            flows_closed: telemetry.counter("pipeline.flows_closed"),
+            flows_expired: telemetry.counter("pipeline.flows_expired"),
+            flows_quarantined: telemetry.counter("pipeline.flows_quarantined"),
+            parse_failures: telemetry.counter("pipeline.parse_failures"),
+            payload_bytes: telemetry.histogram("pipeline.payload_bytes"),
+            seen: HashSet::new(),
+            telemetry,
+        }
+    }
+
+    /// One decoded delivery: first sighting of a uid opens the flow.
+    fn delivery(&mut self, uid: &str, ts: Time, finished: bool) {
+        if !self.seen.contains(uid) {
+            self.seen.insert(uid.to_owned());
+            self.flows_opened.inc();
+            self.telemetry
+                .emit("flow_open", vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())]);
+        }
+        if finished {
+            self.flows_closed.inc();
+            self.telemetry
+                .emit("flow_close", vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())]);
+        }
+    }
+
+    /// Payload bytes handed to a parser stack.
+    fn parsed(&self, bytes: usize) {
+        self.bytes_parsed.add(bytes as u64);
+        self.payload_bytes.observe(bytes as u64);
+    }
+
+    fn parse_failure(&self, uid: &str, ts: Time) {
+        self.parse_failures.inc();
+        self.telemetry
+            .emit("parser_error", vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())]);
+    }
+
+    fn expired(&self, uid: &str, ts: Time) {
+        self.flows_expired.inc();
+        self.telemetry
+            .emit("timer_expiry", vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())]);
+    }
+
+    /// Records the quarantine ledger, exports per-kind error counters and
+    /// the peak per-flow heap gauge, and freezes the snapshot.
+    fn finish(
+        self,
+        n_events: u64,
+        peak_flow_bytes: u64,
+        flow_errors: &[FlowError],
+    ) -> TelemetrySnapshot {
+        self.events_dispatched.add(n_events);
+        self.telemetry
+            .gauge("pipeline.peak_flow_heap_bytes")
+            .set_max(peak_flow_bytes);
+        for fe in flow_errors {
+            self.flows_quarantined.inc();
+            self.telemetry
+                .registry
+                .counter(&format!("pipeline.flow_errors.{}", fe.kind))
+                .inc();
+            self.telemetry.emit(
+                "quarantine",
+                vec![
+                    ("uid", fe.uid.as_str().into()),
+                    ("kind", fe.kind.as_str().into()),
+                    ("ts_ns", fe.ts.nanos().into()),
+                ],
+            );
+        }
+        self.telemetry.snapshot()
     }
 }
 
@@ -131,6 +242,10 @@ pub fn run_http_analysis_governed(
 ) -> RtResult<AnalysisResult> {
     let profiler = Profiler::new();
     let mut host = ScriptHost::new(&[scripts::HTTP_BRO], engine, Some(profiler.clone()))?;
+    let mut tel = gov.telemetry.then(PipelineTelemetry::new);
+    if let Some(t) = &tel {
+        host.set_telemetry(&t.telemetry);
+    }
 
     let mut flows = FlowTable::new();
     let mut std_parsers: HashMap<String, HttpConnParser> = HashMap::new();
@@ -142,6 +257,9 @@ pub fn run_http_analysis_governed(
             }
             if let Some(steps) = gov.inject_fault_after {
                 b.inject_fault_after(steps, RtError::runtime("injected chaos fault"));
+            }
+            if let Some(t) = &tel {
+                b.set_telemetry(&t.telemetry);
             }
             Some(b)
         }
@@ -161,6 +279,9 @@ pub fn run_http_analysis_governed(
         let mut events: Vec<Event> = Vec::new();
         {
             let _o = profiler.enter(Component::Other);
+            if let Some(t) = &tel {
+                t.packets.inc();
+            }
             let Ok(d) = decode_ethernet(pkt) else { continue };
             let delivery = flows.process(&d);
             let uid = delivery.flow.uid.clone();
@@ -168,8 +289,16 @@ pub fn run_http_analysis_governed(
             let is_orig = delivery.is_orig;
             let finished = delivery.finished_now;
             let payload = delivery.payload;
+            if let Some(t) = &mut tel {
+                t.delivery(&uid, pkt.ts, finished);
+            }
 
             if !quarantined.contains(&uid) {
+                if let Some(t) = &tel {
+                    if !payload.is_empty() {
+                        t.parsed(payload.len());
+                    }
+                }
                 match stack {
                     ParserStack::Standard => {
                         let _pp = profiler.enter(Component::ProtocolParsing);
@@ -226,6 +355,9 @@ pub fn run_http_analysis_governed(
                             bp.drop_conn(&dead);
                         }
                         quarantined.remove(&dead);
+                        if let Some(t) = &tel {
+                            t.expired(&dead, pkt.ts);
+                        }
                         flows_expired += 1;
                     }
                 }
@@ -272,6 +404,11 @@ pub fn run_http_analysis_governed(
         flow_errors.push(FlowError::new("-", &e, last_ts));
     }
 
+    let peak_flow_bytes = bp.as_ref().map(|b| b.peak_session_bytes()).unwrap_or(0);
+    let telemetry = match tel {
+        Some(t) => t.finish(n_events, peak_flow_bytes, &flow_errors),
+        None => TelemetrySnapshot::default(),
+    };
     Ok(AnalysisResult {
         http_log: host.log_lines("http.log"),
         files_log: host.log_lines("files.log"),
@@ -282,8 +419,9 @@ pub fn run_http_analysis_governed(
         packets: n_packets,
         flow_errors,
         flows_expired,
-        peak_flow_bytes: bp.as_ref().map(|b| b.peak_session_bytes()).unwrap_or(0),
+        peak_flow_bytes,
         parse_failures: 0,
+        telemetry,
     })
 }
 
@@ -368,10 +506,20 @@ pub fn run_dns_analysis_governed(
 ) -> RtResult<AnalysisResult> {
     let profiler = Profiler::new();
     let mut host = ScriptHost::new(&[scripts::DNS_BRO], engine, Some(profiler.clone()))?;
+    let mut tel = gov.telemetry.then(PipelineTelemetry::new);
+    if let Some(t) = &tel {
+        host.set_telemetry(&t.telemetry);
+    }
 
     let mut flows = FlowTable::new();
     let mut bp = match stack {
-        ParserStack::Binpac => Some(BinpacDns::new(OptLevel::Full, Some(profiler.clone()))?),
+        ParserStack::Binpac => {
+            let mut b = BinpacDns::new(OptLevel::Full, Some(profiler.clone()))?;
+            if let Some(t) = &tel {
+                b.set_telemetry(&t.telemetry);
+            }
+            Some(b)
+        }
         ParserStack::Standard => None,
     };
     let mut timers: TimerMgr<String> = TimerMgr::new();
@@ -388,24 +536,42 @@ pub fn run_dns_analysis_governed(
         let mut events: Vec<Event> = Vec::new();
         {
             let _o = profiler.enter(Component::Other);
+            if let Some(t) = &tel {
+                t.packets.inc();
+            }
             let Ok(d) = decode_ethernet(pkt) else { continue };
             let delivery = flows.process(&d);
             let uid = delivery.flow.uid.clone();
             let id = delivery.flow.id;
+            let finished = delivery.finished_now;
             let payload = delivery.payload;
+            if let Some(t) = &mut tel {
+                t.delivery(&uid, pkt.ts, finished);
+            }
             if !payload.is_empty() {
+                if let Some(t) = &tel {
+                    t.parsed(payload.len());
+                }
                 match stack {
                     ParserStack::Standard => {
                         let _pp = profiler.enter(Component::ProtocolParsing);
                         if !standard_dns_events(&uid, id, pkt.ts, &payload, &mut events) {
                             parse_failures += 1;
+                            if let Some(t) = &tel {
+                                t.parse_failure(&uid, pkt.ts);
+                            }
                         }
                     }
                     ParserStack::Binpac => {
                         let bp = bp.as_mut().expect("binpac stack");
                         match bp.datagram(&uid, id, pkt.ts, &payload) {
                             Ok(true) => {}
-                            Ok(false) => parse_failures += 1,
+                            Ok(false) => {
+                                parse_failures += 1;
+                                if let Some(t) = &tel {
+                                    t.parse_failure(&uid, pkt.ts);
+                                }
+                            }
                             Err(e) => {
                                 if !gov.quarantine {
                                     return Err(e);
@@ -423,7 +589,12 @@ pub fn run_dns_analysis_governed(
                     let cutoff = Time::from_nanos(
                         pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)),
                     );
-                    flows_expired += flows.expire_idle_uids(cutoff).len() as u64;
+                    for dead in flows.expire_idle_uids(cutoff) {
+                        if let Some(t) = &tel {
+                            t.expired(&dead, pkt.ts);
+                        }
+                        flows_expired += 1;
+                    }
                 }
             }
         }
@@ -442,6 +613,10 @@ pub fn run_dns_analysis_governed(
         flow_errors.push(FlowError::new("-", &e, last_ts));
     }
 
+    let telemetry = match tel {
+        Some(t) => t.finish(n_events, 0, &flow_errors),
+        None => TelemetrySnapshot::default(),
+    };
     Ok(AnalysisResult {
         http_log: host.log_lines("http.log"),
         files_log: host.log_lines("files.log"),
@@ -454,6 +629,7 @@ pub fn run_dns_analysis_governed(
         flows_expired,
         peak_flow_bytes: 0,
         parse_failures,
+        telemetry,
     })
 }
 

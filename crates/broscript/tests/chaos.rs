@@ -23,6 +23,7 @@ fn chaos_gov() -> Governance {
         script_fuel: Some(500_000),
         quarantine: true,
         inject_fault_after: None,
+        telemetry: true,
     }
 }
 
@@ -66,6 +67,22 @@ fn http_chaos_survives_with_bounded_memory() {
         "expired only {} flows",
         r.flows_expired
     );
+    // The telemetry snapshot mirrors the governance ledger exactly.
+    let t = &r.telemetry;
+    assert_eq!(t.counter("pipeline.packets"), r.packets);
+    assert_eq!(t.counter("pipeline.flows_expired"), r.flows_expired);
+    assert_eq!(t.counter("pipeline.flows_quarantined"), r.flow_errors.len() as u64);
+    assert_eq!(
+        t.counter("pipeline.flow_errors.Hilti::ResourceExhausted"),
+        (cfg.header_bombs + cfg.infinite_chunks) as u64
+    );
+    assert_eq!(t.gauge("pipeline.peak_flow_heap_bytes"), r.peak_flow_bytes);
+    assert_eq!(t.counter("pipeline.events_dispatched"), r.events);
+    assert_eq!(
+        t.events_of_kind("quarantine"),
+        r.flow_errors.len(),
+        "one quarantine event per torn-down flow"
+    );
 }
 
 #[test]
@@ -87,6 +104,10 @@ fn http_chaos_is_deterministic() {
             .collect()
     };
     assert_eq!(key(&a), key(&b));
+    // The full telemetry snapshot — counters, gauges, histograms and the
+    // event stream — is deterministic down to the rendered bytes.
+    assert_eq!(a.telemetry, b.telemetry);
+    assert_eq!(a.telemetry.to_json(), b.telemetry.to_json());
 }
 
 #[test]
@@ -111,6 +132,7 @@ fn governance_with_generous_limits_changes_nothing() {
         script_fuel: Some(1_000_000_000),
         quarantine: true,
         inject_fault_after: None,
+        telemetry: false,
     };
     let a = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &generous)
         .unwrap();
@@ -173,6 +195,16 @@ fn dns_chaos_compression_loops_are_counted_and_survived() {
         // pointer-chase guard turns the classic loop attack into a clean
         // per-datagram failure.
         assert_eq!(r.parse_failures, loops as u64, "{stack:?}");
+        assert_eq!(
+            r.telemetry.counter("pipeline.parse_failures"),
+            loops as u64,
+            "{stack:?}"
+        );
+        assert_eq!(
+            r.telemetry.events_of_kind("parser_error"),
+            loops,
+            "{stack:?}"
+        );
         assert!(r.dns_log.len() >= normal, "{stack:?}: {}", r.dns_log.len());
         assert!(r.flow_errors.is_empty(), "{stack:?}: {:?}", r.flow_errors);
     }

@@ -1,0 +1,138 @@
+//! Telemetry contract tests: determinism and non-interference.
+//!
+//! The telemetry layer promises two things (ISSUE: observability PR):
+//!
+//! 1. **Determinism** — two runs over the same trace produce snapshots
+//!    that are equal as values and byte-identical once rendered, because
+//!    no wall-time or randomized field ever enters a metric or event.
+//! 2. **Non-interference** — enabling telemetry changes no analysis
+//!    output: every log line, event count and governance statistic is
+//!    identical with the layer on or off, for both script engines.
+
+use broscript::host::Engine;
+use broscript::pipeline::{
+    run_dns_analysis_governed, run_http_analysis_governed, Governance, ParserStack,
+};
+use hilti_rt::telemetry::json;
+use netpkt::synth::{dns_trace, http_trace, SynthConfig};
+
+fn gov(telemetry: bool) -> Governance {
+    Governance {
+        telemetry,
+        ..Governance::default()
+    }
+}
+
+#[test]
+fn two_runs_yield_byte_identical_snapshots() {
+    let trace = http_trace(&SynthConfig::new(19, 10));
+    let a = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov(true))
+        .unwrap();
+    let b = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov(true))
+        .unwrap();
+    assert_eq!(a.telemetry, b.telemetry);
+    assert_eq!(a.telemetry.to_json(), b.telemetry.to_json());
+    assert_eq!(a.telemetry.events_jsonl(), b.telemetry.events_jsonl());
+}
+
+#[test]
+fn snapshot_json_is_well_formed() {
+    let trace = http_trace(&SynthConfig::new(23, 8));
+    let r = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov(true))
+        .unwrap();
+    let doc = r.telemetry.to_json();
+    json::validate(&doc).expect("snapshot JSON must parse");
+    assert!(doc.contains("\"schema\":\"hilti.telemetry.v1\""), "{doc}");
+    for line in r.telemetry.events_jsonl().lines() {
+        json::validate(line).expect("every JSONL event must parse");
+    }
+}
+
+#[test]
+fn telemetry_does_not_change_analysis_output() {
+    // The same trace, with the layer off and on, for both engines: every
+    // externally visible output must match, and the "off" run must carry
+    // an empty snapshot.
+    let trace = http_trace(&SynthConfig::new(31, 10));
+    for engine in [Engine::Interpreted, Engine::Compiled] {
+        let off =
+            run_http_analysis_governed(&trace, ParserStack::Binpac, engine, &gov(false)).unwrap();
+        let on =
+            run_http_analysis_governed(&trace, ParserStack::Binpac, engine, &gov(true)).unwrap();
+        assert_eq!(off.http_log, on.http_log, "{engine:?}");
+        assert_eq!(off.files_log, on.files_log, "{engine:?}");
+        assert_eq!(off.dns_log, on.dns_log, "{engine:?}");
+        assert_eq!(off.output, on.output, "{engine:?}");
+        assert_eq!(off.events, on.events, "{engine:?}");
+        assert_eq!(off.packets, on.packets, "{engine:?}");
+        assert_eq!(off.telemetry, Default::default(), "{engine:?}");
+        assert!(!on.telemetry.counters.is_empty(), "{engine:?}");
+    }
+}
+
+#[test]
+fn pipeline_counters_agree_across_engines() {
+    // Pipeline-level metrics describe the trace, not the engine, so they
+    // must be identical between the AST interpreter and the HILTI VM.
+    // (Engine-level `engine.*` counters exist only for the VM, which is
+    // the one with an instruction counter.)
+    let trace = http_trace(&SynthConfig::new(37, 9));
+    let i = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov(true))
+        .unwrap();
+    let v = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov(true))
+        .unwrap();
+    let pipeline_only = |r: &broscript::pipeline::AnalysisResult| -> Vec<(String, u64)> {
+        r.telemetry
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("pipeline."))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(pipeline_only(&i), pipeline_only(&v));
+    assert_eq!(i.telemetry.events, v.telemetry.events);
+    // The VM run also reports retired instructions.
+    assert!(v.telemetry.counter("engine.instructions_retired") > 0);
+    assert!(v.telemetry.counter("engine.runs") > 0);
+}
+
+#[test]
+fn counters_mirror_result_fields() {
+    let trace = http_trace(&SynthConfig::new(41, 12));
+    let r = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov(true))
+        .unwrap();
+    let t = &r.telemetry;
+    assert_eq!(t.counter("pipeline.packets"), r.packets);
+    assert_eq!(t.counter("pipeline.events_dispatched"), r.events);
+    assert_eq!(t.counter("pipeline.flows_expired"), r.flows_expired);
+    assert_eq!(t.counter("pipeline.flows_quarantined"), r.flow_errors.len() as u64);
+    assert!(t.counter("pipeline.bytes_parsed") > 0);
+    assert!(t.counter("pipeline.flows_opened") > 0);
+    assert!(t.counter("pipeline.flows_opened") >= t.counter("pipeline.flows_closed"));
+    assert_eq!(t.events_of_kind("flow_open") as u64, t.counter("pipeline.flows_opened"));
+    // The payload histogram saw exactly the parsed bytes.
+    let (_, h) = t
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "pipeline.payload_bytes")
+        .expect("payload histogram");
+    assert_eq!(h.sum, t.counter("pipeline.bytes_parsed"));
+    assert!(h.count > 0);
+}
+
+#[test]
+fn dns_pipeline_reports_telemetry_too() {
+    let trace = dns_trace(&SynthConfig::new(5, 40));
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let a = run_dns_analysis_governed(&trace, stack, Engine::Interpreted, &gov(true)).unwrap();
+        let b = run_dns_analysis_governed(&trace, stack, Engine::Interpreted, &gov(true)).unwrap();
+        assert_eq!(a.telemetry, b.telemetry, "{stack:?}");
+        assert_eq!(a.telemetry.counter("pipeline.packets"), a.packets, "{stack:?}");
+        assert_eq!(
+            a.telemetry.counter("pipeline.parse_failures"),
+            a.parse_failures,
+            "{stack:?}"
+        );
+        assert!(a.telemetry.counter("pipeline.bytes_parsed") > 0, "{stack:?}");
+    }
+}

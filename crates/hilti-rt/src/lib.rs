@@ -30,6 +30,7 @@ pub mod overlay;
 pub mod profile;
 pub mod regexp;
 pub mod sha1;
+pub mod telemetry;
 pub mod time;
 pub mod timer;
 
@@ -37,4 +38,5 @@ pub use addr::{Addr, Network, Port, Protocol};
 pub use bytestring::Bytes;
 pub use error::{RtError, RtResult};
 pub use limits::{AllocBudget, FuelMeter, ResourceLimits};
+pub use telemetry::{Telemetry, TelemetrySnapshot};
 pub use time::{Interval, Time};

@@ -18,6 +18,8 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::telemetry::{Counter, Registry};
+
 /// The component a span of work is attributed to — the four categories of
 /// Figures 9/10.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -56,16 +58,21 @@ impl fmt::Display for Component {
 struct State {
     /// Nanoseconds charged per component.
     totals: HashMap<Component, u64>,
-    /// Free-form named counters (allocations, events, cache hits, ...).
-    counters: HashMap<String, u64>,
     /// Stack of (component, span start); the top is currently being charged.
     stack: Vec<(Component, Instant)>,
 }
 
 /// A component-attributing profiler, cheap enough to leave on.
+///
+/// The free-form named counters (allocations, events, cache hits, ...) are
+/// backed by a [`telemetry::Registry`](crate::telemetry::Registry): interned
+/// once, incremented via a relaxed atomic. The `&str` API below is a compat
+/// shim; hot paths should hold a [`Counter`] handle from
+/// [`Profiler::counter_handle`] instead.
 #[derive(Clone, Default)]
 pub struct Profiler {
     state: Arc<Mutex<State>>,
+    counters: Registry,
 }
 
 /// RAII guard closing a span opened by [`Profiler::enter`].
@@ -112,14 +119,21 @@ impl Profiler {
         }
     }
 
-    /// Adds `n` to the named counter.
+    /// Adds `n` to the named counter. Allocates only the first time a name
+    /// is seen; prefer [`Profiler::counter_handle`] on hot paths to skip
+    /// even the lookup.
     pub fn count(&self, name: &str, n: u64) {
-        *self
-            .state
-            .lock()
-            .counters
-            .entry(name.to_owned())
-            .or_default() += n;
+        self.counters.counter(name).add(n);
+    }
+
+    /// Interns `name` and returns its live counter handle.
+    pub fn counter_handle(&self, name: &str) -> Counter {
+        self.counters.counter(name)
+    }
+
+    /// The registry backing the named counters.
+    pub fn registry(&self) -> &Registry {
+        &self.counters
     }
 
     /// Total nanoseconds charged to a component so far.
@@ -134,7 +148,7 @@ impl Profiler {
 
     /// Value of a named counter.
     pub fn counter(&self, name: &str) -> u64 {
-        self.state.lock().counters.get(name).copied().unwrap_or(0)
+        self.counters.counter_value(name)
     }
 
     /// Snapshot of all component totals.
@@ -146,20 +160,18 @@ impl Profiler {
             .collect()
     }
 
-    /// Snapshot of all named counters, sorted by name.
+    /// Snapshot of all non-zero named counters, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
-        let st = self.state.lock();
-        let mut v: Vec<_> = st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        v.sort();
-        v
+        self.counters.counters()
     }
 
-    /// Resets all measurements.
+    /// Resets all measurements. Counter handles stay valid.
     pub fn reset(&self) {
         let mut st = self.state.lock();
         st.totals.clear();
-        st.counters.clear();
         st.stack.clear();
+        drop(st);
+        self.counters.reset();
     }
 }
 
@@ -249,6 +261,18 @@ mod tests {
         p.reset();
         assert_eq!(p.total(Component::Other), 0);
         assert_eq!(p.counter("x"), 0);
+    }
+
+    #[test]
+    fn counter_handles_bypass_the_string_api() {
+        let p = Profiler::new();
+        let h = p.counter_handle("events");
+        h.add(3);
+        p.count("events", 2);
+        assert_eq!(p.counter("events"), 5);
+        p.reset();
+        h.inc(); // handle survives reset
+        assert_eq!(p.counter("events"), 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! ```text
 //! hiltic run  [-O0] [--interp] [--trace] [--stats] [--no-specialize]
 //!             [--fuel N] [--max-heap N] [--max-depth N]
+//!             [--profile out.json] [--metrics-out out.json]
 //!             [--entry Mod::fn] file.hlt [...]
 //! hiltic check         file.hlt ...      # parse + link + static checks
 //! hiltic dump-ir       file.hlt ...      # optimized IR, human-readable
@@ -16,10 +17,18 @@
 //! ```
 //!
 //! `--no-specialize` disables the typed bytecode fast tier (the ablation
-//! switch); `--stats` prints the executed instruction mix to stderr.
+//! switch); `--stats` prints the executed instruction mix to stderr,
+//! sorted by count with each opcode's share of retired instructions.
 //! `--fuel`, `--max-heap` and `--max-depth` bound execution steps, bytes
 //! of tracked heap state, and call depth; exceeding any of them raises
 //! the catchable `Hilti::ResourceExhausted` exception.
+//!
+//! `--profile` writes the deterministic execution profile
+//! (`hilti.profile.v1`): retired instructions and fuel attributed per
+//! function and per opcode class. The attribution is counting-based, so
+//! two runs of the same program produce byte-identical files and
+//! `--interp` and VM runs agree on every total. `--metrics-out` writes
+//! the engine telemetry snapshot (`hilti.telemetry.v1`).
 //!
 //! Example (Figure 3):
 //!
@@ -28,11 +37,14 @@
 //! Hello, World!
 //! ```
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use hilti::host::{BuildOptions, Program};
 use hilti::passes::OptLevel;
+use hilti::vm::ExecProfile;
 use hilti_rt::limits::ResourceLimits;
+use hilti_rt::telemetry::{json, Telemetry};
 
 /// Parses the numeric argument of a `--fuel`-style flag.
 fn numeric_flag(flag: &str, arg: Option<&String>) -> Result<u64, ExitCode> {
@@ -49,6 +61,43 @@ fn numeric_flag(flag: &str, arg: Option<&String>) -> Result<u64, ExitCode> {
     }
 }
 
+/// Renders the execution profile as a `hilti.profile.v1` JSON document.
+/// Every map is emitted in sorted order and no wall-time field appears, so
+/// equal runs produce byte-identical files. Retired instructions and fuel
+/// coincide under the uniform cost model; both keys are emitted so the
+/// schema survives a future non-uniform model.
+fn profile_json(engine: &str, entry: &str, prof: &ExecProfile) -> String {
+    let total = prof.total();
+    let mut s = String::from("{\"schema\":\"hilti.profile.v1\"");
+    let _ = write!(
+        s,
+        ",\"engine\":{},\"entry\":{},\"total_instructions\":{total},\"total_fuel\":{total}",
+        json::quote(engine),
+        json::quote(entry)
+    );
+    s.push_str(",\"functions\":{");
+    for (i, (name, units)) in prof.functions().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{}:{{\"instructions\":{units},\"fuel\":{units}}}",
+            json::quote(name)
+        );
+    }
+    s.push_str("},\"opcode_classes\":{");
+    for (i, (class, units)) in prof.classes().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}:{units}", json::quote(class));
+    }
+    s.push_str("}}");
+    debug_assert!(json::validate(&s).is_ok());
+    s
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -63,6 +112,8 @@ fn main() -> ExitCode {
     let mut specialize = true;
     let mut entry = "Main::run".to_owned();
     let mut limits = ResourceLimits::default();
+    let mut profile_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -77,6 +128,20 @@ fn main() -> ExitCode {
                 Some(e) => entry = e.clone(),
                 None => {
                     eprintln!("--entry needs a function name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile" => match it.next() {
+                Some(p) => profile_out = Some(p.clone()),
+                None => {
+                    eprintln!("--profile needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p.clone()),
+                None => {
+                    eprintln!("--metrics-out needs an output path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -188,6 +253,11 @@ fn main() -> ExitCode {
         "run" => {
             program.context_mut().trace = trace;
             program.context_mut().stats = stats;
+            program.context_mut().profile = profile_out.is_some();
+            let telemetry = metrics_out.as_ref().map(|_| Telemetry::new());
+            if let Some(t) = &telemetry {
+                program.context_mut().set_telemetry(t);
+            }
             program.set_limits(limits);
             let result = if interp {
                 program.run_interpreted(&entry, &[])
@@ -203,7 +273,23 @@ fn main() -> ExitCode {
                 let total: u64 = mix.iter().map(|(_, c)| *c).sum();
                 eprintln!("stats: {total} instructions executed");
                 for (name, count) in mix {
-                    eprintln!("stats: {count:>10}  {name}");
+                    let pct = count as f64 * 100.0 / total.max(1) as f64;
+                    eprintln!("stats: {count:>10} {pct:>6.2}%  {name}");
+                }
+            }
+            if let Some(path) = &profile_out {
+                let prof = program.context_mut().take_exec_profile();
+                let engine = if interp { "interp" } else { "vm" };
+                let doc = profile_json(engine, &entry, &prof);
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("hiltic: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some((path, t)) = metrics_out.as_ref().zip(telemetry.as_ref()) {
+                if let Err(e) = std::fs::write(path, t.snapshot().to_json()) {
+                    eprintln!("hiltic: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
             for line in program.take_output() {

@@ -79,6 +79,9 @@ impl Fiber {
     /// [`FiberState::Failed`] and the error is returned; a failed fiber
     /// cannot be resumed.
     pub fn resume(&mut self, prog: &CompiledProgram, ctx: &mut Context) -> RtResult<Step> {
+        if let Some(sink) = ctx.telemetry_sink() {
+            sink.emit("fiber_resume", vec![("function", self.func.as_str().into())]);
+        }
         let outcome = match self.state {
             FiberState::Fresh => {
                 self.state = FiberState::Failed; // until proven otherwise
@@ -105,6 +108,9 @@ impl Fiber {
             Ok(Outcome::Suspended(frames)) => {
                 self.frames = Some(frames);
                 self.state = FiberState::Suspended;
+                if let Some(sink) = ctx.telemetry_sink() {
+                    sink.emit("fiber_suspend", vec![("function", self.func.as_str().into())]);
+                }
                 Ok(Step::Suspended)
             }
             Err(e) => Err(e),

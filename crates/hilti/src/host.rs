@@ -302,6 +302,90 @@ rec:
         assert!(compiled.equals(&Value::Int(2584)));
     }
 
+    /// The deterministic execution profiler must agree across engines: the
+    /// fuel-parity cost model means the VM and the interpreter retire the
+    /// same instructions, attributed to the same functions and classes.
+    #[test]
+    fn execution_profile_matches_across_engines() {
+        let src = r#"
+module M
+int<64> fib(int<64> n) {
+    local bool base
+    local int<64> a
+    local int<64> b
+    base = int.lt n 2
+    if.else base ret rec
+ret:
+    return n
+rec:
+    a = int.sub n 1
+    a = call fib (a)
+    b = int.sub n 2
+    b = call fib (b)
+    a = int.add a b
+    return a
+}
+"#;
+        let mut p = Program::from_source(src).unwrap();
+        p.context_mut().profile = true;
+        p.run("M::fib", &[Value::Int(12)]).unwrap();
+        let vm_profile = p.context_mut().take_exec_profile();
+        p.run_interpreted("M::fib", &[Value::Int(12)]).unwrap();
+        let interp_profile = p.context_mut().take_exec_profile();
+
+        assert!(!vm_profile.is_empty());
+        assert_eq!(vm_profile.total(), interp_profile.total());
+        assert_eq!(vm_profile.functions(), interp_profile.functions());
+        assert_eq!(vm_profile.classes(), interp_profile.classes());
+        // And the profile is itself the fuel ledger: per-function units sum
+        // to the fuel the run charged.
+        let retired: u64 = vm_profile.functions().iter().map(|(_, n)| n).sum();
+        assert_eq!(retired, vm_profile.total());
+    }
+
+    /// Profiling must not change what executes — results and retired
+    /// totals agree with a non-profiled run's fuel accounting.
+    #[test]
+    fn execution_profile_is_deterministic() {
+        let src = "module M\nint<64> f(int<64> n) {\n  local int<64> r\n  r = int.mul n 3\n  return r\n}\n";
+        let run_once = || {
+            let mut p = Program::from_source(src).unwrap();
+            p.context_mut().profile = true;
+            p.run("M::f", &[Value::Int(5)]).unwrap();
+            let prof = p.context_mut().take_exec_profile();
+            (prof.functions(), prof.classes(), prof.total())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    /// Engine-level telemetry: retired instructions flushed per run, and
+    /// fuel exhaustion leaves a resource_limit event in the sink.
+    #[test]
+    fn telemetry_counts_runs_and_resource_trips() {
+        use hilti_rt::telemetry::Telemetry;
+
+        let src = "module M\nint<64> f(int<64> n) {\n  local int<64> r\n  r = int.add n 1\n  return r\n}\n";
+        let mut p = Program::from_source(src).unwrap();
+        let tel = Telemetry::new();
+        p.context_mut().set_telemetry(&tel);
+        p.run("M::f", &[Value::Int(1)]).unwrap();
+        p.run_interpreted("M::f", &[Value::Int(1)]).unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("engine.runs"), 2);
+        // Both engines charge the same fuel, so the flushed total is even.
+        let retired = snap.counter("engine.instructions_retired");
+        assert!(retired > 0 && retired % 2 == 0, "retired={retired}");
+
+        // Now starve a run and expect a resource_limit event.
+        p.set_limits(hilti_rt::ResourceLimits {
+            fuel: Some(1),
+            ..Default::default()
+        });
+        assert!(p.run("M::f", &[Value::Int(1)]).is_err());
+        let trips = tel.snapshot();
+        assert_eq!(trips.events_of_kind("resource_limit"), 1);
+    }
+
     #[test]
     fn host_function_roundtrip() {
         let mut p = Program::from_source(

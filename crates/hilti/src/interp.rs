@@ -35,13 +35,16 @@ pub fn call(linked: &Linked, ctx: &mut Context, func: &str, args: &[Value]) -> R
         .iter()
         .map(|(k, v)| (k.as_str(), *v))
         .collect();
+    let spent_before = ctx.fuel_spent();
     let mut interp = Interp {
         linked,
         ctx,
         global_index,
         depth: 0,
     };
-    interp.call_function(func, args)
+    let result = interp.call_function(func, args);
+    ctx.telemetry_flush_run(spent_before);
+    result
 }
 
 struct Interp<'a> {
@@ -191,6 +194,9 @@ impl<'a> Interp<'a> {
         // terminator instructions — without this, an empty self-looping
         // block would spin forever under a fuel limit.
         self.ctx.charge_fuel(1)?;
+        if self.ctx.profile {
+            self.ctx.profile_record(&func.name, "control", 1);
+        }
         match &block.term {
             Terminator::Jump(l) => Ok(Next::Goto(l.clone())),
             Terminator::IfElse(cond, l1, l2) => {
@@ -256,6 +262,10 @@ impl<'a> Interp<'a> {
         // One fuel unit per IR body instruction — the same charging scheme
         // as the VM, which lowers each IR instruction to one CInstr.
         self.ctx.charge_fuel(1)?;
+        if self.ctx.profile {
+            self.ctx
+                .profile_record(&func.name, crate::vm::opcode_class(instr.opcode.mnemonic()), 1);
+        }
 
         // Split constants: identifiers/patterns go to idents, the rest are
         // evaluated to values.

@@ -23,6 +23,7 @@ use hilti_rt::error::{ExceptionKind, RtError, RtResult};
 use hilti_rt::file::LogFile;
 use hilti_rt::limits::{AllocBudget, ResourceLimits};
 use hilti_rt::overlay::OverlayType;
+use hilti_rt::telemetry::{EventSink, Telemetry};
 use hilti_rt::time::Time;
 
 use crate::bytecode::{CFunc, CInstr, COperand, CompiledProgram, IntSrc};
@@ -49,7 +50,9 @@ pub struct Context {
     iosrc_factories: HashMap<String, Box<dyn FnMut() -> RtResult<Value>>>,
     /// name → (accumulated ns, open span start).
     profiler: HashMap<String, (u64, Option<Instant>)>,
-    counters: HashMap<String, u64>,
+    /// Named `profiler.count` counters, registry-backed so repeated counts
+    /// of the same name never allocate.
+    counters: hilti_rt::telemetry::Registry,
     /// The virtual thread this context belongs to.
     pub thread_id: u64,
     /// thread.schedule requests, drained by the thread runtime.
@@ -69,6 +72,21 @@ pub struct Context {
     /// deserve specialized variants.
     pub stats: bool,
     instr_mix: HashMap<&'static str, u64>,
+    /// When set, both engines attribute every retired instruction (and its
+    /// fuel) to the executing function and its opcode class
+    /// (`hiltic run --profile`). Counting-based and deterministic, so
+    /// interpreter and VM profiles are directly comparable. Disables the
+    /// specialized fast tier so every instruction is observed.
+    pub profile: bool,
+    exec_profile: ExecProfile,
+    /// Total fuel units successfully charged over this context's lifetime.
+    /// With the uniform cost model (one unit per retired abstract
+    /// instruction) this *is* the retired-instruction count; entry points
+    /// read it as before/after deltas.
+    fuel_spent: u64,
+    /// Attached telemetry: run counters flushed at engine entry points
+    /// plus the event sink for resource-limit and fiber events.
+    telemetry: Option<RunTelemetry>,
     /// Resource-governance configuration (fuel, heap, call depth). The
     /// enforcement state lives in the fields below so the dispatch loop
     /// never re-derives it per instruction.
@@ -105,7 +123,7 @@ impl Context {
             host_fns: HashMap::new(),
             iosrc_factories: HashMap::new(),
             profiler: HashMap::new(),
-            counters: HashMap::new(),
+            counters: hilti_rt::telemetry::Registry::new(),
             thread_id: 0,
             scheduled: Vec::new(),
             struct_fields: Rc::clone(&prog.struct_fields),
@@ -114,6 +132,10 @@ impl Context {
             trace_log: Vec::new(),
             stats: false,
             instr_mix: HashMap::new(),
+            profile: false,
+            exec_profile: ExecProfile::default(),
+            fuel_spent: 0,
+            telemetry: None,
             limits: ResourceLimits::default(),
             fuel_left: u64::MAX,
             heap: None,
@@ -179,10 +201,65 @@ impl Context {
         }
         if self.fuel_left < cost {
             self.fuel_left = 0;
+            if let Some(t) = &self.telemetry {
+                t.sink.emit("resource_limit", vec![("resource", "fuel".into())]);
+            }
             return Err(RtError::resource_exhausted("execution fuel exhausted"));
         }
         self.fuel_left -= cost;
+        self.fuel_spent = self.fuel_spent.wrapping_add(cost);
         Ok(())
+    }
+
+    /// Total fuel units charged so far — the retired-instruction count.
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel_spent
+    }
+
+    /// Attaches a telemetry bundle: the engines intern their run counters
+    /// once here and flush retired-instruction deltas at every entry-point
+    /// exit; resource-limit trips and fiber suspend/resume go to the sink.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = Some(RunTelemetry {
+            instructions: telemetry.counter("engine.instructions_retired"),
+            runs: telemetry.counter("engine.runs"),
+            sink: telemetry.sink.clone(),
+        });
+    }
+
+    /// Detaches telemetry; the engines stop reporting.
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry = None;
+    }
+
+    /// Credits the instructions retired since `spent_before` to the
+    /// attached telemetry, if any. Called once per engine entry point.
+    pub(crate) fn telemetry_flush_run(&mut self, spent_before: u64) {
+        if let Some(t) = &self.telemetry {
+            t.instructions
+                .add(self.fuel_spent.wrapping_sub(spent_before));
+            t.runs.inc();
+        }
+    }
+
+    /// The attached event sink, if telemetry is on.
+    pub(crate) fn telemetry_sink(&self) -> Option<&EventSink> {
+        self.telemetry.as_ref().map(|t| &t.sink)
+    }
+
+    /// The execution profile collected while [`Context::profile`] was set.
+    pub fn exec_profile(&self) -> &ExecProfile {
+        &self.exec_profile
+    }
+
+    /// Takes and resets the execution profile.
+    pub fn take_exec_profile(&mut self) -> ExecProfile {
+        std::mem::take(&mut self.exec_profile)
+    }
+
+    #[inline]
+    pub(crate) fn profile_record(&mut self, func: &str, class: &'static str, units: u64) {
+        self.exec_profile.record(func, class, units);
     }
 
     /// Takes the accumulated execution trace (see [`Context::trace`]).
@@ -255,7 +332,7 @@ impl Context {
 
     /// Named profiler counter value.
     pub fn profile_counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters.counter_value(name)
     }
 
     pub fn global_time(&self) -> Time {
@@ -265,6 +342,101 @@ impl Context {
     /// Looks up a registered host function (used by both engines).
     pub fn host_fn(&self, name: &str) -> Option<HostFn> {
         self.host_fns.get(name).cloned()
+    }
+}
+
+/// Interned engine-level telemetry handles (see [`Context::set_telemetry`]).
+struct RunTelemetry {
+    instructions: hilti_rt::telemetry::Counter,
+    runs: hilti_rt::telemetry::Counter,
+    sink: EventSink,
+}
+
+/// The deterministic execution profile: retired instructions attributed to
+/// the executing function and to opcode classes. Both engines feed this at
+/// their (single) fuel-charge points, so with the uniform cost model the
+/// instruction and fuel views coincide and interpreter/VM profiles of the
+/// same program agree exactly.
+///
+/// Attribution is exclusive: an instruction is charged to the function
+/// whose body retires it, so `call` instructions land on the caller and
+/// the callee's body on the callee.
+#[derive(Clone, Debug, Default)]
+pub struct ExecProfile {
+    per_fn: HashMap<String, u64>,
+    per_class: HashMap<&'static str, u64>,
+}
+
+impl ExecProfile {
+    #[inline]
+    pub(crate) fn record(&mut self, func: &str, class: &'static str, units: u64) {
+        if let Some(n) = self.per_fn.get_mut(func) {
+            *n += units;
+        } else {
+            self.per_fn.insert(func.to_owned(), units);
+        }
+        *self.per_class.entry(class).or_default() += units;
+    }
+
+    /// Per-function retired instructions, sorted by name.
+    pub fn functions(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<_> = self.per_fn.iter().map(|(n, c)| (n.clone(), *c)).collect();
+        v.sort();
+        v
+    }
+
+    /// Per-opcode-class retired instructions, sorted by class name.
+    pub fn classes(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.per_class.iter().map(|(n, c)| (*n, *c)).collect();
+        v.sort();
+        v
+    }
+
+    /// Total retired instructions (== total fuel units).
+    pub fn total(&self) -> u64 {
+        self.per_fn.values().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.per_fn.is_empty()
+    }
+}
+
+/// Maps an opcode mnemonic to its profile class: the prefix before the
+/// first `.` (`int.add` → `int`, `bytes.length` → `bytes`, plain `jump` →
+/// `jump`). IR terminators and VM control transfers are recorded as
+/// `control` so the class breakdown matches across engines.
+pub(crate) fn opcode_class(mnemonic: &'static str) -> &'static str {
+    match mnemonic.find('.') {
+        Some(i) => &mnemonic[..i],
+        None => mnemonic,
+    }
+}
+
+/// Profile class of a bytecode instruction. Specialized variants report
+/// the class of the IR instruction they replace, so `--no-specialize` and
+/// specialized runs profile identically; `BrIfInt` is handled at the call
+/// site (it retires one `int` and one `control` unit).
+fn cinstr_class(instr: &CInstr) -> &'static str {
+    match instr {
+        CInstr::Op { opcode, .. } => opcode_class(opcode.mnemonic()),
+        CInstr::Call { .. } | CInstr::CallHost { .. } => "call",
+        CInstr::CallCallable { .. } => "callable",
+        CInstr::RunHook { .. } => "hook",
+        CInstr::New { .. } => "new",
+        CInstr::Jump(_) | CInstr::Branch { .. } | CInstr::BrBool { .. } | CInstr::Return(_) => {
+            "control"
+        }
+        CInstr::PushHandler { .. } | CInstr::PopHandler => "exception",
+        CInstr::Yield => "yield",
+        CInstr::GlobalStore { inner, .. } => cinstr_class(inner),
+        CInstr::AddInt { .. }
+        | CInstr::SubInt { .. }
+        | CInstr::MulInt { .. }
+        | CInstr::BitInt { .. }
+        | CInstr::CmpInt { .. }
+        | CInstr::BrIfInt { .. } => "int",
+        CInstr::MoveSlot { .. } | CInstr::LoadImm { .. } => "assign",
     }
 }
 
@@ -351,7 +523,7 @@ impl ExecCtx for Context {
     }
 
     fn profiler_count(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_owned()).or_default() += n;
+        self.counters.counter(name).add(n);
     }
 
     fn profiler_time(&self, name: &str) -> u64 {
@@ -460,7 +632,10 @@ pub fn call(
         .get(func)
         .ok_or_else(|| RtError::value(format!("unknown function {func}")))?;
     let frames = vec![Frame::new(prog, fi, args.to_vec())];
-    match run(prog, ctx, frames, false)? {
+    let spent_before = ctx.fuel_spent;
+    let result = run(prog, ctx, frames, false);
+    ctx.telemetry_flush_run(spent_before);
+    match result? {
         Outcome::Done(v) => Ok(v),
         Outcome::Suspended(_) => Err(RtError::runtime(format!(
             "{func} suspended outside a fiber"
@@ -480,7 +655,10 @@ pub fn start_resumable(
         .get(func)
         .ok_or_else(|| RtError::value(format!("unknown function {func}")))?;
     let frames = vec![Frame::new(prog, fi, args.to_vec())];
-    run(prog, ctx, frames, true)
+    let spent_before = ctx.fuel_spent;
+    let result = run(prog, ctx, frames, true);
+    ctx.telemetry_flush_run(spent_before);
+    result
 }
 
 /// Resumes suspended frames.
@@ -489,7 +667,10 @@ pub fn resume(
     ctx: &mut Context,
     frames: Vec<Frame>,
 ) -> RtResult<Outcome> {
-    run(prog, ctx, frames, true)
+    let spent_before = ctx.fuel_spent;
+    let result = run(prog, ctx, frames, true);
+    ctx.telemetry_flush_run(spent_before);
+    result
 }
 
 fn operand_value(ctx: &Context, frame: &Frame, op: &COperand) -> Value {
@@ -532,16 +713,18 @@ pub fn run(
         // Fast tier: consecutive specialized instructions execute in a
         // tight inner loop that keeps the frame borrow, skipping the
         // per-instruction re-dispatch overhead of the generic path
-        // (trace/stats builds skip this so every instruction is still
-        // observed one by one; so do armed fault injections, which must
-        // trigger at a deterministic charge point on the generic path).
+        // (trace/stats/profile builds skip this so every instruction is
+        // still observed one by one; so do armed fault injections, which
+        // must trigger at a deterministic charge point on the generic
+        // path).
         // On a type error the loop breaks *without* advancing pc or
         // charging fuel; the generic body re-executes the pure instruction
         // and raises — or charges — through the one exception path. Fuel
         // lives in a local for the duration of the loop: each arm checks
         // *before* executing and decrements only on success, so the meter
         // can never be outrun and never double-charges.
-        if !ctx.trace && !ctx.stats && !ctx.fault_armed() {
+        if !ctx.trace && !ctx.stats && !ctx.profile && !ctx.fault_armed() {
+            let fuel_start = ctx.fuel_left;
             let mut fuel = ctx.fuel_left;
             while let Some(instr) = cf.code.get(frame.pc as usize) {
                 match instr {
@@ -679,6 +862,8 @@ pub fn run(
                     _ => break,
                 }
             }
+            // The loop only ever decrements, so the delta is exact.
+            ctx.fuel_spent = ctx.fuel_spent.wrapping_add(fuel_start - fuel);
             ctx.fuel_left = fuel;
         }
 
@@ -759,6 +944,17 @@ pub fn run(
         };
         if let Err(e) = ctx.charge_fuel(fuel_cost) {
             raise!(e);
+        }
+        if ctx.profile {
+            // Charged to the function retiring the instruction; the fused
+            // compare-and-branch splits into its two constituent units so
+            // specialized and interpreted class breakdowns agree.
+            if matches!(instr, CInstr::BrIfInt { .. }) {
+                ctx.profile_record(&cf.name, "int", 1);
+                ctx.profile_record(&cf.name, "control", 1);
+            } else {
+                ctx.profile_record(&cf.name, cinstr_class(instr), 1);
+            }
         }
 
         match instr {

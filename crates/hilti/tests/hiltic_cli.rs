@@ -242,3 +242,110 @@ fn trace_flag_works_interpreted() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("trace: Main::run"), "{err}");
 }
+
+const FIB: &str = r#"
+module Main
+int<64> fib(int<64> n) {
+    local bool base
+    local int<64> a
+    local int<64> b
+    base = int.lt n 2
+    if.else base ret rec
+ret:
+    return n
+rec:
+    a = int.sub n 1
+    a = call fib (a)
+    b = int.sub n 2
+    b = call fib (b)
+    a = int.add a b
+    return a
+}
+
+int<64> run() {
+    local int<64> r
+    r = call fib (10)
+    return r
+}
+"#;
+
+#[test]
+fn profile_flag_is_deterministic_and_engine_agnostic() {
+    let f = write_temp("profiled.hlt", FIB);
+    let dir = std::env::temp_dir().join("hiltic_cli_tests");
+    let profile_run = |name: &str, extra: &[&str]| -> String {
+        let path = dir.join(name);
+        let mut cmd = hiltic();
+        cmd.arg("run");
+        cmd.args(extra);
+        cmd.arg("--profile").arg(&path).arg(&f);
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{out:?}");
+        std::fs::read_to_string(&path).unwrap()
+    };
+
+    // Two VM runs: byte-identical profile files.
+    let a = profile_run("p1.json", &[]);
+    let b = profile_run("p2.json", &[]);
+    assert_eq!(a, b);
+    assert!(a.contains("\"schema\":\"hilti.profile.v1\""), "{a}");
+    assert!(a.contains("\"Main::fib\""), "{a}");
+
+    // Interp vs. VM: only the engine field differs; every per-function and
+    // per-class total — and therefore total retired instructions — agrees.
+    let i = profile_run("p3.json", &["--interp"]);
+    assert_eq!(
+        a.replace("\"engine\":\"vm\"", "\"engine\":\"interp\""),
+        i,
+        "vm profile:\n{a}\ninterp profile:\n{i}"
+    );
+
+    // The specialized tier must not change the profile either.
+    let n = profile_run("p4.json", &["--no-specialize"]);
+    assert_eq!(a, n);
+}
+
+#[test]
+fn metrics_out_writes_telemetry_snapshot() {
+    let f = write_temp("metrics.hlt", FIB);
+    let path = std::env::temp_dir().join("hiltic_cli_tests/m1.json");
+    let out = hiltic()
+        .arg("run")
+        .arg("--metrics-out")
+        .arg(&path)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let doc = std::fs::read_to_string(&path).unwrap();
+    assert!(doc.contains("\"schema\":\"hilti.telemetry.v1\""), "{doc}");
+    assert!(doc.contains("\"engine.instructions_retired\""), "{doc}");
+    assert!(doc.contains("\"engine.runs\":1"), "{doc}");
+}
+
+#[test]
+fn stats_prints_percentages_sorted_descending() {
+    let f = write_temp("stats.hlt", FIB);
+    let out = hiltic().args(["run", "--stats"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    let lines: Vec<&str> = err
+        .lines()
+        .filter(|l| l.starts_with("stats: ") && l.contains('%'))
+        .collect();
+    assert!(!lines.is_empty(), "{err}");
+    // Each histogram line carries a percentage; counts are descending and
+    // the shares sum to ~100%.
+    let mut counts = Vec::new();
+    let mut pct_sum = 0.0f64;
+    for l in &lines {
+        let mut fields = l.trim_start_matches("stats: ").split_whitespace();
+        counts.push(fields.next().unwrap().parse::<u64>().unwrap());
+        let pct = fields.next().unwrap().trim_end_matches('%');
+        pct_sum += pct.parse::<f64>().unwrap();
+    }
+    let mut sorted = counts.clone();
+    sorted.sort_by(|x, y| y.cmp(x));
+    assert_eq!(counts, sorted, "{err}");
+    assert!((pct_sum - 100.0).abs() < 1.0, "pct sum {pct_sum}: {err}");
+}

@@ -4,6 +4,12 @@
 #   build (release)  — the artifacts the benchmarks run against
 #   test             — unit + integration suites across the workspace
 #   clippy           — lint wall; warnings are errors
+#   repro smoke      — fig9/fig10 JSON artifacts regenerate and validate
+#   bench smoke      — telemetry-overhead bench compiles and runs (test mode)
+#
+# The last two need the real criterion/proptest crates; offline mirrors
+# that stub out dev-dependencies (stubs/ in the workspace manifest) skip
+# them.
 #
 # Usage: scripts/tier1.sh [extra cargo args, e.g. --offline]
 
@@ -13,3 +19,25 @@ cd "$(dirname "$0")/.."
 cargo build --release "$@"
 cargo test -q "$@"
 cargo clippy --workspace "$@" -- -D warnings
+
+if grep -q 'path = "stubs/' Cargo.toml; then
+    echo "tier1: stubbed workspace detected, skipping repro/bench smoke"
+    exit 0
+fi
+
+# Repro artifacts: regenerate the figure JSON at the smallest scale and
+# check each document carries all four component keys.
+out=target/repro-artifacts
+rm -rf "$out"
+REPRO_SCALE=1 REPRO_OUT="$out" cargo run -q --release -p bench --bin repro "$@" -- fig9 fig10
+for f in "$out"/fig9.json "$out"/fig10.json; do
+    [ -s "$f" ] || { echo "tier1: missing artifact $f"; exit 1; }
+    for key in protocol_parsing script_execution glue other; do
+        grep -q "\"$key\"" "$f" || { echo "tier1: $f lacks component $key"; exit 1; }
+    done
+done
+echo "tier1: repro artifacts OK"
+
+# Telemetry overhead bench in --test mode: one pass per benchmark, enough
+# to prove the off/on pairs still build and run.
+cargo bench -q -p bench --bench telemetry "$@" -- --test
