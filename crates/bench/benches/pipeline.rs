@@ -1,0 +1,40 @@
+//! Pipeline scaling: the flow-sharded parallel pipeline vs worker count
+//! (§3.2 hash-based placement applied to the Figure 9 HTTP workload).
+//!
+//! The deterministic-merge contract means every worker count produces
+//! byte-identical output, so this group measures pure throughput: the
+//! same trace through 1, 2, and 4 shards. On a multi-core machine the
+//! 4-worker run should clear ≥1.5× the 1-worker throughput; on a
+//! single-core box the curve is flat and the bench only proves the
+//! parallel path carries no pathological overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use broscript::host::Engine;
+use broscript::parallel::{run_http_analysis_parallel, PipelineOptions};
+use broscript::pipeline::{Governance, ParserStack};
+use netpkt::synth::{http_trace, SynthConfig};
+
+fn bench_pipeline_scaling(c: &mut Criterion) {
+    let trace = http_trace(&SynthConfig::new(0xB1FF, 60));
+
+    let mut group = c.benchmark_group("pipeline_scaling");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let opts = PipelineOptions {
+            workers,
+            governance: Governance::default(),
+        };
+        group.bench_function(format!("http_binpac_x{workers}"), |b| {
+            b.iter(|| {
+                run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Interpreted, &opts)
+                    .expect("analysis")
+                    .events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_scaling);
+criterion_main!(benches);

@@ -527,6 +527,11 @@ impl BinpacHttp {
         self.peak_session_bytes
     }
 
+    /// Whether a live session exists for `uid`.
+    pub fn has_conn(&self, uid: &str) -> bool {
+        self.sessions.contains_key(uid)
+    }
+
     /// UIDs of all live connections, sorted (deterministic teardown order).
     pub fn live_uids(&self) -> Vec<String> {
         let mut uids: Vec<String> = self.sessions.keys().cloned().collect();
@@ -638,21 +643,17 @@ impl BinpacHttp {
 
     /// Flushes all still-open connections (end of trace).
     pub fn finish_all(&mut self, ts: Time) -> RtResult<()> {
-        let uids: Vec<(String, ConnId)> = self
-            .sessions
-            .keys()
-            .map(|u| {
-                // ConnId is embedded in events only; reuse a placeholder for
-                // the final flush of connections we never saw close.
-                (u.clone(), ConnId {
-                    orig_h: hilti_rt::addr::Addr::v4(0, 0, 0, 0),
-                    orig_p: hilti_rt::addr::Port::tcp(0),
-                    resp_h: hilti_rt::addr::Addr::v4(0, 0, 0, 0),
-                    resp_p: hilti_rt::addr::Port::tcp(0),
-                })
-            })
-            .collect();
-        for (uid, id) in uids {
+        // Sorted (via live_uids), not HashMap order: the flush order decides
+        // event order and must be deterministic.
+        for uid in self.live_uids() {
+            // ConnId is embedded in events only; reuse a placeholder for
+            // the final flush of connections we never saw close.
+            let id = ConnId {
+                orig_h: hilti_rt::addr::Addr::v4(0, 0, 0, 0),
+                orig_p: hilti_rt::addr::Port::tcp(0),
+                resp_h: hilti_rt::addr::Addr::v4(0, 0, 0, 0),
+                resp_p: hilti_rt::addr::Port::tcp(0),
+            };
             self.finish_conn(&uid, id, ts)?;
         }
         Ok(())

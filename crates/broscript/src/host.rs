@@ -361,6 +361,23 @@ impl ScriptHost {
     pub fn log_lines(&self, name: &str) -> Vec<String> {
         self.rt.borrow().log_lines(name)
     }
+
+    /// Number of lines written to a named log stream so far.
+    pub fn log_len(&self, name: &str) -> usize {
+        self.rt.borrow().logs.get(name).map_or(0, |l| l.len())
+    }
+
+    /// Lines of a named log stream from index `start` on. Incremental
+    /// readers (the sharded pipeline attributing lines to packets) pair
+    /// this with [`ScriptHost::log_len`].
+    pub fn log_lines_from(&self, name: &str, start: usize) -> Vec<String> {
+        self.rt
+            .borrow()
+            .logs
+            .get(name)
+            .map(|l| l.lines_from(start))
+            .unwrap_or_default()
+    }
 }
 
 /// Builds the Bro `connection` record value (nested `conn_id`) for

@@ -28,6 +28,7 @@ pub mod ast;
 pub mod compile;
 pub mod host;
 pub mod interp;
+pub mod parallel;
 pub mod parse;
 pub mod pipeline;
 pub mod scripts;

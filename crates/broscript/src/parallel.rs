@@ -1,0 +1,980 @@
+//! Flow-sharded parallel analysis pipeline with a deterministic merge.
+//!
+//! The paper's concurrency model (§3.2) hashes each flow to a virtual
+//! thread so all computation for one flow is implicitly serialized; "HILTI
+//! code is always safe to execute in parallel" (§7). This module applies
+//! that placement to the whole analysis pipeline: a dispatcher thread
+//! decodes packets and runs the shared flow table, then hashes each
+//! connection 5-tuple ([`netpkt::flow::shard_hash`], symmetric and
+//! worker-count-independent) to one of N shards. Each shard — a worker of
+//! [`hilti::threads::WorkPool`] — owns a private engine context, parser
+//! stack, script host, profiler, and telemetry registry, so the per-packet
+//! hot path takes no locks.
+//!
+//! **Determinism.** The result of an N-worker run is byte-identical to the
+//! 1-worker (and to the sequential [`crate::pipeline`]) run for every N.
+//! Global decisions stay on the dispatcher: uid assignment, TCP
+//! reassembly, and idle-flow expiry (the timer wheel sweeps the shared
+//! flow table; shards receive `Evict` directives rather than sweeping
+//! locally, since a shard-local sweep would fire at different packet
+//! positions for different N). Every shard-side effect — log line, printed
+//! line, flow error, telemetry event — is tagged with a merge key encoding
+//! the packet slot (or end-of-trace rank) and the within-packet phase that
+//! the sequential pipeline would have produced it in:
+//!
+//! * phase 0 — dispatcher `flow_open`/`flow_close` events,
+//! * phase 1 — parse effects (parser events, `parser_error`, engine sink
+//!   events raised while parsing),
+//! * phase 2 — dispatcher `timer_expiry` events,
+//! * phase 3 — dispatch effects (script logs/output, engine sink events
+//!   raised while executing handlers).
+//!
+//! The merge sorts by `(key, shard, seq)` and strips the tags. Telemetry
+//! snapshots combine by [`TelemetrySnapshot::merge`] — counters summed,
+//! gauges max-merged (they track peaks), histograms bucket-wise — and the
+//! merged event stream replaces the concatenation, with `quarantine`
+//! events re-emitted at the end in merged-ledger order exactly as the
+//! sequential pipeline does. See DESIGN.md ("Parallel pipeline").
+
+use std::collections::{HashMap, HashSet};
+
+use binpac::dns::BinpacDns;
+use binpac::http::BinpacHttp;
+use hilti::passes::OptLevel;
+use hilti::threads::WorkPool;
+use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::limits::ResourceLimits;
+use hilti_rt::profile::{Component, Profiler};
+use hilti_rt::telemetry::{
+    Counter, Event as TelemetryEvent, Histogram, Telemetry, TelemetrySnapshot,
+};
+use hilti_rt::time::{Interval, Time};
+use hilti_rt::timer::TimerMgr;
+
+use netpkt::decode::decode_ethernet;
+use netpkt::events::{ConnId, Event};
+use netpkt::flow::{shard_hash, FlowTable};
+use netpkt::http::HttpConnParser;
+use netpkt::pcap::RawPacket;
+
+use crate::host::{Engine, ScriptHost};
+use crate::pipeline::{
+    placeholder_id, standard_dns_events, AnalysisResult, FlowError, Governance, ParserStack,
+};
+use crate::scripts;
+
+/// Default shard count: one per core, capped at 8 (the paper's evaluation
+/// machine exposes 8 hardware threads).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Knobs for a parallel run.
+#[derive(Clone, Copy)]
+pub struct PipelineOptions {
+    /// Number of shards (worker threads). The output is byte-identical
+    /// for every value; only throughput changes.
+    pub workers: usize,
+    pub governance: Governance,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            workers: default_workers(),
+            governance: Governance::default(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Http,
+    Dns,
+}
+
+/// Within-packet phases, mirroring the sequential emission order.
+const PH_FLOW: u8 = 0;
+const PH_PARSE: u8 = 1;
+const PH_TIMER: u8 = 2;
+const PH_DISPATCH: u8 = 3;
+
+/// Merge key: the position in the sequential output this effect belongs
+/// to. `major` is the packet slot for in-trace effects; end-of-trace
+/// flushes use majors past the packet count (one per candidate flow for
+/// the parse sweep, then one per candidate for the dispatch sweep, then
+/// one for `bro_done`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Key {
+    major: u64,
+    phase: u8,
+}
+
+/// A shard-side effect tagged for the merge: `(key, seq, payload)`, where
+/// `seq` is the shard-local emission counter (total order within a shard).
+type Tagged<T> = (Key, u64, T);
+
+const LOG_STREAMS: [&str; 3] = ["http.log", "files.log", "dns.log"];
+
+/// Work items shipped from the dispatcher to a shard, in trace order.
+enum ShardItem {
+    /// One reassembled segment of a flow owned by this shard.
+    Delivery {
+        slot: u64,
+        uid: String,
+        id: ConnId,
+        is_orig: bool,
+        ts: Time,
+        payload: Vec<u8>,
+        finished: bool,
+    },
+    /// The dispatcher's timer wheel expired this flow: drop parser state.
+    Evict { uid: String },
+    /// End-of-trace flush of one still-open flow (HTTP only).
+    FinishFlow {
+        parse_major: u64,
+        dispatch_major: u64,
+        uid: String,
+        ts: Time,
+    },
+    /// End of run: re-arm fuel and fire `bro_done`.
+    Done { major: u64, ts: Time },
+}
+
+/// Shard-local pre-interned metric handles (the shard's own registry).
+struct ShardTelemetry {
+    telemetry: Telemetry,
+    bytes_parsed: Counter,
+    parse_failures: Counter,
+    payload_bytes: Histogram,
+    /// How much of the shard sink has been attributed to a merge key.
+    sink_cursor: usize,
+}
+
+/// Everything one shard owns. Built by the pool factory *on* the worker
+/// thread (`ScriptHost` and the parser VMs are `!Send`).
+struct ShardState {
+    proto: Proto,
+    stack: ParserStack,
+    gov: Governance,
+    host: ScriptHost,
+    profiler: Profiler,
+    tel: Option<ShardTelemetry>,
+    std_http: HashMap<String, HttpConnParser>,
+    bp_http: Option<BinpacHttp>,
+    bp_dns: Option<BinpacDns>,
+    quarantined: HashSet<String>,
+    n_events: u64,
+    parse_failures: u64,
+    log_cursors: [usize; 3],
+    logs: [Vec<Tagged<String>>; 3],
+    output: Vec<Tagged<String>>,
+    flow_errors: Vec<Tagged<FlowError>>,
+    /// Engine/pipeline telemetry events, rendered to JSONL at capture time.
+    events: Vec<Tagged<String>>,
+    /// First unrecoverable error (ungoverned mode): merge picks the
+    /// globally-first one. Processing on this shard stops here.
+    fatal: Option<(Key, RtError)>,
+    seq: u64,
+}
+
+impl ShardState {
+    fn new(
+        proto: Proto,
+        stack: ParserStack,
+        engine: Engine,
+        gov: Governance,
+    ) -> RtResult<ShardState> {
+        let profiler = Profiler::new();
+        let script = match proto {
+            Proto::Http => scripts::HTTP_BRO,
+            Proto::Dns => scripts::DNS_BRO,
+        };
+        let mut host = ScriptHost::new(&[script], engine, Some(profiler.clone()))?;
+        let tel = gov.telemetry.then(|| {
+            let telemetry = Telemetry::new();
+            ShardTelemetry {
+                bytes_parsed: telemetry.counter("pipeline.bytes_parsed"),
+                parse_failures: telemetry.counter("pipeline.parse_failures"),
+                payload_bytes: telemetry.histogram("pipeline.payload_bytes"),
+                sink_cursor: 0,
+                telemetry,
+            }
+        });
+        if let Some(t) = &tel {
+            host.set_telemetry(&t.telemetry);
+        }
+        let mut bp_http = None;
+        let mut bp_dns = None;
+        match (proto, stack) {
+            (Proto::Http, ParserStack::Binpac) => {
+                let mut b = BinpacHttp::new(OptLevel::Full, Some(profiler.clone()))?;
+                if let Some(n) = gov.per_flow_heap {
+                    b.set_session_budget(n);
+                }
+                if let Some(steps) = gov.inject_fault_after {
+                    b.inject_fault_after(steps, RtError::runtime("injected chaos fault"));
+                }
+                if let Some(t) = &tel {
+                    b.set_telemetry(&t.telemetry);
+                }
+                bp_http = Some(b);
+            }
+            (Proto::Dns, ParserStack::Binpac) => {
+                let mut b = BinpacDns::new(OptLevel::Full, Some(profiler.clone()))?;
+                if let Some(t) = &tel {
+                    b.set_telemetry(&t.telemetry);
+                }
+                bp_dns = Some(b);
+            }
+            _ => {}
+        }
+        Ok(ShardState {
+            proto,
+            stack,
+            gov,
+            host,
+            profiler,
+            tel,
+            std_http: HashMap::new(),
+            bp_http,
+            bp_dns,
+            quarantined: HashSet::new(),
+            n_events: 0,
+            parse_failures: 0,
+            log_cursors: [0; 3],
+            logs: [Vec::new(), Vec::new(), Vec::new()],
+            output: Vec::new(),
+            flow_errors: Vec::new(),
+            events: Vec::new(),
+            fatal: None,
+            seq: 0,
+        })
+    }
+
+    fn process(&mut self, item: ShardItem) {
+        if self.fatal.is_some() {
+            return;
+        }
+        match item {
+            ShardItem::Delivery {
+                slot,
+                uid,
+                id,
+                is_orig,
+                ts,
+                payload,
+                finished,
+            } => match self.proto {
+                Proto::Http => http_delivery(self, slot, uid, id, is_orig, ts, payload, finished),
+                Proto::Dns => dns_delivery(self, slot, uid, id, ts, payload),
+            },
+            ShardItem::Evict { uid } => {
+                self.std_http.remove(&uid);
+                if let Some(bp) = self.bp_http.as_mut() {
+                    bp.drop_conn(&uid);
+                }
+                self.quarantined.remove(&uid);
+            }
+            ShardItem::FinishFlow {
+                parse_major,
+                dispatch_major,
+                uid,
+                ts,
+            } => http_finish_flow(self, parse_major, dispatch_major, uid, ts),
+            ShardItem::Done { major, ts } => done(self, major, ts),
+        }
+    }
+
+    /// Attributes everything the shard sink collected since the last call
+    /// to `key` (engine events raised while parsing or dispatching).
+    fn collect_sink(&mut self, key: Key) {
+        let Some(t) = self.tel.as_mut() else { return };
+        let new = t.telemetry.sink.events_since(t.sink_cursor);
+        t.sink_cursor += new.len();
+        for ev in &new {
+            let seq = self.seq;
+            self.seq += 1;
+            self.events.push((key, seq, ev.to_json()));
+        }
+    }
+
+    /// Attributes new log lines and printed output to `key`.
+    fn collect_host_effects(&mut self, key: Key) {
+        for (i, name) in LOG_STREAMS.iter().enumerate() {
+            let lines = self.host.log_lines_from(name, self.log_cursors[i]);
+            self.log_cursors[i] += lines.len();
+            for l in lines {
+                let seq = self.seq;
+                self.seq += 1;
+                self.logs[i].push((key, seq, l));
+            }
+        }
+        for l in self.host.take_output() {
+            let seq = self.seq;
+            self.seq += 1;
+            self.output.push((key, seq, l));
+        }
+    }
+
+    /// Dispatches a batch of events exactly as the sequential
+    /// `dispatch_events` does (per-event fuel re-arm, quarantine vs
+    /// abort), then attributes all resulting effects to `key`.
+    fn dispatch(&mut self, events: &[Event], key: Key) {
+        if self.fatal.is_none() {
+            for ev in events {
+                self.n_events += 1;
+                if self.gov.script_fuel.is_some() {
+                    self.host.set_limits(ResourceLimits {
+                        fuel: self.gov.script_fuel,
+                        ..ResourceLimits::default()
+                    });
+                }
+                if let Err(e) = self.host.dispatch_event(ev) {
+                    if !self.gov.quarantine {
+                        self.fatal = Some((key, e));
+                        break;
+                    }
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.flow_errors
+                        .push((key, seq, FlowError::new(ev.uid(), &e, ev.ts())));
+                }
+            }
+        }
+        self.collect_sink(key);
+        self.collect_host_effects(key);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn http_delivery(
+    st: &mut ShardState,
+    slot: u64,
+    uid: String,
+    id: ConnId,
+    is_orig: bool,
+    ts: Time,
+    payload: Vec<u8>,
+    finished: bool,
+) {
+    let parse_key = Key {
+        major: slot,
+        phase: PH_PARSE,
+    };
+    let mut events: Vec<Event> = Vec::new();
+    {
+        let _o = st.profiler.enter(Component::Other);
+        if !st.quarantined.contains(&uid) {
+            if !payload.is_empty() {
+                if let Some(t) = &st.tel {
+                    t.bytes_parsed.add(payload.len() as u64);
+                    t.payload_bytes.observe(payload.len() as u64);
+                }
+            }
+            match st.stack {
+                ParserStack::Standard => {
+                    let _pp = st.profiler.enter(Component::ProtocolParsing);
+                    let parser = st
+                        .std_http
+                        .entry(uid.clone())
+                        .or_insert_with(|| HttpConnParser::new(uid.clone(), id));
+                    if !payload.is_empty() {
+                        parser.feed(is_orig, &payload, ts, &mut events);
+                    }
+                    if finished {
+                        parser.finish(ts, &mut events);
+                    }
+                }
+                ParserStack::Binpac => {
+                    let bp = st.bp_http.as_mut().expect("binpac stack");
+                    let mut fail: Option<RtError> = None;
+                    if !payload.is_empty() {
+                        if let Err(e) = bp.feed(&uid, id, is_orig, ts, &payload) {
+                            fail = Some(e);
+                        }
+                    }
+                    if fail.is_none() && finished {
+                        if let Err(e) = bp.finish_conn(&uid, id, ts) {
+                            fail = Some(e);
+                        }
+                    }
+                    // Events emitted before the fault still count.
+                    events.extend(bp.take_events());
+                    if let Some(e) = fail {
+                        if !st.gov.quarantine {
+                            st.fatal = Some((parse_key, e));
+                            return;
+                        }
+                        bp.drop_conn(&uid);
+                        st.std_http.remove(&uid);
+                        st.quarantined.insert(uid.clone());
+                        let seq = st.seq;
+                        st.seq += 1;
+                        st.flow_errors
+                            .push((parse_key, seq, FlowError::new(&uid, &e, ts)));
+                    }
+                }
+            }
+        }
+    }
+    st.collect_sink(parse_key);
+    st.dispatch(
+        &events,
+        Key {
+            major: slot,
+            phase: PH_DISPATCH,
+        },
+    );
+}
+
+fn dns_delivery(st: &mut ShardState, slot: u64, uid: String, id: ConnId, ts: Time, payload: Vec<u8>) {
+    let parse_key = Key {
+        major: slot,
+        phase: PH_PARSE,
+    };
+    let mut events: Vec<Event> = Vec::new();
+    if !payload.is_empty() {
+        let _o = st.profiler.enter(Component::Other);
+        if let Some(t) = &st.tel {
+            t.bytes_parsed.add(payload.len() as u64);
+            t.payload_bytes.observe(payload.len() as u64);
+        }
+        match st.stack {
+            ParserStack::Standard => {
+                let _pp = st.profiler.enter(Component::ProtocolParsing);
+                if !standard_dns_events(&uid, id, ts, &payload, &mut events) {
+                    st.parse_failures += 1;
+                    if let Some(t) = &st.tel {
+                        t.parse_failures.inc();
+                        t.telemetry.emit(
+                            "parser_error",
+                            vec![("uid", uid.as_str().into()), ("ts_ns", ts.nanos().into())],
+                        );
+                    }
+                }
+            }
+            ParserStack::Binpac => {
+                let bp = st.bp_dns.as_mut().expect("binpac stack");
+                match bp.datagram(&uid, id, ts, &payload) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        st.parse_failures += 1;
+                        if let Some(t) = &st.tel {
+                            t.parse_failures.inc();
+                            t.telemetry.emit(
+                                "parser_error",
+                                vec![("uid", uid.as_str().into()), ("ts_ns", ts.nanos().into())],
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        if !st.gov.quarantine {
+                            st.fatal = Some((parse_key, e));
+                            return;
+                        }
+                        let seq = st.seq;
+                        st.seq += 1;
+                        st.flow_errors
+                            .push((parse_key, seq, FlowError::new(&uid, &e, ts)));
+                    }
+                }
+                let bp = st.bp_dns.as_mut().expect("binpac stack");
+                events.extend(bp.take_events());
+            }
+        }
+    }
+    st.collect_sink(parse_key);
+    st.dispatch(
+        &events,
+        Key {
+            major: slot,
+            phase: PH_DISPATCH,
+        },
+    );
+}
+
+/// End-of-trace flush of one flow, in the global order the dispatcher
+/// assigned (first-seen order for the standard stack, sorted-uid order for
+/// BinPAC++ — each matching its sequential counterpart). Flows whose
+/// parser state is already gone (closed, quarantined, never fed) are
+/// no-ops, exactly as in the sequential flush.
+fn http_finish_flow(st: &mut ShardState, parse_major: u64, dispatch_major: u64, uid: String, ts: Time) {
+    let parse_key = Key {
+        major: parse_major,
+        phase: PH_PARSE,
+    };
+    let mut events: Vec<Event> = Vec::new();
+    match st.stack {
+        ParserStack::Standard => {
+            if let Some(mut parser) = st.std_http.remove(&uid) {
+                let _pp = st.profiler.enter(Component::ProtocolParsing);
+                parser.finish(ts, &mut events);
+            }
+        }
+        ParserStack::Binpac => {
+            let bp = st.bp_http.as_mut().expect("binpac stack");
+            if bp.has_conn(&uid) {
+                if let Err(e) = bp.finish_conn(&uid, placeholder_id(), ts) {
+                    if !st.gov.quarantine {
+                        st.fatal = Some((parse_key, e));
+                        return;
+                    }
+                    bp.drop_conn(&uid);
+                    let seq = st.seq;
+                    st.seq += 1;
+                    st.flow_errors
+                        .push((parse_key, seq, FlowError::new(&uid, &e, ts)));
+                }
+                let bp = st.bp_http.as_mut().expect("binpac stack");
+                events.extend(bp.take_events());
+            }
+        }
+    }
+    st.collect_sink(parse_key);
+    st.dispatch(
+        &events,
+        Key {
+            major: dispatch_major,
+            phase: PH_DISPATCH,
+        },
+    );
+}
+
+fn done(st: &mut ShardState, major: u64, ts: Time) {
+    let key = Key {
+        major,
+        phase: PH_DISPATCH,
+    };
+    if st.gov.script_fuel.is_some() {
+        st.host.set_limits(ResourceLimits {
+            fuel: st.gov.script_fuel,
+            ..ResourceLimits::default()
+        });
+    }
+    if let Err(e) = st.host.done() {
+        if !st.gov.quarantine {
+            st.fatal = Some((key, e));
+        } else {
+            let seq = st.seq;
+            st.seq += 1;
+            st.flow_errors.push((key, seq, FlowError::new("-", &e, ts)));
+        }
+    }
+    st.collect_sink(key);
+    st.collect_host_effects(key);
+}
+
+/// What a shard hands back at harvest. All fields are `Send`.
+struct ShardReport {
+    logs: [Vec<Tagged<String>>; 3],
+    output: Vec<Tagged<String>>,
+    flow_errors: Vec<Tagged<FlowError>>,
+    events: Vec<Tagged<String>>,
+    snapshot: TelemetrySnapshot,
+    profiler: Profiler,
+    n_events: u64,
+    parse_failures: u64,
+    peak_flow_bytes: u64,
+    fatal: Option<(Key, RtError)>,
+}
+
+fn harvest(st: &mut ShardState) -> ShardReport {
+    let peak_flow_bytes = st.bp_http.as_ref().map(|b| b.peak_session_bytes()).unwrap_or(0);
+    let snapshot = match st.tel.as_ref() {
+        Some(t) => {
+            // Mirror the sequential `PipelineTelemetry::finish` bookkeeping
+            // that sums correctly across shards: dispatched-event count,
+            // peak gauge, quarantine counters. The quarantine *events* are
+            // re-emitted by the merge (they trail the whole stream in
+            // merged-ledger order), so the shard snapshot carries no events.
+            t.telemetry
+                .counter("pipeline.events_dispatched")
+                .add(st.n_events);
+            t.telemetry
+                .gauge("pipeline.peak_flow_heap_bytes")
+                .set_max(peak_flow_bytes);
+            let quarantined = t.telemetry.counter("pipeline.flows_quarantined");
+            for (_, _, fe) in &st.flow_errors {
+                quarantined.inc();
+                t.telemetry
+                    .registry
+                    .counter(&format!("pipeline.flow_errors.{}", fe.kind))
+                    .inc();
+            }
+            let mut snap = t.telemetry.snapshot();
+            snap.events = Vec::new();
+            snap
+        }
+        None => TelemetrySnapshot::default(),
+    };
+    ShardReport {
+        logs: std::mem::take(&mut st.logs),
+        output: std::mem::take(&mut st.output),
+        flow_errors: std::mem::take(&mut st.flow_errors),
+        events: std::mem::take(&mut st.events),
+        snapshot,
+        profiler: st.profiler.clone(),
+        n_events: st.n_events,
+        parse_failures: st.parse_failures,
+        peak_flow_bytes,
+        fatal: st.fatal.clone(),
+    }
+}
+
+/// Dispatcher-side telemetry: the shared-decision counters plus tagged
+/// `flow_open` / `flow_close` / `timer_expiry` events.
+struct DispatcherTelemetry {
+    telemetry: Telemetry,
+    packets: Counter,
+    flows_opened: Counter,
+    flows_closed: Counter,
+    flows_expired: Counter,
+    events: Vec<Tagged<String>>,
+    seq: u64,
+}
+
+impl DispatcherTelemetry {
+    fn new() -> DispatcherTelemetry {
+        let telemetry = Telemetry::new();
+        DispatcherTelemetry {
+            packets: telemetry.counter("pipeline.packets"),
+            flows_opened: telemetry.counter("pipeline.flows_opened"),
+            flows_closed: telemetry.counter("pipeline.flows_closed"),
+            flows_expired: telemetry.counter("pipeline.flows_expired"),
+            events: Vec::new(),
+            seq: 0,
+            telemetry,
+        }
+    }
+
+    fn emit(&mut self, key: Key, kind: &'static str, uid: &str, ts: Time) {
+        let ev = TelemetryEvent {
+            kind,
+            fields: vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())],
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push((key, seq, ev.to_json()));
+    }
+}
+
+/// Replays an HTTP trace through `opts.workers` flow-sharded pipelines.
+/// The result is byte-identical to [`crate::pipeline::run_http_analysis_governed`]
+/// with the same governance, for every worker count.
+pub fn run_http_analysis_parallel(
+    packets: &[RawPacket],
+    stack: ParserStack,
+    engine: Engine,
+    opts: &PipelineOptions,
+) -> RtResult<AnalysisResult> {
+    run_parallel(packets, Proto::Http, stack, engine, opts)
+}
+
+/// Replays a DNS trace through `opts.workers` flow-sharded pipelines.
+pub fn run_dns_analysis_parallel(
+    packets: &[RawPacket],
+    stack: ParserStack,
+    engine: Engine,
+    opts: &PipelineOptions,
+) -> RtResult<AnalysisResult> {
+    run_parallel(packets, Proto::Dns, stack, engine, opts)
+}
+
+/// Deliveries per cross-thread submission (amortizes channel overhead).
+const BATCH: usize = 128;
+
+fn run_parallel(
+    packets: &[RawPacket],
+    proto: Proto,
+    stack: ParserStack,
+    engine: Engine,
+    opts: &PipelineOptions,
+) -> RtResult<AnalysisResult> {
+    let workers = opts.workers.max(1);
+    let gov = opts.governance;
+    // Pre-flight on this thread so construction errors surface as `Err`
+    // (the pool factory can only panic).
+    drop(ShardState::new(proto, stack, engine, gov)?);
+    let pool: WorkPool<ShardState> = WorkPool::new(workers, move |_w, _handle| {
+        ShardState::new(proto, stack, engine, gov).expect("shard construction passed pre-flight")
+    });
+
+    let profiler = Profiler::new();
+    let mut dtel = gov.telemetry.then(DispatcherTelemetry::new);
+    let mut flows = FlowTable::new();
+    let mut timers: TimerMgr<String> = TimerMgr::new();
+    let mut owner: HashMap<String, usize> = HashMap::new();
+    let mut first_seen: Vec<String> = Vec::new();
+    let mut buf: Vec<Vec<ShardItem>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut flows_expired = 0u64;
+    let mut n_packets = 0u64;
+    let mut last_ts = Time::ZERO;
+
+    let flush = |pool: &WorkPool<ShardState>, buf: &mut Vec<ShardItem>, shard: usize| -> RtResult<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let items = std::mem::take(buf);
+        pool.submit(shard, move |st| {
+            for item in items {
+                st.process(item);
+            }
+        })
+    };
+
+    for (slot, pkt) in packets.iter().enumerate() {
+        let slot = slot as u64;
+        n_packets += 1;
+        last_ts = pkt.ts;
+        let _o = profiler.enter(Component::Other);
+        if let Some(t) = &dtel {
+            t.packets.inc();
+        }
+        let Ok(d) = decode_ethernet(pkt) else { continue };
+        let shard = (shard_hash(&d) % workers as u64) as usize;
+        let delivery = flows.process(&d);
+        let uid = delivery.flow.uid.clone();
+        let id = delivery.flow.id;
+        let is_orig = delivery.is_orig;
+        let finished = delivery.finished_now;
+        let payload = delivery.payload;
+        if !owner.contains_key(&uid) {
+            owner.insert(uid.clone(), shard);
+            first_seen.push(uid.clone());
+            if let Some(t) = &mut dtel {
+                t.flows_opened.inc();
+                t.emit(
+                    Key { major: slot, phase: PH_FLOW },
+                    "flow_open",
+                    &uid,
+                    pkt.ts,
+                );
+            }
+        }
+        if finished {
+            if let Some(t) = &mut dtel {
+                t.flows_closed.inc();
+                t.emit(
+                    Key { major: slot, phase: PH_FLOW },
+                    "flow_close",
+                    &uid,
+                    pkt.ts,
+                );
+            }
+        }
+        buf[shard].push(ShardItem::Delivery {
+            slot,
+            uid: uid.clone(),
+            id,
+            is_orig,
+            ts: pkt.ts,
+            payload,
+            finished,
+        });
+        if buf[shard].len() >= BATCH {
+            flush(&pool, &mut buf[shard], shard)?;
+        }
+
+        // Idle-flow expiry is a *global* decision: the dispatcher's timer
+        // wheel sweeps the shared flow table and tells the owning shard to
+        // drop its state. Shard-local sweeps would fire at different
+        // packet positions for different worker counts.
+        if let Some(ms) = gov.idle_timeout_ms {
+            timers.schedule(pkt.ts + Interval::from_millis(ms as i64), uid.clone());
+            if !timers.advance(pkt.ts).is_empty() {
+                let cutoff = Time::from_nanos(
+                    pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)),
+                );
+                for dead in flows.expire_idle_uids(cutoff) {
+                    if let Some(&w) = owner.get(&dead) {
+                        buf[w].push(ShardItem::Evict { uid: dead.clone() });
+                        if buf[w].len() >= BATCH {
+                            flush(&pool, &mut buf[w], w)?;
+                        }
+                    }
+                    if let Some(t) = &mut dtel {
+                        t.flows_expired.inc();
+                        t.emit(
+                            Key { major: slot, phase: PH_TIMER },
+                            "timer_expiry",
+                            &dead,
+                            pkt.ts,
+                        );
+                    }
+                    flows_expired += 1;
+                }
+            }
+        }
+    }
+
+    // End of trace. For HTTP, flush still-open flows in the order the
+    // sequential pipeline uses: first-seen for the standard stack,
+    // sorted-uid for BinPAC++ (its `live_uids()` teardown order). The
+    // dispatcher cannot know which flows still hold parser state (closed,
+    // expired, and quarantined ones don't), so it over-sends every
+    // first-seen uid and the owning shard presence-checks; dead candidates
+    // leave harmless gaps in the major sequence. Each candidate gets a
+    // parse major and a dispatch major so all parses precede all
+    // dispatches, as in the sequential batch flush.
+    let base = packets.len() as u64;
+    let mut n_cand = 0u64;
+    if proto == Proto::Http {
+        let mut cands: Vec<&String> = first_seen.iter().collect();
+        if stack == ParserStack::Binpac {
+            cands.sort();
+        }
+        n_cand = cands.len() as u64;
+        for (r, uid) in cands.into_iter().enumerate() {
+            let w = owner[uid];
+            buf[w].push(ShardItem::FinishFlow {
+                parse_major: base + r as u64,
+                dispatch_major: base + n_cand + r as u64,
+                uid: uid.clone(),
+                ts: last_ts,
+            });
+        }
+    }
+    let done_major = base + 2 * n_cand;
+    for (w, b) in buf.iter_mut().enumerate() {
+        b.push(ShardItem::Done {
+            major: done_major,
+            ts: last_ts,
+        });
+        flush(&pool, b, w)?;
+    }
+
+    // Harvest: one report job per shard, queued behind all its work.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, ShardReport)>();
+    for w in 0..workers {
+        let tx = tx.clone();
+        pool.submit(w, move |st| {
+            let _ = tx.send((w, harvest(st)));
+        })?;
+    }
+    drop(tx);
+    let mut reports: Vec<(usize, ShardReport)> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let r = rx
+            .recv()
+            .map_err(|_| RtError::runtime("pipeline shard terminated unexpectedly"))?;
+        reports.push(r);
+    }
+    pool.shutdown();
+    reports.sort_by_key(|(w, _)| *w);
+    let reports: Vec<ShardReport> = reports.into_iter().map(|(_, r)| r).collect();
+
+    // An ungoverned error aborts the run with the globally-first failure,
+    // exactly as the sequential pipeline's early return would.
+    if let Some((_, _, e)) = reports
+        .iter()
+        .enumerate()
+        .filter_map(|(w, r)| r.fatal.as_ref().map(|(k, e)| (*k, w, e)))
+        .min_by_key(|(k, w, _)| (*k, *w))
+    {
+        return Err(e.clone());
+    }
+
+    // Deterministic merge: sort every tagged stream by (key, shard, seq)
+    // and strip the tags.
+    fn merge_stream<T>(parts: Vec<Vec<(usize, Tagged<T>)>>) -> Vec<T> {
+        let mut all: Vec<(Key, usize, u64, T)> = parts
+            .into_iter()
+            .flatten()
+            .map(|(shard, (key, seq, v))| (key, shard, seq, v))
+            .collect();
+        all.sort_by_key(|a| (a.0, a.1, a.2));
+        all.into_iter().map(|(_, _, _, v)| v).collect()
+    }
+    let tag = |w: usize, v: Vec<Tagged<String>>| -> Vec<(usize, Tagged<String>)> {
+        v.into_iter().map(|t| (w, t)).collect()
+    };
+
+    let mut reports = reports;
+    let mut log_streams: Vec<Vec<String>> = Vec::new();
+    for i in 0..LOG_STREAMS.len() {
+        let parts = reports
+            .iter_mut()
+            .enumerate()
+            .map(|(w, r)| tag(w, std::mem::take(&mut r.logs[i])))
+            .collect();
+        log_streams.push(merge_stream(parts));
+    }
+    let output = merge_stream(
+        reports
+            .iter_mut()
+            .enumerate()
+            .map(|(w, r)| tag(w, std::mem::take(&mut r.output)))
+            .collect(),
+    );
+    let flow_errors: Vec<FlowError> = merge_stream(
+        reports
+            .iter_mut()
+            .enumerate()
+            .map(|(w, r)| {
+                std::mem::take(&mut r.flow_errors)
+                    .into_iter()
+                    .map(|t| (w, t))
+                    .collect()
+            })
+            .collect(),
+    );
+    // The global event stream: dispatcher events (phases 0/2) interleaved
+    // with shard events (phases 1/3), then the quarantine events re-emitted
+    // from the merged ledger — the order `PipelineTelemetry::finish` uses.
+    let mut event_parts: Vec<Vec<(usize, Tagged<String>)>> = reports
+        .iter_mut()
+        .enumerate()
+        .map(|(w, r)| tag(w, std::mem::take(&mut r.events)))
+        .collect();
+    if let Some(t) = &mut dtel {
+        event_parts.push(tag(usize::MAX, std::mem::take(&mut t.events)));
+    }
+    let mut merged_events = merge_stream(event_parts);
+    if gov.telemetry {
+        for fe in &flow_errors {
+            let ev = TelemetryEvent {
+                kind: "quarantine",
+                fields: vec![
+                    ("uid", fe.uid.as_str().into()),
+                    ("kind", fe.kind.as_str().into()),
+                    ("ts_ns", fe.ts.nanos().into()),
+                ],
+            };
+            merged_events.push(ev.to_json());
+        }
+    }
+
+    let telemetry = match &dtel {
+        Some(t) => {
+            let mut parts = vec![t.telemetry.snapshot()];
+            parts.extend(reports.iter().map(|r| r.snapshot.clone()));
+            let mut merged = TelemetrySnapshot::merge(&parts);
+            merged.events = merged_events;
+            merged
+        }
+        None => TelemetrySnapshot::default(),
+    };
+    for r in &reports {
+        profiler.absorb(&r.profiler);
+    }
+
+    let mut log_iter = log_streams.into_iter();
+    Ok(AnalysisResult {
+        http_log: log_iter.next().unwrap_or_default(),
+        files_log: log_iter.next().unwrap_or_default(),
+        dns_log: log_iter.next().unwrap_or_default(),
+        output,
+        profiler,
+        events: reports.iter().map(|r| r.n_events).sum(),
+        packets: n_packets,
+        flow_errors,
+        flows_expired,
+        peak_flow_bytes: reports.iter().map(|r| r.peak_flow_bytes).max().unwrap_or(0),
+        parse_failures: reports.iter().map(|r| r.parse_failures).sum(),
+        telemetry,
+    })
+}

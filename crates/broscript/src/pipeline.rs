@@ -94,7 +94,7 @@ pub struct Governance {
 }
 
 /// One flow the quarantine tore down.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowError {
     pub uid: String,
     /// Exception type name, e.g. `Hilti::ResourceExhausted`.
@@ -104,7 +104,7 @@ pub struct FlowError {
 }
 
 impl FlowError {
-    fn new(uid: &str, e: &RtError, ts: Time) -> Self {
+    pub(crate) fn new(uid: &str, e: &RtError, ts: Time) -> Self {
         FlowError {
             uid: uid.to_owned(),
             kind: e.kind.name().to_owned(),
@@ -215,7 +215,7 @@ impl PipelineTelemetry {
 }
 
 /// Placeholder ConnId for flushing connections whose close was never seen.
-fn placeholder_id() -> ConnId {
+pub(crate) fn placeholder_id() -> ConnId {
     ConnId {
         orig_h: hilti_rt::addr::Addr::v4(0, 0, 0, 0),
         orig_p: hilti_rt::addr::Port::tcp(0),
@@ -249,6 +249,9 @@ pub fn run_http_analysis_governed(
 
     let mut flows = FlowTable::new();
     let mut std_parsers: HashMap<String, HttpConnParser> = HashMap::new();
+    // First-seen uid order, so the end-of-trace flush below is
+    // deterministic (HashMap iteration order is not).
+    let mut std_order: Vec<String> = Vec::new();
     let mut bp = match stack {
         ParserStack::Binpac => {
             let mut b = BinpacHttp::new(OptLevel::Full, Some(profiler.clone()))?;
@@ -302,6 +305,9 @@ pub fn run_http_analysis_governed(
                 match stack {
                     ParserStack::Standard => {
                         let _pp = profiler.enter(Component::ProtocolParsing);
+                        if !std_parsers.contains_key(&uid) {
+                            std_order.push(uid.clone());
+                        }
                         let parser = std_parsers
                             .entry(uid.clone())
                             .or_insert_with(|| HttpConnParser::new(uid.clone(), id));
@@ -371,8 +377,12 @@ pub fn run_http_analysis_governed(
     match stack {
         ParserStack::Standard => {
             let _pp = profiler.enter(Component::ProtocolParsing);
-            for parser in std_parsers.values_mut() {
-                parser.finish(last_ts, &mut tail_events);
+            // `remove` guards against a uid recorded twice (a flow expired
+            // and re-opened re-enters the order list).
+            for uid in &std_order {
+                if let Some(mut parser) = std_parsers.remove(uid) {
+                    parser.finish(last_ts, &mut tail_events);
+                }
             }
         }
         ParserStack::Binpac => {

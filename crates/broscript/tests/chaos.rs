@@ -178,8 +178,21 @@ fn script_fuel_quarantines_event_handlers() {
     let r = run_http_analysis_governed(&trace, ParserStack::Standard, Engine::Compiled, &gov)
         .unwrap();
     assert!(!r.flow_errors.is_empty());
+    // Starvation surfaces directly (fuel exhausted mid-handler) and as
+    // follow-on failures in later handlers on the same flow whose state
+    // never got written (map lookups miss); both are quarantined per event.
+    assert!(
+        r.flow_errors
+            .iter()
+            .any(|fe| fe.kind == "Hilti::ResourceExhausted"),
+        "{:?}",
+        r.flow_errors
+    );
     for fe in &r.flow_errors {
-        assert_eq!(fe.kind, "Hilti::ResourceExhausted", "{fe:?}");
+        assert!(
+            fe.kind == "Hilti::ResourceExhausted" || fe.kind == "Hilti::IndexError",
+            "{fe:?}"
+        );
     }
     assert_eq!(r.packets, trace.len() as u64);
 }

@@ -1,0 +1,160 @@
+//! Differential determinism tests for the flow-sharded parallel pipeline:
+//! for every worker count N, the N-worker run must be **byte-identical**
+//! to the 1-worker run — and the 1-worker run identical to the sequential
+//! pipeline — over adversarial chaos traces, with telemetry on. Sharding
+//! may only change throughput, never output.
+
+use broscript::host::Engine;
+use broscript::parallel::{
+    run_dns_analysis_parallel, run_http_analysis_parallel, PipelineOptions,
+};
+use broscript::pipeline::{
+    run_dns_analysis_governed, run_http_analysis_governed, AnalysisResult, Governance,
+    ParserStack,
+};
+use netpkt::synth::{chaos_dns_trace, chaos_http_trace, ChaosConfig};
+
+fn chaos_gov() -> Governance {
+    Governance {
+        idle_timeout_ms: Some(10),
+        per_flow_heap: Some(8 * 1024),
+        script_fuel: Some(500_000),
+        quarantine: true,
+        inject_fault_after: None,
+        telemetry: true,
+    }
+}
+
+fn opts(workers: usize) -> PipelineOptions {
+    PipelineOptions {
+        workers,
+        governance: chaos_gov(),
+    }
+}
+
+/// Asserts every externally observable field of two runs is identical,
+/// including the byte-rendered telemetry snapshot.
+fn assert_identical(a: &AnalysisResult, b: &AnalysisResult, what: &str) {
+    assert_eq!(a.http_log, b.http_log, "{what}: http.log");
+    assert_eq!(a.files_log, b.files_log, "{what}: files.log");
+    assert_eq!(a.dns_log, b.dns_log, "{what}: dns.log");
+    assert_eq!(a.output, b.output, "{what}: printed output");
+    assert_eq!(a.flow_errors, b.flow_errors, "{what}: flow-error ledger");
+    assert_eq!(a.events, b.events, "{what}: dispatched events");
+    assert_eq!(a.packets, b.packets, "{what}: packets");
+    assert_eq!(a.flows_expired, b.flows_expired, "{what}: flows_expired");
+    assert_eq!(a.peak_flow_bytes, b.peak_flow_bytes, "{what}: peak_flow_bytes");
+    assert_eq!(a.parse_failures, b.parse_failures, "{what}: parse_failures");
+    assert_eq!(a.telemetry, b.telemetry, "{what}: telemetry snapshot");
+    assert_eq!(
+        a.telemetry.to_json(),
+        b.telemetry.to_json(),
+        "{what}: telemetry JSON bytes"
+    );
+}
+
+const WORKER_COUNTS: [usize; 3] = [2, 4, 7];
+
+#[test]
+fn http_chaos_output_independent_of_worker_count() {
+    let trace = chaos_http_trace(&ChaosConfig::new(0xC0FFEE));
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let base = run_http_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(1))
+            .unwrap_or_else(|e| panic!("{stack:?} x1: {e}"));
+        assert!(base.packets > 0 && !base.http_log.is_empty());
+        for n in WORKER_COUNTS {
+            let r = run_http_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(n))
+                .unwrap_or_else(|e| panic!("{stack:?} x{n}: {e}"));
+            assert_identical(&base, &r, &format!("http {stack:?} x{n} vs x1"));
+        }
+    }
+}
+
+#[test]
+fn dns_chaos_output_independent_of_worker_count() {
+    let trace = chaos_dns_trace(11, 20, 5);
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let base = run_dns_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(1))
+            .unwrap_or_else(|e| panic!("{stack:?} x1: {e}"));
+        assert!(base.packets > 0 && !base.dns_log.is_empty());
+        for n in WORKER_COUNTS {
+            let r = run_dns_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(n))
+                .unwrap_or_else(|e| panic!("{stack:?} x{n}: {e}"));
+            assert_identical(&base, &r, &format!("dns {stack:?} x{n} vs x1"));
+        }
+    }
+}
+
+#[test]
+fn http_parallel_one_worker_matches_sequential() {
+    let trace = chaos_http_trace(&ChaosConfig::new(0xC0FFEE));
+    let gov = chaos_gov();
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let seq = run_http_analysis_governed(&trace, stack, Engine::Interpreted, &gov)
+            .unwrap_or_else(|e| panic!("{stack:?} seq: {e}"));
+        let par = run_http_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(1))
+            .unwrap_or_else(|e| panic!("{stack:?} par: {e}"));
+        assert_identical(&seq, &par, &format!("http {stack:?} seq vs par(1)"));
+    }
+}
+
+#[test]
+fn dns_parallel_one_worker_matches_sequential() {
+    let trace = chaos_dns_trace(11, 20, 5);
+    let gov = chaos_gov();
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let seq = run_dns_analysis_governed(&trace, stack, Engine::Interpreted, &gov)
+            .unwrap_or_else(|e| panic!("{stack:?} seq: {e}"));
+        let par = run_dns_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(1))
+            .unwrap_or_else(|e| panic!("{stack:?} par: {e}"));
+        assert_identical(&seq, &par, &format!("dns {stack:?} seq vs par(1)"));
+    }
+}
+
+#[test]
+fn compiled_engine_parallel_matches_sequential() {
+    // The HILTI-compiled script engine through the parallel path: each
+    // shard owns a private program image and VM context (§3.2).
+    let trace = chaos_http_trace(&ChaosConfig::new(7));
+    let gov = chaos_gov();
+    let seq = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov)
+        .expect("sequential compiled");
+    for n in [1, 4] {
+        let par =
+            run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts(n))
+                .unwrap_or_else(|e| panic!("compiled x{n}: {e}"));
+        assert_identical(&seq, &par, &format!("compiled x{n} vs sequential"));
+    }
+}
+
+#[test]
+fn ungoverned_fatal_error_matches_sequential() {
+    // Without quarantine, an injected parser fault must abort the whole
+    // run — and the parallel pipeline must surface the *same first* error
+    // the sequential one does, regardless of worker count.
+    let trace = chaos_http_trace(&ChaosConfig::new(0xC0FFEE));
+    let gov = Governance {
+        quarantine: false,
+        per_flow_heap: Some(1024),
+        telemetry: false,
+        ..Governance::default()
+    };
+    let Err(seq) = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov)
+    else {
+        panic!("budget of 1 KiB must blow up on the chaos trace")
+    };
+    for n in [1, 2, 4] {
+        let Err(par) = run_http_analysis_parallel(
+            &trace,
+            ParserStack::Binpac,
+            Engine::Interpreted,
+            &PipelineOptions {
+                workers: n,
+                governance: gov,
+            },
+        ) else {
+            panic!("parallel run x{n} must abort too")
+        };
+        assert_eq!(seq, par, "fatal error x{n}");
+    }
+}

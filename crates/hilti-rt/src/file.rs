@@ -78,6 +78,16 @@ impl LogFile {
         }
     }
 
+    /// Lines from index `start` on (in-memory sinks only). Incremental
+    /// readers pair this with [`LogFile::len`] to avoid copying the whole
+    /// log on every poll.
+    pub fn lines_from(&self, start: usize) -> Vec<String> {
+        match &*self.sink.lock() {
+            Sink::Memory(lines) => lines[start.min(lines.len())..].to_vec(),
+            Sink::Disk(_) => Vec::new(),
+        }
+    }
+
     /// Number of lines written (in-memory sinks only).
     pub fn len(&self) -> usize {
         match &*self.sink.lock() {

@@ -165,6 +165,28 @@ impl Profiler {
         self.counters.counters()
     }
 
+    /// Adds another profiler's component totals and named counters into
+    /// this one — merging per-shard profilers after a parallel run. The
+    /// other profiler must not share state with `self` (absorbing a clone
+    /// of `self` would deadlock on the state mutex).
+    pub fn absorb(&self, other: &Profiler) {
+        debug_assert!(
+            !Arc::ptr_eq(&self.state, &other.state),
+            "absorbing a clone of self"
+        );
+        let other_totals = other.snapshot();
+        let mut st = self.state.lock();
+        for (c, ns) in other_totals {
+            if ns > 0 {
+                *st.totals.entry(c).or_default() += ns;
+            }
+        }
+        drop(st);
+        for (name, v) in other.counters.counters() {
+            self.counters.counter(&name).add(v);
+        }
+    }
+
     /// Resets all measurements. Counter handles stay valid.
     pub fn reset(&self) {
         let mut st = self.state.lock();
@@ -281,5 +303,30 @@ mod tests {
         let q = p.clone();
         q.count("shared", 2);
         assert_eq!(p.counter("shared"), 2);
+    }
+
+    #[test]
+    fn absorb_sums_totals_and_counters() {
+        let a = Profiler::new();
+        let b = Profiler::new();
+        {
+            let _s = a.enter(Component::Glue);
+            spin(Duration::from_millis(1));
+        }
+        {
+            let _s = b.enter(Component::Glue);
+            spin(Duration::from_millis(1));
+        }
+        a.count("events", 2);
+        b.count("events", 3);
+        b.count("only_b", 1);
+        let glue_a = a.total(Component::Glue);
+        let glue_b = b.total(Component::Glue);
+        a.absorb(&b);
+        assert_eq!(a.total(Component::Glue), glue_a + glue_b);
+        assert_eq!(a.counter("events"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        // The absorbed profiler is untouched.
+        assert_eq!(b.counter("events"), 3);
     }
 }

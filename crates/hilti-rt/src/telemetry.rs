@@ -326,6 +326,14 @@ impl EventSink {
         self.inner.lock().events.clone()
     }
 
+    /// Events from index `start` on, in emission order. Lets incremental
+    /// consumers (the sharded pipeline attributing engine events to packet
+    /// slots) drain only what is new instead of copying the whole buffer.
+    pub fn events_since(&self, start: usize) -> Vec<Event> {
+        let inner = self.inner.lock();
+        inner.events[start.min(inner.events.len())..].to_vec()
+    }
+
     /// Events of one kind, in emission order.
     pub fn events_of(&self, kind: &str) -> Vec<Event> {
         self.inner
@@ -428,6 +436,61 @@ pub struct TelemetrySnapshot {
 }
 
 impl TelemetrySnapshot {
+    /// Merges snapshots from independent producers (e.g. one per pipeline
+    /// shard) into one combined view. Counters are summed, gauges
+    /// max-merged (they track peaks), histograms merged bucket-wise with
+    /// counts and sums added, `events_dropped` summed, and event lists
+    /// concatenated in the order given — callers that need a specific
+    /// global event order should arrange `parts` (or rewrite `events`)
+    /// accordingly.
+    pub fn merge(parts: &[TelemetrySnapshot]) -> TelemetrySnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, (u64, u64, BTreeMap<u64, u64>)> = BTreeMap::new();
+        let mut events = Vec::new();
+        let mut events_dropped = 0u64;
+        for p in parts {
+            for (n, v) in &p.counters {
+                *counters.entry(n.clone()).or_default() += v;
+            }
+            for (n, v) in &p.gauges {
+                let g = gauges.entry(n.clone()).or_default();
+                *g = (*g).max(*v);
+            }
+            for (n, h) in &p.histograms {
+                let e = histograms
+                    .entry(n.clone())
+                    .or_insert_with(|| (0, 0, BTreeMap::new()));
+                e.0 += h.count;
+                e.1 += h.sum;
+                for (upper, c) in &h.buckets {
+                    *e.2.entry(*upper).or_default() += c;
+                }
+            }
+            events.extend(p.events.iter().cloned());
+            events_dropped += p.events_dropped;
+        }
+        TelemetrySnapshot {
+            counters: counters.into_iter().filter(|(_, v)| *v > 0).collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(n, (count, sum, buckets))| {
+                    (
+                        n,
+                        HistogramSnapshot {
+                            count,
+                            sum,
+                            buckets: buckets.into_iter().collect(),
+                        },
+                    )
+                })
+                .collect(),
+            events,
+            events_dropped,
+        }
+    }
+
     /// Value of a counter, zero if absent.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -779,6 +842,58 @@ mod tests {
         sink.clear();
         assert!(sink.is_empty());
         assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn events_since_reads_incrementally() {
+        let sink = EventSink::new();
+        sink.emit("a", vec![]);
+        sink.emit("b", vec![]);
+        assert_eq!(sink.events_since(1).len(), 1);
+        assert_eq!(sink.events_since(1)[0].kind, "b");
+        assert!(sink.events_since(2).is_empty());
+        assert!(sink.events_since(99).is_empty());
+        sink.emit("c", vec![]);
+        assert_eq!(sink.events_since(2)[0].kind, "c");
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_maxes_gauges_merges_buckets() {
+        let mk = |c: u64, g: u64, obs: &[u64]| {
+            let t = Telemetry::new();
+            t.counter("pipeline.packets").add(c);
+            t.gauge("pipeline.peak").set_max(g);
+            for &v in obs {
+                t.histogram("pipeline.payload_bytes").observe(v);
+            }
+            t.emit("e", vec![("n", c.into())]);
+            t.snapshot()
+        };
+        let a = mk(3, 10, &[1, 255]);
+        let b = mk(4, 7, &[255, 300]);
+        let m = TelemetrySnapshot::merge(&[a.clone(), b.clone()]);
+        assert_eq!(m.counter("pipeline.packets"), 7);
+        assert_eq!(m.gauge("pipeline.peak"), 10);
+        let h = &m.histograms[0].1;
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 811);
+        // Bucket (255, 1) from each part combines into (255, 2).
+        assert!(h.buckets.contains(&(255, 2)), "{:?}", h.buckets);
+        // Events concatenate in part order; drops sum.
+        assert_eq!(m.events.len(), 2);
+        assert_eq!(m.events_dropped, 0);
+        // Merging one part is the identity.
+        assert_eq!(TelemetrySnapshot::merge(&[a.clone()]), a);
+        // Merge order does not affect the metric view.
+        let m2 = TelemetrySnapshot::merge(&[b, a]);
+        assert_eq!(m.counters, m2.counters);
+        assert_eq!(m.gauges, m2.gauges);
+        assert_eq!(m.histograms, m2.histograms);
+    }
+
+    #[test]
+    fn snapshot_merge_of_nothing_is_default() {
+        assert_eq!(TelemetrySnapshot::merge(&[]), TelemetrySnapshot::default());
     }
 
     #[test]

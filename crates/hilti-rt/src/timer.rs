@@ -78,6 +78,14 @@ impl<T: Eq> TimerMgr<T> {
         self.len() == 0
     }
 
+    /// Number of records physically on the heap, including cancelled
+    /// tombstones awaiting lazy removal. Diagnostic: `heaped() - len()`
+    /// is the tombstone count, bounded by `len() + 1` thanks to
+    /// compaction in [`TimerMgr::cancel`].
+    pub fn heaped(&self) -> usize {
+        self.heap.len()
+    }
+
     /// Schedules `payload` to fire at `deadline`. Deadlines in the past fire
     /// on the next `advance` call (HILTI semantics: never synchronously).
     pub fn schedule(&mut self, deadline: Time, payload: T) -> TimerId {
@@ -100,7 +108,29 @@ impl<T: Eq> TimerMgr<T> {
         }
         // The heap record stays until popped; mark it for lazy removal.
         self.cancelled.insert(id.0);
+        // Tombstones with far deadlines are never popped, so repeated
+        // schedule/cancel cycles (idle-timer re-arming does exactly this)
+        // would grow the heap without bound. Compact once tombstones
+        // outnumber live timers: each compaction is O(n) over a heap at
+        // least half dead, so the cost is amortized O(1) per cancel.
+        if self.cancelled.len() > self.pending.len() {
+            self.compact();
+        }
         true
+    }
+
+    /// Rebuilds the heap without cancelled records.
+    fn compact(&mut self) {
+        let cancelled = &mut self.cancelled;
+        self.heap = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .filter(|Reverse(e)| !cancelled.remove(&e.seq))
+            .collect();
+        debug_assert!(
+            cancelled.is_empty(),
+            "every cancelled id has exactly one heap record"
+        );
     }
 
     /// Moves the clock forward to `to` (never backwards) and returns the
@@ -266,6 +296,67 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert_eq!(m.advance(Time::from_secs(5)), vec![2]);
         assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn schedule_cancel_churn_keeps_heap_compact() {
+        // Regression: cancelled-but-heaped tombstones were only dropped on
+        // pop, so schedule/cancel cycles on far deadlines (idle-timer
+        // re-arming) grew the heap without bound.
+        let mut m = TimerMgr::new();
+        let keeper = m.schedule(Time::from_secs(1_000_000), 0u64);
+        for i in 1..=10_000u64 {
+            let id = m.schedule(Time::from_secs(1_000_000), i);
+            m.cancel(id);
+        }
+        assert_eq!(m.len(), 1);
+        assert!(
+            m.heaped() <= 3,
+            "heap kept {} records for 1 live timer",
+            m.heaped()
+        );
+        assert!(m.cancel(keeper));
+        assert_eq!(m.heaped(), 0, "compaction drops the last tombstone");
+        assert!(m.advance(Time::from_secs(2_000_000)).is_empty());
+    }
+
+    #[test]
+    fn rearmed_payload_fires_once_at_new_deadline() {
+        // Cancel + re-arm the same payload ("uid") at a later deadline:
+        // advancing past the old deadline must not fire the cancelled
+        // record, and the re-armed one fires exactly once — also when
+        // compaction runs between cancel and re-arm.
+        let mut m = TimerMgr::new();
+        let old = m.schedule(Time::from_secs(10), "uid-1");
+        assert!(m.cancel(old));
+        m.schedule(Time::from_secs(30), "uid-1");
+        assert_eq!(m.advance(Time::from_secs(10)), Vec::<&str>::new());
+        assert_eq!(m.advance(Time::from_secs(30)), vec!["uid-1"]);
+        assert_eq!(m.advance(Time::from_secs(100)), Vec::<&str>::new());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.heaped(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_firing_order() {
+        // Heavy churn interleaved with live timers must not disturb
+        // deadline order or FIFO-within-deadline.
+        let mut m = TimerMgr::new();
+        let mut live = Vec::new();
+        for i in 0..200u64 {
+            let id = m.schedule(Time::from_secs(100 + (i % 7)), i);
+            if i % 3 == 0 {
+                live.push(i);
+            } else {
+                m.cancel(id);
+            }
+        }
+        assert_eq!(m.len(), live.len());
+        assert!(m.heaped() <= 2 * live.len() + 1);
+        let fired = m.advance(Time::from_secs(200));
+        let mut expected: Vec<u64> = live;
+        expected.sort_by_key(|i| (100 + (i % 7), *i));
+        assert_eq!(fired, expected);
     }
 
     #[test]

@@ -9,15 +9,30 @@
 //! with flow-hash IDs, for one flow — is implicitly serialized with no
 //! further synchronization (§3.2).
 //!
-//! State isolation is structural: every worker owns a private
-//! [`Context`] (its own copy of all thread-local globals) *and its own
-//! program image* — bytecode values are single-thread reference-counted, so
-//! the pool takes a `Send` factory and each worker materializes the program
-//! locally (the analog of each hardware thread mapping the shared text
-//! segment plus private TLS). Every value crossing the boundary travels as
-//! a deep-copied [`Portable`] snapshot. "HILTI code is always safe to
-//! execute in parallel" (§7).
+//! Two layers live here:
+//!
+//! * [`WorkPool`] — a generic pool of workers, each owning private state of
+//!   type `S` built *on* the worker thread (so `S` may be `!Send`: `Rc`-based
+//!   program images, `RefCell` script hosts, ...). Jobs are `Send` closures
+//!   over `&mut S`; each worker holds a [`PoolHandle`] so jobs can submit
+//!   further jobs to any worker, and [`WorkPool::quiesce`] drains such
+//!   cascades to a fixed point. The flow-sharded analysis pipeline
+//!   (`broscript::parallel`) runs its shards on this layer.
+//! * [`ThreadPool`] — the HILTI virtual-thread scheduler built on
+//!   `WorkPool`: each worker materializes its own program image and
+//!   [`Context`], and `thread.schedule` requests that cross workers are
+//!   shipped as deep-copied [`Portable`] values instead of being flagged as
+//!   unroutable. "HILTI code is always safe to execute in parallel" (§7).
+//!
+//! State isolation is structural: every worker owns a private [`Context`]
+//! (its own copy of all thread-local globals) *and its own program image* —
+//! bytecode values are single-thread reference-counted, so the pool takes a
+//! `Send` factory and each worker materializes the program locally (the
+//! analog of each hardware thread mapping the shared text segment plus
+//! private TLS). Every value crossing the boundary travels as a deep-copied
+//! [`Portable`] snapshot.
 
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,23 +42,205 @@ use crossbeam::channel::{unbounded, Sender};
 use hilti_rt::error::{RtError, RtResult};
 
 use crate::bytecode::CompiledProgram;
-use crate::value::{Portable, Value};
+use crate::value::{CallableVal, Portable, Value};
 use crate::vm::{self, Context};
 
-/// A job: run `func` with portable args on some virtual thread.
-struct Job {
-    vthread: u64,
-    func: String,
-    args: Vec<Portable>,
-}
+// ---------------------------------------------------------------------------
+// Generic worker pool
+// ---------------------------------------------------------------------------
 
-enum Msg {
-    Run(Job),
+/// A job: an arbitrary closure over one worker's private state.
+type PoolJob<S> = Box<dyn FnOnce(&mut S) + Send>;
+
+enum PoolMsg<S> {
+    Run(PoolJob<S>),
     /// Reply when all previously queued work is done (barrier).
     Ping(Sender<()>),
-    /// Drain and stop; reply with the worker's output lines.
-    Stop(Sender<WorkerReport>),
+    /// Exit the worker loop.
+    Stop,
 }
+
+/// A cloneable, `Send` handle to a [`WorkPool`]'s submission side. Worker
+/// state typically stores one so in-flight jobs can schedule follow-up work
+/// on other workers (cross-shard rescheduling).
+pub struct PoolHandle<S> {
+    senders: Vec<Sender<PoolMsg<S>>>,
+    jobs_submitted: Arc<AtomicU64>,
+}
+
+// Manual impl: `derive(Clone)` would needlessly require `S: Clone`.
+impl<S> Clone for PoolHandle<S> {
+    fn clone(&self) -> Self {
+        PoolHandle {
+            senders: self.senders.clone(),
+            jobs_submitted: Arc::clone(&self.jobs_submitted),
+        }
+    }
+}
+
+impl<S: 'static> PoolHandle<S> {
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Enqueues `job` on `worker`'s FIFO queue. Jobs submitted from one
+    /// thread to one worker run in submission order.
+    pub fn submit(
+        &self,
+        worker: usize,
+        job: impl FnOnce(&mut S) + Send + 'static,
+    ) -> RtResult<()> {
+        // Increment *before* sending: a stable count across a barrier then
+        // proves no job was in flight (see `WorkPool::quiesce`).
+        self.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+        self.senders[worker]
+            .send(PoolMsg::Run(Box::new(job)))
+            .map_err(|_| RtError::runtime("worker channel closed"))
+    }
+
+    /// Total jobs submitted so far (from all threads).
+    pub fn jobs_submitted(&self) -> u64 {
+        self.jobs_submitted.load(Ordering::SeqCst)
+    }
+
+    fn sync(&self) {
+        let (tx, rx) = unbounded();
+        for s in &self.senders {
+            let _ = s.send(PoolMsg::Ping(tx.clone()));
+        }
+        drop(tx);
+        for _ in 0..self.senders.len() {
+            let _ = rx.recv();
+        }
+    }
+}
+
+/// A pool of OS worker threads, each owning private state of type `S`.
+///
+/// `S` is built by the factory *on the worker thread*, so it may be `!Send`;
+/// only the job closures cross threads.
+pub struct WorkPool<S> {
+    handle: PoolHandle<S>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<S: 'static> WorkPool<S> {
+    /// Spawns `workers` threads. Each calls `factory(index, handle)` once to
+    /// build its state, then runs jobs from its queue until shutdown.
+    pub fn new(
+        workers: usize,
+        factory: impl Fn(usize, PoolHandle<S>) -> S + Send + Sync + 'static,
+    ) -> WorkPool<S> {
+        assert!(workers > 0, "need at least one worker");
+        let factory = Arc::new(factory);
+        // All channels exist before any worker starts, so the handle each
+        // worker receives can reach every other worker from the first job.
+        let mut senders = Vec::with_capacity(workers);
+        let mut receivers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = unbounded::<PoolMsg<S>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let handle = PoolHandle {
+            senders,
+            jobs_submitted: Arc::new(AtomicU64::new(0)),
+        };
+        let mut handles = Vec::with_capacity(workers);
+        for (w, rx) in receivers.into_iter().enumerate() {
+            let factory = factory.clone();
+            let handle = handle.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("hilti-worker-{w}"))
+                .spawn(move || {
+                    let mut state = factory(w, handle);
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            PoolMsg::Run(job) => job(&mut state),
+                            PoolMsg::Ping(reply) => {
+                                let _ = reply.send(());
+                            }
+                            PoolMsg::Stop => break,
+                        }
+                    }
+                })
+                .expect("spawn worker");
+            handles.push(h);
+        }
+        WorkPool { handle, handles }
+    }
+
+    /// A submission handle (cloneable, `Send`).
+    pub fn handle(&self) -> PoolHandle<S> {
+        self.handle.clone()
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.handle.workers()
+    }
+
+    /// Enqueues `job` on `worker`'s queue.
+    pub fn submit(
+        &self,
+        worker: usize,
+        job: impl FnOnce(&mut S) + Send + 'static,
+    ) -> RtResult<()> {
+        self.handle.submit(worker, job)
+    }
+
+    /// Total jobs submitted so far.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.handle.jobs_submitted()
+    }
+
+    /// Blocks until every worker has drained all work queued *so far*
+    /// (including its startup state build). A single barrier does not cover
+    /// jobs that running jobs submit to other workers — see
+    /// [`WorkPool::quiesce`] for that.
+    pub fn sync(&self) {
+        self.handle.sync();
+    }
+
+    /// Blocks until the pool is fully idle, including cascades of jobs that
+    /// submit further cross-worker jobs.
+    ///
+    /// Proof sketch: the submission counter is incremented *before* the job
+    /// is enqueued, and a `sync` barrier flushes every queue behind all
+    /// sends observed so far. If the counter is identical before and after
+    /// two consecutive barriers, then no job ran during the first barrier
+    /// round that could have enqueued work racing the second — every
+    /// submission had already been counted, and both barriers flushed it.
+    pub fn quiesce(&self) {
+        loop {
+            let before = self.jobs_submitted();
+            self.sync();
+            self.sync();
+            if self.jobs_submitted() == before {
+                break;
+            }
+        }
+    }
+
+    /// Stops all workers after draining their queues (including cascading
+    /// resubmissions) and joins the threads. Worker state is dropped on the
+    /// worker thread; to harvest results, submit a job that sends them over
+    /// a channel before calling this.
+    pub fn shutdown(self) {
+        self.quiesce();
+        for s in &self.handle.senders {
+            let _ = s.send(PoolMsg::Stop);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HILTI virtual-thread scheduler
+// ---------------------------------------------------------------------------
 
 /// What a worker hands back at shutdown.
 pub struct WorkerReport {
@@ -53,11 +250,72 @@ pub struct WorkerReport {
     pub errors: Vec<String>,
 }
 
+/// Per-worker state: a private program image and context (`!Send` — built on
+/// the worker thread), plus a pool handle for shipping rescheduled work.
+struct HiltiWorker {
+    worker: usize,
+    prog: CompiledProgram,
+    ctx: Context,
+    jobs_run: u64,
+    errors: Vec<String>,
+    pool: PoolHandle<HiltiWorker>,
+}
+
+fn run_job(st: &mut HiltiWorker, vthread: u64, func: &str, args: &[Portable]) {
+    st.jobs_run += 1;
+    st.ctx.thread_id = vthread;
+    let vals: Vec<Value> = args.iter().map(Value::from_portable).collect();
+    if let Err(e) = vm::call(&st.prog, &mut st.ctx, func, &vals) {
+        st.errors.push(format!("{func}: {e}"));
+    }
+    drain_scheduled(st);
+}
+
+/// Routes `thread.schedule` requests accumulated in the context: same-worker
+/// targets run inline (they are serialized with us by construction);
+/// cross-worker targets ship as a new job with deep-copied bound arguments.
+fn drain_scheduled(st: &mut HiltiWorker) {
+    while !st.ctx.scheduled.is_empty() {
+        let batch: Vec<(u64, CallableVal)> = st.ctx.scheduled.drain(..).collect();
+        for (tid, c) in batch {
+            let target = placement(tid, st.pool.workers());
+            if target == st.worker {
+                st.ctx.thread_id = tid;
+                if let Err(e) = vm::run_callable(&st.prog, &mut st.ctx, &c, &[]) {
+                    st.errors.push(format!("{}: {e}", c.func));
+                }
+                continue;
+            }
+            let bound = match c.bound.iter().map(Value::to_portable).collect::<RtResult<Vec<_>>>()
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    st.errors.push(format!("{}: {e}", c.func));
+                    continue;
+                }
+            };
+            let func = c.func.to_string();
+            if let Err(e) = st.pool.submit(target, move |st2: &mut HiltiWorker| {
+                st2.jobs_run += 1;
+                st2.ctx.thread_id = tid;
+                let c2 = CallableVal {
+                    func: Rc::from(func.as_str()),
+                    bound: bound.iter().map(Value::from_portable).collect(),
+                };
+                if let Err(e) = vm::run_callable(&st2.prog, &mut st2.ctx, &c2, &[]) {
+                    st2.errors.push(format!("{}: {e}", c2.func));
+                }
+                drain_scheduled(st2);
+            }) {
+                st.errors.push(format!("{}: {e}", c.func));
+            }
+        }
+    }
+}
+
 /// The virtual-thread scheduler over a pool of hardware workers.
 pub struct ThreadPool {
-    senders: Vec<Sender<Msg>>,
-    handles: Vec<JoinHandle<()>>,
-    jobs_submitted: Arc<AtomicU64>,
+    pool: WorkPool<HiltiWorker>,
 }
 
 impl ThreadPool {
@@ -68,76 +326,24 @@ impl ThreadPool {
         factory: impl Fn() -> CompiledProgram + Send + Sync + 'static,
         workers: usize,
     ) -> ThreadPool {
-        assert!(workers > 0, "need at least one worker");
-        let factory = Arc::new(factory);
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let (tx, rx) = unbounded::<Msg>();
-            let factory = factory.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("hilti-worker-{w}"))
-                .spawn(move || {
-                    let prog = factory();
-                    let mut ctx = Context::for_program(&prog);
-                    let mut jobs_run = 0u64;
-                    let mut errors: Vec<String> = Vec::new();
-                    while let Ok(msg) = rx.recv() {
-                        match msg {
-                            Msg::Run(job) => {
-                                ctx.thread_id = job.vthread;
-                                jobs_run += 1;
-                                let args: Vec<Value> =
-                                    job.args.iter().map(Value::from_portable).collect();
-                                if let Err(e) = vm::call(&prog, &mut ctx, &job.func, &args) {
-                                    errors.push(format!("{}: {e}", job.func));
-                                }
-                                // Jobs may themselves schedule further work;
-                                // those requests stay queued in the context
-                                // and are surfaced as errors if unroutable.
-                                for (tid, c) in ctx.scheduled.drain(..).collect::<Vec<_>>() {
-                                    // Same-worker rescheduling executes
-                                    // inline (we cannot reach the pool from
-                                    // inside a worker); cross-worker jobs
-                                    // are reported.
-                                    let args: Vec<Value> = Vec::new();
-                                    ctx.thread_id = tid;
-                                    if let Err(e) =
-                                        vm::run_callable(&prog, &mut ctx, &c, &args)
-                                    {
-                                        errors.push(format!("{}: {e}", c.func));
-                                    }
-                                }
-                            }
-                            Msg::Ping(reply) => {
-                                let _ = reply.send(());
-                            }
-                            Msg::Stop(reply) => {
-                                let _ = reply.send(WorkerReport {
-                                    worker: w,
-                                    jobs_run,
-                                    output: ctx.take_output(),
-                                    errors: std::mem::take(&mut errors),
-                                });
-                                break;
-                            }
-                        }
-                    }
-                })
-                .expect("spawn worker");
-            senders.push(tx);
-            handles.push(handle);
-        }
-        ThreadPool {
-            senders,
-            handles,
-            jobs_submitted: Arc::new(AtomicU64::new(0)),
-        }
+        let pool = WorkPool::new(workers, move |w, handle| {
+            let prog = factory();
+            let ctx = Context::for_program(&prog);
+            HiltiWorker {
+                worker: w,
+                prog,
+                ctx,
+                jobs_run: 0,
+                errors: Vec::new(),
+                pool: handle,
+            }
+        });
+        ThreadPool { pool }
     }
 
     /// Number of hardware workers.
     pub fn workers(&self) -> usize {
-        self.senders.len()
+        self.pool.workers()
     }
 
     /// Schedules `func(args)` onto virtual thread `vthread`
@@ -157,50 +363,52 @@ impl ThreadPool {
         func: &str,
         args: Vec<Portable>,
     ) -> RtResult<()> {
-        let worker = (vthread % self.senders.len() as u64) as usize;
-        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-        self.senders[worker]
-            .send(Msg::Run(Job {
-                vthread,
-                func: func.to_owned(),
-                args,
-            }))
-            .map_err(|_| RtError::runtime("worker channel closed"))
+        let worker = placement(vthread, self.pool.workers());
+        let func = func.to_owned();
+        self.pool
+            .submit(worker, move |st| run_job(st, vthread, &func, &args))
     }
 
-    /// Total jobs submitted so far.
+    /// Total jobs submitted so far (external schedules plus cross-worker
+    /// reschedules).
     pub fn jobs_submitted(&self) -> u64 {
-        self.jobs_submitted.load(Ordering::Relaxed)
+        self.pool.jobs_submitted()
     }
 
     /// Blocks until every worker has drained all work queued so far
     /// (including its startup program build). Useful for excluding
     /// warm-up from measurements and for flushing between phases.
     pub fn sync(&self) {
-        let (tx, rx) = unbounded();
-        for s in &self.senders {
-            let _ = s.send(Msg::Ping(tx.clone()));
-        }
-        drop(tx);
-        for _ in 0..self.senders.len() {
-            let _ = rx.recv();
-        }
+        self.pool.sync();
     }
 
-    /// Stops all workers after draining their queues and collects reports.
+    /// Stops all workers after draining their queues — including jobs that
+    /// scheduled further work onto *other* virtual threads — and collects
+    /// reports.
     pub fn shutdown(self) -> Vec<WorkerReport> {
-        let mut reports = Vec::with_capacity(self.senders.len());
-        let (reply_tx, reply_rx) = unbounded();
-        for tx in &self.senders {
-            let _ = tx.send(Msg::Stop(reply_tx.clone()));
+        self.pool.quiesce();
+        let workers = self.pool.workers();
+        let (tx, rx) = unbounded();
+        for w in 0..workers {
+            let tx = tx.clone();
+            // Harvest jobs do not count as virtual-thread jobs.
+            let _ = self.pool.submit(w, move |st: &mut HiltiWorker| {
+                let _ = tx.send(WorkerReport {
+                    worker: st.worker,
+                    jobs_run: st.jobs_run,
+                    output: st.ctx.take_output(),
+                    errors: std::mem::take(&mut st.errors),
+                });
+            });
         }
-        drop(reply_tx);
-        while let Ok(r) = reply_rx.recv() {
-            reports.push(r);
+        drop(tx);
+        let mut reports = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            if let Ok(r) = rx.recv() {
+                reports.push(r);
+            }
         }
-        for h in self.handles {
-            let _ = h.join();
-        }
+        self.pool.shutdown();
         reports.sort_by_key(|r| r.worker);
         reports
     }
@@ -209,6 +417,87 @@ impl ThreadPool {
 /// The worker a virtual thread maps to under `workers`-way scheduling.
 pub fn placement(vthread: u64, workers: usize) -> usize {
     (vthread % workers.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    #[test]
+    fn workers_own_private_state() {
+        // Each worker's state counts only jobs aimed at it.
+        let pool = WorkPool::new(4, |w, _handle| (w, 0u64));
+        for w in 0..4 {
+            for _ in 0..=w {
+                pool.submit(w, |st: &mut (usize, u64)| st.1 += 1).unwrap();
+            }
+        }
+        let (tx, rx) = unbounded();
+        for w in 0..4 {
+            let tx = tx.clone();
+            pool.submit(w, move |st: &mut (usize, u64)| {
+                let _ = tx.send(*st);
+            })
+            .unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<(usize, u64)> = Vec::new();
+        for _ in 0..4 {
+            got.push(rx.recv().unwrap());
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn state_may_be_not_send() {
+        // Rc is !Send; the factory builds it on the worker thread.
+        let pool = WorkPool::new(2, |_w, _handle| std::rc::Rc::new(std::cell::Cell::new(0u64)));
+        pool.submit(0, |st| st.set(st.get() + 5)).unwrap();
+        let (tx, rx) = unbounded();
+        pool.submit(0, move |st| {
+            let _ = tx.send(st.get());
+        })
+        .unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        pool.shutdown();
+    }
+
+    struct ChainState {
+        worker: usize,
+        handle: PoolHandle<ChainState>,
+        hits: Arc<AtomicU64>,
+    }
+
+    fn hop(st: &mut ChainState, remaining: u64) {
+        st.hits.fetch_add(1, Ordering::SeqCst);
+        if remaining > 0 {
+            let next = (st.worker + 1) % st.handle.workers();
+            st.handle
+                .submit(next, move |st2| hop(st2, remaining - 1))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn quiesce_drains_cross_worker_cascades() {
+        // A chain of jobs, each submitting the next hop to another worker.
+        // One sync barrier cannot see the whole chain; quiesce must.
+        let hits = Arc::new(AtomicU64::new(0));
+        let pool = WorkPool::new(3, {
+            let hits = hits.clone();
+            move |w, handle| ChainState {
+                worker: w,
+                handle,
+                hits: hits.clone(),
+            }
+        });
+        pool.submit(0, |st| hop(st, 23)).unwrap();
+        pool.quiesce();
+        assert_eq!(hits.load(Ordering::SeqCst), 24);
+        pool.shutdown();
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +613,60 @@ void consume(ref<bytes> b) {
         assert_eq!(reports[0].output, vec!["orig-worker"]);
         // Sender's copy untouched.
         assert_eq!(b.to_vec(), b"orig");
+    }
+
+    const RELAY_SRC: &str = r#"
+module M
+global int<64> n = 0
+
+void bump(int<64> k) {
+    n = int.add n k
+    call Hilti::print n
+}
+
+void relay(int<64> tid) {
+    local callable c
+    c = callable.bind bump (1)
+    thread.schedule tid c
+}
+"#;
+
+    #[test]
+    fn cross_worker_reschedules_are_drained_by_shutdown() {
+        // Every relay runs on worker 0 (vthread 0) and schedules a bump onto
+        // vthread `tid`. Targets on worker 0 (tids 0, 4) run inline; the six
+        // others ship to workers 1-3 as fresh jobs the shutdown barrier must
+        // drain before harvesting.
+        let pool = ThreadPool::new(factory(RELAY_SRC), 4);
+        for tid in 0..8i64 {
+            pool.schedule(0, "M::relay", &[Value::Int(tid)]).unwrap();
+        }
+        let reports = pool.shutdown();
+        for r in &reports {
+            assert!(r.errors.is_empty(), "worker {}: {:?}", r.worker, r.errors);
+            // Each worker received bumps for exactly two tids, in tid order
+            // (single producer, FIFO channel), so its counter prints 1 then 2.
+            assert_eq!(r.output, vec!["1", "2"], "worker {}", r.worker);
+        }
+        // 8 relay jobs + 6 cross-worker bump jobs (inline runs don't count).
+        let total_jobs: u64 = reports.iter().map(|r| r.jobs_run).sum();
+        assert_eq!(total_jobs, 14);
+    }
+
+    #[test]
+    fn rescheduled_chain_across_workers_serializes_per_vthread() {
+        // relay -> bump on a *different* worker, repeated; the bumps for one
+        // vthread all land on its home worker and serialize there.
+        let pool = ThreadPool::new(factory(RELAY_SRC), 2);
+        for _ in 0..50 {
+            pool.schedule(0, "M::relay", &[Value::Int(1)]).unwrap();
+        }
+        let reports = pool.shutdown();
+        let w1 = &reports[1];
+        assert!(w1.errors.is_empty());
+        assert_eq!(w1.jobs_run, 50);
+        let expect: Vec<String> = (1..=50).map(|i| i.to_string()).collect();
+        assert_eq!(w1.output, expect);
     }
 }
 

@@ -225,6 +225,16 @@ impl Default for FlowTable {
     }
 }
 
+/// Stable, symmetric shard hash over a decoded packet's 5-tuple: both
+/// directions of a connection map to the same value, so `shard_hash(p) % N`
+/// pins every packet of a flow to one shard — the paper's hash-based
+/// virtual-thread placement (§3.2) applied to the analysis pipeline. The
+/// value is independent of worker count, platform, and process (FNV-1a
+/// with an avalanche finalizer; no per-process seeding).
+pub fn shard_hash(p: &DecodedPacket) -> u64 {
+    flow_hash(p.src, p.src_port(), p.dst, p.dst_port())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +396,42 @@ mod tests {
         t.process(&late);
         assert_eq!(t.expire_idle(Time::from_secs(50)), 1);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn shard_hash_is_direction_symmetric() {
+        // Both directions of a connection must land on the same shard, or
+        // per-flow parser state would split across workers.
+        let fwd = tcp_pkt("10.0.0.1", "192.168.1.9", 50000, 80, 1, 0, tcp_flags::SYN, b"", 1);
+        let rev = tcp_pkt(
+            "192.168.1.9",
+            "10.0.0.1",
+            80,
+            50000,
+            1,
+            2,
+            tcp_flags::SYN | tcp_flags::ACK,
+            b"",
+            1,
+        );
+        assert_eq!(shard_hash(&fwd), shard_hash(&rev));
+        let u1 = udp_pkt("10.0.0.1", "8.8.8.8", 5000, 53, b"q");
+        let u2 = udp_pkt("8.8.8.8", "10.0.0.1", 53, 5000, b"r");
+        assert_eq!(shard_hash(&u1), shard_hash(&u2));
+    }
+
+    #[test]
+    fn shard_hash_is_stable_across_calls_and_spreads() {
+        // Worker placement must not depend on process state: repeated
+        // hashing of the same tuple is constant, and distinct tuples
+        // spread over small shard counts rather than collapsing.
+        let p = udp_pkt("10.0.0.1", "8.8.8.8", 5000, 53, b"q");
+        assert_eq!(shard_hash(&p), shard_hash(&p));
+        let mut shards = std::collections::HashSet::new();
+        for i in 0..64u16 {
+            let d = udp_pkt("10.0.0.1", "8.8.8.8", 10000 + i, 53, b"x");
+            shards.insert(shard_hash(&d) % 4);
+        }
+        assert_eq!(shards.len(), 4, "64 tuples must cover all 4 shards");
     }
 }

@@ -135,6 +135,19 @@ impl<R: Read> PcapReader<R> {
         self.input
             .read_exact(&mut data)
             .map_err(|e| RtError::io(format!("pcap packet body: {e}")))?;
+        // The fractional field must be a valid sub-second count for the
+        // file's resolution; out-of-range values (classic symptom: a
+        // usec-resolution tool rewriting a nanosecond trace, or vice
+        // versa) would otherwise silently push the timestamp into later
+        // seconds and reorder the trace.
+        let limit = if self.nanos { 1_000_000_000 } else { 1_000_000 };
+        if frac >= limit {
+            return Err(RtError::io(format!(
+                "pcap record {}: fractional timestamp {frac} out of range for {} resolution (must be < {limit})",
+                self.packets_read,
+                if self.nanos { "nanosecond" } else { "microsecond" },
+            )));
+        }
         let ns = if self.nanos {
             u64::from(frac)
         } else {
@@ -158,17 +171,31 @@ impl<R: Read> PcapReader<R> {
     }
 }
 
-/// Writer producing classic little-endian microsecond pcap.
+/// Writer producing classic little-endian pcap, at microsecond (default)
+/// or nanosecond timestamp resolution.
 pub struct PcapWriter<W> {
     output: W,
+    nanos: bool,
     packets_written: u64,
 }
 
 impl<W: Write> PcapWriter<W> {
-    /// Writes the global header for the given link type.
-    pub fn new(mut output: W, link_type: u32) -> RtResult<Self> {
+    /// Writes the global header for the given link type (microsecond
+    /// resolution, `MAGIC_USEC`).
+    pub fn new(output: W, link_type: u32) -> RtResult<Self> {
+        Self::with_resolution(output, link_type, false)
+    }
+
+    /// Like [`PcapWriter::new`] but emitting nanosecond-resolution records
+    /// under `MAGIC_NSEC`, preserving full `Time` precision.
+    pub fn new_nanos(output: W, link_type: u32) -> RtResult<Self> {
+        Self::with_resolution(output, link_type, true)
+    }
+
+    fn with_resolution(mut output: W, link_type: u32, nanos: bool) -> RtResult<Self> {
+        let magic = if nanos { MAGIC_NSEC } else { MAGIC_USEC };
         let mut hdr = Vec::with_capacity(24);
-        hdr.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        hdr.extend_from_slice(&magic.to_le_bytes());
         hdr.extend_from_slice(&2u16.to_le_bytes()); // version major
         hdr.extend_from_slice(&4u16.to_le_bytes()); // version minor
         hdr.extend_from_slice(&0i32.to_le_bytes()); // thiszone
@@ -180,6 +207,7 @@ impl<W: Write> PcapWriter<W> {
             .map_err(|e| RtError::io(format!("pcap header write: {e}")))?;
         Ok(PcapWriter {
             output,
+            nanos,
             packets_written: 0,
         })
     }
@@ -187,10 +215,15 @@ impl<W: Write> PcapWriter<W> {
     /// Appends one packet record.
     pub fn write_packet(&mut self, pkt: &RawPacket) -> RtResult<()> {
         let sec = (pkt.ts.nanos() / 1_000_000_000) as u32;
-        let usec = ((pkt.ts.nanos() % 1_000_000_000) / 1_000) as u32;
+        let subsec_ns = pkt.ts.nanos() % 1_000_000_000;
+        let frac = if self.nanos {
+            subsec_ns as u32
+        } else {
+            (subsec_ns / 1_000) as u32
+        };
         let mut rec = Vec::with_capacity(16 + pkt.data.len());
         rec.extend_from_slice(&sec.to_le_bytes());
-        rec.extend_from_slice(&usec.to_le_bytes());
+        rec.extend_from_slice(&frac.to_le_bytes());
         rec.extend_from_slice(&(pkt.data.len() as u32).to_le_bytes());
         rec.extend_from_slice(&pkt.orig_len.to_le_bytes());
         rec.extend_from_slice(&pkt.data);
@@ -285,6 +318,62 @@ mod tests {
         img.extend_from_slice(&0u32.to_le_bytes());
         let pkts = from_pcap_bytes(&img).unwrap();
         assert_eq!(pkts[0].ts, Time::from_nanos(1_000_000_042));
+    }
+
+    #[test]
+    fn roundtrip_both_magics_identical_times() {
+        // The same packets written at microsecond and nanosecond
+        // resolution must read back with identical timestamps (the
+        // samples are quantized to whole microseconds, so neither
+        // resolution loses precision).
+        let pkts = sample_packets();
+        let mut w_usec = PcapWriter::new(Vec::new(), LINKTYPE_ETHERNET).unwrap();
+        let mut w_nsec = PcapWriter::new_nanos(Vec::new(), LINKTYPE_ETHERNET).unwrap();
+        for p in &pkts {
+            w_usec.write_packet(p).unwrap();
+            w_nsec.write_packet(p).unwrap();
+        }
+        let back_usec = from_pcap_bytes(&w_usec.into_inner()).unwrap();
+        let back_nsec = from_pcap_bytes(&w_nsec.into_inner()).unwrap();
+        assert_eq!(back_usec, pkts);
+        assert_eq!(back_nsec, pkts);
+        assert_eq!(back_usec, back_nsec);
+    }
+
+    #[test]
+    fn nanosecond_writer_preserves_sub_usec_precision() {
+        let p = RawPacket::new(Time::from_nanos(3_000_000_123), vec![1]);
+        let mut w = PcapWriter::new_nanos(Vec::new(), LINKTYPE_ETHERNET).unwrap();
+        w.write_packet(&p).unwrap();
+        let back = from_pcap_bytes(&w.into_inner()).unwrap();
+        assert_eq!(back[0].ts, Time::from_nanos(3_000_000_123));
+    }
+
+    fn img_with_frac(magic: u32, frac: u32) -> Vec<u8> {
+        let mut img = Vec::new();
+        img.extend_from_slice(&magic.to_le_bytes());
+        img.extend_from_slice(&[0u8; 20]);
+        img.extend_from_slice(&1u32.to_le_bytes()); // sec
+        img.extend_from_slice(&frac.to_le_bytes());
+        img.extend_from_slice(&0u32.to_le_bytes()); // incl_len
+        img.extend_from_slice(&0u32.to_le_bytes()); // orig_len
+        img
+    }
+
+    #[test]
+    fn out_of_range_fractional_timestamps_rejected() {
+        // Regression: a usec-resolution record with frac >= 1e6 (or nsec
+        // with frac >= 1e9) silently overflowed into later seconds,
+        // reordering the trace, instead of being rejected.
+        assert!(from_pcap_bytes(&img_with_frac(MAGIC_USEC, 1_000_000)).is_err());
+        assert!(from_pcap_bytes(&img_with_frac(MAGIC_USEC, u32::MAX)).is_err());
+        assert!(from_pcap_bytes(&img_with_frac(MAGIC_NSEC, 1_000_000_000)).is_err());
+        assert!(from_pcap_bytes(&img_with_frac(MAGIC_NSEC, u32::MAX)).is_err());
+        // The maximal in-range values are fine.
+        let usec_max = from_pcap_bytes(&img_with_frac(MAGIC_USEC, 999_999)).unwrap();
+        assert_eq!(usec_max[0].ts, Time::from_nanos(1_999_999_000));
+        let nsec_max = from_pcap_bytes(&img_with_frac(MAGIC_NSEC, 999_999_999)).unwrap();
+        assert_eq!(nsec_max[0].ts, Time::from_nanos(1_999_999_999));
     }
 
     #[test]

@@ -74,27 +74,28 @@ impl StreamReassembler {
 
     /// Relative stream offset of an absolute sequence number, taking
     /// wraparound into account. Offsets are relative to the first payload
-    /// byte (ISN+1 = offset 0) and grow monotonically.
-    fn rel(&self, seq: u32) -> u64 {
-        // Distance from isn in sequence space, interpreted as the closest
-        // position at or after the number of delivered wraps.
-        let raw = seq.wrapping_sub(self.isn) as u64;
-        // Add full wraps so the result is the representative nearest to
-        // the current delivery point.
-        let wraps = self.delivered >> 32;
-        let base = wraps << 32;
-        let candidate = base + raw;
+    /// byte (ISN+1 = offset 0) and grow monotonically. The result is
+    /// *signed*: a segment from before the stream start (e.g. a
+    /// retransmitted SYN, or a stale pre-ISN segment) maps to a negative
+    /// offset rather than aliasing to a position ~4 GiB ahead.
+    fn rel(&self, seq: u32) -> i128 {
+        // Distance from isn in sequence space (0..2^32), then shifted by
+        // the number of full wraps already delivered.
+        let raw = seq.wrapping_sub(self.isn) as u64 as i128;
+        let wraps = (self.delivered >> 32) as i128;
+        let delivered = self.delivered as i128;
         // The candidate may be one wrap behind (segment from before a wrap
-        // boundary) or ahead; pick the representative closest to delivered.
-        let alternatives = [
-            candidate,
-            candidate.wrapping_add(1u64 << 32),
-            candidate.wrapping_sub(1u64 << 32),
-        ];
-        *alternatives
-            .iter()
-            .min_by_key(|&&c| c.abs_diff(self.delivered))
-            .expect("non-empty alternatives")
+        // boundary, or from before the stream start entirely) or one
+        // ahead; pick the representative closest to the delivery point.
+        // Signed arithmetic keeps the "one wrap behind" alternative from
+        // wrapping around u64 and landing astronomically far ahead.
+        let mut best = raw + (wraps << 32);
+        for cand in [best - (1i128 << 32), best + (1i128 << 32)] {
+            if (cand - delivered).abs() < (best - delivered).abs() {
+                best = cand;
+            }
+        }
+        best
     }
 
     /// Feeds one segment; returns any newly contiguous payload.
@@ -102,17 +103,18 @@ impl StreamReassembler {
         if data.is_empty() {
             return Vec::new();
         }
-        let start = self.rel(seq);
-        let end = start + data.len() as u64;
-        if end <= self.delivered {
-            return Vec::new(); // pure retransmission
+        let start_signed = self.rel(seq);
+        let end_signed = start_signed + data.len() as i128;
+        if end_signed <= self.delivered as i128 {
+            return Vec::new(); // pure retransmission (or entirely pre-ISN)
         }
-        // Trim any prefix that was already delivered.
-        let (start, data) = if start < self.delivered {
-            let skip = (self.delivered - start) as usize;
+        // Trim any prefix that was already delivered — including bytes
+        // before the stream start (negative offsets).
+        let (start, data) = if start_signed < self.delivered as i128 {
+            let skip = (self.delivered as i128 - start_signed) as usize;
             (self.delivered, &data[skip..])
         } else {
-            (start, data)
+            (start_signed as u64, data)
         };
 
         if start == self.delivered {
@@ -293,6 +295,78 @@ mod tests {
         out.extend(r.segment(5, b"tail")); // far ahead, buffered
         out.extend(r.segment(u32::MAX - 9, b"0123456789abcde")); // 15 bytes
         assert_eq!(out, b"0123456789abcdetail");
+    }
+
+    #[test]
+    fn pre_isn_segment_is_not_aliased_four_gib_ahead() {
+        // Regression: a segment from *before* the stream start (classic
+        // case: the SYN itself retransmitted with one byte of data, or a
+        // stale pre-ISN segment) used to compute a relative offset of
+        // ~2^32 under unsigned wraparound disambiguation. It was then
+        // buffered ~4 GiB ahead, bloating the out-of-order buffer and
+        // corrupting delivery once the stream actually got there.
+        let mut r = StreamReassembler::new(1000); // first payload byte: 1001
+        assert!(r.segment(1000, b"X").is_empty(), "pre-ISN byte dropped");
+        assert_eq!(r.buffered(), 0, "nothing may be buffered 4 GiB ahead");
+        assert_eq!(r.segment(1001, b"hello"), b"hello");
+        assert_eq!(r.delivered(), 5);
+        assert_eq!(r.gap_bytes(), 0);
+    }
+
+    #[test]
+    fn pre_isn_straddling_segment_is_trimmed_to_stream_start() {
+        // A segment starting before the ISN but extending past it keeps
+        // only the in-stream suffix.
+        let mut r = StreamReassembler::new(1000);
+        assert_eq!(r.segment(999, b"??ab"), b"ab"); // 2 pre-ISN bytes trimmed
+        assert_eq!(r.delivered(), 2);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn pre_isn_retransmit_near_wrap_boundary() {
+        // Same pre-ISN aliasing bug, with the ISN parked just below the
+        // 2^32 boundary so both the bogus and the correct interpretation
+        // exercise wrap arithmetic.
+        let isn = 0xffff_fff0u32;
+        let mut r = StreamReassembler::new(isn);
+        // Retransmitted SYN (seq == isn) carrying a byte: before stream.
+        assert!(r.segment(isn, b"S").is_empty());
+        assert_eq!(r.buffered(), 0);
+        // Stale segment further before the ISN.
+        assert!(r.segment(isn.wrapping_sub(7), b"stale!").is_empty());
+        assert_eq!(r.buffered(), 0);
+        // Real data still flows, across the wrap.
+        let mut out = Vec::new();
+        out.extend(r.segment(isn.wrapping_add(1), b"0123456789abcdef")); // 16 bytes, crosses 0
+        out.extend(r.segment(1, b"ghij")); // post-wrap continuation
+        assert_eq!(out, b"0123456789abcdefghij");
+        assert_eq!(r.gap_bytes(), 0);
+    }
+
+    #[test]
+    fn multi_segment_body_across_wrap_out_of_order() {
+        // ISN near u32::MAX with a multi-segment body whose chunks
+        // straddle the 2^32 boundary, delivered out of order, including
+        // an overlapping retransmission clipped against a predecessor
+        // that itself wrapped.
+        let isn = 0xffff_fff0u32;
+        let mut r = StreamReassembler::new(isn);
+        let body: &[u8] = b"AAAAAAAABBBBBBBBCCCCCCCCDDDDDDDD"; // 4 x 8 bytes
+        let seqs: Vec<u32> = (0..4).map(|i| isn.wrapping_add(1 + 8 * i)).collect();
+        let mut out = Vec::new();
+        out.extend(r.segment(seqs[2], &body[16..24])); // pre-wrap tail chunk
+        out.extend(r.segment(seqs[3], &body[24..32])); // post-wrap chunk
+        // Overlapping retransmit: spans chunks 2+3 with conflicting bytes;
+        // first writer wins, so nothing it carries may survive.
+        out.extend(r.segment(seqs[2], b"xxxxxxxxyyyyyyyy"));
+        assert!(out.is_empty(), "nothing contiguous yet");
+        out.extend(r.segment(seqs[0], &body[0..8]));
+        out.extend(r.segment(seqs[1], &body[8..16]));
+        assert_eq!(out, body);
+        assert_eq!(r.delivered(), 32);
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.gap_bytes(), 0);
     }
 
     #[test]

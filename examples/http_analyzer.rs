@@ -4,16 +4,39 @@
 //! Synthesizes an HTTP trace, runs it through BOTH parser stacks (standard
 //! handwritten vs BinPAC++-generated on HILTI) and BOTH script engines
 //! (interpreter vs compiled to HILTI), prints the first log lines, and
-//! reports the Table 2 / Table 3 agreement numbers.
+//! reports the Table 2 / Table 3 agreement numbers. It then re-runs the
+//! BinPAC++ analysis on the flow-sharded parallel pipeline (§3.2
+//! hash-based placement), checks the output is byte-identical to the
+//! sequential run, and reports the throughput.
 //!
-//! Run with: `cargo run --release --example http_analyzer`
+//! Run with: `cargo run --release --example http_analyzer [-- --workers N]`
+//! (`--workers` defaults to `min(cores, 8)`).
 
 use broscript::host::Engine;
-use broscript::pipeline::{run_http_analysis, ParserStack};
+use broscript::parallel::{default_workers, run_http_analysis_parallel, PipelineOptions};
+use broscript::pipeline::{run_http_analysis, Governance, ParserStack};
 use netpkt::logs::agreement;
 use netpkt::synth::{http_trace, SynthConfig};
 
+fn parse_workers() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--workers" {
+            let v = args.next().unwrap_or_default();
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"));
+        } else if let Some(v) = a.strip_prefix("--workers=") {
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"));
+        }
+    }
+    default_workers()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = parse_workers();
     let trace = http_trace(&SynthConfig::new(2026, 25));
     println!("synthesized {} packets of HTTP traffic", trace.len());
 
@@ -49,5 +72,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nevents processed: {} (standard) / {} (binpac)", std_i.events, pac_i.events);
+
+    // Parallel pipeline: same trace, N flow-sharded workers, output
+    // byte-identical to the sequential run by construction.
+    let opts = PipelineOptions {
+        workers,
+        governance: Governance::default(),
+    };
+    let start = std::time::Instant::now();
+    let par = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Interpreted, &opts)?;
+    let elapsed = start.elapsed();
+    assert_eq!(par.http_log, pac_i.http_log, "parallel http.log diverged");
+    assert_eq!(par.files_log, pac_i.files_log, "parallel files.log diverged");
+    assert_eq!(par.output, pac_i.output, "parallel output diverged");
+    assert_eq!(par.events, pac_i.events, "parallel event count diverged");
+    let bytes: usize = trace.iter().map(|p| p.data.len()).sum();
+    println!(
+        "\nparallel pipeline ({workers} workers): {} events in {:.1} ms ({:.1} MB/s), output identical to sequential",
+        par.events,
+        elapsed.as_secs_f64() * 1e3,
+        bytes as f64 / 1e6 / elapsed.as_secs_f64()
+    );
     Ok(())
 }

@@ -20,6 +20,13 @@ cargo build --release "$@"
 cargo test -q "$@"
 cargo clippy --workspace "$@" -- -D warnings
 
+# Parallel-pipeline determinism gate: the differential suite (N workers
+# vs 1 must be byte-identical) plus a 4-worker analyzer run that asserts
+# its output against the sequential pipeline.
+cargo test -q -p broscript --test parallel "$@"
+cargo run -q --release --example http_analyzer "$@" -- --workers 4 >/dev/null
+echo "tier1: parallel pipeline OK"
+
 if grep -q 'path = "stubs/' Cargo.toml; then
     echo "tier1: stubbed workspace detected, skipping repro/bench smoke"
     exit 0

@@ -1,0 +1,64 @@
+//! Offline placeholder for the `bytes` crate.
+//!
+//! The workspace declares the dependency but implements its own rope-backed
+//! `Bytes` in `hilti-rt::bytestring`; nothing links against this API today.
+//! A minimal `Bytes` view type is provided so the crate is a real library.
+
+/// Immutable byte buffer, API-compatible with the subset of `bytes::Bytes`
+/// a future caller is most likely to reach for.
+#[derive(Clone, Default, PartialEq, Eq, Hash, Debug)]
+pub struct Bytes(std::sync::Arc<Vec<u8>>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(std::sync::Arc::new(data.to_vec()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(std::sync::Arc::new(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn slice_view_roundtrip() {
+        let b = Bytes::from(&b"abc"[..]);
+        assert_eq!(&*b, b"abc");
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace hand-rolls its JSON output (`hilti_rt::telemetry::json`)
+//! and derives nothing; this crate exists so the declared dependency
+//! resolves without a registry. The `derive` feature is accepted and is a
+//! no-op.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
