@@ -66,12 +66,14 @@ fn bench_optimizer(c: &mut Criterion) {
 fn build_classifier(backend: Backend, n_rules: usize) -> Classifier<u32> {
     let mut c = Classifier::with_backend(backend);
     for i in 0..n_rules {
-        let net: hilti_rt::addr::Network =
-            format!("10.{}.{}.0/24", (i / 250) % 250, i % 250)
-                .parse()
-                .expect("net");
-        c.add(vec![FieldMatcher::Net(net), FieldMatcher::Wildcard], i as u32)
-            .expect("rule");
+        let net: hilti_rt::addr::Network = format!("10.{}.{}.0/24", (i / 250) % 250, i % 250)
+            .parse()
+            .expect("net");
+        c.add(
+            vec![FieldMatcher::Net(net), FieldMatcher::Wildcard],
+            i as u32,
+        )
+        .expect("rule");
     }
     c.compile();
     c
@@ -85,17 +87,13 @@ fn bench_classifier(c: &mut Criterion) {
             ("indexed", Backend::FieldIndexed),
         ] {
             let cls = build_classifier(backend, rules);
-            group.bench_with_input(
-                BenchmarkId::new(name, rules),
-                &cls,
-                |b, cls| {
-                    let probe = [
-                        FieldValue::Addr(Addr::v4(10, 1, 77, 1)),
-                        FieldValue::Addr(Addr::v4(192, 168, 0, 1)),
-                    ];
-                    b.iter(|| cls.matches(&probe))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, rules), &cls, |b, cls| {
+                let probe = [
+                    FieldValue::Addr(Addr::v4(10, 1, 77, 1)),
+                    FieldValue::Addr(Addr::v4(192, 168, 0, 1)),
+                ];
+                b.iter(|| cls.matches(&probe))
+            });
         }
     }
     group.finish();
@@ -105,9 +103,7 @@ fn bench_regexp(c: &mut Criterion) {
     let re = Regex::new("[A-Z]+ [^ ]+ HTTP\\/[0-9]\\.[0-9]\\r\\n").expect("pattern");
     let line = b"GET /index/with/a/moderately/long/path?x=123456 HTTP/1.1\r\n";
     let mut group = c.benchmark_group("a3_regexp");
-    group.bench_function("whole_buffer", |b| {
-        b.iter(|| re.match_prefix(line))
-    });
+    group.bench_function("whole_buffer", |b| b.iter(|| re.match_prefix(line)));
     group.bench_function("chunked_incremental", |b| {
         b.iter(|| {
             let mut m = re.matcher();

@@ -10,6 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use hilti::host::BuildOptions;
 use hilti::passes::OptLevel;
+use hilti::tier::TieringMode;
 use hilti::value::Value;
 use hilti::Program;
 
@@ -77,7 +78,10 @@ fn bench_governance_overhead(c: &mut Criterion) {
     // Limits are re-armed every iteration (fuel is consumed run to run),
     // so both variants pay the same set_limits call and the measured
     // delta isolates the per-instruction accounting.
-    for (name, fuel) in [("int_loop_unlimited", None), ("int_loop_governed", Some(100_000_000u64))] {
+    for (name, fuel) in [
+        ("int_loop_unlimited", None),
+        ("int_loop_governed", Some(100_000_000u64)),
+    ] {
         let limits = hilti_rt::limits::ResourceLimits {
             fuel,
             ..Default::default()
@@ -112,9 +116,38 @@ fn bench_governance_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Profile-guided adaptive tiering on the call-dominated kernel. `off`
+/// runs generic bytecode forever (the speedup baseline), `lazy` re-lowers
+/// through the specializer once the invocation/retired counters cross the
+/// hotness thresholds, `eager` tiers every function on first dispatch.
+/// The bench-regression gate (`gate.rs`) asserts lazy >= 1.2x off on this
+/// workload and records all three medians in BENCH_dispatch.json.
+fn bench_tiering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_tiering");
+    for (name, mode) in [
+        ("fib25_tiering_off", TieringMode::Off),
+        ("fib25_tiering_lazy", TieringMode::Lazy),
+        ("fib25_tiering_eager", TieringMode::Eager),
+    ] {
+        group.bench_function(name, |b| {
+            let mut p = Program::from_sources_opts(
+                &[FIB],
+                OptLevel::Full,
+                BuildOptions {
+                    tiering: Some(mode),
+                    ..Default::default()
+                },
+            )
+            .expect("kernel builds");
+            b.iter(|| p.run("Fib::fib", &[Value::Int(25)]).expect("run"))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_int_loop, bench_fib, bench_governance_overhead
+    targets = bench_int_loop, bench_fib, bench_governance_overhead, bench_tiering
 }
 criterion_main!(benches);

@@ -10,8 +10,7 @@ use hilti::value::Value;
 fn bench_fib(c: &mut Criterion) {
     let mut group = c.benchmark_group("fib");
     group.bench_function("interpreted", |b| {
-        let mut host =
-            ScriptHost::new(&[FIB_BRO], Engine::Interpreted, None).expect("interpreter");
+        let mut host = ScriptHost::new(&[FIB_BRO], Engine::Interpreted, None).expect("interpreter");
         b.iter(|| host.call("fib", &[Value::Int(16)]).expect("fib"))
     });
     group.bench_function("compiled", |b| {

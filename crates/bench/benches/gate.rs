@@ -1,0 +1,464 @@
+//! The bench-regression gate: sampled medians vs committed baselines.
+//!
+//! Runs a small, fixed set of benchmarks spanning the three performance
+//! surfaces this repo guards — bytecode dispatch (static specialization
+//! and adaptive tiering), the parallel pipeline, and telemetry overhead —
+//! and writes one `hilti.bench.v1` JSON document per suite:
+//!
+//! * `BENCH_dispatch.json`  — fib/int-loop kernels, spec on/off and
+//!   tiering off/lazy/eager (the tiering acceptance target lives here:
+//!   `fib25_tiering_lazy` must run ≥ 1.2x faster than `fib25_tiering_off`).
+//! * `BENCH_pipeline.json`  — governed HTTP analysis, sequential and
+//!   4-worker sharded.
+//! * `BENCH_telemetry.json` — the same pipeline with telemetry off/on.
+//!
+//! Measured documents go to `target/bench-gate/`; committed baselines
+//! live at the repo root. The gate FAILS if any benchmark regresses more
+//! than 15% against its baseline and WARNS above 5%. Modes:
+//!
+//! ```text
+//! cargo bench -p bench --bench gate                # measure + compare
+//! cargo bench -p bench --bench gate -- --update    # refresh baselines
+//! cargo bench -p bench --bench gate -- --test      # tiny smoke run
+//! ```
+//!
+//! `scripts/bench_gate.sh` wraps the same invocation so CI and local runs
+//! are identical. Set `BENCH_GATE_INJECT_SLOWDOWN=<factor>` to multiply
+//! every measured median — used once to demonstrate the gate actually
+//! fails on a 2x slowdown.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use broscript::host::Engine;
+use broscript::parallel::{run_http_analysis_parallel, PipelineOptions};
+use broscript::pipeline::{run_http_analysis_governed, Governance, ParserStack};
+use hilti::host::BuildOptions;
+use hilti::passes::OptLevel;
+use hilti::tier::TieringMode;
+use hilti::value::Value;
+use hilti::Program;
+use hilti_rt::telemetry::json;
+use netpkt::synth::{http_trace, SynthConfig};
+
+const SCHEMA: &str = "hilti.bench.v1";
+const FAIL_PCT: f64 = 15.0;
+const WARN_PCT: f64 = 5.0;
+/// Acceptance target: lazy tiering over the generic-forever baseline on
+/// the call-dominated fib(25) kernel.
+const TIERING_MIN_SPEEDUP: f64 = 1.2;
+
+const INT_LOOP: &str = r#"
+module M
+int<64> kernel(int<64> n) {
+    local int<64> i
+    local int<64> acc
+    local bool more
+    i = assign 0
+    acc = assign 0
+loop:
+    acc = int.add acc i
+    acc = int.and acc 1048575
+    i = int.add i 1
+    more = int.lt i n
+    if.else more loop done
+done:
+    return acc
+}
+"#;
+
+const FIB: &str = bench::experiments::FIB_HLT;
+
+/// One measured benchmark: median and minimum ns/iter across samples.
+/// The median is the headline number; the gate compares *minima*, which
+/// approximate the uncontended cost and are far less sensitive to load
+/// spikes on shared CI runners than any averaged statistic.
+#[derive(Clone, Copy)]
+struct Stat {
+    median_ns: u64,
+    min_ns: u64,
+}
+
+/// Times `samples` windows of `iters` iterations each, after untimed
+/// warmup. Windows are sized to span tens of milliseconds — shorter ones
+/// are hopelessly noisy for a 15% regression gate.
+fn measure(samples: usize, iters: usize, mut f: impl FnMut()) -> Stat {
+    for _ in 0..iters.div_ceil(4).max(1) {
+        f();
+    }
+    let mut v = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        v.push((t.elapsed().as_nanos() / iters as u128) as u64);
+    }
+    v.sort_unstable();
+    Stat {
+        median_ns: v[v.len() / 2],
+        min_ns: v[0],
+    }
+}
+
+fn build_kernel(src: &str, options: BuildOptions) -> Program {
+    Program::from_sources_opts(&[src], OptLevel::Full, options).expect("kernel builds")
+}
+
+fn spec_opts(specialize: bool) -> BuildOptions {
+    BuildOptions {
+        specialize,
+        ..Default::default()
+    }
+}
+
+fn tier_opts(mode: TieringMode) -> BuildOptions {
+    BuildOptions {
+        tiering: Some(mode),
+        ..Default::default()
+    }
+}
+
+/// One suite: ordered benchmark id → measured statistics.
+type Suite = BTreeMap<&'static str, Stat>;
+
+fn dispatch_suite(smoke: bool) -> Suite {
+    let (samples, iters, fib_n, loop_n) = if smoke {
+        (3, 1, 12, 500)
+    } else {
+        (7, 25, 25, 20_000)
+    };
+    let mut out = Suite::new();
+    for (id, specialize) in [("int_loop_spec_on", true), ("int_loop_spec_off", false)] {
+        let mut p = build_kernel(INT_LOOP, spec_opts(specialize));
+        out.insert(
+            id,
+            measure(samples, iters, || {
+                p.run("M::kernel", &[Value::Int(loop_n)]).expect("run");
+            }),
+        );
+    }
+    for (id, specialize) in [("fib18_spec_on", true), ("fib18_spec_off", false)] {
+        let mut p = build_kernel(FIB, spec_opts(specialize));
+        let n = if smoke { fib_n } else { 18 };
+        out.insert(
+            id,
+            measure(samples, iters, || {
+                p.run("Fib::fib", &[Value::Int(n)]).expect("run");
+            }),
+        );
+    }
+    for (id, mode) in [
+        ("fib25_tiering_off", TieringMode::Off),
+        ("fib25_tiering_lazy", TieringMode::Lazy),
+        ("fib25_tiering_eager", TieringMode::Eager),
+    ] {
+        let mut p = build_kernel(FIB, tier_opts(mode));
+        out.insert(
+            id,
+            measure(samples, 1, || {
+                p.run("Fib::fib", &[Value::Int(fib_n)]).expect("run");
+            }),
+        );
+    }
+    out
+}
+
+fn pipeline_suite(smoke: bool) -> Suite {
+    let (samples, iters, flows) = if smoke { (2, 1, 4) } else { (5, 3, 40) };
+    let trace = http_trace(&SynthConfig::new(0xB1FF, flows));
+    let mut out = Suite::new();
+    let gov = Governance::default();
+    out.insert(
+        "http_binpac_compiled_seq",
+        measure(samples, iters, || {
+            run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov)
+                .expect("analysis");
+        }),
+    );
+    let opts = PipelineOptions {
+        workers: 4,
+        governance: gov,
+    };
+    out.insert(
+        "http_binpac_compiled_x4",
+        measure(samples, iters, || {
+            run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
+                .expect("analysis");
+        }),
+    );
+    out
+}
+
+fn telemetry_suite(smoke: bool) -> Suite {
+    let (samples, iters, flows) = if smoke { (2, 1, 4) } else { (5, 3, 20) };
+    let trace = http_trace(&SynthConfig::new(77, flows));
+    let mut out = Suite::new();
+    for (id, telemetry) in [
+        ("http_governed_telemetry_off", false),
+        ("http_governed_telemetry_on", true),
+    ] {
+        let gov = Governance {
+            telemetry,
+            ..Governance::default()
+        };
+        out.insert(
+            id,
+            measure(samples, iters, || {
+                run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov)
+                    .expect("analysis");
+            }),
+        );
+    }
+    out
+}
+
+/// Renders one suite as a `hilti.bench.v1` document. Deterministic
+/// field order (BTreeMap), no wall-time metadata.
+fn render(suite_name: &str, suite: &Suite) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"schema\":{},\"suite\":{},\"unit\":\"ns_per_iter\",\"benchmarks\":{{",
+        json::quote(SCHEMA),
+        json::quote(suite_name)
+    );
+    for (i, (id, st)) in suite.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{}:{{\"median_ns\":{},\"min_ns\":{}}}",
+            json::quote(id),
+            st.median_ns,
+            st.min_ns
+        );
+    }
+    s.push_str("}}\n");
+    debug_assert!(json::validate(s.trim_end()).is_ok());
+    s
+}
+
+/// Extracts `id -> (median_ns, min_ns)` from a committed baseline
+/// document. The parser only needs to understand what `render` writes.
+fn parse_baseline(doc: &str) -> Option<BTreeMap<String, Stat>> {
+    let mut out = BTreeMap::new();
+    let body = doc.split("\"benchmarks\":{").nth(1)?;
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let endq = after.find('"')?;
+        let id = &after[..endq];
+        let after_id = &after[endq + 1..];
+        let med = after_id.strip_prefix(":{\"median_ns\":")?;
+        let comma = med.find(',')?;
+        let median_ns: u64 = med[..comma].parse().ok()?;
+        let min = med[comma + 1..].strip_prefix("\"min_ns\":")?;
+        let endn = min.find('}')?;
+        let min_ns: u64 = min[..endn].parse().ok()?;
+        out.insert(id.to_string(), Stat { median_ns, min_ns });
+        rest = &min[endn + 1..];
+        if !rest.starts_with(',') {
+            break;
+        }
+    }
+    Some(out)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Compares one measured suite against its committed baseline. Returns
+/// (fail, warn) counts.
+fn compare(name: &str, measured: &Suite, baseline_path: &Path) -> (u32, u32) {
+    let Ok(doc) = std::fs::read_to_string(baseline_path) else {
+        println!(
+            "gate: {name}: no baseline at {} — run scripts/bench_gate.sh --update",
+            baseline_path.display()
+        );
+        return (1, 0);
+    };
+    let Some(base) = parse_baseline(&doc) else {
+        println!(
+            "gate: {name}: unparseable baseline {}",
+            baseline_path.display()
+        );
+        return (1, 0);
+    };
+    let mut fails = 0;
+    let mut warns = 0;
+    for (id, st) in measured {
+        let Some(base_st) = base.get(*id) else {
+            println!("gate: {name}/{id}: new benchmark (no baseline entry) — refresh baselines");
+            fails += 1;
+            continue;
+        };
+        let delta_pct = (st.min_ns as f64 / base_st.min_ns.max(1) as f64 - 1.0) * 100.0;
+        let verdict = if delta_pct > FAIL_PCT {
+            fails += 1;
+            "FAIL"
+        } else if delta_pct > WARN_PCT {
+            warns += 1;
+            "warn"
+        } else {
+            "ok"
+        };
+        println!(
+            "gate: {name}/{id}: min {} ns/iter vs baseline {} ({delta_pct:+.1}%) {verdict}",
+            st.min_ns, base_st.min_ns
+        );
+    }
+    for id in base.keys() {
+        if !measured.contains_key(id.as_str()) {
+            println!("gate: {name}/{id}: baseline entry no longer measured — refresh baselines");
+            fails += 1;
+        }
+    }
+    (fails, warns)
+}
+
+/// Per-benchmark min-merge of two measurement passes.
+fn merge_min(mut a: Suite, b: Suite) -> Suite {
+    for (id, st) in b {
+        let e = a.entry(id).or_insert(st);
+        e.median_ns = e.median_ns.min(st.median_ns);
+        e.min_ns = e.min_ns.min(st.min_ns);
+    }
+    a
+}
+
+/// True if some measured minimum exceeds its baseline by more than the
+/// failure threshold — i.e. a comparison pass would fail right now.
+fn candidate_failure(measured: &Suite, base: &BTreeMap<String, Stat>) -> bool {
+    measured.iter().any(|(id, st)| {
+        base.get(*id)
+            .is_some_and(|b| st.min_ns as f64 > b.min_ns.max(1) as f64 * (1.0 + FAIL_PCT / 100.0))
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    // `cargo bench` passes `--bench`; a `--test` smoke run keeps tier-1
+    // fast and skips the baseline comparison (medians are meaningless at
+    // smoke sizes).
+    let smoke = args.iter().any(|a| a == "--test");
+
+    // Measure each suite; if a pass looks like a failure against the
+    // committed baseline, re-measure and keep per-benchmark minima (up to
+    // two retries). Genuine regressions reproduce on every pass; CI load
+    // spikes do not — this keeps the 15% gate sharp without flaking.
+    type SuiteFn = fn(bool) -> Suite;
+    let suite_fns: [(&str, SuiteFn); 3] = [
+        ("dispatch", dispatch_suite),
+        ("pipeline", pipeline_suite),
+        ("telemetry", telemetry_suite),
+    ];
+    let mut suites: Vec<(&str, Suite)> = Vec::new();
+    for (name, f) in suite_fns {
+        let mut merged = f(smoke);
+        if !update && !smoke {
+            if let Some(base) =
+                std::fs::read_to_string(repo_root().join(format!("BENCH_{name}.json")))
+                    .ok()
+                    .as_deref()
+                    .and_then(parse_baseline)
+            {
+                for retry in 0..2 {
+                    if !candidate_failure(&merged, &base) {
+                        break;
+                    }
+                    println!(
+                        "gate: {name}: candidate regression — re-measuring (retry {})",
+                        retry + 1
+                    );
+                    merged = merge_min(merged, f(smoke));
+                }
+            }
+        }
+        suites.push((name, merged));
+    }
+
+    // Demonstration hook: inflate measured medians to prove the gate trips.
+    let inject: f64 = std::env::var("BENCH_GATE_INJECT_SLOWDOWN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let suites: Vec<(&str, Suite)> = suites
+        .into_iter()
+        .map(|(name, s)| {
+            let s = s
+                .into_iter()
+                .map(|(id, st)| {
+                    (
+                        id,
+                        Stat {
+                            median_ns: (st.median_ns as f64 * inject) as u64,
+                            min_ns: (st.min_ns as f64 * inject) as u64,
+                        },
+                    )
+                })
+                .collect();
+            (name, s)
+        })
+        .collect();
+    if inject != 1.0 {
+        println!("gate: BENCH_GATE_INJECT_SLOWDOWN={inject} — medians inflated for demonstration");
+    }
+
+    let out_dir = repo_root().join("target/bench-gate");
+    std::fs::create_dir_all(&out_dir).expect("create target/bench-gate");
+    let mut fails = 0;
+    let mut warns = 0;
+    for (name, suite) in &suites {
+        let doc = render(name, suite);
+        let measured_path = out_dir.join(format!("BENCH_{name}.json"));
+        std::fs::write(&measured_path, &doc).expect("write measured document");
+        let baseline_path = repo_root().join(format!("BENCH_{name}.json"));
+        if update {
+            std::fs::write(&baseline_path, &doc).expect("write baseline");
+            println!(
+                "gate: {name}: baseline updated at {}",
+                baseline_path.display()
+            );
+        } else if !smoke {
+            let (f, w) = compare(name, suite, &baseline_path);
+            fails += f;
+            warns += w;
+        }
+    }
+
+    // The tiering acceptance target, checked on live medians (not the
+    // baseline): lazy must beat generic-forever by the required factor.
+    if !smoke {
+        let dispatch = &suites[0].1;
+        let off = dispatch["fib25_tiering_off"].min_ns as f64;
+        let lazy = dispatch["fib25_tiering_lazy"].min_ns as f64;
+        let speedup = off / lazy.max(1.0);
+        let verdict = if speedup >= TIERING_MIN_SPEEDUP {
+            "ok"
+        } else {
+            fails += 1;
+            "FAIL"
+        };
+        println!(
+            "gate: dispatch/fib25 tiering lazy speedup {speedup:.2}x (target >= {TIERING_MIN_SPEEDUP}x) {verdict}"
+        );
+    }
+
+    if smoke {
+        println!("gate: smoke run complete (no comparison)");
+        return ExitCode::SUCCESS;
+    }
+    if fails > 0 {
+        println!("gate: FAILED ({fails} failure(s), {warns} warning(s))");
+        return ExitCode::FAILURE;
+    }
+    println!("gate: passed ({warns} warning(s))");
+    ExitCode::SUCCESS
+}

@@ -67,7 +67,8 @@ fn ratio(num: u64, den: u64) -> f64 {
 
 /// Figure 9: parser CPU time by component, Standard vs BinPAC++ stacks.
 pub fn fig9_json(http: &ParserComparison, dns: &ParserComparison) -> String {
-    let mut s = String::from("{\"schema\":\"hilti.repro.fig9.v1\",\"figure\":\"9\",\"protocols\":{");
+    let mut s =
+        String::from("{\"schema\":\"hilti.repro.fig9.v1\",\"figure\":\"9\",\"protocols\":{");
     for (i, (proto, c)) in [("http", http), ("dns", dns)].iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -146,9 +147,24 @@ pub fn table2_json(http: &ParserComparison, dns: &ParserComparison) -> String {
 /// Table 3: interpreter vs compiled script log agreement.
 pub fn table3_json(http: &EngineComparison, dns: &EngineComparison) -> String {
     let rows = [
-        ("http.log", &http.interp_result.http_log, &http.compiled_result.http_log, &http.http_agreement),
-        ("files.log", &http.interp_result.files_log, &http.compiled_result.files_log, &http.files_agreement),
-        ("dns.log", &dns.interp_result.dns_log, &dns.compiled_result.dns_log, &dns.dns_agreement),
+        (
+            "http.log",
+            &http.interp_result.http_log,
+            &http.compiled_result.http_log,
+            &http.http_agreement,
+        ),
+        (
+            "files.log",
+            &http.interp_result.files_log,
+            &http.compiled_result.files_log,
+            &http.files_agreement,
+        ),
+        (
+            "dns.log",
+            &dns.interp_result.dns_log,
+            &dns.compiled_result.dns_log,
+            &dns.dns_agreement,
+        ),
     ]
     .map(|(log, a, b, ag)| TableRow {
         log,
@@ -188,7 +204,10 @@ mod tests {
         let fig9 = fig9_json(&ch, &cd);
         json::validate(&fig9).unwrap();
         for key in ["protocol_parsing", "script_execution", "glue", "other"] {
-            assert!(fig9.contains(&format!("\"{key}\"")), "{key} missing\n{fig9}");
+            assert!(
+                fig9.contains(&format!("\"{key}\"")),
+                "{key} missing\n{fig9}"
+            );
         }
         assert!(fig9.contains("\"http\"") && fig9.contains("\"dns\""));
         let t2 = table2_json(&ch, &cd);

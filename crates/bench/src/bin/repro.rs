@@ -192,8 +192,14 @@ fn parsers(table2: bool, fig9: bool, out: Option<&Path>) {
         println!("\n[E4] Table 2: BinPAC++ (Pac) vs standard (Std) parser agreement");
         println!("  paper: http.log 98.91% | files.log 98.36% | dns.log >99.9%");
         println!("  measured:");
-        println!("    {:<11} {:>8} {:>8} {:>10}", "#Lines", "Std", "Pac", "Identical");
-        for row in table_rows_http(&ch).iter().chain(table_rows_dns(&cd).iter()) {
+        println!(
+            "    {:<11} {:>8} {:>8} {:>10}",
+            "#Lines", "Std", "Pac", "Identical"
+        );
+        for row in table_rows_http(&ch)
+            .iter()
+            .chain(table_rows_dns(&cd).iter())
+        {
             println!(
                 "    {:<11} {:>8} {:>8} {:>9.2}%",
                 row.log, row.total_a, row.total_b, row.identical_pct

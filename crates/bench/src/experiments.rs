@@ -461,8 +461,7 @@ void report() {
             continue;
         }
         // Hash-based placement: both directions of a flow to one vthread.
-        let vthread =
-            hilti_rt::hashutil::flow_hash(d.src, d.src_port(), d.dst, d.dst_port());
+        let vthread = hilti_rt::hashutil::flow_hash(d.src, d.src_port(), d.dst, d.dst_port());
         sent += 1;
         pool.schedule(
             vthread,
@@ -577,13 +576,12 @@ pub fn classifier_ablation(n_rules: usize, n_lookups: usize) -> RtResult<Classif
     let build = |backend: Backend| -> RtResult<Classifier<u32>> {
         let mut c = Classifier::with_backend(backend);
         for i in 0..n_rules {
-            let net: hilti_rt::addr::Network = format!(
-                "10.{}.{}.0/24",
-                (i / 250) % 250,
-                i % 250
-            )
-            .parse()?;
-            c.add(vec![FieldMatcher::Net(net), FieldMatcher::Wildcard], i as u32)?;
+            let net: hilti_rt::addr::Network =
+                format!("10.{}.{}.0/24", (i / 250) % 250, i % 250).parse()?;
+            c.add(
+                vec![FieldMatcher::Net(net), FieldMatcher::Wildcard],
+                i as u32,
+            )?;
         }
         c.compile();
         Ok(c)

@@ -457,13 +457,7 @@ impl BinpacDns {
     }
 
     /// Parses one UDP datagram; returns false if it was not parseable DNS.
-    pub fn datagram(
-        &mut self,
-        uid: &str,
-        id: ConnId,
-        ts: Time,
-        payload: &[u8],
-    ) -> RtResult<bool> {
+    pub fn datagram(&mut self, uid: &str, id: ConnId, ts: Time, payload: &[u8]) -> RtResult<bool> {
         let _p = self
             .profiler
             .as_ref()
@@ -512,7 +506,12 @@ mod tests {
         assert!(d.datagram("C1", conn_id(), t(), &q).unwrap());
         let evs = d.take_events();
         match &evs[0] {
-            Event::DnsRequest { trans_id, query, qtype, .. } => {
+            Event::DnsRequest {
+                trans_id,
+                query,
+                qtype,
+                ..
+            } => {
                 assert_eq!(*trans_id, 0x1234);
                 assert_eq!(query, "www.example.com");
                 assert_eq!(*qtype, dns_types::A);
@@ -589,7 +588,9 @@ mod tests {
     #[test]
     fn crud_rejected_not_fatal() {
         let mut d = BinpacDns::new(OptLevel::Full, None).unwrap();
-        assert!(!d.datagram("C1", conn_id(), t(), b"GET / HTTP/1.1\r\n").unwrap());
+        assert!(!d
+            .datagram("C1", conn_id(), t(), b"GET / HTTP/1.1\r\n")
+            .unwrap());
         assert!(!d.datagram("C1", conn_id(), t(), &[]).unwrap());
         assert_eq!(d.failed, 2);
         // Still works afterwards.
@@ -643,13 +644,20 @@ mod tests {
                 let evs = d.take_events();
                 let ev = evs.last().expect("one event per parsed datagram");
                 match ev {
-                    Event::DnsRequest { trans_id, query, .. } => {
+                    Event::DnsRequest {
+                        trans_id, query, ..
+                    } => {
                         assert!(!stdm.is_response);
                         assert_eq!(*trans_id, stdm.id);
                         assert_eq!(query, &stdm.questions[0].name);
                         agree += 1;
                     }
-                    Event::DnsReply { trans_id, rcode, answers, .. } => {
+                    Event::DnsReply {
+                        trans_id,
+                        rcode,
+                        answers,
+                        ..
+                    } => {
                         assert!(stdm.is_response);
                         assert_eq!(*trans_id, stdm.id);
                         assert_eq!(*rcode, stdm.rcode);

@@ -216,23 +216,21 @@ impl Grammar {
 
     fn validate_kind(&self, u: &Unit, kind: &FieldKind) -> RtResult<()> {
         match kind {
-            FieldKind::UInt(w) | FieldKind::UIntLE(w)
-                if !(1..=8).contains(w) => {
-                    return Err(RtError::value(format!(
-                        "unit {}: uint width {w} out of range",
-                        u.name
-                    )));
-                }
+            FieldKind::UInt(w) | FieldKind::UIntLE(w) if !(1..=8).contains(w) => {
+                return Err(RtError::value(format!(
+                    "unit {}: uint width {w} out of range",
+                    u.name
+                )));
+            }
             FieldKind::Token(pats) if pats.is_empty() => {
                 return Err(RtError::value(format!("unit {}: empty token set", u.name)));
             }
-            FieldKind::SubUnit(name)
-                if self.get_unit(name).is_none() => {
-                    return Err(RtError::value(format!(
-                        "unit {}: unknown sub-unit {name}",
-                        u.name
-                    )));
-                }
+            FieldKind::SubUnit(name) if self.get_unit(name).is_none() => {
+                return Err(RtError::value(format!(
+                    "unit {}: unknown sub-unit {name}",
+                    u.name
+                )));
+            }
             FieldKind::List(name, repeat) => {
                 if self.get_unit(name).is_none() {
                     return Err(RtError::value(format!(
@@ -249,13 +247,12 @@ impl Grammar {
                     }
                 }
             }
-            FieldKind::BytesVar(var)
-                if !self.var_or_field_exists(u, var) => {
-                    return Err(RtError::value(format!(
-                        "unit {}: unknown length variable {var}",
-                        u.name
-                    )));
-                }
+            FieldKind::BytesVar(var) if !self.var_or_field_exists(u, var) => {
+                return Err(RtError::value(format!(
+                    "unit {}: unknown length variable {var}",
+                    u.name
+                )));
+            }
             FieldKind::IfVar(var, inner) => {
                 if !self.var_or_field_exists(u, var) {
                     return Err(RtError::value(format!(
@@ -350,11 +347,9 @@ mod tests {
 
     #[test]
     fn bad_uint_width_rejected() {
-        let g = Grammar::new("X")
-            .unit(Unit::new("U").field(Field::named("x", FieldKind::UInt(0))));
+        let g = Grammar::new("X").unit(Unit::new("U").field(Field::named("x", FieldKind::UInt(0))));
         assert!(g.validate().is_err());
-        let g = Grammar::new("X")
-            .unit(Unit::new("U").field(Field::named("x", FieldKind::UInt(9))));
+        let g = Grammar::new("X").unit(Unit::new("U").field(Field::named("x", FieldKind::UInt(9))));
         assert!(g.validate().is_err());
     }
 

@@ -115,10 +115,16 @@ pub fn http_grammar() -> Grammar {
         .var("has_body", "bool")
         .var("i", "int<64>")
         .var("n", "int<64>")
-        .field(Field::named("request_line", FieldKind::SubUnit("RequestLine".into())))
+        .field(Field::named(
+            "request_line",
+            FieldKind::SubUnit("RequestLine".into()),
+        ))
         .field(Field::named(
             "headers",
-            FieldKind::List("ReqHeader".into(), Repeat::UntilToken(vec!["\\r?\\n".into()])),
+            FieldKind::List(
+                "ReqHeader".into(),
+                Repeat::UntilToken(vec!["\\r?\\n".into()]),
+            ),
         ))
         .field(Field::anon(FieldKind::Embedded({
             let mut v = scan("rq", 0);
@@ -217,10 +223,16 @@ struct.set self body __body
         .var("csize", "int<64>")
         .var("i", "int<64>")
         .var("n", "int<64>")
-        .field(Field::named("status_line", FieldKind::SubUnit("StatusLine".into())))
+        .field(Field::named(
+            "status_line",
+            FieldKind::SubUnit("StatusLine".into()),
+        ))
         .field(Field::named(
             "headers",
-            FieldKind::List("RespHeader".into(), Repeat::UntilToken(vec!["\\r?\\n".into()])),
+            FieldKind::List(
+                "RespHeader".into(),
+                Repeat::UntilToken(vec!["\\r?\\n".into()]),
+            ),
         ))
         .field(Field::anon(FieldKind::Embedded({
             let mut v = vec![
@@ -444,7 +456,10 @@ impl BinpacHttp {
             Ok(Value::Null)
         });
 
-        for (hook, orig) in [("Http::on_req_header", true), ("Http::on_resp_header", false)] {
+        for (hook, orig) in [
+            ("Http::on_req_header", true),
+            ("Http::on_resp_header", false),
+        ] {
             let s = shared.clone();
             let prof = profiler.clone();
             parser.register_hook(hook, move |args| {
@@ -468,10 +483,7 @@ impl BinpacHttp {
         parser.register_hook("Http::suppress_reply_body", move |_args| {
             let mut sh = s.borrow_mut();
             let cur = sh.cur()?.clone();
-            let method = sh
-                .outstanding
-                .get_mut(&cur.uid)
-                .and_then(|q| q.pop_front());
+            let method = sh.outstanding.get_mut(&cur.uid).and_then(|q| q.pop_front());
             Ok(Value::Bool(method.as_deref() == Some("HEAD")))
         });
 
@@ -727,7 +739,12 @@ mod tests {
             "{evs:#?}"
         );
         match &evs[0] {
-            Event::HttpRequest { method, uri, version, .. } => {
+            Event::HttpRequest {
+                method,
+                uri,
+                version,
+                ..
+            } => {
                 assert_eq!(method, "GET");
                 assert_eq!(uri, "/index.html");
                 assert_eq!(version, "1.1");
@@ -811,7 +828,11 @@ mod tests {
         .unwrap();
         let evs = h.take_events();
         let done = evs.iter().find_map(|e| match e {
-            Event::HttpMessageDone { body_len, is_orig: false, .. } => Some(*body_len),
+            Event::HttpMessageDone {
+                body_len,
+                is_orig: false,
+                ..
+            } => Some(*body_len),
             _ => None,
         });
         assert_eq!(done, Some(0), "{evs:#?}");
@@ -828,7 +849,10 @@ mod tests {
             b"HTTP/1.0 200 OK\r\nServer: x\r\n\r\nunending body",
         )
         .unwrap();
-        assert!(h.take_events().iter().all(|e| e.name() != "http_message_done"));
+        assert!(h
+            .take_events()
+            .iter()
+            .all(|e| e.name() != "http_message_done"));
         h.finish_conn("C1", conn_id(), t(9)).unwrap();
         let evs = h.take_events();
         let done = evs.iter().find_map(|e| match e {
@@ -926,8 +950,14 @@ mod more_http_tests {
         // The Table 2 "Partial Content" case: a 206 with Content-Range
         // still frames by Content-Length.
         let mut h = BinpacHttp::new(OptLevel::Full, None).unwrap();
-        h.feed("C1", conn_id(), true, t(1), b"GET /big HTTP/1.1\r\nRange: bytes=0-4\r\n\r\n")
-            .unwrap();
+        h.feed(
+            "C1",
+            conn_id(),
+            true,
+            t(1),
+            b"GET /big HTTP/1.1\r\nRange: bytes=0-4\r\n\r\n",
+        )
+        .unwrap();
         h.feed(
             "C1",
             conn_id(),
@@ -946,10 +976,9 @@ mod more_http_tests {
             .flatten()
             .collect();
         assert_eq!(body, b"HELLO");
-        assert!(evs.iter().any(|e| matches!(
-            e,
-            Event::HttpReply { status: 206, .. }
-        )));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::HttpReply { status: 206, .. })));
     }
 
     #[test]
@@ -977,7 +1006,11 @@ mod more_http_tests {
         let dones: Vec<u64> = evs
             .iter()
             .filter_map(|e| match e {
-                Event::HttpMessageDone { is_orig: false, body_len, .. } => Some(*body_len),
+                Event::HttpMessageDone {
+                    is_orig: false,
+                    body_len,
+                    ..
+                } => Some(*body_len),
                 _ => None,
             })
             .collect();
@@ -998,17 +1031,31 @@ mod more_http_tests {
         )
         .unwrap();
         let evs = h.take_events();
-        assert!(evs.iter().any(|e| matches!(e, Event::HttpMessageDone { body_len: 2, .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::HttpMessageDone { body_len: 2, .. })));
     }
 
     #[test]
     fn many_connections_isolated_state() {
         let mut h = BinpacHttp::new(OptLevel::Full, None).unwrap();
         // Interleave two connections; bodies must not bleed across.
-        h.feed("C1", conn_id(), false, t(1), b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\n")
-            .unwrap();
-        h.feed("C2", conn_id(), false, t(1), b"HTTP/1.1 404 Not Found\r\nContent-Length: 3\r\n\r\nBBB")
-            .unwrap();
+        h.feed(
+            "C1",
+            conn_id(),
+            false,
+            t(1),
+            b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\n",
+        )
+        .unwrap();
+        h.feed(
+            "C2",
+            conn_id(),
+            false,
+            t(1),
+            b"HTTP/1.1 404 Not Found\r\nContent-Length: 3\r\n\r\nBBB",
+        )
+        .unwrap();
         h.feed("C1", conn_id(), false, t(2), b"AAA").unwrap();
         let evs = h.take_events();
         let bodies: Vec<(String, Vec<u8>)> = evs

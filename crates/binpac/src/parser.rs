@@ -115,10 +115,7 @@ impl BinpacParser {
     }
 
     fn pump(&mut self, session: &mut Session) -> RtResult<()> {
-        if matches!(
-            session.fiber.state(),
-            FiberState::Done | FiberState::Failed
-        ) {
+        if matches!(session.fiber.state(), FiberState::Done | FiberState::Failed) {
             return Ok(());
         }
         match self.program.resume(&mut session.fiber) {
@@ -227,8 +224,7 @@ mod tests {
 
     #[test]
     fn figure7_ssh_banner_datagram() {
-        let mut p =
-            BinpacParser::compile(&ssh_banner_grammar(), &[], OptLevel::Full).unwrap();
+        let mut p = BinpacParser::compile(&ssh_banner_grammar(), &[], OptLevel::Full).unwrap();
         let v = p
             .parse_datagram("Banner", b"SSH-1.99-OpenSSH_3.9p1\r\n")
             .unwrap();
@@ -322,9 +318,7 @@ mod tests {
     #[test]
     fn counted_list() {
         let g = Grammar::new("L")
-            .unit(
-                Unit::new("Item").field(Field::named("v", FieldKind::UInt(1))),
-            )
+            .unit(Unit::new("Item").field(Field::named("v", FieldKind::UInt(1))))
             .unit(
                 Unit::new("Packet")
                     .field(Field::named("n", FieldKind::UInt(1)))
@@ -438,10 +432,7 @@ mod field_hook_tests {
             });
         }
         p.parse_datagram("Line", b"GET /index.html\r\n").unwrap();
-        assert_eq!(
-            *seen.borrow(),
-            vec!["on_method=GET", "on_uri=/index.html"]
-        );
+        assert_eq!(*seen.borrow(), vec!["on_method=GET", "on_uri=/index.html"]);
     }
 
     #[test]
@@ -451,9 +442,7 @@ mod field_hook_tests {
         let g = Grammar::new("T").unit(
             Unit::new("Pair")
                 .field(Field::named("a", FieldKind::UInt(1)))
-                .field(
-                    Field::named("b", FieldKind::UInt(1)).with_hook("on_b"),
-                ),
+                .field(Field::named("b", FieldKind::UInt(1)).with_hook("on_b")),
         );
         let mut p = BinpacParser::compile(&g, &[], OptLevel::Full).unwrap();
         let captured: Rc<RefCell<Vec<(String, String)>>> = Rc::new(RefCell::new(Vec::new()));
@@ -473,7 +462,9 @@ mod field_hook_tests {
         let g = Grammar::new("T").unit(
             Unit::new("Rec")
                 .field(Field::named("len", FieldKind::UInt(1)).with_hook("on_len"))
-                .field(Field::named("body", FieldKind::BytesVar("len".into())).with_hook("on_body")),
+                .field(
+                    Field::named("body", FieldKind::BytesVar("len".into())).with_hook("on_body"),
+                ),
         );
         let mut p = BinpacParser::compile(&g, &["Rec"], OptLevel::Full).unwrap();
         let order: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));

@@ -53,20 +53,14 @@ pub fn compile_script(script: &Script) -> RtResult<String> {
                     gen.line(format!("{} = new set<any>", g.name));
                     if let Some(attr) = g.expire {
                         let (strat, secs) = expire_text(attr);
-                        gen.line(format!(
-                            "set.timeout {} {strat} interval({secs})",
-                            g.name
-                        ));
+                        gen.line(format!("set.timeout {} {strat} interval({secs})", g.name));
                     }
                 }
                 STy::Table(_, _) => {
                     gen.line(format!("{} = new map<any, any>", g.name));
                     if let Some(attr) = g.expire {
                         let (strat, secs) = expire_text(attr);
-                        gen.line(format!(
-                            "map.timeout {} {strat} interval({secs})",
-                            g.name
-                        ));
+                        gen.line(format!("map.timeout {} {strat} interval({secs})", g.name));
                     }
                 }
                 STy::Vector(_) => gen.line(format!("{} = new vector<any>", g.name)),
@@ -264,11 +258,7 @@ impl<'a> Gen<'a> {
                         self.line(format!("{t} = vector.get {cv} {iv}"));
                         (t, (**inner).clone())
                     }
-                    other => {
-                        return Err(RtError::type_error(format!(
-                            "cannot index a {other:?}"
-                        )))
-                    }
+                    other => return Err(RtError::type_error(format!("cannot index a {other:?}"))),
                 }
             }
             Expr::In(k, c) => {
@@ -278,9 +268,7 @@ impl<'a> Gen<'a> {
                 match &cty {
                     STy::Set(_) => self.line(format!("{t} = set.exists {cv} {kv}")),
                     STy::Table(_, _) => self.line(format!("{t} = map.exists {cv} {kv}")),
-                    other => {
-                        return Err(RtError::type_error(format!("'in' on {other:?}")))
-                    }
+                    other => return Err(RtError::type_error(format!("'in' on {other:?}"))),
                 }
                 (t, STy::Bool)
             }
@@ -292,9 +280,7 @@ impl<'a> Gen<'a> {
                     STy::Table(_, _) => self.line(format!("{t} = map.size {v}")),
                     STy::Vector(_) => self.line(format!("{t} = vector.length {v}")),
                     STy::Str => self.line(format!("{t} = string.length {v}")),
-                    other => {
-                        return Err(RtError::type_error(format!("|...| on {other:?}")))
-                    }
+                    other => return Err(RtError::type_error(format!("|...| on {other:?}"))),
                 }
                 (t, STy::Count)
             }
@@ -338,7 +324,10 @@ impl<'a> Gen<'a> {
                         .script
                         .record(rname)
                         .and_then(|layout| {
-                            layout.iter().find(|(n, _)| n == field).map(|(_, t)| t.clone())
+                            layout
+                                .iter()
+                                .find(|(n, _)| n == field)
+                                .map(|(_, t)| t.clone())
                         })
                         .unwrap_or(STy::Count),
                     _ => STy::Count,
@@ -557,9 +546,7 @@ impl<'a> Gen<'a> {
                 match self.var_ty(name) {
                     STy::Set(_) => self.line(format!("{t} = set.remove {name} {kv}")),
                     STy::Table(_, _) => self.line(format!("{t} = map.remove {name} {kv}")),
-                    other => {
-                        return Err(RtError::type_error(format!("delete on {other:?}")))
-                    }
+                    other => return Err(RtError::type_error(format!("delete on {other:?}"))),
                 }
                 Ok(())
             }
@@ -625,9 +612,7 @@ impl<'a> Gen<'a> {
                         self.line(format!("jump {l_loop}"));
                         self.line(format!("{l_end}:"));
                     }
-                    other => {
-                        return Err(RtError::type_error(format!("for over {other:?}")))
-                    }
+                    other => return Err(RtError::type_error(format!("for over {other:?}"))),
                 }
                 Ok(())
             }
@@ -759,8 +744,7 @@ function fib(n: count): count {
 }
 "#;
         let script = parse_script(src).unwrap();
-        let mut compiled =
-            ScriptHost::from_script(script.clone(), Engine::Compiled, None).unwrap();
+        let mut compiled = ScriptHost::from_script(script.clone(), Engine::Compiled, None).unwrap();
         let rt = Rc::new(RefCell::new(BroRt::default()));
         let mut interp = Interp::new(Rc::new(script), rt).unwrap();
         let c = compiled.call("fib", &[Value::Int(18)]).unwrap();
@@ -895,7 +879,12 @@ mod record_tests {
         // { add hosts[c$id$resp_h]; } — record form, nested $ access.
         for engine in [Engine::Interpreted, Engine::Compiled] {
             let mut host = ScriptHost::new(&[TRACK_BRO_FIGURE8], engine, None).unwrap();
-            for resp in ["208.80.152.118", "208.80.152.2", "208.80.152.3", "208.80.152.2"] {
+            for resp in [
+                "208.80.152.118",
+                "208.80.152.2",
+                "208.80.152.3",
+                "208.80.152.2",
+            ] {
                 host.dispatch(
                     "connection_established",
                     &[connection_value("C1", &conn(resp))],
@@ -933,10 +922,9 @@ event go() {
 
     #[test]
     fn record_style_event_dispatch_auto_detected() {
-        use netpkt::events::Event;
         use hilti_rt::time::Time;
-        let mut host =
-            ScriptHost::new(&[TRACK_BRO_FIGURE8], Engine::Compiled, None).unwrap();
+        use netpkt::events::Event;
+        let mut host = ScriptHost::new(&[TRACK_BRO_FIGURE8], Engine::Compiled, None).unwrap();
         host.dispatch_event(&Event::ConnectionEstablished {
             ts: Time::from_secs(1),
             uid: "C9".into(),

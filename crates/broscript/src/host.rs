@@ -70,7 +70,8 @@ pub fn call_builtin(
         )),
         "sha1" => args
             .first()
-            .ok_or_else(|| RtError::type_error("sha1 needs one argument")).map(|v| Value::str(&sha1_hex(v.render().as_bytes()))),
+            .ok_or_else(|| RtError::type_error("sha1 needs one argument"))
+            .map(|v| Value::str(&sha1_hex(v.render().as_bytes()))),
         "mime_type" => {
             // (body_prefix, declared_content_type) — "-" means undeclared.
             let body = args.first().map(Value::render).unwrap_or_default();
@@ -121,8 +122,16 @@ pub fn call_builtin(
         }
         "sub_str" => {
             let s = args.first().map(Value::render).unwrap_or_default();
-            let start = args.get(1).and_then(|v| v.as_int().ok()).unwrap_or(0).max(0) as usize;
-            let len = args.get(2).and_then(|v| v.as_int().ok()).unwrap_or(0).max(0) as usize;
+            let start = args
+                .get(1)
+                .and_then(|v| v.as_int().ok())
+                .unwrap_or(0)
+                .max(0) as usize;
+            let len = args
+                .get(2)
+                .and_then(|v| v.as_int().ok())
+                .unwrap_or(0)
+                .max(0) as usize;
             Ok(Value::str(
                 &s.chars().skip(start).take(len).collect::<String>(),
             ))
@@ -182,17 +191,41 @@ impl ScriptHost {
     /// Parses and loads `sources` (merged, like loading several .bro files)
     /// onto the chosen engine.
     pub fn new(sources: &[&str], engine: Engine, profiler: Option<Profiler>) -> RtResult<Self> {
+        Self::new_tiered(sources, engine, profiler, None)
+    }
+
+    /// Like [`ScriptHost::new`], but selects profile-guided adaptive
+    /// tiering for the compiled engine instead of the static
+    /// specialization pass. `None` keeps the default static tier; the
+    /// interpreter ignores the setting. Each host owns its own tier
+    /// state, so parallel pipeline shards tier independently without
+    /// sharing (or locking) anything.
+    pub fn new_tiered(
+        sources: &[&str],
+        engine: Engine,
+        profiler: Option<Profiler>,
+        tiering: Option<hilti::tier::TieringMode>,
+    ) -> RtResult<Self> {
         let mut script = Script::default();
         for s in sources {
             script = script.merge(parse_script(s)?);
         }
-        Self::from_script(script, engine, profiler)
+        Self::from_script_tiered(script, engine, profiler, tiering)
     }
 
     pub fn from_script(
         script: Script,
         engine: Engine,
         profiler: Option<Profiler>,
+    ) -> RtResult<Self> {
+        Self::from_script_tiered(script, engine, profiler, None)
+    }
+
+    pub fn from_script_tiered(
+        script: Script,
+        engine: Engine,
+        profiler: Option<Profiler>,
+        tiering: Option<hilti::tier::TieringMode>,
     ) -> RtResult<Self> {
         let script = Rc::new(script.with_builtin_records());
         let rt: Rc<RefCell<BroRt>> = Rc::new(RefCell::new(BroRt::default()));
@@ -210,7 +243,14 @@ impl ScriptHost {
             }
             Engine::Compiled => {
                 let src = compile_script(&script)?;
-                let mut program = hilti::Program::from_source(&src)?;
+                let mut program = hilti::Program::from_sources_opts(
+                    &[&src],
+                    hilti::passes::OptLevel::Full,
+                    hilti::host::BuildOptions {
+                        tiering,
+                        ..Default::default()
+                    },
+                )?;
                 // Register the builtin library as host functions.
                 for (name, _) in BUILTINS {
                     let rt2 = rt.clone();
@@ -235,6 +275,11 @@ impl ScriptHost {
 
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Tier-up and inline-cache state of the compiled engine, if any.
+    pub fn tier_report(&self) -> Option<hilti::tier::TierReport> {
+        self.program.as_ref().map(|p| p.context().tier_report())
     }
 
     /// Applies resource limits (fuel, heap, call depth) to whichever
@@ -298,10 +343,7 @@ impl ScriptHost {
                     .map(|h| h.params.len() == 1)
                     .unwrap_or(false);
                 if record_style {
-                    (
-                        "connection_established",
-                        vec![connection_value(uid, id)],
-                    )
+                    ("connection_established", vec![connection_value(uid, id)])
                 } else {
                     event_args(ev)
                 }
@@ -413,9 +455,7 @@ pub fn event_args(ev: &Event) -> (&'static str, Vec<Value>) {
                 Value::Port(id.resp_p),
             ],
         ),
-        Event::ConnectionFinished { uid, .. } => {
-            ("connection_finished", vec![Value::str(uid)])
-        }
+        Event::ConnectionFinished { uid, .. } => ("connection_finished", vec![Value::str(uid)]),
         Event::HttpRequest {
             uid,
             id,
@@ -467,7 +507,9 @@ pub fn event_args(ev: &Event) -> (&'static str, Vec<Value>) {
                 Value::str(value),
             ],
         ),
-        Event::HttpBodyData { uid, is_orig, data, .. } => (
+        Event::HttpBodyData {
+            uid, is_orig, data, ..
+        } => (
             "http_body_data",
             vec![
                 Value::str(uid),
@@ -550,11 +592,17 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(v.render(), "a1");
-        let v = call_builtin("sha1", &[Value::str("abc")], &rt).unwrap().unwrap();
+        let v = call_builtin("sha1", &[Value::str("abc")], &rt)
+            .unwrap()
+            .unwrap();
         assert_eq!(v.render(), "a9993e364706816aba3e25717850c26c9cd0d89d");
-        let v = call_builtin("qtype_name", &[Value::Int(1)], &rt).unwrap().unwrap();
+        let v = call_builtin("qtype_name", &[Value::Int(1)], &rt)
+            .unwrap()
+            .unwrap();
         assert_eq!(v.render(), "A");
-        let v = call_builtin("to_count", &[Value::str("42")], &rt).unwrap().unwrap();
+        let v = call_builtin("to_count", &[Value::str("42")], &rt)
+            .unwrap()
+            .unwrap();
         assert!(v.equals(&Value::Int(42)));
         assert!(call_builtin("not_a_builtin", &[], &rt).is_none());
     }

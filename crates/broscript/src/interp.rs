@@ -488,17 +488,13 @@ impl Interp {
                     let idx = layout
                         .iter()
                         .position(|(n, _)| n == f)
-                        .ok_or_else(|| {
-                            RtError::index(format!("record {name} has no field {f}"))
-                        })?;
+                        .ok_or_else(|| RtError::index(format!("record {name} has no field {f}")))?;
                     slots[idx] = self.eval(e, locals)?;
                 }
-                Value::Struct(Rc::new(std::cell::RefCell::new(
-                    hilti::value::StructVal {
-                        type_name: Rc::from(name.as_str()),
-                        fields: slots,
-                    },
-                )))
+                Value::Struct(Rc::new(std::cell::RefCell::new(hilti::value::StructVal {
+                    type_name: Rc::from(name.as_str()),
+                    fields: slots,
+                })))
             }
         })
     }
@@ -516,12 +512,9 @@ impl Interp {
             .script
             .record(&s.type_name)
             .ok_or_else(|| RtError::type_error(format!("unknown record {}", s.type_name)))?;
-        let idx = layout
-            .iter()
-            .position(|(n, _)| n == field)
-            .ok_or_else(|| {
-                RtError::index(format!("record {} has no field {field}", s.type_name))
-            })?;
+        let idx = layout.iter().position(|(n, _)| n == field).ok_or_else(|| {
+            RtError::index(format!("record {} has no field {field}", s.type_name))
+        })?;
         Ok(s.fields[idx].clone())
     }
 
@@ -694,7 +687,12 @@ event bro_done() {
             ]
         };
         // Three servers, one duplicated (Figure 8c has 3 unique).
-        for resp in ["208.80.152.118", "208.80.152.2", "208.80.152.3", "208.80.152.2"] {
+        for resp in [
+            "208.80.152.118",
+            "208.80.152.2",
+            "208.80.152.3",
+            "208.80.152.2",
+        ] {
             i.dispatch("connection_established", &mk(resp)).unwrap();
         }
         i.dispatch("bro_done", &[]).unwrap();
@@ -823,9 +821,8 @@ event go(k: string) {
 
     #[test]
     fn missing_table_entry_errors() {
-        let mut i = engine(
-            "global t: table[string] of count;\nevent go() { print t[\"missing\"]; }",
-        );
+        let mut i =
+            engine("global t: table[string] of count;\nevent go() { print t[\"missing\"]; }");
         assert!(i.dispatch("go", &[]).is_err());
     }
 

@@ -193,7 +193,8 @@ impl ShardState {
             Proto::Http => scripts::HTTP_BRO,
             Proto::Dns => scripts::DNS_BRO,
         };
-        let mut host = ScriptHost::new(&[script], engine, Some(profiler.clone()))?;
+        let mut host =
+            ScriptHost::new_tiered(&[script], engine, Some(profiler.clone()), gov.tiering)?;
         let tel = gov.telemetry.then(|| {
             let telemetry = Telemetry::new();
             ShardTelemetry {
@@ -431,7 +432,14 @@ fn http_delivery(
     );
 }
 
-fn dns_delivery(st: &mut ShardState, slot: u64, uid: String, id: ConnId, ts: Time, payload: Vec<u8>) {
+fn dns_delivery(
+    st: &mut ShardState,
+    slot: u64,
+    uid: String,
+    id: ConnId,
+    ts: Time,
+    payload: Vec<u8>,
+) {
     let parse_key = Key {
         major: slot,
         phase: PH_PARSE,
@@ -502,7 +510,13 @@ fn dns_delivery(st: &mut ShardState, slot: u64, uid: String, id: ConnId, ts: Tim
 /// BinPAC++ — each matching its sequential counterpart). Flows whose
 /// parser state is already gone (closed, quarantined, never fed) are
 /// no-ops, exactly as in the sequential flush.
-fn http_finish_flow(st: &mut ShardState, parse_major: u64, dispatch_major: u64, uid: String, ts: Time) {
+fn http_finish_flow(
+    st: &mut ShardState,
+    parse_major: u64,
+    dispatch_major: u64,
+    uid: String,
+    ts: Time,
+) {
     let parse_key = Key {
         major: parse_major,
         phase: PH_PARSE,
@@ -583,7 +597,11 @@ struct ShardReport {
 }
 
 fn harvest(st: &mut ShardState) -> ShardReport {
-    let peak_flow_bytes = st.bp_http.as_ref().map(|b| b.peak_session_bytes()).unwrap_or(0);
+    let peak_flow_bytes = st
+        .bp_http
+        .as_ref()
+        .map(|b| b.peak_session_bytes())
+        .unwrap_or(0);
     let snapshot = match st.tel.as_ref() {
         Some(t) => {
             // Mirror the sequential `PipelineTelemetry::finish` bookkeeping
@@ -714,17 +732,18 @@ fn run_parallel(
     let mut n_packets = 0u64;
     let mut last_ts = Time::ZERO;
 
-    let flush = |pool: &WorkPool<ShardState>, buf: &mut Vec<ShardItem>, shard: usize| -> RtResult<()> {
-        if buf.is_empty() {
-            return Ok(());
-        }
-        let items = std::mem::take(buf);
-        pool.submit(shard, move |st| {
-            for item in items {
-                st.process(item);
+    let flush =
+        |pool: &WorkPool<ShardState>, buf: &mut Vec<ShardItem>, shard: usize| -> RtResult<()> {
+            if buf.is_empty() {
+                return Ok(());
             }
-        })
-    };
+            let items = std::mem::take(buf);
+            pool.submit(shard, move |st| {
+                for item in items {
+                    st.process(item);
+                }
+            })
+        };
 
     for (slot, pkt) in packets.iter().enumerate() {
         let slot = slot as u64;
@@ -734,7 +753,9 @@ fn run_parallel(
         if let Some(t) = &dtel {
             t.packets.inc();
         }
-        let Ok(d) = decode_ethernet(pkt) else { continue };
+        let Ok(d) = decode_ethernet(pkt) else {
+            continue;
+        };
         let shard = (shard_hash(&d) % workers as u64) as usize;
         let delivery = flows.process(&d);
         let uid = delivery.flow.uid.clone();
@@ -748,7 +769,10 @@ fn run_parallel(
             if let Some(t) = &mut dtel {
                 t.flows_opened.inc();
                 t.emit(
-                    Key { major: slot, phase: PH_FLOW },
+                    Key {
+                        major: slot,
+                        phase: PH_FLOW,
+                    },
                     "flow_open",
                     &uid,
                     pkt.ts,
@@ -759,7 +783,10 @@ fn run_parallel(
             if let Some(t) = &mut dtel {
                 t.flows_closed.inc();
                 t.emit(
-                    Key { major: slot, phase: PH_FLOW },
+                    Key {
+                        major: slot,
+                        phase: PH_FLOW,
+                    },
                     "flow_close",
                     &uid,
                     pkt.ts,
@@ -786,9 +813,8 @@ fn run_parallel(
         if let Some(ms) = gov.idle_timeout_ms {
             timers.schedule(pkt.ts + Interval::from_millis(ms as i64), uid.clone());
             if !timers.advance(pkt.ts).is_empty() {
-                let cutoff = Time::from_nanos(
-                    pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)),
-                );
+                let cutoff =
+                    Time::from_nanos(pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)));
                 for dead in flows.expire_idle_uids(cutoff) {
                     if let Some(&w) = owner.get(&dead) {
                         buf[w].push(ShardItem::Evict { uid: dead.clone() });
@@ -799,7 +825,10 @@ fn run_parallel(
                     if let Some(t) = &mut dtel {
                         t.flows_expired.inc();
                         t.emit(
-                            Key { major: slot, phase: PH_TIMER },
+                            Key {
+                                major: slot,
+                                phase: PH_TIMER,
+                            },
                             "timer_expiry",
                             &dead,
                             pkt.ts,

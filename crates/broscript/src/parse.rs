@@ -72,13 +72,15 @@ fn lex(src: &str) -> RtResult<Vec<Tok>> {
                 }
                 let text = &src[start..i];
                 if text.contains('.') {
-                    out.push(Tok::Double(text.parse().map_err(|_| {
-                        RtError::value(format!("bad number {text}"))
-                    })?));
+                    out.push(Tok::Double(
+                        text.parse()
+                            .map_err(|_| RtError::value(format!("bad number {text}")))?,
+                    ));
                 } else {
-                    out.push(Tok::Count(text.parse().map_err(|_| {
-                        RtError::value(format!("bad number {text}"))
-                    })?));
+                    out.push(Tok::Count(
+                        text.parse()
+                            .map_err(|_| RtError::value(format!("bad number {text}")))?,
+                    ));
                 }
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
@@ -157,7 +159,6 @@ impl P {
         self.toks.get(self.pos)
     }
 
-
     fn bump(&mut self) -> Option<Tok> {
         let t = self.toks.get(self.pos).cloned();
         if t.is_some() {
@@ -203,7 +204,9 @@ impl P {
     fn expect_ident(&mut self) -> RtResult<String> {
         match self.bump() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(RtError::value(format!("expected identifier, got {other:?}"))),
+            other => Err(RtError::value(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -411,7 +414,11 @@ impl P {
     fn stmt(&mut self) -> RtResult<Stmt> {
         if self.eat_kw("local") {
             let name = self.expect_ident()?;
-            let ty = if self.eat_sym(":") { Some(self.ty()?) } else { None };
+            let ty = if self.eat_sym(":") {
+                Some(self.ty()?)
+            } else {
+                None
+            };
             self.expect_sym("=")?;
             let e = self.expr()?;
             self.expect_sym(";")?;
@@ -736,20 +743,15 @@ function fib(n: count): count {
 
     #[test]
     fn table_with_expire_attr() {
-        let s = parse_script(
-            "global seen: table[string] of count &create_expire=300.0;\n",
-        )
-        .unwrap();
+        let s =
+            parse_script("global seen: table[string] of count &create_expire=300.0;\n").unwrap();
         match s.globals[0].expire {
             Some(ExpireAttr::Create(iv)) => {
                 assert_eq!(iv, hilti_rt::time::Interval::from_secs(300))
             }
             other => panic!("unexpected {other:?}"),
         }
-        let s = parse_script(
-            "global seen: table[string] of count &read_expire=5 mins;\n",
-        )
-        .unwrap();
+        let s = parse_script("global seen: table[string] of count &read_expire=5 mins;\n").unwrap();
         assert!(matches!(s.globals[0].expire, Some(ExpireAttr::Read(_))));
     }
 
@@ -788,8 +790,10 @@ event x(k: string) {
         .unwrap();
         let body = &s.handlers[0].body;
         assert!(matches!(&body[0], Stmt::If(Expr::In(_, _), _, els) if !els.is_empty()));
-        assert!(matches!(&body[1], Stmt::If(Expr::Bin(BinOp::Gt, l, _), _, _)
-            if matches!(&**l, Expr::Size(_))));
+        assert!(
+            matches!(&body[1], Stmt::If(Expr::Bin(BinOp::Gt, l, _), _, _)
+            if matches!(&**l, Expr::Size(_)))
+        );
     }
 
     #[test]

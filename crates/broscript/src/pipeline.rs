@@ -91,6 +91,11 @@ pub struct Governance {
     /// [`AnalysisResult::telemetry`]. Off by default; the cost when on is
     /// a handful of relaxed atomic increments per packet.
     pub telemetry: bool,
+    /// Profile-guided adaptive tiering for the compiled script engine
+    /// (`None` keeps the default static specialization pass). Tier state
+    /// is per-host, so each parallel shard tiers independently; outputs
+    /// stay byte-identical in every mode.
+    pub tiering: Option<hilti::tier::TieringMode>,
 }
 
 /// One flow the quarantine tore down.
@@ -155,13 +160,17 @@ impl PipelineTelemetry {
         if !self.seen.contains(uid) {
             self.seen.insert(uid.to_owned());
             self.flows_opened.inc();
-            self.telemetry
-                .emit("flow_open", vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())]);
+            self.telemetry.emit(
+                "flow_open",
+                vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())],
+            );
         }
         if finished {
             self.flows_closed.inc();
-            self.telemetry
-                .emit("flow_close", vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())]);
+            self.telemetry.emit(
+                "flow_close",
+                vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())],
+            );
         }
     }
 
@@ -173,14 +182,18 @@ impl PipelineTelemetry {
 
     fn parse_failure(&self, uid: &str, ts: Time) {
         self.parse_failures.inc();
-        self.telemetry
-            .emit("parser_error", vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())]);
+        self.telemetry.emit(
+            "parser_error",
+            vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())],
+        );
     }
 
     fn expired(&self, uid: &str, ts: Time) {
         self.flows_expired.inc();
-        self.telemetry
-            .emit("timer_expiry", vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())]);
+        self.telemetry.emit(
+            "timer_expiry",
+            vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())],
+        );
     }
 
     /// Records the quarantine ledger, exports per-kind error counters and
@@ -241,7 +254,12 @@ pub fn run_http_analysis_governed(
     gov: &Governance,
 ) -> RtResult<AnalysisResult> {
     let profiler = Profiler::new();
-    let mut host = ScriptHost::new(&[scripts::HTTP_BRO], engine, Some(profiler.clone()))?;
+    let mut host = ScriptHost::new_tiered(
+        &[scripts::HTTP_BRO],
+        engine,
+        Some(profiler.clone()),
+        gov.tiering,
+    )?;
     let mut tel = gov.telemetry.then(PipelineTelemetry::new);
     if let Some(t) = &tel {
         host.set_telemetry(&t.telemetry);
@@ -285,7 +303,9 @@ pub fn run_http_analysis_governed(
             if let Some(t) = &tel {
                 t.packets.inc();
             }
-            let Ok(d) = decode_ethernet(pkt) else { continue };
+            let Ok(d) = decode_ethernet(pkt) else {
+                continue;
+            };
             let delivery = flows.process(&d);
             let uid = delivery.flow.uid.clone();
             let id = delivery.flow.id;
@@ -400,7 +420,13 @@ pub fn run_http_analysis_governed(
             tail_events.extend(bp.take_events());
         }
     }
-    dispatch_events(&mut host, &tail_events, gov, &mut n_events, &mut flow_errors)?;
+    dispatch_events(
+        &mut host,
+        &tail_events,
+        gov,
+        &mut n_events,
+        &mut flow_errors,
+    )?;
     if gov.script_fuel.is_some() {
         host.set_limits(ResourceLimits {
             fuel: gov.script_fuel,
@@ -515,7 +541,12 @@ pub fn run_dns_analysis_governed(
     gov: &Governance,
 ) -> RtResult<AnalysisResult> {
     let profiler = Profiler::new();
-    let mut host = ScriptHost::new(&[scripts::DNS_BRO], engine, Some(profiler.clone()))?;
+    let mut host = ScriptHost::new_tiered(
+        &[scripts::DNS_BRO],
+        engine,
+        Some(profiler.clone()),
+        gov.tiering,
+    )?;
     let mut tel = gov.telemetry.then(PipelineTelemetry::new);
     if let Some(t) = &tel {
         host.set_telemetry(&t.telemetry);
@@ -549,7 +580,9 @@ pub fn run_dns_analysis_governed(
             if let Some(t) = &tel {
                 t.packets.inc();
             }
-            let Ok(d) = decode_ethernet(pkt) else { continue };
+            let Ok(d) = decode_ethernet(pkt) else {
+                continue;
+            };
             let delivery = flows.process(&d);
             let uid = delivery.flow.uid.clone();
             let id = delivery.flow.id;

@@ -243,8 +243,8 @@ mod tests {
             ("fib", FIB_BRO),
         ] {
             let script = parse_script(src).unwrap();
-            let hilti_src = crate::compile::compile_script(&script)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let hilti_src =
+                crate::compile::compile_script(&script).unwrap_or_else(|e| panic!("{name}: {e}"));
             hilti::Program::from_source(&hilti_src)
                 .unwrap_or_else(|e| panic!("{name}: {e}\n{hilti_src}"));
         }

@@ -24,6 +24,7 @@ fn chaos_gov() -> Governance {
         quarantine: true,
         inject_fault_after: None,
         telemetry: true,
+        tiering: None,
     }
 }
 
@@ -31,8 +32,13 @@ fn chaos_gov() -> Governance {
 fn http_chaos_survives_with_bounded_memory() {
     let cfg = ChaosConfig::new(0xC0FFEE);
     let trace = chaos_http_trace(&cfg);
-    let r = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &chaos_gov())
-        .expect("governed pipeline must survive the chaos trace");
+    let r = run_http_analysis_governed(
+        &trace,
+        ParserStack::Binpac,
+        Engine::Interpreted,
+        &chaos_gov(),
+    )
+    .expect("governed pipeline must survive the chaos trace");
 
     assert_eq!(r.packets, trace.len() as u64);
     // Every well-formed session still shows up in the log.
@@ -71,7 +77,10 @@ fn http_chaos_survives_with_bounded_memory() {
     let t = &r.telemetry;
     assert_eq!(t.counter("pipeline.packets"), r.packets);
     assert_eq!(t.counter("pipeline.flows_expired"), r.flows_expired);
-    assert_eq!(t.counter("pipeline.flows_quarantined"), r.flow_errors.len() as u64);
+    assert_eq!(
+        t.counter("pipeline.flows_quarantined"),
+        r.flow_errors.len() as u64
+    );
     assert_eq!(
         t.counter("pipeline.flow_errors.Hilti::ResourceExhausted"),
         (cfg.header_bombs + cfg.infinite_chunks) as u64
@@ -90,10 +99,10 @@ fn http_chaos_is_deterministic() {
     let cfg = ChaosConfig::new(7);
     let trace = chaos_http_trace(&cfg);
     let gov = chaos_gov();
-    let a = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov)
-        .unwrap();
-    let b = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov)
-        .unwrap();
+    let a =
+        run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov).unwrap();
+    let b =
+        run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov).unwrap();
     assert_eq!(a.http_log, b.http_log);
     assert_eq!(a.flows_expired, b.flows_expired);
     assert_eq!(a.peak_flow_bytes, b.peak_flow_bytes);
@@ -116,8 +125,13 @@ fn http_chaos_standard_stack_survives_too() {
     // but idle expiration still reclaims the stale flows.
     let cfg = ChaosConfig::new(99);
     let trace = chaos_http_trace(&cfg);
-    let r = run_http_analysis_governed(&trace, ParserStack::Standard, Engine::Interpreted, &chaos_gov())
-        .unwrap();
+    let r = run_http_analysis_governed(
+        &trace,
+        ParserStack::Standard,
+        Engine::Interpreted,
+        &chaos_gov(),
+    )
+    .unwrap();
     assert!(r.http_log.len() >= cfg.normal);
     assert!(r.flows_expired >= cfg.truncated_handshakes as u64);
 }
@@ -133,11 +147,13 @@ fn governance_with_generous_limits_changes_nothing() {
         quarantine: true,
         inject_fault_after: None,
         telemetry: false,
+        tiering: None,
     };
     let a = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &generous)
         .unwrap();
-    let b = broscript::pipeline::run_http_analysis(&trace, ParserStack::Binpac, Engine::Interpreted)
-        .unwrap();
+    let b =
+        broscript::pipeline::run_http_analysis(&trace, ParserStack::Binpac, Engine::Interpreted)
+            .unwrap();
     assert_eq!(a.http_log, b.http_log);
     assert_eq!(a.files_log, b.files_log);
     assert!(a.flow_errors.is_empty(), "{:?}", a.flow_errors);
@@ -153,10 +169,10 @@ fn injected_fault_quarantines_exactly_one_flow() {
         inject_fault_after: Some(1_000),
         ..Governance::default()
     };
-    let a = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov)
-        .unwrap();
-    let b = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov)
-        .unwrap();
+    let a =
+        run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov).unwrap();
+    let b =
+        run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov).unwrap();
     assert_eq!(a.flow_errors.len(), 1, "{:?}", a.flow_errors);
     assert_eq!(a.flow_errors[0].kind, "Hilti::RuntimeError");
     assert!(a.flow_errors[0].detail.contains("injected chaos fault"));
@@ -175,8 +191,8 @@ fn script_fuel_quarantines_event_handlers() {
         quarantine: true,
         ..Governance::default()
     };
-    let r = run_http_analysis_governed(&trace, ParserStack::Standard, Engine::Compiled, &gov)
-        .unwrap();
+    let r =
+        run_http_analysis_governed(&trace, ParserStack::Standard, Engine::Compiled, &gov).unwrap();
     assert!(!r.flow_errors.is_empty());
     // Starvation surfaces directly (fuel exhausted mid-handler) and as
     // follow-on failures in later handlers on the same flow whose state

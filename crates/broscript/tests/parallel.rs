@@ -5,12 +5,9 @@
 //! may only change throughput, never output.
 
 use broscript::host::Engine;
-use broscript::parallel::{
-    run_dns_analysis_parallel, run_http_analysis_parallel, PipelineOptions,
-};
+use broscript::parallel::{run_dns_analysis_parallel, run_http_analysis_parallel, PipelineOptions};
 use broscript::pipeline::{
-    run_dns_analysis_governed, run_http_analysis_governed, AnalysisResult, Governance,
-    ParserStack,
+    run_dns_analysis_governed, run_http_analysis_governed, AnalysisResult, Governance, ParserStack,
 };
 use netpkt::synth::{chaos_dns_trace, chaos_http_trace, ChaosConfig};
 
@@ -22,6 +19,7 @@ fn chaos_gov() -> Governance {
         quarantine: true,
         inject_fault_after: None,
         telemetry: true,
+        tiering: None,
     }
 }
 
@@ -43,7 +41,10 @@ fn assert_identical(a: &AnalysisResult, b: &AnalysisResult, what: &str) {
     assert_eq!(a.events, b.events, "{what}: dispatched events");
     assert_eq!(a.packets, b.packets, "{what}: packets");
     assert_eq!(a.flows_expired, b.flows_expired, "{what}: flows_expired");
-    assert_eq!(a.peak_flow_bytes, b.peak_flow_bytes, "{what}: peak_flow_bytes");
+    assert_eq!(
+        a.peak_flow_bytes, b.peak_flow_bytes,
+        "{what}: peak_flow_bytes"
+    );
     assert_eq!(a.parse_failures, b.parse_failures, "{what}: parse_failures");
     assert_eq!(a.telemetry, b.telemetry, "{what}: telemetry snapshot");
     assert_eq!(
@@ -139,7 +140,8 @@ fn ungoverned_fatal_error_matches_sequential() {
         telemetry: false,
         ..Governance::default()
     };
-    let Err(seq) = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov)
+    let Err(seq) =
+        run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov)
     else {
         panic!("budget of 1 KiB must blow up on the chaos trace")
     };
@@ -157,4 +159,66 @@ fn ungoverned_fatal_error_matches_sequential() {
         };
         assert_eq!(seq, par, "fatal error x{n}");
     }
+}
+
+#[test]
+fn tiering_modes_parallel_output_identical() {
+    // Adaptive tiering may only change dispatch speed, never output: for
+    // every tiering mode the sequential, 1-worker and 4-worker compiled
+    // runs must match the static-specialization baseline byte for byte.
+    use hilti::tier::TieringMode;
+
+    let trace = chaos_http_trace(&ChaosConfig::new(11));
+    let quiet = Governance {
+        telemetry: false,
+        ..chaos_gov()
+    };
+    let base = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &quiet)
+        .expect("static baseline");
+    assert!(base.packets > 0 && !base.http_log.is_empty());
+    for mode in [TieringMode::Off, TieringMode::Lazy, TieringMode::Eager] {
+        let gov = Governance {
+            tiering: Some(mode),
+            ..quiet
+        };
+        let seq = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov)
+            .unwrap_or_else(|e| panic!("{mode:?} sequential: {e}"));
+        assert_identical(&base, &seq, &format!("{mode:?} seq vs static"));
+        for n in [1, 4] {
+            let par = run_http_analysis_parallel(
+                &trace,
+                ParserStack::Binpac,
+                Engine::Compiled,
+                &PipelineOptions {
+                    workers: n,
+                    governance: gov,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{mode:?} x{n}: {e}"));
+            assert_identical(&base, &par, &format!("{mode:?} x{n} vs static"));
+        }
+    }
+}
+
+#[test]
+fn tiering_telemetry_merge_is_deterministic() {
+    // With telemetry on, per-shard tier state (engine.tierup, ic.*) flows
+    // into the merged snapshot; for a fixed worker count the merge must be
+    // byte-identical across reruns.
+    use hilti::tier::TieringMode;
+
+    let trace = chaos_http_trace(&ChaosConfig::new(13));
+    let gov = Governance {
+        tiering: Some(TieringMode::Lazy),
+        ..chaos_gov()
+    };
+    let opts = PipelineOptions {
+        workers: 4,
+        governance: gov,
+    };
+    let a = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
+        .expect("first run");
+    let b = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
+        .expect("second run");
+    assert_identical(&a, &b, "lazy x4 rerun");
 }

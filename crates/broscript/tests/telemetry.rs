@@ -77,8 +77,9 @@ fn pipeline_counters_agree_across_engines() {
     // (Engine-level `engine.*` counters exist only for the VM, which is
     // the one with an instruction counter.)
     let trace = http_trace(&SynthConfig::new(37, 9));
-    let i = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov(true))
-        .unwrap();
+    let i =
+        run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov(true))
+            .unwrap();
     let v = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov(true))
         .unwrap();
     let pipeline_only = |r: &broscript::pipeline::AnalysisResult| -> Vec<(String, u64)> {
@@ -105,11 +106,17 @@ fn counters_mirror_result_fields() {
     assert_eq!(t.counter("pipeline.packets"), r.packets);
     assert_eq!(t.counter("pipeline.events_dispatched"), r.events);
     assert_eq!(t.counter("pipeline.flows_expired"), r.flows_expired);
-    assert_eq!(t.counter("pipeline.flows_quarantined"), r.flow_errors.len() as u64);
+    assert_eq!(
+        t.counter("pipeline.flows_quarantined"),
+        r.flow_errors.len() as u64
+    );
     assert!(t.counter("pipeline.bytes_parsed") > 0);
     assert!(t.counter("pipeline.flows_opened") > 0);
     assert!(t.counter("pipeline.flows_opened") >= t.counter("pipeline.flows_closed"));
-    assert_eq!(t.events_of_kind("flow_open") as u64, t.counter("pipeline.flows_opened"));
+    assert_eq!(
+        t.events_of_kind("flow_open") as u64,
+        t.counter("pipeline.flows_opened")
+    );
     // The payload histogram saw exactly the parsed bytes.
     let (_, h) = t
         .histograms
@@ -127,12 +134,19 @@ fn dns_pipeline_reports_telemetry_too() {
         let a = run_dns_analysis_governed(&trace, stack, Engine::Interpreted, &gov(true)).unwrap();
         let b = run_dns_analysis_governed(&trace, stack, Engine::Interpreted, &gov(true)).unwrap();
         assert_eq!(a.telemetry, b.telemetry, "{stack:?}");
-        assert_eq!(a.telemetry.counter("pipeline.packets"), a.packets, "{stack:?}");
+        assert_eq!(
+            a.telemetry.counter("pipeline.packets"),
+            a.packets,
+            "{stack:?}"
+        );
         assert_eq!(
             a.telemetry.counter("pipeline.parse_failures"),
             a.parse_failures,
             "{stack:?}"
         );
-        assert!(a.telemetry.counter("pipeline.bytes_parsed") > 0, "{stack:?}");
+        assert!(
+            a.telemetry.counter("pipeline.bytes_parsed") > 0,
+            "{stack:?}"
+        );
     }
 }

@@ -532,11 +532,7 @@ mod tests {
                     sport: Some(d.sport),
                     dport: Some(d.dport),
                 };
-                assert_eq!(
-                    bpf_filter(&prog, pkt),
-                    expr.matches(&view),
-                    "filter {f:?}"
-                );
+                assert_eq!(bpf_filter(&prog, pkt), expr.matches(&view), "filter {f:?}");
             }
         }
     }

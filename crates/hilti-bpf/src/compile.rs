@@ -103,9 +103,7 @@ impl Gen {
             }
             FilterExpr::Tcp => self.gen_proto(6),
             FilterExpr::Udp => self.gen_proto(17),
-            FilterExpr::Host(dir, a) => {
-                self.gen_addr_test(*dir, &a.to_string())
-            }
+            FilterExpr::Host(dir, a) => self.gen_addr_test(*dir, &a.to_string()),
             FilterExpr::Net(dir, n) => self.gen_addr_test(*dir, &n.to_string()),
             FilterExpr::Port(dir, num) => {
                 let t = self.temp();
@@ -156,7 +154,6 @@ impl Gen {
         }
     }
 
-
     fn gen_proto(&mut self, proto: u8) -> String {
         let t = self.temp();
         self.lines
@@ -164,7 +161,6 @@ impl Gen {
         self.lines.push(format!("{t} = int.eq pr {proto}"));
         t
     }
-
 
     /// Address/network test in Figure 4 style: `equal` against an addr or
     /// net literal (addr-vs-net `equal` means membership).
@@ -194,7 +190,6 @@ impl Gen {
         }
         t
     }
-
 }
 
 /// A BPF filter compiled to HILTI and ready to run on the VM.
@@ -254,12 +249,8 @@ mod tests {
         assert!(f
             .matches(&tcp_frame("192.168.1.1", "8.8.8.8", 1, 80))
             .unwrap());
-        assert!(f
-            .matches(&tcp_frame("10.0.5.7", "8.8.8.8", 1, 80))
-            .unwrap());
-        assert!(!f
-            .matches(&tcp_frame("8.8.8.8", "10.0.5.7", 1, 80))
-            .unwrap());
+        assert!(f.matches(&tcp_frame("10.0.5.7", "8.8.8.8", 1, 80)).unwrap());
+        assert!(!f.matches(&tcp_frame("8.8.8.8", "10.0.5.7", 1, 80)).unwrap());
         assert!(!f.matches(&tcp_frame("9.9.9.9", "8.8.8.8", 1, 80)).unwrap());
     }
 
@@ -277,8 +268,12 @@ mod tests {
     #[test]
     fn ports_and_protocols() {
         let mut f = HiltiFilter::from_filter("tcp and dst port 80").unwrap();
-        assert!(f.matches(&tcp_frame("1.1.1.1", "2.2.2.2", 999, 80)).unwrap());
-        assert!(!f.matches(&tcp_frame("1.1.1.1", "2.2.2.2", 80, 999)).unwrap());
+        assert!(f
+            .matches(&tcp_frame("1.1.1.1", "2.2.2.2", 999, 80))
+            .unwrap());
+        assert!(!f
+            .matches(&tcp_frame("1.1.1.1", "2.2.2.2", 80, 999))
+            .unwrap());
         let udp = build_udp_frame(a("1.1.1.1"), a("2.2.2.2"), 5353, 80, b"q");
         assert!(!f.matches(&udp).unwrap());
         let mut g = HiltiFilter::from_filter("udp").unwrap();

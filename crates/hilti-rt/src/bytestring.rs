@@ -277,10 +277,7 @@ impl Bytes {
         }
         let rel = ((from - inner.base) as usize).min(inner.buf.len());
         let hay = &inner.buf[rel..];
-        if let Some(pos) = hay
-            .windows(needle.len())
-            .position(|w| w == needle)
-        {
+        if let Some(pos) = hay.windows(needle.len()).position(|w| w == needle) {
             return Ok(Some(from + pos as u64));
         }
         if inner.frozen {
@@ -490,7 +487,10 @@ mod tests {
     fn find_semantics() {
         let b = Bytes::from_slice(b"abc\r\ndef");
         assert_eq!(b.find(0, b"\r\n").unwrap(), Some(3));
-        assert_eq!(b.find(4, b"\r\n").unwrap_err().kind, ExceptionKind::WouldBlock);
+        assert_eq!(
+            b.find(4, b"\r\n").unwrap_err().kind,
+            ExceptionKind::WouldBlock
+        );
         b.freeze();
         assert_eq!(b.find(4, b"\r\n").unwrap(), None);
         assert_eq!(b.find(0, b"").unwrap(), Some(0));

@@ -30,9 +30,24 @@ macro_rules! pod_deep_copy {
 }
 
 pod_deep_copy!(
-    bool, u8, u16, u32, u64, i8, i16, i32, i64, usize, isize, f64, String,
-    crate::addr::Addr, crate::addr::Network, crate::addr::Port,
-    crate::time::Time, crate::time::Interval
+    bool,
+    u8,
+    u16,
+    u32,
+    u64,
+    i8,
+    i16,
+    i32,
+    i64,
+    usize,
+    isize,
+    f64,
+    String,
+    crate::addr::Addr,
+    crate::addr::Network,
+    crate::addr::Port,
+    crate::time::Time,
+    crate::time::Interval
 );
 
 impl DeepCopy for crate::bytestring::Bytes {

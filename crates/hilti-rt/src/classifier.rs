@@ -188,16 +188,24 @@ impl<V: Clone> Classifier<V> {
         if self.backend == Backend::FieldIndexed {
             for (i, rule) in self.rules.iter().enumerate() {
                 match rule.fields.first() {
-                    Some(FieldMatcher::Net(n)) if n.prefix().is_v4() && n.len() >= INDEX_BITS_V4 => {
+                    Some(FieldMatcher::Net(n))
+                        if n.prefix().is_v4() && n.len() >= INDEX_BITS_V4 =>
+                    {
                         let key = n.prefix().mask(INDEX_BITS_V4).raw();
                         self.index.entry(key).or_default().push(i);
                     }
-                    Some(FieldMatcher::Net(n)) if n.prefix().is_v6() && n.len() >= INDEX_BITS_V6 => {
+                    Some(FieldMatcher::Net(n))
+                        if n.prefix().is_v6() && n.len() >= INDEX_BITS_V6 =>
+                    {
                         let key = n.prefix().mask(INDEX_BITS_V6).raw();
                         self.index.entry(key).or_default().push(i);
                     }
                     Some(FieldMatcher::Host(a)) => {
-                        let bits = if a.is_v4() { INDEX_BITS_V4 } else { INDEX_BITS_V6 };
+                        let bits = if a.is_v4() {
+                            INDEX_BITS_V4
+                        } else {
+                            INDEX_BITS_V6
+                        };
                         let key = a.mask(bits).raw();
                         self.index.entry(key).or_default().push(i);
                     }
@@ -212,8 +220,7 @@ impl<V: Clone> Classifier<V> {
     }
 
     fn rule_matches(rule: &Rule<V>, key: &[FieldValue]) -> bool {
-        rule.fields.len() == key.len()
-            && rule.fields.iter().zip(key).all(|(f, v)| f.matches(v))
+        rule.fields.len() == key.len() && rule.fields.iter().zip(key).all(|(f, v)| f.matches(v))
     }
 
     /// Returns the value of the best-matching rule, or `IndexError` if no
@@ -238,14 +245,16 @@ impl<V: Clone> Classifier<V> {
                 // the lowest index wins.
                 let mut best: Option<usize> = None;
                 let mut consider = |idx: usize| {
-                    if best.is_none_or(|b| idx < b)
-                        && Self::rule_matches(&self.rules[idx], key)
-                    {
+                    if best.is_none_or(|b| idx < b) && Self::rule_matches(&self.rules[idx], key) {
                         best = Some(idx);
                     }
                 };
                 if let Some(FieldValue::Addr(a)) = key.first() {
-                    let bits = if a.is_v4() { INDEX_BITS_V4 } else { INDEX_BITS_V6 };
+                    let bits = if a.is_v4() {
+                        INDEX_BITS_V4
+                    } else {
+                        INDEX_BITS_V6
+                    };
                     if let Some(bucket) = self.index.get(&a.mask(bits).raw()) {
                         bucket.iter().for_each(|&i| consider(i));
                     }

@@ -224,7 +224,8 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
 
     /// Mutable access; always counts as an access for the policy.
     pub fn get_mut(&mut self, key: &K, now: Time) -> Option<&mut V> {
-        if matches!(self.policy, Some((ExpireStrategy::Access, _))) && self.entries.contains_key(key)
+        if matches!(self.policy, Some((ExpireStrategy::Access, _)))
+            && self.entries.contains_key(key)
         {
             let (deadline, stamp_seq) = self.stamp(key, now);
             if let Some(s) = self.entries.get_mut(key) {
@@ -308,10 +309,7 @@ impl<K: Eq + Hash + Clone, V> ExpiringMap<K, V> {
             };
             // Only evict if this queue record is still the authoritative
             // one; otherwise the entry was refreshed or replaced since.
-            let live = self
-                .entries
-                .get(&key)
-                .is_some_and(|s| s.stamp_seq == seq);
+            let live = self.entries.get(&key).is_some_and(|s| s.stamp_seq == seq);
             if live {
                 if let Some(s) = self.entries.remove(&key) {
                     self.evicted += 1;

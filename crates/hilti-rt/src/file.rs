@@ -65,8 +65,9 @@ impl LogFile {
                 lines.push(line.to_owned());
                 Ok(())
             }
-            Sink::Disk(f) => writeln!(f, "{line}")
-                .map_err(|e| RtError::io(format!("write {}: {e}", self.name))),
+            Sink::Disk(f) => {
+                writeln!(f, "{line}").map_err(|e| RtError::io(format!("write {}: {e}", self.name)))
+            }
         }
     }
 

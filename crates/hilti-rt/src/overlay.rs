@@ -127,12 +127,14 @@ pub fn unpack_slice(raw: &[u8], fmt: UnpackFormat) -> RtResult<Unpacked> {
                 v = (v << 8) | u64::from(b);
             }
             let width = hi - lo + 1;
-            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             Unpacked::UInt((v >> lo) & mask)
         }
-        UnpackFormat::IPv4 => {
-            Unpacked::Addr(Addr::from_v4_bytes([raw[0], raw[1], raw[2], raw[3]]))
-        }
+        UnpackFormat::IPv4 => Unpacked::Addr(Addr::from_v4_bytes([raw[0], raw[1], raw[2], raw[3]])),
         UnpackFormat::IPv6 => {
             let mut b = [0u8; 16];
             b.copy_from_slice(raw);
@@ -295,13 +297,22 @@ mod tests {
     #[test]
     fn uint_be_le() {
         let b = Bytes::frozen_from_slice(&[0x01, 0x02, 0x03, 0x04]);
-        assert_eq!(unpack(&b, 0, UnpackFormat::UIntBE(2)).unwrap(), Unpacked::UInt(0x0102));
-        assert_eq!(unpack(&b, 0, UnpackFormat::UIntLE(2)).unwrap(), Unpacked::UInt(0x0201));
+        assert_eq!(
+            unpack(&b, 0, UnpackFormat::UIntBE(2)).unwrap(),
+            Unpacked::UInt(0x0102)
+        );
+        assert_eq!(
+            unpack(&b, 0, UnpackFormat::UIntLE(2)).unwrap(),
+            Unpacked::UInt(0x0201)
+        );
         assert_eq!(
             unpack(&b, 0, UnpackFormat::UIntBE(4)).unwrap(),
             Unpacked::UInt(0x01020304)
         );
-        assert_eq!(unpack(&b, 2, UnpackFormat::UIntBE(1)).unwrap(), Unpacked::UInt(3));
+        assert_eq!(
+            unpack(&b, 2, UnpackFormat::UIntBE(1)).unwrap(),
+            Unpacked::UInt(3)
+        );
     }
 
     #[test]
@@ -316,8 +327,26 @@ mod tests {
     fn bits_subrange() {
         // 0x45 = version 4 (bits 4-7), IHL 5 (bits 0-3) — Figure 4's encoding.
         let b = Bytes::frozen_from_slice(&[0x45]);
-        let version = unpack(&b, 0, UnpackFormat::BitsBE { bytes: 1, lo: 4, hi: 7 }).unwrap();
-        let ihl = unpack(&b, 0, UnpackFormat::BitsBE { bytes: 1, lo: 0, hi: 3 }).unwrap();
+        let version = unpack(
+            &b,
+            0,
+            UnpackFormat::BitsBE {
+                bytes: 1,
+                lo: 4,
+                hi: 7,
+            },
+        )
+        .unwrap();
+        let ihl = unpack(
+            &b,
+            0,
+            UnpackFormat::BitsBE {
+                bytes: 1,
+                lo: 0,
+                hi: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(version, Unpacked::UInt(4));
         assert_eq!(ihl, Unpacked::UInt(5));
     }
@@ -325,9 +354,36 @@ mod tests {
     #[test]
     fn bits_bad_ranges_rejected() {
         let b = Bytes::frozen_from_slice(&[0xff, 0xff]);
-        assert!(unpack(&b, 0, UnpackFormat::BitsBE { bytes: 1, lo: 5, hi: 3 }).is_err());
-        assert!(unpack(&b, 0, UnpackFormat::BitsBE { bytes: 1, lo: 0, hi: 8 }).is_err());
-        assert!(unpack(&b, 0, UnpackFormat::BitsBE { bytes: 2, lo: 0, hi: 15 }).is_ok());
+        assert!(unpack(
+            &b,
+            0,
+            UnpackFormat::BitsBE {
+                bytes: 1,
+                lo: 5,
+                hi: 3
+            }
+        )
+        .is_err());
+        assert!(unpack(
+            &b,
+            0,
+            UnpackFormat::BitsBE {
+                bytes: 1,
+                lo: 0,
+                hi: 8
+            }
+        )
+        .is_err());
+        assert!(unpack(
+            &b,
+            0,
+            UnpackFormat::BitsBE {
+                bytes: 2,
+                lo: 0,
+                hi: 15
+            }
+        )
+        .is_ok());
     }
 
     #[test]
@@ -342,7 +398,10 @@ mod tests {
         v6[1] = 0x01;
         v6[15] = 0x01;
         let b6 = Bytes::frozen_from_slice(&v6);
-        let got = unpack(&b6, 0, UnpackFormat::IPv6).unwrap().as_addr().unwrap();
+        let got = unpack(&b6, 0, UnpackFormat::IPv6)
+            .unwrap()
+            .as_addr()
+            .unwrap();
         assert_eq!(got.to_string(), "2001::1");
     }
 

@@ -255,9 +255,7 @@ impl<'a> Parser<'a> {
             }
             Some(b'$') => Ok(Ast::Eoi),
             Some(b'\\') => {
-                let c = self
-                    .bump()
-                    .ok_or_else(|| self.err("dangling backslash"))?;
+                let c = self.bump().ok_or_else(|| self.err("dangling backslash"))?;
                 Ok(Ast::Class(escape_class(c, self)?))
             }
             Some(b'*') | Some(b'+') | Some(b'?') => Err(self.err("quantifier without operand")),
@@ -333,7 +331,9 @@ fn is_single_byte_class(c: &ByteClass) -> bool {
 }
 
 fn single_byte_of(c: &ByteClass) -> u8 {
-    (0..=255u8).find(|b| c.contains(*b)).expect("non-empty class")
+    (0..=255u8)
+        .find(|b| c.contains(*b))
+        .expect("non-empty class")
 }
 
 fn escape_class(c: u8, p: &mut Parser<'_>) -> RtResult<ByteClass> {
@@ -593,7 +593,10 @@ pub enum MatchStatus {
 pub enum MatchVerdict {
     NoMatch,
     /// Pattern `pattern` matched the first `len` bytes of input.
-    Match { pattern: usize, len: u64 },
+    Match {
+        pattern: usize,
+        len: u64,
+    },
 }
 
 /// A compiled regular expression (possibly a set of several patterns).
@@ -1020,19 +1023,16 @@ mod tests {
         assert_eq!(mt.current(), Some((0, 4)));
         mt.feed(b"x");
         assert!(!mt.can_extend());
-        assert_eq!(
-            mt.finish(),
-            MatchVerdict::Match {
-                pattern: 0,
-                len: 4
-            }
-        );
+        assert_eq!(mt.finish(), MatchVerdict::Match { pattern: 0, len: 4 });
     }
 
     #[test]
     fn eoi_anchor() {
         let re = Regex::new("abc$").unwrap();
-        assert_eq!(re.match_prefix(b"abc"), MatchVerdict::Match { pattern: 0, len: 3 });
+        assert_eq!(
+            re.match_prefix(b"abc"),
+            MatchVerdict::Match { pattern: 0, len: 3 }
+        );
         assert_eq!(re.match_prefix(b"abcd"), MatchVerdict::NoMatch);
         let mut mt = re.matcher();
         mt.feed(b"abc");
@@ -1087,10 +1087,22 @@ mod tests {
         let newline = Regex::new("\\r?\\n").unwrap();
         let whitespace = Regex::new("[ \\t]+").unwrap();
         let version = Regex::new("HTTP\\/").unwrap();
-        assert_eq!(token.match_prefix(b"GET rest"), MatchVerdict::Match { pattern: 0, len: 3 });
-        assert_eq!(newline.match_prefix(b"\r\n"), MatchVerdict::Match { pattern: 0, len: 2 });
-        assert_eq!(whitespace.match_prefix(b"   x"), MatchVerdict::Match { pattern: 0, len: 3 });
-        assert_eq!(version.match_prefix(b"HTTP/1.1"), MatchVerdict::Match { pattern: 0, len: 5 });
+        assert_eq!(
+            token.match_prefix(b"GET rest"),
+            MatchVerdict::Match { pattern: 0, len: 3 }
+        );
+        assert_eq!(
+            newline.match_prefix(b"\r\n"),
+            MatchVerdict::Match { pattern: 0, len: 2 }
+        );
+        assert_eq!(
+            whitespace.match_prefix(b"   x"),
+            MatchVerdict::Match { pattern: 0, len: 3 }
+        );
+        assert_eq!(
+            version.match_prefix(b"HTTP/1.1"),
+            MatchVerdict::Match { pattern: 0, len: 5 }
+        );
     }
 
     #[test]
@@ -1099,11 +1111,20 @@ mod tests {
         let magic = Regex::new("SSH-").unwrap();
         let version = Regex::new("[^-]*").unwrap();
         let software = Regex::new("[^\\r\\n]*").unwrap();
-        assert_eq!(magic.match_prefix(b"SSH-2.0-x"), MatchVerdict::Match { pattern: 0, len: 4 });
-        assert_eq!(version.match_prefix(b"2.0-OpenSSH"), MatchVerdict::Match { pattern: 0, len: 3 });
+        assert_eq!(
+            magic.match_prefix(b"SSH-2.0-x"),
+            MatchVerdict::Match { pattern: 0, len: 4 }
+        );
+        assert_eq!(
+            version.match_prefix(b"2.0-OpenSSH"),
+            MatchVerdict::Match { pattern: 0, len: 3 }
+        );
         assert_eq!(
             software.match_prefix(b"OpenSSH_3.9p1\r\n"),
-            MatchVerdict::Match { pattern: 0, len: 13 }
+            MatchVerdict::Match {
+                pattern: 0,
+                len: 13
+            }
         );
     }
 }

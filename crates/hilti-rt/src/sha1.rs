@@ -159,10 +159,7 @@ mod tests {
         for _ in 0..1000 {
             h.update(&chunk);
         }
-        assert_eq!(
-            h.finish_hex(),
-            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
-        );
+        assert_eq!(h.finish_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
     }
 
     #[test]
@@ -180,16 +177,13 @@ mod tests {
     #[test]
     fn length_boundary_padding() {
         // Messages of length 55, 56, 64 exercise the padding edge cases.
-        assert_eq!(
-            sha1_hex(&[b'x'; 55]),
-            {
-                let mut h = Sha1::new();
-                for _ in 0..55 {
-                    h.update(b"x");
-                }
-                h.finish_hex()
+        assert_eq!(sha1_hex(&[b'x'; 55]), {
+            let mut h = Sha1::new();
+            for _ in 0..55 {
+                h.update(b"x");
             }
-        );
+            h.finish_hex()
+        });
         for n in [55usize, 56, 57, 63, 64, 65, 119, 120] {
             let data = vec![b'q'; n];
             let mut h = Sha1::new();

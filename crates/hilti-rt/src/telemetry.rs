@@ -543,7 +543,11 @@ impl TelemetrySnapshot {
             }
             s.push_str("}}");
         }
-        let _ = write!(s, "}},\"events_dropped\":{},\"events\":[", self.events_dropped);
+        let _ = write!(
+            s,
+            "}},\"events_dropped\":{},\"events\":[",
+            self.events_dropped
+        );
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -653,7 +657,9 @@ pub mod json {
         if b.get(*pos) == Some(&b'-') {
             *pos += 1;
         }
-        while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while *pos < b.len()
+            && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
             *pos += 1;
         }
         if *pos == start {
@@ -778,8 +784,14 @@ mod tests {
     #[test]
     fn events_render_as_jsonl_in_order() {
         let t = Telemetry::new();
-        t.emit("flow_open", vec![("uid", "C1".into()), ("ts_ns", 5u64.into())]);
-        t.emit("quarantine", vec![("kind", "Hilti::ResourceExhausted".into())]);
+        t.emit(
+            "flow_open",
+            vec![("uid", "C1".into()), ("ts_ns", 5u64.into())],
+        );
+        t.emit(
+            "quarantine",
+            vec![("kind", "Hilti::ResourceExhausted".into())],
+        );
         let snap = t.snapshot();
         assert_eq!(
             snap.events,

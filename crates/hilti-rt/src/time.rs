@@ -199,10 +199,7 @@ mod tests {
 
     #[test]
     fn since_saturates() {
-        assert_eq!(
-            Time::from_secs(1).since(Time::from_secs(5)),
-            Interval::ZERO
-        );
+        assert_eq!(Time::from_secs(1).since(Time::from_secs(5)), Interval::ZERO);
     }
 
     #[test]

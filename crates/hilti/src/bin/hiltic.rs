@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! hiltic run  [-O0] [--interp] [--trace] [--stats] [--no-specialize]
+//!             [--tiering=off|lazy|eager]
 //!             [--fuel N] [--max-heap N] [--max-depth N]
 //!             [--profile out.json] [--metrics-out out.json]
 //!             [--entry Mod::fn] file.hlt [...]
@@ -17,7 +18,15 @@
 //! ```
 //!
 //! `--no-specialize` disables the typed bytecode fast tier (the ablation
-//! switch); `--stats` prints the executed instruction mix to stderr,
+//! switch). `--tiering` selects profile-guided adaptive tiering instead
+//! of the static specialization pass: `off` runs generic bytecode
+//! forever (the speedup baseline), `lazy` re-lowers a function once its
+//! invocation/retired-instruction counters cross the hotness thresholds,
+//! and `eager` tiers every function on first dispatch. Tiered code uses
+//! the operand types observed at call edges and installs monomorphic
+//! inline caches at struct/overlay/callable sites; output, exceptions
+//! and fuel are identical in every mode. `--stats` prints the executed
+//! instruction mix to stderr,
 //! sorted by count with each opcode's share of retired instructions.
 //! `--fuel`, `--max-heap` and `--max-depth` bound execution steps, bytes
 //! of tracked heap state, and call depth; exceeding any of them raises
@@ -42,6 +51,7 @@ use std::process::ExitCode;
 
 use hilti::host::{BuildOptions, Program};
 use hilti::passes::OptLevel;
+use hilti::tier::TieringMode;
 use hilti::vm::ExecProfile;
 use hilti_rt::limits::ResourceLimits;
 use hilti_rt::telemetry::{json, Telemetry};
@@ -110,6 +120,7 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut stats = false;
     let mut specialize = true;
+    let mut tiering: Option<TieringMode> = None;
     let mut entry = "Main::run".to_owned();
     let mut limits = ResourceLimits::default();
     let mut profile_out: Option<String> = None;
@@ -124,6 +135,16 @@ fn main() -> ExitCode {
             "--trace" => trace = true,
             "--stats" => stats = true,
             "--no-specialize" => specialize = false,
+            t if t.starts_with("--tiering=") => {
+                let mode = &t["--tiering=".len()..];
+                match TieringMode::parse(mode) {
+                    Some(m) => tiering = Some(m),
+                    None => {
+                        eprintln!("--tiering needs off, lazy or eager (got {mode:?})");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--entry" => match it.next() {
                 Some(e) => entry = e.clone(),
                 None => {
@@ -180,6 +201,7 @@ fn main() -> ExitCode {
 
     let options = BuildOptions {
         specialize,
+        tiering,
         ..Default::default()
     };
     let mut program = match Program::from_sources_opts(&source_refs, opt, options) {
@@ -231,11 +253,8 @@ fn main() -> ExitCode {
         }
         "dump-bytecode" => {
             let compiled = program.compiled();
-            let mut indexed: Vec<(&String, u32)> = compiled
-                .func_index
-                .iter()
-                .map(|(n, i)| (n, *i))
-                .collect();
+            let mut indexed: Vec<(&String, u32)> =
+                compiled.func_index.iter().map(|(n, i)| (n, *i)).collect();
             indexed.sort();
             for (name, idx) in indexed {
                 let f = &compiled.funcs[idx as usize];

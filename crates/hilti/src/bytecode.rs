@@ -10,6 +10,7 @@
 //! baseline (`crate::interp`) deliberately skips all of this, which is
 //! exactly the compiled-vs-interpreted gap §6.5 measures.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -89,7 +90,10 @@ pub enum CInstr {
     /// Execute `inner` (which writes the function's scratch slot), then
     /// move the scratch slot into global `global`. This is how instructions
     /// targeting a thread-local global lower.
-    GlobalStore { global: u32, inner: Box<CInstr> },
+    GlobalStore {
+        global: u32,
+        inner: Box<CInstr>,
+    },
 
     // --- specialized tier ------------------------------------------------
     // Emitted by `crate::specialize`, never by lowering itself. These are
@@ -100,11 +104,23 @@ pub enum CInstr {
     // mistyped slot raises the same catchable TypeError as the generic
     // path (locals start as Null).
     /// `dst = a + b`, wrapping (semantics of `int.add` in `ops::eval`).
-    AddInt { dst: u16, a: IntSrc, b: IntSrc },
+    AddInt {
+        dst: u16,
+        a: IntSrc,
+        b: IntSrc,
+    },
     /// `dst = a - b`, wrapping.
-    SubInt { dst: u16, a: IntSrc, b: IntSrc },
+    SubInt {
+        dst: u16,
+        a: IntSrc,
+        b: IntSrc,
+    },
     /// `dst = a * b`, wrapping.
-    MulInt { dst: u16, a: IntSrc, b: IntSrc },
+    MulInt {
+        dst: u16,
+        a: IntSrc,
+        b: IntSrc,
+    },
     /// Bitwise and shift forms (`int.and`/`or`/`xor`/`shl`/`shr`).
     BitInt {
         op: IntBit,
@@ -133,14 +149,60 @@ pub enum CInstr {
         else_pc: u32,
     },
     /// Slot-to-slot move (`assign` between statically known locals).
-    MoveSlot { dst: u16, src: u16 },
+    MoveSlot {
+        dst: u16,
+        src: u16,
+    },
     /// Constant load into a slot.
-    LoadImm { dst: u16, v: Value },
+    LoadImm {
+        dst: u16,
+        v: Value,
+    },
     /// Branch on a slot statically known to be bool.
     BrBool {
         cond: u16,
         then_pc: u32,
         else_pc: u32,
+    },
+
+    // --- inline-cache tier -----------------------------------------------
+    // Emitted by `crate::tier` when a hot function is re-lowered with
+    // runtime feedback, never by lowering or the static specializer. Each
+    // variant replaces a generic `Op` at an access/call site and carries a
+    // per-site cache (`IcSite`). The guard is checked first; on a miss the
+    // site falls back to exactly the generic resolution (and refills, up to
+    // `IcSite::cap` entries, after which the site de-optimizes). Semantics
+    // — including error kinds and messages — are byte-identical to the
+    // generic path, so tier-up is observationally invisible.
+    /// `struct.get` with a monomorphic (type-name → field-index) cache.
+    StructGetIC {
+        target: Option<u16>,
+        obj: COperand,
+        field: Rc<str>,
+        ic: Rc<RefCell<IcSite>>,
+    },
+    /// `struct.set` with the same cache shape.
+    StructSetIC {
+        target: Option<u16>,
+        obj: COperand,
+        value: COperand,
+        field: Rc<str>,
+        ic: Rc<RefCell<IcSite>>,
+    },
+    /// `overlay.get` caching the resolved overlay type descriptor.
+    OverlayGetIC {
+        target: Option<u16>,
+        args: Box<[COperand]>,
+        oname: Rc<str>,
+        field: Rc<str>,
+        ic: Rc<RefCell<IcSite>>,
+    },
+    /// `callable.call` caching the callee-name → function-index resolution.
+    CallCallableIC {
+        target: Option<u16>,
+        callable: COperand,
+        args: Box<[COperand]>,
+        ic: Rc<RefCell<IcSite>>,
     },
 }
 
@@ -252,6 +314,60 @@ impl IntBit {
     }
 }
 
+/// Per-site inline cache of an IC-tier instruction. Sites are private to
+/// one tiered function body inside one `Context`, so plain `RefCell`
+/// interior mutability is enough — the parallel pipeline keeps one tier
+/// state per shard and never shares sites across threads.
+#[derive(Debug, Default)]
+pub struct IcSite {
+    /// Cached resolutions, most recently added last. Linear scan: sites are
+    /// monomorphic or nearly so by construction (`cap` is small).
+    pub entries: Vec<IcEntry>,
+    /// Maximum entries before the site de-optimizes.
+    pub cap: usize,
+    /// A pathologically polymorphic site: the cache is abandoned and every
+    /// execution resolves generically (still correct, no longer cached).
+    pub deopt: bool,
+    /// Guard hits since tier-up.
+    pub hits: u64,
+    /// Guard misses (each one fell back to generic resolution).
+    pub misses: u64,
+}
+
+impl IcSite {
+    pub fn new(cap: usize) -> Rc<RefCell<IcSite>> {
+        Rc::new(RefCell::new(IcSite {
+            cap,
+            ..IcSite::default()
+        }))
+    }
+
+    /// Records a miss that resolved successfully; refills the cache or, at
+    /// capacity, de-optimizes the site for good.
+    pub fn refill(&mut self, entry: IcEntry) {
+        if self.deopt {
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            self.entries.clear();
+            self.deopt = true;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+}
+
+/// One cached resolution in an [`IcSite`].
+#[derive(Clone, Debug)]
+pub enum IcEntry {
+    /// Struct type name → field index (for `struct.get`/`struct.set`).
+    Struct { type_name: Rc<str>, field_idx: u32 },
+    /// Resolved overlay type descriptor (for `overlay.get`).
+    Overlay { overlay: Rc<OverlayType> },
+    /// Callee name → function index; `None` means a host function.
+    Callee { name: Rc<str>, func: Option<u32> },
+}
+
 /// A lowered function.
 #[derive(Clone, Debug)]
 pub struct CFunc {
@@ -335,10 +451,7 @@ impl CInstr {
                 cond,
                 then_pc,
                 else_pc,
-            } => format!(
-                "if {} goto @{then_pc} else @{else_pc}",
-                cond.render()
-            ),
+            } => format!("if {} goto @{then_pc} else @{else_pc}", cond.render()),
             CInstr::Return(v) => match v {
                 Some(op) => format!("return {}", op.render()),
                 None => "return".to_owned(),
@@ -387,6 +500,41 @@ impl CInstr {
                 then_pc,
                 else_pc,
             } => format!("if s{cond} goto @{then_pc} else @{else_pc}"),
+            // IC variants render exactly like the generic `Op` they
+            // replaced (mnemonic, idents, then value operands), keeping
+            // traces diffable across tiers.
+            CInstr::StructGetIC {
+                target, obj, field, ..
+            } => assignment(*target, format!("struct.get {field} {}", obj.render())),
+            CInstr::StructSetIC {
+                target,
+                obj,
+                value,
+                field,
+                ..
+            } => assignment(
+                *target,
+                format!("struct.set {field} {} {}", obj.render(), value.render()),
+            ),
+            CInstr::OverlayGetIC {
+                target,
+                args,
+                oname,
+                field,
+                ..
+            } => assignment(
+                *target,
+                format!("overlay.get {oname} {field} {}", call_args(args)),
+            ),
+            CInstr::CallCallableIC {
+                target,
+                callable,
+                args,
+                ..
+            } => assignment(
+                *target,
+                format!("callable.call {} ({})", callable.render(), call_args(args)),
+            ),
         }
     }
 
@@ -424,6 +572,13 @@ impl CInstr {
             CInstr::MoveSlot { .. } => "spec.move",
             CInstr::LoadImm { .. } => "spec.load.imm",
             CInstr::BrBool { .. } => "spec.br.bool",
+            // Observational modes pin execution to the generic tier, so
+            // these only matter for completeness; they count under the
+            // mnemonic of the op they replaced.
+            CInstr::StructGetIC { .. } => "struct.get",
+            CInstr::StructSetIC { .. } => "struct.set",
+            CInstr::OverlayGetIC { .. } => "overlay.get",
+            CInstr::CallCallableIC { .. } => "callable.call",
         }
     }
 }
@@ -507,8 +662,7 @@ pub fn compile(linked: &Linked) -> RtResult<CompiledProgram> {
         for (i, f) in hbodies.iter().enumerate() {
             let idx = bodies.len() as u32;
             // Hook bodies get synthetic unique names.
-            prog.func_index
-                .insert(format!("{hname}#\u{1}{i}"), idx);
+            prog.func_index.insert(format!("{hname}#\u{1}{i}"), idx);
             bodies.push(f);
             indices.push(idx);
         }
@@ -542,7 +696,10 @@ pub fn const_value(c: &Const) -> RtResult<Value> {
         Const::Interval(i) => Value::Interval(*i),
         Const::EnumLit(name, idx) => Value::Enum(Rc::from(name.as_str()), *idx),
         Const::Tuple(elems) => Value::Tuple(Rc::new(
-            elems.iter().map(const_value).collect::<RtResult<Vec<_>>>()?,
+            elems
+                .iter()
+                .map(const_value)
+                .collect::<RtResult<Vec<_>>>()?,
         )),
         Const::Patterns(pats) => {
             let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
@@ -751,9 +908,8 @@ fn lower_function(
                         .copied()
                         .collect();
                     CInstr::New {
-                        target: ctarget.ok_or_else(|| {
-                            RtError::value("new requires a local target")
-                        })?,
+                        target: ctarget
+                            .ok_or_else(|| RtError::value("new requires a local target"))?,
                         ty,
                         args: extra
                             .iter()
@@ -827,9 +983,11 @@ fn lower_function(
         }
         // Terminator.
         let term = match &b.term {
-            Terminator::Jump(l) => CInstr::Jump(*block_pc.get(l.as_str()).ok_or_else(|| {
-                RtError::value(format!("unknown jump label {l}"))
-            })?),
+            Terminator::Jump(l) => CInstr::Jump(
+                *block_pc
+                    .get(l.as_str())
+                    .ok_or_else(|| RtError::value(format!("unknown jump label {l}")))?,
+            ),
             Terminator::IfElse(cond, l1, l2) => CInstr::Branch {
                 cond: operand(cond)?,
                 then_pc: *block_pc
@@ -877,7 +1035,6 @@ fn lower_function(
     })
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -906,7 +1063,9 @@ no:
         );
         let f = prog.func("M::f").unwrap();
         match &f.code[0] {
-            CInstr::Branch { then_pc, else_pc, .. } => {
+            CInstr::Branch {
+                then_pc, else_pc, ..
+            } => {
                 assert!(matches!(f.code[*then_pc as usize], CInstr::Return(Some(_))));
                 assert!(matches!(f.code[*else_pc as usize], CInstr::Return(Some(_))));
                 assert_ne!(then_pc, else_pc);
@@ -950,9 +1109,13 @@ int<64> f(int<64> a, int<64> b) {
         );
         let f = prog.func("M::f").unwrap();
         assert!(
-            f.code
-                .iter()
-                .any(|i| matches!(i, CInstr::Op { opcode: Opcode::IntAdd, .. })),
+            f.code.iter().any(|i| matches!(
+                i,
+                CInstr::Op {
+                    opcode: Opcode::IntAdd,
+                    ..
+                }
+            )),
             "{:#?}",
             f.code
         );

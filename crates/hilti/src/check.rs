@@ -87,9 +87,8 @@ fn check_function(
         }
     }
 
-    let var_ok = |name: &str| -> bool {
-        names.contains(name) || linked.global_index.contains_key(name)
-    };
+    let var_ok =
+        |name: &str| -> bool { names.contains(name) || linked.global_index.contains_key(name) };
 
     // Static types of every variable whose declaration pins one down
     // (parameters, typed locals, globals). `any` stays unchecked.
@@ -131,7 +130,11 @@ fn check_function(
         match &block.term {
             Terminator::Jump(l) => {
                 if !labels.contains(l.as_str()) {
-                    return Err(err(func, &block.label, format!("jump to unknown label {l}")));
+                    return Err(err(
+                        func,
+                        &block.label,
+                        format!("jump to unknown label {l}"),
+                    ));
                 }
             }
             Terminator::IfElse(cond, l1, l2) => {
@@ -223,32 +226,32 @@ fn check_instr_shape(
                 });
             }
         }
-        CallableBind
-            if !matches!(
-                instr.args.first(),
-                Some(Operand::Const(Const::Ident(_)))
-            ) => {
-                return Err(err(
-                    func,
-                    block,
-                    "callable.bind needs a function identifier".into(),
-                ));
-            }
-        New
-            if !matches!(instr.args.first(), Some(Operand::Const(Const::TypeRef(_)))) => {
-                return Err(err(func, block, "new needs a type operand".into()));
-            }
+        CallableBind if !matches!(instr.args.first(), Some(Operand::Const(Const::Ident(_)))) => {
+            return Err(err(
+                func,
+                block,
+                "callable.bind needs a function identifier".into(),
+            ));
+        }
+        New if !matches!(instr.args.first(), Some(Operand::Const(Const::TypeRef(_)))) => {
+            return Err(err(func, block, "new needs a type operand".into()));
+        }
         StructGet | StructSet | StructIsSet | StructUnset
-            if !matches!(instr.args.get(1), Some(Operand::Const(Const::Ident(_)))) => {
-                return Err(err(
-                    func,
-                    block,
-                    format!("{} needs a field identifier", instr.opcode.mnemonic()),
-                ));
-            }
+            if !matches!(instr.args.get(1), Some(Operand::Const(Const::Ident(_)))) =>
+        {
+            return Err(err(
+                func,
+                block,
+                format!("{} needs a field identifier", instr.opcode.mnemonic()),
+            ));
+        }
         OverlayGet => {
             let Some(Operand::Const(Const::Ident(oname))) = instr.args.first() else {
-                return Err(err(func, block, "overlay.get needs a type identifier".into()));
+                return Err(err(
+                    func,
+                    block,
+                    "overlay.get needs a type identifier".into(),
+                ));
             };
             if !linked.types.contains_key(oname) {
                 return Err(err(func, block, format!("unknown overlay type {oname}")));
@@ -316,8 +319,8 @@ fn signature(op: Opcode) -> Option<(&'static [Type], Type)> {
     const IT: Type = Type::BytesIter;
     const A: Type = Type::Any;
     Some(match op {
-        IntAdd | IntSub | IntMul | IntDiv | IntMod | IntMin | IntMax | IntAnd | IntOr
-        | IntXor | IntShl | IntShr => (&[I, I], I),
+        IntAdd | IntSub | IntMul | IntDiv | IntMod | IntMin | IntMax | IntAnd | IntOr | IntXor
+        | IntShl | IntShr => (&[I, I], I),
         IntNeg | IntAbs => (&[I], I),
         IntEq | IntLt | IntGt | IntLeq | IntGeq => (&[I, I], B),
         IntToDouble => (&[I], D),
@@ -477,10 +480,8 @@ int<64> f(int<64> x) {
 
     #[test]
     fn undeclared_variable_rejected() {
-        let e = linked(
-            "module M\nvoid f() {\n  local int<64> y\n  y = int.add nope 1\n}\n",
-        )
-        .unwrap_err();
+        let e = linked("module M\nvoid f() {\n  local int<64> y\n  y = int.add nope 1\n}\n")
+            .unwrap_err();
         assert!(e.message.contains("undeclared variable nope"), "{e}");
     }
 
@@ -514,10 +515,7 @@ void f() {
 
     #[test]
     fn unknown_call_target_is_warning() {
-        let w = linked(
-            "module M\nvoid f() {\n  call some_host_fn (1)\n}\n",
-        )
-        .unwrap();
+        let w = linked("module M\nvoid f() {\n  call some_host_fn (1)\n}\n").unwrap();
         assert!(w.iter().any(|d| d.message.contains("not defined")));
     }
 
@@ -529,10 +527,7 @@ void f() {
 
     #[test]
     fn discarded_pure_result_is_warning() {
-        let w = linked(
-            "module M\nvoid f() {\n  local int<64> x = 1\n  int.add x 1\n}\n",
-        )
-        .unwrap();
+        let w = linked("module M\nvoid f() {\n  local int<64> x = 1\n  int.add x 1\n}\n").unwrap();
         assert!(w.iter().any(|d| d.message.contains("result discarded")));
     }
 
@@ -547,10 +542,8 @@ void f() {
 
     #[test]
     fn static_type_mismatch_rejected() {
-        let e = linked(
-            "module M\nvoid f() {\n  local int<64> x\n  x = int.add \"oops\" 1\n}\n",
-        )
-        .unwrap_err();
+        let e = linked("module M\nvoid f() {\n  local int<64> x\n  x = int.add \"oops\" 1\n}\n")
+            .unwrap_err();
         assert!(e.message.contains("expected int<64>, got string"), "{e}");
     }
 
@@ -565,10 +558,8 @@ void f() {
 
     #[test]
     fn target_type_mismatch_rejected() {
-        let e = linked(
-            "module M\nvoid f() {\n  local string s\n  s = int.add 1 2\n}\n",
-        )
-        .unwrap_err();
+        let e =
+            linked("module M\nvoid f() {\n  local string s\n  s = int.add 1 2\n}\n").unwrap_err();
         assert!(e.message.contains("declared string"), "{e}");
     }
 
@@ -583,10 +574,9 @@ void f() {
 
     #[test]
     fn domain_type_signatures_checked() {
-        let e = linked(
-            "module M\nvoid f(addr a) {\n  local bool b\n  b = network.contains a a\n}\n",
-        )
-        .unwrap_err();
+        let e =
+            linked("module M\nvoid f(addr a) {\n  local bool b\n  b = network.contains a a\n}\n")
+                .unwrap_err();
         assert!(e.message.contains("expected net"), "{e}");
     }
 

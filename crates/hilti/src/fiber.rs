@@ -80,7 +80,10 @@ impl Fiber {
     /// cannot be resumed.
     pub fn resume(&mut self, prog: &CompiledProgram, ctx: &mut Context) -> RtResult<Step> {
         if let Some(sink) = ctx.telemetry_sink() {
-            sink.emit("fiber_resume", vec![("function", self.func.as_str().into())]);
+            sink.emit(
+                "fiber_resume",
+                vec![("function", self.func.as_str().into())],
+            );
         }
         let outcome = match self.state {
             FiberState::Fresh => {
@@ -109,7 +112,10 @@ impl Fiber {
                 self.frames = Some(frames);
                 self.state = FiberState::Suspended;
                 if let Some(sink) = ctx.telemetry_sink() {
-                    sink.emit("fiber_suspend", vec![("function", self.func.as_str().into())]);
+                    sink.emit(
+                        "fiber_suspend",
+                        vec![("function", self.func.as_str().into())],
+                    );
                 }
                 Ok(Step::Suspended)
             }
@@ -165,9 +171,15 @@ int<64> f() {
 "#,
         );
         let mut fiber = Fiber::new("M::f", vec![]);
-        assert!(matches!(fiber.resume(&prog, &mut ctx).unwrap(), Step::Suspended));
+        assert!(matches!(
+            fiber.resume(&prog, &mut ctx).unwrap(),
+            Step::Suspended
+        ));
         assert_eq!(fiber.state(), FiberState::Suspended);
-        assert!(matches!(fiber.resume(&prog, &mut ctx).unwrap(), Step::Suspended));
+        assert!(matches!(
+            fiber.resume(&prog, &mut ctx).unwrap(),
+            Step::Suspended
+        ));
         match fiber.resume(&prog, &mut ctx).unwrap() {
             Step::Finished(Value::Int(3)) => {}
             other => panic!("unexpected {other:?}"),
@@ -196,15 +208,18 @@ int<64> read_two(ref<bytes> data) {
 "#,
         );
         let data = hilti_rt::Bytes::new();
-        let mut fiber = Fiber::new(
-            "M::read_two",
-            vec![Value::Bytes(data.clone())],
-        );
+        let mut fiber = Fiber::new("M::read_two", vec![Value::Bytes(data.clone())]);
         // No data yet: suspends at the first deref.
-        assert!(matches!(fiber.resume(&prog, &mut ctx).unwrap(), Step::Suspended));
+        assert!(matches!(
+            fiber.resume(&prog, &mut ctx).unwrap(),
+            Step::Suspended
+        ));
         data.append(&[0x01]).unwrap();
         // One byte: gets past the first deref, suspends at the second.
-        assert!(matches!(fiber.resume(&prog, &mut ctx).unwrap(), Step::Suspended));
+        assert!(matches!(
+            fiber.resume(&prog, &mut ctx).unwrap(),
+            Step::Suspended
+        ));
         data.append(&[0x02]).unwrap();
         match fiber.resume(&prog, &mut ctx).unwrap() {
             Step::Finished(Value::Int(0x0102)) => {}

@@ -34,6 +34,13 @@ pub struct BuildOptions {
     /// fast-path instructions and fused compare-and-branch. On by default;
     /// switch off to ablate the tier (see `bench/benches/dispatch.rs`).
     pub specialize: bool,
+    /// Profile-guided adaptive tiering (see `crate::tier`). `None` (the
+    /// default) keeps the static behaviour: specialize everything at build
+    /// time per `specialize`. `Some(mode)` switches to runtime feedback:
+    /// the static pass is skipped, every function starts generic, and the
+    /// context's tier engine re-lowers hot functions with observed types
+    /// and inline caches (`off` never tiers — the measurement baseline).
+    pub tiering: Option<crate::tier::TieringMode>,
 }
 
 impl Default for BuildOptions {
@@ -42,6 +49,7 @@ impl Default for BuildOptions {
             instrument: false,
             prune_roots: None,
             specialize: true,
+            tiering: None,
         }
     }
 }
@@ -121,11 +129,7 @@ impl Program {
     }
 
     /// The full build pipeline with all options.
-    pub fn build(
-        modules: Vec<Module>,
-        opt: OptLevel,
-        options: BuildOptions,
-    ) -> RtResult<Program> {
+    pub fn build(modules: Vec<Module>, opt: OptLevel, options: BuildOptions) -> RtResult<Program> {
         let mut linked = link_with_priorities(modules)?;
         let warnings = check::check(&linked)?;
         if let Some(roots) = &options.prune_roots {
@@ -137,12 +141,17 @@ impl Program {
             crate::passes::instrument_functions(&mut linked);
         }
         let mut compiled = compile(&linked)?;
-        let spec_stats = if options.specialize {
+        // Adaptive tiering replaces the static pass entirely: all functions
+        // start generic and hot ones re-specialize with runtime feedback.
+        let spec_stats = if options.specialize && options.tiering.is_none() {
             crate::specialize::specialize_program(&mut compiled)
         } else {
             SpecStats::default()
         };
-        let ctx = Context::for_program(&compiled);
+        let mut ctx = Context::for_program(&compiled);
+        if let Some(mode) = options.tiering {
+            ctx.set_tiering(mode);
+        }
         Ok(Program {
             linked,
             compiled,
@@ -219,9 +228,7 @@ impl Program {
             let frames = vec![vm::Frame::new_public(&self.compiled, body, args.to_vec())];
             match vm::run(&self.compiled, &mut self.ctx, frames, false)? {
                 vm::Outcome::Done(_) => {}
-                vm::Outcome::Suspended(_) => {
-                    return Err(RtError::runtime("hook body suspended"))
-                }
+                vm::Outcome::Suspended(_) => return Err(RtError::runtime("hook body suspended")),
             }
         }
         Ok(())
@@ -400,19 +407,15 @@ int<64> f(int<64> x) {
 "#,
         )
         .unwrap();
-        p.register_host_fn("host_double", |args| {
-            Ok(Value::Int(args[0].as_int()? * 2))
-        });
+        p.register_host_fn("host_double", |args| Ok(Value::Int(args[0].as_int()? * 2)));
         let v = p.run("M::f", &[Value::Int(21)]).unwrap();
         assert!(v.equals(&Value::Int(43)));
     }
 
     #[test]
     fn unknown_host_function_errors() {
-        let mut p = Program::from_source(
-            "module M\nvoid f() {\n  call no_such_fn ()\n}\n",
-        )
-        .unwrap();
+        let mut p =
+            Program::from_source("module M\nvoid f() {\n  call no_such_fn ()\n}\n").unwrap();
         assert!(p.run_void("M::f", &[]).is_err());
         // And the checker warned about it at build time.
         assert!(p
@@ -710,7 +713,10 @@ int<64> f() {
         p.run("M::twice", &[Value::Int(3)]).unwrap();
         let vm_trace = p.context_mut().take_trace();
         assert!(!vm_trace.is_empty());
-        assert!(vm_trace.iter().all(|l| l.starts_with("M::twice@")), "{vm_trace:?}");
+        assert!(
+            vm_trace.iter().all(|l| l.starts_with("M::twice@")),
+            "{vm_trace:?}"
+        );
         // take_trace drains.
         assert!(p.context_mut().take_trace().is_empty());
 
@@ -718,6 +724,9 @@ int<64> f() {
         p.run_interpreted("M::twice", &[Value::Int(3)]).unwrap();
         let interp_trace = p.context_mut().take_trace();
         assert!(!interp_trace.is_empty());
-        assert!(interp_trace.iter().all(|l| l.starts_with("M::twice::")), "{interp_trace:?}");
+        assert!(
+            interp_trace.iter().all(|l| l.starts_with("M::twice::")),
+            "{interp_trace:?}"
+        );
     }
 }

@@ -156,8 +156,8 @@ impl<'a> Interp<'a> {
                     // Dispatch to the innermost matching handler.
                     let mut handled = None;
                     while let Some(h) = handlers.pop() {
-                        let matches = h.kind == "*"
-                            || ops::exception_kind_from_name(&h.kind) == e.kind;
+                        let matches =
+                            h.kind == "*" || ops::exception_kind_from_name(&h.kind) == e.kind;
                         if matches {
                             if let Some(b) = &h.binder {
                                 locals.insert(b.clone(), ops::exception_value(&e));
@@ -263,8 +263,11 @@ impl<'a> Interp<'a> {
         // as the VM, which lowers each IR instruction to one CInstr.
         self.ctx.charge_fuel(1)?;
         if self.ctx.profile {
-            self.ctx
-                .profile_record(&func.name, crate::vm::opcode_class(instr.opcode.mnemonic()), 1);
+            self.ctx.profile_record(
+                &func.name,
+                crate::vm::opcode_class(instr.opcode.mnemonic()),
+                1,
+            );
         }
 
         // Split constants: identifiers/patterns go to idents, the rest are

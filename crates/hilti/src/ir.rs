@@ -561,14 +561,40 @@ mod tests {
     fn table1_groups_covered() {
         // Every functionality group from Table 1 of the paper exists.
         let expected = [
-            "Bitsets", "Booleans", "CIDR masks", "Callbacks", "Closures",
-            "Channels", "Debug support", "Doubles", "Enumerations",
-            "Exceptions", "File i/o", "Flow control", "Hashmaps", "Hashsets",
-            "IP addresses", "Integers", "Lists", "Packet i/o",
-            "Packet classification", "Packet dissection", "Ports",
-            "Profiling", "Raw data", "References", "Regular expressions",
-            "Strings", "Structs", "Time intervals", "Timer management",
-            "Timers", "Times", "Tuples", "Vectors/arrays", "Virtual threads",
+            "Bitsets",
+            "Booleans",
+            "CIDR masks",
+            "Callbacks",
+            "Closures",
+            "Channels",
+            "Debug support",
+            "Doubles",
+            "Enumerations",
+            "Exceptions",
+            "File i/o",
+            "Flow control",
+            "Hashmaps",
+            "Hashsets",
+            "IP addresses",
+            "Integers",
+            "Lists",
+            "Packet i/o",
+            "Packet classification",
+            "Packet dissection",
+            "Ports",
+            "Profiling",
+            "Raw data",
+            "References",
+            "Regular expressions",
+            "Strings",
+            "Structs",
+            "Time intervals",
+            "Timer management",
+            "Timers",
+            "Times",
+            "Tuples",
+            "Vectors/arrays",
+            "Virtual threads",
         ];
         let have: Vec<&str> = GROUPS.iter().map(|(g, _)| *g).collect();
         for g in expected {

@@ -65,6 +65,7 @@ pub mod parser;
 pub mod passes;
 pub mod specialize;
 pub mod threads;
+pub mod tier;
 pub mod types;
 pub mod value;
 pub mod vm;

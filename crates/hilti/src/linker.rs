@@ -58,7 +58,8 @@ pub fn link(modules: Vec<Module>) -> RtResult<Linked> {
                 )));
             }
             rename.insert(name.clone(), qualified.clone());
-            out.global_index.insert(qualified.clone(), out.globals.len());
+            out.global_index
+                .insert(qualified.clone(), out.globals.len());
             out.globals.push((qualified, ty.clone(), init.clone()));
         }
 
@@ -74,13 +75,12 @@ pub fn link(modules: Vec<Module>) -> RtResult<Linked> {
 
         // Rewrite references to this module's globals in all bodies.
         let module_name = module.name.clone();
-        for func in module
-            .functions
-            .iter_mut()
-            .chain(module.hooks.values_mut().flat_map(|bodies| {
-                bodies.iter_mut().map(|b| &mut b.func)
-            }))
-        {
+        for func in module.functions.iter_mut().chain(
+            module
+                .hooks
+                .values_mut()
+                .flat_map(|bodies| bodies.iter_mut().map(|b| &mut b.func)),
+        ) {
             rewrite_globals(func, &rename, &module_name);
         }
 
@@ -279,14 +279,10 @@ mod tests {
 
     #[test]
     fn globals_get_qualified_slots() {
-        let a = parse_module(
-            "module A\nglobal int<64> x = 1\nvoid f() {\n  x = int.add x 1\n}\n",
-        )
-        .unwrap();
-        let b = parse_module(
-            "module B\nglobal int<64> x = 2\nvoid g() {\n  x = int.add x 10\n}\n",
-        )
-        .unwrap();
+        let a = parse_module("module A\nglobal int<64> x = 1\nvoid f() {\n  x = int.add x 1\n}\n")
+            .unwrap();
+        let b = parse_module("module B\nglobal int<64> x = 2\nvoid g() {\n  x = int.add x 10\n}\n")
+            .unwrap();
         let linked = link_with_priorities(vec![a, b]).unwrap();
         assert_eq!(linked.globals.len(), 2);
         assert!(linked.global_index.contains_key("A::x"));
@@ -323,10 +319,9 @@ mod tests {
 
     #[test]
     fn hooks_merge_across_units_by_priority() {
-        let a = parse_module(
-            "module A\nhook void h(int<64> x) {\n  call Hilti::print \"low\"\n}\n",
-        )
-        .unwrap();
+        let a =
+            parse_module("module A\nhook void h(int<64> x) {\n  call Hilti::print \"low\"\n}\n")
+                .unwrap();
         let b = parse_module(
             "module B\nhook void A::h(int<64> x) &priority = 10 {\n  call Hilti::print \"high\"\n}\n",
         )

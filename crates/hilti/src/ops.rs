@@ -29,9 +29,7 @@ use hilti_rt::timer::TimerMgr;
 
 use crate::ir::Opcode;
 use crate::types::Type;
-use crate::value::{
-    CallableVal, ExceptionVal, MapVal, SetVal, StructVal, TimerEntry, Value,
-};
+use crate::value::{CallableVal, ExceptionVal, MapVal, SetVal, StructVal, TimerEntry, Value};
 
 /// A heap container registered for global-time expiration.
 #[derive(Clone)]
@@ -464,9 +462,7 @@ pub fn eval(
             arity(args, 2, op)?;
             let hay = args[0].as_str()?;
             let needle = args[1].as_str()?;
-            Evaluated::value(Value::Int(
-                hay.find(needle).map(|p| p as i64).unwrap_or(-1),
-            ))
+            Evaluated::value(Value::Int(hay.find(needle).map(|p| p as i64).unwrap_or(-1)))
         }
         StringSubstr => {
             arity(args, 3, op)?;
@@ -537,10 +533,12 @@ pub fn eval(
             let data = match &args[1] {
                 Value::Bytes(b) => b.to_vec(),
                 Value::String(s) => s.as_bytes().to_vec(),
-                other => return Err(RtError::type_error(format!(
-                    "bytes.append needs bytes/string, got {}",
-                    other.type_name()
-                ))),
+                other => {
+                    return Err(RtError::type_error(format!(
+                        "bytes.append needs bytes/string, got {}",
+                        other.type_name()
+                    )))
+                }
             };
             args[0].as_bytes()?.append(&data)?;
             Evaluated::null()
@@ -578,10 +576,12 @@ pub fn eval(
             let needle = match &args[1] {
                 Value::Bytes(b) => b.to_vec(),
                 Value::String(s) => s.as_bytes().to_vec(),
-                other => return Err(RtError::type_error(format!(
-                    "bytes.find needs bytes/string needle, got {}",
-                    other.type_name()
-                ))),
+                other => {
+                    return Err(RtError::type_error(format!(
+                        "bytes.find needs bytes/string needle, got {}",
+                        other.type_name()
+                    )))
+                }
             };
             let from = args[2].as_bytes_iter()?;
             match hay.find(from.offset(), &needle)? {
@@ -639,18 +639,18 @@ pub fn eval(
             let prefix = match &args[1] {
                 Value::Bytes(p) => p.to_vec(),
                 Value::String(s) => s.as_bytes().to_vec(),
-                other => return Err(RtError::type_error(format!(
-                    "bytes.starts_with needs bytes/string, got {}",
-                    other.type_name()
-                ))),
+                other => {
+                    return Err(RtError::type_error(format!(
+                        "bytes.starts_with needs bytes/string, got {}",
+                        other.type_name()
+                    )))
+                }
             };
             let avail = b.extract(
                 b.begin_offset(),
                 b.begin_offset() + (prefix.len() as u64).min(b.len() as u64),
             )?;
-            Evaluated::value(Value::Bool(
-                avail.len() >= prefix.len() && avail == prefix,
-            ))
+            Evaluated::value(Value::Bool(avail.len() >= prefix.len() && avail == prefix))
         }
         BytesCopy => {
             arity(args, 1, op)?;
@@ -678,7 +678,9 @@ pub fn eval(
         IterIncr => {
             arity(args, 2, op)?;
             let it = args[0].as_bytes_iter()?;
-            Evaluated::value(Value::BytesIter(it.advance(args[1].as_int()?.max(0) as u64)))
+            Evaluated::value(Value::BytesIter(
+                it.advance(args[1].as_int()?.max(0) as u64),
+            ))
         }
         IterDeref => {
             arity(args, 1, op)?;
@@ -711,7 +713,9 @@ pub fn eval(
         AddrMask => {
             arity(args, 2, op)?;
             Evaluated::value(Value::Addr(
-                args[0].as_addr()?.mask(args[1].as_int()?.clamp(0, 128) as u8),
+                args[0]
+                    .as_addr()?
+                    .mask(args[1].as_int()?.clamp(0, 128) as u8),
             ))
         }
         NetContains => {
@@ -826,10 +830,12 @@ pub fn eval(
             arity(args, 1, op)?;
             match &args[0] {
                 Value::Enum(_, v) => Evaluated::value(Value::Int(*v)),
-                other => return Err(RtError::type_error(format!(
-                    "enum.to_int needs enum, got {}",
-                    other.type_name()
-                ))),
+                other => {
+                    return Err(RtError::type_error(format!(
+                        "enum.to_int needs enum, got {}",
+                        other.type_name()
+                    )))
+                }
             }
         }
 
@@ -879,13 +885,17 @@ pub fn eval(
         ListFront => {
             arity(args, 1, op)?;
             let l = as_list(&args[0])?.borrow();
-            let v = l.front().ok_or_else(|| RtError::index("front of empty list"))?;
+            let v = l
+                .front()
+                .ok_or_else(|| RtError::index("front of empty list"))?;
             Evaluated::value(v.clone())
         }
         ListBack => {
             arity(args, 1, op)?;
             let l = as_list(&args[0])?.borrow();
-            let v = l.back().ok_or_else(|| RtError::index("back of empty list"))?;
+            let v = l
+                .back()
+                .ok_or_else(|| RtError::index("back of empty list"))?;
             Evaluated::value(v.clone())
         }
         ListLength => {
@@ -1231,10 +1241,12 @@ pub fn eval(
             arity(args, 2, op)?;
             let m = match &args[0] {
                 Value::Matcher(m) => m,
-                other => return Err(RtError::type_error(format!(
-                    "expected matcher, got {}",
-                    other.type_name()
-                ))),
+                other => {
+                    return Err(RtError::type_error(format!(
+                        "expected matcher, got {}",
+                        other.type_name()
+                    )))
+                }
             };
             let data = args[1].as_bytes()?.to_vec();
             let status = m.borrow_mut().feed(&data);
@@ -1247,10 +1259,12 @@ pub fn eval(
             arity(args, 1, op)?;
             let m = match &args[0] {
                 Value::Matcher(m) => m,
-                other => return Err(RtError::type_error(format!(
-                    "expected matcher, got {}",
-                    other.type_name()
-                ))),
+                other => {
+                    return Err(RtError::type_error(format!(
+                        "expected matcher, got {}",
+                        other.type_name()
+                    )))
+                }
             };
             match m.borrow().finish() {
                 MatchVerdict::Match { pattern, len } => {
@@ -1259,10 +1273,9 @@ pub fn eval(
                         Value::Int(len as i64),
                     ])))
                 }
-                MatchVerdict::NoMatch => Evaluated::value(Value::Tuple(Rc::new(vec![
-                    Value::Int(-1),
-                    Value::Int(0),
-                ]))),
+                MatchVerdict::NoMatch => {
+                    Evaluated::value(Value::Tuple(Rc::new(vec![Value::Int(-1), Value::Int(0)])))
+                }
             }
         }
 
@@ -1413,7 +1426,11 @@ pub fn eval(
             arity_min(args, 1, op)?;
             let (oname, field) = match idents {
                 [o, f, ..] => (o, f),
-                _ => return Err(RtError::type_error("overlay.get needs type and field idents")),
+                _ => {
+                    return Err(RtError::type_error(
+                        "overlay.get needs type and field idents",
+                    ))
+                }
             };
             let overlay = ctx
                 .overlay(oname)
@@ -1500,35 +1517,23 @@ pub fn eval(
 
         // --- profiling ------------------------------------------------------------------------------
         ProfilerStart => {
-            let name = idents
-                .first()
-                .map(String::as_str)
-                .unwrap_or("default");
+            let name = idents.first().map(String::as_str).unwrap_or("default");
             ctx.profiler_start(name);
             Evaluated::null()
         }
         ProfilerStop => {
-            let name = idents
-                .first()
-                .map(String::as_str)
-                .unwrap_or("default");
+            let name = idents.first().map(String::as_str).unwrap_or("default");
             ctx.profiler_stop(name);
             Evaluated::null()
         }
         ProfilerCount => {
             arity(args, 1, op)?;
-            let name = idents
-                .first()
-                .map(String::as_str)
-                .unwrap_or("default");
+            let name = idents.first().map(String::as_str).unwrap_or("default");
             ctx.profiler_count(name, args[0].as_int()?.max(0) as u64);
             Evaluated::null()
         }
         ProfilerTime => {
-            let name = idents
-                .first()
-                .map(String::as_str)
-                .unwrap_or("default");
+            let name = idents.first().map(String::as_str).unwrap_or("default");
             Evaluated::value(Value::Int(ctx.profiler_time(name) as i64))
         }
 
@@ -1620,7 +1625,11 @@ fn bin_int(
 }
 
 #[inline]
-fn bin_int_cmp(args: &[Value], op: Opcode, f: impl FnOnce(i64, i64) -> bool) -> RtResult<Evaluated> {
+fn bin_int_cmp(
+    args: &[Value],
+    op: Opcode,
+    f: impl FnOnce(i64, i64) -> bool,
+) -> RtResult<Evaluated> {
     arity(args, 2, op)?;
     Ok(Evaluated::value(Value::Bool(f(
         args[0].as_int()?,
@@ -1809,11 +1818,7 @@ mod tests {
         eval(op, args, &[], &mut ctx).map(|e| e.value)
     }
 
-    fn run_idents(
-        op: crate::ir::Opcode,
-        args: &[Value],
-        idents: &[&str],
-    ) -> RtResult<Value> {
+    fn run_idents(op: crate::ir::Opcode, args: &[Value], idents: &[&str]) -> RtResult<Value> {
         let mut ctx = TestCtx::new();
         let idents: Vec<String> = idents.iter().map(|s| s.to_string()).collect();
         eval(op, args, &idents, &mut ctx).map(|e| e.value)
@@ -1831,43 +1836,65 @@ mod tests {
         assert!(run(IntAdd, &[Value::Int(i64::MAX), Value::Int(1)])
             .unwrap()
             .equals(&Value::Int(i64::MIN))); // wrapping
-        assert!(run(IntDiv, &[Value::Int(7), Value::Int(2)]).unwrap().equals(&Value::Int(3)));
+        assert!(run(IntDiv, &[Value::Int(7), Value::Int(2)])
+            .unwrap()
+            .equals(&Value::Int(3)));
         assert_eq!(
-            run(IntDiv, &[Value::Int(7), Value::Int(0)]).unwrap_err().kind,
+            run(IntDiv, &[Value::Int(7), Value::Int(0)])
+                .unwrap_err()
+                .kind,
             ExceptionKind::ArithmeticError
         );
         assert!(run(IntShr, &[Value::Int(-1), Value::Int(1)])
             .unwrap()
             .equals(&Value::Int((u64::MAX >> 1) as i64))); // logical shift
-        assert!(run(IntFromBytes, &[Value::Bytes(Bytes::frozen_from_slice(b"ff")), Value::Int(16)])
-            .unwrap()
-            .equals(&Value::Int(255)));
+        assert!(run(
+            IntFromBytes,
+            &[
+                Value::Bytes(Bytes::frozen_from_slice(b"ff")),
+                Value::Int(16)
+            ]
+        )
+        .unwrap()
+        .equals(&Value::Int(255)));
     }
 
     #[test]
     fn string_semantics() {
         assert_eq!(
-            run(StringFmt, &[Value::str("a={} b={}"), Value::Int(1), Value::str("x")])
-                .unwrap()
-                .render(),
+            run(
+                StringFmt,
+                &[Value::str("a={} b={}"), Value::Int(1), Value::str("x")]
+            )
+            .unwrap()
+            .render(),
             "a=1 b=x"
         );
         assert!(run(StringFmt, &[Value::str("{} {}"), Value::Int(1)]).is_err());
         assert_eq!(
-            run(StringSubstr, &[Value::str("hello"), Value::Int(1), Value::Int(3)])
-                .unwrap()
-                .render(),
+            run(
+                StringSubstr,
+                &[Value::str("hello"), Value::Int(1), Value::Int(3)]
+            )
+            .unwrap()
+            .render(),
             "ell"
         );
-        assert!(run(StringStartsWith, &[Value::str("abc"), Value::str("ab")])
-            .unwrap()
-            .equals(&Value::Bool(true)));
+        assert!(
+            run(StringStartsWith, &[Value::str("abc"), Value::str("ab")])
+                .unwrap()
+                .equals(&Value::Bool(true))
+        );
     }
 
     #[test]
     fn bytes_semantics() {
         let b = Bytes::from_slice(b"hello");
-        run(BytesAppend, &[Value::Bytes(b.clone()), Value::str(" world")]).unwrap();
+        run(
+            BytesAppend,
+            &[Value::Bytes(b.clone()), Value::str(" world")],
+        )
+        .unwrap();
         assert_eq!(b.to_vec(), b"hello world");
         run(BytesFreeze, &[Value::Bytes(b.clone())]).unwrap();
         assert_eq!(
@@ -1897,7 +1924,11 @@ mod tests {
         let set = Value::Set(Rc::new(RefCell::new(SetVal::new())));
         eval(
             SetTimeout,
-            &[set.clone(), Value::Int(1), Value::Interval(Interval::from_secs(10))],
+            &[
+                set.clone(),
+                Value::Int(1),
+                Value::Interval(Interval::from_secs(10)),
+            ],
             &[],
             &mut ctx,
         )
@@ -1913,22 +1944,33 @@ mod tests {
     #[test]
     fn struct_field_access_by_ident() {
         let mut ctx = TestCtx::new();
-        let s = instantiate(
-            &Type::Struct(Rc::from("Conn")),
-            &[],
+        let s = instantiate(&Type::Struct(Rc::from("Conn")), &[], &mut ctx).unwrap();
+        eval(
+            StructSet,
+            &[s.clone(), Value::str("A")],
+            &["orig".into()],
             &mut ctx,
         )
         .unwrap();
-        eval(StructSet, &[s.clone(), Value::str("A")], &["orig".into()], &mut ctx).unwrap();
-        let v = eval(StructGet, std::slice::from_ref(&s), &["orig".into()], &mut ctx)
-            .unwrap()
-            .value;
+        let v = eval(
+            StructGet,
+            std::slice::from_ref(&s),
+            &["orig".into()],
+            &mut ctx,
+        )
+        .unwrap()
+        .value;
         assert_eq!(v.render(), "A");
         // Unset field raises IndexError.
         assert_eq!(
-            eval(StructGet, std::slice::from_ref(&s), &["resp".into()], &mut ctx)
-                .unwrap_err()
-                .kind,
+            eval(
+                StructGet,
+                std::slice::from_ref(&s),
+                &["resp".into()],
+                &mut ctx
+            )
+            .unwrap_err()
+            .kind,
             ExceptionKind::IndexError
         );
         let isset = eval(StructIsSet, &[s], &["resp".into()], &mut ctx)
@@ -1958,7 +2000,10 @@ mod tests {
         // Open input, token could extend: WouldBlock.
         let r = run(
             RegexpMatchToken,
-            &[Value::Regexp(re.clone()), Value::BytesIter(open_bytes.begin())],
+            &[
+                Value::Regexp(re.clone()),
+                Value::BytesIter(open_bytes.begin()),
+            ],
         );
         assert_eq!(r.unwrap_err().kind, ExceptionKind::WouldBlock);
         // Frozen: resolves.
@@ -1978,7 +2023,9 @@ mod tests {
     fn bytes_eod_blocks_until_frozen() {
         let b = Bytes::from_slice(b"tail");
         assert_eq!(
-            run(BytesEod, &[Value::BytesIter(b.begin())]).unwrap_err().kind,
+            run(BytesEod, &[Value::BytesIter(b.begin())])
+                .unwrap_err()
+                .kind,
             ExceptionKind::WouldBlock
         );
         b.freeze();
@@ -2000,7 +2047,13 @@ mod tests {
             Value::Net("10.0.0.0/8".parse().unwrap()),
             Value::Null,
         ]));
-        eval(ClassifierAdd, &[c.clone(), rule, Value::Bool(true)], &[], &mut ctx).unwrap();
+        eval(
+            ClassifierAdd,
+            &[c.clone(), rule, Value::Bool(true)],
+            &[],
+            &mut ctx,
+        )
+        .unwrap();
         eval(ClassifierCompile, std::slice::from_ref(&c), &[], &mut ctx).unwrap();
         let key = Value::Tuple(Rc::new(vec![
             Value::Addr("10.1.2.3".parse().unwrap()),

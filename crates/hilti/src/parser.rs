@@ -17,7 +17,9 @@ use std::collections::HashMap;
 use hilti_rt::error::{RtError, RtResult};
 use hilti_rt::overlay::{OverlayType, UnpackFormat};
 
-use crate::ir::{Block, Const, Function, HookBody, Instr, Module, Opcode, Operand, Terminator, TypeDef};
+use crate::ir::{
+    Block, Const, Function, HookBody, Instr, Module, Opcode, Operand, Terminator, TypeDef,
+};
 use crate::types::Type;
 
 /// Parses one module from source text.
@@ -625,11 +627,7 @@ impl Parser {
         self.expect(&Tok::LBrace, "'{'")?;
         let mut body = FnBody::new(self);
         body.parse_until_rbrace()?;
-        let FnBody {
-            locals,
-            blocks,
-            ..
-        } = body;
+        let FnBody { locals, blocks, .. } = body;
         let func = Function {
             name: name.clone(),
             params,
@@ -672,10 +670,7 @@ impl Parser {
                     self.eat(&Tok::Comma);
                 }
                 // All-constant tuples collapse to a constant.
-                if elems
-                    .iter()
-                    .all(|e| matches!(e, Operand::Const(_)))
-                {
+                if elems.iter().all(|e| matches!(e, Operand::Const(_))) {
                     let consts = elems
                         .into_iter()
                         .map(|e| match e {
@@ -744,17 +739,18 @@ impl Parser {
             };
             self.expect(&Tok::RParen, "')'")?;
             return Ok(Operand::Const(if a == "addr" {
-                Const::Addr(lit.parse().map_err(|e: hilti_rt::error::RtError| {
-                    self.err(&e.message)
-                })?)
+                Const::Addr(
+                    lit.parse()
+                        .map_err(|e: hilti_rt::error::RtError| self.err(&e.message))?,
+                )
             } else {
-                Const::Net(lit.parse().map_err(|e: hilti_rt::error::RtError| {
-                    self.err(&e.message)
-                })?)
+                Const::Net(
+                    lit.parse()
+                        .map_err(|e: hilti_rt::error::RtError| self.err(&e.message))?,
+                )
             }));
         }
-        if self.peek() == Some(&Tok::LParen)
-            && matches!(a.as_str(), "interval" | "time" | "double")
+        if self.peek() == Some(&Tok::LParen) && matches!(a.as_str(), "interval" | "time" | "double")
         {
             self.bump();
             let arg = self.expect_atom("constructor argument")?;
@@ -792,7 +788,9 @@ impl Parser {
                 }
                 let c0 = a.chars().next().unwrap_or('x');
                 if c0.is_ascii_digit() || (c0 == '-' && a.len() > 1) {
-                    return Ok(Operand::Const(parse_numeric_literal(&a).map_err(|m| self.err(&m))?));
+                    return Ok(Operand::Const(
+                        parse_numeric_literal(&a).map_err(|m| self.err(&m))?,
+                    ));
                 }
                 return Ok(Operand::Var(a));
             }
@@ -927,13 +925,16 @@ impl<'p> FnBody<'p> {
     fn parse_statement(&mut self) -> RtResult<()> {
         // Label?  `name:` (atom followed by colon).
         let is_label = matches!(
-            (self.parser.toks.get(self.parser.pos), self.parser.toks.get(self.parser.pos + 1)),
+            (
+                self.parser.toks.get(self.parser.pos),
+                self.parser.toks.get(self.parser.pos + 1)
+            ),
             (Some((Tok::Atom(_), _)), Some((Tok::Colon, _)))
         );
         if is_label {
             let label = self.parser.expect_atom("label")?;
             self.parser.bump(); // ':'
-            // Close the current block with a fall-through jump.
+                                // Close the current block with a fall-through jump.
             self.finish_block(Terminator::Jump(label.clone()), label);
             return Ok(());
         }
@@ -1006,7 +1007,11 @@ impl<'p> FnBody<'p> {
         self.cur_instrs.push(Instr::new(
             None,
             Opcode::PushHandler,
-            vec![Operand::label(&catch_label), Operand::ident("*"), Operand::ident("")],
+            vec![
+                Operand::label(&catch_label),
+                Operand::ident("*"),
+                Operand::ident(""),
+            ],
         ));
 
         // Try body.
@@ -1100,7 +1105,11 @@ impl<'p> FnBody<'p> {
                     ));
                     return Ok(());
                 }
-                other => return Err(self.parser.err(&format!("expected mnemonic, found {other:?}"))),
+                other => {
+                    return Err(self
+                        .parser
+                        .err(&format!("expected mnemonic, found {other:?}")))
+                }
             };
             (Some(first), m)
         } else {
@@ -1127,9 +1136,7 @@ impl<'p> FnBody<'p> {
                     .push(Instr::new(Some(&t), Opcode::Assign, vec![op]));
                 return Ok(());
             }
-            return Err(self
-                .parser
-                .err("expected an instruction mnemonic"));
+            return Err(self.parser.err("expected an instruction mnemonic"));
         };
 
         // `new` takes a type operand.
@@ -1151,8 +1158,7 @@ impl<'p> FnBody<'p> {
 
         // Remaining operands until end of line.
         let mut args: Vec<Operand> = Vec::new();
-        while self.parser.peek() != Some(&Tok::Newline)
-            && self.parser.peek() != Some(&Tok::RBrace)
+        while self.parser.peek() != Some(&Tok::Newline) && self.parser.peek() != Some(&Tok::RBrace)
         {
             // Function-call sugar: `call f (a, b)` — parenthesized args
             // after the callee expand to individual operands.
@@ -1210,9 +1216,9 @@ impl<'p> FnBody<'p> {
                     Operand::Const(Const::Patterns(ps)) => pats.extend(ps.clone()),
                     Operand::Const(Const::Str(s)) => pats.push(s.clone()),
                     other => {
-                        return Err(self
-                            .parser
-                            .err(&format!("regexp.new takes pattern literals, found {other:?}")))
+                        return Err(self.parser.err(&format!(
+                            "regexp.new takes pattern literals, found {other:?}"
+                        )))
                     }
                 }
             }
@@ -1246,7 +1252,10 @@ void run() {
         let f = m.function("Main::run").unwrap();
         assert_eq!(f.blocks[0].instrs.len(), 1);
         assert_eq!(f.blocks[0].instrs[0].opcode, Opcode::Call);
-        assert_eq!(f.blocks[0].instrs[0].args[0], Operand::ident("Hilti::print"));
+        assert_eq!(
+            f.blocks[0].instrs[0].args[0],
+            Operand::ident("Hilti::print")
+        );
     }
 
     #[test]
@@ -1292,10 +1301,7 @@ bool filter(ref<bytes> packet) {
         let entry = &f.blocks[0];
         assert_eq!(entry.instrs[0].opcode, Opcode::OverlayGet);
         // overlay.get's type and field became idents.
-        assert_eq!(
-            entry.instrs[0].args[0],
-            Operand::ident("IP::Header")
-        );
+        assert_eq!(entry.instrs[0].args[0], Operand::ident("IP::Header"));
         assert_eq!(entry.instrs[0].args[1], Operand::ident("src"));
         // The alias `or` resolved to bool.or.
         assert!(entry.instrs.iter().any(|i| i.opcode == Opcode::BoolOr));
@@ -1560,8 +1566,12 @@ bool f(addr x) {
                 _ => None,
             })
             .collect();
-        assert!(consts.iter().any(|c| matches!(c, Const::Addr(a) if a.is_v6())));
-        assert!(consts.iter().any(|c| matches!(c, Const::Net(n) if n.len() == 32)));
+        assert!(consts
+            .iter()
+            .any(|c| matches!(c, Const::Addr(a) if a.is_v6())));
+        assert!(consts
+            .iter()
+            .any(|c| matches!(c, Const::Net(n) if n.len() == 32)));
         assert!(parse_module(
             r#"
 module V6

@@ -319,10 +319,7 @@ fn cse(f: &mut Function) -> usize {
         let mut seen: HashMap<String, String> = HashMap::new();
         for instr in &mut block.instrs {
             let mut record: Option<(String, String)> = None;
-            if instr.opcode.is_pure()
-                && instr.opcode != Opcode::Assign
-                && instr.target.is_some()
-            {
+            if instr.opcode.is_pure() && instr.opcode != Opcode::Assign && instr.target.is_some() {
                 let key = format!("{:?}|{:?}", instr.opcode, instr.args);
                 if let Some(prev) = seen.get(&key) {
                     // Re-use the earlier result.
@@ -384,10 +381,7 @@ fn dce(f: &mut Function) -> usize {
             _ => {}
         }
     }
-    let uses: HashMap<String, usize> = uses
-        .into_iter()
-        .map(|(k, v)| (k.to_owned(), v))
-        .collect();
+    let uses: HashMap<String, usize> = uses.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
 
     let mut removed = 0;
     for block in &mut f.blocks {
@@ -620,7 +614,11 @@ int<64> f(int<64> a, int<64> b) {
             .iter()
             .filter(|i| i.opcode == Opcode::IntAdd)
             .count();
-        assert!(adds <= 2, "expected duplicate add removed: {:?}", f.blocks[0].instrs);
+        assert!(
+            adds <= 2,
+            "expected duplicate add removed: {:?}",
+            f.blocks[0].instrs
+        );
     }
 
     #[test]
@@ -760,6 +758,9 @@ void f() {
         let orig = m.clone();
         let stats = optimize_module(&mut m, OptLevel::None);
         assert_eq!(stats.total(), 0);
-        assert_eq!(format!("{:?}", m.functions), format!("{:?}", orig.functions));
+        assert_eq!(
+            format!("{:?}", m.functions),
+            format!("{:?}", orig.functions)
+        );
     }
 }

@@ -70,16 +70,26 @@ pub fn specialize_program(prog: &mut CompiledProgram) -> SpecStats {
 }
 
 fn specialize_func(cf: &mut CFunc, stats: &mut SpecStats) {
-    let is_int: Vec<bool> = cf
-        .slot_types
+    let types = cf.slot_types.clone();
+    specialize_func_with_types(cf, &types, stats);
+}
+
+/// Same rewrite, but against an externally supplied slot-type vector. The
+/// adaptive tier (see [`crate::tier`]) calls this with the *declared* types
+/// refined by runtime observation — e.g. an `any` parameter that has only
+/// ever carried `int<64>` — which is safe because specialized instructions
+/// still check operand values at run time and raise the identical catchable
+/// `TypeError` the generic path would.
+pub(crate) fn specialize_func_with_types(
+    cf: &mut CFunc,
+    slot_types: &[Type],
+    stats: &mut SpecStats,
+) {
+    let is_int: Vec<bool> = slot_types
         .iter()
         .map(|t| matches!(t, Type::Int(_)))
         .collect();
-    let is_bool: Vec<bool> = cf
-        .slot_types
-        .iter()
-        .map(|t| matches!(t, Type::Bool))
-        .collect();
+    let is_bool: Vec<bool> = slot_types.iter().map(|t| matches!(t, Type::Bool)).collect();
 
     // An operand usable by a typed int instruction: a slot statically
     // declared int, or an integer constant. Globals (shared, any write
@@ -157,10 +167,7 @@ fn specialize_func(cf: &mut CFunc, stats: &mut SpecStats) {
                         }
                         COperand::Value(v) => {
                             stats.moves += 1;
-                            Some(CInstr::LoadImm {
-                                dst,
-                                v: v.clone(),
-                            })
+                            Some(CInstr::LoadImm { dst, v: v.clone() })
                         }
                         COperand::Global(_) => None,
                     },
@@ -305,9 +312,13 @@ int<64> f(any x) {
         );
         let f = prog.func("M::f").unwrap();
         assert!(
-            f.code
-                .iter()
-                .any(|i| matches!(i, CInstr::Op { opcode: Opcode::IntAdd, .. })),
+            f.code.iter().any(|i| matches!(
+                i,
+                CInstr::Op {
+                    opcode: Opcode::IntAdd,
+                    ..
+                }
+            )),
             "any-typed operand must not specialize: {:#?}",
             f.code
         );
@@ -354,7 +365,10 @@ int<64> f(int<64> a) {
         assert!(
             f.code.iter().any(|i| matches!(
                 i,
-                CInstr::AddInt { b: IntSrc::Imm(7), .. }
+                CInstr::AddInt {
+                    b: IntSrc::Imm(7),
+                    ..
+                }
             )),
             "{:#?}",
             f.code

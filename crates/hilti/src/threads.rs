@@ -86,11 +86,7 @@ impl<S: 'static> PoolHandle<S> {
 
     /// Enqueues `job` on `worker`'s FIFO queue. Jobs submitted from one
     /// thread to one worker run in submission order.
-    pub fn submit(
-        &self,
-        worker: usize,
-        job: impl FnOnce(&mut S) + Send + 'static,
-    ) -> RtResult<()> {
+    pub fn submit(&self, worker: usize, job: impl FnOnce(&mut S) + Send + 'static) -> RtResult<()> {
         // Increment *before* sending: a stable count across a barrier then
         // proves no job was in flight (see `WorkPool::quiesce`).
         self.jobs_submitted.fetch_add(1, Ordering::SeqCst);
@@ -182,11 +178,7 @@ impl<S: 'static> WorkPool<S> {
     }
 
     /// Enqueues `job` on `worker`'s queue.
-    pub fn submit(
-        &self,
-        worker: usize,
-        job: impl FnOnce(&mut S) + Send + 'static,
-    ) -> RtResult<()> {
+    pub fn submit(&self, worker: usize, job: impl FnOnce(&mut S) + Send + 'static) -> RtResult<()> {
         self.handle.submit(worker, job)
     }
 
@@ -286,7 +278,11 @@ fn drain_scheduled(st: &mut HiltiWorker) {
                 }
                 continue;
             }
-            let bound = match c.bound.iter().map(Value::to_portable).collect::<RtResult<Vec<_>>>()
+            let bound = match c
+                .bound
+                .iter()
+                .map(Value::to_portable)
+                .collect::<RtResult<Vec<_>>>()
             {
                 Ok(b) => b,
                 Err(e) => {
@@ -357,12 +353,7 @@ impl ThreadPool {
     }
 
     /// Schedules with already-portable arguments.
-    pub fn schedule_portable(
-        &self,
-        vthread: u64,
-        func: &str,
-        args: Vec<Portable>,
-    ) -> RtResult<()> {
+    pub fn schedule_portable(&self, vthread: u64, func: &str, args: Vec<Portable>) -> RtResult<()> {
         let worker = placement(vthread, self.pool.workers());
         let func = func.to_owned();
         self.pool
@@ -453,7 +444,9 @@ mod pool_tests {
     #[test]
     fn state_may_be_not_send() {
         // Rc is !Send; the factory builds it on the worker thread.
-        let pool = WorkPool::new(2, |_w, _handle| std::rc::Rc::new(std::cell::Cell::new(0u64)));
+        let pool = WorkPool::new(2, |_w, _handle| {
+            std::rc::Rc::new(std::cell::Cell::new(0u64))
+        });
         pool.submit(0, |st| st.set(st.get() + 5)).unwrap();
         let (tx, rx) = unbounded();
         pool.submit(0, move |st| {

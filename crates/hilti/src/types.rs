@@ -216,10 +216,7 @@ mod tests {
             Type::map(Type::Addr, Type::set(Type::Port)).to_string(),
             "map<addr, set<port>>"
         );
-        assert_eq!(
-            Type::reference(Type::Bytes).to_string(),
-            "ref<bytes>"
-        );
+        assert_eq!(Type::reference(Type::Bytes).to_string(), "ref<bytes>");
         assert_eq!(
             Type::tuple(vec![Type::Addr, Type::Addr]).to_string(),
             "tuple<addr, addr>"
@@ -251,10 +248,9 @@ mod tests {
     fn distinct_types_incompatible() {
         assert!(!Type::Addr.compatible(&Type::Port));
         assert!(!Type::list(Type::Addr).compatible(&Type::list(Type::Port)));
-        assert!(!Type::tuple(vec![Type::Addr]).compatible(&Type::tuple(vec![
-            Type::Addr,
-            Type::Addr
-        ])));
+        assert!(
+            !Type::tuple(vec![Type::Addr]).compatible(&Type::tuple(vec![Type::Addr, Type::Addr]))
+        );
     }
 
     #[test]

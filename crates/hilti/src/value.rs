@@ -374,7 +374,10 @@ impl Value {
                 let (a, b) = (a.borrow(), b.borrow());
                 a.type_name == b.type_name
                     && a.fields.len() == b.fields.len()
-                    && a.fields.iter().zip(b.fields.iter()).all(|(x, y)| x.equals(y))
+                    && a.fields
+                        .iter()
+                        .zip(b.fields.iter())
+                        .all(|(x, y)| x.equals(y))
             }
             _ => false,
         }

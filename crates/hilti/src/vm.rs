@@ -19,15 +19,17 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
+use hilti_rt::bytestring::Bytes;
 use hilti_rt::error::{ExceptionKind, RtError, RtResult};
 use hilti_rt::file::LogFile;
 use hilti_rt::limits::{AllocBudget, ResourceLimits};
-use hilti_rt::overlay::OverlayType;
+use hilti_rt::overlay::{OverlayType, Unpacked};
 use hilti_rt::telemetry::{EventSink, Telemetry};
 use hilti_rt::time::Time;
 
-use crate::bytecode::{CFunc, CInstr, COperand, CompiledProgram, IntSrc};
+use crate::bytecode::{CFunc, CInstr, COperand, CompiledProgram, IcEntry, IcSite, IntSrc};
 use crate::ops::{self, ExecCtx, ExpiringHandle};
+use crate::tier::{TierConfig, TierEngine, TierPoll, TierReport, TieringMode};
 use crate::value::{CallableVal, Value};
 
 /// A host-registered function (the inverse direction of the C stubs:
@@ -101,6 +103,10 @@ pub struct Context {
     /// next fuel charge raises `fault_error` instead. `u64::MAX` = disarmed.
     fault_countdown: u64,
     fault_error: Option<RtError>,
+    /// Profile-guided adaptive tiering (see [`crate::tier`]). `None` means
+    /// the feature is not armed at all (the static-specialization default);
+    /// per-context state keeps the parallel pipeline's shards lock-free.
+    tier: Option<TierEngine>,
 }
 
 /// Upper bound on captured trace lines; tracing silently stops there.
@@ -141,6 +147,75 @@ impl Context {
             heap: None,
             fault_countdown: u64::MAX,
             fault_error: None,
+            tier: None,
+        }
+    }
+
+    /// Arms profile-guided adaptive tiering with default thresholds.
+    /// `TieringMode::Off` still installs the engine (so the mode is
+    /// reportable) but never tiers anything up — that is the measurement
+    /// baseline of the generic dispatch path.
+    pub fn set_tiering(&mut self, mode: TieringMode) {
+        self.set_tiering_config(mode, TierConfig::default());
+    }
+
+    /// Arms adaptive tiering with explicit thresholds (tests use tiny ones
+    /// so tier-up happens within small kernels).
+    pub fn set_tiering_config(&mut self, mode: TieringMode, config: TierConfig) {
+        self.tier = Some(TierEngine::new(mode, config));
+    }
+
+    /// The armed tiering mode, if any.
+    pub fn tiering(&self) -> Option<TieringMode> {
+        self.tier.as_ref().map(|e| e.mode())
+    }
+
+    /// Tier-up decisions and inline-cache states for introspection; empty
+    /// when tiering is not armed.
+    pub fn tier_report(&self) -> TierReport {
+        self.tier.as_ref().map(|e| e.report()).unwrap_or_default()
+    }
+
+    /// Polls the tier engine for the function on top of the frame stack:
+    /// counts one generic dispatch iteration against its hotness budget and
+    /// returns the tiered body to execute, if there is one. Emits the
+    /// `tier_up` telemetry event at the moment of tier-up.
+    #[inline]
+    pub(crate) fn tier_poll(&mut self, prog: &CompiledProgram, func: u32) -> Option<Rc<CFunc>> {
+        let eng = self.tier.as_mut()?;
+        match eng.poll(prog, func) {
+            TierPoll::Generic => None,
+            TierPoll::Code(code) => Some(code),
+            TierPoll::TieredNow { code, name } => {
+                if let Some(t) = &self.telemetry {
+                    t.tierups.inc();
+                    t.sink.emit("tier_up", vec![("function", name.into())]);
+                }
+                Some(code)
+            }
+        }
+    }
+
+    /// Feeds an invocation edge (with its argument values) to the tier
+    /// engine's per-function counters and observed-type lattice.
+    #[inline]
+    pub(crate) fn tier_note_call(&mut self, nfuncs: usize, func: u32, args: &[Value]) {
+        if let Some(eng) = self.tier.as_mut() {
+            eng.note_call(nfuncs, func, args);
+        }
+    }
+
+    #[inline]
+    fn ic_hit(&self) {
+        if let Some(t) = &self.telemetry {
+            t.ic_hits.inc();
+        }
+    }
+
+    #[inline]
+    fn ic_miss(&self) {
+        if let Some(t) = &self.telemetry {
+            t.ic_misses.inc();
         }
     }
 
@@ -202,7 +277,8 @@ impl Context {
         if self.fuel_left < cost {
             self.fuel_left = 0;
             if let Some(t) = &self.telemetry {
-                t.sink.emit("resource_limit", vec![("resource", "fuel".into())]);
+                t.sink
+                    .emit("resource_limit", vec![("resource", "fuel".into())]);
             }
             return Err(RtError::resource_exhausted("execution fuel exhausted"));
         }
@@ -223,6 +299,9 @@ impl Context {
         self.telemetry = Some(RunTelemetry {
             instructions: telemetry.counter("engine.instructions_retired"),
             runs: telemetry.counter("engine.runs"),
+            tierups: telemetry.counter("engine.tierup"),
+            ic_hits: telemetry.counter("ic.hit"),
+            ic_misses: telemetry.counter("ic.miss"),
             sink: telemetry.sink.clone(),
         });
     }
@@ -270,11 +349,8 @@ impl Context {
     /// The instruction-mix histogram collected while [`Context::stats`] was
     /// set, sorted by descending count (ties by name).
     pub fn instr_mix(&self) -> Vec<(&'static str, u64)> {
-        let mut mix: Vec<(&'static str, u64)> = self
-            .instr_mix
-            .iter()
-            .map(|(n, c)| (*n, *c))
-            .collect();
+        let mut mix: Vec<(&'static str, u64)> =
+            self.instr_mix.iter().map(|(n, c)| (*n, *c)).collect();
         mix.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         mix
     }
@@ -297,7 +373,8 @@ impl Context {
         name: &str,
         f: impl FnMut(&[Value]) -> RtResult<Value> + 'static,
     ) {
-        self.host_fns.insert(name.to_owned(), Rc::new(RefCell::new(f)));
+        self.host_fns
+            .insert(name.to_owned(), Rc::new(RefCell::new(f)));
     }
 
     /// Registers a named input source factory for `iosrc.open`.
@@ -306,7 +383,8 @@ impl Context {
         name: &str,
         factory: impl FnMut() -> RtResult<Value> + 'static,
     ) {
-        self.iosrc_factories.insert(name.to_owned(), Box::new(factory));
+        self.iosrc_factories
+            .insert(name.to_owned(), Box::new(factory));
     }
 
     /// Pre-registers a named output file (e.g. disk-backed); otherwise
@@ -349,6 +427,9 @@ impl Context {
 struct RunTelemetry {
     instructions: hilti_rt::telemetry::Counter,
     runs: hilti_rt::telemetry::Counter,
+    tierups: hilti_rt::telemetry::Counter,
+    ic_hits: hilti_rt::telemetry::Counter,
+    ic_misses: hilti_rt::telemetry::Counter,
     sink: EventSink,
 }
 
@@ -437,6 +518,11 @@ fn cinstr_class(instr: &CInstr) -> &'static str {
         | CInstr::CmpInt { .. }
         | CInstr::BrIfInt { .. } => "int",
         CInstr::MoveSlot { .. } | CInstr::LoadImm { .. } => "assign",
+        // Observational modes pin execution to the generic tier, so these
+        // never appear in a profile; classes mirror the generic ops anyway.
+        CInstr::StructGetIC { .. } | CInstr::StructSetIC { .. } => "struct",
+        CInstr::OverlayGetIC { .. } => "overlay",
+        CInstr::CallCallableIC { .. } => "callable",
     }
 }
 
@@ -631,6 +717,7 @@ pub fn call(
         .func_index
         .get(func)
         .ok_or_else(|| RtError::value(format!("unknown function {func}")))?;
+    ctx.tier_note_call(prog.funcs.len(), fi, args);
     let frames = vec![Frame::new(prog, fi, args.to_vec())];
     let spent_before = ctx.fuel_spent;
     let result = run(prog, ctx, frames, false);
@@ -654,6 +741,7 @@ pub fn start_resumable(
         .func_index
         .get(func)
         .ok_or_else(|| RtError::value(format!("unknown function {func}")))?;
+    ctx.tier_note_call(prog.funcs.len(), fi, args);
     let frames = vec![Frame::new(prog, fi, args.to_vec())];
     let spent_before = ctx.fuel_spent;
     let result = run(prog, ctx, frames, true);
@@ -662,11 +750,7 @@ pub fn start_resumable(
 }
 
 /// Resumes suspended frames.
-pub fn resume(
-    prog: &CompiledProgram,
-    ctx: &mut Context,
-    frames: Vec<Frame>,
-) -> RtResult<Outcome> {
+pub fn resume(prog: &CompiledProgram, ctx: &mut Context, frames: Vec<Frame>) -> RtResult<Outcome> {
     let spent_before = ctx.fuel_spent;
     let result = run(prog, ctx, frames, true);
     ctx.telemetry_flush_run(spent_before);
@@ -708,7 +792,24 @@ pub fn run(
         let Some(frame) = frames.last_mut() else {
             return Ok(Outcome::Done(Value::Null));
         };
-        let cf: &CFunc = &prog.funcs[frame.func as usize];
+        // Observational modes (trace/stats/profile, armed fault injection)
+        // pin execution to the generic tier: the adaptive tier is skipped
+        // entirely so every instruction is observed one by one and the
+        // outputs stay comparable across builds.
+        let observing = ctx.trace || ctx.stats || ctx.profile || ctx.fault_armed();
+        // Adaptive tiering: one poll per dispatch iteration counts against
+        // the current function's hotness budget; once it tiers up, the
+        // re-lowered body (same pcs, same fuel costs — see `crate::tier`)
+        // replaces the generic one from this iteration on.
+        let tiered: Option<Rc<CFunc>> = if observing {
+            None
+        } else {
+            ctx.tier_poll(prog, frame.func)
+        };
+        let cf: &CFunc = match &tiered {
+            Some(code) => code,
+            None => &prog.funcs[frame.func as usize],
+        };
 
         // Fast tier: consecutive specialized instructions execute in a
         // tight inner loop that keeps the frame borrow, skipping the
@@ -723,7 +824,7 @@ pub fn run(
         // lives in a local for the duration of the loop: each arm checks
         // *before* executing and decrements only on success, so the meter
         // can never be outrun and never double-charges.
-        if !ctx.trace && !ctx.stats && !ctx.profile && !ctx.fault_armed() {
+        if !observing {
             let fuel_start = ctx.fuel_left;
             let mut fuel = ctx.fuel_left;
             while let Some(instr) = cf.code.get(frame.pc as usize) {
@@ -1015,6 +1116,7 @@ pub fn run(
                     argbuf.push(operand_value(ctx, frame, a));
                 }
                 frame.pc += 1;
+                ctx.tier_note_call(prog.funcs.len(), *func, &argbuf);
                 let mut callee = Frame::new_from_buf(prog, *func, &mut argbuf, &mut frame_pool);
                 callee.ret_slot = *target;
                 callee.ret_global = store_global;
@@ -1104,57 +1206,177 @@ pub fn run(
                 frame.pc += 1;
                 let mut full_args = c.bound.clone();
                 full_args.append(&mut argbuf);
+                ctx.tier_note_call(prog.funcs.len(), fi, &full_args);
+                let mut callee = Frame::new_pooled(prog, fi, full_args, &mut frame_pool);
+                callee.ret_slot = *target;
+                callee.ret_global = store_global;
+                frames.push(callee);
+            }
+            // --- inline-cache tier: guard, generic fallback on miss -----
+            // Semantics (including error kinds, messages, and evaluation
+            // order) replicate the generic `ops::eval` arms exactly; only
+            // the *resolution* — type-name → field index, overlay name →
+            // descriptor, callee name → function index — is cached.
+            CInstr::StructGetIC {
+                target,
+                obj,
+                field,
+                ic,
+            } => {
+                let v = operand_value(ctx, frame, obj);
+                match struct_get_ic(ctx, &v, field, ic) {
+                    Ok(val) => {
+                        let frame = frames.last_mut().expect("frame exists");
+                        if let Some(t) = target {
+                            frame.slots[*t as usize] = val.clone();
+                        }
+                        if let Some(g) = store_global {
+                            ctx.globals[g as usize] = val;
+                        }
+                        frame.pc += 1;
+                    }
+                    Err(e) => raise!(e),
+                }
+            }
+            CInstr::StructSetIC {
+                target,
+                obj,
+                value,
+                field,
+                ic,
+            } => {
+                let v = operand_value(ctx, frame, obj);
+                let val = operand_value(ctx, frame, value);
+                match struct_set_ic(ctx, &v, val, field, ic) {
+                    Ok(()) => {
+                        let frame = frames.last_mut().expect("frame exists");
+                        // Generic struct.set evaluates to Null.
+                        if let Some(t) = target {
+                            frame.slots[*t as usize] = Value::Null;
+                        }
+                        if let Some(g) = store_global {
+                            ctx.globals[g as usize] = Value::Null;
+                        }
+                        frame.pc += 1;
+                    }
+                    Err(e) => raise!(e),
+                }
+            }
+            CInstr::OverlayGetIC {
+                target,
+                args,
+                oname,
+                field,
+                ic,
+            } => {
+                argbuf.clear();
+                for a in args.iter() {
+                    argbuf.push(operand_value(ctx, frame, a));
+                }
+                match overlay_get_ic(ctx, &argbuf, oname, field, ic) {
+                    Ok(val) => {
+                        let frame = frames.last_mut().expect("frame exists");
+                        if let Some(t) = target {
+                            frame.slots[*t as usize] = val.clone();
+                        }
+                        if let Some(g) = store_global {
+                            ctx.globals[g as usize] = val;
+                        }
+                        frame.pc += 1;
+                    }
+                    Err(e) => raise!(e),
+                }
+            }
+            CInstr::CallCallableIC {
+                target,
+                callable,
+                args,
+                ic,
+            } => {
+                if let Some(max) = ctx.limits.max_call_depth {
+                    if frames.len() >= max as usize {
+                        raise!(RtError::resource_exhausted("call depth limit exceeded"));
+                    }
+                }
+                let frame = frames.last_mut().expect("frame exists");
+                let cval = operand_value(ctx, frame, callable);
+                let Value::Callable(c) = cval else {
+                    raise!(RtError::type_error(format!(
+                        "callable.call on {}",
+                        cval.type_name()
+                    )));
+                };
+                argbuf.clear();
+                for a in args.iter() {
+                    argbuf.push(operand_value(ctx, frame, a));
+                }
+                let Some(fi) = callable_ic_resolve(ctx, prog, &c.func, ic) else {
+                    // Host-function callable (or unknown name, which
+                    // `call_host` reports exactly like the generic arm).
+                    match call_host(prog, ctx, &c.func, &{
+                        let mut full = c.bound.clone();
+                        full.extend(argbuf.iter().cloned());
+                        full
+                    }) {
+                        Ok(v) => {
+                            let frame = frames.last_mut().expect("frame exists");
+                            if let Some(t) = target {
+                                frame.slots[*t as usize] = v.clone();
+                            }
+                            if let Some(g) = store_global {
+                                ctx.globals[g as usize] = v;
+                            }
+                            frame.pc += 1;
+                            continue 'dispatch;
+                        }
+                        Err(e) => raise!(e),
+                    }
+                };
+                frame.pc += 1;
+                let mut full_args = c.bound.clone();
+                full_args.append(&mut argbuf);
+                ctx.tier_note_call(prog.funcs.len(), fi, &full_args);
                 let mut callee = Frame::new_pooled(prog, fi, full_args, &mut frame_pool);
                 callee.ret_slot = *target;
                 callee.ret_global = store_global;
                 frames.push(callee);
             }
             // --- specialized tier: clone-free, inline on frame.slots ----
-            CInstr::AddInt { dst, a, b } => {
-                match (int_src(frame, *a), int_src(frame, *b)) {
-                    (Ok(x), Ok(y)) => {
-                        frame.slots[*dst as usize] = Value::Int(x.wrapping_add(y));
-                        frame.pc += 1;
-                    }
-                    (Err(e), _) | (_, Err(e)) => raise!(e),
+            CInstr::AddInt { dst, a, b } => match (int_src(frame, *a), int_src(frame, *b)) {
+                (Ok(x), Ok(y)) => {
+                    frame.slots[*dst as usize] = Value::Int(x.wrapping_add(y));
+                    frame.pc += 1;
                 }
-            }
-            CInstr::SubInt { dst, a, b } => {
-                match (int_src(frame, *a), int_src(frame, *b)) {
-                    (Ok(x), Ok(y)) => {
-                        frame.slots[*dst as usize] = Value::Int(x.wrapping_sub(y));
-                        frame.pc += 1;
-                    }
-                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                (Err(e), _) | (_, Err(e)) => raise!(e),
+            },
+            CInstr::SubInt { dst, a, b } => match (int_src(frame, *a), int_src(frame, *b)) {
+                (Ok(x), Ok(y)) => {
+                    frame.slots[*dst as usize] = Value::Int(x.wrapping_sub(y));
+                    frame.pc += 1;
                 }
-            }
-            CInstr::MulInt { dst, a, b } => {
-                match (int_src(frame, *a), int_src(frame, *b)) {
-                    (Ok(x), Ok(y)) => {
-                        frame.slots[*dst as usize] = Value::Int(x.wrapping_mul(y));
-                        frame.pc += 1;
-                    }
-                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                (Err(e), _) | (_, Err(e)) => raise!(e),
+            },
+            CInstr::MulInt { dst, a, b } => match (int_src(frame, *a), int_src(frame, *b)) {
+                (Ok(x), Ok(y)) => {
+                    frame.slots[*dst as usize] = Value::Int(x.wrapping_mul(y));
+                    frame.pc += 1;
                 }
-            }
-            CInstr::BitInt { op, dst, a, b } => {
-                match (int_src(frame, *a), int_src(frame, *b)) {
-                    (Ok(x), Ok(y)) => {
-                        frame.slots[*dst as usize] = Value::Int(op.apply(x, y));
-                        frame.pc += 1;
-                    }
-                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                (Err(e), _) | (_, Err(e)) => raise!(e),
+            },
+            CInstr::BitInt { op, dst, a, b } => match (int_src(frame, *a), int_src(frame, *b)) {
+                (Ok(x), Ok(y)) => {
+                    frame.slots[*dst as usize] = Value::Int(op.apply(x, y));
+                    frame.pc += 1;
                 }
-            }
-            CInstr::CmpInt { cmp, dst, a, b } => {
-                match (int_src(frame, *a), int_src(frame, *b)) {
-                    (Ok(x), Ok(y)) => {
-                        frame.slots[*dst as usize] = Value::Bool(cmp.apply(x, y));
-                        frame.pc += 1;
-                    }
-                    (Err(e), _) | (_, Err(e)) => raise!(e),
+                (Err(e), _) | (_, Err(e)) => raise!(e),
+            },
+            CInstr::CmpInt { cmp, dst, a, b } => match (int_src(frame, *a), int_src(frame, *b)) {
+                (Ok(x), Ok(y)) => {
+                    frame.slots[*dst as usize] = Value::Bool(cmp.apply(x, y));
+                    frame.pc += 1;
                 }
-            }
+                (Err(e), _) | (_, Err(e)) => raise!(e),
+            },
             CInstr::BrIfInt {
                 cmp,
                 a,
@@ -1264,6 +1486,7 @@ pub fn run_callable(
     let mut args = c.bound.clone();
     args.extend(extra.iter().cloned());
     if let Some(fi) = prog.func_index.get(&*c.func).copied() {
+        ctx.tier_note_call(prog.funcs.len(), fi, &args);
         let frames = vec![Frame::new(prog, fi, args)];
         match run(prog, ctx, frames, false)? {
             Outcome::Done(v) => Ok(v),
@@ -1272,6 +1495,187 @@ pub fn run_callable(
     } else {
         call_host(prog, ctx, &c.func, &args)
     }
+}
+
+// --- inline-cache resolution -----------------------------------------------
+// Shared by the IC dispatch arms. Each helper replicates the generic
+// `ops::eval` semantics byte for byte (error kinds, messages, evaluation
+// order); the cache only short-circuits the *resolution* step. A miss falls
+// back to the generic lookup and refills the site — until `IcSite::cap`
+// distinct entries have been seen, at which point the site de-optimizes and
+// resolves generically forever.
+
+/// Resolves a struct field index through the site cache, keyed on the
+/// struct's type name.
+fn struct_ic_index(
+    ctx: &Context,
+    ic: &RefCell<IcSite>,
+    type_name: &str,
+    field: &str,
+) -> RtResult<usize> {
+    let mut site = ic.borrow_mut();
+    if !site.deopt {
+        let cached = site.entries.iter().find_map(|e| match e {
+            IcEntry::Struct {
+                type_name: t,
+                field_idx,
+            } if &**t == type_name => Some(*field_idx as usize),
+            _ => None,
+        });
+        if let Some(idx) = cached {
+            site.hits += 1;
+            ctx.ic_hit();
+            return Ok(idx);
+        }
+    }
+    site.misses += 1;
+    ctx.ic_miss();
+    // Generic resolution — identical to `ops::struct_field_index`, minus
+    // the per-access `Vec<String>` clone the `ExecCtx` interface forces.
+    let fields = ctx
+        .struct_fields
+        .get(type_name)
+        .ok_or_else(|| RtError::type_error(format!("unknown struct type {type_name}")))?;
+    let idx = fields
+        .iter()
+        .position(|f| f == field)
+        .ok_or_else(|| RtError::index(format!("struct {type_name} has no field {field}")))?;
+    site.refill(IcEntry::Struct {
+        type_name: Rc::from(type_name),
+        field_idx: idx as u32,
+    });
+    Ok(idx)
+}
+
+/// `struct.get` through the site cache.
+fn struct_get_ic(ctx: &Context, v: &Value, field: &str, ic: &RefCell<IcSite>) -> RtResult<Value> {
+    let Value::Struct(s) = v else {
+        return Err(RtError::type_error(format!(
+            "expected struct, got {}",
+            v.type_name()
+        )));
+    };
+    let sb = s.borrow();
+    let idx = struct_ic_index(ctx, ic, &sb.type_name, field)?;
+    let val = sb.fields[idx].clone();
+    if matches!(val, Value::Null) {
+        return Err(RtError::new(
+            ExceptionKind::IndexError,
+            format!("field {field} is unset"),
+        ));
+    }
+    Ok(val)
+}
+
+/// `struct.set` through the site cache.
+fn struct_set_ic(
+    ctx: &Context,
+    v: &Value,
+    val: Value,
+    field: &str,
+    ic: &RefCell<IcSite>,
+) -> RtResult<()> {
+    let Value::Struct(s) = v else {
+        return Err(RtError::type_error(format!(
+            "expected struct, got {}",
+            v.type_name()
+        )));
+    };
+    let idx = {
+        let sb = s.borrow();
+        struct_ic_index(ctx, ic, &sb.type_name, field)?
+    };
+    s.borrow_mut().fields[idx] = val;
+    Ok(())
+}
+
+/// `overlay.get` with the resolved overlay descriptor cached. The site is
+/// keyed by the (site-static) overlay name, so it is trivially monomorphic;
+/// the win is skipping the name → descriptor map lookup and `Rc` clone.
+fn overlay_get_ic(
+    ctx: &Context,
+    args: &[Value],
+    oname: &str,
+    field: &str,
+    ic: &RefCell<IcSite>,
+) -> RtResult<Value> {
+    let overlay = {
+        let mut site = ic.borrow_mut();
+        let cached = if site.deopt {
+            None
+        } else {
+            site.entries.iter().find_map(|e| match e {
+                IcEntry::Overlay { overlay } => Some(Rc::clone(overlay)),
+                _ => None,
+            })
+        };
+        match cached {
+            Some(o) => {
+                site.hits += 1;
+                ctx.ic_hit();
+                o
+            }
+            None => {
+                site.misses += 1;
+                ctx.ic_miss();
+                let o = ctx
+                    .overlays
+                    .get(oname)
+                    .cloned()
+                    .ok_or_else(|| RtError::type_error(format!("unknown overlay {oname}")))?;
+                site.refill(IcEntry::Overlay {
+                    overlay: Rc::clone(&o),
+                });
+                o
+            }
+        }
+    };
+    // Same evaluation order as the generic arm: overlay resolution first,
+    // then the base offset, then the bytes access.
+    let base = match args.get(1) {
+        Some(v) => v.as_int()?.max(0) as u64,
+        None => args[0].as_bytes()?.begin_offset(),
+    };
+    let unpacked = overlay.get(args[0].as_bytes()?, base, field)?;
+    Ok(match unpacked {
+        Unpacked::UInt(u) => Value::Int(u as i64),
+        Unpacked::Addr(a) => Value::Addr(a),
+        Unpacked::Bytes(b) => Value::Bytes(Bytes::frozen_from_slice(&b)),
+    })
+}
+
+/// Resolves a callable's target through the site cache: `Some(idx)` for a
+/// HILTI function, `None` for the host-function path (including unknown
+/// names, which `call_host` reports exactly like the generic arm). The
+/// fast path compares the interned callee name by pointer first.
+fn callable_ic_resolve(
+    ctx: &Context,
+    prog: &CompiledProgram,
+    name: &Rc<str>,
+    ic: &RefCell<IcSite>,
+) -> Option<u32> {
+    let mut site = ic.borrow_mut();
+    if !site.deopt {
+        let cached = site.entries.iter().find_map(|e| match e {
+            IcEntry::Callee { name: n, func } if Rc::ptr_eq(n, name) || **n == **name => {
+                Some(*func)
+            }
+            _ => None,
+        });
+        if let Some(func) = cached {
+            site.hits += 1;
+            ctx.ic_hit();
+            return func;
+        }
+    }
+    site.misses += 1;
+    ctx.ic_miss();
+    let func = prog.func_index.get(&**name).copied();
+    site.refill(IcEntry::Callee {
+        name: Rc::clone(name),
+        func,
+    });
+    func
 }
 
 /// Calls a host-registered or builtin function.
@@ -1307,8 +1711,7 @@ fn dispatch_exception(frames: &mut Vec<Frame>, err: RtError) -> RtResult<()> {
         };
         // Innermost handler first.
         while let Some(h) = frame.handlers.pop() {
-            let matches = &*h.kind == "*"
-                || ops::exception_kind_from_name(&h.kind) == err.kind;
+            let matches = &*h.kind == "*" || ops::exception_kind_from_name(&h.kind) == err.kind;
             if matches {
                 if let Some(b) = h.binder {
                     frame.slots[b as usize] = ops::exception_value(&err);
@@ -1446,8 +1849,14 @@ int<64> f(any x) {
 }
 "#,
         );
-        assert!(p.run("M::f", &[Value::Int(41)]).unwrap().equals(&Value::Int(42)));
-        assert!(p.run("M::f", &[Value::str("nope")]).unwrap().equals(&Value::Int(-1)));
+        assert!(p
+            .run("M::f", &[Value::Int(41)])
+            .unwrap()
+            .equals(&Value::Int(42)));
+        assert!(p
+            .run("M::f", &[Value::str("nope")])
+            .unwrap()
+            .equals(&Value::Int(-1)));
     }
 
     #[test]
@@ -1493,9 +1902,8 @@ rec:
 
     #[test]
     fn uncaught_exception_reports_kind() {
-        let mut p = program(
-            "module M\nvoid f() {\n    exception.throw Hilti::PatternError \"bad\"\n}\n",
-        );
+        let mut p =
+            program("module M\nvoid f() {\n    exception.throw Hilti::PatternError \"bad\"\n}\n");
         let e = p.run_void("M::f", &[]).unwrap_err();
         assert_eq!(e.kind, hilti_rt::error::ExceptionKind::PatternError);
         assert_eq!(e.message, "bad");
@@ -1534,7 +1942,10 @@ int<64> roundtrip(int<64> x) {
 }
 "#,
         );
-        assert!(p.run("M::roundtrip", &[Value::Int(5)]).unwrap().equals(&Value::Int(5)));
+        assert!(p
+            .run("M::roundtrip", &[Value::Int(5)])
+            .unwrap()
+            .equals(&Value::Int(5)));
     }
 
     #[test]

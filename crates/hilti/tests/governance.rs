@@ -191,7 +191,9 @@ fn call_depth_limit_enforced_in_both_engines() {
 
     let mut p = build(RECURSE_SRC, false);
     p.set_limits(limits);
-    let e = p.run_interpreted("G::down", &[Value::Int(1000)]).unwrap_err();
+    let e = p
+        .run_interpreted("G::down", &[Value::Int(1000)])
+        .unwrap_err();
     assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
     assert!(p
         .run_interpreted("G::down", &[Value::Int(20)])
@@ -278,7 +280,9 @@ done:
         max_heap_bytes: Some(256),
         ..Default::default()
     });
-    let e = p.run_interpreted("G::fill", &[Value::Int(1000)]).unwrap_err();
+    let e = p
+        .run_interpreted("G::fill", &[Value::Int(1000)])
+        .unwrap_err();
     assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
 }
 

@@ -61,7 +61,10 @@ fn dump_stages() {
 
 #[test]
 fn compile_errors_fail_with_diagnostics() {
-    let f = write_temp("broken.hlt", "module M\nvoid f() {\n    x = int.add 1 2\n}\n");
+    let f = write_temp(
+        "broken.hlt",
+        "module M\nvoid f() {\n    x = int.add 1 2\n}\n",
+    );
     let out = hiltic().arg("run").arg(&f).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("undeclared target"));
@@ -84,7 +87,10 @@ fn custom_entry_point() {
 
 #[test]
 fn missing_file_fails_cleanly() {
-    let out = hiltic().args(["run", "/no/such/file.hlt"]).output().unwrap();
+    let out = hiltic()
+        .args(["run", "/no/such/file.hlt"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -97,7 +103,10 @@ fn trace_flag_logs_instructions_to_stderr() {
     assert_eq!(String::from_utf8_lossy(&out.stdout), "Hello, World!\n");
     // ...while stderr carries one line per executed instruction.
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.lines().any(|l| l.starts_with("trace: Main::run@")), "{err}");
+    assert!(
+        err.lines().any(|l| l.starts_with("trace: Main::run@")),
+        "{err}"
+    );
 }
 
 const THROWER: &str = r#"
@@ -348,4 +357,35 @@ fn stats_prints_percentages_sorted_descending() {
     sorted.sort_by(|x, y| y.cmp(x));
     assert_eq!(counts, sorted, "{err}");
     assert!((pct_sum - 100.0).abs() < 1.0, "pct sum {pct_sum}: {err}");
+}
+
+#[test]
+fn tiering_flag_modes_agree_and_bad_value_rejected() {
+    let f = write_temp("tiering.hlt", FIB);
+    let mut outputs = Vec::new();
+    for mode in ["off", "lazy", "eager"] {
+        let out = hiltic()
+            .args(["run", &format!("--tiering={mode}")])
+            .arg(&f)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "--tiering={mode}: {out:?}");
+        outputs.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    assert!(outputs[0].contains("=> 55"), "{}", outputs[0]);
+    assert!(
+        outputs.iter().all(|o| *o == outputs[0]),
+        "modes diverged: {outputs:?}"
+    );
+
+    let bad = hiltic()
+        .args(["run", "--tiering=sometimes"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("off, lazy or eager"),
+        "{bad:?}"
+    );
 }

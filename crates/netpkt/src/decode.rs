@@ -155,17 +155,19 @@ fn decode_ipv4(pkt: &RawPacket, off: usize) -> Result<DecodedPacket, DecodeError
         return Err(DecodeError::BadHeaderLength("ipv4 total length"));
     }
     let proto = data[off + 9];
-    let src = Addr::from_v4_bytes([data[off + 12], data[off + 13], data[off + 14], data[off + 15]]);
-    let dst = Addr::from_v4_bytes([data[off + 16], data[off + 17], data[off + 18], data[off + 19]]);
-    decode_transport(
-        pkt,
-        off,
-        off + ihl,
-        off + total_len,
-        proto,
-        src,
-        dst,
-    )
+    let src = Addr::from_v4_bytes([
+        data[off + 12],
+        data[off + 13],
+        data[off + 14],
+        data[off + 15],
+    ]);
+    let dst = Addr::from_v4_bytes([
+        data[off + 16],
+        data[off + 17],
+        data[off + 18],
+        data[off + 19],
+    ]);
+    decode_transport(pkt, off, off + ihl, off + total_len, proto, src, dst)
 }
 
 fn decode_ipv6(pkt: &RawPacket, off: usize) -> Result<DecodedPacket, DecodeError> {

@@ -160,7 +160,9 @@ pub fn parse_message(data: &[u8]) -> Result<DnsMessage, DnsError> {
     let ancount = c.u16()?;
     let nscount = c.u16()?;
     let arcount = c.u16()?;
-    if qdcount > MAX_RECORDS || ancount > MAX_RECORDS || nscount > MAX_RECORDS
+    if qdcount > MAX_RECORDS
+        || ancount > MAX_RECORDS
+        || nscount > MAX_RECORDS
         || arcount > MAX_RECORDS
     {
         return Err(DnsError::ExcessiveCount);
@@ -532,10 +534,12 @@ mod tests {
 
     #[test]
     fn non_dns_crud_fails() {
-        assert!(parse_message(b"GET / HTTP/1.1\r\n").is_err() || {
-            // If it happens to parse a header, the counts will be absurd.
-            false
-        });
+        assert!(
+            parse_message(b"GET / HTTP/1.1\r\n").is_err() || {
+                // If it happens to parse a header, the counts will be absurd.
+                false
+            }
+        );
         assert!(parse_message(&[]).is_err());
         assert!(parse_message(&[0; 5]).is_err());
     }

@@ -172,9 +172,8 @@ impl FlowTable {
                     &mut flow.resp_stream
                 };
                 if !pkt.payload.is_empty() {
-                    let r = stream.get_or_insert_with(|| {
-                        StreamReassembler::new(tcp.seq.wrapping_sub(1))
-                    });
+                    let r = stream
+                        .get_or_insert_with(|| StreamReassembler::new(tcp.seq.wrapping_sub(1)));
                     r.segment(tcp.seq, &pkt.payload)
                 } else {
                     Vec::new()
@@ -269,19 +268,56 @@ mod tests {
     #[test]
     fn handshake_detected_once() {
         let mut t = FlowTable::new();
-        let syn = tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 100, 0, tcp_flags::SYN, b"", 1);
-        let synack = tcp_pkt(
-            "1.2.3.4", "10.0.0.1", 80, 4000, 500, 101,
-            tcp_flags::SYN | tcp_flags::ACK, b"", 1,
+        let syn = tcp_pkt(
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            100,
+            0,
+            tcp_flags::SYN,
+            b"",
+            1,
         );
-        let ack = tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 101, 501, tcp_flags::ACK, b"", 1);
+        let synack = tcp_pkt(
+            "1.2.3.4",
+            "10.0.0.1",
+            80,
+            4000,
+            500,
+            101,
+            tcp_flags::SYN | tcp_flags::ACK,
+            b"",
+            1,
+        );
+        let ack = tcp_pkt(
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            101,
+            501,
+            tcp_flags::ACK,
+            b"",
+            1,
+        );
         assert!(!t.process(&syn).established_now);
         assert!(!t.process(&synack).established_now);
         let d = t.process(&ack);
         assert!(d.established_now);
         assert!(d.is_orig);
         // A second ACK does not re-establish.
-        let ack2 = tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 101, 501, tcp_flags::ACK, b"", 2);
+        let ack2 = tcp_pkt(
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            101,
+            501,
+            tcp_flags::ACK,
+            b"",
+            2,
+        );
         assert!(!t.process(&ack2).established_now);
         assert_eq!(t.established_total(), 1);
         assert_eq!(t.len(), 1);
@@ -290,14 +326,31 @@ mod tests {
     #[test]
     fn orientation_follows_first_packet() {
         let mut t = FlowTable::new();
-        let syn = tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 100, 0, tcp_flags::SYN, b"", 1);
+        let syn = tcp_pkt(
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            100,
+            0,
+            tcp_flags::SYN,
+            b"",
+            1,
+        );
         let d = t.process(&syn);
         assert_eq!(d.flow.id.orig_h, a("10.0.0.1"));
         assert_eq!(d.flow.id.resp_p, Port::tcp(80));
         // Reply packet maps to the same flow, is_orig = false.
         let synack = tcp_pkt(
-            "1.2.3.4", "10.0.0.1", 80, 4000, 1, 101,
-            tcp_flags::SYN | tcp_flags::ACK, b"", 1,
+            "1.2.3.4",
+            "10.0.0.1",
+            80,
+            4000,
+            1,
+            101,
+            tcp_flags::SYN | tcp_flags::ACK,
+            b"",
+            1,
         );
         let d = t.process(&synack);
         assert!(!d.is_orig);
@@ -307,24 +360,75 @@ mod tests {
     #[test]
     fn payload_is_reassembled_per_direction() {
         let mut t = FlowTable::new();
-        t.process(&tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 100, 0, tcp_flags::SYN, b"", 1));
         t.process(&tcp_pkt(
-            "1.2.3.4", "10.0.0.1", 80, 4000, 500, 101,
-            tcp_flags::SYN | tcp_flags::ACK, b"", 1,
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            100,
+            0,
+            tcp_flags::SYN,
+            b"",
+            1,
         ));
-        t.process(&tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 101, 501, tcp_flags::ACK, b"", 1));
+        t.process(&tcp_pkt(
+            "1.2.3.4",
+            "10.0.0.1",
+            80,
+            4000,
+            500,
+            101,
+            tcp_flags::SYN | tcp_flags::ACK,
+            b"",
+            1,
+        ));
+        t.process(&tcp_pkt(
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            101,
+            501,
+            tcp_flags::ACK,
+            b"",
+            1,
+        ));
         // Out-of-order client data.
         let d1 = t.process(&tcp_pkt(
-            "10.0.0.1", "1.2.3.4", 4000, 80, 105, 501, tcp_flags::ACK, b"XX", 2,
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            105,
+            501,
+            tcp_flags::ACK,
+            b"XX",
+            2,
         ));
         assert!(d1.payload.is_empty());
         let d2 = t.process(&tcp_pkt(
-            "10.0.0.1", "1.2.3.4", 4000, 80, 101, 501, tcp_flags::ACK, b"GET ", 2,
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            101,
+            501,
+            tcp_flags::ACK,
+            b"GET ",
+            2,
         ));
         assert_eq!(d2.payload, b"GET XX");
         // Server data is a separate stream.
         let d3 = t.process(&tcp_pkt(
-            "1.2.3.4", "10.0.0.1", 80, 4000, 501, 107, tcp_flags::ACK, b"HTTP", 3,
+            "1.2.3.4",
+            "10.0.0.1",
+            80,
+            4000,
+            501,
+            107,
+            tcp_flags::ACK,
+            b"HTTP",
+            3,
         ));
         assert_eq!(d3.payload, b"HTTP");
         assert!(!d3.is_orig);
@@ -333,10 +437,27 @@ mod tests {
     #[test]
     fn fin_finishes_once() {
         let mut t = FlowTable::new();
-        t.process(&tcp_pkt("10.0.0.1", "1.2.3.4", 4000, 80, 100, 0, tcp_flags::SYN, b"", 1));
+        t.process(&tcp_pkt(
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            100,
+            0,
+            tcp_flags::SYN,
+            b"",
+            1,
+        ));
         let fin = tcp_pkt(
-            "10.0.0.1", "1.2.3.4", 4000, 80, 101, 0,
-            tcp_flags::FIN | tcp_flags::ACK, b"", 5,
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            101,
+            0,
+            tcp_flags::FIN | tcp_flags::ACK,
+            b"",
+            5,
         );
         assert!(t.process(&fin).finished_now);
         assert!(!t.process(&fin).finished_now);
@@ -347,7 +468,15 @@ mod tests {
         // No SYN observed (partial capture): payload must still flow.
         let mut t = FlowTable::new();
         let d = t.process(&tcp_pkt(
-            "10.0.0.1", "1.2.3.4", 4000, 80, 9999, 1, tcp_flags::ACK, b"mid", 1,
+            "10.0.0.1",
+            "1.2.3.4",
+            4000,
+            80,
+            9999,
+            1,
+            tcp_flags::ACK,
+            b"mid",
+            1,
         ));
         assert_eq!(d.payload, b"mid");
         assert!(!d.established_now);
@@ -402,7 +531,17 @@ mod tests {
     fn shard_hash_is_direction_symmetric() {
         // Both directions of a connection must land on the same shard, or
         // per-flow parser state would split across workers.
-        let fwd = tcp_pkt("10.0.0.1", "192.168.1.9", 50000, 80, 1, 0, tcp_flags::SYN, b"", 1);
+        let fwd = tcp_pkt(
+            "10.0.0.1",
+            "192.168.1.9",
+            50000,
+            80,
+            1,
+            0,
+            tcp_flags::SYN,
+            b"",
+            1,
+        );
         let rev = tcp_pkt(
             "192.168.1.9",
             "10.0.0.1",

@@ -165,8 +165,7 @@ impl HttpConnParser {
                     };
                     if line.is_empty() {
                         // Headers done; decide body framing.
-                        let kind =
-                            Self::body_kind(dir, &mut self.outstanding, self.last_status);
+                        let kind = Self::body_kind(dir, &mut self.outstanding, self.last_status);
                         match kind {
                             BodyKind::None => {
                                 sink.push(Event::HttpMessageDone {
@@ -329,8 +328,7 @@ impl HttpConnParser {
         sink: &mut Vec<Event>,
     ) -> bool {
         let mut parts = line.split_whitespace();
-        let (Some(method), Some(uri), version) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(method), Some(uri), version) = (parts.next(), parts.next(), parts.next()) else {
             return false;
         };
         if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.is_empty() {
@@ -526,7 +524,12 @@ mod tests {
             ]
         );
         match &ev[0] {
-            Event::HttpRequest { method, uri, version, .. } => {
+            Event::HttpRequest {
+                method,
+                uri,
+                version,
+                ..
+            } => {
                 assert_eq!(method, "GET");
                 assert_eq!(uri, "/index.html");
                 assert_eq!(version, "1.1");
@@ -594,7 +597,11 @@ mod tests {
             .collect();
         assert_eq!(body, b"hello world");
         let done = ev.iter().rev().find_map(|e| match e {
-            Event::HttpMessageDone { body_len, is_orig: false, .. } => Some(*body_len),
+            Event::HttpMessageDone {
+                body_len,
+                is_orig: false,
+                ..
+            } => Some(*body_len),
             _ => None,
         });
         assert_eq!(done, Some(11));
@@ -613,7 +620,11 @@ mod tests {
         );
         // The body is absent; what follows is NOT eaten as body bytes.
         let done = ev.iter().find_map(|e| match e {
-            Event::HttpMessageDone { body_len, is_orig: false, .. } => Some(*body_len),
+            Event::HttpMessageDone {
+                body_len,
+                is_orig: false,
+                ..
+            } => Some(*body_len),
             _ => None,
         });
         assert_eq!(done, Some(0));
@@ -651,11 +662,19 @@ mod tests {
             &mut ev,
         );
         // Not done yet...
-        assert!(!names(&ev).contains(&"http_message_done")
-            || ev.iter().all(|e| !matches!(e, Event::HttpMessageDone { is_orig: false, .. })));
+        assert!(
+            !names(&ev).contains(&"http_message_done")
+                || ev
+                    .iter()
+                    .all(|e| !matches!(e, Event::HttpMessageDone { is_orig: false, .. }))
+        );
         p.finish(Time::from_secs(9), &mut ev);
         let done = ev.iter().find_map(|e| match e {
-            Event::HttpMessageDone { body_len, is_orig: false, .. } => Some(*body_len),
+            Event::HttpMessageDone {
+                body_len,
+                is_orig: false,
+                ..
+            } => Some(*body_len),
             _ => None,
         });
         assert_eq!(done, Some(13));
@@ -665,7 +684,12 @@ mod tests {
     fn garbage_enters_skip_mode() {
         let mut p = conn();
         let mut ev = Vec::new();
-        p.feed(true, b"\x00\x01\x02 binary crud\r\nmore\r\n", Time::ZERO, &mut ev);
+        p.feed(
+            true,
+            b"\x00\x01\x02 binary crud\r\nmore\r\n",
+            Time::ZERO,
+            &mut ev,
+        );
         assert!(ev.is_empty());
         // Once skipping, later valid-looking data is ignored too (the
         // stream is already desynchronized).
@@ -714,7 +738,10 @@ mod tests {
             Some("text/css")
         );
         assert_eq!(sniff_mime(b"random bytes", None), None);
-        assert_eq!(sniff_mime(b"{\"k\":1}", None).as_deref(), Some("application/json"));
+        assert_eq!(
+            sniff_mime(b"{\"k\":1}", None).as_deref(),
+            Some("application/json")
+        );
     }
 
     #[test]

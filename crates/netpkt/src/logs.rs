@@ -43,7 +43,9 @@ impl HttpLogEntry {
             self.host.as_deref().unwrap_or("-"),
             self.uri,
             self.version,
-            self.status.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            self.status
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
             self.reason,
             self.request_len,
             self.response_len,

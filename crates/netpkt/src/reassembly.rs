@@ -168,7 +168,11 @@ impl StreamReassembler {
         // Clip against successors.
         while !data.is_empty() {
             let end = start + data.len() as u64;
-            let next = self.pending.range(start..end).next().map(|(&s, v)| (s, v.len() as u64));
+            let next = self
+                .pending
+                .range(start..end)
+                .next()
+                .map(|(&s, v)| (s, v.len() as u64));
             match next {
                 None => {
                     self.buffered += data.len();
@@ -238,10 +242,8 @@ mod tests {
 
     #[test]
     fn retransmission_ignored() {
-        let (out, _) = collect_in_order(
-            0,
-            &[(1, b"abc"), (1, b"abc"), (4, b"def"), (1, b"abcdef")],
-        );
+        let (out, _) =
+            collect_in_order(0, &[(1, b"abc"), (1, b"abc"), (4, b"def"), (1, b"abcdef")]);
         assert_eq!(out, b"abcdef");
     }
 
@@ -357,8 +359,8 @@ mod tests {
         let mut out = Vec::new();
         out.extend(r.segment(seqs[2], &body[16..24])); // pre-wrap tail chunk
         out.extend(r.segment(seqs[3], &body[24..32])); // post-wrap chunk
-        // Overlapping retransmit: spans chunks 2+3 with conflicting bytes;
-        // first writer wins, so nothing it carries may survive.
+                                                       // Overlapping retransmit: spans chunks 2+3 with conflicting bytes;
+                                                       // first writer wins, so nothing it carries may survive.
         out.extend(r.segment(seqs[2], b"xxxxxxxxyyyyyyyy"));
         assert!(out.is_empty(), "nothing contiguous yet");
         out.extend(r.segment(seqs[0], &body[0..8]));

@@ -71,11 +71,21 @@ impl<'a> TcpScripted<'a> {
     fn push(&mut self, from_client: bool, flags: u8, payload: &[u8]) {
         let (src, dst, sp, dp, seq, ack) = if from_client {
             (
-                self.client, self.server, self.cport, self.sport, self.seq_c, self.seq_s,
+                self.client,
+                self.server,
+                self.cport,
+                self.sport,
+                self.seq_c,
+                self.seq_s,
             )
         } else {
             (
-                self.server, self.client, self.sport, self.cport, self.seq_s, self.seq_c,
+                self.server,
+                self.client,
+                self.sport,
+                self.cport,
+                self.seq_s,
+                self.seq_c,
             )
         };
         let ts = self.now();
@@ -125,16 +135,31 @@ impl<'a> TcpScripted<'a> {
 
 const METHODS: &[(&str, u32)] = &[("GET", 70), ("POST", 15), ("HEAD", 10), ("PUT", 5)];
 const PATH_STEMS: &[&str] = &[
-    "/index.html", "/", "/images/logo", "/api/v1/items", "/static/app.js",
-    "/css/site.css", "/download/file", "/search", "/users/profile", "/feed.xml",
+    "/index.html",
+    "/",
+    "/images/logo",
+    "/api/v1/items",
+    "/static/app.js",
+    "/css/site.css",
+    "/download/file",
+    "/search",
+    "/users/profile",
+    "/feed.xml",
 ];
 const HOSTS: &[&str] = &[
-    "www.example.com", "cdn.example.net", "api.service.org", "mirror.campus.edu",
-    "media.photos.example", "updates.vendor.io",
+    "www.example.com",
+    "cdn.example.net",
+    "api.service.org",
+    "mirror.campus.edu",
+    "media.photos.example",
+    "updates.vendor.io",
 ];
 const USER_AGENTS: &[&str] = &[
-    "Mozilla/5.0 (X11; Linux x86_64)", "curl/7.88.1", "Wget/1.21",
-    "python-requests/2.31", "Mozilla/5.0 (Macintosh)",
+    "Mozilla/5.0 (X11; Linux x86_64)",
+    "curl/7.88.1",
+    "Wget/1.21",
+    "python-requests/2.31",
+    "Mozilla/5.0 (Macintosh)",
 ];
 
 /// MIME bodies: (content-type header value, body builder).
@@ -205,8 +230,18 @@ pub fn http_trace(cfg: &SynthConfig) -> Vec<RawPacket> {
     // Sessions start staggered over a window so flows interleave when the
     // final sort merges them.
     for s in 0..cfg.count {
-        let client = Addr::v4(10, 1, (rng.gen_range(0..cfg.clients) / 250) as u8, (rng.gen_range(0..cfg.clients) % 250 + 1) as u8);
-        let server = Addr::v4(93, 184, (rng.gen_range(0..cfg.servers) / 250) as u8, (rng.gen_range(0..cfg.servers) % 250 + 1) as u8);
+        let client = Addr::v4(
+            10,
+            1,
+            (rng.gen_range(0..cfg.clients) / 250) as u8,
+            (rng.gen_range(0..cfg.clients) % 250 + 1) as u8,
+        );
+        let server = Addr::v4(
+            93,
+            184,
+            (rng.gen_range(0..cfg.servers) / 250) as u8,
+            (rng.gen_range(0..cfg.servers) % 250 + 1) as u8,
+        );
         let base_ns = (s as u64) * 3_000_000 + rng.gen_range(0..2_000) * 1_000;
         let mut sess = TcpScripted {
             client,
@@ -241,11 +276,16 @@ pub fn http_trace(cfg: &SynthConfig) -> Vec<RawPacket> {
             let host = HOSTS[sess.rng.gen_range(0..HOSTS.len())];
             let ua = USER_AGENTS[sess.rng.gen_range(0..USER_AGENTS.len())];
             // Request.
-            let mut req = format!("{method} {uri} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: {ua}\r\nAccept: */*\r\n");
+            let mut req = format!(
+                "{method} {uri} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: {ua}\r\nAccept: */*\r\n"
+            );
             let post_body = if method == "POST" || method == "PUT" {
                 let size = sess.rng.gen_range(16..600);
                 let (_ct, body) = make_body(sess.rng, 3, size);
-                req.push_str(&format!("Content-Type: application/json\r\nContent-Length: {}\r\n", body.len()));
+                req.push_str(&format!(
+                    "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                    body.len()
+                ));
                 Some(body)
             } else {
                 None
@@ -270,7 +310,10 @@ pub fn http_trace(cfg: &SynthConfig) -> Vec<RawPacket> {
             let mut resp = format!("HTTP/1.1 {status} {reason}\r\nServer: synthd/1.0\r\nDate: Mon, 06 Jul 2026 10:00:00 GMT\r\n");
             if method == "HEAD" || status == 304 {
                 // Header-only; advertise a length that must NOT be consumed.
-                resp.push_str(&format!("Content-Length: {}\r\n\r\n", sess.rng.gen_range(100..5000)));
+                resp.push_str(&format!(
+                    "Content-Length: {}\r\n\r\n",
+                    sess.rng.gen_range(100..5000)
+                ));
                 sess.data(false, resp.as_bytes());
             } else {
                 let kind = sess.rng.gen_range(0..6);
@@ -376,7 +419,10 @@ pub fn chaos_http_trace(cfg: &ChaosConfig) -> Vec<RawPacket> {
         ChaosKind::TruncatedHandshake,
         cfg.truncated_handshakes,
     ));
-    kinds.extend(std::iter::repeat_n(ChaosKind::MidBodyCut, cfg.mid_body_cuts));
+    kinds.extend(std::iter::repeat_n(
+        ChaosKind::MidBodyCut,
+        cfg.mid_body_cuts,
+    ));
     kinds.extend(std::iter::repeat_n(ChaosKind::HeaderBomb, cfg.header_bombs));
     kinds.extend(std::iter::repeat_n(
         ChaosKind::InfiniteChunk,
@@ -426,7 +472,10 @@ pub fn chaos_http_trace(cfg: &ChaosConfig) -> Vec<RawPacket> {
             }
             ChaosKind::MidBodyCut => {
                 sess.handshake();
-                sess.data(true, b"GET /download/file HTTP/1.1\r\nHost: cdn.example.net\r\n\r\n");
+                sess.data(
+                    true,
+                    b"GET /download/file HTTP/1.1\r\nHost: cdn.example.net\r\n\r\n",
+                );
                 // Promise 100 KiB, deliver 2 KiB, go silent (no FIN).
                 let mut payload =
                     b"HTTP/1.1 200 OK\r\nContent-Type: application/gzip\r\nContent-Length: 102400\r\n\r\n"
@@ -448,7 +497,10 @@ pub fn chaos_http_trace(cfg: &ChaosConfig) -> Vec<RawPacket> {
             }
             ChaosKind::InfiniteChunk => {
                 sess.handshake();
-                sess.data(true, b"GET /feed.xml HTTP/1.1\r\nHost: api.service.org\r\n\r\n");
+                sess.data(
+                    true,
+                    b"GET /feed.xml HTTP/1.1\r\nHost: api.service.org\r\n\r\n",
+                );
                 let mut payload =
                     b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nTransfer-Encoding: chunked\r\n\r\n"
                         .to_vec();
@@ -518,9 +570,16 @@ pub fn chaos_dns_trace(seed: u64, normal: usize, compression_loops: usize) -> Ve
 }
 
 const DNS_NAMES: &[&str] = &[
-    "www.example.com", "mail.campus.edu", "cdn.assets.net", "api.cloud.io",
-    "ns1.provider.org", "tracker.ads.example", "git.devhub.dev", "db.internal.corp",
-    "login.sso.example", "video.stream.tv",
+    "www.example.com",
+    "mail.campus.edu",
+    "cdn.assets.net",
+    "api.cloud.io",
+    "ns1.provider.org",
+    "tracker.ads.example",
+    "git.devhub.dev",
+    "db.internal.corp",
+    "login.sso.example",
+    "video.stream.tv",
 ];
 
 /// Generates a DNS workload trace (UDP port 53 request/reply pairs).
@@ -528,8 +587,18 @@ pub fn dns_trace(cfg: &SynthConfig) -> Vec<RawPacket> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut packets = Vec::new();
     for i in 0..cfg.count {
-        let client = Addr::v4(10, 2, (rng.gen_range(0..cfg.clients) / 250) as u8, (rng.gen_range(0..cfg.clients) % 250 + 1) as u8);
-        let server = Addr::v4(8, 8, 8, (rng.gen_range(0..cfg.servers.max(1)) % 250 + 1) as u8);
+        let client = Addr::v4(
+            10,
+            2,
+            (rng.gen_range(0..cfg.clients) / 250) as u8,
+            (rng.gen_range(0..cfg.clients) % 250 + 1) as u8,
+        );
+        let server = Addr::v4(
+            8,
+            8,
+            8,
+            (rng.gen_range(0..cfg.servers.max(1)) % 250 + 1) as u8,
+        );
         let cport: u16 = rng.gen_range(1024..65000);
         let base = Time::from_nanos((i as u64) * 800_000 + rng.gen_range(0..500) * 1_000);
 
@@ -568,19 +637,18 @@ pub fn dns_trace(cfg: &SynthConfig) -> Vec<RawPacket> {
         let rtt = 1_000_000 + rng.gen_range(0..39_000) * 1_000;
         let resp_ts = base + hilti_rt::time::Interval::from_nanos(rtt);
         let nxdomain = rng.gen_ratio(1, 12);
-        let mut b = DnsBuilder::new(trans_id, true, if nxdomain { 3 } else { 0 })
-            .question(name, qtype);
+        let mut b =
+            DnsBuilder::new(trans_id, true, if nxdomain { 3 } else { 0 }).question(name, qtype);
         if !nxdomain {
             let n_answers = 1 + rng.gen_range(0..3);
             for k in 0..n_answers {
                 match qtype {
                     t if t == dns_types::A => {
-                        b = b.answer_a(name, rng.gen_range(30..3600), [
-                            93,
-                            184,
-                            rng.gen_range(1..250),
-                            rng.gen_range(1..250),
-                        ]);
+                        b = b.answer_a(
+                            name,
+                            rng.gen_range(30..3600),
+                            [93, 184, rng.gen_range(1..250), rng.gen_range(1..250)],
+                        );
                     }
                     t if t == dns_types::AAAA => {
                         let mut addr = [0u8; 16];

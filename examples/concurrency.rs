@@ -39,8 +39,8 @@ void report() {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workers = 4;
     let factory = || {
-        let p = hilti::Program::from_sources(&[SRC], OptLevel::Full)
-            .expect("counter program compiles");
+        let p =
+            hilti::Program::from_sources(&[SRC], OptLevel::Full).expect("counter program compiles");
         p.compiled().clone()
     };
     let pool = ThreadPool::new(factory, workers);
@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let reverse = flow_hash(server, Port::tcp(80), client, cport);
         assert_eq!(vthread, reverse, "flow hash must be direction-symmetric");
         for pkt in 0..5u32 {
-            pool.schedule(vthread, "Counter::work", &[Value::Int(i64::from(flow + pkt))])?;
+            pool.schedule(
+                vthread,
+                "Counter::work",
+                &[Value::Int(i64::from(flow + pkt))],
+            )?;
             scheduled += 1;
         }
     }

@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t3.percent()
     );
 
-    println!("\nevents processed: {} (standard) / {} (binpac)", std_i.events, pac_i.events);
+    println!(
+        "\nevents processed: {} (standard) / {} (binpac)",
+        std_i.events, pac_i.events
+    );
 
     // Parallel pipeline: same trace, N flow-sharded workers, output
     // byte-identical to the sequential run by construction.
@@ -83,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let par = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Interpreted, &opts)?;
     let elapsed = start.elapsed();
     assert_eq!(par.http_log, pac_i.http_log, "parallel http.log diverged");
-    assert_eq!(par.files_log, pac_i.files_log, "parallel files.log diverged");
+    assert_eq!(
+        par.files_log, pac_i.files_log,
+        "parallel files.log diverged"
+    );
     assert_eq!(par.output, pac_i.output, "parallel output diverged");
     assert_eq!(par.events, pac_i.events, "parallel event count diverged");
     let bytes: usize = trace.iter().map(|p| p.data.len()).sum();

@@ -51,7 +51,11 @@ external:
     )?;
     prog.register_host_fn("host_label", |args| {
         // The host side of a `call.c`: arbitrary application logic.
-        Ok(Value::Int(if args[0].as_str()? == "internal" { 1 } else { 0 }))
+        Ok(Value::Int(if args[0].as_str()? == "internal" {
+            1
+        } else {
+            0
+        }))
     });
     let v = prog.run("Demo::classify", &[Value::Addr("10.1.2.3".parse()?)])?;
     println!("classify(10.1.2.3) = {}", v.render());

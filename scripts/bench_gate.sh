@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Bench-regression gate: measures the dispatch/pipeline/telemetry suites
+# and compares them against the committed BENCH_*.json baselines
+# (schema hilti.bench.v1). Fails on a >15% regression of a benchmark's
+# best-of-samples time, warns on >5%.
+#
+# Runs identically in CI (the bench-regression job) and locally:
+#
+#   scripts/bench_gate.sh            compare against committed baselines
+#   scripts/bench_gate.sh --update   re-measure and rewrite the baselines
+#   scripts/bench_gate.sh --test     smoke run (tiny sizes, no comparison)
+#
+# Refresh baselines (--update) on a quiet machine only, and commit the
+# resulting BENCH_*.json alongside the change that moved the numbers.
+# Measured documents are also written to target/bench-gate/ so CI can
+# upload them as artifacts.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo bench -q -p bench --bench gate -- "$@"

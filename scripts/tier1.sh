@@ -7,9 +7,9 @@
 #   repro smoke      — fig9/fig10 JSON artifacts regenerate and validate
 #   bench smoke      — telemetry-overhead bench compiles and runs (test mode)
 #
-# The last two need the real criterion/proptest crates; offline mirrors
-# that stub out dev-dependencies (stubs/ in the workspace manifest) skip
-# them.
+# The example/repro/bench steps need the real dev-dependencies; offline
+# mirrors that stub them out (stubs/ in the workspace manifest) stop
+# after the core build/test/clippy/parallel gates.
 #
 # Usage: scripts/tier1.sh [extra cargo args, e.g. --offline]
 
@@ -21,28 +21,47 @@ cargo test -q "$@"
 cargo clippy --workspace "$@" -- -D warnings
 
 # Parallel-pipeline determinism gate: the differential suite (N workers
-# vs 1 must be byte-identical) plus a 4-worker analyzer run that asserts
-# its output against the sequential pipeline.
+# vs 1 must be byte-identical).
 cargo test -q -p broscript --test parallel "$@"
-cargo run -q --release --example http_analyzer "$@" -- --workers 4 >/dev/null
 echo "tier1: parallel pipeline OK"
 
+# Everything below may pull in dev-dependencies beyond what the stubbed
+# workspace provides, so the stub check comes first.
 if grep -q 'path = "stubs/' Cargo.toml; then
-    echo "tier1: stubbed workspace detected, skipping repro/bench smoke"
+    echo "tier1: stubbed workspace detected, skipping example/repro/bench smoke"
     exit 0
 fi
 
+# 4-worker analyzer run that asserts its output against the sequential
+# pipeline.
+cargo run -q --release --example http_analyzer "$@" -- --workers 4 >/dev/null
+echo "tier1: http_analyzer example OK"
+
 # Repro artifacts: regenerate the figure JSON at the smallest scale and
-# check each document carries all four component keys.
+# check each document carries all four component keys. Failures are
+# accumulated so one bad artifact doesn't mask the next, then the script
+# exits nonzero if anything was wrong.
 out=target/repro-artifacts
 rm -rf "$out"
 REPRO_SCALE=1 REPRO_OUT="$out" cargo run -q --release -p bench --bin repro "$@" -- fig9 fig10
+fail=0
 for f in "$out"/fig9.json "$out"/fig10.json; do
-    [ -s "$f" ] || { echo "tier1: missing artifact $f"; exit 1; }
+    if [ ! -s "$f" ]; then
+        echo "tier1: missing artifact $f"
+        fail=1
+        continue
+    fi
     for key in protocol_parsing script_execution glue other; do
-        grep -q "\"$key\"" "$f" || { echo "tier1: $f lacks component $key"; exit 1; }
+        if ! grep -q "\"$key\"" "$f"; then
+            echo "tier1: $f lacks component $key"
+            fail=1
+        fi
     done
 done
+if [ "$fail" -ne 0 ]; then
+    echo "tier1: repro artifact checks FAILED"
+    exit 1
+fi
 echo "tier1: repro artifacts OK"
 
 # Telemetry overhead bench in --test mode: one pass per benchmark, enough

@@ -71,7 +71,9 @@ pub mod test_runner {
         }
 
         pub fn rng_for_case(&self, case: u32) -> TestRng {
-            TestRng::seed_from_u64(self.seed ^ ((case as u64) << 1 | 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            TestRng::seed_from_u64(
+                self.seed ^ ((case as u64) << 1 | 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )
         }
     }
 }
@@ -160,12 +162,12 @@ pub mod strategy {
         };
     }
 
-    impl_tuple_strategy!(A/0);
-    impl_tuple_strategy!(A/0, B/1);
-    impl_tuple_strategy!(A/0, B/1, C/2);
-    impl_tuple_strategy!(A/0, B/1, C/2, D/3);
-    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+    impl_tuple_strategy!(A / 0);
+    impl_tuple_strategy!(A / 0, B / 1);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
     /// Weighted choice among boxed strategies — backs `prop_oneof!`.
     pub struct Union<T> {
@@ -176,7 +178,10 @@ pub mod strategy {
     impl<T> Union<T> {
         pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
             let total = arms.iter().map(|(w, _)| *w as u64).sum();
-            assert!(total > 0, "prop_oneof! needs at least one arm with weight > 0");
+            assert!(
+                total > 0,
+                "prop_oneof! needs at least one arm with weight > 0"
+            );
             Union { arms, total }
         }
     }

@@ -20,25 +20,52 @@ const VAL_SLOTS: [&str; 5] = ["t0", "t1", "t2", "t3", "acc"];
 
 #[derive(Debug, Clone)]
 enum CStep {
-    MapInsert { k: u8, v: u8 },
+    MapInsert {
+        k: u8,
+        v: u8,
+    },
     /// `acc += map.get m k` — traps IndexError when `k` is missing.
-    MapGet { k: u8 },
-    MapGetDefault { k: u8, d: i8 },
-    MapRemove { k: u8 },
+    MapGet {
+        k: u8,
+    },
+    MapGetDefault {
+        k: u8,
+        d: i8,
+    },
+    MapRemove {
+        k: u8,
+    },
     MapSize,
-    SetInsert { k: u8 },
-    SetRemove { k: u8 },
+    SetInsert {
+        k: u8,
+    },
+    SetRemove {
+        k: u8,
+    },
     /// `if set.exists s k { acc += 100 }`
-    SetExists { k: u8 },
+    SetExists {
+        k: u8,
+    },
     SetSize,
-    VecPush { v: u8 },
+    VecPush {
+        v: u8,
+    },
     /// `acc += vector.get v i` — traps IndexError when out of range.
-    VecGet { i: u8 },
+    VecGet {
+        i: u8,
+    },
     /// `vector.set v i <val>` — traps IndexError when out of range.
-    VecSet { i: u8, v: u8 },
+    VecSet {
+        i: u8,
+        v: u8,
+    },
     VecLen,
-    ListPushBack { v: u8 },
-    ListPushFront { v: u8 },
+    ListPushBack {
+        v: u8,
+    },
+    ListPushFront {
+        v: u8,
+    },
     /// `acc += list.pop_back l` — traps on an empty list.
     ListPopBack,
     ListPopFront,
@@ -129,16 +156,12 @@ fn emit(recipe: &[CStep], c2: i64, c3: i64) -> String {
             CStep::SetSize => {
                 src.push_str("    x = set.size s\n    acc = int.add acc x\n");
             }
-            CStep::VecPush { v } => {
-                src.push_str(&format!("    vector.push_back v {}\n", val(v)))
-            }
+            CStep::VecPush { v } => src.push_str(&format!("    vector.push_back v {}\n", val(v))),
             CStep::VecGet { i } => {
                 src.push_str(&format!("    x = vector.get v {i}\n"));
                 src.push_str("    acc = int.add acc x\n");
             }
-            CStep::VecSet { i, v } => {
-                src.push_str(&format!("    vector.set v {i} {}\n", val(v)))
-            }
+            CStep::VecSet { i, v } => src.push_str(&format!("    vector.set v {i} {}\n", val(v))),
             CStep::VecLen => {
                 src.push_str("    x = vector.length v\n    acc = int.add acc x\n");
             }
@@ -173,11 +196,7 @@ fn emit(recipe: &[CStep], c2: i64, c3: i64) -> String {
 }
 
 /// (value-or-trap-kind, printed lines) — the full observable behaviour.
-fn observe(
-    p: &mut Program,
-    interp: bool,
-    args: &[Value],
-) -> (Result<i64, String>, Vec<String>) {
+fn observe(p: &mut Program, interp: bool, args: &[Value]) -> (Result<i64, String>, Vec<String>) {
     let r = if interp {
         p.run_interpreted("Fuzz::kernel", args)
     } else {

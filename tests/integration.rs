@@ -158,8 +158,12 @@ int<64> mix(int<64> a, int<64> b) {
     for (a, b) in [(0i64, 0i64), (1, 2), (-5, 17), (1_000_000, -1)] {
         let mut p0 = Program::from_sources(&[src], OptLevel::None).expect("compiles");
         let mut p1 = Program::from_sources(&[src], OptLevel::Full).expect("compiles");
-        let v0 = p0.run("M::mix", &[Value::Int(a), Value::Int(b)]).expect("runs");
-        let v1 = p1.run("M::mix", &[Value::Int(a), Value::Int(b)]).expect("runs");
+        let v0 = p0
+            .run("M::mix", &[Value::Int(a), Value::Int(b)])
+            .expect("runs");
+        let v1 = p1
+            .run("M::mix", &[Value::Int(a), Value::Int(b)])
+            .expect("runs");
         assert!(v0.equals(&v1), "opt changed result for ({a},{b})");
     }
 }
@@ -230,8 +234,8 @@ fn firewall_matches_reference_on_trace_derived_stream() {
 #[test]
 fn bpf_hilti_and_classic_agree_on_trace() {
     let trace = http_trace(&SynthConfig::new(44, 12));
-    let expr = hilti_bpf::parse_filter("tcp and dst port 80 and not src net 93.184.0.0/16")
-        .unwrap();
+    let expr =
+        hilti_bpf::parse_filter("tcp and dst port 80 and not src net 93.184.0.0/16").unwrap();
     let classic = hilti_bpf::classic::compile_classic(&expr).unwrap();
     let mut hf = hilti_bpf::HiltiFilter::compile(&expr, OptLevel::Full).unwrap();
     for pkt in &trace {
@@ -343,7 +347,8 @@ fn shipped_hlt_examples_build_and_run() {
     ] {
         let src = std::fs::read_to_string(path).expect("example file exists");
         let mut p = Program::from_source(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
-        p.run_void(entry, &[]).unwrap_or_else(|e| panic!("{path}: {e}"));
+        p.run_void(entry, &[])
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
         assert_eq!(p.take_output(), expected, "{path}");
         p.run_interpreted(entry, &[])
             .unwrap_or_else(|e| panic!("{path} (interp): {e}"));
