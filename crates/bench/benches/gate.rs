@@ -11,6 +11,12 @@
 //! * `BENCH_pipeline.json`  — governed HTTP analysis, sequential and
 //!   4-worker sharded.
 //! * `BENCH_telemetry.json` — the same pipeline with telemetry off/on.
+//! * `BENCH_throughput.json` — standard-stack HTTP replay over a
+//!   high-flow-count trace, sequential and at 1/2/4/8 workers; prints
+//!   pkts/sec and Gbps, and on hosts with >= 4 cores enforces the
+//!   parallel-scaling target (`throughput_http_std_x4` >= 2.5x faster
+//!   than `throughput_http_std_seq`). `HILTI_THROUGHPUT_FLOWS` scales
+//!   the trace (default 4000 flows; set 1000000 for the full run).
 //!
 //! Measured documents go to `target/bench-gate/`; committed baselines
 //! live at the repo root. The gate FAILS if any benchmark regresses more
@@ -42,7 +48,7 @@ use hilti::tier::TieringMode;
 use hilti::value::Value;
 use hilti::Program;
 use hilti_rt::telemetry::json;
-use netpkt::synth::{http_trace, SynthConfig};
+use netpkt::synth::{http_trace, throughput_trace, SynthConfig};
 
 const SCHEMA: &str = "hilti.bench.v1";
 const FAIL_PCT: f64 = 15.0;
@@ -50,6 +56,10 @@ const WARN_PCT: f64 = 5.0;
 /// Acceptance target: lazy tiering over the generic-forever baseline on
 /// the call-dominated fib(25) kernel.
 const TIERING_MIN_SPEEDUP: f64 = 1.2;
+/// Acceptance target: 4-worker throughput over sequential on the
+/// high-flow-count trace — checked only on machines with >= 4 cores
+/// (flow-sharded parallelism cannot beat sequential on fewer).
+const SCALING_MIN_SPEEDUP: f64 = 2.5;
 
 const INT_LOOP: &str = r#"
 module M
@@ -182,6 +192,7 @@ fn pipeline_suite(smoke: bool) -> Suite {
     let opts = PipelineOptions {
         workers: 4,
         governance: gov,
+        ..Default::default()
     };
     out.insert(
         "http_binpac_compiled_x4",
@@ -190,6 +201,69 @@ fn pipeline_suite(smoke: bool) -> Suite {
                 .expect("analysis");
         }),
     );
+    out
+}
+
+/// Flow count for the throughput suite. The default keeps a full gate
+/// run in seconds; set `HILTI_THROUGHPUT_FLOWS=1000000` for the
+/// million-flow measurement (the trace generator is template-based and
+/// stays cheap at that scale).
+fn throughput_flows(smoke: bool) -> usize {
+    if smoke {
+        return 200;
+    }
+    std::env::var("HILTI_THROUGHPUT_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000)
+}
+
+/// End-to-end replay throughput: the standard HTTP stack over a
+/// high-flow-count trace, sequential and at N ∈ {1, 2, 4, 8} workers.
+/// Alongside the gate-comparable ns/iter stats, prints pkts/sec and
+/// Gbps per configuration (the paper's Figure 9 axes).
+fn throughput_suite(smoke: bool) -> Suite {
+    let samples = if smoke { 1 } else { 3 };
+    let flows = throughput_flows(smoke);
+    let trace = throughput_trace(0x7487, flows);
+    let pkts = trace.len() as f64;
+    let bytes: usize = trace.iter().map(|p| p.data.len()).sum();
+    let rate = |id: &str, st: Stat| {
+        let secs = st.min_ns as f64 * 1e-9;
+        println!(
+            "gate: throughput/{id}: {flows} flows, {:.0} pkts ({:.1} MB): {:.2e} pkts/sec, {:.3} Gbps",
+            pkts,
+            bytes as f64 / 1e6,
+            pkts / secs,
+            bytes as f64 * 8.0 / secs / 1e9,
+        );
+    };
+    let mut out = Suite::new();
+    let gov = Governance::default();
+    let st = measure(samples, 1, || {
+        run_http_analysis_governed(&trace, ParserStack::Standard, Engine::Compiled, &gov)
+            .expect("analysis");
+    });
+    rate("http_std_seq", st);
+    out.insert("throughput_http_std_seq", st);
+    for (id, workers) in [
+        ("throughput_http_std_x1", 1usize),
+        ("throughput_http_std_x2", 2),
+        ("throughput_http_std_x4", 4),
+        ("throughput_http_std_x8", 8),
+    ] {
+        let opts = PipelineOptions {
+            workers,
+            governance: gov,
+            ..Default::default()
+        };
+        let st = measure(samples, 1, || {
+            run_http_analysis_parallel(&trace, ParserStack::Standard, Engine::Compiled, &opts)
+                .expect("analysis");
+        });
+        rate(&id["throughput_".len()..], st);
+        out.insert(id, st);
+    }
     out
 }
 
@@ -354,10 +428,11 @@ fn main() -> ExitCode {
     // two retries). Genuine regressions reproduce on every pass; CI load
     // spikes do not — this keeps the 15% gate sharp without flaking.
     type SuiteFn = fn(bool) -> Suite;
-    let suite_fns: [(&str, SuiteFn); 3] = [
+    let suite_fns: [(&str, SuiteFn); 4] = [
         ("dispatch", dispatch_suite),
         ("pipeline", pipeline_suite),
         ("telemetry", telemetry_suite),
+        ("throughput", throughput_suite),
     ];
     let mut suites: Vec<(&str, Suite)> = Vec::new();
     for (name, f) in suite_fns {
@@ -449,6 +524,36 @@ fn main() -> ExitCode {
         println!(
             "gate: dispatch/fib25 tiering lazy speedup {speedup:.2}x (target >= {TIERING_MIN_SPEEDUP}x) {verdict}"
         );
+    }
+
+    // The parallel-scaling acceptance target, checked on live minima:
+    // 4 workers must beat sequential by the required factor. Flow-sharded
+    // parallelism cannot speed anything up without cores to run on, so on
+    // hosts with fewer than 4 the check reports SKIP instead of failing.
+    if !smoke {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let tp = &suites[3].1;
+        let seq = tp["throughput_http_std_seq"].min_ns as f64;
+        let x4 = tp["throughput_http_std_x4"].min_ns as f64;
+        let speedup = seq / x4.max(1.0);
+        if cores >= 4 {
+            let verdict = if speedup >= SCALING_MIN_SPEEDUP {
+                "ok"
+            } else {
+                fails += 1;
+                "FAIL"
+            };
+            println!(
+                "gate: throughput x4 speedup {speedup:.2}x (target >= {SCALING_MIN_SPEEDUP}x) {verdict}"
+            );
+        } else {
+            println!(
+                "gate: throughput x4 speedup {speedup:.2}x — SKIP \
+                 ({cores} core(s) available; target {SCALING_MIN_SPEEDUP}x needs >= 4)"
+            );
+        }
     }
 
     if smoke {

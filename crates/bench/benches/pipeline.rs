@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use broscript::host::Engine;
 use broscript::parallel::{run_http_analysis_parallel, PipelineOptions};
-use broscript::pipeline::{Governance, ParserStack};
+use broscript::pipeline::ParserStack;
 use netpkt::synth::{http_trace, SynthConfig};
 
 fn bench_pipeline_scaling(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
     for workers in [1usize, 2, 4] {
         let opts = PipelineOptions {
             workers,
-            governance: Governance::default(),
+            ..Default::default()
         };
         group.bench_function(format!("http_binpac_x{workers}"), |b| {
             b.iter(|| {

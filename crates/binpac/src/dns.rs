@@ -24,7 +24,7 @@ use hilti_rt::time::Time;
 use netpkt::events::{ConnId, DnsAnswer, Event};
 
 use crate::grammar::{Field, FieldKind, Grammar, Repeat, Unit};
-use crate::parser::BinpacParser;
+use crate::parser::{BinpacParser, ParserIr};
 
 /// Raw HILTI: compressed-name decoding plus the address overlays used for
 /// A/AAAA rdata rendering.
@@ -371,8 +371,23 @@ fn slot_int(v: &Value, idx: usize) -> RtResult<i64> {
 
 impl BinpacDns {
     pub fn new(opt: OptLevel, profiler: Option<Profiler>) -> RtResult<BinpacDns> {
-        let grammar = dns_grammar();
-        let mut parser = BinpacParser::compile(&grammar, &[], opt)?;
+        Self::wire(BinpacParser::compile(&dns_grammar(), &[], opt)?, profiler)
+    }
+
+    /// The shareable front end of [`BinpacDns::new`]: grammar codegen and
+    /// IR optimization, no bytecode (see [`BinpacHttp::front_end`]).
+    ///
+    /// [`BinpacHttp::front_end`]: crate::http::BinpacHttp::front_end
+    pub fn front_end(opt: OptLevel) -> RtResult<ParserIr> {
+        BinpacParser::front_end(&dns_grammar(), &[], opt)
+    }
+
+    /// Per-thread construction from a shared front end.
+    pub fn from_ir(ir: &ParserIr, profiler: Option<Profiler>) -> RtResult<BinpacDns> {
+        Self::wire(BinpacParser::from_ir(ir)?, profiler)
+    }
+
+    fn wire(mut parser: BinpacParser, profiler: Option<Profiler>) -> RtResult<BinpacDns> {
         let shared: Rc<RefCell<DnsShared>> = Rc::new(RefCell::new(DnsShared::default()));
 
         let s = shared.clone();

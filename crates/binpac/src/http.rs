@@ -28,7 +28,7 @@ use hilti_rt::time::Time;
 use netpkt::events::{ConnId, Event};
 
 use crate::grammar::{Field, FieldKind, Grammar, Repeat, Unit};
-use crate::parser::{BinpacParser, Session};
+use crate::parser::{BinpacParser, ParserIr, Session};
 
 /// Builds the HTTP grammar (`http.pac2`).
 pub fn http_grammar() -> Grammar {
@@ -398,8 +398,26 @@ impl BinpacHttp {
     /// Compiles the HTTP grammar and wires the event hooks. If a profiler
     /// is supplied, hook (glue) time is charged to [`Component::Glue`].
     pub fn new(opt: OptLevel, profiler: Option<Profiler>) -> RtResult<BinpacHttp> {
-        let grammar = http_grammar();
-        let mut parser = BinpacParser::compile(&grammar, &["Request", "Reply"], opt)?;
+        Self::wire(
+            BinpacParser::compile(&http_grammar(), &["Request", "Reply"], opt)?,
+            profiler,
+        )
+    }
+
+    /// The shareable front end of [`BinpacHttp::new`]: grammar codegen and
+    /// IR optimization, no bytecode. Build once, then materialize one
+    /// parser per worker thread with [`BinpacHttp::from_ir`].
+    pub fn front_end(opt: OptLevel) -> RtResult<ParserIr> {
+        BinpacParser::front_end(&http_grammar(), &["Request", "Reply"], opt)
+    }
+
+    /// Per-thread construction from a shared front end: bytecode lowering
+    /// plus event-hook wiring only.
+    pub fn from_ir(ir: &ParserIr, profiler: Option<Profiler>) -> RtResult<BinpacHttp> {
+        Self::wire(BinpacParser::from_ir(ir)?, profiler)
+    }
+
+    fn wire(mut parser: BinpacParser, profiler: Option<Profiler>) -> RtResult<BinpacHttp> {
         let shared: Rc<RefCell<Shared>> = Rc::new(RefCell::new(Shared::default()));
 
         // Slot layouts (grammar is fixed; indices are stable).

@@ -18,6 +18,17 @@ use hilti_rt::limits::AllocBudget;
 use crate::codegen::{generate, generate_driver};
 use crate::grammar::Grammar;
 
+/// The `Send` front-end half of a compiled grammar: generated, linked and
+/// optimized IR waiting for per-thread bytecode lowering. Build it once
+/// with [`BinpacParser::front_end`], then materialize one thread-private
+/// parser per worker with [`BinpacParser::from_ir`] — this skips the
+/// expensive codegen/link/optimize phases on every shard.
+#[derive(Clone)]
+pub struct ParserIr {
+    ir: hilti::host::ProgramIr,
+    module: String,
+}
+
 /// A grammar compiled into an executable HILTI parser.
 pub struct BinpacParser {
     program: Program,
@@ -32,14 +43,34 @@ impl BinpacParser {
         stream_units: &[&str],
         opt: OptLevel,
     ) -> RtResult<BinpacParser> {
+        Self::from_ir(&Self::front_end(grammar, stream_units, opt)?)
+    }
+
+    /// The front half of [`BinpacParser::compile`]: grammar codegen plus
+    /// the HILTI front end (parse/link/check/optimize). The result is
+    /// `Clone + Send`.
+    pub fn front_end(
+        grammar: &Grammar,
+        stream_units: &[&str],
+        opt: OptLevel,
+    ) -> RtResult<ParserIr> {
         let mut src = generate(grammar)?;
         for u in stream_units {
             src.push_str(&generate_driver(u));
         }
-        let program = Program::from_sources(&[&src], opt)?;
-        Ok(BinpacParser {
-            program,
+        let ir = Program::front_end(&[&src], opt, Default::default())?;
+        Ok(ParserIr {
+            ir,
             module: grammar.module.clone(),
+        })
+    }
+
+    /// The per-thread half of [`BinpacParser::compile`]: bytecode lowering
+    /// and a fresh execution context from a shared front end.
+    pub fn from_ir(ir: &ParserIr) -> RtResult<BinpacParser> {
+        Ok(BinpacParser {
+            program: Program::from_ir(ir.ir.clone())?,
+            module: ir.module.clone(),
         })
     }
 

@@ -177,6 +177,17 @@ pub enum Engine {
     Compiled,
 }
 
+/// The `Send` front-end half of a [`ScriptHost`] build: the merged script
+/// AST plus (for the compiled engine) optimized HILTI IR. Produced once
+/// by [`ScriptHost::blueprint`], consumed per worker thread by
+/// [`ScriptHost::from_blueprint`].
+#[derive(Clone)]
+pub struct HostBlueprint {
+    script: Script,
+    engine: Engine,
+    ir: Option<hilti::host::ProgramIr>,
+}
+
 /// One script running on one engine, fed by the event dispatcher.
 pub struct ScriptHost {
     engine: Engine,
@@ -263,6 +274,84 @@ impl ScriptHost {
                 program.run_void("Bro::init_globals", &[])?;
                 Ok(ScriptHost {
                     engine,
+                    script,
+                    interp: None,
+                    program: Some(program),
+                    rt,
+                    profiler,
+                })
+            }
+        }
+    }
+
+    /// Runs the shareable front end of a host build **once**: script
+    /// parsing, builtin-record injection and — for the compiled engine —
+    /// Bro-to-HILTI compilation plus the HILTI IR front end
+    /// (link/check/optimize). The blueprint is `Clone + Send`, so a
+    /// parallel dispatcher builds it on one thread and every shard
+    /// materializes a private host from it with
+    /// [`ScriptHost::from_blueprint`], paying only bytecode lowering and
+    /// globals init instead of a full compile.
+    pub fn blueprint(
+        sources: &[&str],
+        engine: Engine,
+        tiering: Option<hilti::tier::TieringMode>,
+    ) -> RtResult<HostBlueprint> {
+        let mut script = Script::default();
+        for s in sources {
+            script = script.merge(parse_script(s)?);
+        }
+        let script = script.with_builtin_records();
+        let ir = match engine {
+            Engine::Interpreted => None,
+            Engine::Compiled => {
+                let src = compile_script(&script)?;
+                Some(hilti::Program::front_end(
+                    &[&src],
+                    hilti::passes::OptLevel::Full,
+                    hilti::host::BuildOptions {
+                        tiering,
+                        ..Default::default()
+                    },
+                )?)
+            }
+        };
+        Ok(HostBlueprint { script, engine, ir })
+    }
+
+    /// Per-thread construction from a shared [`HostBlueprint`]: for the
+    /// compiled engine this lowers the pre-optimized IR to bytecode,
+    /// registers the builtin library and runs `Bro::init_globals`; the
+    /// interpreter just instantiates over the cloned AST.
+    pub fn from_blueprint(bp: &HostBlueprint, profiler: Option<Profiler>) -> RtResult<Self> {
+        let script = Rc::new(bp.script.clone());
+        let rt: Rc<RefCell<BroRt>> = Rc::new(RefCell::new(BroRt::default()));
+        match bp.engine {
+            Engine::Interpreted => {
+                let interp = Interp::new(script.clone(), rt.clone())?;
+                Ok(ScriptHost {
+                    engine: bp.engine,
+                    script,
+                    interp: Some(interp),
+                    program: None,
+                    rt,
+                    profiler,
+                })
+            }
+            Engine::Compiled => {
+                let ir = bp.ir.as_ref().expect("compiled blueprint carries IR");
+                let mut program = hilti::Program::from_ir(ir.clone())?;
+                for (name, _) in BUILTINS {
+                    let rt2 = rt.clone();
+                    let name2 = name.to_string();
+                    program.register_host_fn(name, move |args| {
+                        call_builtin(&name2, args, &rt2)
+                            .unwrap_or_else(|| Err(RtError::value("missing builtin")))
+                    });
+                }
+                program.run_void("Bro::init_globals", &[])?;
+                Ok(ScriptHost {
+                    engine: bp.engine,
                     script,
                     interp: None,
                     program: Some(program),

@@ -6,21 +6,31 @@
 //! that placement to the whole analysis pipeline: a dispatcher thread
 //! decodes packets and runs the shared flow table, then hashes each
 //! connection 5-tuple ([`netpkt::flow::shard_hash`], symmetric and
-//! worker-count-independent) to one of N shards. Each shard — a worker of
-//! [`hilti::threads::WorkPool`] — owns a private engine context, parser
-//! stack, script host, profiler, and telemetry registry, so the per-packet
-//! hot path takes no locks.
+//! worker-count-independent) to one of N shards. Each shard — its own
+//! `std::thread` fed by a bounded SPSC ring ([`hilti_rt::spsc`]) — owns a
+//! private engine context, parser stack, script host, profiler, and
+//! telemetry registry, so the per-packet hot path takes no locks.
+//!
+//! **Zero-copy dispatch.** The trace is loaded once into a shared
+//! immutable [`TraceBuffer`] arena. Deliveries carry a [`PayloadRef`] —
+//! an `(offset, len)` slice into the arena for in-order payload — and an
+//! interned `Arc<str>` uid shared with the flow table, so the per-packet
+//! item shipped across threads is a fixed-size struct with no heap copy
+//! of payload or uid. Deliveries are staged per shard and pushed to the
+//! ring in batches of [`PipelineOptions::batch`], amortizing the
+//! cross-thread wakeup.
 //!
 //! **Determinism.** The result of an N-worker run is byte-identical to the
-//! 1-worker (and to the sequential [`crate::pipeline`]) run for every N.
-//! Global decisions stay on the dispatcher: uid assignment, TCP
-//! reassembly, and idle-flow expiry (the timer wheel sweeps the shared
-//! flow table; shards receive `Evict` directives rather than sweeping
-//! locally, since a shard-local sweep would fire at different packet
-//! positions for different N). Every shard-side effect — log line, printed
-//! line, flow error, telemetry event — is tagged with a merge key encoding
-//! the packet slot (or end-of-trace rank) and the within-packet phase that
-//! the sequential pipeline would have produced it in:
+//! 1-worker (and to the sequential [`crate::pipeline`]) run for every N
+//! and every batch size. Global decisions stay on the dispatcher: uid
+//! assignment, TCP reassembly, and idle-flow expiry (the timer wheel
+//! sweeps the shared flow table; shards receive `Evict` directives rather
+//! than sweeping locally, since a shard-local sweep would fire at
+//! different packet positions for different N). Shard-side effects — log
+//! lines, printed lines, flow errors, telemetry events — are recorded in
+//! flat per-shard vectors, and each processing step seals an
+//! [`EffectBlock`]: the `(offset, len)` ranges it appended, keyed by the
+//! position the sequential pipeline would have produced them in:
 //!
 //! * phase 0 — dispatcher `flow_open`/`flow_close` events,
 //! * phase 1 — parse effects (parser events, `parser_error`, engine sink
@@ -29,35 +39,45 @@
 //! * phase 3 — dispatch effects (script logs/output, engine sink events
 //!   raised while executing handlers).
 //!
-//! The merge sorts by `(key, shard, seq)` and strips the tags. Telemetry
-//! snapshots combine by [`TelemetrySnapshot::merge`] — counters summed,
-//! gauges max-merged (they track peaks), histograms bucket-wise — and the
-//! merged event stream replaces the concatenation, with `quarantine`
-//! events re-emitted at the end in merged-ledger order exactly as the
-//! sequential pipeline does. See DESIGN.md ("Parallel pipeline").
+//! Because each shard processes its items in key order, its blocks form
+//! (at most two) sorted streams, and every key has a unique producer
+//! (only the end-of-run `bro_done` key ties across shards, broken by
+//! shard index). The merge therefore orders the *block descriptors* by
+//! `(key, shard)` and concatenates each category's ranges — no per-line
+//! sort. Telemetry snapshots combine by [`TelemetrySnapshot::merge`] —
+//! counters summed, gauges max-merged (they track peaks), histograms
+//! bucket-wise — and the merged event stream replaces the concatenation,
+//! with `quarantine` events re-emitted at the end in merged-ledger order
+//! exactly as the sequential pipeline does. Dispatch-plane metrics (batch
+//! counts, fill, queue depths) depend on N and batch, so they live in the
+//! separate [`AnalysisResult::dispatch_telemetry`] snapshot. See
+//! DESIGN.md ("Batched zero-copy dispatch").
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use binpac::dns::BinpacDns;
 use binpac::http::BinpacHttp;
+use binpac::parser::ParserIr;
 use hilti::passes::OptLevel;
-use hilti::threads::WorkPool;
 use hilti_rt::error::{RtError, RtResult};
 use hilti_rt::limits::ResourceLimits;
 use hilti_rt::profile::{Component, Profiler};
+use hilti_rt::spsc::{self, Producer};
 use hilti_rt::telemetry::{
-    Counter, Event as TelemetryEvent, Histogram, Telemetry, TelemetrySnapshot,
+    Counter, Event as TelemetryEvent, Gauge, Histogram, Telemetry, TelemetrySnapshot,
 };
 use hilti_rt::time::{Interval, Time};
 use hilti_rt::timer::TimerMgr;
 
-use netpkt::decode::decode_ethernet;
+use netpkt::decode::decode_frame;
 use netpkt::events::{ConnId, Event};
-use netpkt::flow::{shard_hash, FlowTable};
+use netpkt::flow::{shard_hash_frame, FlowTable};
 use netpkt::http::HttpConnParser;
 use netpkt::pcap::RawPacket;
+use netpkt::{PayloadRef, TraceBuffer};
 
-use crate::host::{Engine, ScriptHost};
+use crate::host::{Engine, HostBlueprint, ScriptHost};
 use crate::pipeline::{
     placeholder_id, standard_dns_events, AnalysisResult, FlowError, Governance, ParserStack,
 };
@@ -72,12 +92,21 @@ pub fn default_workers() -> usize {
         .min(8)
 }
 
+/// Deliveries staged per shard before a ring submission (amortizes the
+/// cross-thread wakeup). See DESIGN.md for the tuning sweep behind the
+/// default.
+pub const DEFAULT_BATCH: usize = 128;
+
 /// Knobs for a parallel run.
 #[derive(Clone, Copy)]
 pub struct PipelineOptions {
     /// Number of shards (worker threads). The output is byte-identical
     /// for every value; only throughput changes.
     pub workers: usize,
+    /// Deliveries staged per shard before the dispatcher pushes them to
+    /// the shard's ring. The output is byte-identical for every value;
+    /// only dispatch overhead changes.
+    pub batch: usize,
     pub governance: Governance,
 }
 
@@ -85,6 +114,7 @@ impl Default for PipelineOptions {
     fn default() -> Self {
         PipelineOptions {
             workers: default_workers(),
+            batch: DEFAULT_BATCH,
             governance: Governance::default(),
         }
     }
@@ -113,31 +143,62 @@ struct Key {
     phase: u8,
 }
 
-/// A shard-side effect tagged for the merge: `(key, seq, payload)`, where
-/// `seq` is the shard-local emission counter (total order within a shard).
-type Tagged<T> = (Key, u64, T);
-
 const LOG_STREAMS: [&str; 3] = ["http.log", "files.log", "dns.log"];
 
+/// Flat per-shard effect storage. Effects are appended in processing
+/// order; [`EffectBlock`]s record which ranges belong to which merge key.
+#[derive(Default)]
+struct Effects {
+    logs: [Vec<String>; 3],
+    output: Vec<String>,
+    flow_errors: Vec<FlowError>,
+    /// Engine/pipeline telemetry events, rendered to JSONL at capture time.
+    events: Vec<String>,
+}
+
+/// One sealed epoch of effects: `(start, end)` ranges into the owner's
+/// [`Effects`] vectors, tagged with the merge key. Blocks are emitted in
+/// key order per stream, so the merge never sorts individual effects.
+#[derive(Clone, Copy)]
+struct EffectBlock {
+    key: Key,
+    logs: [(u32, u32); 3],
+    output: (u32, u32),
+    flow_errors: (u32, u32),
+    events: (u32, u32),
+}
+
+/// Effect-vector lengths at the start of a block (see [`ShardState::mark`]).
+#[derive(Clone, Copy)]
+struct Mark {
+    logs: [u32; 3],
+    output: u32,
+    flow_errors: u32,
+    events: u32,
+}
+
 /// Work items shipped from the dispatcher to a shard, in trace order.
+/// Fixed-size: the uid is an interned `Arc<str>` shared with the flow
+/// table and the payload an `(offset, len)` slice of the shared trace
+/// arena (owned bytes only when reassembly had to stitch segments).
 enum ShardItem {
     /// One reassembled segment of a flow owned by this shard.
     Delivery {
         slot: u64,
-        uid: String,
+        uid: Arc<str>,
         id: ConnId,
         is_orig: bool,
         ts: Time,
-        payload: Vec<u8>,
+        payload: PayloadRef,
         finished: bool,
     },
     /// The dispatcher's timer wheel expired this flow: drop parser state.
-    Evict { uid: String },
+    Evict { uid: Arc<str> },
     /// End-of-trace flush of one still-open flow (HTTP only).
     FinishFlow {
         parse_major: u64,
         dispatch_major: u64,
-        uid: String,
+        uid: Arc<str>,
         ts: Time,
     },
     /// End of run: re-arm fuel and fire `bro_done`.
@@ -150,51 +211,79 @@ struct ShardTelemetry {
     bytes_parsed: Counter,
     parse_failures: Counter,
     payload_bytes: Histogram,
-    /// How much of the shard sink has been attributed to a merge key.
+    /// How much of the shard sink has been attributed to a block.
     sink_cursor: usize,
 }
 
-/// Everything one shard owns. Built by the pool factory *on* the worker
-/// thread (`ScriptHost` and the parser VMs are `!Send`).
+/// Everything one shard owns. Built *on* the worker thread (`ScriptHost`
+/// and the parser VMs are `!Send`).
 struct ShardState {
     proto: Proto,
     stack: ParserStack,
     gov: Governance,
+    trace: Arc<TraceBuffer>,
     host: ScriptHost,
     profiler: Profiler,
     tel: Option<ShardTelemetry>,
-    std_http: HashMap<String, HttpConnParser>,
+    std_http: HashMap<Arc<str>, HttpConnParser>,
     bp_http: Option<BinpacHttp>,
     bp_dns: Option<BinpacDns>,
-    quarantined: HashSet<String>,
+    quarantined: HashSet<Arc<str>>,
     n_events: u64,
     parse_failures: u64,
     log_cursors: [usize; 3],
-    logs: [Vec<Tagged<String>>; 3],
-    output: Vec<Tagged<String>>,
-    flow_errors: Vec<Tagged<FlowError>>,
-    /// Engine/pipeline telemetry events, rendered to JSONL at capture time.
-    events: Vec<Tagged<String>>,
+    effects: Effects,
+    /// In-trace blocks plus end-of-trace parse blocks: keys strictly
+    /// increase in processing order.
+    blocks_main: Vec<EffectBlock>,
+    /// End-of-trace dispatch blocks and `bro_done`: their majors run past
+    /// the parse sweep's, so they form a second sorted stream.
+    blocks_tail: Vec<EffectBlock>,
     /// First unrecoverable error (ungoverned mode): merge picks the
     /// globally-first one. Processing on this shard stops here.
     fatal: Option<(Key, RtError)>,
-    seq: u64,
+}
+
+/// Front-end build artifacts shared by every shard: the script host
+/// blueprint plus (for the binpac stack) the generated parser's optimized
+/// IR. `Send`, built once on the dispatcher thread — each shard pays only
+/// bytecode lowering instead of a full compile.
+struct ShardBlueprint {
+    host: HostBlueprint,
+    parser: Option<ParserIr>,
+}
+
+impl ShardBlueprint {
+    fn build(
+        proto: Proto,
+        stack: ParserStack,
+        engine: Engine,
+        gov: &Governance,
+    ) -> RtResult<ShardBlueprint> {
+        let script = match proto {
+            Proto::Http => scripts::HTTP_BRO,
+            Proto::Dns => scripts::DNS_BRO,
+        };
+        let host = ScriptHost::blueprint(&[script], engine, gov.tiering)?;
+        let parser = match (proto, stack) {
+            (Proto::Http, ParserStack::Binpac) => Some(BinpacHttp::front_end(OptLevel::Full)?),
+            (Proto::Dns, ParserStack::Binpac) => Some(BinpacDns::front_end(OptLevel::Full)?),
+            _ => None,
+        };
+        Ok(ShardBlueprint { host, parser })
+    }
 }
 
 impl ShardState {
     fn new(
         proto: Proto,
         stack: ParserStack,
-        engine: Engine,
         gov: Governance,
+        trace: Arc<TraceBuffer>,
+        bp: &ShardBlueprint,
     ) -> RtResult<ShardState> {
         let profiler = Profiler::new();
-        let script = match proto {
-            Proto::Http => scripts::HTTP_BRO,
-            Proto::Dns => scripts::DNS_BRO,
-        };
-        let mut host =
-            ScriptHost::new_tiered(&[script], engine, Some(profiler.clone()), gov.tiering)?;
+        let mut host = ScriptHost::from_blueprint(&bp.host, Some(profiler.clone()))?;
         let tel = gov.telemetry.then(|| {
             let telemetry = Telemetry::new();
             ShardTelemetry {
@@ -212,7 +301,8 @@ impl ShardState {
         let mut bp_dns = None;
         match (proto, stack) {
             (Proto::Http, ParserStack::Binpac) => {
-                let mut b = BinpacHttp::new(OptLevel::Full, Some(profiler.clone()))?;
+                let ir = bp.parser.as_ref().expect("binpac blueprint carries IR");
+                let mut b = BinpacHttp::from_ir(ir, Some(profiler.clone()))?;
                 if let Some(n) = gov.per_flow_heap {
                     b.set_session_budget(n);
                 }
@@ -225,7 +315,8 @@ impl ShardState {
                 bp_http = Some(b);
             }
             (Proto::Dns, ParserStack::Binpac) => {
-                let mut b = BinpacDns::new(OptLevel::Full, Some(profiler.clone()))?;
+                let ir = bp.parser.as_ref().expect("binpac blueprint carries IR");
+                let mut b = BinpacDns::from_ir(ir, Some(profiler.clone()))?;
                 if let Some(t) = &tel {
                     b.set_telemetry(&t.telemetry);
                 }
@@ -237,6 +328,7 @@ impl ShardState {
             proto,
             stack,
             gov,
+            trace,
             host,
             profiler,
             tel,
@@ -247,12 +339,10 @@ impl ShardState {
             n_events: 0,
             parse_failures: 0,
             log_cursors: [0; 3],
-            logs: [Vec::new(), Vec::new(), Vec::new()],
-            output: Vec::new(),
-            flow_errors: Vec::new(),
-            events: Vec::new(),
+            effects: Effects::default(),
+            blocks_main: Vec::new(),
+            blocks_tail: Vec::new(),
             fatal: None,
-            seq: 0,
         })
     }
 
@@ -290,41 +380,76 @@ impl ShardState {
         }
     }
 
-    /// Attributes everything the shard sink collected since the last call
-    /// to `key` (engine events raised while parsing or dispatching).
-    fn collect_sink(&mut self, key: Key) {
+    /// Current effect-vector lengths: the start of a new block.
+    fn mark(&self) -> Mark {
+        Mark {
+            logs: [
+                self.effects.logs[0].len() as u32,
+                self.effects.logs[1].len() as u32,
+                self.effects.logs[2].len() as u32,
+            ],
+            output: self.effects.output.len() as u32,
+            flow_errors: self.effects.flow_errors.len() as u32,
+            events: self.effects.events.len() as u32,
+        }
+    }
+
+    /// Seals everything appended since `m` as one block under `key`.
+    /// Empty blocks are dropped; `tail` selects the second sorted stream
+    /// (end-of-trace dispatch majors, which interleave with later parse
+    /// majors in key order).
+    fn seal(&mut self, m: Mark, key: Key, tail: bool) {
+        let b = EffectBlock {
+            key,
+            logs: [
+                (m.logs[0], self.effects.logs[0].len() as u32),
+                (m.logs[1], self.effects.logs[1].len() as u32),
+                (m.logs[2], self.effects.logs[2].len() as u32),
+            ],
+            output: (m.output, self.effects.output.len() as u32),
+            flow_errors: (m.flow_errors, self.effects.flow_errors.len() as u32),
+            events: (m.events, self.effects.events.len() as u32),
+        };
+        let empty = b.logs.iter().all(|(s, e)| s == e)
+            && b.output.0 == b.output.1
+            && b.flow_errors.0 == b.flow_errors.1
+            && b.events.0 == b.events.1;
+        if empty {
+            return;
+        }
+        if tail {
+            self.blocks_tail.push(b);
+        } else {
+            self.blocks_main.push(b);
+        }
+    }
+
+    /// Appends everything the shard sink collected since the last call
+    /// (engine events raised while parsing or dispatching).
+    fn collect_sink(&mut self) {
         let Some(t) = self.tel.as_mut() else { return };
         let new = t.telemetry.sink.events_since(t.sink_cursor);
         t.sink_cursor += new.len();
         for ev in &new {
-            let seq = self.seq;
-            self.seq += 1;
-            self.events.push((key, seq, ev.to_json()));
+            self.effects.events.push(ev.to_json());
         }
     }
 
-    /// Attributes new log lines and printed output to `key`.
-    fn collect_host_effects(&mut self, key: Key) {
+    /// Appends new log lines and printed output.
+    fn collect_host_effects(&mut self) {
         for (i, name) in LOG_STREAMS.iter().enumerate() {
             let lines = self.host.log_lines_from(name, self.log_cursors[i]);
             self.log_cursors[i] += lines.len();
-            for l in lines {
-                let seq = self.seq;
-                self.seq += 1;
-                self.logs[i].push((key, seq, l));
-            }
+            self.effects.logs[i].extend(lines);
         }
-        for l in self.host.take_output() {
-            let seq = self.seq;
-            self.seq += 1;
-            self.output.push((key, seq, l));
-        }
+        self.effects.output.extend(self.host.take_output());
     }
 
     /// Dispatches a batch of events exactly as the sequential
     /// `dispatch_events` does (per-event fuel re-arm, quarantine vs
-    /// abort), then attributes all resulting effects to `key`.
-    fn dispatch(&mut self, events: &[Event], key: Key) {
+    /// abort), then seals all resulting effects as one block under `key`.
+    fn dispatch(&mut self, events: &[Event], key: Key, tail: bool) {
+        let m = self.mark();
         if self.fatal.is_none() {
             for ev in events {
                 self.n_events += 1;
@@ -339,15 +464,15 @@ impl ShardState {
                         self.fatal = Some((key, e));
                         break;
                     }
-                    let seq = self.seq;
-                    self.seq += 1;
-                    self.flow_errors
-                        .push((key, seq, FlowError::new(ev.uid(), &e, ev.ts())));
+                    self.effects
+                        .flow_errors
+                        .push(FlowError::new(ev.uid(), &e, ev.ts()));
                 }
             }
         }
-        self.collect_sink(key);
-        self.collect_host_effects(key);
+        self.collect_sink();
+        self.collect_host_effects();
+        self.seal(m, key, tail);
     }
 }
 
@@ -355,21 +480,24 @@ impl ShardState {
 fn http_delivery(
     st: &mut ShardState,
     slot: u64,
-    uid: String,
+    uid: Arc<str>,
     id: ConnId,
     is_orig: bool,
     ts: Time,
-    payload: Vec<u8>,
+    payload: PayloadRef,
     finished: bool,
 ) {
     let parse_key = Key {
         major: slot,
         phase: PH_PARSE,
     };
+    let trace = Arc::clone(&st.trace);
+    let payload = payload.resolve(&trace);
+    let m = st.mark();
     let mut events: Vec<Event> = Vec::new();
     {
         let _o = st.profiler.enter(Component::Other);
-        if !st.quarantined.contains(&uid) {
+        if !st.quarantined.contains(&*uid) {
             if !payload.is_empty() {
                 if let Some(t) = &st.tel {
                     t.bytes_parsed.add(payload.len() as u64);
@@ -382,9 +510,9 @@ fn http_delivery(
                     let parser = st
                         .std_http
                         .entry(uid.clone())
-                        .or_insert_with(|| HttpConnParser::new(uid.clone(), id));
+                        .or_insert_with(|| HttpConnParser::new(uid.to_string(), id));
                     if !payload.is_empty() {
-                        parser.feed(is_orig, &payload, ts, &mut events);
+                        parser.feed(is_orig, payload, ts, &mut events);
                     }
                     if finished {
                         parser.finish(ts, &mut events);
@@ -394,7 +522,7 @@ fn http_delivery(
                     let bp = st.bp_http.as_mut().expect("binpac stack");
                     let mut fail: Option<RtError> = None;
                     if !payload.is_empty() {
-                        if let Err(e) = bp.feed(&uid, id, is_orig, ts, &payload) {
+                        if let Err(e) = bp.feed(&uid, id, is_orig, ts, payload) {
                             fail = Some(e);
                         }
                     }
@@ -413,37 +541,39 @@ fn http_delivery(
                         bp.drop_conn(&uid);
                         st.std_http.remove(&uid);
                         st.quarantined.insert(uid.clone());
-                        let seq = st.seq;
-                        st.seq += 1;
-                        st.flow_errors
-                            .push((parse_key, seq, FlowError::new(&uid, &e, ts)));
+                        st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                     }
                 }
             }
         }
     }
-    st.collect_sink(parse_key);
+    st.collect_sink();
+    st.seal(m, parse_key, false);
     st.dispatch(
         &events,
         Key {
             major: slot,
             phase: PH_DISPATCH,
         },
+        false,
     );
 }
 
 fn dns_delivery(
     st: &mut ShardState,
     slot: u64,
-    uid: String,
+    uid: Arc<str>,
     id: ConnId,
     ts: Time,
-    payload: Vec<u8>,
+    payload: PayloadRef,
 ) {
     let parse_key = Key {
         major: slot,
         phase: PH_PARSE,
     };
+    let trace = Arc::clone(&st.trace);
+    let payload = payload.resolve(&trace);
+    let m = st.mark();
     let mut events: Vec<Event> = Vec::new();
     if !payload.is_empty() {
         let _o = st.profiler.enter(Component::Other);
@@ -454,20 +584,20 @@ fn dns_delivery(
         match st.stack {
             ParserStack::Standard => {
                 let _pp = st.profiler.enter(Component::ProtocolParsing);
-                if !standard_dns_events(&uid, id, ts, &payload, &mut events) {
+                if !standard_dns_events(&uid, id, ts, payload, &mut events) {
                     st.parse_failures += 1;
                     if let Some(t) = &st.tel {
                         t.parse_failures.inc();
                         t.telemetry.emit(
                             "parser_error",
-                            vec![("uid", uid.as_str().into()), ("ts_ns", ts.nanos().into())],
+                            vec![("uid", (&*uid).into()), ("ts_ns", ts.nanos().into())],
                         );
                     }
                 }
             }
             ParserStack::Binpac => {
                 let bp = st.bp_dns.as_mut().expect("binpac stack");
-                match bp.datagram(&uid, id, ts, &payload) {
+                match bp.datagram(&uid, id, ts, payload) {
                     Ok(true) => {}
                     Ok(false) => {
                         st.parse_failures += 1;
@@ -475,7 +605,7 @@ fn dns_delivery(
                             t.parse_failures.inc();
                             t.telemetry.emit(
                                 "parser_error",
-                                vec![("uid", uid.as_str().into()), ("ts_ns", ts.nanos().into())],
+                                vec![("uid", (&*uid).into()), ("ts_ns", ts.nanos().into())],
                             );
                         }
                     }
@@ -484,10 +614,7 @@ fn dns_delivery(
                             st.fatal = Some((parse_key, e));
                             return;
                         }
-                        let seq = st.seq;
-                        st.seq += 1;
-                        st.flow_errors
-                            .push((parse_key, seq, FlowError::new(&uid, &e, ts)));
+                        st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                     }
                 }
                 let bp = st.bp_dns.as_mut().expect("binpac stack");
@@ -495,13 +622,15 @@ fn dns_delivery(
             }
         }
     }
-    st.collect_sink(parse_key);
+    st.collect_sink();
+    st.seal(m, parse_key, false);
     st.dispatch(
         &events,
         Key {
             major: slot,
             phase: PH_DISPATCH,
         },
+        false,
     );
 }
 
@@ -514,13 +643,14 @@ fn http_finish_flow(
     st: &mut ShardState,
     parse_major: u64,
     dispatch_major: u64,
-    uid: String,
+    uid: Arc<str>,
     ts: Time,
 ) {
     let parse_key = Key {
         major: parse_major,
         phase: PH_PARSE,
     };
+    let m = st.mark();
     let mut events: Vec<Event> = Vec::new();
     match st.stack {
         ParserStack::Standard => {
@@ -538,23 +668,22 @@ fn http_finish_flow(
                         return;
                     }
                     bp.drop_conn(&uid);
-                    let seq = st.seq;
-                    st.seq += 1;
-                    st.flow_errors
-                        .push((parse_key, seq, FlowError::new(&uid, &e, ts)));
+                    st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                 }
                 let bp = st.bp_http.as_mut().expect("binpac stack");
                 events.extend(bp.take_events());
             }
         }
     }
-    st.collect_sink(parse_key);
+    st.collect_sink();
+    st.seal(m, parse_key, false);
     st.dispatch(
         &events,
         Key {
             major: dispatch_major,
             phase: PH_DISPATCH,
         },
+        true,
     );
 }
 
@@ -563,6 +692,7 @@ fn done(st: &mut ShardState, major: u64, ts: Time) {
         major,
         phase: PH_DISPATCH,
     };
+    let m = st.mark();
     if st.gov.script_fuel.is_some() {
         st.host.set_limits(ResourceLimits {
             fuel: st.gov.script_fuel,
@@ -573,21 +703,20 @@ fn done(st: &mut ShardState, major: u64, ts: Time) {
         if !st.gov.quarantine {
             st.fatal = Some((key, e));
         } else {
-            let seq = st.seq;
-            st.seq += 1;
-            st.flow_errors.push((key, seq, FlowError::new("-", &e, ts)));
+            st.effects.flow_errors.push(FlowError::new("-", &e, ts));
         }
     }
-    st.collect_sink(key);
-    st.collect_host_effects(key);
+    st.collect_sink();
+    st.collect_host_effects();
+    st.seal(m, key, true);
 }
 
-/// What a shard hands back at harvest. All fields are `Send`.
+/// What a shard hands back when its ring drains. All fields are `Send`;
+/// the `!Send` host/parser state is dropped on the shard thread.
 struct ShardReport {
-    logs: [Vec<Tagged<String>>; 3],
-    output: Vec<Tagged<String>>,
-    flow_errors: Vec<Tagged<FlowError>>,
-    events: Vec<Tagged<String>>,
+    effects: Effects,
+    blocks_main: Vec<EffectBlock>,
+    blocks_tail: Vec<EffectBlock>,
     snapshot: TelemetrySnapshot,
     profiler: Profiler,
     n_events: u64,
@@ -616,7 +745,7 @@ fn harvest(st: &mut ShardState) -> ShardReport {
                 .gauge("pipeline.peak_flow_heap_bytes")
                 .set_max(peak_flow_bytes);
             let quarantined = t.telemetry.counter("pipeline.flows_quarantined");
-            for (_, _, fe) in &st.flow_errors {
+            for fe in &st.effects.flow_errors {
                 quarantined.inc();
                 t.telemetry
                     .registry
@@ -630,10 +759,9 @@ fn harvest(st: &mut ShardState) -> ShardReport {
         None => TelemetrySnapshot::default(),
     };
     ShardReport {
-        logs: std::mem::take(&mut st.logs),
-        output: std::mem::take(&mut st.output),
-        flow_errors: std::mem::take(&mut st.flow_errors),
-        events: std::mem::take(&mut st.events),
+        effects: std::mem::take(&mut st.effects),
+        blocks_main: std::mem::take(&mut st.blocks_main),
+        blocks_tail: std::mem::take(&mut st.blocks_tail),
         snapshot,
         profiler: st.profiler.clone(),
         n_events: st.n_events,
@@ -643,16 +771,17 @@ fn harvest(st: &mut ShardState) -> ShardReport {
     }
 }
 
-/// Dispatcher-side telemetry: the shared-decision counters plus tagged
-/// `flow_open` / `flow_close` / `timer_expiry` events.
+/// Dispatcher-side telemetry: the shared-decision counters plus
+/// `flow_open` / `flow_close` / `timer_expiry` events, stored flat with
+/// coalesced blocks (consecutive emits under one key share a block).
 struct DispatcherTelemetry {
     telemetry: Telemetry,
     packets: Counter,
     flows_opened: Counter,
     flows_closed: Counter,
     flows_expired: Counter,
-    events: Vec<Tagged<String>>,
-    seq: u64,
+    events: Vec<String>,
+    blocks: Vec<EffectBlock>,
 }
 
 impl DispatcherTelemetry {
@@ -664,7 +793,7 @@ impl DispatcherTelemetry {
             flows_closed: telemetry.counter("pipeline.flows_closed"),
             flows_expired: telemetry.counter("pipeline.flows_expired"),
             events: Vec::new(),
-            seq: 0,
+            blocks: Vec::new(),
             telemetry,
         }
     }
@@ -674,15 +803,71 @@ impl DispatcherTelemetry {
             kind,
             fields: vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())],
         };
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push((key, seq, ev.to_json()));
+        let i = self.events.len() as u32;
+        self.events.push(ev.to_json());
+        // The dispatcher emits in key order, so same-key emits coalesce
+        // into the trailing block.
+        if let Some(last) = self.blocks.last_mut() {
+            if last.key == key {
+                last.events.1 = i + 1;
+                return;
+            }
+        }
+        self.blocks.push(EffectBlock {
+            key,
+            logs: [(0, 0); 3],
+            output: (0, 0),
+            flow_errors: (0, 0),
+            events: (i, i + 1),
+        });
+    }
+}
+
+/// Dispatch-plane metrics (dispatcher side): these describe the transport,
+/// not the analysis, and depend on the worker count and batch size — so
+/// they feed [`AnalysisResult::dispatch_telemetry`], never the merged
+/// analysis snapshot.
+struct DispatchMetrics {
+    telemetry: Telemetry,
+    /// `pipeline.dispatch_batches`: ring submissions across all shards.
+    batches: Counter,
+    /// `pipeline.batch_fill`: items per submission.
+    fill: Histogram,
+    /// `pipeline.shard_items.shard{w}`: total items sent to each shard.
+    items: Vec<Counter>,
+    /// `pipeline.queue_depth.shard{w}`: high-water of the staged batch at
+    /// submission time (the dispatcher-side, deterministic view of queue
+    /// pressure; true ring occupancy is a data race by construction).
+    depth: Vec<Gauge>,
+}
+
+impl DispatchMetrics {
+    fn new(workers: usize) -> DispatchMetrics {
+        let telemetry = Telemetry::new();
+        DispatchMetrics {
+            batches: telemetry.counter("pipeline.dispatch_batches"),
+            fill: telemetry.histogram("pipeline.batch_fill"),
+            items: (0..workers)
+                .map(|w| telemetry.counter(&format!("pipeline.shard_items.shard{w}")))
+                .collect(),
+            depth: (0..workers)
+                .map(|w| telemetry.gauge(&format!("pipeline.queue_depth.shard{w}")))
+                .collect(),
+            telemetry,
+        }
+    }
+
+    fn flushed(&self, w: usize, n: usize) {
+        self.batches.inc();
+        self.fill.observe(n as u64);
+        self.items[w].add(n as u64);
+        self.depth[w].set_max(n as u64);
     }
 }
 
 /// Replays an HTTP trace through `opts.workers` flow-sharded pipelines.
 /// The result is byte-identical to [`crate::pipeline::run_http_analysis_governed`]
-/// with the same governance, for every worker count.
+/// with the same governance, for every worker count and batch size.
 pub fn run_http_analysis_parallel(
     packets: &[RawPacket],
     stack: ParserStack,
@@ -702,8 +887,33 @@ pub fn run_dns_analysis_parallel(
     run_parallel(packets, Proto::Dns, stack, engine, opts)
 }
 
-/// Deliveries per cross-thread submission (amortizes channel overhead).
-const BATCH: usize = 128;
+/// Pushes a staged batch onto the shard's ring (blocking while the ring
+/// is full — that backpressure is what bounds dispatcher run-ahead).
+fn flush_shard(
+    tx: &mut Producer<ShardItem>,
+    buf: &mut Vec<ShardItem>,
+    metrics: Option<&DispatchMetrics>,
+    w: usize,
+) -> RtResult<()> {
+    if buf.is_empty() {
+        return Ok(());
+    }
+    if let Some(m) = metrics {
+        m.flushed(w, buf.len());
+    }
+    if !tx.push_all(buf) {
+        return Err(RtError::runtime("pipeline shard terminated unexpectedly"));
+    }
+    Ok(())
+}
+
+/// Per-flow dispatcher bookkeeping: which shard owns the flow, and
+/// whether the owning shard still holds parser state for it (the
+/// end-of-trace flush only targets live flows).
+struct FlowMeta {
+    shard: usize,
+    live: bool,
+}
 
 fn run_parallel(
     packets: &[RawPacket],
@@ -713,70 +923,106 @@ fn run_parallel(
     opts: &PipelineOptions,
 ) -> RtResult<AnalysisResult> {
     let workers = opts.workers.max(1);
+    let batch = opts.batch.max(1);
     let gov = opts.governance;
-    // Pre-flight on this thread so construction errors surface as `Err`
-    // (the pool factory can only panic).
-    drop(ShardState::new(proto, stack, engine, gov)?);
-    let pool: WorkPool<ShardState> = WorkPool::new(workers, move |_w, _handle| {
-        ShardState::new(proto, stack, engine, gov).expect("shard construction passed pre-flight")
-    });
+    let trace = TraceBuffer::from_packets(packets);
+    // Run the expensive front end (script + grammar compilation down to
+    // optimized IR) once; shards only lower bytecode from the shared
+    // blueprint. Doing it here also surfaces construction errors as
+    // `Err` before any thread spawns (a shard thread could only panic).
+    let blueprint = Arc::new(ShardBlueprint::build(proto, stack, engine, &gov)?);
+    drop(ShardState::new(proto, stack, gov, trace.clone(), &blueprint)?);
+
+    // One SPSC ring per shard; each shard thread builds its own `!Send`
+    // state, drains the ring in batches, and returns its report on join.
+    let ring_cap = batch.saturating_mul(8).max(512);
+    let mut txs: Vec<Producer<ShardItem>> = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, mut rx) = spsc::ring::<ShardItem>(ring_cap);
+        let trace = trace.clone();
+        let blueprint = Arc::clone(&blueprint);
+        let handle = std::thread::spawn(move || {
+            let mut st = ShardState::new(proto, stack, gov, trace, &blueprint)
+                .expect("shard construction passed pre-flight");
+            let mut items = Vec::with_capacity(batch);
+            while rx.pop_batch(&mut items, batch) > 0 {
+                for item in items.drain(..) {
+                    st.process(item);
+                }
+            }
+            harvest(&mut st)
+        });
+        txs.push(tx);
+        handles.push(handle);
+    }
 
     let profiler = Profiler::new();
     let mut dtel = gov.telemetry.then(DispatcherTelemetry::new);
+    let dmetrics = gov.telemetry.then(|| DispatchMetrics::new(workers));
     let mut flows = FlowTable::new();
-    let mut timers: TimerMgr<String> = TimerMgr::new();
-    let mut owner: HashMap<String, usize> = HashMap::new();
-    let mut first_seen: Vec<String> = Vec::new();
+    let mut timers: TimerMgr<Arc<str>> = TimerMgr::new();
+    let mut owner: HashMap<Arc<str>, FlowMeta> = HashMap::new();
+    let mut first_seen: Vec<Arc<str>> = Vec::new();
     let mut buf: Vec<Vec<ShardItem>> = (0..workers).map(|_| Vec::new()).collect();
     let mut flows_expired = 0u64;
     let mut n_packets = 0u64;
     let mut last_ts = Time::ZERO;
 
-    let flush =
-        |pool: &WorkPool<ShardState>, buf: &mut Vec<ShardItem>, shard: usize| -> RtResult<()> {
-            if buf.is_empty() {
-                return Ok(());
-            }
-            let items = std::mem::take(buf);
-            pool.submit(shard, move |st| {
-                for item in items {
-                    st.process(item);
-                }
-            })
-        };
-
-    for (slot, pkt) in packets.iter().enumerate() {
-        let slot = slot as u64;
+    for slot in 0..trace.len() {
+        let slot_u64 = slot as u64;
+        let (frame_data, ts) = trace.frame(slot);
         n_packets += 1;
-        last_ts = pkt.ts;
+        last_ts = ts;
         let _o = profiler.enter(Component::Other);
         if let Some(t) = &dtel {
             t.packets.inc();
         }
-        let Ok(d) = decode_ethernet(pkt) else {
+        let Ok(f) = decode_frame(frame_data, ts) else {
             continue;
         };
-        let shard = (shard_hash(&d) % workers as u64) as usize;
-        let delivery = flows.process(&d);
+        let shard = (shard_hash_frame(&f) % workers as u64) as usize;
+        let delivery = flows.process_shared(&f, frame_data, trace.frame_offset(slot));
         let uid = delivery.flow.uid.clone();
         let id = delivery.flow.id;
         let is_orig = delivery.is_orig;
         let finished = delivery.finished_now;
         let payload = delivery.payload;
-        if !owner.contains_key(&uid) {
-            owner.insert(uid.clone(), shard);
+        if !owner.contains_key(&*uid) {
+            owner.insert(uid.clone(), FlowMeta { shard, live: false });
             first_seen.push(uid.clone());
             if let Some(t) = &mut dtel {
                 t.flows_opened.inc();
                 t.emit(
                     Key {
-                        major: slot,
+                        major: slot_u64,
                         phase: PH_FLOW,
                     },
                     "flow_open",
                     &uid,
-                    pkt.ts,
+                    ts,
                 );
+            }
+        }
+        // Track whether the owning shard will hold parser state after this
+        // delivery, so the end-of-trace flush only targets live flows. The
+        // standard HTTP parser is created on any delivery and kept until
+        // eviction (its `finish` is idempotent); a BinPAC++ session exists
+        // iff payload arrived since the last finish/teardown. Quarantined
+        // flows stay "live" here — the owning shard's presence check makes
+        // their flush a no-op, matching the sequential pipeline.
+        if proto == Proto::Http {
+            let m = owner.get_mut(&*uid).expect("flow just recorded");
+            match stack {
+                ParserStack::Standard => m.live = true,
+                ParserStack::Binpac => {
+                    if !payload.is_empty() {
+                        m.live = true;
+                    }
+                    if finished {
+                        m.live = false;
+                    }
+                }
             }
         }
         if finished {
@@ -784,26 +1030,26 @@ fn run_parallel(
                 t.flows_closed.inc();
                 t.emit(
                     Key {
-                        major: slot,
+                        major: slot_u64,
                         phase: PH_FLOW,
                     },
                     "flow_close",
                     &uid,
-                    pkt.ts,
+                    ts,
                 );
             }
         }
         buf[shard].push(ShardItem::Delivery {
-            slot,
+            slot: slot_u64,
             uid: uid.clone(),
             id,
             is_orig,
-            ts: pkt.ts,
+            ts,
             payload,
             finished,
         });
-        if buf[shard].len() >= BATCH {
-            flush(&pool, &mut buf[shard], shard)?;
+        if buf[shard].len() >= batch {
+            flush_shard(&mut txs[shard], &mut buf[shard], dmetrics.as_ref(), shard)?;
         }
 
         // Idle-flow expiry is a *global* decision: the dispatcher's timer
@@ -811,27 +1057,29 @@ fn run_parallel(
         // drop its state. Shard-local sweeps would fire at different
         // packet positions for different worker counts.
         if let Some(ms) = gov.idle_timeout_ms {
-            timers.schedule(pkt.ts + Interval::from_millis(ms as i64), uid.clone());
-            if !timers.advance(pkt.ts).is_empty() {
+            timers.schedule(ts + Interval::from_millis(ms as i64), uid.clone());
+            if !timers.advance(ts).is_empty() {
                 let cutoff =
-                    Time::from_nanos(pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)));
+                    Time::from_nanos(ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)));
                 for dead in flows.expire_idle_uids(cutoff) {
-                    if let Some(&w) = owner.get(&dead) {
+                    if let Some(m) = owner.get_mut(&*dead) {
+                        m.live = false;
+                        let w = m.shard;
                         buf[w].push(ShardItem::Evict { uid: dead.clone() });
-                        if buf[w].len() >= BATCH {
-                            flush(&pool, &mut buf[w], w)?;
+                        if buf[w].len() >= batch {
+                            flush_shard(&mut txs[w], &mut buf[w], dmetrics.as_ref(), w)?;
                         }
                     }
                     if let Some(t) = &mut dtel {
                         t.flows_expired.inc();
                         t.emit(
                             Key {
-                                major: slot,
+                                major: slot_u64,
                                 phase: PH_TIMER,
                             },
                             "timer_expiry",
                             &dead,
-                            pkt.ts,
+                            ts,
                         );
                     }
                     flows_expired += 1;
@@ -842,29 +1090,32 @@ fn run_parallel(
 
     // End of trace. For HTTP, flush still-open flows in the order the
     // sequential pipeline uses: first-seen for the standard stack,
-    // sorted-uid for BinPAC++ (its `live_uids()` teardown order). The
-    // dispatcher cannot know which flows still hold parser state (closed,
-    // expired, and quarantined ones don't), so it over-sends every
-    // first-seen uid and the owning shard presence-checks; dead candidates
-    // leave harmless gaps in the major sequence. Each candidate gets a
-    // parse major and a dispatch major so all parses precede all
-    // dispatches, as in the sequential batch flush.
-    let base = packets.len() as u64;
+    // sorted-uid for BinPAC++ (its `live_uids()` teardown order). Only
+    // flows the owner map still marks live are candidates — closed and
+    // expired ones dropped their parser state already, so sending them
+    // would be wasted traffic (the shard presence check still guards the
+    // remaining over-approximation from quarantined flows). Each
+    // candidate gets a parse major and a dispatch major so all parses
+    // precede all dispatches, as in the sequential batch flush.
+    let base = trace.len() as u64;
     let mut n_cand = 0u64;
     if proto == Proto::Http {
-        let mut cands: Vec<&String> = first_seen.iter().collect();
+        let mut cands: Vec<&Arc<str>> = first_seen.iter().filter(|u| owner[&***u].live).collect();
         if stack == ParserStack::Binpac {
             cands.sort();
         }
         n_cand = cands.len() as u64;
         for (r, uid) in cands.into_iter().enumerate() {
-            let w = owner[uid];
+            let w = owner[&**uid].shard;
             buf[w].push(ShardItem::FinishFlow {
                 parse_major: base + r as u64,
                 dispatch_major: base + n_cand + r as u64,
                 uid: uid.clone(),
                 ts: last_ts,
             });
+            if buf[w].len() >= batch {
+                flush_shard(&mut txs[w], &mut buf[w], dmetrics.as_ref(), w)?;
+            }
         }
     }
     let done_major = base + 2 * n_cand;
@@ -873,28 +1124,19 @@ fn run_parallel(
             major: done_major,
             ts: last_ts,
         });
-        flush(&pool, b, w)?;
+        flush_shard(&mut txs[w], b, dmetrics.as_ref(), w)?;
     }
 
-    // Harvest: one report job per shard, queued behind all its work.
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, ShardReport)>();
-    for w in 0..workers {
-        let tx = tx.clone();
-        pool.submit(w, move |st| {
-            let _ = tx.send((w, harvest(st)));
-        })?;
-    }
-    drop(tx);
-    let mut reports: Vec<(usize, ShardReport)> = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let r = rx
-            .recv()
+    // Closing the rings is the shutdown signal: each shard drains what's
+    // buffered, harvests, and returns its report through `join`.
+    drop(txs);
+    let mut reports: Vec<ShardReport> = Vec::with_capacity(workers);
+    for h in handles {
+        let r = h
+            .join()
             .map_err(|_| RtError::runtime("pipeline shard terminated unexpectedly"))?;
         reports.push(r);
     }
-    pool.shutdown();
-    reports.sort_by_key(|(w, _)| *w);
-    let reports: Vec<ShardReport> = reports.into_iter().map(|(_, r)| r).collect();
 
     // An ungoverned error aborts the run with the globally-first failure,
     // exactly as the sequential pipeline's early return would.
@@ -907,62 +1149,94 @@ fn run_parallel(
         return Err(e.clone());
     }
 
-    // Deterministic merge: sort every tagged stream by (key, shard, seq)
-    // and strip the tags.
-    fn merge_stream<T>(parts: Vec<Vec<(usize, Tagged<T>)>>) -> Vec<T> {
-        let mut all: Vec<(Key, usize, u64, T)> = parts
-            .into_iter()
-            .flatten()
-            .map(|(shard, (key, seq, v))| (key, shard, seq, v))
-            .collect();
-        all.sort_by_key(|a| (a.0, a.1, a.2));
-        all.into_iter().map(|(_, _, _, v)| v).collect()
+    // Deterministic epoch merge: each shard contributes two key-sorted
+    // block streams (in-trace + end-of-trace-parse, and end-of-trace
+    // dispatch + done) and the dispatcher one; ordering the block
+    // *descriptors* by `(key, rank)` and concatenating each category's
+    // ranges reproduces the sequential emission order without touching
+    // individual lines. Only the `bro_done` key repeats across shards;
+    // the shard-index rank breaks that tie (dispatcher ranks last, after
+    // all shards, though its phases never collide with shard phases).
+    #[derive(Clone, Copy)]
+    struct Desc {
+        key: Key,
+        rank: usize,
+        tail: bool,
+        idx: usize,
     }
-    let tag = |w: usize, v: Vec<Tagged<String>>| -> Vec<(usize, Tagged<String>)> {
-        v.into_iter().map(|t| (w, t)).collect()
-    };
+    let mut descs: Vec<Desc> = Vec::new();
+    for (w, r) in reports.iter().enumerate() {
+        for (i, b) in r.blocks_main.iter().enumerate() {
+            descs.push(Desc {
+                key: b.key,
+                rank: w,
+                tail: false,
+                idx: i,
+            });
+        }
+        for (i, b) in r.blocks_tail.iter().enumerate() {
+            descs.push(Desc {
+                key: b.key,
+                rank: w,
+                tail: true,
+                idx: i,
+            });
+        }
+    }
+    if let Some(t) = &dtel {
+        for (i, b) in t.blocks.iter().enumerate() {
+            descs.push(Desc {
+                key: b.key,
+                rank: workers,
+                tail: false,
+                idx: i,
+            });
+        }
+    }
+    descs.sort_by_key(|d| (d.key, d.rank));
 
-    let mut reports = reports;
-    let mut log_streams: Vec<Vec<String>> = Vec::new();
-    for i in 0..LOG_STREAMS.len() {
-        let parts = reports
-            .iter_mut()
-            .enumerate()
-            .map(|(w, r)| tag(w, std::mem::take(&mut r.logs[i])))
-            .collect();
-        log_streams.push(merge_stream(parts));
+    let mut logs_out: [Vec<String>; 3] = Default::default();
+    let mut output: Vec<String> = Vec::new();
+    let mut flow_errors: Vec<FlowError> = Vec::new();
+    let mut merged_events: Vec<String> = Vec::new();
+    let mut devents = dtel
+        .as_mut()
+        .map(|t| std::mem::take(&mut t.events))
+        .unwrap_or_default();
+    for d in &descs {
+        if d.rank == workers {
+            let b = dtel.as_ref().expect("dispatcher block").blocks[d.idx];
+            for s in &mut devents[b.events.0 as usize..b.events.1 as usize] {
+                merged_events.push(std::mem::take(s));
+            }
+            continue;
+        }
+        let r = &mut reports[d.rank];
+        let b = if d.tail {
+            r.blocks_tail[d.idx]
+        } else {
+            r.blocks_main[d.idx]
+        };
+        for (c, out) in logs_out.iter_mut().enumerate() {
+            let (s, e) = b.logs[c];
+            for v in &mut r.effects.logs[c][s as usize..e as usize] {
+                out.push(std::mem::take(v));
+            }
+        }
+        for v in &mut r.effects.output[b.output.0 as usize..b.output.1 as usize] {
+            output.push(std::mem::take(v));
+        }
+        flow_errors.extend(
+            r.effects.flow_errors[b.flow_errors.0 as usize..b.flow_errors.1 as usize]
+                .iter()
+                .cloned(),
+        );
+        for v in &mut r.effects.events[b.events.0 as usize..b.events.1 as usize] {
+            merged_events.push(std::mem::take(v));
+        }
     }
-    let output = merge_stream(
-        reports
-            .iter_mut()
-            .enumerate()
-            .map(|(w, r)| tag(w, std::mem::take(&mut r.output)))
-            .collect(),
-    );
-    let flow_errors: Vec<FlowError> = merge_stream(
-        reports
-            .iter_mut()
-            .enumerate()
-            .map(|(w, r)| {
-                std::mem::take(&mut r.flow_errors)
-                    .into_iter()
-                    .map(|t| (w, t))
-                    .collect()
-            })
-            .collect(),
-    );
-    // The global event stream: dispatcher events (phases 0/2) interleaved
-    // with shard events (phases 1/3), then the quarantine events re-emitted
-    // from the merged ledger — the order `PipelineTelemetry::finish` uses.
-    let mut event_parts: Vec<Vec<(usize, Tagged<String>)>> = reports
-        .iter_mut()
-        .enumerate()
-        .map(|(w, r)| tag(w, std::mem::take(&mut r.events)))
-        .collect();
-    if let Some(t) = &mut dtel {
-        event_parts.push(tag(usize::MAX, std::mem::take(&mut t.events)));
-    }
-    let mut merged_events = merge_stream(event_parts);
+    // Quarantine events trail the merged stream in merged-ledger order —
+    // the order `PipelineTelemetry::finish` uses.
     if gov.telemetry {
         for fe in &flow_errors {
             let ev = TelemetryEvent {
@@ -987,15 +1261,19 @@ fn run_parallel(
         }
         None => TelemetrySnapshot::default(),
     };
+    let dispatch_telemetry = dmetrics
+        .as_ref()
+        .map(|m| m.telemetry.snapshot())
+        .unwrap_or_default();
     for r in &reports {
         profiler.absorb(&r.profiler);
     }
 
-    let mut log_iter = log_streams.into_iter();
+    let [http_log, files_log, dns_log] = logs_out;
     Ok(AnalysisResult {
-        http_log: log_iter.next().unwrap_or_default(),
-        files_log: log_iter.next().unwrap_or_default(),
-        dns_log: log_iter.next().unwrap_or_default(),
+        http_log,
+        files_log,
+        dns_log,
         output,
         profiler,
         events: reports.iter().map(|r| r.n_events).sum(),
@@ -1005,5 +1283,6 @@ fn run_parallel(
         peak_flow_bytes: reports.iter().map(|r| r.peak_flow_bytes).max().unwrap_or(0),
         parse_failures: reports.iter().map(|r| r.parse_failures).sum(),
         telemetry,
+        dispatch_telemetry,
     })
 }

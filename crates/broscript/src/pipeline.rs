@@ -9,6 +9,7 @@
 //! and other (decode/flow bookkeeping).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use binpac::dns::BinpacDns;
 use binpac::http::BinpacHttp;
@@ -63,6 +64,14 @@ pub struct AnalysisResult {
     /// ("Observability"). Contains no wall-time fields: equal traces
     /// yield byte-identical snapshots.
     pub telemetry: TelemetrySnapshot,
+    /// Dispatch-plane metrics from the parallel pipeline (batch counts,
+    /// batch-fill histogram, per-shard queue depths). Kept separate from
+    /// [`telemetry`](Self::telemetry) because batch boundaries depend on
+    /// the worker count: the merged snapshot stays byte-identical for any
+    /// `N`, while this one is deterministic only for a fixed `(trace, N,
+    /// batch)` configuration. Empty for sequential runs or when
+    /// [`Governance::telemetry`] is off.
+    pub dispatch_telemetry: TelemetrySnapshot,
 }
 
 /// Resource-governance policy for an analysis run. The default is the
@@ -134,7 +143,7 @@ struct PipelineTelemetry {
     flows_quarantined: Counter,
     parse_failures: Counter,
     payload_bytes: Histogram,
-    seen: HashSet<String>,
+    seen: HashSet<Arc<str>>,
 }
 
 impl PipelineTelemetry {
@@ -155,21 +164,23 @@ impl PipelineTelemetry {
         }
     }
 
-    /// One decoded delivery: first sighting of a uid opens the flow.
-    fn delivery(&mut self, uid: &str, ts: Time, finished: bool) {
-        if !self.seen.contains(uid) {
-            self.seen.insert(uid.to_owned());
+    /// One decoded delivery: first sighting of a uid opens the flow. The
+    /// uid is the flow table's interned `Arc<str>`, so recording a new
+    /// flow bumps a refcount instead of copying the string.
+    fn delivery(&mut self, uid: &Arc<str>, ts: Time, finished: bool) {
+        if !self.seen.contains(&**uid) {
+            self.seen.insert(uid.clone());
             self.flows_opened.inc();
             self.telemetry.emit(
                 "flow_open",
-                vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())],
+                vec![("uid", (&**uid).into()), ("ts_ns", ts.nanos().into())],
             );
         }
         if finished {
             self.flows_closed.inc();
             self.telemetry.emit(
                 "flow_close",
-                vec![("uid", uid.into()), ("ts_ns", ts.nanos().into())],
+                vec![("uid", (&**uid).into()), ("ts_ns", ts.nanos().into())],
             );
         }
     }
@@ -266,10 +277,10 @@ pub fn run_http_analysis_governed(
     }
 
     let mut flows = FlowTable::new();
-    let mut std_parsers: HashMap<String, HttpConnParser> = HashMap::new();
+    let mut std_parsers: HashMap<Arc<str>, HttpConnParser> = HashMap::new();
     // First-seen uid order, so the end-of-trace flush below is
     // deterministic (HashMap iteration order is not).
-    let mut std_order: Vec<String> = Vec::new();
+    let mut std_order: Vec<Arc<str>> = Vec::new();
     let mut bp = match stack {
         ParserStack::Binpac => {
             let mut b = BinpacHttp::new(OptLevel::Full, Some(profiler.clone()))?;
@@ -286,8 +297,8 @@ pub fn run_http_analysis_governed(
         }
         ParserStack::Standard => None,
     };
-    let mut timers: TimerMgr<String> = TimerMgr::new();
-    let mut quarantined: HashSet<String> = HashSet::new();
+    let mut timers: TimerMgr<Arc<str>> = TimerMgr::new();
+    let mut quarantined: HashSet<Arc<str>> = HashSet::new();
     let mut flow_errors: Vec<FlowError> = Vec::new();
     let mut flows_expired = 0u64;
     let mut n_events = 0u64;
@@ -316,7 +327,7 @@ pub fn run_http_analysis_governed(
                 t.delivery(&uid, pkt.ts, finished);
             }
 
-            if !quarantined.contains(&uid) {
+            if !quarantined.contains(&*uid) {
                 if let Some(t) = &tel {
                     if !payload.is_empty() {
                         t.parsed(payload.len());
@@ -325,12 +336,12 @@ pub fn run_http_analysis_governed(
                 match stack {
                     ParserStack::Standard => {
                         let _pp = profiler.enter(Component::ProtocolParsing);
-                        if !std_parsers.contains_key(&uid) {
+                        if !std_parsers.contains_key(&*uid) {
                             std_order.push(uid.clone());
                         }
                         let parser = std_parsers
                             .entry(uid.clone())
-                            .or_insert_with(|| HttpConnParser::new(uid.clone(), id));
+                            .or_insert_with(|| HttpConnParser::new(uid.to_string(), id));
                         if !payload.is_empty() {
                             parser.feed(is_orig, &payload, pkt.ts, &mut events);
                         }
@@ -458,6 +469,7 @@ pub fn run_http_analysis_governed(
         peak_flow_bytes,
         parse_failures: 0,
         telemetry,
+        dispatch_telemetry: TelemetrySnapshot::default(),
     })
 }
 
@@ -563,7 +575,7 @@ pub fn run_dns_analysis_governed(
         }
         ParserStack::Standard => None,
     };
-    let mut timers: TimerMgr<String> = TimerMgr::new();
+    let mut timers: TimerMgr<Arc<str>> = TimerMgr::new();
     let mut flow_errors: Vec<FlowError> = Vec::new();
     let mut flows_expired = 0u64;
     let mut parse_failures = 0u64;
@@ -673,6 +685,7 @@ pub fn run_dns_analysis_governed(
         peak_flow_bytes: 0,
         parse_failures,
         telemetry,
+        dispatch_telemetry: TelemetrySnapshot::default(),
     })
 }
 

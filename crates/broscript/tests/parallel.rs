@@ -27,6 +27,7 @@ fn opts(workers: usize) -> PipelineOptions {
     PipelineOptions {
         workers,
         governance: chaos_gov(),
+        ..Default::default()
     }
 }
 
@@ -153,11 +154,36 @@ fn ungoverned_fatal_error_matches_sequential() {
             &PipelineOptions {
                 workers: n,
                 governance: gov,
+                ..Default::default()
             },
         ) else {
             panic!("parallel run x{n} must abort too")
         };
         assert_eq!(seq, par, "fatal error x{n}");
+    }
+}
+
+#[test]
+fn batch_size_never_changes_output() {
+    // The dispatch batch size is pure transport: from single-item
+    // submissions to batches larger than the whole trace, every worker
+    // count must produce byte-identical analysis output.
+    let trace = chaos_http_trace(&ChaosConfig::new(0xBA7C4));
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let base = run_http_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(1))
+            .unwrap_or_else(|e| panic!("{stack:?} base: {e}"));
+        for n in [1, 2, 4, 7] {
+            for batch in [1, 3, 64, 100_000] {
+                let o = PipelineOptions {
+                    workers: n,
+                    batch,
+                    governance: chaos_gov(),
+                };
+                let r = run_http_analysis_parallel(&trace, stack, Engine::Interpreted, &o)
+                    .unwrap_or_else(|e| panic!("{stack:?} x{n} batch {batch}: {e}"));
+                assert_identical(&base, &r, &format!("http {stack:?} x{n} batch {batch}"));
+            }
+        }
     }
 }
 
@@ -192,6 +218,7 @@ fn tiering_modes_parallel_output_identical() {
                 &PipelineOptions {
                     workers: n,
                     governance: gov,
+                    ..Default::default()
                 },
             )
             .unwrap_or_else(|e| panic!("{mode:?} x{n}: {e}"));
@@ -215,6 +242,7 @@ fn tiering_telemetry_merge_is_deterministic() {
     let opts = PipelineOptions {
         workers: 4,
         governance: gov,
+        ..Default::default()
     };
     let a = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
         .expect("first run");

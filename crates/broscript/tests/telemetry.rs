@@ -128,6 +128,64 @@ fn counters_mirror_result_fields() {
 }
 
 #[test]
+fn dispatch_telemetry_is_deterministic_and_separate() {
+    // Dispatch-plane metrics (batch counts, fill histogram, per-shard
+    // queue depths) depend on the worker count and batch size, so they
+    // live in `dispatch_telemetry`, never in the merged analysis
+    // snapshot — and for a fixed (trace, N, batch) they must be
+    // byte-identical across reruns.
+    use broscript::parallel::{run_http_analysis_parallel, PipelineOptions};
+
+    let trace = http_trace(&SynthConfig::new(53, 10));
+    let opts = PipelineOptions {
+        workers: 4,
+        batch: 16,
+        governance: gov(true),
+    };
+    let a = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
+        .unwrap();
+    let b = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
+        .unwrap();
+    assert_eq!(a.dispatch_telemetry, b.dispatch_telemetry);
+    assert_eq!(a.dispatch_telemetry.to_json(), b.dispatch_telemetry.to_json());
+
+    let d = &a.dispatch_telemetry;
+    assert!(d.counter("pipeline.dispatch_batches") > 0);
+    let (_, fill) = d
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "pipeline.batch_fill")
+        .expect("batch-fill histogram");
+    assert_eq!(fill.count, d.counter("pipeline.dispatch_batches"));
+    // Every shard that received items reports a depth gauge and an item
+    // counter, and the item counters sum to the fill histogram's total.
+    let items: u64 = d
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("pipeline.shard_items."))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(items, fill.sum);
+    assert!(d
+        .gauges
+        .iter()
+        .any(|(k, v)| k.starts_with("pipeline.queue_depth.") && *v > 0));
+
+    // The analysis snapshot stays free of dispatch metrics (they would
+    // break byte-identity across worker counts), and sequential runs
+    // carry an empty dispatch snapshot.
+    assert!(!a
+        .telemetry
+        .counters
+        .iter()
+        .any(|(k, _)| k.starts_with("pipeline.dispatch") || k.starts_with("pipeline.shard_items")));
+    let seq = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov(true))
+        .unwrap();
+    assert_eq!(seq.dispatch_telemetry, Default::default());
+    assert_eq!(a.telemetry, seq.telemetry, "merged snapshot matches sequential");
+}
+
+#[test]
 fn dns_pipeline_reports_telemetry_too() {
     let trace = dns_trace(&SynthConfig::new(5, 40));
     for stack in [ParserStack::Standard, ParserStack::Binpac] {

@@ -30,6 +30,7 @@ pub mod overlay;
 pub mod profile;
 pub mod regexp;
 pub mod sha1;
+pub mod spsc;
 pub mod telemetry;
 pub mod time;
 pub mod timer;

@@ -54,6 +54,17 @@ impl Default for BuildOptions {
     }
 }
 
+/// The `Send` front-end half of a build: linked, checked, optimized IR
+/// waiting for per-thread bytecode lowering. Produced by
+/// [`Program::front_end`], consumed by [`Program::from_ir`].
+#[derive(Clone)]
+pub struct ProgramIr {
+    linked: Linked,
+    pass_stats: PassStats,
+    warnings: Vec<check::Diagnostic>,
+    options: BuildOptions,
+}
+
 /// A ready-to-run HILTI program: linked IR plus compiled bytecode plus the
 /// execution context (thread-local state of virtual thread 0).
 pub struct Program {
@@ -130,6 +141,30 @@ impl Program {
 
     /// The full build pipeline with all options.
     pub fn build(modules: Vec<Module>, opt: OptLevel, options: BuildOptions) -> RtResult<Program> {
+        Self::from_ir(Self::front_end_modules(modules, opt, options)?)
+    }
+
+    /// The front half of [`Program::build`]: parse → link → check →
+    /// prune → optimize → instrument, stopping before bytecode. The
+    /// result is `Clone + Send`, so a dispatcher can run the expensive
+    /// front end **once** and every worker thread materializes its own
+    /// [`Program`] from a clone with [`Program::from_ir`] — bytecode and
+    /// execution context stay thread-private (inline-cache sites are
+    /// `Rc`-based and must never be shared across threads).
+    pub fn front_end(srcs: &[&str], opt: OptLevel, options: BuildOptions) -> RtResult<ProgramIr> {
+        let modules = srcs
+            .iter()
+            .map(|s| crate::parser::parse_module(s))
+            .collect::<RtResult<Vec<_>>>()?;
+        Self::front_end_modules(modules, opt, options)
+    }
+
+    /// Like [`Program::front_end`], from in-memory modules.
+    pub fn front_end_modules(
+        modules: Vec<Module>,
+        opt: OptLevel,
+        options: BuildOptions,
+    ) -> RtResult<ProgramIr> {
         let mut linked = link_with_priorities(modules)?;
         let warnings = check::check(&linked)?;
         if let Some(roots) = &options.prune_roots {
@@ -140,6 +175,25 @@ impl Program {
         if options.instrument {
             crate::passes::instrument_functions(&mut linked);
         }
+        Ok(ProgramIr {
+            linked,
+            pass_stats,
+            warnings,
+            options,
+        })
+    }
+
+    /// The back half of [`Program::build`]: lower the optimized IR to
+    /// bytecode, run static specialization, and wire a fresh execution
+    /// context. Cheap relative to the front end — this is the per-thread
+    /// share of a build.
+    pub fn from_ir(ir: ProgramIr) -> RtResult<Program> {
+        let ProgramIr {
+            linked,
+            pass_stats,
+            warnings,
+            options,
+        } = ir;
         let mut compiled = compile(&linked)?;
         // Adaptive tiering replaces the static pass entirely: all functions
         // start generic and hot ones re-specialize with runtime feedback.

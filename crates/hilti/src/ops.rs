@@ -1944,7 +1944,7 @@ mod tests {
     #[test]
     fn struct_field_access_by_ident() {
         let mut ctx = TestCtx::new();
-        let s = instantiate(&Type::Struct(Rc::from("Conn")), &[], &mut ctx).unwrap();
+        let s = instantiate(&Type::Struct(std::sync::Arc::from("Conn")), &[], &mut ctx).unwrap();
         eval(
             StructSet,
             &[s.clone(), Value::str("A")],
@@ -2038,7 +2038,7 @@ mod tests {
     fn classifier_ops_roundtrip() {
         let mut ctx = TestCtx::new();
         let c = instantiate(
-            &Type::Classifier(Rc::new(Type::Any), Rc::new(Type::Bool)),
+            &Type::Classifier(std::sync::Arc::new(Type::Any), std::sync::Arc::new(Type::Bool)),
             &[],
             &mut ctx,
         )

@@ -491,7 +491,7 @@ impl Parser {
             "interval" => Type::Interval,
             "any" => Type::Any,
             "regexp" => Type::Regexp,
-            "callable" => Type::Callable(std::rc::Rc::new(Vec::new()), std::rc::Rc::new(Type::Any)),
+            "callable" => Type::Callable(std::sync::Arc::new(Vec::new()), std::sync::Arc::new(Type::Any)),
             "matcher" => Type::Matcher,
             "timer_mgr" => Type::TimerMgr,
             "file" => Type::File,
@@ -520,7 +520,7 @@ impl Parser {
                     "list" => Type::list(inner),
                     "vector" => Type::vector(inner),
                     "set" => Type::set(inner),
-                    _ => Type::Channel(std::rc::Rc::new(inner)),
+                    _ => Type::Channel(std::sync::Arc::new(inner)),
                 }
             }
             "map" | "classifier" => {
@@ -532,7 +532,7 @@ impl Parser {
                 if head == "map" {
                     Type::map(k, v)
                 } else {
-                    Type::Classifier(std::rc::Rc::new(k), std::rc::Rc::new(v))
+                    Type::Classifier(std::sync::Arc::new(k), std::sync::Arc::new(v))
                 }
             }
             "tuple" => {
@@ -550,13 +550,13 @@ impl Parser {
             other => {
                 // A user-defined type: struct/enum/overlay reference.
                 match self.module.types.get(other) {
-                    Some(TypeDef::Struct(_)) => Type::Struct(std::rc::Rc::from(other)),
-                    Some(TypeDef::Enum(_)) => Type::Enum(std::rc::Rc::from(other)),
-                    Some(TypeDef::Bitset(_)) => Type::Bitset(std::rc::Rc::from(other)),
-                    Some(TypeDef::Overlay(_)) => Type::Overlay(std::rc::Rc::from(other)),
+                    Some(TypeDef::Struct(_)) => Type::Struct(std::sync::Arc::from(other)),
+                    Some(TypeDef::Enum(_)) => Type::Enum(std::sync::Arc::from(other)),
+                    Some(TypeDef::Bitset(_)) => Type::Bitset(std::sync::Arc::from(other)),
+                    Some(TypeDef::Overlay(_)) => Type::Overlay(std::sync::Arc::from(other)),
                     // Forward references resolve to struct (the common case,
                     // e.g. `ref<connection>` used before its definition).
-                    None => Type::Struct(std::rc::Rc::from(other)),
+                    None => Type::Struct(std::sync::Arc::from(other)),
                 }
             }
         })

@@ -7,7 +7,7 @@
 //! analyses".
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A HILTI type.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,37 +30,37 @@ pub enum Type {
     Time,
     Interval,
     /// Named enum type.
-    Enum(Rc<str>),
+    Enum(Arc<str>),
     /// Named bitset type (a set of named bits in an int<64>).
-    Bitset(Rc<str>),
-    Tuple(Rc<Vec<Type>>),
-    List(Rc<Type>),
-    Vector(Rc<Type>),
-    Set(Rc<Type>),
-    Map(Rc<Type>, Rc<Type>),
+    Bitset(Arc<str>),
+    Tuple(Arc<Vec<Type>>),
+    List(Arc<Type>),
+    Vector(Arc<Type>),
+    Set(Arc<Type>),
+    Map(Arc<Type>, Arc<Type>),
     /// Named struct type; layout looked up in the module.
-    Struct(Rc<str>),
+    Struct(Arc<str>),
     /// Reference to a heap value. In this implementation references are
     /// implicit (values of heap types share state on copy), but `ref<T>`
     /// remains in the surface syntax and the type checker treats it as
     /// transparent.
-    Ref(Rc<Type>),
+    Ref(Arc<Type>),
     /// Compiled regular expression (possibly a set of patterns).
     Regexp,
     /// In-progress incremental regexp match.
     Matcher,
-    Channel(Rc<Type>),
+    Channel(Arc<Type>),
     /// Packet classifier with rule-struct and value types.
-    Classifier(Rc<Type>, Rc<Type>),
+    Classifier(Arc<Type>, Arc<Type>),
     /// Named overlay type.
-    Overlay(Rc<str>),
+    Overlay(Arc<str>),
     Timer,
     TimerMgr,
     File,
     /// Input source for packets (trace file / interface).
     IOSrc,
     /// Bound function value.
-    Callable(Rc<Vec<Type>>, Rc<Type>),
+    Callable(Arc<Vec<Type>>, Arc<Type>),
     Exception,
     /// Caught-exception binder in `catch` clauses, or a wildcard in
     /// signatures of overloaded instructions.
@@ -126,27 +126,27 @@ impl Type {
     }
 
     pub fn list(t: Type) -> Type {
-        Type::List(Rc::new(t))
+        Type::List(Arc::new(t))
     }
 
     pub fn vector(t: Type) -> Type {
-        Type::Vector(Rc::new(t))
+        Type::Vector(Arc::new(t))
     }
 
     pub fn set(t: Type) -> Type {
-        Type::Set(Rc::new(t))
+        Type::Set(Arc::new(t))
     }
 
     pub fn map(k: Type, v: Type) -> Type {
-        Type::Map(Rc::new(k), Rc::new(v))
+        Type::Map(Arc::new(k), Arc::new(v))
     }
 
     pub fn tuple(ts: Vec<Type>) -> Type {
-        Type::Tuple(Rc::new(ts))
+        Type::Tuple(Arc::new(ts))
     }
 
     pub fn reference(t: Type) -> Type {
-        Type::Ref(Rc::new(t))
+        Type::Ref(Arc::new(t))
     }
 }
 

@@ -118,6 +118,41 @@ impl DecodedPacket {
     }
 }
 
+/// A decoded frame that *references* its payload instead of copying it:
+/// the addressing and transport metadata plus the payload's byte range
+/// within the original frame. This is the zero-copy counterpart of
+/// [`DecodedPacket`] used by the parallel pipeline, whose deliveries
+/// carry `(offset, len)` slices into a shared immutable trace buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedFrame {
+    pub ts: Time,
+    pub src: Addr,
+    pub dst: Addr,
+    pub sport: u16,
+    pub dport: u16,
+    pub transport: Transport,
+    /// Application payload range within the frame (after all headers).
+    pub payload: std::ops::Range<usize>,
+    /// Offset of the IP header within the original frame (for overlays).
+    pub ip_offset: usize,
+}
+
+impl DecodedFrame {
+    pub fn src_port(&self) -> Port {
+        Port {
+            number: self.sport,
+            protocol: self.transport.protocol(),
+        }
+    }
+
+    pub fn dst_port(&self) -> Port {
+        Port {
+            number: self.dport,
+            protocol: self.transport.protocol(),
+        }
+    }
+}
+
 const ETHERTYPE_IPV4: u16 = 0x0800;
 const ETHERTYPE_IPV6: u16 = 0x86dd;
 const IPPROTO_TCP: u8 = 6;
@@ -125,20 +160,35 @@ const IPPROTO_UDP: u8 = 17;
 
 /// Decodes an Ethernet frame down to the transport payload.
 pub fn decode_ethernet(pkt: &RawPacket) -> Result<DecodedPacket, DecodeError> {
-    let data = &pkt.data;
+    let f = decode_frame(&pkt.data, pkt.ts)?;
+    Ok(DecodedPacket {
+        ts: f.ts,
+        src: f.src,
+        dst: f.dst,
+        sport: f.sport,
+        dport: f.dport,
+        payload: pkt.data[f.payload.clone()].to_vec(),
+        transport: f.transport,
+        ip_offset: f.ip_offset,
+    })
+}
+
+/// Decodes an Ethernet frame without copying the payload: all validation
+/// of [`decode_ethernet`], but the payload stays a byte range into
+/// `data`.
+pub fn decode_frame(data: &[u8], ts: Time) -> Result<DecodedFrame, DecodeError> {
     if data.len() < 14 {
         return Err(DecodeError::TooShort("ethernet header"));
     }
     let ethertype = u16::from_be_bytes([data[12], data[13]]);
     match ethertype {
-        ETHERTYPE_IPV4 => decode_ipv4(pkt, 14),
-        ETHERTYPE_IPV6 => decode_ipv6(pkt, 14),
+        ETHERTYPE_IPV4 => decode_ipv4(data, ts, 14),
+        ETHERTYPE_IPV6 => decode_ipv6(data, ts, 14),
         other => Err(DecodeError::UnsupportedEtherType(other)),
     }
 }
 
-fn decode_ipv4(pkt: &RawPacket, off: usize) -> Result<DecodedPacket, DecodeError> {
-    let data = &pkt.data;
+fn decode_ipv4(data: &[u8], ts: Time, off: usize) -> Result<DecodedFrame, DecodeError> {
     if data.len() < off + 20 {
         return Err(DecodeError::TooShort("ipv4 header"));
     }
@@ -167,11 +217,10 @@ fn decode_ipv4(pkt: &RawPacket, off: usize) -> Result<DecodedPacket, DecodeError
         data[off + 18],
         data[off + 19],
     ]);
-    decode_transport(pkt, off, off + ihl, off + total_len, proto, src, dst)
+    decode_transport(data, ts, off, off + ihl, off + total_len, proto, src, dst)
 }
 
-fn decode_ipv6(pkt: &RawPacket, off: usize) -> Result<DecodedPacket, DecodeError> {
-    let data = &pkt.data;
+fn decode_ipv6(data: &[u8], ts: Time, off: usize) -> Result<DecodedFrame, DecodeError> {
     if data.len() < off + 40 {
         return Err(DecodeError::TooShort("ipv6 header"));
     }
@@ -191,7 +240,8 @@ fn decode_ipv6(pkt: &RawPacket, off: usize) -> Result<DecodedPacket, DecodeError
     // Extension headers are not chased (like the paper's parsers, we handle
     // the common case; unknown next-headers are surfaced as unsupported).
     decode_transport(
-        pkt,
+        data,
+        ts,
         off,
         off + 40,
         off + 40 + payload_len,
@@ -203,15 +253,15 @@ fn decode_ipv6(pkt: &RawPacket, off: usize) -> Result<DecodedPacket, DecodeError
 
 #[allow(clippy::too_many_arguments)]
 fn decode_transport(
-    pkt: &RawPacket,
+    data: &[u8],
+    ts: Time,
     ip_off: usize,
     tp_off: usize,
     ip_end: usize,
     proto: u8,
     src: Addr,
     dst: Addr,
-) -> Result<DecodedPacket, DecodeError> {
-    let data = &pkt.data;
+) -> Result<DecodedFrame, DecodeError> {
     match proto {
         IPPROTO_TCP => {
             if ip_end < tp_off + 20 {
@@ -237,8 +287,8 @@ fn decode_transport(
             }
             let flags = data[tp_off + 13];
             let window = u16::from_be_bytes([data[tp_off + 14], data[tp_off + 15]]);
-            Ok(DecodedPacket {
-                ts: pkt.ts,
+            Ok(DecodedFrame {
+                ts,
                 src,
                 dst,
                 sport,
@@ -249,7 +299,7 @@ fn decode_transport(
                     flags,
                     window,
                 }),
-                payload: data[tp_off + data_off..ip_end].to_vec(),
+                payload: tp_off + data_off..ip_end,
                 ip_offset: ip_off,
             })
         }
@@ -263,14 +313,14 @@ fn decode_transport(
             if udp_len < 8 || tp_off + udp_len > ip_end {
                 return Err(DecodeError::BadHeaderLength("udp"));
             }
-            Ok(DecodedPacket {
-                ts: pkt.ts,
+            Ok(DecodedFrame {
+                ts,
                 src,
                 dst,
                 sport,
                 dport,
                 transport: Transport::Udp,
-                payload: data[tp_off + 8..tp_off + udp_len].to_vec(),
+                payload: tp_off + 8..tp_off + udp_len,
                 ip_offset: ip_off,
             })
         }

@@ -8,14 +8,16 @@
 //! consumer. UDP "flows" are tracked by tuple only.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hilti_rt::addr::{Addr, Port};
 use hilti_rt::hashutil::flow_hash;
 use hilti_rt::time::Time;
 
-use crate::decode::{DecodedPacket, Transport};
+use crate::decode::{DecodedFrame, DecodedPacket, Transport};
 use crate::events::ConnId;
-use crate::reassembly::StreamReassembler;
+use crate::reassembly::{SegmentOut, StreamReassembler};
+use crate::trace::PayloadRef;
 
 /// TCP connection establishment state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,10 +32,12 @@ pub enum TcpState {
     Closing,
 }
 
-/// Per-flow record.
+/// Per-flow record. The uid is interned (`Arc<str>`): every delivery,
+/// timer, owner-map entry and parser key shares one allocation instead
+/// of cloning the string per packet.
 pub struct Flow {
     pub id: ConnId,
-    pub uid: String,
+    pub uid: Arc<str>,
     pub first_ts: Time,
     pub last_ts: Time,
     pub tcp_state: Option<TcpState>,
@@ -56,6 +60,19 @@ pub struct FlowDelivery<'a> {
     /// datagram itself).
     pub payload: Vec<u8>,
     /// True when this packet ends the connection (FIN/RST), once.
+    pub finished_now: bool,
+}
+
+/// Zero-copy counterpart of [`FlowDelivery`], produced by
+/// [`FlowTable::process_shared`]: the payload is a [`PayloadRef`] into
+/// the shared trace arena whenever the bytes are an in-order slice of
+/// the packet just processed, and an owned buffer only when reassembly
+/// had to merge buffered segments.
+pub struct FlowDeliveryShared<'a> {
+    pub flow: &'a Flow,
+    pub is_orig: bool,
+    pub established_now: bool,
+    pub payload: PayloadRef,
     pub finished_now: bool,
 }
 
@@ -89,20 +106,116 @@ impl FlowTable {
     }
 
     /// Canonical lookup key: endpoints sorted, plus the symmetric hash.
-    fn key(p: &DecodedPacket) -> (u64, Addr, Port, Addr, Port) {
-        let sp = p.src_port();
-        let dp = p.dst_port();
-        let h = flow_hash(p.src, sp, p.dst, dp);
-        if (p.src.raw(), p.sport) <= (p.dst.raw(), p.dport) {
-            (h, p.src, sp, p.dst, dp)
+    fn key(
+        src: Addr,
+        dst: Addr,
+        sport: u16,
+        dport: u16,
+        sp: Port,
+        dp: Port,
+    ) -> (u64, Addr, Port, Addr, Port) {
+        let h = flow_hash(src, sp, dst, dp);
+        if (src.raw(), sport) <= (dst.raw(), dport) {
+            (h, src, sp, dst, dp)
         } else {
-            (h, p.dst, dp, p.src, sp)
+            (h, dst, dp, src, sp)
         }
     }
 
     /// Processes one decoded packet, returning the delivery description.
     pub fn process(&mut self, pkt: &DecodedPacket) -> FlowDelivery<'_> {
-        let key = Self::key(pkt);
+        let (flow_idx, is_orig, established_now, finished_now, seg) = self.process_core(
+            pkt.ts,
+            pkt.src,
+            pkt.dst,
+            pkt.sport,
+            pkt.dport,
+            &pkt.transport,
+            &pkt.payload,
+        );
+        let payload = match seg {
+            SegmentOut::Empty => Vec::new(),
+            SegmentOut::Passthrough { skip } => pkt.payload[skip..].to_vec(),
+            SegmentOut::Owned(v) => v,
+        };
+        FlowDelivery {
+            flow: self.flows.get(&flow_idx).expect("flow just touched"),
+            is_orig,
+            established_now,
+            payload,
+            finished_now,
+        }
+    }
+
+    /// Zero-copy variant of [`process`](Self::process): the caller hands
+    /// the decoded frame plus the frame's byte offset within the shared
+    /// trace arena, and in-order payload comes back as an `(offset, len)`
+    /// [`PayloadRef`] into that arena instead of a fresh allocation.
+    pub fn process_shared<'a>(
+        &'a mut self,
+        frame: &DecodedFrame,
+        frame_data: &[u8],
+        frame_base: u64,
+    ) -> FlowDeliveryShared<'a> {
+        let payload_bytes = &frame_data[frame.payload.clone()];
+        let (flow_idx, is_orig, established_now, finished_now, seg) = self.process_core(
+            frame.ts,
+            frame.src,
+            frame.dst,
+            frame.sport,
+            frame.dport,
+            &frame.transport,
+            payload_bytes,
+        );
+        let payload = match seg {
+            SegmentOut::Empty => PayloadRef::Empty,
+            SegmentOut::Passthrough { skip } => {
+                let len = (payload_bytes.len() - skip) as u32;
+                if len == 0 {
+                    PayloadRef::Empty
+                } else {
+                    PayloadRef::Shared {
+                        off: frame_base + (frame.payload.start + skip) as u64,
+                        len,
+                    }
+                }
+            }
+            SegmentOut::Owned(v) => PayloadRef::Owned(v),
+        };
+        FlowDeliveryShared {
+            flow: self.flows.get(&flow_idx).expect("flow just touched"),
+            is_orig,
+            established_now,
+            payload,
+            finished_now,
+        }
+    }
+
+    /// The shared per-packet state machine: flow lookup/creation,
+    /// orientation, handshake and teardown tracking, and reassembly. The
+    /// payload comes back as a [`SegmentOut`] so each frontend decides
+    /// whether to materialize it.
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn process_core(
+        &mut self,
+        ts: Time,
+        src: Addr,
+        dst: Addr,
+        sport: u16,
+        dport: u16,
+        transport: &Transport,
+        payload: &[u8],
+    ) -> ((u64, Addr, Port, Addr, Port), bool, bool, bool, SegmentOut) {
+        let proto = transport.protocol();
+        let sp = Port {
+            number: sport,
+            protocol: proto,
+        };
+        let dp = Port {
+            number: dport,
+            protocol: proto,
+        };
+        let key = Self::key(src, dst, sport, dport, sp, dp);
         let uid_counter = &mut self.uid_counter;
         let flow = self.flows.entry(key).or_insert_with(|| {
             *uid_counter += 1;
@@ -110,14 +223,14 @@ impl FlowTable {
             // (for TCP with SYN this is the active opener).
             Flow {
                 id: ConnId {
-                    orig_h: pkt.src,
-                    orig_p: pkt.src_port(),
-                    resp_h: pkt.dst,
-                    resp_p: pkt.dst_port(),
+                    orig_h: src,
+                    orig_p: sp,
+                    resp_h: dst,
+                    resp_p: dp,
                 },
-                uid: format!("C{}{:x}", uid_counter, key.0 & 0xffff_ffff),
-                first_ts: pkt.ts,
-                last_ts: pkt.ts,
+                uid: format!("C{}{:x}", uid_counter, key.0 & 0xffff_ffff).into(),
+                first_ts: ts,
+                last_ts: ts,
                 tcp_state: None,
                 orig_stream: None,
                 resp_stream: None,
@@ -125,8 +238,8 @@ impl FlowTable {
                 resp_pkts: 0,
             }
         });
-        flow.last_ts = pkt.ts;
-        let is_orig = pkt.src == flow.id.orig_h && pkt.src_port() == flow.id.orig_p;
+        flow.last_ts = ts;
+        let is_orig = src == flow.id.orig_h && sp == flow.id.orig_p;
         if is_orig {
             flow.orig_pkts += 1;
         } else {
@@ -135,8 +248,14 @@ impl FlowTable {
 
         let mut established_now = false;
         let mut finished_now = false;
-        let payload = match &pkt.transport {
-            Transport::Udp => pkt.payload.clone(),
+        let seg = match transport {
+            Transport::Udp => {
+                if payload.is_empty() {
+                    SegmentOut::Empty
+                } else {
+                    SegmentOut::Passthrough { skip: 0 }
+                }
+            }
             Transport::Tcp(tcp) => {
                 // Handshake tracking.
                 match (flow.tcp_state, tcp.syn(), tcp.ack_flag(), is_orig) {
@@ -171,23 +290,16 @@ impl FlowTable {
                 } else {
                     &mut flow.resp_stream
                 };
-                if !pkt.payload.is_empty() {
+                if !payload.is_empty() {
                     let r = stream
                         .get_or_insert_with(|| StreamReassembler::new(tcp.seq.wrapping_sub(1)));
-                    r.segment(tcp.seq, &pkt.payload)
+                    r.segment_ref(tcp.seq, payload)
                 } else {
-                    Vec::new()
+                    SegmentOut::Empty
                 }
             }
         };
-
-        FlowDelivery {
-            flow,
-            is_orig,
-            established_now,
-            payload,
-            finished_now,
-        }
+        (key, is_orig, established_now, finished_now, seg)
     }
 
     /// Iterates over all live flows.
@@ -203,7 +315,7 @@ impl FlowTable {
     /// Removes flows idle since before `cutoff`, returning their uids in
     /// sorted order so callers can tear down per-flow analyzer state
     /// deterministically.
-    pub fn expire_idle_uids(&mut self, cutoff: Time) -> Vec<String> {
+    pub fn expire_idle_uids(&mut self, cutoff: Time) -> Vec<Arc<str>> {
         let mut dead = Vec::new();
         self.flows.retain(|_, f| {
             if f.last_ts >= cutoff {
@@ -232,6 +344,12 @@ impl Default for FlowTable {
 /// with an avalanche finalizer; no per-process seeding).
 pub fn shard_hash(p: &DecodedPacket) -> u64 {
     flow_hash(p.src, p.src_port(), p.dst, p.dst_port())
+}
+
+/// [`shard_hash`] over a [`DecodedFrame`] (the zero-copy decode path);
+/// same value as for the equivalent [`DecodedPacket`].
+pub fn shard_hash_frame(f: &DecodedFrame) -> u64 {
+    flow_hash(f.src, f.src_port(), f.dst, f.dst_port())
 }
 
 #[cfg(test)]

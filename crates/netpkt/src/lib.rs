@@ -30,7 +30,9 @@ pub mod logs;
 pub mod pcap;
 pub mod reassembly;
 pub mod synth;
+pub mod trace;
 
-pub use decode::{DecodedPacket, Transport};
+pub use decode::{DecodedFrame, DecodedPacket, Transport};
 pub use events::Event;
 pub use pcap::{PcapReader, PcapWriter, RawPacket};
+pub use trace::{PayloadRef, TraceBuffer};

@@ -36,6 +36,21 @@ pub struct StreamReassembler {
 /// Default out-of-order buffer budget per direction.
 pub const DEFAULT_MAX_BUFFER: usize = 4 * 1024 * 1024;
 
+/// Result of feeding one segment via [`StreamReassembler::segment_ref`]:
+/// the common in-order case delivers a suffix of the caller's own slice,
+/// so zero-copy consumers can reference their backing storage instead of
+/// copying per packet.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SegmentOut {
+    /// Nothing newly contiguous (duplicate, pre-ISN, or buffered).
+    Empty,
+    /// The delivery is exactly `data[skip..]` of the slice just fed
+    /// (`skip` covers an already-delivered prefix, usually 0).
+    Passthrough { skip: usize },
+    /// The delivery merges buffered out-of-order data and owns its bytes.
+    Owned(Vec<u8>),
+}
+
 impl StreamReassembler {
     /// Creates a reassembler whose first expected byte carries `isn + 1`
     /// (the sequence number following SYN).
@@ -100,38 +115,60 @@ impl StreamReassembler {
 
     /// Feeds one segment; returns any newly contiguous payload.
     pub fn segment(&mut self, seq: u32, data: &[u8]) -> Vec<u8> {
+        match self.segment_ref(seq, data) {
+            SegmentOut::Empty => Vec::new(),
+            SegmentOut::Passthrough { skip } => data[skip..].to_vec(),
+            SegmentOut::Owned(v) => v,
+        }
+    }
+
+    /// Feeds one segment without copying in the in-order case: when the
+    /// newly contiguous payload is exactly a suffix of `data` (nothing
+    /// buffered got unblocked), the result is [`SegmentOut::Passthrough`]
+    /// and the caller may keep referencing its own storage.
+    pub fn segment_ref(&mut self, seq: u32, data: &[u8]) -> SegmentOut {
         if data.is_empty() {
-            return Vec::new();
+            return SegmentOut::Empty;
         }
         let start_signed = self.rel(seq);
         let end_signed = start_signed + data.len() as i128;
         if end_signed <= self.delivered as i128 {
-            return Vec::new(); // pure retransmission (or entirely pre-ISN)
+            return SegmentOut::Empty; // pure retransmission (or entirely pre-ISN)
         }
         // Trim any prefix that was already delivered — including bytes
         // before the stream start (negative offsets).
-        let (start, data) = if start_signed < self.delivered as i128 {
+        let (start, skip) = if start_signed < self.delivered as i128 {
             let skip = (self.delivered as i128 - start_signed) as usize;
-            (self.delivered, &data[skip..])
+            (self.delivered, skip)
         } else {
-            (start_signed as u64, data)
+            (start_signed as u64, 0)
         };
+        let data = &data[skip..];
 
         if start == self.delivered {
             // Fast path: in-order data; then drain whatever it unblocked.
-            let mut out = data.to_vec();
-            self.delivered += out.len() as u64;
-            self.drain_pending(&mut out);
+            self.delivered += data.len() as u64;
+            let mut extra = Vec::new();
+            self.drain_pending(&mut extra);
             self.next_seq = self.isn.wrapping_add(self.delivered as u32);
-            out
+            if extra.is_empty() {
+                SegmentOut::Passthrough { skip }
+            } else {
+                let mut out = data.to_vec();
+                out.extend_from_slice(&extra);
+                SegmentOut::Owned(out)
+            }
         } else {
             self.buffer_segment(start, data);
             // Fail-safe: if the out-of-order buffer exceeds its budget,
             // declare the missing range a gap and deliver what we have.
             if self.buffered > self.max_buffer {
-                self.force_gap()
+                match self.force_gap() {
+                    v if v.is_empty() => SegmentOut::Empty,
+                    v => SegmentOut::Owned(v),
+                }
             } else {
-                Vec::new()
+                SegmentOut::Empty
             }
         }
     }
@@ -397,6 +434,55 @@ mod tests {
         let mut r = StreamReassembler::new(0);
         assert!(r.segment(1, b"").is_empty());
         assert_eq!(r.delivered(), 0);
+    }
+
+    #[test]
+    fn segment_ref_passthrough_on_in_order_data() {
+        let mut r = StreamReassembler::new(0);
+        assert_eq!(r.segment_ref(1, b"abc"), SegmentOut::Passthrough { skip: 0 });
+        assert_eq!(r.delivered(), 3);
+        // Retransmitted prefix: the delivery is the new suffix of the slice.
+        assert_eq!(r.segment_ref(2, b"bcDE"), SegmentOut::Passthrough { skip: 2 });
+        assert_eq!(r.delivered(), 5);
+        // Pure duplicate.
+        assert_eq!(r.segment_ref(1, b"abc"), SegmentOut::Empty);
+    }
+
+    #[test]
+    fn segment_ref_owns_when_draining_buffered_data() {
+        let mut r = StreamReassembler::new(0);
+        assert_eq!(r.segment_ref(4, b"def"), SegmentOut::Empty); // buffered
+        match r.segment_ref(1, b"abc") {
+            SegmentOut::Owned(v) => assert_eq!(v, b"abcdef"),
+            other => panic!("expected owned merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segment_ref_agrees_with_segment_on_shuffled_stream() {
+        // Differential: the zero-copy API resolved against the caller's
+        // slice must equal the copying API byte for byte.
+        let chunks: Vec<(u32, Vec<u8>)> = (0..50u32)
+            .map(|i| (1 + i * 5, format!("<{i:02}>x").into_bytes()))
+            .collect();
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        for i in 0..order.len() {
+            order.swap(i, (i * 31 + 7) % chunks.len());
+        }
+        let mut a = StreamReassembler::new(0);
+        let mut b = StreamReassembler::new(0);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        for &i in &order {
+            let (seq, data) = &chunks[i];
+            out_a.extend(a.segment(*seq, data));
+            match b.segment_ref(*seq, data) {
+                SegmentOut::Empty => {}
+                SegmentOut::Passthrough { skip } => out_b.extend_from_slice(&data[skip..]),
+                SegmentOut::Owned(v) => out_b.extend_from_slice(&v),
+            }
+        }
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.delivered(), b.delivered());
     }
 
     #[test]

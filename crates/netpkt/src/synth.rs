@@ -352,6 +352,84 @@ pub fn http_trace(cfg: &SynthConfig) -> Vec<RawPacket> {
     packets
 }
 
+/// Deterministic high-flow-count throughput workload: `flows` small,
+/// well-formed HTTP sessions (one GET each, ~9 packets) built from a
+/// handful of pre-rendered request/response templates, so generation
+/// stays cheap even at 10^6 flows and benchmarks measure the pipeline,
+/// not the generator. Every flow has a distinct 5-tuple (unique for
+/// `flows` < 2^22). Sessions are timestamp-interleaved within chunks of
+/// 64 flows, which exercises concurrent per-flow parser state without a
+/// whole-trace sort; occasional reordering/retransmission from
+/// [`TcpScripted::data`] keeps the owned-payload reassembly path warm.
+pub fn throughput_trace(seed: u64, flows: usize) -> Vec<RawPacket> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reqs: Vec<Vec<u8>> = PATH_STEMS
+        .iter()
+        .enumerate()
+        .map(|(i, stem)| {
+            let host = HOSTS[i % HOSTS.len()];
+            let ua = USER_AGENTS[i % USER_AGENTS.len()];
+            format!(
+                "GET {stem} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: {ua}\r\nAccept: */*\r\n\r\n"
+            )
+            .into_bytes()
+        })
+        .collect();
+    let resps: Vec<Vec<u8>> = (0..8usize)
+        .map(|i| {
+            let size = 200 + i * 150;
+            let mut body = Vec::with_capacity(size + 24);
+            while body.len() < size {
+                body.extend_from_slice(b"stream analysis payload ");
+            }
+            body.truncate(size);
+            let mut r = format!(
+                "HTTP/1.1 200 OK\r\nServer: synthd/1.0\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            r.extend_from_slice(&body);
+            r
+        })
+        .collect();
+
+    const CHUNK: usize = 64;
+    let mut packets = Vec::with_capacity(flows * 9 + flows / 16);
+    let mut done = 0usize;
+    while done < flows {
+        let n = CHUNK.min(flows - done);
+        let start = packets.len();
+        for f in done..done + n {
+            let client = Addr::v4(
+                10,
+                (((f >> 16) & 0x3f) + 1) as u8,
+                ((f >> 8) & 0xff) as u8,
+                (f & 0xff) as u8,
+            );
+            let server = Addr::v4(93, 184, ((f / 7) % 250) as u8, ((f / 3) % 250 + 1) as u8);
+            let mut sess = TcpScripted {
+                client,
+                server,
+                cport: 20000 + (f % 40000) as u16,
+                sport: 80,
+                seq_c: rng.gen(),
+                seq_s: rng.gen(),
+                t_ns: (f as u64) * 120_000,
+                rng: &mut rng,
+                packets: &mut packets,
+            };
+            sess.handshake();
+            sess.data(true, &reqs[f % reqs.len()]);
+            sess.data(false, &resps[f % resps.len()]);
+            sess.close();
+        }
+        // Interleave the chunk's sessions (each already ts-sorted).
+        packets[start..].sort_by_key(|p| p.ts);
+        done += n;
+    }
+    packets
+}
+
 /// Adversarial trace generation: deterministic counts of each protocol
 /// malformation, so harnesses can assert exact per-category error totals.
 ///
@@ -729,6 +807,22 @@ mod tests {
             tcp += 1;
         }
         assert!(tcp > 15 * 4, "expected handshake+data per session");
+    }
+
+    #[test]
+    fn throughput_trace_has_distinct_decodable_flows() {
+        let flows = 300;
+        let a = throughput_trace(9, flows);
+        assert_eq!(a, throughput_trace(9, flows), "must be deterministic");
+        let mut table = crate::flow::FlowTable::new();
+        for p in &a {
+            let d = decode_ethernet(p).expect("generated packets must decode");
+            table.process(&d);
+        }
+        assert_eq!(table.len(), flows, "one flow table entry per session");
+        // 8 packets per session (handshake, request, response, close),
+        // plus occasional retransmissions.
+        assert!(a.len() >= flows * 8, "{}", a.len());
     }
 
     #[test]

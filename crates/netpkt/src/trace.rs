@@ -1,0 +1,153 @@
+//! Shared immutable trace storage for zero-copy dispatch.
+//!
+//! Copying every packet's payload into a per-delivery `Vec<u8>` is the
+//! single biggest allocation source in a replay pipeline. A
+//! [`TraceBuffer`] instead loads the whole trace into one immutable,
+//! `Arc`-shared byte arena up front; deliveries then carry a
+//! [`PayloadRef`] — an `(offset, len)` slice into the arena for the
+//! common in-order case, falling back to an owned buffer only when TCP
+//! reassembly had to stitch segments together. Worker threads resolve
+//! slices against their own `Arc` clone, so the per-packet hot path
+//! moves 16 bytes instead of the payload.
+
+use std::sync::Arc;
+
+use hilti_rt::time::Time;
+
+use crate::pcap::RawPacket;
+
+/// Per-frame metadata within the arena.
+#[derive(Clone, Copy, Debug)]
+struct FrameMeta {
+    ts: Time,
+    off: u64,
+    len: u32,
+}
+
+/// An immutable packet trace: every frame's bytes concatenated into one
+/// arena, plus per-frame `(timestamp, offset, length)` metadata.
+pub struct TraceBuffer {
+    data: Vec<u8>,
+    frames: Vec<FrameMeta>,
+}
+
+impl TraceBuffer {
+    /// Loads a trace into a shared arena (one copy, up front).
+    pub fn from_packets(packets: &[RawPacket]) -> Arc<TraceBuffer> {
+        let total: usize = packets.iter().map(|p| p.data.len()).sum();
+        let mut data = Vec::with_capacity(total);
+        let mut frames = Vec::with_capacity(packets.len());
+        for p in packets {
+            frames.push(FrameMeta {
+                ts: p.ts,
+                off: data.len() as u64,
+                len: p.data.len() as u32,
+            });
+            data.extend_from_slice(&p.data);
+        }
+        Arc::new(TraceBuffer { data, frames })
+    }
+
+    /// Number of frames in the trace.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total arena bytes (the on-wire size of the trace).
+    pub fn total_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// One frame's bytes and capture timestamp.
+    pub fn frame(&self, i: usize) -> (&[u8], Time) {
+        let m = self.frames[i];
+        (
+            &self.data[m.off as usize..m.off as usize + m.len as usize],
+            m.ts,
+        )
+    }
+
+    /// Arena offset of frame `i` (the base for payload ranges within it).
+    pub fn frame_offset(&self, i: usize) -> u64 {
+        self.frames[i].off
+    }
+
+    /// Resolves an arena range.
+    pub fn slice(&self, off: u64, len: u32) -> &[u8] {
+        &self.data[off as usize..off as usize + len as usize]
+    }
+}
+
+/// A delivery payload: either a slice of the shared [`TraceBuffer`]
+/// (zero-copy, the common case) or an owned buffer (TCP reassembly had
+/// to merge out-of-order segments).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PayloadRef {
+    Empty,
+    /// `(offset, len)` into the trace arena.
+    Shared { off: u64, len: u32 },
+    Owned(Vec<u8>),
+}
+
+impl PayloadRef {
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadRef::Empty => 0,
+            PayloadRef::Shared { len, .. } => *len as usize,
+            PayloadRef::Owned(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload bytes, resolved against the trace arena.
+    pub fn resolve<'a>(&'a self, buf: &'a TraceBuffer) -> &'a [u8] {
+        match self {
+            PayloadRef::Empty => &[],
+            PayloadRef::Shared { off, len } => buf.slice(*off, *len),
+            PayloadRef::Owned(v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(ts: u64, data: &[u8]) -> RawPacket {
+        RawPacket::new(Time::from_secs(ts), data.to_vec())
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_arena() {
+        let packets = vec![pkt(1, b"alpha"), pkt(2, b""), pkt(3, b"gamma!")];
+        let buf = TraceBuffer::from_packets(&packets);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.total_bytes(), 11);
+        for (i, p) in packets.iter().enumerate() {
+            let (bytes, ts) = buf.frame(i);
+            assert_eq!(bytes, &p.data[..]);
+            assert_eq!(ts, p.ts);
+        }
+        assert_eq!(buf.frame_offset(2), 5);
+    }
+
+    #[test]
+    fn payload_refs_resolve() {
+        let buf = TraceBuffer::from_packets(&[pkt(1, b"hello world")]);
+        assert_eq!(
+            PayloadRef::Shared { off: 6, len: 5 }.resolve(&buf),
+            b"world"
+        );
+        assert_eq!(PayloadRef::Owned(b"own".to_vec()).resolve(&buf), b"own");
+        assert_eq!(PayloadRef::Empty.resolve(&buf), b"");
+        assert!(PayloadRef::Empty.is_empty());
+        assert_eq!(PayloadRef::Shared { off: 0, len: 5 }.len(), 5);
+    }
+}

@@ -14,7 +14,7 @@
 
 use broscript::host::Engine;
 use broscript::parallel::{default_workers, run_http_analysis_parallel, PipelineOptions};
-use broscript::pipeline::{run_http_analysis, Governance, ParserStack};
+use broscript::pipeline::{run_http_analysis, ParserStack};
 use netpkt::logs::agreement;
 use netpkt::synth::{http_trace, SynthConfig};
 
@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // byte-identical to the sequential run by construction.
     let opts = PipelineOptions {
         workers,
-        governance: Governance::default(),
+        ..Default::default()
     };
     let start = std::time::Instant::now();
     let par = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Interpreted, &opts)?;
