@@ -17,7 +17,7 @@ use std::rc::Rc;
 
 use hilti::passes::OptLevel;
 use hilti::value::Value;
-use hilti_rt::error::{RtError, RtResult};
+use hilti_rt::error::{ExceptionKind, RtError, RtResult};
 use hilti_rt::profile::{Component, Profiler};
 use hilti_rt::time::Time;
 
@@ -348,6 +348,8 @@ pub struct BinpacDns {
     profiler: Option<Profiler>,
     /// Datagrams that failed to parse (crud on port 53).
     pub failed: u64,
+    /// Wall-clock watchdog re-armed at the start of every datagram.
+    deadline_ms: Option<u64>,
 }
 
 fn slot(v: &Value, idx: usize) -> RtResult<Value> {
@@ -459,7 +461,20 @@ impl BinpacDns {
             shared,
             profiler,
             failed: 0,
+            deadline_ms: None,
         })
+    }
+
+    /// Arms a per-datagram wall-clock watchdog, mirroring
+    /// `BinpacHttp::set_delivery_deadline_ms`.
+    pub fn set_delivery_deadline_ms(&mut self, ms: Option<u64>) {
+        self.deadline_ms = ms;
+        if ms.is_none() {
+            self.parser
+                .program_mut()
+                .context_mut()
+                .arm_deadline_after_ms(None);
+        }
     }
 
     /// Attaches telemetry to the parser VM (retired-instruction counters
@@ -477,9 +492,18 @@ impl BinpacDns {
             .profiler
             .as_ref()
             .map(|p| p.enter(Component::ProtocolParsing));
+        if let Some(ms) = self.deadline_ms {
+            self.parser
+                .program_mut()
+                .context_mut()
+                .arm_deadline_after_ms(Some(ms));
+        }
         self.shared.borrow_mut().current = Some((uid.to_owned(), id, ts));
         match self.parser.parse_datagram("Message", payload) {
             Ok(_) => Ok(true),
+            // Governance faults (deadline, fuel, heap) must escape to the
+            // host; only input-dependent errors count as unparseable crud.
+            Err(e) if e.kind == ExceptionKind::ResourceExhausted => Err(e),
             Err(_) => {
                 self.failed += 1;
                 Ok(false)

@@ -361,6 +361,8 @@ pub struct BinpacHttp {
     session_budget: Option<u64>,
     /// High-water mark of buffered bytes across all budgeted connections.
     peak_session_bytes: u64,
+    /// Wall-clock watchdog re-armed at the start of every delivery.
+    deadline_ms: Option<u64>,
 }
 
 /// Reads field `idx` from a unit struct value.
@@ -542,7 +544,21 @@ impl BinpacHttp {
             profiler,
             session_budget: None,
             peak_session_bytes: 0,
+            deadline_ms: None,
         })
+    }
+
+    /// Arms a per-delivery wall-clock watchdog: every `feed`/`finish_conn`
+    /// must complete within `ms` milliseconds or the parser VM trips
+    /// `Hilti::ResourceExhausted` (see `ResourceLimits::deadline_ms`).
+    pub fn set_delivery_deadline_ms(&mut self, ms: Option<u64>) {
+        self.deadline_ms = ms;
+        if ms.is_none() {
+            self.parser
+                .program_mut()
+                .context_mut()
+                .arm_deadline_after_ms(None);
+        }
     }
 
     /// Caps buffered stream state per connection. Feeding a connection
@@ -611,6 +627,12 @@ impl BinpacHttp {
             .profiler
             .as_ref()
             .map(|p| p.enter(Component::ProtocolParsing));
+        if let Some(ms) = self.deadline_ms {
+            self.parser
+                .program_mut()
+                .context_mut()
+                .arm_deadline_after_ms(Some(ms));
+        }
         self.set_current(uid, id, ts);
         let limit = self.session_budget;
         let parser = &self.parser;
@@ -649,6 +671,12 @@ impl BinpacHttp {
             .profiler
             .as_ref()
             .map(|p| p.enter(Component::ProtocolParsing));
+        if let Some(ms) = self.deadline_ms {
+            self.parser
+                .program_mut()
+                .context_mut()
+                .arm_deadline_after_ms(Some(ms));
+        }
         if let Some(mut sessions) = self.sessions.remove(uid) {
             self.set_current(uid, id, ts);
             self.parser.finish(&mut sessions.server)?;

@@ -61,7 +61,6 @@ use binpac::http::BinpacHttp;
 use binpac::parser::ParserIr;
 use hilti::passes::OptLevel;
 use hilti_rt::error::{RtError, RtResult};
-use hilti_rt::limits::ResourceLimits;
 use hilti_rt::profile::{Component, Profiler};
 use hilti_rt::spsc::{self, Producer};
 use hilti_rt::telemetry::{
@@ -79,7 +78,8 @@ use netpkt::{PayloadRef, TraceBuffer};
 
 use crate::host::{Engine, HostBlueprint, ScriptHost};
 use crate::pipeline::{
-    placeholder_id, standard_dns_events, AnalysisResult, FlowError, Governance, ParserStack,
+    arm_script_limits, placeholder_id, standard_dns_events, AnalysisResult, FlowError, Governance,
+    ParserStack, ShardFault,
 };
 use crate::scripts;
 
@@ -97,6 +97,27 @@ pub fn default_workers() -> usize {
 /// default.
 pub const DEFAULT_BATCH: usize = 128;
 
+/// What the dispatcher does when a shard's ring stays saturated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OverloadPolicy {
+    /// Park until the shard drains (lossless backpressure — the default).
+    /// Output stays byte-identical to sequential; a wedged shard stalls
+    /// the dispatcher, which is what the per-delivery watchdog deadline
+    /// ([`Governance::delivery_deadline_ms`]) exists to bound.
+    #[default]
+    Block,
+    /// Bound the ring at `max_queue_depth` items and drop whole delivery
+    /// batches that do not fit, counting them per shard as
+    /// `pipeline.shed_packets.shard{w}` / `pipeline.shed_batches.shard{w}`
+    /// in [`AnalysisResult::dispatch_telemetry`] and in total as
+    /// [`AnalysisResult::shed_packets`]. Control items (evictions,
+    /// end-of-trace flushes, done markers) are never shed — they block
+    /// instead, so shutdown and state teardown stay reliable. Shedding
+    /// depends on wall-clock scheduling, so output under `Shed` is *not*
+    /// deterministic; it is the live-overload degradation mode.
+    Shed { max_queue_depth: usize },
+}
+
 /// Knobs for a parallel run.
 #[derive(Clone, Copy)]
 pub struct PipelineOptions {
@@ -108,6 +129,15 @@ pub struct PipelineOptions {
     /// only dispatch overhead changes.
     pub batch: usize,
     pub governance: Governance,
+    /// Backpressure policy when a shard's ring is full.
+    pub overload: OverloadPolicy,
+    /// Chaos hook: worker `.0` panics at the start of its `.1`-th
+    /// delivery (1-based, one-shot). See
+    /// [`PipelineOptions::inject_shard_panic_after`].
+    pub panic_inject: Option<(usize, u64)>,
+    /// Chaos hook: worker `.0` sleeps `.1` milliseconds before first
+    /// draining its ring. See [`PipelineOptions::inject_shard_stall`].
+    pub stall_inject: Option<(usize, u64)>,
 }
 
 impl Default for PipelineOptions {
@@ -116,7 +146,30 @@ impl Default for PipelineOptions {
             workers: default_workers(),
             batch: DEFAULT_BATCH,
             governance: Governance::default(),
+            overload: OverloadPolicy::Block,
+            panic_inject: None,
+            stall_inject: None,
         }
+    }
+}
+
+impl PipelineOptions {
+    /// Chaos hook mirroring `Context::inject_fault_after`: shard `shard`
+    /// panics at the start of the `n`-th delivery it receives (1-based,
+    /// one-shot). Deterministic for a fixed `(trace, workers)` — the
+    /// same flows always hash to the same shard, in the same order.
+    pub fn inject_shard_panic_after(mut self, shard: usize, n: u64) -> Self {
+        self.panic_inject = Some((shard, n));
+        self
+    }
+
+    /// Chaos hook: shard `shard` sleeps `ms` milliseconds before first
+    /// draining its ring, simulating a wedged or descheduled worker.
+    /// Under [`OverloadPolicy::Block`] this only delays the run; under
+    /// `Shed` it forces the dispatcher down the shedding path.
+    pub fn inject_shard_stall(mut self, shard: usize, ms: u64) -> Self {
+        self.stall_inject = Some((shard, ms));
+        self
     }
 }
 
@@ -169,7 +222,7 @@ struct EffectBlock {
 }
 
 /// Effect-vector lengths at the start of a block (see [`ShardState::mark`]).
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Default)]
 struct Mark {
     logs: [u32; 3],
     output: u32,
@@ -222,6 +275,9 @@ struct ShardState {
     stack: ParserStack,
     gov: Governance,
     trace: Arc<TraceBuffer>,
+    /// Shared build artifacts, kept so the supervisor can rebuild the
+    /// engine pieces after a caught panic.
+    blueprint: Arc<ShardBlueprint>,
     host: ScriptHost,
     profiler: Profiler,
     tel: Option<ShardTelemetry>,
@@ -242,6 +298,26 @@ struct ShardState {
     /// First unrecoverable error (ungoverned mode): merge picks the
     /// globally-first one. Processing on this shard stops here.
     fatal: Option<(Key, RtError)>,
+    /// Merge key of the item currently being processed — the position a
+    /// panic's quarantine block is sealed under.
+    cur_key: Key,
+    /// Timestamp of the item currently being processed.
+    cur_ts: Time,
+    /// Flow of the item currently being processed (None for `Done`).
+    cur_uid: Option<Arc<str>>,
+    /// Effect-vector lengths at the last seal: the panic salvage point.
+    /// Everything past it was appended by the interrupted item and is
+    /// discarded (the sequential run would also not have emitted a
+    /// partial item's effects for a flow that dies mid-processing).
+    sealed_high: Mark,
+    /// Panics the supervisor caught and recovered from on this shard.
+    faults: Vec<String>,
+    /// Tombstone mode: a post-panic rebuild failed, so the shard has no
+    /// engine. Every delivery for a not-yet-quarantined flow records a
+    /// `ShardPanic` loss; control items are no-ops.
+    dead: bool,
+    /// Chaos: panic at the start of the n-th delivery (1-based, one-shot).
+    panic_countdown: Option<u64>,
 }
 
 /// Front-end build artifacts shared by every shard: the script host
@@ -274,16 +350,63 @@ impl ShardBlueprint {
     }
 }
 
+/// Builds (or, after a caught panic, rebuilds) a shard's engine pieces —
+/// script host plus parser stack — from the shared blueprint, wiring them
+/// to the shard's existing profiler and telemetry registry.
+fn build_engine(
+    proto: Proto,
+    stack: ParserStack,
+    gov: &Governance,
+    bp: &ShardBlueprint,
+    profiler: &Profiler,
+    tel: Option<&ShardTelemetry>,
+) -> RtResult<(ScriptHost, Option<BinpacHttp>, Option<BinpacDns>)> {
+    let mut host = ScriptHost::from_blueprint(&bp.host, Some(profiler.clone()))?;
+    if let Some(t) = tel {
+        host.set_telemetry(&t.telemetry);
+    }
+    let mut bp_http = None;
+    let mut bp_dns = None;
+    match (proto, stack) {
+        (Proto::Http, ParserStack::Binpac) => {
+            let ir = bp.parser.as_ref().expect("binpac blueprint carries IR");
+            let mut b = BinpacHttp::from_ir(ir, Some(profiler.clone()))?;
+            if let Some(n) = gov.per_flow_heap {
+                b.set_session_budget(n);
+            }
+            if let Some(steps) = gov.inject_fault_after {
+                b.inject_fault_after(steps, RtError::runtime("injected chaos fault"));
+            }
+            if let Some(t) = tel {
+                b.set_telemetry(&t.telemetry);
+            }
+            b.set_delivery_deadline_ms(gov.delivery_deadline_ms);
+            bp_http = Some(b);
+        }
+        (Proto::Dns, ParserStack::Binpac) => {
+            let ir = bp.parser.as_ref().expect("binpac blueprint carries IR");
+            let mut b = BinpacDns::from_ir(ir, Some(profiler.clone()))?;
+            if let Some(t) = tel {
+                b.set_telemetry(&t.telemetry);
+            }
+            b.set_delivery_deadline_ms(gov.delivery_deadline_ms);
+            bp_dns = Some(b);
+        }
+        _ => {}
+    }
+    Ok((host, bp_http, bp_dns))
+}
+
 impl ShardState {
     fn new(
         proto: Proto,
         stack: ParserStack,
         gov: Governance,
         trace: Arc<TraceBuffer>,
-        bp: &ShardBlueprint,
+        blueprint: Arc<ShardBlueprint>,
+        panic_countdown: Option<u64>,
     ) -> RtResult<ShardState> {
         let profiler = Profiler::new();
-        let mut host = ScriptHost::from_blueprint(&bp.host, Some(profiler.clone()))?;
         let tel = gov.telemetry.then(|| {
             let telemetry = Telemetry::new();
             ShardTelemetry {
@@ -294,41 +417,14 @@ impl ShardState {
                 telemetry,
             }
         });
-        if let Some(t) = &tel {
-            host.set_telemetry(&t.telemetry);
-        }
-        let mut bp_http = None;
-        let mut bp_dns = None;
-        match (proto, stack) {
-            (Proto::Http, ParserStack::Binpac) => {
-                let ir = bp.parser.as_ref().expect("binpac blueprint carries IR");
-                let mut b = BinpacHttp::from_ir(ir, Some(profiler.clone()))?;
-                if let Some(n) = gov.per_flow_heap {
-                    b.set_session_budget(n);
-                }
-                if let Some(steps) = gov.inject_fault_after {
-                    b.inject_fault_after(steps, RtError::runtime("injected chaos fault"));
-                }
-                if let Some(t) = &tel {
-                    b.set_telemetry(&t.telemetry);
-                }
-                bp_http = Some(b);
-            }
-            (Proto::Dns, ParserStack::Binpac) => {
-                let ir = bp.parser.as_ref().expect("binpac blueprint carries IR");
-                let mut b = BinpacDns::from_ir(ir, Some(profiler.clone()))?;
-                if let Some(t) = &tel {
-                    b.set_telemetry(&t.telemetry);
-                }
-                bp_dns = Some(b);
-            }
-            _ => {}
-        }
+        let (host, bp_http, bp_dns) =
+            build_engine(proto, stack, &gov, &blueprint, &profiler, tel.as_ref())?;
         Ok(ShardState {
             proto,
             stack,
             gov,
             trace,
+            blueprint,
             host,
             profiler,
             tel,
@@ -343,11 +439,188 @@ impl ShardState {
             blocks_main: Vec::new(),
             blocks_tail: Vec::new(),
             fatal: None,
+            cur_key: Key {
+                major: 0,
+                phase: PH_PARSE,
+            },
+            cur_ts: Time::ZERO,
+            cur_uid: None,
+            sealed_high: Mark::default(),
+            faults: Vec::new(),
+            dead: false,
+            panic_countdown,
         })
+    }
+
+    /// Records where the next item runs — the position and flow a panic
+    /// would be charged to — and fires the injected chaos panic when its
+    /// countdown hits. Runs *inside* the supervision boundary.
+    fn begin(&mut self, item: &ShardItem) {
+        match item {
+            ShardItem::Delivery { slot, uid, ts, .. } => {
+                self.cur_key = Key {
+                    major: *slot,
+                    phase: PH_PARSE,
+                };
+                self.cur_ts = *ts;
+                self.cur_uid = Some(uid.clone());
+                if let Some(n) = self.panic_countdown {
+                    if n <= 1 {
+                        // One-shot: disarm before firing so the respawned
+                        // engine does not re-trip on its next delivery.
+                        self.panic_countdown = None;
+                        panic!("injected shard panic");
+                    }
+                    self.panic_countdown = Some(n - 1);
+                }
+            }
+            // Evictions carry no slot; a panic there is charged to the
+            // previous item's position.
+            ShardItem::Evict { uid } => self.cur_uid = Some(uid.clone()),
+            ShardItem::FinishFlow {
+                parse_major,
+                uid,
+                ts,
+                ..
+            } => {
+                self.cur_key = Key {
+                    major: *parse_major,
+                    phase: PH_PARSE,
+                };
+                self.cur_ts = *ts;
+                self.cur_uid = Some(uid.clone());
+            }
+            ShardItem::Done { major, ts } => {
+                self.cur_key = Key {
+                    major: *major,
+                    phase: PH_DISPATCH,
+                };
+                self.cur_ts = *ts;
+                self.cur_uid = None;
+            }
+        }
+    }
+
+    /// Supervision boundary: contains a panic the current item raised.
+    ///
+    /// Governed (quarantine) mode: discards the interrupted item's
+    /// unsealed effects, quarantines every flow whose parser state lived
+    /// on this shard as [`FlowError::SHARD_PANIC`] (sealed as a block at
+    /// the interrupted position, so the loss ledger merges
+    /// deterministically), and rebuilds the engine from the blueprint so
+    /// subsequent deliveries process normally. If the rebuild itself
+    /// fails the shard turns into a tombstone: every later delivery is
+    /// recorded as a `ShardPanic` loss.
+    ///
+    /// Ungoverned mode keeps the all-or-nothing contract: the panic
+    /// becomes the run's fatal error at the interrupted position.
+    fn on_panic(&mut self, detail: String) {
+        if !self.gov.quarantine {
+            if self.fatal.is_none() {
+                self.fatal = Some((
+                    self.cur_key,
+                    RtError::runtime(format!("shard panicked: {detail}")),
+                ));
+            }
+            self.faults.push(detail);
+            return;
+        }
+
+        // Salvage: drop effects the interrupted item appended but never
+        // sealed, and skip whatever it pushed onto the engine sink.
+        self.effects.logs[0].truncate(self.sealed_high.logs[0] as usize);
+        self.effects.logs[1].truncate(self.sealed_high.logs[1] as usize);
+        self.effects.logs[2].truncate(self.sealed_high.logs[2] as usize);
+        self.effects
+            .output
+            .truncate(self.sealed_high.output as usize);
+        self.effects
+            .flow_errors
+            .truncate(self.sealed_high.flow_errors as usize);
+        self.effects
+            .events
+            .truncate(self.sealed_high.events as usize);
+        if let Some(t) = self.tel.as_mut() {
+            t.sink_cursor += t.telemetry.sink.events_since(t.sink_cursor).len();
+        }
+
+        // Loss ledger: every flow whose parser state this shard held dies
+        // with it. Sorted union so the ledger is deterministic; the
+        // current flow is included even if it never built parser state.
+        let mut lost: Vec<String> = self.std_http.keys().map(|u| u.to_string()).collect();
+        if let Some(bp) = &self.bp_http {
+            lost.extend(bp.live_uids());
+        }
+        if let Some(uid) = &self.cur_uid {
+            lost.push(uid.to_string());
+        }
+        lost.sort();
+        lost.dedup();
+        let m = self.mark();
+        for uid in lost {
+            if self.quarantined.insert(Arc::from(uid.as_str())) {
+                self.effects
+                    .flow_errors
+                    .push(FlowError::shard_panic(&uid, self.cur_ts));
+            }
+        }
+        let key = self.cur_key;
+        self.seal(m, key, false);
+
+        // Respawn: fresh engine pieces from the blueprint, same profiler
+        // and telemetry registry. The new host starts with empty logs.
+        self.std_http.clear();
+        self.log_cursors = [0; 3];
+        let blueprint = Arc::clone(&self.blueprint);
+        match build_engine(
+            self.proto,
+            self.stack,
+            &self.gov,
+            &blueprint,
+            &self.profiler,
+            self.tel.as_ref(),
+        ) {
+            Ok((host, bp_http, bp_dns)) => {
+                self.host = host;
+                self.bp_http = bp_http;
+                self.bp_dns = bp_dns;
+            }
+            Err(_) => {
+                self.dead = true;
+                self.bp_http = None;
+                self.bp_dns = None;
+            }
+        }
+        self.faults.push(detail);
+    }
+
+    /// Tombstone mode: no engine. Deliveries for flows not yet in the
+    /// loss ledger are recorded as `ShardPanic`; everything else no-ops.
+    fn tombstone(&mut self, item: ShardItem) {
+        if let ShardItem::Delivery { slot, uid, ts, .. } = item {
+            if self.quarantined.insert(uid.clone()) {
+                let m = self.mark();
+                self.effects
+                    .flow_errors
+                    .push(FlowError::shard_panic(&uid, ts));
+                self.seal(
+                    m,
+                    Key {
+                        major: slot,
+                        phase: PH_PARSE,
+                    },
+                    false,
+                );
+            }
+        }
     }
 
     fn process(&mut self, item: ShardItem) {
         if self.fatal.is_some() {
+            return;
+        }
+        if self.dead {
+            self.tombstone(item);
             return;
         }
         match item {
@@ -399,6 +672,9 @@ impl ShardState {
     /// (end-of-trace dispatch majors, which interleave with later parse
     /// majors in key order).
     fn seal(&mut self, m: Mark, key: Key, tail: bool) {
+        // Everything up to here survives a later panic (the salvage
+        // point), whether or not this particular block is empty.
+        self.sealed_high = self.mark();
         let b = EffectBlock {
             key,
             logs: [
@@ -453,12 +729,7 @@ impl ShardState {
         if self.fatal.is_none() {
             for ev in events {
                 self.n_events += 1;
-                if self.gov.script_fuel.is_some() {
-                    self.host.set_limits(ResourceLimits {
-                        fuel: self.gov.script_fuel,
-                        ..ResourceLimits::default()
-                    });
-                }
+                arm_script_limits(&mut self.host, &self.gov);
                 if let Err(e) = self.host.dispatch_event(ev) {
                     if !self.gov.quarantine {
                         self.fatal = Some((key, e));
@@ -518,32 +789,43 @@ fn http_delivery(
                         parser.finish(ts, &mut events);
                     }
                 }
-                ParserStack::Binpac => {
-                    let bp = st.bp_http.as_mut().expect("binpac stack");
-                    let mut fail: Option<RtError> = None;
-                    if !payload.is_empty() {
-                        if let Err(e) = bp.feed(&uid, id, is_orig, ts, payload) {
-                            fail = Some(e);
+                // A missing parser stack degrades the flow, not the shard.
+                ParserStack::Binpac => match st.bp_http.as_mut() {
+                    Some(bp) => {
+                        let mut fail: Option<RtError> = None;
+                        if !payload.is_empty() {
+                            if let Err(e) = bp.feed(&uid, id, is_orig, ts, payload) {
+                                fail = Some(e);
+                            }
+                        }
+                        if fail.is_none() && finished {
+                            if let Err(e) = bp.finish_conn(&uid, id, ts) {
+                                fail = Some(e);
+                            }
+                        }
+                        // Events emitted before the fault still count.
+                        events.extend(bp.take_events());
+                        if let Some(e) = fail {
+                            if !st.gov.quarantine {
+                                st.fatal = Some((parse_key, e));
+                                return;
+                            }
+                            bp.drop_conn(&uid);
+                            st.std_http.remove(&uid);
+                            st.quarantined.insert(uid.clone());
+                            st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                         }
                     }
-                    if fail.is_none() && finished {
-                        if let Err(e) = bp.finish_conn(&uid, id, ts) {
-                            fail = Some(e);
-                        }
-                    }
-                    // Events emitted before the fault still count.
-                    events.extend(bp.take_events());
-                    if let Some(e) = fail {
+                    None => {
+                        let e = RtError::runtime("binpac parser stack unavailable");
                         if !st.gov.quarantine {
                             st.fatal = Some((parse_key, e));
                             return;
                         }
-                        bp.drop_conn(&uid);
-                        st.std_http.remove(&uid);
                         st.quarantined.insert(uid.clone());
                         st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                     }
-                }
+                },
             }
         }
     }
@@ -595,31 +877,39 @@ fn dns_delivery(
                     }
                 }
             }
-            ParserStack::Binpac => {
-                let bp = st.bp_dns.as_mut().expect("binpac stack");
-                match bp.datagram(&uid, id, ts, payload) {
-                    Ok(true) => {}
-                    Ok(false) => {
-                        st.parse_failures += 1;
-                        if let Some(t) = &st.tel {
-                            t.parse_failures.inc();
-                            t.telemetry.emit(
-                                "parser_error",
-                                vec![("uid", (&*uid).into()), ("ts_ns", ts.nanos().into())],
-                            );
+            ParserStack::Binpac => match st.bp_dns.as_mut() {
+                Some(bp) => {
+                    match bp.datagram(&uid, id, ts, payload) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            st.parse_failures += 1;
+                            if let Some(t) = &st.tel {
+                                t.parse_failures.inc();
+                                t.telemetry.emit(
+                                    "parser_error",
+                                    vec![("uid", (&*uid).into()), ("ts_ns", ts.nanos().into())],
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            if !st.gov.quarantine {
+                                st.fatal = Some((parse_key, e));
+                                return;
+                            }
+                            st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                         }
                     }
-                    Err(e) => {
-                        if !st.gov.quarantine {
-                            st.fatal = Some((parse_key, e));
-                            return;
-                        }
-                        st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
-                    }
+                    events.extend(bp.take_events());
                 }
-                let bp = st.bp_dns.as_mut().expect("binpac stack");
-                events.extend(bp.take_events());
-            }
+                None => {
+                    let e = RtError::runtime("binpac parser stack unavailable");
+                    if !st.gov.quarantine {
+                        st.fatal = Some((parse_key, e));
+                        return;
+                    }
+                    st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
+                }
+            },
         }
     }
     st.collect_sink();
@@ -659,19 +949,21 @@ fn http_finish_flow(
                 parser.finish(ts, &mut events);
             }
         }
+        // A vanished parser stack leaves nothing to flush: degrade to a
+        // no-op, like a flow whose state is already gone.
         ParserStack::Binpac => {
-            let bp = st.bp_http.as_mut().expect("binpac stack");
-            if bp.has_conn(&uid) {
-                if let Err(e) = bp.finish_conn(&uid, placeholder_id(), ts) {
-                    if !st.gov.quarantine {
-                        st.fatal = Some((parse_key, e));
-                        return;
+            if let Some(bp) = st.bp_http.as_mut() {
+                if bp.has_conn(&uid) {
+                    if let Err(e) = bp.finish_conn(&uid, placeholder_id(), ts) {
+                        if !st.gov.quarantine {
+                            st.fatal = Some((parse_key, e));
+                            return;
+                        }
+                        bp.drop_conn(&uid);
+                        st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                     }
-                    bp.drop_conn(&uid);
-                    st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
+                    events.extend(bp.take_events());
                 }
-                let bp = st.bp_http.as_mut().expect("binpac stack");
-                events.extend(bp.take_events());
             }
         }
     }
@@ -693,12 +985,7 @@ fn done(st: &mut ShardState, major: u64, ts: Time) {
         phase: PH_DISPATCH,
     };
     let m = st.mark();
-    if st.gov.script_fuel.is_some() {
-        st.host.set_limits(ResourceLimits {
-            fuel: st.gov.script_fuel,
-            ..ResourceLimits::default()
-        });
-    }
+    arm_script_limits(&mut st.host, &st.gov);
     if let Err(e) = st.host.done() {
         if !st.gov.quarantine {
             st.fatal = Some((key, e));
@@ -723,6 +1010,8 @@ struct ShardReport {
     parse_failures: u64,
     peak_flow_bytes: u64,
     fatal: Option<(Key, RtError)>,
+    /// Panics the supervisor caught on this shard (panic payloads).
+    faults: Vec<String>,
 }
 
 fn harvest(st: &mut ShardState) -> ShardReport {
@@ -768,6 +1057,18 @@ fn harvest(st: &mut ShardState) -> ShardReport {
         parse_failures: st.parse_failures,
         peak_flow_bytes,
         fatal: st.fatal.clone(),
+        faults: std::mem::take(&mut st.faults),
+    }
+}
+
+/// Renders a caught panic payload for the fault record.
+fn panic_detail(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -887,24 +1188,66 @@ pub fn run_dns_analysis_parallel(
     run_parallel(packets, Proto::Dns, stack, engine, opts)
 }
 
-/// Pushes a staged batch onto the shard's ring (blocking while the ring
-/// is full — that backpressure is what bounds dispatcher run-ahead).
+/// Per-shard shed accounting (kept outside the telemetry registry so the
+/// `shed_packets` result field works with telemetry off).
+#[derive(Clone, Copy, Default)]
+struct ShedStat {
+    packets: u64,
+    batches: u64,
+}
+
+/// Pushes a staged batch onto the shard's ring.
+///
+/// Under [`OverloadPolicy::Block`] this parks while the ring is full —
+/// that backpressure is what bounds dispatcher run-ahead. Under `Shed` a
+/// saturated ring drops the batch's deliveries (counted in `shed`) and
+/// blocking-pushes only the control items, which must always arrive. A
+/// shard whose consumer is gone is marked dead and swallows all further
+/// traffic; the join path reports the fault and quarantines its flows.
 fn flush_shard(
     tx: &mut Producer<ShardItem>,
     buf: &mut Vec<ShardItem>,
     metrics: Option<&DispatchMetrics>,
     w: usize,
-) -> RtResult<()> {
+    overload: OverloadPolicy,
+    shed: &mut [ShedStat],
+    dead: &mut [bool],
+) {
     if buf.is_empty() {
-        return Ok(());
+        return;
+    }
+    if dead[w] {
+        buf.clear();
+        return;
+    }
+    if matches!(overload, OverloadPolicy::Shed { .. }) {
+        let n = buf.len();
+        if tx.try_push_all(buf) {
+            if let Some(m) = metrics {
+                m.flushed(w, n);
+            }
+            return;
+        }
+        // Saturated (or dead — push_all below detects which): drop the
+        // deliveries, keep evictions / flushes / done markers.
+        let before = buf.len();
+        buf.retain(|it| !matches!(it, ShardItem::Delivery { .. }));
+        let dropped = (before - buf.len()) as u64;
+        if dropped > 0 {
+            shed[w].packets += dropped;
+            shed[w].batches += 1;
+        }
+        if buf.is_empty() {
+            return;
+        }
     }
     if let Some(m) = metrics {
         m.flushed(w, buf.len());
     }
     if !tx.push_all(buf) {
-        return Err(RtError::runtime("pipeline shard terminated unexpectedly"));
+        dead[w] = true;
+        buf.clear();
     }
-    Ok(())
 }
 
 /// Per-flow dispatcher bookkeeping: which shard owns the flow, and
@@ -923,32 +1266,59 @@ fn run_parallel(
     opts: &PipelineOptions,
 ) -> RtResult<AnalysisResult> {
     let workers = opts.workers.max(1);
-    let batch = opts.batch.max(1);
     let gov = opts.governance;
+    let overload = opts.overload;
+    // Under `Shed` the ring itself is the overload bound; the staged
+    // batch must fit it or no batch could ever be pushed.
+    let ring_cap = match overload {
+        OverloadPolicy::Block => opts.batch.max(1).saturating_mul(8).max(512),
+        OverloadPolicy::Shed { max_queue_depth } => max_queue_depth.max(1),
+    };
+    let batch = opts.batch.max(1).min(ring_cap);
     let trace = TraceBuffer::from_packets(packets);
     // Run the expensive front end (script + grammar compilation down to
     // optimized IR) once; shards only lower bytecode from the shared
     // blueprint. Doing it here also surfaces construction errors as
     // `Err` before any thread spawns (a shard thread could only panic).
     let blueprint = Arc::new(ShardBlueprint::build(proto, stack, engine, &gov)?);
-    drop(ShardState::new(proto, stack, gov, trace.clone(), &blueprint)?);
+    drop(ShardState::new(
+        proto,
+        stack,
+        gov,
+        trace.clone(),
+        Arc::clone(&blueprint),
+        None,
+    )?);
 
     // One SPSC ring per shard; each shard thread builds its own `!Send`
     // state, drains the ring in batches, and returns its report on join.
-    let ring_cap = batch.saturating_mul(8).max(512);
+    // Every item runs under a `catch_unwind` supervision boundary: a
+    // panic is contained to the shard (see `ShardState::on_panic`) and
+    // the loop keeps draining, so the ring's producer side stays alive.
     let mut txs: Vec<Producer<ShardItem>> = Vec::with_capacity(workers);
     let mut handles = Vec::with_capacity(workers);
-    for _ in 0..workers {
+    for w in 0..workers {
         let (tx, mut rx) = spsc::ring::<ShardItem>(ring_cap);
         let trace = trace.clone();
         let blueprint = Arc::clone(&blueprint);
+        let panic_countdown = opts.panic_inject.and_then(|(s, n)| (s == w).then_some(n));
+        let stall_ms = opts.stall_inject.and_then(|(s, ms)| (s == w).then_some(ms));
         let handle = std::thread::spawn(move || {
-            let mut st = ShardState::new(proto, stack, gov, trace, &blueprint)
+            if let Some(ms) = stall_ms {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            let mut st = ShardState::new(proto, stack, gov, trace, blueprint, panic_countdown)
                 .expect("shard construction passed pre-flight");
             let mut items = Vec::with_capacity(batch);
             while rx.pop_batch(&mut items, batch) > 0 {
                 for item in items.drain(..) {
-                    st.process(item);
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        st.begin(&item);
+                        st.process(item);
+                    }));
+                    if let Err(p) = r {
+                        st.on_panic(panic_detail(p));
+                    }
                 }
             }
             harvest(&mut st)
@@ -965,6 +1335,8 @@ fn run_parallel(
     let mut owner: HashMap<Arc<str>, FlowMeta> = HashMap::new();
     let mut first_seen: Vec<Arc<str>> = Vec::new();
     let mut buf: Vec<Vec<ShardItem>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut shed: Vec<ShedStat> = vec![ShedStat::default(); workers];
+    let mut shard_dead: Vec<bool> = vec![false; workers];
     let mut flows_expired = 0u64;
     let mut n_packets = 0u64;
     let mut last_ts = Time::ZERO;
@@ -1049,7 +1421,15 @@ fn run_parallel(
             finished,
         });
         if buf[shard].len() >= batch {
-            flush_shard(&mut txs[shard], &mut buf[shard], dmetrics.as_ref(), shard)?;
+            flush_shard(
+                &mut txs[shard],
+                &mut buf[shard],
+                dmetrics.as_ref(),
+                shard,
+                overload,
+                &mut shed,
+                &mut shard_dead,
+            );
         }
 
         // Idle-flow expiry is a *global* decision: the dispatcher's timer
@@ -1067,7 +1447,15 @@ fn run_parallel(
                         let w = m.shard;
                         buf[w].push(ShardItem::Evict { uid: dead.clone() });
                         if buf[w].len() >= batch {
-                            flush_shard(&mut txs[w], &mut buf[w], dmetrics.as_ref(), w)?;
+                            flush_shard(
+                                &mut txs[w],
+                                &mut buf[w],
+                                dmetrics.as_ref(),
+                                w,
+                                overload,
+                                &mut shed,
+                                &mut shard_dead,
+                            );
                         }
                     }
                     if let Some(t) = &mut dtel {
@@ -1114,7 +1502,15 @@ fn run_parallel(
                 ts: last_ts,
             });
             if buf[w].len() >= batch {
-                flush_shard(&mut txs[w], &mut buf[w], dmetrics.as_ref(), w)?;
+                flush_shard(
+                    &mut txs[w],
+                    &mut buf[w],
+                    dmetrics.as_ref(),
+                    w,
+                    overload,
+                    &mut shed,
+                    &mut shard_dead,
+                );
             }
         }
     }
@@ -1124,29 +1520,68 @@ fn run_parallel(
             major: done_major,
             ts: last_ts,
         });
-        flush_shard(&mut txs[w], b, dmetrics.as_ref(), w)?;
+        flush_shard(
+            &mut txs[w],
+            b,
+            dmetrics.as_ref(),
+            w,
+            overload,
+            &mut shed,
+            &mut shard_dead,
+        );
     }
 
     // Closing the rings is the shutdown signal: each shard drains what's
-    // buffered, harvests, and returns its report through `join`.
+    // buffered, harvests, and returns its report through `join`. A join
+    // failure (a panic that escaped the supervision boundary, e.g. in
+    // harvest itself) is contained as a structured `ShardFault` instead
+    // of unwrapping: the run completes, minus that shard's effects.
     drop(txs);
-    let mut reports: Vec<ShardReport> = Vec::with_capacity(workers);
-    for h in handles {
-        let r = h
-            .join()
-            .map_err(|_| RtError::runtime("pipeline shard terminated unexpectedly"))?;
-        reports.push(r);
+    let mut reports: Vec<Option<ShardReport>> = Vec::with_capacity(workers);
+    let mut shard_faults: Vec<ShardFault> = Vec::new();
+    for (w, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(r) => {
+                for detail in &r.faults {
+                    shard_faults.push(ShardFault {
+                        shard: w,
+                        detail: detail.clone(),
+                    });
+                }
+                reports.push(Some(r));
+            }
+            Err(p) => {
+                shard_faults.push(ShardFault {
+                    shard: w,
+                    detail: panic_detail(p),
+                });
+                reports.push(None);
+            }
+        }
     }
 
     // An ungoverned error aborts the run with the globally-first failure,
-    // exactly as the sequential pipeline's early return would.
+    // exactly as the sequential pipeline's early return would. (Caught
+    // panics set `fatal` in this mode, so they abort through here too.)
     if let Some((_, _, e)) = reports
         .iter()
         .enumerate()
-        .filter_map(|(w, r)| r.fatal.as_ref().map(|(k, e)| (*k, w, e)))
+        .filter_map(|(w, r)| {
+            r.as_ref()
+                .and_then(|r| r.fatal.as_ref())
+                .map(|(k, e)| (*k, w, e))
+        })
         .min_by_key(|(k, w, _)| (*k, *w))
     {
         return Err(e.clone());
+    }
+    if !gov.quarantine {
+        if let Some(f) = shard_faults.first() {
+            return Err(RtError::runtime(format!(
+                "pipeline shard {} terminated unexpectedly: {}",
+                f.shard, f.detail
+            )));
+        }
     }
 
     // Deterministic epoch merge: each shard contributes two key-sorted
@@ -1166,6 +1601,7 @@ fn run_parallel(
     }
     let mut descs: Vec<Desc> = Vec::new();
     for (w, r) in reports.iter().enumerate() {
+        let Some(r) = r else { continue };
         for (i, b) in r.blocks_main.iter().enumerate() {
             descs.push(Desc {
                 key: b.key,
@@ -1211,7 +1647,7 @@ fn run_parallel(
             }
             continue;
         }
-        let r = &mut reports[d.rank];
+        let r = reports[d.rank].as_mut().expect("desc from a live shard");
         let b = if d.tail {
             r.blocks_tail[d.idx]
         } else {
@@ -1235,6 +1671,29 @@ fn run_parallel(
             merged_events.push(std::mem::take(v));
         }
     }
+    // Flows owned by a shard that never reported (join failure): no shard
+    // ledger exists for them, so the dispatcher quarantines them post-hoc
+    // from its owner map, in first-seen order, with the sequential
+    // pipeline's per-quarantine counter bookkeeping.
+    let lost_shards: Vec<usize> = reports
+        .iter()
+        .enumerate()
+        .filter_map(|(w, r)| r.is_none().then_some(w))
+        .collect();
+    if !lost_shards.is_empty() {
+        for uid in &first_seen {
+            if lost_shards.contains(&owner[&**uid].shard) {
+                flow_errors.push(FlowError::shard_panic(uid, last_ts));
+                if let Some(t) = &dtel {
+                    t.telemetry.counter("pipeline.flows_quarantined").inc();
+                    t.telemetry
+                        .registry
+                        .counter(&format!("pipeline.flow_errors.{}", FlowError::SHARD_PANIC))
+                        .inc();
+                }
+            }
+        }
+    }
     // Quarantine events trail the merged stream in merged-ledger order —
     // the order `PipelineTelemetry::finish` uses.
     if gov.telemetry {
@@ -1253,19 +1712,47 @@ fn run_parallel(
 
     let telemetry = match &dtel {
         Some(t) => {
+            // Registered only when a fault happened, so unfaulted parallel
+            // snapshots stay byte-identical to sequential ones.
+            if !shard_faults.is_empty() {
+                t.telemetry
+                    .counter("pipeline.shard_faults")
+                    .add(shard_faults.len() as u64);
+            }
             let mut parts = vec![t.telemetry.snapshot()];
-            parts.extend(reports.iter().map(|r| r.snapshot.clone()));
+            parts.extend(
+                reports
+                    .iter()
+                    .filter_map(|r| r.as_ref())
+                    .map(|r| r.snapshot.clone()),
+            );
             let mut merged = TelemetrySnapshot::merge(&parts);
             merged.events = merged_events;
             merged
         }
         None => TelemetrySnapshot::default(),
     };
+    // Shed accounting is dispatch-plane (it depends on wall-clock ring
+    // pressure); counters appear only when shedding happened, so `Block`
+    // runs keep their deterministic dispatch snapshot.
+    if let Some(m) = &dmetrics {
+        for (w, s) in shed.iter().enumerate() {
+            if s.packets > 0 {
+                m.telemetry
+                    .counter(&format!("pipeline.shed_packets.shard{w}"))
+                    .add(s.packets);
+                m.telemetry
+                    .counter(&format!("pipeline.shed_batches.shard{w}"))
+                    .add(s.batches);
+            }
+        }
+    }
     let dispatch_telemetry = dmetrics
         .as_ref()
         .map(|m| m.telemetry.snapshot())
         .unwrap_or_default();
-    for r in &reports {
+    let live = || reports.iter().filter_map(|r| r.as_ref());
+    for r in live() {
         profiler.absorb(&r.profiler);
     }
 
@@ -1276,13 +1763,15 @@ fn run_parallel(
         dns_log,
         output,
         profiler,
-        events: reports.iter().map(|r| r.n_events).sum(),
+        events: live().map(|r| r.n_events).sum(),
         packets: n_packets,
         flow_errors,
         flows_expired,
-        peak_flow_bytes: reports.iter().map(|r| r.peak_flow_bytes).max().unwrap_or(0),
-        parse_failures: reports.iter().map(|r| r.parse_failures).sum(),
+        peak_flow_bytes: live().map(|r| r.peak_flow_bytes).max().unwrap_or(0),
+        parse_failures: live().map(|r| r.parse_failures).sum(),
         telemetry,
         dispatch_telemetry,
+        shard_faults,
+        shed_packets: shed.iter().map(|s| s.packets).sum(),
     })
 }

@@ -72,6 +72,16 @@ pub struct AnalysisResult {
     /// batch)` configuration. Empty for sequential runs or when
     /// [`Governance::telemetry`] is off.
     pub dispatch_telemetry: TelemetrySnapshot,
+    /// Shard workers that panicked or failed to join during a parallel
+    /// run. The supervisor contains each fault to its shard: the shard's
+    /// live flows are quarantined as `ShardPanic` in
+    /// [`flow_errors`](Self::flow_errors) and the run completes. Always
+    /// empty for sequential runs.
+    pub shard_faults: Vec<ShardFault>,
+    /// Delivery packets dropped at the dispatcher under
+    /// `OverloadPolicy::Shed` (saturated shard ring). Always 0 under
+    /// `Block` and for sequential runs.
+    pub shed_packets: u64,
 }
 
 /// Resource-governance policy for an analysis run. The default is the
@@ -105,6 +115,16 @@ pub struct Governance {
     /// is per-host, so each parallel shard tiers independently; outputs
     /// stay byte-identical in every mode.
     pub tiering: Option<hilti::tier::TieringMode>,
+    /// Wall-clock watchdog per delivery: every parser feed and script
+    /// event dispatch must finish within this many milliseconds or it
+    /// trips `Hilti::ResourceExhausted` on that flow (quarantined like
+    /// any other flow fault). Bounds *time* where fuel bounds *work* —
+    /// a wedged parser trips the deadline instead of stalling its shard
+    /// ring. `None` (default) adds no checks at all. Deadline trips
+    /// depend on wall-clock speed, so runs armed with this are not
+    /// bit-deterministic under adversarial timing — use fuel where
+    /// reproducibility matters.
+    pub delivery_deadline_ms: Option<u64>,
 }
 
 /// One flow the quarantine tore down.
@@ -126,6 +146,30 @@ impl FlowError {
             ts,
         }
     }
+
+    /// The error kind recorded for flows lost to a shard fault. Not a
+    /// HILTI exception: the failure domain is the worker thread, not the
+    /// flow's own execution.
+    pub const SHARD_PANIC: &'static str = "ShardPanic";
+
+    pub(crate) fn shard_panic(uid: &str, ts: Time) -> Self {
+        FlowError {
+            uid: uid.to_owned(),
+            kind: FlowError::SHARD_PANIC.to_owned(),
+            detail: "owning shard worker panicked".to_owned(),
+            ts,
+        }
+    }
+}
+
+/// One shard-worker failure a parallel run survived: a panic caught at
+/// the supervision boundary, or a worker thread that could not be joined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFault {
+    /// Index of the faulted shard (0-based).
+    pub shard: usize,
+    /// Panic payload or join-failure description.
+    pub detail: String,
 }
 
 /// Pre-interned handles for the pipeline's metric schema, plus the
@@ -293,6 +337,7 @@ pub fn run_http_analysis_governed(
             if let Some(t) = &tel {
                 b.set_telemetry(&t.telemetry);
             }
+            b.set_delivery_deadline_ms(gov.delivery_deadline_ms);
             Some(b)
         }
         ParserStack::Standard => None,
@@ -349,31 +394,42 @@ pub fn run_http_analysis_governed(
                             parser.finish(pkt.ts, &mut events);
                         }
                     }
-                    ParserStack::Binpac => {
-                        let bp = bp.as_mut().expect("binpac stack");
-                        let mut fail: Option<RtError> = None;
-                        if !payload.is_empty() {
-                            if let Err(e) = bp.feed(&uid, id, is_orig, pkt.ts, &payload) {
-                                fail = Some(e);
+                    // A missing parser stack degrades the flow (quarantine)
+                    // rather than panicking the process.
+                    ParserStack::Binpac => match bp.as_mut() {
+                        Some(bp) => {
+                            let mut fail: Option<RtError> = None;
+                            if !payload.is_empty() {
+                                if let Err(e) = bp.feed(&uid, id, is_orig, pkt.ts, &payload) {
+                                    fail = Some(e);
+                                }
+                            }
+                            if fail.is_none() && finished {
+                                if let Err(e) = bp.finish_conn(&uid, id, pkt.ts) {
+                                    fail = Some(e);
+                                }
+                            }
+                            // Events emitted before the fault still count.
+                            events.extend(bp.take_events());
+                            if let Some(e) = fail {
+                                if !gov.quarantine {
+                                    return Err(e);
+                                }
+                                bp.drop_conn(&uid);
+                                std_parsers.remove(&uid);
+                                quarantined.insert(uid.clone());
+                                flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
                             }
                         }
-                        if fail.is_none() && finished {
-                            if let Err(e) = bp.finish_conn(&uid, id, pkt.ts) {
-                                fail = Some(e);
-                            }
-                        }
-                        // Events emitted before the fault still count.
-                        events.extend(bp.take_events());
-                        if let Some(e) = fail {
+                        None => {
+                            let e = RtError::runtime("binpac parser stack unavailable");
                             if !gov.quarantine {
                                 return Err(e);
                             }
-                            bp.drop_conn(&uid);
-                            std_parsers.remove(&uid);
                             quarantined.insert(uid.clone());
                             flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
                         }
-                    }
+                    },
                 }
             }
 
@@ -417,18 +473,21 @@ pub fn run_http_analysis_governed(
             }
         }
         ParserStack::Binpac => {
-            let bp = bp.as_mut().expect("binpac stack");
-            if gov.quarantine {
-                for uid in bp.live_uids() {
-                    if let Err(e) = bp.finish_conn(&uid, placeholder_id(), last_ts) {
-                        bp.drop_conn(&uid);
-                        flow_errors.push(FlowError::new(&uid, &e, last_ts));
+            if let Some(bp) = bp.as_mut() {
+                if gov.quarantine {
+                    for uid in bp.live_uids() {
+                        if let Err(e) = bp.finish_conn(&uid, placeholder_id(), last_ts) {
+                            bp.drop_conn(&uid);
+                            flow_errors.push(FlowError::new(&uid, &e, last_ts));
+                        }
                     }
+                } else {
+                    bp.finish_all(last_ts)?;
                 }
-            } else {
-                bp.finish_all(last_ts)?;
+                tail_events.extend(bp.take_events());
+            } else if !gov.quarantine {
+                return Err(RtError::runtime("binpac parser stack unavailable"));
             }
-            tail_events.extend(bp.take_events());
         }
     }
     dispatch_events(
@@ -438,12 +497,7 @@ pub fn run_http_analysis_governed(
         &mut n_events,
         &mut flow_errors,
     )?;
-    if gov.script_fuel.is_some() {
-        host.set_limits(ResourceLimits {
-            fuel: gov.script_fuel,
-            ..ResourceLimits::default()
-        });
-    }
+    arm_script_limits(&mut host, gov);
     if let Err(e) = host.done() {
         if !gov.quarantine {
             return Err(e);
@@ -470,7 +524,22 @@ pub fn run_http_analysis_governed(
         parse_failures: 0,
         telemetry,
         dispatch_telemetry: TelemetrySnapshot::default(),
+        shard_faults: Vec::new(),
+        shed_packets: 0,
     })
+}
+
+/// Re-arms the script engine's per-event limits — the fuel budget and the
+/// delivery deadline — when either is configured. A no-op otherwise, so
+/// ungoverned runs pay nothing.
+pub(crate) fn arm_script_limits(host: &mut ScriptHost, gov: &Governance) {
+    if gov.script_fuel.is_some() || gov.delivery_deadline_ms.is_some() {
+        host.set_limits(ResourceLimits {
+            fuel: gov.script_fuel,
+            deadline_ms: gov.delivery_deadline_ms,
+            ..ResourceLimits::default()
+        });
+    }
 }
 
 /// Dispatches a batch of events under the governance policy: the script
@@ -485,12 +554,7 @@ fn dispatch_events(
 ) -> RtResult<()> {
     for ev in events {
         *n_events += 1;
-        if gov.script_fuel.is_some() {
-            host.set_limits(ResourceLimits {
-                fuel: gov.script_fuel,
-                ..ResourceLimits::default()
-            });
-        }
+        arm_script_limits(host, gov);
         if let Err(e) = host.dispatch_event(ev) {
             if !gov.quarantine {
                 return Err(e);
@@ -571,6 +635,7 @@ pub fn run_dns_analysis_governed(
             if let Some(t) = &tel {
                 b.set_telemetry(&t.telemetry);
             }
+            b.set_delivery_deadline_ms(gov.delivery_deadline_ms);
             Some(b)
         }
         ParserStack::Standard => None,
@@ -617,25 +682,33 @@ pub fn run_dns_analysis_governed(
                             }
                         }
                     }
-                    ParserStack::Binpac => {
-                        let bp = bp.as_mut().expect("binpac stack");
-                        match bp.datagram(&uid, id, pkt.ts, &payload) {
-                            Ok(true) => {}
-                            Ok(false) => {
-                                parse_failures += 1;
-                                if let Some(t) = &tel {
-                                    t.parse_failure(&uid, pkt.ts);
+                    ParserStack::Binpac => match bp.as_mut() {
+                        Some(bp) => {
+                            match bp.datagram(&uid, id, pkt.ts, &payload) {
+                                Ok(true) => {}
+                                Ok(false) => {
+                                    parse_failures += 1;
+                                    if let Some(t) = &tel {
+                                        t.parse_failure(&uid, pkt.ts);
+                                    }
+                                }
+                                Err(e) => {
+                                    if !gov.quarantine {
+                                        return Err(e);
+                                    }
+                                    flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
                                 }
                             }
-                            Err(e) => {
-                                if !gov.quarantine {
-                                    return Err(e);
-                                }
-                                flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
-                            }
+                            events.extend(bp.take_events());
                         }
-                        events.extend(bp.take_events());
-                    }
+                        None => {
+                            let e = RtError::runtime("binpac parser stack unavailable");
+                            if !gov.quarantine {
+                                return Err(e);
+                            }
+                            flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
+                        }
+                    },
                 }
             }
             if let Some(ms) = gov.idle_timeout_ms {
@@ -655,12 +728,7 @@ pub fn run_dns_analysis_governed(
         }
         dispatch_events(&mut host, &events, gov, &mut n_events, &mut flow_errors)?;
     }
-    if gov.script_fuel.is_some() {
-        host.set_limits(ResourceLimits {
-            fuel: gov.script_fuel,
-            ..ResourceLimits::default()
-        });
-    }
+    arm_script_limits(&mut host, gov);
     if let Err(e) = host.done() {
         if !gov.quarantine {
             return Err(e);
@@ -686,6 +754,8 @@ pub fn run_dns_analysis_governed(
         parse_failures,
         telemetry,
         dispatch_telemetry: TelemetrySnapshot::default(),
+        shard_faults: Vec::new(),
+        shed_packets: 0,
     })
 }
 

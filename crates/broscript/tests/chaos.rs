@@ -25,6 +25,7 @@ fn chaos_gov() -> Governance {
         inject_fault_after: None,
         telemetry: true,
         tiering: None,
+        delivery_deadline_ms: None,
     }
 }
 
@@ -148,6 +149,7 @@ fn governance_with_generous_limits_changes_nothing() {
         inject_fault_after: None,
         telemetry: false,
         tiering: None,
+        delivery_deadline_ms: None,
     };
     let a = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &generous)
         .unwrap();

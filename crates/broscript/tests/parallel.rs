@@ -20,6 +20,7 @@ fn chaos_gov() -> Governance {
         inject_fault_after: None,
         telemetry: true,
         tiering: None,
+        delivery_deadline_ms: None,
     }
 }
 
@@ -47,6 +48,8 @@ fn assert_identical(a: &AnalysisResult, b: &AnalysisResult, what: &str) {
         "{what}: peak_flow_bytes"
     );
     assert_eq!(a.parse_failures, b.parse_failures, "{what}: parse_failures");
+    assert_eq!(a.shard_faults, b.shard_faults, "{what}: shard faults");
+    assert_eq!(a.shed_packets, b.shed_packets, "{what}: shed packets");
     assert_eq!(a.telemetry, b.telemetry, "{what}: telemetry snapshot");
     assert_eq!(
         a.telemetry.to_json(),
@@ -178,6 +181,7 @@ fn batch_size_never_changes_output() {
                     workers: n,
                     batch,
                     governance: chaos_gov(),
+                    ..Default::default()
                 };
                 let r = run_http_analysis_parallel(&trace, stack, Engine::Interpreted, &o)
                     .unwrap_or_else(|e| panic!("{stack:?} x{n} batch {batch}: {e}"));

@@ -141,13 +141,17 @@ fn dispatch_telemetry_is_deterministic_and_separate() {
         workers: 4,
         batch: 16,
         governance: gov(true),
+        ..Default::default()
     };
-    let a = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
-        .unwrap();
-    let b = run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
-        .unwrap();
+    let a =
+        run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts).unwrap();
+    let b =
+        run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts).unwrap();
     assert_eq!(a.dispatch_telemetry, b.dispatch_telemetry);
-    assert_eq!(a.dispatch_telemetry.to_json(), b.dispatch_telemetry.to_json());
+    assert_eq!(
+        a.dispatch_telemetry.to_json(),
+        b.dispatch_telemetry.to_json()
+    );
 
     let d = &a.dispatch_telemetry;
     assert!(d.counter("pipeline.dispatch_batches") > 0);
@@ -182,7 +186,10 @@ fn dispatch_telemetry_is_deterministic_and_separate() {
     let seq = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov(true))
         .unwrap();
     assert_eq!(seq.dispatch_telemetry, Default::default());
-    assert_eq!(a.telemetry, seq.telemetry, "merged snapshot matches sequential");
+    assert_eq!(
+        a.telemetry, seq.telemetry,
+        "merged snapshot matches sequential"
+    );
 }
 
 #[test]

@@ -35,6 +35,15 @@ pub struct ResourceLimits {
     pub max_heap_bytes: Option<u64>,
     /// Cap on the call stack depth (activation records).
     pub max_call_depth: Option<u32>,
+    /// Wall-clock watchdog: execution armed with this must reach its next
+    /// exit within the given number of milliseconds (measured from
+    /// `set_limits`) or trip `Hilti::ResourceExhausted`. Unlike fuel —
+    /// which bounds *work* — the deadline bounds *time*, catching wedged
+    /// states that burn cheap instructions forever. Checked at fuel-charge
+    /// points with an amortized clock read, so enforcement granularity is
+    /// a few thousand instructions; `Some(0)` trips deterministically at
+    /// the first check.
+    pub deadline_ms: Option<u64>,
 }
 
 impl ResourceLimits {

@@ -62,8 +62,9 @@ impl<T> Drop for RingInner<T> {
 /// Creates a bounded SPSC ring with room for `capacity` items (min 1).
 pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(1);
-    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
-        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
     let inner = Arc::new(RingInner {
         buf,
         cap,
@@ -134,6 +135,36 @@ impl<T: Send> Producer<T> {
             if !self.push(item) {
                 return false;
             }
+        }
+        true
+    }
+
+    /// Non-blocking, all-or-nothing variant of [`Producer::push_all`]:
+    /// pushes the whole batch if the ring currently has room for every
+    /// item, and otherwise returns `false` with `batch` untouched — the
+    /// caller decides whether to retry, block, or shed the load. Also
+    /// returns `false` (batch untouched) when the consumer is gone.
+    ///
+    /// The free-space check is safe without a retry loop: only the
+    /// consumer advances `head`, so the observed room can only grow
+    /// between the load and the writes.
+    pub fn try_push_all(&mut self, batch: &mut Vec<T>) -> bool {
+        let r = &*self.inner;
+        if r.rx_closed.load(Ordering::Acquire) {
+            return false;
+        }
+        let head = r.head.0.load(Ordering::Acquire);
+        if r.cap - (self.tail - head) < batch.len() {
+            return false;
+        }
+        for item in batch.drain(..) {
+            unsafe { (*r.buf[self.tail % r.cap].get()).write(item) };
+            self.tail += 1;
+        }
+        r.tail.0.store(self.tail, Ordering::Release);
+        if r.cons_waiting.load(Ordering::Relaxed) {
+            let _g = r.lock.lock().unwrap();
+            r.not_empty.notify_one();
         }
         true
     }
@@ -312,6 +343,82 @@ mod tests {
         std::thread::yield_now();
         drop(rx);
         assert!(!h.join().unwrap(), "push reports the dead consumer");
+    }
+
+    #[test]
+    fn try_push_all_is_all_or_nothing_on_a_saturated_ring() {
+        // A stalled consumer leaves the ring full: the non-blocking push
+        // must refuse without blocking and without consuming the batch.
+        let (mut tx, mut rx) = ring::<u32>(4);
+        let mut batch = vec![1, 2, 3];
+        assert!(tx.try_push_all(&mut batch));
+        assert!(batch.is_empty());
+        let mut batch = vec![4, 5];
+        assert!(!tx.try_push_all(&mut batch), "only one free slot for two");
+        assert_eq!(batch, vec![4, 5], "refused batch must be untouched");
+        let mut one = vec![4];
+        assert!(tx.try_push_all(&mut one), "exactly-fits batch is accepted");
+        // Consumer resumes: draining frees room and the refused batch fits.
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 4), 4);
+        assert!(tx.try_push_all(&mut batch));
+        drop(tx);
+        out.clear();
+        assert_eq!(rx.pop_batch(&mut out, 8), 2);
+        assert_eq!(out, vec![4, 5]);
+    }
+
+    #[test]
+    fn push_all_makes_partial_progress_under_a_slow_consumer() {
+        // push_all drains item by item: with a capacity-2 ring and a
+        // consumer that pops one item at a time with a pause, the producer
+        // is repeatedly blocked mid-batch and must resume where it left
+        // off, preserving order end to end.
+        let (mut tx, mut rx) = ring::<usize>(2);
+        let h = std::thread::spawn(move || {
+            let mut batch: Vec<usize> = (0..64).collect();
+            assert!(tx.push_all(&mut batch));
+            assert!(batch.is_empty(), "push_all drains everything it sent");
+        });
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            // A slow consumer: one item per pop, with a yield between pops
+            // so the producer experiences a full ring most of the time.
+            std::thread::yield_now();
+            buf.clear();
+            if rx.pop_batch(&mut buf, 1) == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf);
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn producer_blocked_on_full_wakes_when_consumer_resumes() {
+        // The producer parks on a full ring while the consumer stalls;
+        // a pop after the stall must wake it (join proves the wakeup).
+        let (mut tx, mut rx) = ring::<u8>(1);
+        assert!(tx.push(1));
+        let h = std::thread::spawn(move || tx.push(2));
+        // Stall the consumer long enough for the producer to park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 1), 1);
+        assert!(h.join().unwrap(), "blocked push completed after resume");
+        assert_eq!(rx.pop_batch(&mut out, 1), 1);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn try_push_all_reports_dead_consumer_without_consuming() {
+        let (mut tx, rx) = ring::<u32>(8);
+        drop(rx);
+        let mut batch = vec![1, 2, 3];
+        assert!(!tx.try_push_all(&mut batch));
+        assert_eq!(batch, vec![1, 2, 3]);
     }
 
     #[test]

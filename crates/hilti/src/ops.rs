@@ -2038,7 +2038,10 @@ mod tests {
     fn classifier_ops_roundtrip() {
         let mut ctx = TestCtx::new();
         let c = instantiate(
-            &Type::Classifier(std::sync::Arc::new(Type::Any), std::sync::Arc::new(Type::Bool)),
+            &Type::Classifier(
+                std::sync::Arc::new(Type::Any),
+                std::sync::Arc::new(Type::Bool),
+            ),
             &[],
             &mut ctx,
         )

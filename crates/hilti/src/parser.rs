@@ -491,7 +491,10 @@ impl Parser {
             "interval" => Type::Interval,
             "any" => Type::Any,
             "regexp" => Type::Regexp,
-            "callable" => Type::Callable(std::sync::Arc::new(Vec::new()), std::sync::Arc::new(Type::Any)),
+            "callable" => Type::Callable(
+                std::sync::Arc::new(Vec::new()),
+                std::sync::Arc::new(Type::Any),
+            ),
             "matcher" => Type::Matcher,
             "timer_mgr" => Type::TimerMgr,
             "file" => Type::File,

@@ -103,6 +103,14 @@ pub struct Context {
     /// next fuel charge raises `fault_error` instead. `u64::MAX` = disarmed.
     fault_countdown: u64,
     fault_error: Option<RtError>,
+    /// Delivery-watchdog deadline (wall clock); `None` = disarmed. Unlike
+    /// fuel this bounds *time*, so a wedged state that burns cheap
+    /// instructions forever still trips `Hilti::ResourceExhausted`.
+    watchdog_at: Option<std::time::Instant>,
+    /// Fuel units charged since the last watchdog clock read: the clock is
+    /// consulted only every [`WATCHDOG_CHECK_UNITS`] units, keeping the
+    /// disarmed hot path to one predictable branch.
+    watchdog_acc: u64,
     /// Profile-guided adaptive tiering (see [`crate::tier`]). `None` means
     /// the feature is not armed at all (the static-specialization default);
     /// per-context state keeps the parallel pipeline's shards lock-free.
@@ -111,6 +119,14 @@ pub struct Context {
 
 /// Upper bound on captured trace lines; tracing silently stops there.
 pub const TRACE_CAP: usize = 1_000_000;
+
+/// Fuel units between wall-clock reads when a watchdog deadline is armed.
+/// Also caps the specialized fast tier's local fuel while armed, so the
+/// inner loop always returns to a generic charge point (and its clock
+/// check) within this many units — bounding detection latency to a few
+/// thousand instructions even for programs the fast tier could otherwise
+/// spin in forever.
+pub(crate) const WATCHDOG_CHECK_UNITS: u64 = 4096;
 
 impl Context {
     /// Creates a context for `prog`, with globals initialized.
@@ -147,6 +163,8 @@ impl Context {
             heap: None,
             fault_countdown: u64::MAX,
             fault_error: None,
+            watchdog_at: None,
+            watchdog_acc: 0,
             tier: None,
         }
     }
@@ -224,7 +242,29 @@ impl Context {
     pub fn set_limits(&mut self, limits: ResourceLimits) {
         self.fuel_left = limits.fuel.unwrap_or(u64::MAX);
         self.heap = limits.max_heap_bytes.map(AllocBudget::with_limit);
+        self.arm_deadline_after_ms(limits.deadline_ms);
         self.limits = limits;
+    }
+
+    /// Arms (or clears) the wall-clock watchdog without touching the fuel
+    /// meter or heap budget: execution must reach its next exit within
+    /// `ms` milliseconds from now or trip `Hilti::ResourceExhausted` at a
+    /// fuel-charge point. Host applications re-arm this per delivery so a
+    /// wedged parse bounds only its own delivery, never the pipeline.
+    pub fn arm_deadline_after_ms(&mut self, ms: Option<u64>) {
+        self.watchdog_at =
+            ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        // Pre-load the accumulator so the first charge after arming reads
+        // the clock: a zero deadline trips deterministically at the first
+        // charge point, which the chaos tests rely on.
+        self.watchdog_acc = WATCHDOG_CHECK_UNITS;
+    }
+
+    /// Whether a delivery deadline is armed (caps the specialized
+    /// fast-dispatch tier's run length so charge points stay frequent).
+    #[inline]
+    pub(crate) fn deadline_armed(&self) -> bool {
+        self.watchdog_at.is_some()
     }
 
     /// The configured resource limits.
@@ -284,6 +324,21 @@ impl Context {
         }
         self.fuel_left -= cost;
         self.fuel_spent = self.fuel_spent.wrapping_add(cost);
+        if let Some(at) = self.watchdog_at {
+            self.watchdog_acc = self.watchdog_acc.saturating_add(cost);
+            if self.watchdog_acc >= WATCHDOG_CHECK_UNITS {
+                self.watchdog_acc = 0;
+                if std::time::Instant::now() >= at {
+                    // Stays armed: a handler that catches the exception
+                    // gets at most one more check window, not a reprieve.
+                    if let Some(t) = &self.telemetry {
+                        t.sink
+                            .emit("resource_limit", vec![("resource", "deadline".into())]);
+                    }
+                    return Err(RtError::resource_exhausted("delivery deadline exceeded"));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -826,7 +881,16 @@ pub fn run(
         // can never be outrun and never double-charges.
         if !observing {
             let fuel_start = ctx.fuel_left;
-            let mut fuel = ctx.fuel_left;
+            // An armed watchdog needs periodic charge points: cap the
+            // local countdown so the inner loop falls back to the generic
+            // path (and its amortized clock check) within a bounded number
+            // of instructions, even for loops the fast tier handles fully.
+            let clamp = if ctx.deadline_armed() {
+                fuel_start.min(WATCHDOG_CHECK_UNITS)
+            } else {
+                fuel_start
+            };
+            let mut fuel = clamp;
             while let Some(instr) = cf.code.get(frame.pc as usize) {
                 match instr {
                     CInstr::AddInt { dst, a, b } => {
@@ -964,8 +1028,14 @@ pub fn run(
                 }
             }
             // The loop only ever decrements, so the delta is exact.
-            ctx.fuel_spent = ctx.fuel_spent.wrapping_add(fuel_start - fuel);
-            ctx.fuel_left = fuel;
+            let used = clamp - fuel;
+            ctx.fuel_spent = ctx.fuel_spent.wrapping_add(used);
+            ctx.fuel_left = fuel_start - used;
+            if ctx.watchdog_at.is_some() {
+                // Count the fast tier's work toward the next clock read;
+                // the check itself happens at the next generic charge.
+                ctx.watchdog_acc = ctx.watchdog_acc.saturating_add(used);
+            }
         }
 
         let Some(instr) = cf.code.get(frame.pc as usize) else {

@@ -323,6 +323,86 @@ done:
 }
 
 #[test]
+fn zero_deadline_trips_on_every_engine() {
+    // deadline_ms = 0 pre-expires the watchdog, so the first amortized
+    // check — which arming schedules for the first fuel charge — trips
+    // deterministically on every engine, including the interpreter.
+    let deadline = ResourceLimits {
+        deadline_ms: Some(0),
+        ..Default::default()
+    };
+
+    let mut p = build(LOOP_SRC, true);
+    p.set_limits(deadline);
+    let e = p.run("G::looper", &[Value::Int(1000)]).unwrap_err();
+    assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
+
+    let mut p = build(LOOP_SRC, false);
+    p.set_limits(deadline);
+    let e = p.run("G::looper", &[Value::Int(1000)]).unwrap_err();
+    assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
+
+    let mut p = build(LOOP_SRC, false);
+    p.set_limits(deadline);
+    let e = p
+        .run_interpreted("G::looper", &[Value::Int(1000)])
+        .unwrap_err();
+    assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
+}
+
+#[test]
+fn deadline_cannot_be_outrun_by_catching() {
+    // Like fuel, a tripped deadline stays tripped: a handler that catches
+    // ResourceExhausted re-trips within one check interval, so a wedged
+    // program cannot loop forever inside its own handler.
+    const CATCHER: &str = r#"
+module G
+int<64> greedy() {
+    local int<64> i
+    i = assign 0
+    try {
+loop:
+        i = int.add i 1
+        jump loop
+    } catch ( ref<Hilti::ResourceExhausted> e ) {
+        return -1
+    }
+    return i
+}
+"#;
+    let mut p = build(CATCHER, true);
+    p.set_limits(ResourceLimits {
+        deadline_ms: Some(0),
+        ..Default::default()
+    });
+    let e = p.run("G::greedy", &[]).unwrap_err();
+    assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
+}
+
+#[test]
+fn generous_deadline_does_not_perturb_execution() {
+    // A deadline the program comfortably beats must not change the result,
+    // the printed output, or the fuel charge schedule.
+    let args = [Value::Int(8)];
+    let mut plain = build(LOOP_SRC, true);
+    plain.set_limits(fuel(10_000));
+    let want = plain.run("G::looper", &args).unwrap();
+    let want_out = plain.take_output();
+    let want_fuel = plain.context().fuel_remaining().unwrap();
+
+    let mut p = build(LOOP_SRC, true);
+    p.set_limits(ResourceLimits {
+        fuel: Some(10_000),
+        deadline_ms: Some(600_000),
+        ..Default::default()
+    });
+    let got = p.run("G::looper", &args).unwrap();
+    assert!(got.equals(&want));
+    assert_eq!(p.take_output(), want_out);
+    assert_eq!(p.context().fuel_remaining().unwrap(), want_fuel);
+}
+
+#[test]
 fn fault_injection_is_deterministic() {
     let run_with_fault = |after: u64| {
         let mut p = build(LOOP_SRC, true);

@@ -439,10 +439,16 @@ mod tests {
     #[test]
     fn segment_ref_passthrough_on_in_order_data() {
         let mut r = StreamReassembler::new(0);
-        assert_eq!(r.segment_ref(1, b"abc"), SegmentOut::Passthrough { skip: 0 });
+        assert_eq!(
+            r.segment_ref(1, b"abc"),
+            SegmentOut::Passthrough { skip: 0 }
+        );
         assert_eq!(r.delivered(), 3);
         // Retransmitted prefix: the delivery is the new suffix of the slice.
-        assert_eq!(r.segment_ref(2, b"bcDE"), SegmentOut::Passthrough { skip: 2 });
+        assert_eq!(
+            r.segment_ref(2, b"bcDE"),
+            SegmentOut::Passthrough { skip: 2 }
+        );
         assert_eq!(r.delivered(), 5);
         // Pure duplicate.
         assert_eq!(r.segment_ref(1, b"abc"), SegmentOut::Empty);

@@ -430,6 +430,55 @@ pub fn throughput_trace(seed: u64, flows: usize) -> Vec<RawPacket> {
     packets
 }
 
+/// Deterministic high-flow-count DNS throughput workload: `flows`
+/// well-formed query/response pairs over UDP/53, each on a distinct
+/// 5-tuple (unique for `flows` < 2^22). The DNS companion to
+/// [`throughput_trace`]: tiny fixed-shape messages so soak and
+/// throughput harnesses measure the pipeline, not the generator, and
+/// every query gets an answer so a lossless run logs exactly `flows`
+/// entries.
+pub fn throughput_dns_trace(seed: u64, flows: usize) -> Vec<RawPacket> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::with_capacity(flows * 2);
+    for f in 0..flows {
+        let client = Addr::v4(
+            10,
+            (((f >> 16) & 0x3f) + 65) as u8,
+            ((f >> 8) & 0xff) as u8,
+            (f & 0xff) as u8,
+        );
+        let server = Addr::v4(8, 8, ((f / 11) % 250) as u8, ((f / 5) % 250 + 1) as u8);
+        let cport = 20000 + (f % 40000) as u16;
+        let trans_id = (f as u16) ^ 0x5A17;
+        let name = DNS_NAMES[f % DNS_NAMES.len()];
+        let base = Time::from_nanos((f as u64) * 60_000);
+
+        let query = DnsBuilder::new(trans_id, false, 0)
+            .question(name, dns_types::A)
+            .build();
+        packets.push(RawPacket::new(
+            base,
+            build_udp_frame(client, server, cport, 53, &query),
+        ));
+
+        let rtt = 1_000_000 + rng.gen_range(0..500) * 1_000;
+        let resp = DnsBuilder::new(trans_id, true, 0)
+            .question(name, dns_types::A)
+            .answer_a(
+                name,
+                60 + (f % 3600) as u32,
+                [93, 184, ((f % 249) + 1) as u8, ((f % 199) + 1) as u8],
+            )
+            .build();
+        packets.push(RawPacket::new(
+            base + hilti_rt::time::Interval::from_nanos(rtt),
+            build_udp_frame(client, server, cport, 53, &resp),
+        ));
+    }
+    packets.sort_by_key(|p| p.ts);
+    packets
+}
+
 /// Adversarial trace generation: deterministic counts of each protocol
 /// malformation, so harnesses can assert exact per-category error totals.
 ///

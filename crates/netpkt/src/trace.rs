@@ -89,7 +89,10 @@ impl TraceBuffer {
 pub enum PayloadRef {
     Empty,
     /// `(offset, len)` into the trace arena.
-    Shared { off: u64, len: u32 },
+    Shared {
+        off: u64,
+        len: u32,
+    },
     Owned(Vec<u8>),
 }
 
