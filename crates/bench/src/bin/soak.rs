@@ -18,11 +18,19 @@
 //! Usage:
 //!   soak [--smoke] [--flows N] [--wave N] [--seconds S] [--workers N]
 //!        [--proto http|dns|mix] [--seed N] [--shed DEPTH]
-//!        [--deadline-ms MS] [--out FILE]
+//!        [--deadline-ms MS] [--out FILE] [--live-stats SECS]
+//!        [--trace-out FILE]
 //!
 //! `--smoke` is the CI profile: a reduced flow count inside a tight time
 //! box. The full profile targets ~1M flows. Exit status is non-zero on
 //! any invariant violation, so CI can gate on it directly.
+//!
+//! `--live-stats S` arms the flight recorder and prints a status line
+//! (pkts/s, p99 delivery latency, shed count, peak per-shard queue
+//! depth) every ~S seconds. `--trace-out FILE` writes the last wave's
+//! trace as Chrome trace-event JSON (`hilti.trace.v1`) plus a
+//! `FILE.postmortem.jsonl` sibling when fault dumps were captured; with
+//! either flag the `--out` summary gains delivery-latency quantiles.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +41,7 @@ use broscript::parallel::{
     run_dns_analysis_parallel, run_http_analysis_parallel, OverloadPolicy, PipelineOptions,
 };
 use broscript::pipeline::{AnalysisResult, Governance, ParserStack};
+use hilti_rt::trace::{PostmortemDump, TraceReport};
 use netpkt::synth::{throughput_dns_trace, throughput_trace};
 
 /// Exact live-byte accounting at the allocator layer (not RSS, so
@@ -73,12 +82,15 @@ struct Config {
     shed_depth: Option<usize>,
     deadline_ms: Option<u64>,
     out: Option<String>,
+    live_stats: Option<u64>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: soak [--smoke] [--flows N] [--wave N] [--seconds S] [--workers N] \
-         [--proto http|dns|mix] [--seed N] [--shed DEPTH] [--deadline-ms MS] [--out FILE]"
+         [--proto http|dns|mix] [--seed N] [--shed DEPTH] [--deadline-ms MS] [--out FILE] \
+         [--live-stats SECS] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -94,6 +106,8 @@ fn parse_args() -> Config {
         shed_depth: None,
         deadline_ms: None,
         out: None,
+        live_stats: None,
+        trace_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -120,6 +134,10 @@ fn parse_args() -> Config {
                 cfg.deadline_ms = Some(val("--deadline-ms").parse().unwrap_or_else(|_| usage()))
             }
             "--out" => cfg.out = Some(val("--out")),
+            "--live-stats" => {
+                cfg.live_stats = Some(val("--live-stats").parse().unwrap_or_else(|_| usage()))
+            }
+            "--trace-out" => cfg.trace_out = Some(val("--trace-out")),
             "--proto" => {
                 cfg.protos = match val("--proto").as_str() {
                     "http" => vec![Proto::Http],
@@ -155,6 +173,7 @@ fn main() {
         telemetry: true,
         tiering: None,
         delivery_deadline_ms: cfg.deadline_ms,
+        tracing: cfg.live_stats.is_some() || cfg.trace_out.is_some(),
     };
     let opts = PipelineOptions {
         workers: cfg.workers,
@@ -192,6 +211,15 @@ fn main() {
     let mut peak_flow_heap = 0u64;
     let mut baseline_live: Option<u64> = None;
     let mut wave = 0usize;
+    // Flight-recorder accumulation (only populated when tracing is on):
+    // the last wave's full report for `--trace-out`, postmortems from all
+    // waves, max delivery quantiles for the summary, and a live-stats
+    // window for periodic reporting.
+    let mut last_report: Option<TraceReport> = None;
+    let mut postmortems: Vec<PostmortemDump> = Vec::new();
+    let (mut p50_max, mut p95_max, mut p99_max) = (0u64, 0u64, 0u64);
+    let mut live_last = Instant::now();
+    let (mut live_pkts, mut live_shed, mut live_p99, mut live_depth) = (0u64, 0u64, 0u64, 0u64);
 
     while flows_done < cfg.total_flows && start.elapsed().as_secs() < cfg.seconds {
         let proto = cfg.protos[wave % cfg.protos.len()];
@@ -201,7 +229,7 @@ fn main() {
             Proto::Http => throughput_trace(seed, n),
             Proto::Dns => throughput_dns_trace(seed, n),
         };
-        let r: AnalysisResult = match proto {
+        let mut r: AnalysisResult = match proto {
             Proto::Http => {
                 run_http_analysis_parallel(&trace, ParserStack::Binpac, Engine::Compiled, &opts)
             }
@@ -253,7 +281,40 @@ fn main() {
         log_lines += logged;
         shed_total += r.shed_packets;
         peak_flow_heap = peak_flow_heap.max(peak);
+        if let Some(t) = r.trace.take() {
+            p50_max = p50_max.max(t.latency.delivery_p50_ns);
+            p95_max = p95_max.max(t.latency.delivery_p95_ns);
+            p99_max = p99_max.max(t.latency.delivery_p99_ns);
+            live_p99 = live_p99.max(t.latency.delivery_p99_ns);
+            postmortems.extend(t.postmortems.iter().cloned());
+            last_report = Some(t);
+        }
+        live_pkts += r.packets;
+        live_shed += r.shed_packets;
+        live_depth = live_depth.max(
+            r.dispatch_telemetry
+                .gauges
+                .iter()
+                .filter(|(g, _)| g.starts_with("pipeline.queue_depth."))
+                .map(|(_, v)| *v)
+                .max()
+                .unwrap_or(0),
+        );
         drop(r);
+        if let Some(secs) = cfg.live_stats {
+            let el = live_last.elapsed();
+            if el.as_secs() >= secs.max(1) {
+                println!(
+                    "  live: {:>10.0} pkts/s | p99 delivery {:>9} ns | shed {:>6} | peak queue depth {:>5}",
+                    live_pkts as f64 / el.as_secs_f64(),
+                    live_p99,
+                    live_shed,
+                    live_depth,
+                );
+                live_last = Instant::now();
+                (live_pkts, live_shed, live_p99, live_depth) = (0, 0, 0, 0);
+            }
+        }
 
         // Leak check: once warm, live bytes must return to baseline.
         let live = LIVE.load(Ordering::Relaxed);
@@ -297,15 +358,51 @@ fn main() {
     );
 
     if let Some(path) = &cfg.out {
+        // Latency fields carry the worst wave observed; they are absent
+        // (zero) when tracing was off for the whole run.
         let json = format!(
             "{{\"waves\":{wave},\"flows\":{flows_done},\"packets\":{packets_done},\
              \"log_lines\":{log_lines},\"shed_packets\":{shed_total},\
              \"peak_flow_heap_bytes\":{peak_flow_heap},\"peak_live_heap_bytes\":{peak_live},\
-             \"elapsed_s\":{elapsed:.3},\"violations\":{violations}}}\n"
+             \"delivery_p50_ns\":{p50_max},\"delivery_p95_ns\":{p95_max},\
+             \"delivery_p99_ns\":{p99_max},\"postmortems\":{n_posts},\
+             \"elapsed_s\":{elapsed:.3},\"violations\":{violations}}}\n",
+            n_posts = postmortems.len(),
         );
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("soak: cannot write {path}: {e}");
             violations += 1;
+        }
+    }
+
+    if let Some(path) = &cfg.trace_out {
+        match &last_report {
+            Some(report) => {
+                if let Err(e) = std::fs::write(path, report.to_chrome_json()) {
+                    eprintln!("soak: cannot write {path}: {e}");
+                    violations += 1;
+                } else {
+                    println!(
+                        "soak: wrote {path}: {} span(s) from the final wave (hilti.trace.v1)",
+                        report.spans.len()
+                    );
+                    println!("{}", report.latency.render());
+                }
+            }
+            None => eprintln!("soak: --trace-out set but no wave produced a trace"),
+        }
+        if !postmortems.is_empty() {
+            let pm_path = format!("{path}.postmortem.jsonl");
+            let body: String = postmortems.iter().map(|d| d.to_jsonl()).collect();
+            if let Err(e) = std::fs::write(&pm_path, body) {
+                eprintln!("soak: cannot write {pm_path}: {e}");
+                violations += 1;
+            } else {
+                println!(
+                    "soak: wrote {pm_path}: {} postmortem dump(s) across all waves",
+                    postmortems.len()
+                );
+            }
         }
     }
 

@@ -350,6 +350,9 @@ pub struct BinpacDns {
     pub failed: u64,
     /// Wall-clock watchdog re-armed at the start of every datagram.
     deadline_ms: Option<u64>,
+    /// Parse-stage span hook, mirroring `BinpacHttp::set_recorder`.
+    recorder: Option<hilti_rt::trace::SharedRecorder>,
+    span_slot: u64,
 }
 
 fn slot(v: &Value, idx: usize) -> RtResult<Value> {
@@ -462,7 +465,20 @@ impl BinpacDns {
             profiler,
             failed: 0,
             deadline_ms: None,
+            recorder: None,
+            span_slot: 0,
         })
+    }
+
+    /// Parse-stage span hook: every subsequent `datagram` records a
+    /// `Stage::Parse` span into `rec` (see `BinpacHttp::set_recorder`).
+    pub fn set_recorder(&mut self, rec: hilti_rt::trace::SharedRecorder) {
+        self.recorder = Some(rec);
+    }
+
+    /// Packet slot (merge major) attributed to the next parse-stage spans.
+    pub fn set_span_slot(&mut self, slot: u64) {
+        self.span_slot = slot;
     }
 
     /// Arms a per-datagram wall-clock watchdog, mirroring
@@ -492,6 +508,7 @@ impl BinpacDns {
             .profiler
             .as_ref()
             .map(|p| p.enter(Component::ProtocolParsing));
+        let span_begin = self.recorder.is_some().then(hilti_rt::trace::monotonic_ns);
         if let Some(ms) = self.deadline_ms {
             self.parser
                 .program_mut()
@@ -499,7 +516,7 @@ impl BinpacDns {
                 .arm_deadline_after_ms(Some(ms));
         }
         self.shared.borrow_mut().current = Some((uid.to_owned(), id, ts));
-        match self.parser.parse_datagram("Message", payload) {
+        let r = match self.parser.parse_datagram("Message", payload) {
             Ok(_) => Ok(true),
             // Governance faults (deadline, fuel, heap) must escape to the
             // host; only input-dependent errors count as unparseable crud.
@@ -508,7 +525,17 @@ impl BinpacDns {
                 self.failed += 1;
                 Ok(false)
             }
+        };
+        if let (Some(rec), Some(begin)) = (&self.recorder, span_begin) {
+            let uid: std::sync::Arc<str> = std::sync::Arc::from(uid);
+            rec.borrow_mut().record(
+                hilti_rt::trace::Stage::Parse,
+                self.span_slot,
+                Some(&uid),
+                begin,
+            );
         }
+        r
     }
 
     pub fn take_events(&mut self) -> Vec<Event> {

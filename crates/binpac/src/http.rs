@@ -363,6 +363,10 @@ pub struct BinpacHttp {
     peak_session_bytes: u64,
     /// Wall-clock watchdog re-armed at the start of every delivery.
     deadline_ms: Option<u64>,
+    /// Parse-stage span hook (flight recorder + current packet slot); set
+    /// only when the host pipeline traces, so the off path is one branch.
+    recorder: Option<hilti_rt::trace::SharedRecorder>,
+    span_slot: u64,
 }
 
 /// Reads field `idx` from a unit struct value.
@@ -545,7 +549,34 @@ impl BinpacHttp {
             session_budget: None,
             peak_session_bytes: 0,
             deadline_ms: None,
+            recorder: None,
+            span_slot: 0,
         })
+    }
+
+    /// Parse-stage span hook: every subsequent `feed`/`finish_conn` records
+    /// a `Stage::Parse` span into `rec`, keyed by the packet slot last set
+    /// with [`BinpacHttp::set_span_slot`]. The recorder stays on the owning
+    /// thread (`Rc`), so this cannot introduce cross-thread traffic.
+    pub fn set_recorder(&mut self, rec: hilti_rt::trace::SharedRecorder) {
+        self.recorder = Some(rec);
+    }
+
+    /// Packet slot (merge major) attributed to the next parse-stage spans.
+    pub fn set_span_slot(&mut self, slot: u64) {
+        self.span_slot = slot;
+    }
+
+    fn record_parse_span(&mut self, uid: &str, begin_ns: u64) {
+        if let Some(rec) = &self.recorder {
+            let uid: std::sync::Arc<str> = std::sync::Arc::from(uid);
+            rec.borrow_mut().record(
+                hilti_rt::trace::Stage::Parse,
+                self.span_slot,
+                Some(&uid),
+                begin_ns,
+            );
+        }
     }
 
     /// Arms a per-delivery wall-clock watchdog: every `feed`/`finish_conn`
@@ -627,6 +658,7 @@ impl BinpacHttp {
             .profiler
             .as_ref()
             .map(|p| p.enter(Component::ProtocolParsing));
+        let span_begin = self.recorder.is_some().then(hilti_rt::trace::monotonic_ns);
         if let Some(ms) = self.deadline_ms {
             self.parser
                 .program_mut()
@@ -661,6 +693,9 @@ impl BinpacHttp {
         if let Some(b) = budget {
             self.peak_session_bytes = self.peak_session_bytes.max(b.peak());
         }
+        if let Some(begin) = span_begin {
+            self.record_parse_span(uid, begin);
+        }
         r
     }
 
@@ -671,12 +706,21 @@ impl BinpacHttp {
             .profiler
             .as_ref()
             .map(|p| p.enter(Component::ProtocolParsing));
+        let span_begin = self.recorder.is_some().then(hilti_rt::trace::monotonic_ns);
         if let Some(ms) = self.deadline_ms {
             self.parser
                 .program_mut()
                 .context_mut()
                 .arm_deadline_after_ms(Some(ms));
         }
+        let r = self.finish_conn_inner(uid, id, ts);
+        if let Some(begin) = span_begin {
+            self.record_parse_span(uid, begin);
+        }
+        r
+    }
+
+    fn finish_conn_inner(&mut self, uid: &str, id: ConnId, ts: Time) -> RtResult<()> {
         if let Some(mut sessions) = self.sessions.remove(uid) {
             self.set_current(uid, id, ts);
             self.parser.finish(&mut sessions.server)?;

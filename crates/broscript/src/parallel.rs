@@ -68,6 +68,10 @@ use hilti_rt::telemetry::{
 };
 use hilti_rt::time::{Interval, Time};
 use hilti_rt::timer::TimerMgr;
+use hilti_rt::trace::{
+    monotonic_ns, FlightRecorder, PostmortemDump, RecorderPart, SharedRecorder, Stage, TraceReport,
+    DISPATCHER,
+};
 
 use netpkt::decode::decode_frame;
 use netpkt::events::{ConnId, Event};
@@ -78,8 +82,8 @@ use netpkt::{PayloadRef, TraceBuffer};
 
 use crate::host::{Engine, HostBlueprint, ScriptHost};
 use crate::pipeline::{
-    arm_script_limits, placeholder_id, standard_dns_events, AnalysisResult, FlowError, Governance,
-    ParserStack, ShardFault,
+    arm_script_limits, placeholder_id, standard_dns_events, warn_event_drops, AnalysisResult,
+    FlowError, Governance, ParserStack, ShardFault,
 };
 use crate::scripts;
 
@@ -244,6 +248,10 @@ enum ShardItem {
         ts: Time,
         payload: PayloadRef,
         finished: bool,
+        /// Dispatcher enqueue timestamp ([`monotonic_ns`]) when tracing is
+        /// on, 0 otherwise. The shard's queue-wait span and end-to-end
+        /// delivery latency start here.
+        enq_ns: u64,
     },
     /// The dispatcher's timer wheel expired this flow: drop parser state.
     Evict { uid: Arc<str> },
@@ -318,7 +326,21 @@ struct ShardState {
     dead: bool,
     /// Chaos: panic at the start of the n-th delivery (1-based, one-shot).
     panic_countdown: Option<u64>,
+    /// Flight recorder ([`Governance::tracing`]): owned by this shard's
+    /// thread, shared (same-thread `Rc`) with the binpac parsers so parse
+    /// spans are recorded inside the generated-parser stack.
+    rec: Option<SharedRecorder>,
+    /// Enqueue timestamp of the delivery currently being processed (0
+    /// when tracing is off or the item is not a delivery).
+    cur_enq_ns: u64,
+    /// Fault-triggered flight-recorder dumps captured on this shard
+    /// (bounded; see [`ShardState::on_panic`]).
+    postmortems: Vec<PostmortemDump>,
 }
+
+/// Cap on per-shard postmortem dumps: a panic storm should not turn the
+/// trace side-channel into an unbounded allocation.
+const MAX_POSTMORTEMS_PER_SHARD: usize = 8;
 
 /// Front-end build artifacts shared by every shard: the script host
 /// blueprint plus (for the binpac stack) the generated parser's optimized
@@ -360,6 +382,7 @@ fn build_engine(
     bp: &ShardBlueprint,
     profiler: &Profiler,
     tel: Option<&ShardTelemetry>,
+    rec: Option<&SharedRecorder>,
 ) -> RtResult<(ScriptHost, Option<BinpacHttp>, Option<BinpacDns>)> {
     let mut host = ScriptHost::from_blueprint(&bp.host, Some(profiler.clone()))?;
     if let Some(t) = tel {
@@ -380,6 +403,9 @@ fn build_engine(
             if let Some(t) = tel {
                 b.set_telemetry(&t.telemetry);
             }
+            if let Some(r) = rec {
+                b.set_recorder(r.clone());
+            }
             b.set_delivery_deadline_ms(gov.delivery_deadline_ms);
             bp_http = Some(b);
         }
@@ -388,6 +414,9 @@ fn build_engine(
             let mut b = BinpacDns::from_ir(ir, Some(profiler.clone()))?;
             if let Some(t) = tel {
                 b.set_telemetry(&t.telemetry);
+            }
+            if let Some(r) = rec {
+                b.set_recorder(r.clone());
             }
             b.set_delivery_deadline_ms(gov.delivery_deadline_ms);
             bp_dns = Some(b);
@@ -399,6 +428,7 @@ fn build_engine(
 
 impl ShardState {
     fn new(
+        shard: usize,
         proto: Proto,
         stack: ParserStack,
         gov: Governance,
@@ -407,6 +437,9 @@ impl ShardState {
         panic_countdown: Option<u64>,
     ) -> RtResult<ShardState> {
         let profiler = Profiler::new();
+        let rec = gov
+            .tracing
+            .then(|| FlightRecorder::new(shard as u32).shared());
         let tel = gov.telemetry.then(|| {
             let telemetry = Telemetry::new();
             ShardTelemetry {
@@ -417,8 +450,15 @@ impl ShardState {
                 telemetry,
             }
         });
-        let (host, bp_http, bp_dns) =
-            build_engine(proto, stack, &gov, &blueprint, &profiler, tel.as_ref())?;
+        let (host, bp_http, bp_dns) = build_engine(
+            proto,
+            stack,
+            &gov,
+            &blueprint,
+            &profiler,
+            tel.as_ref(),
+            rec.as_ref(),
+        )?;
         Ok(ShardState {
             proto,
             stack,
@@ -449,6 +489,9 @@ impl ShardState {
             faults: Vec::new(),
             dead: false,
             panic_countdown,
+            rec,
+            cur_enq_ns: 0,
+            postmortems: Vec::new(),
         })
     }
 
@@ -457,13 +500,31 @@ impl ShardState {
     /// countdown hits. Runs *inside* the supervision boundary.
     fn begin(&mut self, item: &ShardItem) {
         match item {
-            ShardItem::Delivery { slot, uid, ts, .. } => {
+            ShardItem::Delivery {
+                slot,
+                uid,
+                ts,
+                enq_ns,
+                ..
+            } => {
                 self.cur_key = Key {
                     major: *slot,
                     phase: PH_PARSE,
                 };
                 self.cur_ts = *ts;
                 self.cur_uid = Some(uid.clone());
+                self.cur_enq_ns = *enq_ns;
+                // Queue-wait span first, so a chaos panic below still
+                // leaves the faulting delivery visible in the postmortem.
+                if let Some(r) = &self.rec {
+                    r.borrow_mut().record_span(
+                        Stage::QueueWait,
+                        *slot,
+                        Some(uid),
+                        *enq_ns,
+                        monotonic_ns(),
+                    );
+                }
                 if let Some(n) = self.panic_countdown {
                     if n <= 1 {
                         // One-shot: disarm before firing so the respawned
@@ -515,6 +576,15 @@ impl ShardState {
     /// Ungoverned mode keeps the all-or-nothing contract: the panic
     /// becomes the run's fatal error at the interrupted position.
     fn on_panic(&mut self, detail: String) {
+        // Flight-recorder postmortem: drain the last spans *before* any
+        // salvage, so the dump shows what the shard was doing when it
+        // died (the faulting flow's queue-wait span included).
+        if let Some(r) = &self.rec {
+            if self.postmortems.len() < MAX_POSTMORTEMS_PER_SHARD {
+                self.postmortems
+                    .push(r.borrow().postmortem(&format!("ShardPanic: {detail}")));
+            }
+        }
         if !self.gov.quarantine {
             if self.fatal.is_none() {
                 self.fatal = Some((
@@ -579,6 +649,7 @@ impl ShardState {
             &blueprint,
             &self.profiler,
             self.tel.as_ref(),
+            self.rec.as_ref(),
         ) {
             Ok((host, bp_http, bp_dns)) => {
                 self.host = host;
@@ -632,10 +703,22 @@ impl ShardState {
                 ts,
                 payload,
                 finished,
-            } => match self.proto {
-                Proto::Http => http_delivery(self, slot, uid, id, is_orig, ts, payload, finished),
-                Proto::Dns => dns_delivery(self, slot, uid, id, ts, payload),
-            },
+                enq_ns,
+            } => {
+                match self.proto {
+                    Proto::Http => {
+                        http_delivery(self, slot, uid, id, is_orig, ts, payload, finished)
+                    }
+                    Proto::Dns => dns_delivery(self, slot, uid, id, ts, payload),
+                }
+                // End-to-end delivery latency: dispatcher enqueue through
+                // script dispatch, the tail-latency signal the report's
+                // p99 and top-K slowest table summarize.
+                if let Some(r) = &self.rec {
+                    r.borrow_mut()
+                        .observe_delivery(monotonic_ns().saturating_sub(enq_ns));
+                }
+            }
             ShardItem::Evict { uid } => {
                 self.std_http.remove(&uid);
                 if let Some(bp) = self.bp_http.as_mut() {
@@ -726,6 +809,7 @@ impl ShardState {
     /// abort), then seals all resulting effects as one block under `key`.
     fn dispatch(&mut self, events: &[Event], key: Key, tail: bool) {
         let m = self.mark();
+        let span_begin = (!events.is_empty() && self.rec.is_some()).then(monotonic_ns);
         if self.fatal.is_none() {
             for ev in events {
                 self.n_events += 1;
@@ -739,6 +823,13 @@ impl ShardState {
                         .flow_errors
                         .push(FlowError::new(ev.uid(), &e, ev.ts()));
                 }
+            }
+        }
+        if let Some(b) = span_begin {
+            let uid = self.cur_uid.clone();
+            if let Some(r) = &self.rec {
+                r.borrow_mut()
+                    .record(Stage::Script, key.major, uid.as_ref(), b);
             }
         }
         self.collect_sink();
@@ -777,21 +868,35 @@ fn http_delivery(
             }
             match st.stack {
                 ParserStack::Standard => {
-                    let _pp = st.profiler.enter(Component::ProtocolParsing);
-                    let parser = st
-                        .std_http
-                        .entry(uid.clone())
-                        .or_insert_with(|| HttpConnParser::new(uid.to_string(), id));
-                    if !payload.is_empty() {
-                        parser.feed(is_orig, payload, ts, &mut events);
+                    let span_begin = st.rec.is_some().then(monotonic_ns);
+                    {
+                        let _pp = st.profiler.enter(Component::ProtocolParsing);
+                        let parser = st
+                            .std_http
+                            .entry(uid.clone())
+                            .or_insert_with(|| HttpConnParser::new(uid.to_string(), id));
+                        if !payload.is_empty() {
+                            parser.feed(is_orig, payload, ts, &mut events);
+                        }
+                        if finished {
+                            parser.finish(ts, &mut events);
+                        }
                     }
-                    if finished {
-                        parser.finish(ts, &mut events);
+                    if let Some(b) = span_begin {
+                        if let Some(r) = &st.rec {
+                            r.borrow_mut().record(Stage::Parse, slot, Some(&uid), b);
+                        }
                     }
                 }
                 // A missing parser stack degrades the flow, not the shard.
+                // (The binpac stack records its own parse spans via the
+                // shared recorder — see `build_engine` — so only the span
+                // slot is refreshed here.)
                 ParserStack::Binpac => match st.bp_http.as_mut() {
                     Some(bp) => {
+                        if st.rec.is_some() {
+                            bp.set_span_slot(slot);
+                        }
                         let mut fail: Option<RtError> = None;
                         if !payload.is_empty() {
                             if let Err(e) = bp.feed(&uid, id, is_orig, ts, payload) {
@@ -865,20 +970,31 @@ fn dns_delivery(
         }
         match st.stack {
             ParserStack::Standard => {
-                let _pp = st.profiler.enter(Component::ProtocolParsing);
-                if !standard_dns_events(&uid, id, ts, payload, &mut events) {
-                    st.parse_failures += 1;
-                    if let Some(t) = &st.tel {
-                        t.parse_failures.inc();
-                        t.telemetry.emit(
-                            "parser_error",
-                            vec![("uid", (&*uid).into()), ("ts_ns", ts.nanos().into())],
-                        );
+                let span_begin = st.rec.is_some().then(monotonic_ns);
+                {
+                    let _pp = st.profiler.enter(Component::ProtocolParsing);
+                    if !standard_dns_events(&uid, id, ts, payload, &mut events) {
+                        st.parse_failures += 1;
+                        if let Some(t) = &st.tel {
+                            t.parse_failures.inc();
+                            t.telemetry.emit(
+                                "parser_error",
+                                vec![("uid", (&*uid).into()), ("ts_ns", ts.nanos().into())],
+                            );
+                        }
+                    }
+                }
+                if let Some(b) = span_begin {
+                    if let Some(r) = &st.rec {
+                        r.borrow_mut().record(Stage::Parse, slot, Some(&uid), b);
                     }
                 }
             }
             ParserStack::Binpac => match st.bp_dns.as_mut() {
                 Some(bp) => {
+                    if st.rec.is_some() {
+                        bp.set_span_slot(slot);
+                    }
                     match bp.datagram(&uid, id, ts, payload) {
                         Ok(true) => {}
                         Ok(false) => {
@@ -945,8 +1061,17 @@ fn http_finish_flow(
     match st.stack {
         ParserStack::Standard => {
             if let Some(mut parser) = st.std_http.remove(&uid) {
-                let _pp = st.profiler.enter(Component::ProtocolParsing);
-                parser.finish(ts, &mut events);
+                let span_begin = st.rec.is_some().then(monotonic_ns);
+                {
+                    let _pp = st.profiler.enter(Component::ProtocolParsing);
+                    parser.finish(ts, &mut events);
+                }
+                if let Some(b) = span_begin {
+                    if let Some(r) = &st.rec {
+                        r.borrow_mut()
+                            .record(Stage::Parse, parse_major, Some(&uid), b);
+                    }
+                }
             }
         }
         // A vanished parser stack leaves nothing to flush: degrade to a
@@ -954,6 +1079,9 @@ fn http_finish_flow(
         ParserStack::Binpac => {
             if let Some(bp) = st.bp_http.as_mut() {
                 if bp.has_conn(&uid) {
+                    if st.rec.is_some() {
+                        bp.set_span_slot(parse_major);
+                    }
                     if let Err(e) = bp.finish_conn(&uid, placeholder_id(), ts) {
                         if !st.gov.quarantine {
                             st.fatal = Some((parse_key, e));
@@ -1012,6 +1140,10 @@ struct ShardReport {
     fatal: Option<(Key, RtError)>,
     /// Panics the supervisor caught on this shard (panic payloads).
     faults: Vec<String>,
+    /// Frozen flight recorder when [`Governance::tracing`] was on.
+    trace: Option<RecorderPart>,
+    /// Fault-triggered flight-recorder dumps captured on this shard.
+    postmortems: Vec<PostmortemDump>,
 }
 
 fn harvest(st: &mut ShardState) -> ShardReport {
@@ -1047,6 +1179,26 @@ fn harvest(st: &mut ShardState) -> ShardReport {
         }
         None => TelemetrySnapshot::default(),
     };
+    // Freeze the flight recorder into its `Send` part. The binpac parsers
+    // still hold `Rc` clones, so the recorder is swapped out rather than
+    // unwrapped (their clones point at a dead 1-slot stub from here on).
+    let trace_part = st.rec.take().map(|r| {
+        std::mem::replace(&mut *r.borrow_mut(), FlightRecorder::with_capacity(0, 1)).finish()
+    });
+    let mut postmortems = std::mem::take(&mut st.postmortems);
+    // Watchdog trips surface as `ResourceExhausted` flow errors while a
+    // delivery deadline is armed: dump the recorder tail for them too.
+    if let (Some(part), Some(_)) = (&trace_part, st.gov.delivery_deadline_ms) {
+        if postmortems.len() < MAX_POSTMORTEMS_PER_SHARD
+            && st
+                .effects
+                .flow_errors
+                .iter()
+                .any(|fe| fe.kind.contains("ResourceExhausted"))
+        {
+            postmortems.push(part.postmortem("ResourceExhausted (delivery watchdog)"));
+        }
+    }
     ShardReport {
         effects: std::mem::take(&mut st.effects),
         blocks_main: std::mem::take(&mut st.blocks_main),
@@ -1058,6 +1210,8 @@ fn harvest(st: &mut ShardState) -> ShardReport {
         peak_flow_bytes,
         fatal: st.fatal.clone(),
         faults: std::mem::take(&mut st.faults),
+        trace: trace_part,
+        postmortems,
     }
 }
 
@@ -1204,7 +1358,34 @@ struct ShedStat {
 /// blocking-pushes only the control items, which must always arrive. A
 /// shard whose consumer is gone is marked dead and swallows all further
 /// traffic; the join path reports the fault and quarantines its flows.
+#[allow(clippy::too_many_arguments)]
 fn flush_shard(
+    tx: &mut Producer<ShardItem>,
+    buf: &mut Vec<ShardItem>,
+    metrics: Option<&DispatchMetrics>,
+    w: usize,
+    overload: OverloadPolicy,
+    shed: &mut [ShedStat],
+    dead: &mut [bool],
+    rec: Option<&mut FlightRecorder>,
+    slot: u64,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    // Dispatch span: ring submission (including any backpressure park),
+    // attributed to the packet slot that triggered the flush.
+    match rec {
+        None => flush_shard_inner(tx, buf, metrics, w, overload, shed, dead),
+        Some(r) => {
+            let b = monotonic_ns();
+            flush_shard_inner(tx, buf, metrics, w, overload, shed, dead);
+            r.record(Stage::Dispatch, slot, None, b);
+        }
+    }
+}
+
+fn flush_shard_inner(
     tx: &mut Producer<ShardItem>,
     buf: &mut Vec<ShardItem>,
     metrics: Option<&DispatchMetrics>,
@@ -1282,6 +1463,7 @@ fn run_parallel(
     // `Err` before any thread spawns (a shard thread could only panic).
     let blueprint = Arc::new(ShardBlueprint::build(proto, stack, engine, &gov)?);
     drop(ShardState::new(
+        0,
         proto,
         stack,
         gov,
@@ -1307,7 +1489,7 @@ fn run_parallel(
             if let Some(ms) = stall_ms {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
             }
-            let mut st = ShardState::new(proto, stack, gov, trace, blueprint, panic_countdown)
+            let mut st = ShardState::new(w, proto, stack, gov, trace, blueprint, panic_countdown)
                 .expect("shard construction passed pre-flight");
             let mut items = Vec::with_capacity(batch);
             while rx.pop_batch(&mut items, batch) > 0 {
@@ -1330,6 +1512,9 @@ fn run_parallel(
     let profiler = Profiler::new();
     let mut dtel = gov.telemetry.then(DispatcherTelemetry::new);
     let dmetrics = gov.telemetry.then(|| DispatchMetrics::new(workers));
+    // Dispatcher-side flight recorder: decode, ring-submission, and merge
+    // spans live here; shard recorders cover queue wait / parse / script.
+    let mut drec = gov.tracing.then(|| FlightRecorder::new(DISPATCHER));
     let mut flows = FlowTable::new();
     let mut timers: TimerMgr<Arc<str>> = TimerMgr::new();
     let mut owner: HashMap<Arc<str>, FlowMeta> = HashMap::new();
@@ -1350,12 +1535,21 @@ fn run_parallel(
         if let Some(t) = &dtel {
             t.packets.inc();
         }
+        let decode_begin = drec.as_ref().map(|_| monotonic_ns());
         let Ok(f) = decode_frame(frame_data, ts) else {
             continue;
         };
         let shard = (shard_hash_frame(&f) % workers as u64) as usize;
         let delivery = flows.process_shared(&f, frame_data, trace.frame_offset(slot));
         let uid = delivery.flow.uid.clone();
+        if let Some(r) = &mut drec {
+            r.record(
+                Stage::Decode,
+                slot_u64,
+                Some(&uid),
+                decode_begin.unwrap_or(0),
+            );
+        }
         let id = delivery.flow.id;
         let is_orig = delivery.is_orig;
         let finished = delivery.finished_now;
@@ -1419,6 +1613,7 @@ fn run_parallel(
             ts,
             payload,
             finished,
+            enq_ns: if drec.is_some() { monotonic_ns() } else { 0 },
         });
         if buf[shard].len() >= batch {
             flush_shard(
@@ -1429,6 +1624,8 @@ fn run_parallel(
                 overload,
                 &mut shed,
                 &mut shard_dead,
+                drec.as_mut(),
+                slot_u64,
             );
         }
 
@@ -1455,6 +1652,8 @@ fn run_parallel(
                                 overload,
                                 &mut shed,
                                 &mut shard_dead,
+                                drec.as_mut(),
+                                slot_u64,
                             );
                         }
                     }
@@ -1510,6 +1709,8 @@ fn run_parallel(
                     overload,
                     &mut shed,
                     &mut shard_dead,
+                    drec.as_mut(),
+                    base + r as u64,
                 );
             }
         }
@@ -1528,6 +1729,8 @@ fn run_parallel(
             overload,
             &mut shed,
             &mut shard_dead,
+            drec.as_mut(),
+            done_major,
         );
     }
 
@@ -1629,6 +1832,7 @@ fn run_parallel(
             });
         }
     }
+    let merge_begin = drec.as_ref().map(|_| monotonic_ns());
     descs.sort_by_key(|d| (d.key, d.rank));
 
     let mut logs_out: [Vec<String>; 3] = Default::default();
@@ -1709,6 +1913,9 @@ fn run_parallel(
             merged_events.push(ev.to_json());
         }
     }
+    if let Some(r) = &mut drec {
+        r.record(Stage::Merge, n_packets, None, merge_begin.unwrap_or(0));
+    }
 
     let telemetry = match &dtel {
         Some(t) => {
@@ -1751,6 +1958,33 @@ fn run_parallel(
         .as_ref()
         .map(|m| m.telemetry.snapshot())
         .unwrap_or_default();
+    warn_event_drops(&telemetry, "pipeline");
+    // Trace side-channel: shard recorder parts plus the dispatcher's own,
+    // with dispatcher-known fault dumps (stall injection, shedding) taken
+    // from the harvested parts — those faults only become visible here.
+    let trace_report = drec.map(|dr| {
+        let mut parts: Vec<RecorderPart> = Vec::new();
+        let mut posts: Vec<PostmortemDump> = Vec::new();
+        for (w, rep) in reports.iter_mut().enumerate() {
+            let Some(rep) = rep.as_mut() else { continue };
+            posts.append(&mut rep.postmortems);
+            if let Some(part) = rep.trace.take() {
+                if let Some((s, _)) = opts.stall_inject {
+                    if s == w {
+                        posts.push(part.postmortem("injected stall"));
+                    }
+                }
+                if shed[w].packets > 0 {
+                    posts.push(
+                        part.postmortem(&format!("shed: {} packet(s) dropped", shed[w].packets)),
+                    );
+                }
+                parts.push(part);
+            }
+        }
+        parts.push(dr.finish());
+        TraceReport::from_parts(parts, posts)
+    });
     let live = || reports.iter().filter_map(|r| r.as_ref());
     for r in live() {
         profiler.absorb(&r.profiler);
@@ -1773,5 +2007,6 @@ fn run_parallel(
         dispatch_telemetry,
         shard_faults,
         shed_packets: shed.iter().map(|s| s.packets).sum(),
+        trace: trace_report,
     })
 }

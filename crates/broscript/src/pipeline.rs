@@ -20,6 +20,7 @@ use hilti_rt::profile::{Component, Profiler};
 use hilti_rt::telemetry::{Counter, Histogram, Telemetry, TelemetrySnapshot};
 use hilti_rt::time::{Interval, Time};
 use hilti_rt::timer::TimerMgr;
+use hilti_rt::trace::{monotonic_ns, FlightRecorder, Stage, TraceReport};
 
 use netpkt::decode::decode_ethernet;
 use netpkt::events::{ConnId, DnsAnswer, Event};
@@ -82,6 +83,13 @@ pub struct AnalysisResult {
     /// `OverloadPolicy::Shed` (saturated shard ring). Always 0 under
     /// `Block` and for sequential runs.
     pub shed_packets: u64,
+    /// Flight-recorder side-channel, populated when
+    /// [`Governance::tracing`] is set: per-stage latency attribution,
+    /// retained spans, and fault-triggered postmortem dumps. Carries
+    /// wall-clock data, so — like
+    /// [`dispatch_telemetry`](Self::dispatch_telemetry) — it lives next
+    /// to the deterministic outputs, never inside them.
+    pub trace: Option<TraceReport>,
 }
 
 /// Resource-governance policy for an analysis run. The default is the
@@ -125,6 +133,12 @@ pub struct Governance {
     /// bit-deterministic under adversarial timing — use fuel where
     /// reproducibility matters.
     pub delivery_deadline_ms: Option<u64>,
+    /// Flight-recorder tracing: record per-stage spans (dispatch, queue
+    /// wait, decode, parse, script, merge) into bounded per-shard rings
+    /// and surface them as [`AnalysisResult::trace`]. Off by default; the
+    /// off path is a single branch per would-be span, and the on path
+    /// never touches deterministic outputs.
+    pub tracing: bool,
 }
 
 /// One flow the quarantine tore down.
@@ -282,6 +296,39 @@ impl PipelineTelemetry {
     }
 }
 
+/// Loud `EventSink` overflow: a truncated event stream must not read as a
+/// quiet run. One line on stderr, emitted by every pipeline flavor and by
+/// `hiltic run`.
+pub(crate) fn warn_event_drops(snapshot: &TelemetrySnapshot, context: &str) {
+    if snapshot.events_dropped > 0 {
+        eprintln!(
+            "{context}: warning: telemetry event sink overflowed, {} event(s) dropped \
+             (buffered stream is truncated)",
+            snapshot.events_dropped
+        );
+    }
+}
+
+/// Builds the sequential pipelines' trace report: one recorder, plus a
+/// watchdog postmortem if a delivery deadline was armed and tripped.
+fn finish_sequential_trace(
+    rec: hilti_rt::trace::SharedRecorder,
+    gov: &Governance,
+    flow_errors: &[FlowError],
+) -> TraceReport {
+    let part =
+        std::mem::replace(&mut *rec.borrow_mut(), FlightRecorder::with_capacity(0, 1)).finish();
+    let mut postmortems = Vec::new();
+    if gov.delivery_deadline_ms.is_some()
+        && flow_errors
+            .iter()
+            .any(|fe| fe.kind.contains("ResourceExhausted"))
+    {
+        postmortems.push(part.postmortem("ResourceExhausted (delivery watchdog)"));
+    }
+    TraceReport::from_parts(vec![part], postmortems)
+}
+
 /// Placeholder ConnId for flushing connections whose close was never seen.
 pub(crate) fn placeholder_id() -> ConnId {
     ConnId {
@@ -319,6 +366,7 @@ pub fn run_http_analysis_governed(
     if let Some(t) = &tel {
         host.set_telemetry(&t.telemetry);
     }
+    let rec = gov.tracing.then(|| FlightRecorder::new(0).shared());
 
     let mut flows = FlowTable::new();
     let mut std_parsers: HashMap<Arc<str>, HttpConnParser> = HashMap::new();
@@ -337,6 +385,9 @@ pub fn run_http_analysis_governed(
             if let Some(t) = &tel {
                 b.set_telemetry(&t.telemetry);
             }
+            if let Some(r) = &rec {
+                b.set_recorder(r.clone());
+            }
             b.set_delivery_deadline_ms(gov.delivery_deadline_ms);
             Some(b)
         }
@@ -352,8 +403,11 @@ pub fn run_http_analysis_governed(
 
     for pkt in packets {
         n_packets += 1;
+        let slot = n_packets - 1;
         last_ts = pkt.ts;
         let mut events: Vec<Event> = Vec::new();
+        let deliv_begin = rec.as_ref().map(|_| monotonic_ns());
+        let mut span_uid: Option<Arc<str>> = None;
         {
             let _o = profiler.enter(Component::Other);
             if let Some(t) = &tel {
@@ -368,6 +422,11 @@ pub fn run_http_analysis_governed(
             let is_orig = delivery.is_orig;
             let finished = delivery.finished_now;
             let payload = delivery.payload;
+            if let Some(r) = &rec {
+                r.borrow_mut()
+                    .record(Stage::Decode, slot, Some(&uid), deliv_begin.unwrap());
+                span_uid = Some(uid.clone());
+            }
             if let Some(t) = &mut tel {
                 t.delivery(&uid, pkt.ts, finished);
             }
@@ -381,6 +440,7 @@ pub fn run_http_analysis_governed(
                 match stack {
                     ParserStack::Standard => {
                         let _pp = profiler.enter(Component::ProtocolParsing);
+                        let parse_begin = rec.as_ref().map(|r| r.borrow().begin());
                         if !std_parsers.contains_key(&*uid) {
                             std_order.push(uid.clone());
                         }
@@ -393,11 +453,22 @@ pub fn run_http_analysis_governed(
                         if finished {
                             parser.finish(pkt.ts, &mut events);
                         }
+                        if let Some(begin) = parse_begin {
+                            rec.as_ref().unwrap().borrow_mut().record(
+                                Stage::Parse,
+                                slot,
+                                Some(&uid),
+                                begin,
+                            );
+                        }
                     }
                     // A missing parser stack degrades the flow (quarantine)
                     // rather than panicking the process.
                     ParserStack::Binpac => match bp.as_mut() {
                         Some(bp) => {
+                            if rec.is_some() {
+                                bp.set_span_slot(slot);
+                            }
                             let mut fail: Option<RtError> = None;
                             if !payload.is_empty() {
                                 if let Err(e) = bp.feed(&uid, id, is_orig, pkt.ts, &payload) {
@@ -456,7 +527,20 @@ pub fn run_http_analysis_governed(
                 }
             }
         }
+        let script_begin = rec.as_ref().map(|r| r.borrow().begin());
         dispatch_events(&mut host, &events, gov, &mut n_events, &mut flow_errors)?;
+        if let Some(r) = &rec {
+            let mut rb = r.borrow_mut();
+            if !events.is_empty() {
+                rb.record(
+                    Stage::Script,
+                    slot,
+                    span_uid.as_ref(),
+                    script_begin.unwrap(),
+                );
+            }
+            rb.observe_delivery(monotonic_ns().saturating_sub(deliv_begin.unwrap()));
+        }
     }
 
     // End of trace: flush all still-open connections.
@@ -464,6 +548,7 @@ pub fn run_http_analysis_governed(
     match stack {
         ParserStack::Standard => {
             let _pp = profiler.enter(Component::ProtocolParsing);
+            let parse_begin = rec.as_ref().map(|r| r.borrow().begin());
             // `remove` guards against a uid recorded twice (a flow expired
             // and re-opened re-enters the order list).
             for uid in &std_order {
@@ -471,9 +556,15 @@ pub fn run_http_analysis_governed(
                     parser.finish(last_ts, &mut tail_events);
                 }
             }
+            if let (Some(r), Some(begin)) = (&rec, parse_begin) {
+                r.borrow_mut().record(Stage::Parse, n_packets, None, begin);
+            }
         }
         ParserStack::Binpac => {
             if let Some(bp) = bp.as_mut() {
+                if rec.is_some() {
+                    bp.set_span_slot(n_packets);
+                }
                 if gov.quarantine {
                     for uid in bp.live_uids() {
                         if let Err(e) = bp.finish_conn(&uid, placeholder_id(), last_ts) {
@@ -490,6 +581,7 @@ pub fn run_http_analysis_governed(
             }
         }
     }
+    let script_begin = rec.as_ref().map(|r| r.borrow().begin());
     dispatch_events(
         &mut host,
         &tail_events,
@@ -497,6 +589,12 @@ pub fn run_http_analysis_governed(
         &mut n_events,
         &mut flow_errors,
     )?;
+    if let Some(r) = &rec {
+        if !tail_events.is_empty() {
+            r.borrow_mut()
+                .record(Stage::Script, n_packets, None, script_begin.unwrap());
+        }
+    }
     arm_script_limits(&mut host, gov);
     if let Err(e) = host.done() {
         if !gov.quarantine {
@@ -510,6 +608,8 @@ pub fn run_http_analysis_governed(
         Some(t) => t.finish(n_events, peak_flow_bytes, &flow_errors),
         None => TelemetrySnapshot::default(),
     };
+    warn_event_drops(&telemetry, "pipeline");
+    let trace = rec.map(|r| finish_sequential_trace(r, gov, &flow_errors));
     Ok(AnalysisResult {
         http_log: host.log_lines("http.log"),
         files_log: host.log_lines("files.log"),
@@ -526,6 +626,7 @@ pub fn run_http_analysis_governed(
         dispatch_telemetry: TelemetrySnapshot::default(),
         shard_faults: Vec::new(),
         shed_packets: 0,
+        trace,
     })
 }
 
@@ -628,12 +729,16 @@ pub fn run_dns_analysis_governed(
         host.set_telemetry(&t.telemetry);
     }
 
+    let rec = gov.tracing.then(|| FlightRecorder::new(0).shared());
     let mut flows = FlowTable::new();
     let mut bp = match stack {
         ParserStack::Binpac => {
             let mut b = BinpacDns::new(OptLevel::Full, Some(profiler.clone()))?;
             if let Some(t) = &tel {
                 b.set_telemetry(&t.telemetry);
+            }
+            if let Some(r) = &rec {
+                b.set_recorder(r.clone());
             }
             b.set_delivery_deadline_ms(gov.delivery_deadline_ms);
             Some(b)
@@ -650,8 +755,11 @@ pub fn run_dns_analysis_governed(
 
     for pkt in packets {
         n_packets += 1;
+        let slot = n_packets - 1;
         last_ts = pkt.ts;
         let mut events: Vec<Event> = Vec::new();
+        let deliv_begin = rec.as_ref().map(|_| monotonic_ns());
+        let mut span_uid: Option<Arc<str>> = None;
         {
             let _o = profiler.enter(Component::Other);
             if let Some(t) = &tel {
@@ -665,6 +773,11 @@ pub fn run_dns_analysis_governed(
             let id = delivery.flow.id;
             let finished = delivery.finished_now;
             let payload = delivery.payload;
+            if let Some(r) = &rec {
+                r.borrow_mut()
+                    .record(Stage::Decode, slot, Some(&uid), deliv_begin.unwrap());
+                span_uid = Some(uid.clone());
+            }
             if let Some(t) = &mut tel {
                 t.delivery(&uid, pkt.ts, finished);
             }
@@ -675,15 +788,22 @@ pub fn run_dns_analysis_governed(
                 match stack {
                     ParserStack::Standard => {
                         let _pp = profiler.enter(Component::ProtocolParsing);
+                        let parse_begin = rec.as_ref().map(|r| r.borrow().begin());
                         if !standard_dns_events(&uid, id, pkt.ts, &payload, &mut events) {
                             parse_failures += 1;
                             if let Some(t) = &tel {
                                 t.parse_failure(&uid, pkt.ts);
                             }
                         }
+                        if let (Some(r), Some(begin)) = (&rec, parse_begin) {
+                            r.borrow_mut().record(Stage::Parse, slot, Some(&uid), begin);
+                        }
                     }
                     ParserStack::Binpac => match bp.as_mut() {
                         Some(bp) => {
+                            if rec.is_some() {
+                                bp.set_span_slot(slot);
+                            }
                             match bp.datagram(&uid, id, pkt.ts, &payload) {
                                 Ok(true) => {}
                                 Ok(false) => {
@@ -726,7 +846,20 @@ pub fn run_dns_analysis_governed(
                 }
             }
         }
+        let script_begin = rec.as_ref().map(|r| r.borrow().begin());
         dispatch_events(&mut host, &events, gov, &mut n_events, &mut flow_errors)?;
+        if let Some(r) = &rec {
+            let mut rb = r.borrow_mut();
+            if !events.is_empty() {
+                rb.record(
+                    Stage::Script,
+                    slot,
+                    span_uid.as_ref(),
+                    script_begin.unwrap(),
+                );
+            }
+            rb.observe_delivery(monotonic_ns().saturating_sub(deliv_begin.unwrap()));
+        }
     }
     arm_script_limits(&mut host, gov);
     if let Err(e) = host.done() {
@@ -740,6 +873,8 @@ pub fn run_dns_analysis_governed(
         Some(t) => t.finish(n_events, 0, &flow_errors),
         None => TelemetrySnapshot::default(),
     };
+    warn_event_drops(&telemetry, "pipeline");
+    let trace = rec.map(|r| finish_sequential_trace(r, gov, &flow_errors));
     Ok(AnalysisResult {
         http_log: host.log_lines("http.log"),
         files_log: host.log_lines("files.log"),
@@ -756,6 +891,7 @@ pub fn run_dns_analysis_governed(
         dispatch_telemetry: TelemetrySnapshot::default(),
         shard_faults: Vec::new(),
         shed_packets: 0,
+        trace,
     })
 }
 

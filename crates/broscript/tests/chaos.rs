@@ -26,6 +26,7 @@ fn chaos_gov() -> Governance {
         telemetry: true,
         tiering: None,
         delivery_deadline_ms: None,
+        tracing: false,
     }
 }
 
@@ -150,6 +151,7 @@ fn governance_with_generous_limits_changes_nothing() {
         telemetry: false,
         tiering: None,
         delivery_deadline_ms: None,
+        tracing: false,
     };
     let a = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &generous)
         .unwrap();

@@ -21,6 +21,7 @@ fn chaos_gov() -> Governance {
         telemetry: true,
         tiering: None,
         delivery_deadline_ms: None,
+        tracing: false,
     }
 }
 

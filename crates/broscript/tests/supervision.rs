@@ -22,6 +22,7 @@ fn gov() -> Governance {
         telemetry: true,
         tiering: None,
         delivery_deadline_ms: None,
+        tracing: false,
     }
 }
 

@@ -34,6 +34,7 @@ pub mod spsc;
 pub mod telemetry;
 pub mod time;
 pub mod timer;
+pub mod trace;
 
 pub use addr::{Addr, Network, Port, Protocol};
 pub use bytestring::Bytes;

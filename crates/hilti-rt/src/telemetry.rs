@@ -111,7 +111,13 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    /// Estimates the `q`-quantile of the observed values. See
+    /// [`HistogramSnapshot::quantile`] for the interpolation contract.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();
         for (i, b) in self.buckets.iter().enumerate() {
             let n = b.load(Ordering::Relaxed);
@@ -417,6 +423,67 @@ pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Lower bound of the bucket whose upper bound is `upper`: power-of-two
+    /// buckets hold {0}, {1}, then [2^(i-1), 2^i - 1].
+    fn bucket_lower(upper: u64) -> u64 {
+        match upper {
+            0 | 1 => upper,
+            _ => (upper >> 1) + 1,
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) of the observed
+    /// values.
+    ///
+    /// Contract: the target rank is `q * (count - 1)` (0-based, so `q = 0`
+    /// is the smallest observation's bucket and `q = 1` the largest's). The
+    /// cumulative bucket counts locate the bucket holding that rank, and the
+    /// estimate interpolates linearly between the bucket's lower and upper
+    /// bound by the rank's fractional position inside the bucket. The result
+    /// is therefore always within the correct power-of-two bucket — exact to
+    /// the bucket, approximate inside it (buckets are ~2x wide, so the
+    /// estimate is within 2x of the true quantile).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * (self.count - 1) as f64;
+        let mut cum = 0u64;
+        for &(upper, n) in &self.buckets {
+            if (cum + n) as f64 > target {
+                let lower = Self::bucket_lower(upper);
+                let frac = (target - cum as f64) / n as f64;
+                let est = lower as f64 + (upper - lower) as f64 * frac;
+                return est.min(u64::MAX as f64) as u64;
+            }
+            cum += n;
+        }
+        self.buckets.last().map(|&(upper, _)| upper).unwrap_or(0)
+    }
+
+    /// Bucket-wise merge of snapshots from independent producers: counts and
+    /// sums are added, buckets with equal upper bounds combined.
+    pub fn merge(parts: &[HistogramSnapshot]) -> HistogramSnapshot {
+        let mut buckets: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for p in parts {
+            count += p.count;
+            sum = sum.wrapping_add(p.sum);
+            for &(upper, n) in &p.buckets {
+                *buckets.entry(upper).or_default() += n;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets: buckets.into_iter().collect(),
+        }
+    }
 }
 
 /// An immutable, deterministic view of a [`Telemetry`] bundle. Contains
@@ -854,6 +921,108 @@ mod tests {
         sink.clear();
         assert!(sink.is_empty());
         assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn sink_drop_counting_survives_concurrent_clones() {
+        // Stress the overflow accounting: many threads hammer clones of one
+        // sink well past EVENT_CAP; every emit must be either buffered or
+        // counted as dropped, never lost.
+        let sink = EventSink::new();
+        let threads = 8usize;
+        let per_thread = EVENT_CAP / 4; // 8 * cap/4 = 2x the cap in total
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let s = sink.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        s.emit("stress", vec![]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (threads * per_thread) as u64;
+        assert_eq!(sink.len(), EVENT_CAP);
+        assert_eq!(sink.dropped(), total - EVENT_CAP as u64);
+    }
+
+    #[test]
+    fn quantile_of_point_mass_stays_in_bucket() {
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(100); // bucket [64, 127]
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((64..=127).contains(&v), "q={q} -> {v}");
+        }
+        assert_eq!(h.quantile(0.0), 64); // rank 0, no intra-bucket offset
+    }
+
+    #[test]
+    fn quantile_splits_bimodal_distribution() {
+        // 50 observations of 1, 50 of 1000 (bucket [512, 1023]).
+        let h = Histogram::default();
+        for _ in 0..50 {
+            h.observe(1);
+            h.observe(1000);
+        }
+        // Ranks 0..=49 live in the {1} bucket: p25 and even p50 (target rank
+        // 49.5 is still inside the first bucket's cumulative range).
+        assert_eq!(h.quantile(0.25), 1);
+        assert_eq!(h.quantile(0.5), 1);
+        // p75 and up land in the [512, 1023] bucket.
+        for q in [0.75, 0.99] {
+            let v = h.quantile(q);
+            assert!((512..=1023).contains(&v), "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bucket_exact_on_uniform() {
+        let h = Histogram::default();
+        for v in 0..1024u64 {
+            h.observe(v);
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // True p99 is ~1013; the estimate must land in its bucket.
+        assert!((512..=1023).contains(&p99), "{p99}");
+        // True p50 is ~511; buckets are power-of-two so the estimate may sit
+        // in [256,511] or [512,1023].
+        assert!((256..=1023).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0); // empty
+        h.observe(0);
+        h.observe(0);
+        assert_eq!(h.quantile(1.0), 0); // zero bucket
+        let single = Histogram::default();
+        single.observe(u64::MAX);
+        let v = single.quantile(0.5);
+        assert!(v >= u64::MAX / 2); // top bucket, no overflow
+    }
+
+    #[test]
+    fn histogram_snapshot_merge_combines_buckets() {
+        let a = Histogram::default();
+        a.observe(100);
+        a.observe(3);
+        let b = Histogram::default();
+        b.observe(100);
+        let m = HistogramSnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 203);
+        assert!(m.buckets.contains(&(127, 2)), "{:?}", m.buckets);
+        assert!(m.buckets.contains(&(3, 1)), "{:?}", m.buckets);
+        // Quantiles work on merged snapshots.
+        assert!((64..=127).contains(&m.quantile(1.0)));
     }
 
     #[test]

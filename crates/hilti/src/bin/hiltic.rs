@@ -11,6 +11,7 @@
 //!             [--tiering=off|lazy|eager]
 //!             [--fuel N] [--max-heap N] [--max-depth N]
 //!             [--profile out.json] [--metrics-out out.json]
+//!             [--trace-out out.json]
 //!             [--entry Mod::fn] file.hlt [...]
 //! hiltic check         file.hlt ...      # parse + link + static checks
 //! hiltic dump-ir       file.hlt ...      # optimized IR, human-readable
@@ -37,7 +38,11 @@
 //! function and per opcode class. The attribution is counting-based, so
 //! two runs of the same program produce byte-identical files and
 //! `--interp` and VM runs agree on every total. `--metrics-out` writes
-//! the engine telemetry snapshot (`hilti.telemetry.v1`).
+//! the engine telemetry snapshot (`hilti.telemetry.v1`). `--trace-out`
+//! writes a flight-recorder trace (`hilti.trace.v1`, Chrome trace-event
+//! format, loadable in Perfetto) with a `parse` span for the front-end
+//! build and a `script` span for the entry-point execution; with
+//! `--stats` the per-stage latency summary is printed to stderr too.
 //!
 //! Example (Figure 3):
 //!
@@ -55,6 +60,7 @@ use hilti::tier::TieringMode;
 use hilti::vm::ExecProfile;
 use hilti_rt::limits::ResourceLimits;
 use hilti_rt::telemetry::{json, Telemetry};
+use hilti_rt::trace::{monotonic_ns, FlightRecorder, Stage, TraceReport};
 
 /// Parses the numeric argument of a `--fuel`-style flag.
 fn numeric_flag(flag: &str, arg: Option<&String>) -> Result<u64, ExitCode> {
@@ -125,6 +131,7 @@ fn main() -> ExitCode {
     let mut limits = ResourceLimits::default();
     let mut profile_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -166,6 +173,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => {
+                    eprintln!("--trace-out needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--fuel" => match numeric_flag("--fuel", it.next()) {
                 Ok(n) => limits.fuel = Some(n),
                 Err(code) => return code,
@@ -204,6 +218,10 @@ fn main() -> ExitCode {
         tiering,
         ..Default::default()
     };
+    // Flight recorder (`--trace-out`): the front-end build is the parse
+    // stage, the entry-point execution the script stage.
+    let mut recorder = trace_out.as_ref().map(|_| FlightRecorder::new(0));
+    let build_begin = recorder.as_ref().map(|_| monotonic_ns());
     let mut program = match Program::from_sources_opts(&source_refs, opt, options) {
         Ok(p) => p,
         Err(e) => {
@@ -211,6 +229,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(r) = &mut recorder {
+        r.record(Stage::Parse, 0, None, build_begin.unwrap_or(0));
+    }
     for w in program.warnings() {
         eprintln!("warning: {w}");
     }
@@ -278,11 +299,17 @@ fn main() -> ExitCode {
                 program.context_mut().set_telemetry(t);
             }
             program.set_limits(limits);
+            let run_begin = recorder.as_ref().map(|_| monotonic_ns());
             let result = if interp {
                 program.run_interpreted(&entry, &[])
             } else {
                 program.run(&entry, &[])
             };
+            if let Some(r) = &mut recorder {
+                r.record(Stage::Script, 0, None, run_begin.unwrap_or(0));
+                let total = monotonic_ns().saturating_sub(build_begin.unwrap_or(0));
+                r.observe_delivery(total);
+            }
             // The trace goes to stderr so program output stays clean.
             for line in program.context_mut().take_trace() {
                 eprintln!("trace: {line}");
@@ -306,7 +333,27 @@ fn main() -> ExitCode {
                 }
             }
             if let Some((path, t)) = metrics_out.as_ref().zip(telemetry.as_ref()) {
-                if let Err(e) = std::fs::write(path, t.snapshot().to_json()) {
+                let snap = t.snapshot();
+                // A truncated event stream must not read as a quiet run.
+                if snap.events_dropped > 0 {
+                    eprintln!(
+                        "hiltic run: warning: telemetry event sink overflowed, {} event(s) \
+                         dropped (buffered stream is truncated)",
+                        snap.events_dropped
+                    );
+                }
+                if let Err(e) = std::fs::write(path, snap.to_json()) {
+                    eprintln!("hiltic: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(path) = &trace_out {
+                let rec = recorder.take().expect("--trace-out arms the recorder");
+                let report = TraceReport::from_parts(vec![rec.finish()], vec![]);
+                if stats {
+                    eprint!("{}", report.latency.render());
+                }
+                if let Err(e) = std::fs::write(path, report.to_chrome_json()) {
                     eprintln!("hiltic: cannot write {path}: {e}");
                     return ExitCode::FAILURE;
                 }

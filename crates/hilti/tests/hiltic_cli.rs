@@ -389,3 +389,40 @@ fn tiering_flag_modes_agree_and_bad_value_rejected() {
         "{bad:?}"
     );
 }
+
+#[test]
+fn trace_out_writes_chrome_trace_with_build_and_run_spans() {
+    let f = write_temp("traced.hlt", HELLO);
+    let out_path = std::env::temp_dir().join("hiltic_cli_tests/trace.json");
+    let out = hiltic()
+        .args(["run", "--trace-out"])
+        .arg(&out_path)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "Hello, World!\n");
+    let doc = std::fs::read_to_string(&out_path).unwrap();
+    hilti_rt::telemetry::json::validate(&doc).expect("trace must be valid JSON");
+    assert!(doc.contains("\"schema\":\"hilti.trace.v1\""), "{doc}");
+    assert!(doc.contains("\"traceEvents\":["), "{doc}");
+    // Front-end build maps to the parse stage, execution to script.
+    assert!(doc.contains("\"name\":\"parse\""), "{doc}");
+    assert!(doc.contains("\"name\":\"script\""), "{doc}");
+}
+
+#[test]
+fn trace_out_with_stats_prints_latency_summary() {
+    let f = write_temp("traced_stats.hlt", HELLO);
+    let out_path = std::env::temp_dir().join("hiltic_cli_tests/trace_stats.json");
+    let out = hiltic()
+        .args(["run", "--stats", "--trace-out"])
+        .arg(&out_path)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("latency (per stage, ns):"), "{err}");
+    assert!(err.contains("parse"), "{err}");
+}

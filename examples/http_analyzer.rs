@@ -9,34 +9,63 @@
 //! hash-based placement), checks the output is byte-identical to the
 //! sequential run, and reports the throughput.
 //!
-//! Run with: `cargo run --release --example http_analyzer [-- --workers N]`
+//! Run with: `cargo run --release --example http_analyzer`
+//! `[-- --workers N] [--trace-out out.json] [--live-stats SECS]`
 //! (`--workers` defaults to `min(cores, 8)`).
+//!
+//! `--trace-out` re-runs the parallel analysis with the flight recorder
+//! armed and writes a Chrome trace-event / Perfetto-compatible JSON file
+//! (`hilti.trace.v1`) covering all six pipeline stages, plus a `.postmortem
+//! .jsonl` sibling when any fault dump was captured. `--live-stats S`
+//! keeps replaying the trace and prints a status line (pkts/s, p99
+//! delivery latency, shed count, peak per-shard queue depth) every ~S
+//! seconds for a few windows.
 
 use broscript::host::Engine;
 use broscript::parallel::{default_workers, run_http_analysis_parallel, PipelineOptions};
-use broscript::pipeline::{run_http_analysis, ParserStack};
+use broscript::pipeline::{run_http_analysis, Governance, ParserStack};
 use netpkt::logs::agreement;
 use netpkt::synth::{http_trace, SynthConfig};
 
-fn parse_workers() -> usize {
+struct Args {
+    workers: usize,
+    trace_out: Option<String>,
+    live_stats: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        workers: default_workers(),
+        trace_out: None,
+        live_stats: None,
+    };
     let mut args = std::env::args().skip(1);
+    let numeric = |flag: &str, v: Option<String>| -> u64 {
+        let v = v.unwrap_or_default();
+        v.parse()
+            .unwrap_or_else(|_| panic!("{flag} expects a number, got {v:?}"))
+    };
     while let Some(a) = args.next() {
         if a == "--workers" {
-            let v = args.next().unwrap_or_default();
-            return v
-                .parse()
-                .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"));
+            out.workers = numeric("--workers", args.next()) as usize;
         } else if let Some(v) = a.strip_prefix("--workers=") {
-            return v
-                .parse()
-                .unwrap_or_else(|_| panic!("--workers expects a number, got {v:?}"));
+            out.workers = numeric("--workers", Some(v.to_owned())) as usize;
+        } else if a == "--trace-out" {
+            out.trace_out = Some(args.next().expect("--trace-out expects a path"));
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            out.trace_out = Some(v.to_owned());
+        } else if a == "--live-stats" {
+            out.live_stats = Some(numeric("--live-stats", args.next()));
+        } else if let Some(v) = a.strip_prefix("--live-stats=") {
+            out.live_stats = Some(numeric("--live-stats", Some(v.to_owned())));
         }
     }
-    default_workers()
+    out
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workers = parse_workers();
+    let args = parse_args();
+    let workers = args.workers;
     let trace = http_trace(&SynthConfig::new(2026, 25));
     println!("synthesized {} packets of HTTP traffic", trace.len());
 
@@ -99,5 +128,85 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         elapsed.as_secs_f64() * 1e3,
         bytes as f64 / 1e6 / elapsed.as_secs_f64()
     );
+
+    let traced_opts = PipelineOptions {
+        workers,
+        governance: Governance {
+            tracing: true,
+            // Dispatch-plane metrics feed the live-stats queue-depth field.
+            telemetry: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    if let Some(path) = &args.trace_out {
+        // Re-run with the flight recorder armed: dispatch, queue wait,
+        // decode, parse, script, and merge spans all land in the export.
+        let traced = run_http_analysis_parallel(
+            &trace,
+            ParserStack::Binpac,
+            Engine::Compiled,
+            &traced_opts,
+        )?;
+        let report = traced.trace.expect("tracing was requested");
+        std::fs::write(path, report.to_chrome_json())?;
+        println!(
+            "wrote {path}: {} span(s), {} dropped (hilti.trace.v1, open in Perfetto)",
+            report.spans.len(),
+            report.spans_dropped
+        );
+        println!("{}", report.latency.render());
+        if !report.postmortems.is_empty() {
+            let pm_path = format!("{path}.postmortem.jsonl");
+            std::fs::write(&pm_path, report.postmortems_jsonl())?;
+            println!(
+                "wrote {pm_path}: {} postmortem dump(s)",
+                report.postmortems.len()
+            );
+        }
+    }
+
+    if let Some(secs) = args.live_stats {
+        let window = std::time::Duration::from_secs(secs.max(1));
+        println!("\nlive stats ({}s windows, 3 windows):", secs.max(1));
+        for _ in 0..3 {
+            let started = std::time::Instant::now();
+            let mut packets = 0u64;
+            let mut shed = 0u64;
+            let mut p99 = 0u64;
+            let mut depth = 0u64;
+            while started.elapsed() < window {
+                let r = run_http_analysis_parallel(
+                    &trace,
+                    ParserStack::Binpac,
+                    Engine::Compiled,
+                    &traced_opts,
+                )?;
+                packets += r.packets;
+                shed += r.shed_packets;
+                if let Some(t) = &r.trace {
+                    p99 = p99.max(t.latency.delivery_p99_ns);
+                }
+                depth = depth.max(
+                    r.dispatch_telemetry
+                        .gauges
+                        .iter()
+                        .filter(|(n, _)| n.starts_with("pipeline.queue_depth."))
+                        .map(|(_, v)| *v)
+                        .max()
+                        .unwrap_or(0),
+                );
+            }
+            let el = started.elapsed().as_secs_f64();
+            println!(
+                "  {:>10.0} pkts/s | p99 delivery {:>9} ns | shed {:>6} | peak queue depth {:>5}",
+                packets as f64 / el,
+                p99,
+                shed,
+                depth
+            );
+        }
+    }
     Ok(())
 }
