@@ -20,6 +20,12 @@
 //!   parallel-scaling target (`throughput_http_std_x4` >= 2.5x faster
 //!   than `throughput_http_std_seq`). `HILTI_THROUGHPUT_FLOWS` scales
 //!   the trace (default 4000 flows; set 1000000 for the full run).
+//!   Also records `throughput_allocs_per_pkt_milli` — heap allocations
+//!   per packet (×1000) on the sequential hot path, counted by a
+//!   wrapping global allocator and held to the same 15% regression
+//!   budget — and enforces the zero-copy target on live counters:
+//!   `pipeline.bytes_copied == 0` (with `bytes_borrowed > 0`) on an
+//!   in-order trace.
 //!
 //! Measured documents go to `target/bench-gate/`; committed baselines
 //! live at the repo root. The gate FAILS if any benchmark regresses more
@@ -36,10 +42,12 @@
 //! every measured median — used once to demonstrate the gate actually
 //! fails on a 2x slowdown.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use broscript::host::Engine;
@@ -87,6 +95,34 @@ done:
 "#;
 
 const FIB: &str = bench::experiments::FIB_HLT;
+
+/// Counting allocator: tallies every heap allocation so the throughput
+/// suite can report — and the gate can guard — allocations per packet.
+/// The counter is relaxed-atomic (shard workers allocate concurrently)
+/// and the passthrough to [`System`] keeps timing impact to one
+/// uncontended `fetch_add` per allocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 /// One measured benchmark: median and minimum ns/iter across samples.
 /// The median is the headline number; the gate compares *minima*, which
@@ -252,6 +288,26 @@ fn throughput_suite(smoke: bool) -> Suite {
     });
     rate("http_std_seq", st);
     out.insert("throughput_http_std_seq", st);
+    // Allocations per packet on the sequential hot path, in thousandths
+    // so the integer Stat keeps three digits of precision. Stored as a
+    // suite entry so `compare` gates it with the same 15% budget as the
+    // timing stats ("allocations-per-packet must not creep back up").
+    let allocs = count_allocs(|| {
+        run_http_analysis_governed(&trace, ParserStack::Standard, Engine::Compiled, &gov)
+            .expect("analysis");
+    });
+    let per_pkt_milli = allocs.saturating_mul(1000) / (trace.len() as u64).max(1);
+    println!(
+        "gate: throughput/http_std_seq: {allocs} heap allocations ({:.2} per packet)",
+        per_pkt_milli as f64 / 1000.0,
+    );
+    out.insert(
+        "throughput_allocs_per_pkt_milli",
+        Stat {
+            median_ns: per_pkt_milli,
+            min_ns: per_pkt_milli,
+        },
+    );
     for (id, workers) in [
         ("throughput_http_std_x1", 1usize),
         ("throughput_http_std_x2", 2),
@@ -676,6 +732,40 @@ fn main() -> ExitCode {
                  ({cores} core(s) available; target {SCALING_MIN_SPEEDUP}x needs >= 4)"
             );
         }
+    }
+
+    // The zero-copy acceptance target: with telemetry on, an in-order
+    // throughput trace must route every delivered payload byte through
+    // the arena-borrow path — not a single payload memcpy from decode to
+    // parse (`pipeline.bytes_copied == 0`, `bytes_borrowed > 0`).
+    if !smoke {
+        let trace = throughput_trace(0x7487, 500);
+        let gov = Governance {
+            telemetry: true,
+            ..Governance::default()
+        };
+        let r = run_http_analysis_governed(&trace, ParserStack::Standard, Engine::Compiled, &gov)
+            .expect("zero-copy check analysis");
+        let counter = |name: &str| {
+            r.telemetry
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let copied = counter("pipeline.bytes_copied");
+        let borrowed = counter("pipeline.bytes_borrowed");
+        let verdict = if copied == 0 && borrowed > 0 {
+            "ok"
+        } else {
+            fails += 1;
+            "FAIL"
+        };
+        println!(
+            "gate: throughput zero-copy: bytes_copied={copied} bytes_borrowed={borrowed} \
+             (target: 0 copied, > 0 borrowed) {verdict}"
+        );
     }
 
     if smoke {

@@ -174,6 +174,7 @@ fn main() {
         tiering: None,
         delivery_deadline_ms: cfg.deadline_ms,
         tracing: cfg.live_stats.is_some() || cfg.trace_out.is_some(),
+        force_copy: false,
     };
     let opts = PipelineOptions {
         workers: cfg.workers,

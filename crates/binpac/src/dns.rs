@@ -337,7 +337,7 @@ mod slots {
 
 #[derive(Default)]
 struct DnsShared {
-    current: Option<(String, ConnId, Time)>,
+    current: Option<(std::sync::Arc<str>, ConnId, Time)>,
     events: Vec<Event>,
 }
 
@@ -440,7 +440,7 @@ impl BinpacDns {
                 }
                 sh.events.push(Event::DnsReply {
                     ts,
-                    uid,
+                    uid: uid.as_ref().to_owned(),
                     id,
                     trans_id,
                     rcode,
@@ -449,7 +449,7 @@ impl BinpacDns {
             } else {
                 sh.events.push(Event::DnsRequest {
                     ts,
-                    uid,
+                    uid: uid.as_ref().to_owned(),
                     id,
                     trans_id,
                     query,
@@ -504,6 +504,22 @@ impl BinpacDns {
 
     /// Parses one UDP datagram; returns false if it was not parseable DNS.
     pub fn datagram(&mut self, uid: &str, id: ConnId, ts: Time, payload: &[u8]) -> RtResult<bool> {
+        let uid: std::sync::Arc<str> = std::sync::Arc::from(uid);
+        self.datagram_chunk(&uid, id, ts, hilti_rt::bytestring::FeedChunk::Copy(payload))
+    }
+
+    /// Parses one UDP datagram handed over as a [`FeedChunk`]; a borrowed
+    /// chunk reaches the parser without a payload copy. The uid is the
+    /// caller's interned handle (cloned, never re-allocated).
+    ///
+    /// [`FeedChunk`]: hilti_rt::bytestring::FeedChunk
+    pub fn datagram_chunk(
+        &mut self,
+        uid: &std::sync::Arc<str>,
+        id: ConnId,
+        ts: Time,
+        payload: hilti_rt::bytestring::FeedChunk<'_>,
+    ) -> RtResult<bool> {
         let _p = self
             .profiler
             .as_ref()
@@ -515,8 +531,8 @@ impl BinpacDns {
                 .context_mut()
                 .arm_deadline_after_ms(Some(ms));
         }
-        self.shared.borrow_mut().current = Some((uid.to_owned(), id, ts));
-        let r = match self.parser.parse_datagram("Message", payload) {
+        self.shared.borrow_mut().current = Some((uid.clone(), id, ts));
+        let r = match self.parser.parse_datagram_chunk("Message", payload) {
             Ok(_) => Ok(true),
             // Governance faults (deadline, fuel, heap) must escape to the
             // host; only input-dependent errors count as unparseable crud.
@@ -527,11 +543,10 @@ impl BinpacDns {
             }
         };
         if let (Some(rec), Some(begin)) = (&self.recorder, span_begin) {
-            let uid: std::sync::Arc<str> = std::sync::Arc::from(uid);
             rec.borrow_mut().record(
                 hilti_rt::trace::Stage::Parse,
                 self.span_slot,
-                Some(&uid),
+                Some(uid),
                 begin,
             );
         }
@@ -540,6 +555,12 @@ impl BinpacDns {
 
     pub fn take_events(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.shared.borrow_mut().events)
+    }
+
+    /// Moves the accumulated events into `out`, keeping the internal
+    /// buffer's capacity (see `BinpacHttp::drain_events_into`).
+    pub fn drain_events_into(&mut self, out: &mut Vec<Event>) {
+        out.append(&mut self.shared.borrow_mut().events);
     }
 }
 

@@ -17,9 +17,11 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use hilti::passes::OptLevel;
 use hilti::value::Value;
+use hilti_rt::bytestring::FeedChunk;
 use hilti_rt::error::{RtError, RtResult};
 use hilti_rt::limits::AllocBudget;
 use hilti_rt::profile::{Component, Profiler};
@@ -322,7 +324,9 @@ fn header_unit(name: &str, hook: &str) -> Unit {
 
 #[derive(Clone)]
 struct Cur {
-    uid: String,
+    /// Interned connection uid: one `Arc<str>` per connection, shared by
+    /// the session map, span recorder, and event glue.
+    uid: Arc<str>,
     id: ConnId,
     ts: Time,
 }
@@ -331,7 +335,7 @@ struct Cur {
 struct Shared {
     current: Option<Cur>,
     /// uid → outstanding request methods (for HEAD suppression).
-    outstanding: HashMap<String, VecDeque<String>>,
+    outstanding: HashMap<Arc<str>, VecDeque<String>>,
     events: Vec<Event>,
 }
 
@@ -355,7 +359,7 @@ struct ConnSessions {
 pub struct BinpacHttp {
     parser: BinpacParser,
     shared: Rc<RefCell<Shared>>,
-    sessions: HashMap<String, ConnSessions>,
+    sessions: HashMap<Arc<str>, ConnSessions>,
     profiler: Option<Profiler>,
     /// Per-connection byte budget applied to newly created sessions.
     session_budget: Option<u64>,
@@ -449,7 +453,7 @@ impl BinpacHttp {
                 .push_back(method.clone());
             sh.events.push(Event::HttpRequest {
                 ts: cur.ts,
-                uid: cur.uid,
+                uid: cur.uid.as_ref().to_owned(),
                 id: cur.id,
                 method,
                 uri,
@@ -471,7 +475,7 @@ impl BinpacHttp {
             let reason = slot_text(&args[0], 2)?;
             sh.events.push(Event::HttpReply {
                 ts: cur.ts,
-                uid: cur.uid,
+                uid: cur.uid.as_ref().to_owned(),
                 id: cur.id,
                 status,
                 reason,
@@ -494,7 +498,7 @@ impl BinpacHttp {
                 let value = slot_text(&args[0], 1)?;
                 sh.events.push(Event::HttpHeader {
                     ts: cur.ts,
-                    uid: cur.uid,
+                    uid: cur.uid.as_ref().to_owned(),
                     is_orig: orig,
                     name,
                     value,
@@ -526,14 +530,14 @@ impl BinpacHttp {
                 if !body.is_empty() {
                     sh.events.push(Event::HttpBodyData {
                         ts: cur.ts,
-                        uid: cur.uid.clone(),
+                        uid: cur.uid.as_ref().to_owned(),
                         is_orig: orig,
                         data: body,
                     });
                 }
                 sh.events.push(Event::HttpMessageDone {
                     ts: cur.ts,
-                    uid: cur.uid,
+                    uid: cur.uid.as_ref().to_owned(),
                     is_orig: orig,
                     body_len: len,
                 });
@@ -567,15 +571,23 @@ impl BinpacHttp {
         self.span_slot = slot;
     }
 
-    fn record_parse_span(&mut self, uid: &str, begin_ns: u64) {
+    fn record_parse_span(&mut self, uid: &Arc<str>, begin_ns: u64) {
         if let Some(rec) = &self.recorder {
-            let uid: std::sync::Arc<str> = std::sync::Arc::from(uid);
             rec.borrow_mut().record(
                 hilti_rt::trace::Stage::Parse,
                 self.span_slot,
-                Some(&uid),
+                Some(uid),
                 begin_ns,
             );
+        }
+    }
+
+    /// The interned uid for a connection: the live session key when one
+    /// exists, otherwise a fresh `Arc` (one allocation per connection).
+    fn intern_uid(&self, uid: &str) -> Arc<str> {
+        match self.sessions.get_key_value(uid) {
+            Some((k, _)) => k.clone(),
+            None => Arc::from(uid),
         }
     }
 
@@ -610,8 +622,8 @@ impl BinpacHttp {
     }
 
     /// UIDs of all live connections, sorted (deterministic teardown order).
-    pub fn live_uids(&self) -> Vec<String> {
-        let mut uids: Vec<String> = self.sessions.keys().cloned().collect();
+    pub fn live_uids(&self) -> Vec<Arc<str>> {
+        let mut uids: Vec<Arc<str>> = self.sessions.keys().cloned().collect();
         uids.sort();
         uids
     }
@@ -637,9 +649,9 @@ impl BinpacHttp {
             .inject_fault_after(steps, error);
     }
 
-    fn set_current(&self, uid: &str, id: ConnId, ts: Time) {
+    fn set_current(&self, uid: &Arc<str>, id: ConnId, ts: Time) {
         self.shared.borrow_mut().current = Some(Cur {
-            uid: uid.to_owned(),
+            uid: uid.clone(),
             id,
             ts,
         });
@@ -653,6 +665,21 @@ impl BinpacHttp {
         is_orig: bool,
         ts: Time,
         data: &[u8],
+    ) -> RtResult<()> {
+        let uid = self.intern_uid(uid);
+        self.feed_chunk(&uid, id, is_orig, ts, FeedChunk::Copy(data))
+    }
+
+    /// Feeds one delivery for one direction of a connection. The uid is the
+    /// caller's interned handle (cloned, never re-allocated); a borrowed
+    /// chunk lands in the session's byte string without copying.
+    pub fn feed_chunk(
+        &mut self,
+        uid: &Arc<str>,
+        id: ConnId,
+        is_orig: bool,
+        ts: Time,
+        data: FeedChunk<'_>,
     ) -> RtResult<()> {
         let _p = self
             .profiler
@@ -668,7 +695,7 @@ impl BinpacHttp {
         self.set_current(uid, id, ts);
         let limit = self.session_budget;
         let parser = &self.parser;
-        let sessions = self.sessions.entry(uid.to_owned()).or_insert_with(|| {
+        let sessions = self.sessions.entry(uid.clone()).or_insert_with(|| {
             let client = parser.session("Request");
             let server = parser.session("Reply");
             // One budget per connection, shared by both directions.
@@ -689,7 +716,7 @@ impl BinpacHttp {
         } else {
             &mut sessions.server
         };
-        let r = self.parser.feed(session, data);
+        let r = self.parser.feed_chunk(session, data);
         if let Some(b) = budget {
             self.peak_session_bytes = self.peak_session_bytes.max(b.peak());
         }
@@ -713,21 +740,22 @@ impl BinpacHttp {
                 .context_mut()
                 .arm_deadline_after_ms(Some(ms));
         }
-        let r = self.finish_conn_inner(uid, id, ts);
+        let uid = self.intern_uid(uid);
+        let r = self.finish_conn_inner(&uid, id, ts);
         if let Some(begin) = span_begin {
-            self.record_parse_span(uid, begin);
+            self.record_parse_span(&uid, begin);
         }
         r
     }
 
-    fn finish_conn_inner(&mut self, uid: &str, id: ConnId, ts: Time) -> RtResult<()> {
-        if let Some(mut sessions) = self.sessions.remove(uid) {
+    fn finish_conn_inner(&mut self, uid: &Arc<str>, id: ConnId, ts: Time) -> RtResult<()> {
+        if let Some(mut sessions) = self.sessions.remove(uid.as_ref()) {
             self.set_current(uid, id, ts);
             self.parser.finish(&mut sessions.server)?;
             self.set_current(uid, id, ts);
             self.parser.finish(&mut sessions.client)?;
         }
-        self.shared.borrow_mut().outstanding.remove(uid);
+        self.shared.borrow_mut().outstanding.remove(uid.as_ref());
         Ok(())
     }
 
@@ -764,6 +792,13 @@ impl BinpacHttp {
     /// Takes the accumulated events.
     pub fn take_events(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.shared.borrow_mut().events)
+    }
+
+    /// Moves the accumulated events into `out`, keeping the internal
+    /// buffer's capacity (no per-delivery allocation, unlike
+    /// [`take_events`](Self::take_events)).
+    pub fn drain_events_into(&mut self, out: &mut Vec<Event>) {
+        out.append(&mut self.shared.borrow_mut().events);
     }
 
     /// Number of live connection sessions.

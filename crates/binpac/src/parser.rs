@@ -11,7 +11,7 @@ use hilti::fiber::{Fiber, FiberState, Step};
 use hilti::host::Program;
 use hilti::passes::OptLevel;
 use hilti::value::Value;
-use hilti_rt::bytestring::Bytes;
+use hilti_rt::bytestring::{Bytes, FeedChunk};
 use hilti_rt::error::{RtError, RtResult};
 use hilti_rt::limits::AllocBudget;
 
@@ -93,7 +93,21 @@ impl BinpacParser {
 
     /// Parses one complete PDU with unit `unit`; returns the struct value.
     pub fn parse_datagram(&mut self, unit: &str, payload: &[u8]) -> RtResult<Value> {
-        let data = Bytes::frozen_from_slice(payload);
+        self.run_datagram(unit, Bytes::frozen_from_slice(payload))
+    }
+
+    /// Like [`BinpacParser::parse_datagram`], but the PDU arrives as a
+    /// [`FeedChunk`]: a borrowed arena chunk is parsed in place, without
+    /// copying the payload into the parser's byte string.
+    pub fn parse_datagram_chunk(&mut self, unit: &str, payload: FeedChunk<'_>) -> RtResult<Value> {
+        let data = Bytes::new();
+        data.append_chunk(payload)
+            .expect("fresh Bytes cannot be frozen");
+        data.freeze();
+        self.run_datagram(unit, data)
+    }
+
+    fn run_datagram(&mut self, unit: &str, data: Bytes) -> RtResult<Value> {
         let ret = self.program.run(
             &format!("{}::parse_{unit}", self.module),
             &[Value::Bytes(data.clone()), Value::BytesIter(data.begin())],
@@ -122,10 +136,17 @@ impl BinpacParser {
 
     /// Appends payload to a session and resumes its parse fiber.
     pub fn feed(&mut self, session: &mut Session, chunk: &[u8]) -> RtResult<()> {
+        self.feed_chunk(session, FeedChunk::Copy(chunk))
+    }
+
+    /// Appends one delivery to a session and resumes its parse fiber. A
+    /// borrowed chunk goes into the session's byte string without a copy —
+    /// the zero-copy path from capture arena to parser.
+    pub fn feed_chunk(&mut self, session: &mut Session, chunk: FeedChunk<'_>) -> RtResult<()> {
         if session.failed {
             return Ok(()); // abandoned stream: ignore further data
         }
-        if let Err(e) = session.data.append(chunk) {
+        if let Err(e) = session.data.append_chunk(chunk) {
             // Heap budget exceeded (or frozen): the stream stops
             // accumulating state, and the caller decides whether to tear
             // the whole flow down.

@@ -32,6 +32,7 @@ pub mod parallel;
 pub mod parse;
 pub mod pipeline;
 pub mod scripts;
+pub mod slab;
 
 pub use ast::Script;
 pub use host::{Engine, ScriptHost};

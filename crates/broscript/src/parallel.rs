@@ -73,6 +73,7 @@ use hilti_rt::trace::{
     DISPATCHER,
 };
 
+use hilti_rt::bytestring::FeedChunk;
 use netpkt::decode::decode_frame;
 use netpkt::events::{ConnId, Event};
 use netpkt::flow::{shard_hash_frame, FlowTable};
@@ -270,10 +271,25 @@ enum ShardItem {
 struct ShardTelemetry {
     telemetry: Telemetry,
     bytes_parsed: Counter,
+    bytes_copied: Counter,
+    bytes_borrowed: Counter,
     parse_failures: Counter,
     payload_bytes: Histogram,
     /// How much of the shard sink has been attributed to a block.
     sink_cursor: usize,
+}
+
+impl ShardTelemetry {
+    /// Mirrors `PipelineTelemetry::routed`: attributes a delivery payload
+    /// to the zero-copy (arena-borrowed) or memcpy'd counter.
+    fn routed(&self, payload: &PayloadRef, forced_copy: bool) {
+        match payload {
+            PayloadRef::Shared { len, .. } if !forced_copy => {
+                self.bytes_borrowed.add(*len as u64);
+            }
+            p => self.bytes_copied.add(p.len() as u64),
+        }
+    }
 }
 
 /// Everything one shard owns. Built *on* the worker thread (`ScriptHost`
@@ -336,6 +352,10 @@ struct ShardState {
     /// Fault-triggered flight-recorder dumps captured on this shard
     /// (bounded; see [`ShardState::on_panic`]).
     postmortems: Vec<PostmortemDump>,
+    /// Recycled per-delivery event buffers: deliveries `take` a cleared
+    /// `Vec<Event>` and `put` it back after dispatch, so the per-packet
+    /// path stops round-tripping the global allocator.
+    event_bufs: crate::slab::Pool<Vec<Event>>,
 }
 
 /// Cap on per-shard postmortem dumps: a panic storm should not turn the
@@ -444,6 +464,8 @@ impl ShardState {
             let telemetry = Telemetry::new();
             ShardTelemetry {
                 bytes_parsed: telemetry.counter("pipeline.bytes_parsed"),
+                bytes_copied: telemetry.counter("pipeline.bytes_copied"),
+                bytes_borrowed: telemetry.counter("pipeline.bytes_borrowed"),
                 parse_failures: telemetry.counter("pipeline.parse_failures"),
                 payload_bytes: telemetry.histogram("pipeline.payload_bytes"),
                 sink_cursor: 0,
@@ -492,6 +514,7 @@ impl ShardState {
             rec,
             cur_enq_ns: 0,
             postmortems: Vec::new(),
+            event_bufs: crate::slab::Pool::new(4),
         })
     }
 
@@ -617,18 +640,18 @@ impl ShardState {
         // Loss ledger: every flow whose parser state this shard held dies
         // with it. Sorted union so the ledger is deterministic; the
         // current flow is included even if it never built parser state.
-        let mut lost: Vec<String> = self.std_http.keys().map(|u| u.to_string()).collect();
+        let mut lost: Vec<Arc<str>> = self.std_http.keys().cloned().collect();
         if let Some(bp) = &self.bp_http {
             lost.extend(bp.live_uids());
         }
         if let Some(uid) = &self.cur_uid {
-            lost.push(uid.to_string());
+            lost.push(uid.clone());
         }
         lost.sort();
         lost.dedup();
         let m = self.mark();
         for uid in lost {
-            if self.quarantined.insert(Arc::from(uid.as_str())) {
+            if self.quarantined.insert(uid.clone()) {
                 self.effects
                     .flow_errors
                     .push(FlowError::shard_panic(&uid, self.cur_ts));
@@ -854,9 +877,8 @@ fn http_delivery(
         phase: PH_PARSE,
     };
     let trace = Arc::clone(&st.trace);
-    let payload = payload.resolve(&trace);
     let m = st.mark();
-    let mut events: Vec<Event> = Vec::new();
+    let mut events: Vec<Event> = st.event_bufs.take();
     {
         let _o = st.profiler.enter(Component::Other);
         if !st.quarantined.contains(&*uid) {
@@ -864,6 +886,7 @@ fn http_delivery(
                 if let Some(t) = &st.tel {
                     t.bytes_parsed.add(payload.len() as u64);
                     t.payload_bytes.observe(payload.len() as u64);
+                    t.routed(&payload, st.gov.force_copy);
                 }
             }
             match st.stack {
@@ -876,7 +899,7 @@ fn http_delivery(
                             .entry(uid.clone())
                             .or_insert_with(|| HttpConnParser::new(uid.to_string(), id));
                         if !payload.is_empty() {
-                            parser.feed(is_orig, payload, ts, &mut events);
+                            parser.feed(is_orig, payload.resolve(&trace), ts, &mut events);
                         }
                         if finished {
                             parser.finish(ts, &mut events);
@@ -899,7 +922,12 @@ fn http_delivery(
                         }
                         let mut fail: Option<RtError> = None;
                         if !payload.is_empty() {
-                            if let Err(e) = bp.feed(&uid, id, is_orig, ts, payload) {
+                            let chunk = if st.gov.force_copy {
+                                FeedChunk::Copy(payload.resolve(&trace))
+                            } else {
+                                payload.feed_chunk(&trace)
+                            };
+                            if let Err(e) = bp.feed_chunk(&uid, id, is_orig, ts, chunk) {
                                 fail = Some(e);
                             }
                         }
@@ -909,7 +937,7 @@ fn http_delivery(
                             }
                         }
                         // Events emitted before the fault still count.
-                        events.extend(bp.take_events());
+                        bp.drain_events_into(&mut events);
                         if let Some(e) = fail {
                             if !st.gov.quarantine {
                                 st.fatal = Some((parse_key, e));
@@ -944,6 +972,7 @@ fn http_delivery(
         },
         false,
     );
+    st.event_bufs.put(events);
 }
 
 fn dns_delivery(
@@ -959,21 +988,21 @@ fn dns_delivery(
         phase: PH_PARSE,
     };
     let trace = Arc::clone(&st.trace);
-    let payload = payload.resolve(&trace);
     let m = st.mark();
-    let mut events: Vec<Event> = Vec::new();
+    let mut events: Vec<Event> = st.event_bufs.take();
     if !payload.is_empty() {
         let _o = st.profiler.enter(Component::Other);
         if let Some(t) = &st.tel {
             t.bytes_parsed.add(payload.len() as u64);
             t.payload_bytes.observe(payload.len() as u64);
+            t.routed(&payload, st.gov.force_copy);
         }
         match st.stack {
             ParserStack::Standard => {
                 let span_begin = st.rec.is_some().then(monotonic_ns);
                 {
                     let _pp = st.profiler.enter(Component::ProtocolParsing);
-                    if !standard_dns_events(&uid, id, ts, payload, &mut events) {
+                    if !standard_dns_events(&uid, id, ts, payload.resolve(&trace), &mut events) {
                         st.parse_failures += 1;
                         if let Some(t) = &st.tel {
                             t.parse_failures.inc();
@@ -995,7 +1024,12 @@ fn dns_delivery(
                     if st.rec.is_some() {
                         bp.set_span_slot(slot);
                     }
-                    match bp.datagram(&uid, id, ts, payload) {
+                    let chunk = if st.gov.force_copy {
+                        FeedChunk::Copy(payload.resolve(&trace))
+                    } else {
+                        payload.feed_chunk(&trace)
+                    };
+                    match bp.datagram_chunk(&uid, id, ts, chunk) {
                         Ok(true) => {}
                         Ok(false) => {
                             st.parse_failures += 1;
@@ -1015,7 +1049,7 @@ fn dns_delivery(
                             st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                         }
                     }
-                    events.extend(bp.take_events());
+                    bp.drain_events_into(&mut events);
                 }
                 None => {
                     let e = RtError::runtime("binpac parser stack unavailable");
@@ -1038,6 +1072,7 @@ fn dns_delivery(
         },
         false,
     );
+    st.event_bufs.put(events);
 }
 
 /// End-of-trace flush of one flow, in the global order the dispatcher
@@ -1090,7 +1125,7 @@ fn http_finish_flow(
                         bp.drop_conn(&uid);
                         st.effects.flow_errors.push(FlowError::new(&uid, &e, ts));
                     }
-                    events.extend(bp.take_events());
+                    bp.drain_events_into(&mut events);
                 }
             }
         }

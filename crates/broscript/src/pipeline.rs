@@ -22,11 +22,15 @@ use hilti_rt::time::{Interval, Time};
 use hilti_rt::timer::TimerMgr;
 use hilti_rt::trace::{monotonic_ns, FlightRecorder, Stage, TraceReport};
 
-use netpkt::decode::decode_ethernet;
+use hilti_rt::bytestring::FeedChunk;
+use netpkt::decode::decode_frame;
 use netpkt::events::{ConnId, DnsAnswer, Event};
 use netpkt::flow::FlowTable;
 use netpkt::http::HttpConnParser;
 use netpkt::pcap::RawPacket;
+use netpkt::{PayloadRef, TraceBuffer};
+
+use crate::slab::Pool;
 
 use crate::host::{Engine, ScriptHost};
 use crate::scripts;
@@ -139,6 +143,13 @@ pub struct Governance {
     /// off path is a single branch per would-be span, and the on path
     /// never touches deterministic outputs.
     pub tracing: bool,
+    /// Degrade zero-copy deliveries to copies: every in-order payload is
+    /// memcpy'd into the parser's buffer instead of borrowed from the
+    /// trace arena. Outputs must be byte-identical either way — this
+    /// exists so differential tests can compare the chunked-borrowed
+    /// byte-string representation against the flat one. (Telemetry-wise,
+    /// only `pipeline.bytes_copied`/`bytes_borrowed` may differ.)
+    pub force_copy: bool,
 }
 
 /// One flow the quarantine tore down.
@@ -194,6 +205,8 @@ struct PipelineTelemetry {
     telemetry: Telemetry,
     packets: Counter,
     bytes_parsed: Counter,
+    bytes_copied: Counter,
+    bytes_borrowed: Counter,
     events_dispatched: Counter,
     flows_opened: Counter,
     flows_closed: Counter,
@@ -210,6 +223,8 @@ impl PipelineTelemetry {
         PipelineTelemetry {
             packets: telemetry.counter("pipeline.packets"),
             bytes_parsed: telemetry.counter("pipeline.bytes_parsed"),
+            bytes_copied: telemetry.counter("pipeline.bytes_copied"),
+            bytes_borrowed: telemetry.counter("pipeline.bytes_borrowed"),
             events_dispatched: telemetry.counter("pipeline.events_dispatched"),
             flows_opened: telemetry.counter("pipeline.flows_opened"),
             flows_closed: telemetry.counter("pipeline.flows_closed"),
@@ -247,6 +262,18 @@ impl PipelineTelemetry {
     fn parsed(&self, bytes: usize) {
         self.bytes_parsed.add(bytes as u64);
         self.payload_bytes.observe(bytes as u64);
+    }
+
+    /// How the delivery payload reached the parser: borrowed from the
+    /// trace arena (zero-copy) or materialized into parser-owned memory
+    /// (out-of-order reassembly output, or [`Governance::force_copy`]).
+    fn routed(&self, payload: &PayloadRef, forced_copy: bool) {
+        match payload {
+            PayloadRef::Shared { len, .. } if !forced_copy => {
+                self.bytes_borrowed.add(*len as u64);
+            }
+            p => self.bytes_copied.add(p.len() as u64),
+        }
     }
 
     fn parse_failure(&self, uid: &str, ts: Time) {
@@ -400,12 +427,16 @@ pub fn run_http_analysis_governed(
     let mut n_events = 0u64;
     let mut n_packets = 0u64;
     let mut last_ts = Time::ZERO;
+    // One shared arena for the whole trace; deliveries borrow from it.
+    let trace = TraceBuffer::from_packets(packets);
+    let mut event_bufs: Pool<Vec<Event>> = Pool::new(4);
 
-    for pkt in packets {
+    for frame_idx in 0..trace.len() {
         n_packets += 1;
         let slot = n_packets - 1;
-        last_ts = pkt.ts;
-        let mut events: Vec<Event> = Vec::new();
+        let (frame_data, ts) = trace.frame(frame_idx);
+        last_ts = ts;
+        let mut events: Vec<Event> = event_bufs.take();
         let deliv_begin = rec.as_ref().map(|_| monotonic_ns());
         let mut span_uid: Option<Arc<str>> = None;
         {
@@ -413,10 +444,10 @@ pub fn run_http_analysis_governed(
             if let Some(t) = &tel {
                 t.packets.inc();
             }
-            let Ok(d) = decode_ethernet(pkt) else {
+            let Ok(d) = decode_frame(frame_data, ts) else {
                 continue;
             };
-            let delivery = flows.process(&d);
+            let delivery = flows.process_shared(&d, frame_data, trace.frame_offset(frame_idx));
             let uid = delivery.flow.uid.clone();
             let id = delivery.flow.id;
             let is_orig = delivery.is_orig;
@@ -428,13 +459,14 @@ pub fn run_http_analysis_governed(
                 span_uid = Some(uid.clone());
             }
             if let Some(t) = &mut tel {
-                t.delivery(&uid, pkt.ts, finished);
+                t.delivery(&uid, ts, finished);
             }
 
             if !quarantined.contains(&*uid) {
                 if let Some(t) = &tel {
                     if !payload.is_empty() {
                         t.parsed(payload.len());
+                        t.routed(&payload, gov.force_copy);
                     }
                 }
                 match stack {
@@ -448,10 +480,10 @@ pub fn run_http_analysis_governed(
                             .entry(uid.clone())
                             .or_insert_with(|| HttpConnParser::new(uid.to_string(), id));
                         if !payload.is_empty() {
-                            parser.feed(is_orig, &payload, pkt.ts, &mut events);
+                            parser.feed(is_orig, payload.resolve(&trace), ts, &mut events);
                         }
                         if finished {
-                            parser.finish(pkt.ts, &mut events);
+                            parser.finish(ts, &mut events);
                         }
                         if let Some(begin) = parse_begin {
                             rec.as_ref().unwrap().borrow_mut().record(
@@ -471,17 +503,22 @@ pub fn run_http_analysis_governed(
                             }
                             let mut fail: Option<RtError> = None;
                             if !payload.is_empty() {
-                                if let Err(e) = bp.feed(&uid, id, is_orig, pkt.ts, &payload) {
+                                let chunk = if gov.force_copy {
+                                    FeedChunk::Copy(payload.resolve(&trace))
+                                } else {
+                                    payload.feed_chunk(&trace)
+                                };
+                                if let Err(e) = bp.feed_chunk(&uid, id, is_orig, ts, chunk) {
                                     fail = Some(e);
                                 }
                             }
                             if fail.is_none() && finished {
-                                if let Err(e) = bp.finish_conn(&uid, id, pkt.ts) {
+                                if let Err(e) = bp.finish_conn(&uid, id, ts) {
                                     fail = Some(e);
                                 }
                             }
                             // Events emitted before the fault still count.
-                            events.extend(bp.take_events());
+                            bp.drain_events_into(&mut events);
                             if let Some(e) = fail {
                                 if !gov.quarantine {
                                     return Err(e);
@@ -489,7 +526,7 @@ pub fn run_http_analysis_governed(
                                 bp.drop_conn(&uid);
                                 std_parsers.remove(&uid);
                                 quarantined.insert(uid.clone());
-                                flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
+                                flow_errors.push(FlowError::new(&uid, &e, ts));
                             }
                         }
                         None => {
@@ -498,7 +535,7 @@ pub fn run_http_analysis_governed(
                                 return Err(e);
                             }
                             quarantined.insert(uid.clone());
-                            flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
+                            flow_errors.push(FlowError::new(&uid, &e, ts));
                         }
                     },
                 }
@@ -508,11 +545,10 @@ pub fn run_http_analysis_governed(
             // flow's deadline; fired timers trigger a (lazily re-checked)
             // sweep that evicts the flow record and its parser state.
             if let Some(ms) = gov.idle_timeout_ms {
-                timers.schedule(pkt.ts + Interval::from_millis(ms as i64), uid.clone());
-                if !timers.advance(pkt.ts).is_empty() {
-                    let cutoff = Time::from_nanos(
-                        pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)),
-                    );
+                timers.schedule(ts + Interval::from_millis(ms as i64), uid.clone());
+                if !timers.advance(ts).is_empty() {
+                    let cutoff =
+                        Time::from_nanos(ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)));
                     for dead in flows.expire_idle_uids(cutoff) {
                         std_parsers.remove(&dead);
                         if let Some(bp) = bp.as_mut() {
@@ -520,7 +556,7 @@ pub fn run_http_analysis_governed(
                         }
                         quarantined.remove(&dead);
                         if let Some(t) = &tel {
-                            t.expired(&dead, pkt.ts);
+                            t.expired(&dead, ts);
                         }
                         flows_expired += 1;
                     }
@@ -541,6 +577,7 @@ pub fn run_http_analysis_governed(
             }
             rb.observe_delivery(monotonic_ns().saturating_sub(deliv_begin.unwrap()));
         }
+        event_bufs.put(events);
     }
 
     // End of trace: flush all still-open connections.
@@ -575,7 +612,7 @@ pub fn run_http_analysis_governed(
                 } else {
                     bp.finish_all(last_ts)?;
                 }
-                tail_events.extend(bp.take_events());
+                bp.drain_events_into(&mut tail_events);
             } else if !gov.quarantine {
                 return Err(RtError::runtime("binpac parser stack unavailable"));
             }
@@ -752,12 +789,15 @@ pub fn run_dns_analysis_governed(
     let mut n_events = 0u64;
     let mut n_packets = 0u64;
     let mut last_ts = Time::ZERO;
+    let trace = TraceBuffer::from_packets(packets);
+    let mut event_bufs: Pool<Vec<Event>> = Pool::new(4);
 
-    for pkt in packets {
+    for frame_idx in 0..trace.len() {
         n_packets += 1;
         let slot = n_packets - 1;
-        last_ts = pkt.ts;
-        let mut events: Vec<Event> = Vec::new();
+        let (frame_data, ts) = trace.frame(frame_idx);
+        last_ts = ts;
+        let mut events: Vec<Event> = event_bufs.take();
         let deliv_begin = rec.as_ref().map(|_| monotonic_ns());
         let mut span_uid: Option<Arc<str>> = None;
         {
@@ -765,10 +805,10 @@ pub fn run_dns_analysis_governed(
             if let Some(t) = &tel {
                 t.packets.inc();
             }
-            let Ok(d) = decode_ethernet(pkt) else {
+            let Ok(d) = decode_frame(frame_data, ts) else {
                 continue;
             };
-            let delivery = flows.process(&d);
+            let delivery = flows.process_shared(&d, frame_data, trace.frame_offset(frame_idx));
             let uid = delivery.flow.uid.clone();
             let id = delivery.flow.id;
             let finished = delivery.finished_now;
@@ -779,20 +819,22 @@ pub fn run_dns_analysis_governed(
                 span_uid = Some(uid.clone());
             }
             if let Some(t) = &mut tel {
-                t.delivery(&uid, pkt.ts, finished);
+                t.delivery(&uid, ts, finished);
             }
             if !payload.is_empty() {
                 if let Some(t) = &tel {
                     t.parsed(payload.len());
+                    t.routed(&payload, gov.force_copy);
                 }
                 match stack {
                     ParserStack::Standard => {
                         let _pp = profiler.enter(Component::ProtocolParsing);
                         let parse_begin = rec.as_ref().map(|r| r.borrow().begin());
-                        if !standard_dns_events(&uid, id, pkt.ts, &payload, &mut events) {
+                        if !standard_dns_events(&uid, id, ts, payload.resolve(&trace), &mut events)
+                        {
                             parse_failures += 1;
                             if let Some(t) = &tel {
-                                t.parse_failure(&uid, pkt.ts);
+                                t.parse_failure(&uid, ts);
                             }
                         }
                         if let (Some(r), Some(begin)) = (&rec, parse_begin) {
@@ -804,42 +846,46 @@ pub fn run_dns_analysis_governed(
                             if rec.is_some() {
                                 bp.set_span_slot(slot);
                             }
-                            match bp.datagram(&uid, id, pkt.ts, &payload) {
+                            let chunk = if gov.force_copy {
+                                FeedChunk::Copy(payload.resolve(&trace))
+                            } else {
+                                payload.feed_chunk(&trace)
+                            };
+                            match bp.datagram_chunk(&uid, id, ts, chunk) {
                                 Ok(true) => {}
                                 Ok(false) => {
                                     parse_failures += 1;
                                     if let Some(t) = &tel {
-                                        t.parse_failure(&uid, pkt.ts);
+                                        t.parse_failure(&uid, ts);
                                     }
                                 }
                                 Err(e) => {
                                     if !gov.quarantine {
                                         return Err(e);
                                     }
-                                    flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
+                                    flow_errors.push(FlowError::new(&uid, &e, ts));
                                 }
                             }
-                            events.extend(bp.take_events());
+                            bp.drain_events_into(&mut events);
                         }
                         None => {
                             let e = RtError::runtime("binpac parser stack unavailable");
                             if !gov.quarantine {
                                 return Err(e);
                             }
-                            flow_errors.push(FlowError::new(&uid, &e, pkt.ts));
+                            flow_errors.push(FlowError::new(&uid, &e, ts));
                         }
                     },
                 }
             }
             if let Some(ms) = gov.idle_timeout_ms {
-                timers.schedule(pkt.ts + Interval::from_millis(ms as i64), uid.clone());
-                if !timers.advance(pkt.ts).is_empty() {
-                    let cutoff = Time::from_nanos(
-                        pkt.ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)),
-                    );
+                timers.schedule(ts + Interval::from_millis(ms as i64), uid.clone());
+                if !timers.advance(ts).is_empty() {
+                    let cutoff =
+                        Time::from_nanos(ts.nanos().saturating_sub(ms.saturating_mul(1_000_000)));
                     for dead in flows.expire_idle_uids(cutoff) {
                         if let Some(t) = &tel {
-                            t.expired(&dead, pkt.ts);
+                            t.expired(&dead, ts);
                         }
                         flows_expired += 1;
                     }
@@ -860,6 +906,7 @@ pub fn run_dns_analysis_governed(
             }
             rb.observe_delivery(monotonic_ns().saturating_sub(deliv_begin.unwrap()));
         }
+        event_bufs.put(events);
     }
     arm_script_limits(&mut host, gov);
     if let Err(e) = host.done() {

@@ -1,0 +1,133 @@
+//! Small object pools for hot-path state.
+//!
+//! The per-packet loops in [`pipeline`](crate::pipeline) and
+//! [`parallel`](crate::parallel) need short-lived working buffers — most
+//! visibly the `Vec<Event>` each delivery fills and drains. Allocating a
+//! fresh one per packet puts the global allocator on the hot path; a
+//! [`Pool`] instead keeps a bounded free list of cleared-but-capacitated
+//! objects, so after warm-up the per-delivery cost is a `Vec::pop` and a
+//! `Vec::push`.
+//!
+//! The pool is deliberately dumb: objects come back [`Reusable::reset`]
+//! (emptied, capacity kept) and the free list is bounded so a burst never
+//! pins memory forever. Nothing about it is thread-safe — each sequential
+//! run and each shard worker owns its own pool, matching the
+//! shared-nothing design of the parallel pipeline.
+
+/// An object that can be emptied in place while keeping its allocation.
+pub trait Reusable: Default {
+    /// Clears the logical contents, retaining backing capacity.
+    fn reset(&mut self);
+}
+
+impl<T> Reusable for Vec<T> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+impl<K, V, S> Reusable for std::collections::HashMap<K, V, S>
+where
+    S: Default + std::hash::BuildHasher,
+{
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+impl Reusable for String {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+/// A bounded free list of [`Reusable`] objects.
+pub struct Pool<T: Reusable> {
+    free: Vec<T>,
+    cap: usize,
+    /// `take` calls served from the free list (vs. fresh constructions).
+    hits: u64,
+    misses: u64,
+}
+
+impl<T: Reusable> Pool<T> {
+    /// A pool retaining at most `cap` idle objects.
+    pub fn new(cap: usize) -> Pool<T> {
+        Pool {
+            free: Vec::new(),
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// An empty object: recycled when the free list has one, freshly
+    /// default-constructed otherwise.
+    pub fn take(&mut self) -> T {
+        match self.free.pop() {
+            Some(t) => {
+                self.hits += 1;
+                t
+            }
+            None => {
+                self.misses += 1;
+                T::default()
+            }
+        }
+    }
+
+    /// Returns an object to the pool. It is [`reset`](Reusable::reset)
+    /// here, so a pooled object never leaks stale contents; beyond the
+    /// retention bound it is simply dropped.
+    pub fn put(&mut self, mut t: T) {
+        if self.free.len() < self.cap {
+            t.reset();
+            self.free.push(t);
+        }
+    }
+
+    /// `(recycled, fresh)` counts of [`take`](Self::take) calls.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Idle objects currently retained.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity_and_clears_contents() {
+        let mut pool: Pool<Vec<u32>> = Pool::new(2);
+        let mut v = pool.take();
+        v.extend([1, 2, 3]);
+        let cap = v.capacity();
+        pool.put(v);
+        let v2 = pool.take();
+        assert!(v2.is_empty(), "recycled object must come back empty");
+        assert_eq!(v2.capacity(), cap, "recycled object keeps its capacity");
+        assert_eq!(pool.stats(), (1, 1));
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let mut pool: Pool<Vec<u8>> = Pool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn take_on_empty_pool_constructs() {
+        let mut pool: Pool<String> = Pool::new(1);
+        let s = pool.take();
+        assert!(s.is_empty());
+        assert_eq!(pool.stats(), (0, 1));
+    }
+}

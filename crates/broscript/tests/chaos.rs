@@ -27,6 +27,7 @@ fn chaos_gov() -> Governance {
         tiering: None,
         delivery_deadline_ms: None,
         tracing: false,
+        force_copy: false,
     }
 }
 
@@ -152,6 +153,7 @@ fn governance_with_generous_limits_changes_nothing() {
         tiering: None,
         delivery_deadline_ms: None,
         tracing: false,
+        force_copy: false,
     };
     let a = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &generous)
         .unwrap();

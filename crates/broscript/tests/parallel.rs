@@ -22,6 +22,7 @@ fn chaos_gov() -> Governance {
         tiering: None,
         delivery_deadline_ms: None,
         tracing: false,
+        force_copy: false,
     }
 }
 

@@ -23,6 +23,7 @@ fn gov() -> Governance {
         tiering: None,
         delivery_deadline_ms: None,
         tracing: false,
+        force_copy: false,
     }
 }
 

@@ -24,6 +24,7 @@ fn gov(tracing: bool) -> Governance {
         tiering: None,
         delivery_deadline_ms: None,
         tracing,
+        force_copy: false,
     }
 }
 

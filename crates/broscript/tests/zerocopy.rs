@@ -1,0 +1,168 @@
+//! Differential tests for the zero-copy delivery path: a run whose
+//! deliveries are *borrowed* from the trace arena (chunked `Bytes`
+//! representation) must be byte-identical to one whose deliveries are
+//! force-copied into flat parser buffers ([`Governance::force_copy`]) —
+//! logs, events, quarantine ledger, and telemetry, over adversarial chaos
+//! traces, sequentially and for N∈{1,2,4} workers. The only permitted
+//! difference is the `pipeline.bytes_copied`/`bytes_borrowed` counter
+//! pair, which records the routing itself.
+
+use broscript::host::Engine;
+use broscript::parallel::{run_dns_analysis_parallel, run_http_analysis_parallel, PipelineOptions};
+use broscript::pipeline::{
+    run_dns_analysis_governed, run_http_analysis_governed, AnalysisResult, Governance, ParserStack,
+};
+use hilti_rt::telemetry::TelemetrySnapshot;
+use netpkt::synth::{chaos_dns_trace, chaos_http_trace, http_trace, ChaosConfig, SynthConfig};
+
+fn gov(force_copy: bool) -> Governance {
+    Governance {
+        idle_timeout_ms: Some(10),
+        per_flow_heap: Some(8 * 1024),
+        script_fuel: Some(500_000),
+        quarantine: true,
+        telemetry: true,
+        force_copy,
+        ..Governance::default()
+    }
+}
+
+fn opts(workers: usize, force_copy: bool) -> PipelineOptions {
+    PipelineOptions {
+        workers,
+        governance: gov(force_copy),
+        ..Default::default()
+    }
+}
+
+/// The routing counters are the one legitimate difference between a
+/// borrowed and a force-copied run; everything else in the snapshot must
+/// match exactly.
+fn strip_routing(snap: &TelemetrySnapshot) -> TelemetrySnapshot {
+    let mut s = snap.clone();
+    s.counters
+        .retain(|(name, _)| name != "pipeline.bytes_copied" && name != "pipeline.bytes_borrowed");
+    s
+}
+
+fn counter(snap: &TelemetrySnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// Everything observable except the routing counters must be identical.
+fn assert_equivalent(borrowed: &AnalysisResult, copied: &AnalysisResult, what: &str) {
+    assert_eq!(borrowed.http_log, copied.http_log, "{what}: http.log");
+    assert_eq!(borrowed.files_log, copied.files_log, "{what}: files.log");
+    assert_eq!(borrowed.dns_log, copied.dns_log, "{what}: dns.log");
+    assert_eq!(borrowed.output, copied.output, "{what}: printed output");
+    assert_eq!(
+        borrowed.flow_errors, copied.flow_errors,
+        "{what}: flow-error ledger"
+    );
+    assert_eq!(borrowed.events, copied.events, "{what}: dispatched events");
+    assert_eq!(borrowed.packets, copied.packets, "{what}: packets");
+    assert_eq!(
+        borrowed.flows_expired, copied.flows_expired,
+        "{what}: flows_expired"
+    );
+    assert_eq!(
+        borrowed.peak_flow_bytes, copied.peak_flow_bytes,
+        "{what}: peak_flow_bytes (budget accounting must be representation-independent)"
+    );
+    assert_eq!(
+        borrowed.parse_failures, copied.parse_failures,
+        "{what}: parse_failures"
+    );
+    assert_eq!(
+        strip_routing(&borrowed.telemetry),
+        strip_routing(&copied.telemetry),
+        "{what}: telemetry snapshot (minus routing counters)"
+    );
+    // Both runs saw the same payload bytes; only the route differs.
+    let total = |r: &AnalysisResult| {
+        counter(&r.telemetry, "pipeline.bytes_copied")
+            + counter(&r.telemetry, "pipeline.bytes_borrowed")
+    };
+    assert_eq!(total(borrowed), total(copied), "{what}: routed byte total");
+}
+
+#[test]
+fn http_chaos_borrowed_matches_flat_sequential_and_parallel() {
+    let trace = chaos_http_trace(&ChaosConfig::new(0xBEEF));
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let borrowed = run_http_analysis_governed(&trace, stack, Engine::Interpreted, &gov(false))
+            .unwrap_or_else(|e| panic!("{stack:?} borrowed seq: {e}"));
+        let copied = run_http_analysis_governed(&trace, stack, Engine::Interpreted, &gov(true))
+            .unwrap_or_else(|e| panic!("{stack:?} copied seq: {e}"));
+        assert!(borrowed.packets > 0 && !borrowed.http_log.is_empty());
+        assert_equivalent(&borrowed, &copied, &format!("http {stack:?} seq"));
+        for n in [1, 2, 4] {
+            let b = run_http_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(n, false))
+                .unwrap_or_else(|e| panic!("{stack:?} borrowed x{n}: {e}"));
+            let c = run_http_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(n, true))
+                .unwrap_or_else(|e| panic!("{stack:?} copied x{n}: {e}"));
+            assert_equivalent(&b, &c, &format!("http {stack:?} x{n}"));
+            // The parallel borrowed run must also match the sequential one.
+            assert_equivalent(&borrowed, &b, &format!("http {stack:?} seq vs x{n}"));
+        }
+    }
+}
+
+#[test]
+fn dns_chaos_borrowed_matches_flat_sequential_and_parallel() {
+    let trace = chaos_dns_trace(29, 20, 5);
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let borrowed = run_dns_analysis_governed(&trace, stack, Engine::Interpreted, &gov(false))
+            .unwrap_or_else(|e| panic!("{stack:?} borrowed seq: {e}"));
+        let copied = run_dns_analysis_governed(&trace, stack, Engine::Interpreted, &gov(true))
+            .unwrap_or_else(|e| panic!("{stack:?} copied seq: {e}"));
+        assert!(borrowed.packets > 0 && !borrowed.dns_log.is_empty());
+        assert_equivalent(&borrowed, &copied, &format!("dns {stack:?} seq"));
+        for n in [1, 2, 4] {
+            let b = run_dns_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(n, false))
+                .unwrap_or_else(|e| panic!("{stack:?} borrowed x{n}: {e}"));
+            let c = run_dns_analysis_parallel(&trace, stack, Engine::Interpreted, &opts(n, true))
+                .unwrap_or_else(|e| panic!("{stack:?} copied x{n}: {e}"));
+            assert_equivalent(&b, &c, &format!("dns {stack:?} x{n}"));
+            assert_equivalent(&borrowed, &b, &format!("dns {stack:?} seq vs x{n}"));
+        }
+    }
+}
+
+#[test]
+fn in_order_trace_is_fully_borrowed() {
+    // An in-order synthetic trace must reach the parser without a single
+    // payload memcpy: everything routes through the arena.
+    let trace = http_trace(&SynthConfig::new(42, 20));
+    for stack in [ParserStack::Standard, ParserStack::Binpac] {
+        let r = run_http_analysis_governed(&trace, stack, Engine::Interpreted, &gov(false))
+            .unwrap_or_else(|e| panic!("{stack:?}: {e}"));
+        assert_eq!(
+            counter(&r.telemetry, "pipeline.bytes_copied"),
+            0,
+            "{stack:?}: in-order deliveries must not copy"
+        );
+        assert!(
+            counter(&r.telemetry, "pipeline.bytes_borrowed") > 0,
+            "{stack:?}: deliveries must be arena-borrowed"
+        );
+    }
+}
+
+#[test]
+fn force_copy_routes_everything_through_copies() {
+    let trace = http_trace(&SynthConfig::new(42, 10));
+    let r = run_http_analysis_governed(
+        &trace,
+        ParserStack::Binpac,
+        Engine::Interpreted,
+        &gov(true),
+    )
+    .unwrap();
+    assert_eq!(counter(&r.telemetry, "pipeline.bytes_borrowed"), 0);
+    assert!(counter(&r.telemetry, "pipeline.bytes_copied") > 0);
+}

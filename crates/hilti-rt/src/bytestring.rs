@@ -13,33 +13,250 @@
 //! Iterators address *logical* offsets from the beginning of the stream, so
 //! they stay meaningful even after `trim()` has released already-parsed data,
 //! which is what bounds parser memory on long-lived connections.
+//!
+//! # Chunked, arena-borrowing representation
+//!
+//! Internally the string is a list of contiguous *chunks*. A chunk either
+//! owns its bytes (`Vec<u8>`, the classic path) or *borrows* them from a
+//! [`SharedArena`] — a reference-counted backing store such as the packet
+//! trace buffer. [`Bytes::append_shared`] records an `(arena, off, len)`
+//! slice without copying, so the hot delivery path from capture to parse
+//! performs zero payload memcpys; [`Bytes::trim`] drops whole chunks (and
+//! narrows a partially-consumed one) as parsing advances. All read paths
+//! operate on logical offsets and behave identically regardless of how the
+//! bytes are chunked; operations that need a contiguous view of data that
+//! straddles a chunk boundary (regexp matching, `find`) coalesce the
+//! retained region into a single owned chunk first — a one-time internal
+//! copy that only happens when a value genuinely spans deliveries.
+//!
+//! Budget accounting is *logical*: an attached [`AllocBudget`] is charged
+//! for appended bytes whether they are owned or borrowed (a borrowed chunk
+//! pins its arena, so the flow is accountable for the bytes either way),
+//! and credited on trim and drop. This keeps charge/credit pairing exact —
+//! a torn-down flow returns precisely what it charged — and makes governed
+//! behavior independent of the physical representation.
 
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{RtError, RtResult};
 use crate::limits::AllocBudget;
 
+/// A shared, immutable backing store that [`Bytes`] chunks can borrow from.
+///
+/// Any `Arc` of a byte-slice-like value coerces: `Arc<Vec<u8>>`, an
+/// `Arc`-ed trace buffer, a memory-mapped file wrapper. The arena must not
+/// change the bytes a live slice refers to.
+pub type SharedArena = Arc<dyn AsRef<[u8]> + Send + Sync>;
+
+/// A checked `(arena, offset, len)` window into a [`SharedArena`].
+///
+/// Holding an `ArenaSlice` keeps the arena alive; the slice itself is
+/// immutable (narrowing happens only through [`Bytes::trim`]).
+#[derive(Clone)]
+pub struct ArenaSlice {
+    arena: SharedArena,
+    off: usize,
+    len: usize,
+}
+
+impl ArenaSlice {
+    /// Creates a slice over `arena[off..off+len]`.
+    ///
+    /// # Panics
+    /// If the range is out of the arena's bounds — slices are constructed
+    /// by hosts from trusted frame metadata, so a violation is a host bug,
+    /// not hostile input.
+    pub fn new(arena: SharedArena, off: usize, len: usize) -> ArenaSlice {
+        let total = (*arena).as_ref().len();
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= total),
+            "arena slice {off}+{len} out of bounds (arena holds {total} bytes)"
+        );
+        ArenaSlice { arena, off, len }
+    }
+
+    /// The borrowed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &(*self.arena).as_ref()[self.off..self.off + self.len]
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Narrows the slice from the front (trim support).
+    fn advance(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        self.off += n;
+        self.len -= n;
+    }
+}
+
+impl fmt::Debug for ArenaSlice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArenaSlice {{ off: {}, len: {} }}", self.off, self.len)
+    }
+}
+
+/// One delivery's worth of payload on its way into a parser: either a
+/// transient slice that must be copied to outlive the call, or an arena
+/// slice the parser's [`Bytes`] can hold on to without copying.
+///
+/// This is the boundary type pipelines hand to the binpac feed path; it lets
+/// a single feed API serve both the zero-copy arena case and reassembled
+/// (owned) segments.
+#[derive(Debug)]
+pub enum FeedChunk<'a> {
+    /// Bytes that only live for the duration of the call; appending copies.
+    Copy(&'a [u8]),
+    /// Bytes backed by a shared arena; appending borrows.
+    Borrow(ArenaSlice),
+}
+
+impl FeedChunk<'_> {
+    pub fn len(&self) -> usize {
+        match self {
+            FeedChunk::Copy(s) => s.len(),
+            FeedChunk::Borrow(a) => a.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Physical storage of one chunk.
+#[derive(Debug)]
+enum ChunkData {
+    Owned(Vec<u8>),
+    Borrowed(ArenaSlice),
+}
+
+/// A contiguous run of the string: bytes for logical offsets
+/// `[start, start + len)`.
+#[derive(Debug)]
+struct Chunk {
+    start: u64,
+    data: ChunkData,
+}
+
+impl Chunk {
+    fn len(&self) -> usize {
+        match &self.data {
+            ChunkData::Owned(v) => v.len(),
+            ChunkData::Borrowed(s) => s.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.data {
+            ChunkData::Owned(v) => v,
+            ChunkData::Borrowed(s) => s.as_slice(),
+        }
+    }
+
+    /// Logical offset one past this chunk's last byte.
+    fn end(&self) -> u64 {
+        self.start + self.len() as u64
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
-    /// Data from logical offset `base` onward.
-    buf: Vec<u8>,
-    /// Logical offset of `buf[0]` within the whole stream.
+    /// Contiguous chunks covering logical offsets `[base, end)`; never
+    /// empty chunks, `chunks[0].start == base`, each chunk starts where
+    /// the previous one ends.
+    chunks: Vec<Chunk>,
+    /// Logical offset of the first retained byte.
     base: u64,
+    /// Logical offset one past the last available byte (the frontier).
+    end: u64,
     /// Once frozen, no further appends; reads past the end raise IndexError
     /// instead of WouldBlock.
     frozen: bool,
-    /// Optional shared byte budget: appends charge it, trims credit it,
-    /// and dropping the string credits the retained bytes back — so a
-    /// torn-down flow returns its memory to the pool it drew from.
+    /// Optional shared byte budget: appends charge it (owned and borrowed
+    /// alike — logical accounting), trims credit it, and dropping the
+    /// string credits the retained bytes back — so a torn-down flow
+    /// returns exactly what it charged.
     budget: Option<AllocBudget>,
+}
+
+impl Inner {
+    /// Retained length in bytes.
+    fn len(&self) -> usize {
+        (self.end - self.base) as usize
+    }
+
+    /// Index of the chunk containing `offset`; requires
+    /// `base <= offset < end`.
+    fn chunk_containing(&self, offset: u64) -> usize {
+        debug_assert!(offset >= self.base && offset < self.end);
+        self.chunks.partition_point(|c| c.end() <= offset)
+    }
+
+    /// Byte at a logical offset; requires `base <= offset < end`.
+    fn byte_at(&self, offset: u64) -> u8 {
+        let c = &self.chunks[self.chunk_containing(offset)];
+        c.as_slice()[(offset - c.start) as usize]
+    }
+
+    /// All retained bytes, concatenated.
+    fn flatten_to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        for c in &self.chunks {
+            v.extend_from_slice(c.as_slice());
+        }
+        v
+    }
+
+    /// Collapses the retained region into a single owned chunk, so callers
+    /// that need a contiguous `&[u8]` across chunk boundaries can have one.
+    /// Logical content, offsets, and budget accounting are unchanged.
+    fn make_contiguous(&mut self) {
+        if self.chunks.len() <= 1 {
+            return;
+        }
+        let v = self.flatten_to_vec();
+        let start = self.base;
+        self.chunks.clear();
+        self.chunks.push(Chunk {
+            start,
+            data: ChunkData::Owned(v),
+        });
+    }
+
+    /// Appends owned bytes, extending the tail chunk when possible so that
+    /// byte-at-a-time feeds don't degenerate into one chunk per byte.
+    fn push_owned(&mut self, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        match self.chunks.last_mut() {
+            Some(Chunk {
+                data: ChunkData::Owned(v),
+                ..
+            }) => v.extend_from_slice(data),
+            _ => self.chunks.push(Chunk {
+                start: self.end,
+                data: ChunkData::Owned(data.to_vec()),
+            }),
+        }
+        self.end += data.len() as u64;
+    }
 }
 
 impl Drop for Inner {
     fn drop(&mut self) {
         if let Some(b) = &self.budget {
-            b.credit(self.buf.len() as u64);
+            b.credit(self.end - self.base);
         }
     }
 }
@@ -67,8 +284,9 @@ impl Bytes {
     pub fn new() -> Self {
         Bytes {
             inner: Rc::new(RefCell::new(Inner {
-                buf: Vec::new(),
+                chunks: Vec::new(),
                 base: 0,
+                end: 0,
                 frozen: false,
                 budget: None,
             })),
@@ -89,6 +307,22 @@ impl Bytes {
         b
     }
 
+    /// Creates an open byte string whose first chunk borrows from a shared
+    /// arena (no copy).
+    pub fn from_arena(slice: ArenaSlice) -> Self {
+        let b = Bytes::new();
+        b.append_shared(slice).expect("fresh Bytes cannot be frozen");
+        b
+    }
+
+    /// Creates a frozen byte string borrowing a complete PDU from a shared
+    /// arena — the zero-copy datagram path.
+    pub fn frozen_from_arena(slice: ArenaSlice) -> Self {
+        let b = Bytes::from_arena(slice);
+        b.freeze();
+        b
+    }
+
     /// Appends a chunk of data. Fails if the string has been frozen, or if
     /// an attached budget cannot cover the growth (the string is unchanged
     /// in that case, so a caught `Hilti::ResourceExhausted` leaves it
@@ -101,18 +335,68 @@ impl Bytes {
         if let Some(b) = &inner.budget {
             b.charge(data.len() as u64)?;
         }
-        inner.buf.extend_from_slice(data);
+        inner.push_owned(data);
         Ok(())
+    }
+
+    /// Appends bytes *borrowed* from a shared arena, without copying. Same
+    /// freeze and budget semantics as [`Bytes::append`]: the budget is
+    /// charged for the logical length (the chunk pins its arena, so the
+    /// flow is accountable for those bytes either way).
+    pub fn append_shared(&self, slice: ArenaSlice) -> RtResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.frozen {
+            return Err(RtError::frozen("append to frozen bytes"));
+        }
+        if let Some(b) = &inner.budget {
+            b.charge(slice.len() as u64)?;
+        }
+        if slice.is_empty() {
+            return Ok(());
+        }
+        let start = inner.end;
+        inner.end += slice.len() as u64;
+        inner.chunks.push(Chunk {
+            start,
+            data: ChunkData::Borrowed(slice),
+        });
+        Ok(())
+    }
+
+    /// Appends one delivery, copying or borrowing per the chunk kind.
+    pub fn append_chunk(&self, chunk: FeedChunk<'_>) -> RtResult<()> {
+        match chunk {
+            FeedChunk::Copy(s) => self.append(s),
+            FeedChunk::Borrow(a) => self.append_shared(a),
+        }
+    }
+
+    /// Number of storage chunks currently backing the string (diagnostic;
+    /// 0 or 1 means the data is already contiguous).
+    pub fn chunk_count(&self) -> usize {
+        self.inner.borrow().chunks.len()
+    }
+
+    /// Bytes currently backed by borrowed arena chunks (diagnostic).
+    pub fn borrowed_len(&self) -> usize {
+        self.inner
+            .borrow()
+            .chunks
+            .iter()
+            .filter(|c| matches!(c.data, ChunkData::Borrowed(_)))
+            .map(Chunk::len)
+            .sum()
     }
 
     /// Attaches a shared byte budget. The bytes already retained are
     /// charged (without enforcement) so accounting stays consistent.
     pub fn set_budget(&self, budget: AllocBudget) {
         let mut inner = self.inner.borrow_mut();
+        let retained = inner.end - inner.base;
         if let Some(old) = inner.budget.take() {
-            old.credit(inner.buf.len() as u64);
+            old.credit(retained);
         }
-        budget.charge_unchecked(inner.buf.len() as u64);
+        budget.charge_unchecked(retained);
         inner.budget = Some(budget);
     }
 
@@ -138,7 +422,7 @@ impl Bytes {
 
     /// Number of bytes currently available (excluding trimmed data).
     pub fn len(&self) -> usize {
-        self.inner.borrow().buf.len()
+        self.inner.borrow().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -147,8 +431,7 @@ impl Bytes {
 
     /// Logical offset one past the last available byte.
     pub fn end_offset(&self) -> u64 {
-        let inner = self.inner.borrow();
-        inner.base + inner.buf.len() as u64
+        self.inner.borrow().end
     }
 
     /// Logical offset of the first retained byte.
@@ -192,18 +475,17 @@ impl Bytes {
                 inner.base
             )));
         }
-        let rel = (offset - inner.base) as usize;
-        if rel >= inner.buf.len() {
+        if offset >= inner.end {
             if inner.frozen {
                 Err(RtError::index(format!(
                     "offset {offset} past frozen end {}",
-                    inner.base + inner.buf.len() as u64
+                    inner.end
                 )))
             } else {
                 Err(RtError::would_block())
             }
         } else {
-            Ok(inner.buf[rel])
+            Ok(inner.byte_at(offset))
         }
     }
 
@@ -217,48 +499,83 @@ impl Bytes {
         if from < inner.base {
             return Err(RtError::index("range begins before trimmed base"));
         }
-        let end = inner.base + inner.buf.len() as u64;
-        if to > end {
+        if to > inner.end {
             return if inner.frozen {
                 Err(RtError::index("range extends past frozen end"))
             } else {
                 Err(RtError::would_block())
             };
         }
-        let a = (from - inner.base) as usize;
-        let b = (to - inner.base) as usize;
-        Ok(inner.buf[a..b].to_vec())
+        let mut out = Vec::with_capacity((to - from) as usize);
+        if to > from {
+            let mut i = inner.chunk_containing(from);
+            let mut pos = from;
+            while pos < to {
+                let c = &inner.chunks[i];
+                let s = c.as_slice();
+                let a = (pos - c.start) as usize;
+                let b = (((to - c.start) as usize).min(s.len())).max(a);
+                out.extend_from_slice(&s[a..b]);
+                pos = c.start + b as u64;
+                i += 1;
+            }
+        }
+        Ok(out)
     }
 
     /// Calls `f` with the contiguous slice of available data starting at
     /// `from` (empty if `from` is at/past the frontier). This is the
     /// zero-copy path used by the regexp engine and unpack primitives.
+    /// When the available data straddles a chunk boundary it is coalesced
+    /// into one owned chunk first (a one-time internal copy).
     pub fn with_available<R>(&self, from: u64, f: impl FnOnce(&[u8]) -> R) -> RtResult<R> {
-        let inner = self.inner.borrow();
+        let mut inner = self.inner.borrow_mut();
         if from < inner.base {
             return Err(RtError::index("offset before trimmed base"));
         }
-        let rel = ((from - inner.base) as usize).min(inner.buf.len());
-        Ok(f(&inner.buf[rel..]))
+        let from = from.min(inner.end);
+        if from == inner.end {
+            return Ok(f(&[]));
+        }
+        if inner.chunk_containing(from) + 1 != inner.chunks.len() {
+            inner.make_contiguous();
+        }
+        let c = inner.chunks.last().expect("nonempty retained region");
+        let rel = (from - c.start) as usize;
+        Ok(f(&c.as_slice()[rel..]))
     }
 
     /// Releases all data before `offset`, keeping logical offsets stable.
     /// Iterators pointing before `offset` become invalid (dereferencing
-    /// them raises `Hilti::IndexError`).
+    /// them raises `Hilti::IndexError`). Whole chunks before the cut are
+    /// dropped (releasing their arena pins); a partially-consumed chunk is
+    /// narrowed in place.
     pub fn trim(&self, offset: u64) -> RtResult<()> {
         let mut inner = self.inner.borrow_mut();
         if offset <= inner.base {
             return Ok(());
         }
-        let end = inner.base + inner.buf.len() as u64;
-        if offset > end {
+        if offset > inner.end {
             return Err(RtError::index("trim past end of data"));
         }
-        let n = (offset - inner.base) as usize;
-        inner.buf.drain(..n);
+        let n = offset - inner.base;
+        let whole = inner.chunks.partition_point(|c| c.end() <= offset);
+        inner.chunks.drain(..whole);
+        if let Some(first) = inner.chunks.first_mut() {
+            if offset > first.start {
+                let k = (offset - first.start) as usize;
+                match &mut first.data {
+                    ChunkData::Owned(v) => {
+                        v.drain(..k);
+                    }
+                    ChunkData::Borrowed(s) => s.advance(k),
+                }
+                first.start = offset;
+            }
+        }
         inner.base = offset;
         if let Some(b) = &inner.budget {
-            b.credit(n as u64);
+            b.credit(n);
         }
         Ok(())
     }
@@ -271,14 +588,21 @@ impl Bytes {
         if needle.is_empty() {
             return Ok(Some(from));
         }
-        let inner = self.inner.borrow();
+        let mut inner = self.inner.borrow_mut();
         if from < inner.base {
             return Err(RtError::index("search start before trimmed base"));
         }
-        let rel = ((from - inner.base) as usize).min(inner.buf.len());
-        let hay = &inner.buf[rel..];
-        if let Some(pos) = hay.windows(needle.len()).position(|w| w == needle) {
-            return Ok(Some(from + pos as u64));
+        let from_c = from.min(inner.end);
+        if from_c < inner.end {
+            if inner.chunk_containing(from_c) + 1 != inner.chunks.len() {
+                inner.make_contiguous();
+            }
+            let c = inner.chunks.last().expect("nonempty retained region");
+            let rel = (from_c - c.start) as usize;
+            let hay = &c.as_slice()[rel..];
+            if let Some(pos) = hay.windows(needle.len()).position(|w| w == needle) {
+                return Ok(Some(from_c + pos as u64));
+            }
         }
         if inner.frozen {
             Ok(None)
@@ -289,18 +613,33 @@ impl Bytes {
 
     /// Full contents currently retained, as a fresh vector.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.inner.borrow().buf.clone()
+        self.inner.borrow().flatten_to_vec()
     }
 
-    /// A value-semantics copy (used when crossing thread boundaries).
+    /// A value-semantics copy (used when crossing thread boundaries). The
+    /// copy is flattened into one owned chunk. If the source has a budget
+    /// attached, the copy shares it and is charged for its own retained
+    /// bytes — two live copies of a governed flow's data cost the pool
+    /// twice, and each credits its share back when dropped.
     pub fn deep_copy(&self) -> Bytes {
         let inner = self.inner.borrow();
         let b = Bytes::new();
         {
             let mut bi = b.inner.borrow_mut();
-            bi.buf = inner.buf.clone();
+            let data = inner.flatten_to_vec();
             bi.base = inner.base;
+            bi.end = inner.end;
             bi.frozen = inner.frozen;
+            if !data.is_empty() {
+                bi.chunks.push(Chunk {
+                    start: inner.base,
+                    data: ChunkData::Owned(data),
+                });
+            }
+            if let Some(budget) = &inner.budget {
+                budget.charge_unchecked(inner.end - inner.base);
+                bi.budget = Some(budget.clone());
+            }
         }
         b
     }
@@ -317,10 +656,42 @@ impl Default for Bytes {
     }
 }
 
+/// Streaming content comparison across two (differently) chunked strings.
+fn content_eq(x: &Inner, y: &Inner) -> bool {
+    if x.len() != y.len() {
+        return false;
+    }
+    let mut xs = x.chunks.iter().map(Chunk::as_slice);
+    let mut ys = y.chunks.iter().map(Chunk::as_slice);
+    let (mut a, mut b): (&[u8], &[u8]) = (&[], &[]);
+    loop {
+        if a.is_empty() {
+            a = match xs.next() {
+                Some(s) => s,
+                None => return true, // equal lengths: y is exhausted too
+            };
+        }
+        if b.is_empty() {
+            b = match ys.next() {
+                Some(s) => s,
+                None => return true,
+            };
+        }
+        let n = a.len().min(b.len());
+        if a[..n] != b[..n] {
+            return false;
+        }
+        a = &a[n..];
+        b = &b[n..];
+    }
+}
+
 impl PartialEq for Bytes {
     /// Content equality over the retained data, like HILTI's `bytes` equal.
+    /// Chunk layout is irrelevant: a borrowed-chunk string equals an owned
+    /// flat string with the same logical content.
     fn eq(&self, other: &Self) -> bool {
-        self.same(other) || self.inner.borrow().buf == other.inner.borrow().buf
+        self.same(other) || content_eq(&self.inner.borrow(), &other.inner.borrow())
     }
 }
 
@@ -329,16 +700,24 @@ impl Eq for Bytes {}
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let inner = self.inner.borrow();
+        let total = inner.len();
         write!(f, "b\"")?;
-        for &b in inner.buf.iter().take(64) {
-            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
-                write!(f, "{}", b as char)?;
-            } else {
-                write!(f, "\\x{b:02x}")?;
+        let mut shown = 0usize;
+        'outer: for c in &inner.chunks {
+            for &b in c.as_slice() {
+                if shown == 64 {
+                    break 'outer;
+                }
+                if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\x{b:02x}")?;
+                }
+                shown += 1;
             }
         }
-        if inner.buf.len() > 64 {
-            write!(f, "...({} bytes)", inner.buf.len())?;
+        if total > 64 {
+            write!(f, "...({total} bytes)")?;
         }
         write!(f, "\"")?;
         if inner.frozen {
@@ -409,6 +788,10 @@ impl fmt::Debug for BytesIter {
 mod tests {
     use super::*;
     use crate::error::ExceptionKind;
+
+    fn arena(data: &[u8]) -> SharedArena {
+        Arc::new(data.to_vec())
+    }
 
     #[test]
     fn append_and_read() {
@@ -588,5 +971,244 @@ mod tests {
         // at valid data (the frontier moved past it).
         assert_eq!(b.end().offset(), 4);
         assert_eq!(end.deref().unwrap(), b'c');
+    }
+
+    // --- chunked / arena-borrowing representation ---
+
+    #[test]
+    fn append_shared_borrows_without_copy() {
+        let ar = arena(b"xxGET / HTTP/1.1yy");
+        let b = Bytes::new();
+        b.append_shared(ArenaSlice::new(ar.clone(), 2, 14)).unwrap();
+        assert_eq!(b.len(), 14);
+        assert_eq!(b.borrowed_len(), 14);
+        assert_eq!(b.chunk_count(), 1);
+        assert_eq!(b.to_vec(), b"GET / HTTP/1.1");
+        assert_eq!(b.at(0).unwrap(), b'G');
+        assert_eq!(b.at(13).unwrap(), b'1');
+    }
+
+    #[test]
+    fn reads_straddle_chunk_boundaries() {
+        // owned + borrowed + owned chunks; every read path must see one
+        // logical string.
+        let ar = arena(b"##middle##");
+        let b = Bytes::from_slice(b"head-");
+        b.append_shared(ArenaSlice::new(ar.clone(), 2, 6)).unwrap();
+        b.append(b"-tail").unwrap();
+        assert!(b.chunk_count() >= 3);
+        assert_eq!(b.to_vec(), b"head-middle-tail");
+        // at() across each boundary
+        assert_eq!(b.at(4).unwrap(), b'-');
+        assert_eq!(b.at(5).unwrap(), b'm');
+        assert_eq!(b.at(10).unwrap(), b'e');
+        assert_eq!(b.at(11).unwrap(), b'-');
+        // extract() spanning all three chunks
+        assert_eq!(b.extract(3, 13).unwrap(), b"d-middle-t");
+        // find() of a needle that straddles a boundary
+        assert_eq!(b.find(0, b"d-m").unwrap(), Some(3));
+        assert_eq!(b.find(0, b"le-ta").unwrap(), Some(9));
+        // with_available() must hand back the full contiguous window
+        let w = b.with_available(2, |s| s.to_vec()).unwrap();
+        assert_eq!(w, b"ad-middle-tail");
+    }
+
+    #[test]
+    fn iterators_walk_across_chunks() {
+        let ar = arena(b"wxyz");
+        let b = Bytes::from_slice(b"ab");
+        b.append_shared(ArenaSlice::new(ar.clone(), 1, 2)).unwrap();
+        let mut it = b.begin();
+        let mut got = Vec::new();
+        while let Ok(byte) = it.deref() {
+            got.push(byte);
+            it = it.advance(1);
+        }
+        assert_eq!(got, b"abxy");
+        assert_eq!(b.begin().distance(&it).unwrap(), 4);
+    }
+
+    #[test]
+    fn trim_drops_whole_chunks_and_narrows_partial_ones() {
+        let ar = arena(b"0123456789");
+        let b = Bytes::new();
+        b.append_shared(ArenaSlice::new(ar.clone(), 0, 4)).unwrap();
+        b.append_shared(ArenaSlice::new(ar.clone(), 4, 4)).unwrap();
+        b.append(b"pq").unwrap();
+        assert_eq!(b.chunk_count(), 3);
+        // Trim into the middle of the second borrowed chunk.
+        b.trim(6).unwrap();
+        assert_eq!(b.chunk_count(), 2);
+        assert_eq!(b.begin_offset(), 6);
+        assert_eq!(b.to_vec(), b"67pq");
+        assert_eq!(b.at(6).unwrap(), b'6');
+        assert_eq!(b.at(5).unwrap_err().kind, ExceptionKind::IndexError);
+        // Trim to the frontier empties the string but keeps offsets.
+        b.trim(10).unwrap();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.chunk_count(), 0);
+        assert_eq!(b.end_offset(), 10);
+        b.append(b"z").unwrap();
+        assert_eq!(b.at(10).unwrap(), b'z');
+    }
+
+    #[test]
+    fn eq_ignores_chunk_layout() {
+        let ar = arena(b"hello world");
+        let chunked = Bytes::new();
+        chunked
+            .append_shared(ArenaSlice::new(ar.clone(), 0, 6))
+            .unwrap();
+        chunked.append(b"world").unwrap();
+        let flat = Bytes::from_slice(b"hello world");
+        assert_eq!(chunked, flat);
+        assert_eq!(flat, chunked);
+        let different = Bytes::from_slice(b"hello worlD");
+        assert_ne!(chunked, different);
+        let shorter = Bytes::from_slice(b"hello");
+        assert_ne!(chunked, shorter);
+    }
+
+    #[test]
+    fn debug_renders_across_chunks() {
+        let ar = arena(b"bc");
+        let b = Bytes::from_slice(b"a");
+        b.append_shared(ArenaSlice::new(ar.clone(), 0, 2)).unwrap();
+        b.freeze();
+        assert_eq!(format!("{b:?}"), "b\"abc\" (frozen)");
+    }
+
+    #[test]
+    fn frozen_from_arena_is_a_complete_pdu() {
+        let ar = arena(b"..DNSMSG..");
+        let b = Bytes::frozen_from_arena(ArenaSlice::new(ar.clone(), 2, 6));
+        assert!(b.is_frozen());
+        assert_eq!(b.to_vec(), b"DNSMSG");
+        assert_eq!(b.at(6).unwrap_err().kind, ExceptionKind::IndexError);
+        assert_eq!(b.borrowed_len(), 6);
+    }
+
+    #[test]
+    fn budget_counts_borrowed_bytes_logically() {
+        use crate::limits::AllocBudget;
+        let ar = arena(b"0123456789");
+        let budget = AllocBudget::with_limit(8);
+        let b = Bytes::new();
+        b.set_budget(budget.clone());
+        b.append_shared(ArenaSlice::new(ar.clone(), 0, 6)).unwrap();
+        assert_eq!(budget.used(), 6);
+        // Borrowed growth is governed exactly like owned growth.
+        let e = b
+            .append_shared(ArenaSlice::new(ar.clone(), 6, 4))
+            .unwrap_err();
+        assert_eq!(e.kind, ExceptionKind::ResourceExhausted);
+        assert_eq!(b.len(), 6);
+        b.trim(4).unwrap();
+        assert_eq!(budget.used(), 2);
+        drop(b);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn deep_copy_carries_budget_and_credits_on_drop() {
+        use crate::limits::AllocBudget;
+        let budget = AllocBudget::unlimited();
+        let b = Bytes::from_slice(b"governed");
+        b.set_budget(budget.clone());
+        assert_eq!(budget.used(), 8);
+        let copy = b.deep_copy();
+        assert_eq!(budget.used(), 16, "the copy is charged for its bytes");
+        assert!(copy.budget().is_some_and(|cb| cb.same(&budget)));
+        drop(copy);
+        assert_eq!(budget.used(), 8, "dropping the copy credits its share");
+        drop(b);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn coalescing_preserves_budget_accounting() {
+        use crate::limits::AllocBudget;
+        let ar = arena(b"abcdef");
+        let budget = AllocBudget::unlimited();
+        let b = Bytes::new();
+        b.set_budget(budget.clone());
+        b.append_shared(ArenaSlice::new(ar.clone(), 0, 3)).unwrap();
+        b.append_shared(ArenaSlice::new(ar.clone(), 3, 3)).unwrap();
+        assert_eq!(budget.used(), 6);
+        // A straddling find() coalesces internally; accounting is logical,
+        // so usage must not change.
+        assert_eq!(b.find(0, b"cd").unwrap(), Some(2));
+        assert_eq!(b.chunk_count(), 1, "coalesced");
+        assert_eq!(budget.used(), 6);
+        drop(b);
+        assert_eq!(budget.used(), 0);
+    }
+
+    /// Budget conservation over random op sequences: whatever mixture of
+    /// append/append_shared/trim/freeze/unfreeze/deep_copy/clone/extract
+    /// runs, the budget's `used()` always equals the summed retained length
+    /// of live distinct strings, and returns to zero once they all drop.
+    #[test]
+    fn budget_conservation_property() {
+        use crate::limits::AllocBudget;
+        // Hand-rolled LCG: deterministic, no external crates.
+        let mut seed: u64 = 0x853c49e6748fea9b;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        let ar: SharedArena = Arc::new((0u8..=255).collect::<Vec<u8>>());
+        for _round in 0..50 {
+            let budget = AllocBudget::unlimited();
+            let root = Bytes::new();
+            root.set_budget(budget.clone());
+            // Distinct strings (deep copies share the budget); clones are
+            // handles and are tracked separately so drops don't double-free.
+            let mut objects: Vec<Bytes> = vec![root];
+            let mut handles: Vec<Bytes> = Vec::new();
+            for _step in 0..200 {
+                let pick = (rng() as usize) % objects.len();
+                let b = objects[pick].clone();
+                match rng() % 10 {
+                    0 | 1 | 2 => {
+                        let n = (rng() % 32) as usize;
+                        let data: Vec<u8> = (0..n).map(|_| rng() as u8).collect();
+                        let _ = b.append(&data);
+                    }
+                    3 | 4 => {
+                        let off = (rng() % 200) as usize;
+                        let len = (rng() % 50) as usize;
+                        let _ = b.append_shared(ArenaSlice::new(ar.clone(), off, len.min(256 - off)));
+                    }
+                    5 => {
+                        let span = b.end_offset() - b.begin_offset();
+                        if span > 0 {
+                            let cut = b.begin_offset() + rng() % (span + 1);
+                            let _ = b.trim(cut);
+                        }
+                    }
+                    6 => b.freeze(),
+                    7 => b.unfreeze(),
+                    8 => {
+                        if objects.len() < 8 {
+                            objects.push(b.deep_copy());
+                        }
+                    }
+                    _ => {
+                        if handles.len() < 8 {
+                            handles.push(b.clone());
+                        } else {
+                            let from = b.begin_offset();
+                            let _ = b.extract(from, b.end_offset());
+                        }
+                    }
+                }
+                let expected: u64 = objects.iter().map(|o| o.len() as u64).sum();
+                assert_eq!(budget.used(), expected, "live accounting drifted");
+            }
+            drop(handles);
+            drop(objects);
+            assert_eq!(budget.used(), 0, "all charges credited back on drop");
+        }
     }
 }

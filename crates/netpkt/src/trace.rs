@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use hilti_rt::bytestring::{ArenaSlice, FeedChunk};
 use hilti_rt::time::Time;
 
 use crate::pcap::RawPacket;
@@ -80,6 +81,20 @@ impl TraceBuffer {
     pub fn slice(&self, off: u64, len: u32) -> &[u8] {
         &self.data[off as usize..off as usize + len as usize]
     }
+
+    /// An [`ArenaSlice`] over an arena range: a refcounted window a
+    /// `hilti_rt` byte string can hold as a borrowed chunk, keeping this
+    /// buffer alive without copying the bytes.
+    pub fn arena_slice(self: &Arc<Self>, off: u64, len: u32) -> ArenaSlice {
+        let arena: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::clone(self) as _;
+        ArenaSlice::new(arena, off as usize, len as usize)
+    }
+}
+
+impl AsRef<[u8]> for TraceBuffer {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
 }
 
 /// A delivery payload: either a slice of the shared [`TraceBuffer`]
@@ -117,6 +132,17 @@ impl PayloadRef {
             PayloadRef::Owned(v) => v,
         }
     }
+
+    /// The payload as a parser [`FeedChunk`]: `Shared` payloads become
+    /// borrowed arena slices (zero-copy into the parser's byte string),
+    /// owned reassembly buffers become copy chunks.
+    pub fn feed_chunk<'a>(&'a self, buf: &Arc<TraceBuffer>) -> FeedChunk<'a> {
+        match self {
+            PayloadRef::Empty => FeedChunk::Copy(&[]),
+            PayloadRef::Shared { off, len } => FeedChunk::Borrow(buf.arena_slice(*off, *len)),
+            PayloadRef::Owned(v) => FeedChunk::Copy(v),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +178,20 @@ mod tests {
         assert_eq!(PayloadRef::Empty.resolve(&buf), b"");
         assert!(PayloadRef::Empty.is_empty());
         assert_eq!(PayloadRef::Shared { off: 0, len: 5 }.len(), 5);
+    }
+
+    #[test]
+    fn arena_slices_feed_bytes_without_copy() {
+        use hilti_rt::bytestring::Bytes;
+        let buf = TraceBuffer::from_packets(&[pkt(1, b"hello world")]);
+        let b = Bytes::new();
+        b.append_chunk(PayloadRef::Shared { off: 6, len: 5 }.feed_chunk(&buf))
+            .unwrap();
+        assert_eq!(b.to_vec(), b"world");
+        assert_eq!(b.borrowed_len(), 5, "shared payloads are borrowed");
+        b.append_chunk(PayloadRef::Owned(b"!".to_vec()).feed_chunk(&buf))
+            .unwrap();
+        assert_eq!(b.to_vec(), b"world!");
+        assert_eq!(b.borrowed_len(), 5, "owned payloads are copied");
     }
 }
