@@ -193,13 +193,28 @@ fn batch_size_never_changes_output() {
     }
 }
 
+/// All four tiering modes — or just the one named by `HILTI_TIERING`, so
+/// the CI tier matrix splits the differential cost across jobs.
+fn modes_under_test() -> Vec<hilti::tier::TieringMode> {
+    use hilti::tier::TieringMode;
+    match TieringMode::from_env() {
+        Some(m) => vec![m],
+        None => vec![
+            TieringMode::Off,
+            TieringMode::Lazy,
+            TieringMode::Eager,
+            TieringMode::Threaded,
+        ],
+    }
+}
+
 #[test]
 fn tiering_modes_parallel_output_identical() {
     // Adaptive tiering may only change dispatch speed, never output: for
-    // every tiering mode the sequential, 1-worker and 4-worker compiled
+    // every tiering mode the sequential, 1-, 2- and 4-worker compiled
     // runs must match the static-specialization baseline byte for byte.
-    use hilti::tier::TieringMode;
-
+    // Each shard carries its own tier engine, so worker counts also vary
+    // where (and whether) hot functions cross the threaded threshold.
     let trace = chaos_http_trace(&ChaosConfig::new(11));
     let quiet = Governance {
         telemetry: false,
@@ -208,7 +223,7 @@ fn tiering_modes_parallel_output_identical() {
     let base = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &quiet)
         .expect("static baseline");
     assert!(base.packets > 0 && !base.http_log.is_empty());
-    for mode in [TieringMode::Off, TieringMode::Lazy, TieringMode::Eager] {
+    for mode in modes_under_test() {
         let gov = Governance {
             tiering: Some(mode),
             ..quiet
@@ -216,7 +231,7 @@ fn tiering_modes_parallel_output_identical() {
         let seq = run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Compiled, &gov)
             .unwrap_or_else(|e| panic!("{mode:?} sequential: {e}"));
         assert_identical(&base, &seq, &format!("{mode:?} seq vs static"));
-        for n in [1, 4] {
+        for n in [1, 2, 4] {
             let par = run_http_analysis_parallel(
                 &trace,
                 ParserStack::Binpac,

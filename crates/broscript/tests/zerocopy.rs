@@ -156,13 +156,9 @@ fn in_order_trace_is_fully_borrowed() {
 #[test]
 fn force_copy_routes_everything_through_copies() {
     let trace = http_trace(&SynthConfig::new(42, 10));
-    let r = run_http_analysis_governed(
-        &trace,
-        ParserStack::Binpac,
-        Engine::Interpreted,
-        &gov(true),
-    )
-    .unwrap();
+    let r =
+        run_http_analysis_governed(&trace, ParserStack::Binpac, Engine::Interpreted, &gov(true))
+            .unwrap();
     assert_eq!(counter(&r.telemetry, "pipeline.bytes_borrowed"), 0);
     assert!(counter(&r.telemetry, "pipeline.bytes_copied") > 0);
 }

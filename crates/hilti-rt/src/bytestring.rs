@@ -311,7 +311,8 @@ impl Bytes {
     /// arena (no copy).
     pub fn from_arena(slice: ArenaSlice) -> Self {
         let b = Bytes::new();
-        b.append_shared(slice).expect("fresh Bytes cannot be frozen");
+        b.append_shared(slice)
+            .expect("fresh Bytes cannot be frozen");
         b
     }
 
@@ -1154,7 +1155,9 @@ mod tests {
         // Hand-rolled LCG: deterministic, no external crates.
         let mut seed: u64 = 0x853c49e6748fea9b;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         let ar: SharedArena = Arc::new((0u8..=255).collect::<Vec<u8>>());
@@ -1178,7 +1181,8 @@ mod tests {
                     3 | 4 => {
                         let off = (rng() % 200) as usize;
                         let len = (rng() % 50) as usize;
-                        let _ = b.append_shared(ArenaSlice::new(ar.clone(), off, len.min(256 - off)));
+                        let _ =
+                            b.append_shared(ArenaSlice::new(ar.clone(), off, len.min(256 - off)));
                     }
                     5 => {
                         let span = b.end_offset() - b.begin_offset();

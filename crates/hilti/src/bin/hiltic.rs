@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! hiltic run  [-O0] [--interp] [--trace] [--stats] [--no-specialize]
-//!             [--tiering=off|lazy|eager]
+//!             [--tiering=off|lazy|eager|threaded]
 //!             [--fuel N] [--max-heap N] [--max-depth N]
 //!             [--profile out.json] [--metrics-out out.json]
 //!             [--trace-out out.json]
@@ -23,12 +23,20 @@
 //! of the static specialization pass: `off` runs generic bytecode
 //! forever (the speedup baseline), `lazy` re-lowers a function once its
 //! invocation/retired-instruction counters cross the hotness thresholds,
-//! and `eager` tiers every function on first dispatch. Tiered code uses
+//! `eager` tiers every function on first dispatch, and `threaded` uses
+//! `lazy`'s schedule but additionally compiles promoted functions into
+//! direct-threaded ops — operands, branch targets and inline-cache
+//! handles pre-bound at tier-up, no fetch/decode loop. Tiered code uses
 //! the operand types observed at call edges and installs monomorphic
 //! inline caches at struct/overlay/callable sites; output, exceptions
 //! and fuel are identical in every mode. `--stats` prints the executed
 //! instruction mix to stderr,
-//! sorted by count with each opcode's share of retired instructions.
+//! sorted by count with each opcode's share of retired instructions,
+//! plus the per-tier retirement mix (generic vs specialized fast loop vs
+//! threaded executor) when any instruction retired off the generic path.
+//! (Note `--stats` itself is an observational mode that pins the generic
+//! tier, so a tiered retirement mix only shows up when stats are read
+//! programmatically or via `--metrics-out`-style integrations.)
 //! `--fuel`, `--max-heap` and `--max-depth` bound execution steps, bytes
 //! of tracked heap state, and call depth; exceeding any of them raises
 //! the catchable `Hilti::ResourceExhausted` exception.
@@ -147,7 +155,7 @@ fn main() -> ExitCode {
                 match TieringMode::parse(mode) {
                     Some(m) => tiering = Some(m),
                     None => {
-                        eprintln!("--tiering needs off, lazy or eager (got {mode:?})");
+                        eprintln!("--tiering needs off, lazy, eager or threaded (got {mode:?})");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -321,6 +329,21 @@ fn main() -> ExitCode {
                 for (name, count) in mix {
                     let pct = count as f64 * 100.0 / total.max(1) as f64;
                     eprintln!("stats: {count:>10} {pct:>6.2}%  {name}");
+                }
+                // Per-tier retirement mix (generic dispatch / specialized
+                // fast loop / threaded executor). Under --stats the VM pins
+                // the generic tier, so this reports where fuel retired —
+                // all generic here by design — and documents the armed
+                // tiering mode for the run.
+                let tiers = program.context_mut().tier_mix();
+                if let Some(mode) = program.context_mut().tiering() {
+                    eprintln!(
+                        "stats: tier mix (tiering={}): generic {} / specialized {} / threaded {}",
+                        mode.as_str(),
+                        tiers.generic,
+                        tiers.specialized,
+                        tiers.threaded
+                    );
                 }
             }
             if let Some(path) = &profile_out {

@@ -39,7 +39,9 @@ pub struct BuildOptions {
     /// time per `specialize`. `Some(mode)` switches to runtime feedback:
     /// the static pass is skipped, every function starts generic, and the
     /// context's tier engine re-lowers hot functions with observed types
-    /// and inline caches (`off` never tiers — the measurement baseline).
+    /// and inline caches (`off` never tiers — the measurement baseline;
+    /// `threaded` additionally compiles promoted functions into
+    /// direct-threaded ops, the top rung of the tier ladder).
     pub tiering: Option<crate::tier::TieringMode>,
 }
 
@@ -435,7 +437,10 @@ rec:
         assert_eq!(snap.counter("engine.runs"), 2);
         // Both engines charge the same fuel, so the flushed total is even.
         let retired = snap.counter("engine.instructions_retired");
-        assert!(retired > 0 && retired % 2 == 0, "retired={retired}");
+        assert!(
+            retired > 0 && retired.is_multiple_of(2),
+            "retired={retired}"
+        );
 
         // Now starve a run and expect a resource_limit event.
         p.set_limits(hilti_rt::ResourceLimits {

@@ -24,6 +24,13 @@
 //!    branch stays at its pc (it remains reachable through explicit jump
 //!    labels), so no liveness or CFG analysis is needed.
 //!
+//! This pass is also the feeder for the tier above it: under
+//! `--tiering=threaded`, the adaptive tier re-runs it with observed types
+//! and then hands the specialized body to [`crate::threaded::compile`],
+//! which flattens it into pre-bound direct-threaded ops — so every rewrite
+//! here (including the fused `BrIfInt` and its two-unit fuel charge) has a
+//! 1:1 pc-preserving counterpart on the top rung.
+//!
 //! Type guards are deliberately conservative: anything touching a global,
 //! an `any`-typed slot, or a `GlobalStore` wrapper keeps the generic path,
 //! so exception, fiber and global-visibility semantics stay in one place.

@@ -15,7 +15,7 @@
 //!
 //! Tier-up must be observationally invisible — the differential fuzz suite
 //! asserts byte-identical output, exceptions, and fuel across
-//! `off`/`lazy`/`eager`:
+//! `off`/`lazy`/`eager`/`threaded`:
 //!
 //! * **Counters are deterministic.** Hotness is driven by invocation and
 //!   retired-instruction counts maintained inside the dispatch loop — pure
@@ -46,12 +46,14 @@ use std::rc::Rc;
 use crate::bytecode::{CFunc, CInstr, CompiledProgram, IcSite};
 use crate::ir::Opcode;
 use crate::specialize::{specialize_func_with_types, SpecStats};
+use crate::threaded::ThreadedFunc;
 use crate::types::Type;
 use crate::value::Value;
 
 /// When (if ever) functions move from the generic tier to the specialized
-/// one. Selected per build via `BuildOptions::tiering` or per run via
-/// `hiltic run --tiering=off|lazy|eager`.
+/// one — and whether they continue to the direct-threaded tier above it.
+/// Selected per build via `BuildOptions::tiering` or per run via
+/// `hiltic run --tiering=off|lazy|eager|threaded`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TieringMode {
     /// Never tier up: every function runs generic bytecode forever. This
@@ -63,6 +65,11 @@ pub enum TieringMode {
     /// Tier up on first execution (observed types are whatever the first
     /// call provided). Useful for tests and for amortizing long runs.
     Eager,
+    /// Like `Lazy`, but a promoted function is additionally compiled into
+    /// direct-threaded ops (`crate::threaded`): operands, branch targets
+    /// and IC handles pre-bound at tier-up, no fetch/decode loop. The top
+    /// rung of the tier ladder.
+    Threaded,
 }
 
 impl TieringMode {
@@ -71,6 +78,7 @@ impl TieringMode {
             "off" => TieringMode::Off,
             "lazy" => TieringMode::Lazy,
             "eager" => TieringMode::Eager,
+            "threaded" => TieringMode::Threaded,
             _ => return None,
         })
     }
@@ -80,7 +88,19 @@ impl TieringMode {
             TieringMode::Off => "off",
             TieringMode::Lazy => "lazy",
             TieringMode::Eager => "eager",
+            TieringMode::Threaded => "threaded",
         }
+    }
+
+    /// Reads the mode from the `HILTI_TIERING` environment variable — the
+    /// channel the CI tier matrix and `scripts/tier1.sh` use to point the
+    /// whole test/smoke pyramid at one tier. Unset, empty, or unparsable
+    /// values mean "no override".
+    pub fn from_env() -> Option<TieringMode> {
+        std::env::var("HILTI_TIERING")
+            .ok()
+            .as_deref()
+            .and_then(TieringMode::parse)
     }
 }
 
@@ -143,6 +163,18 @@ struct FnTier {
     retired: u64,
     obs: Vec<Obs>,
     code: Option<Rc<CFunc>>,
+    /// Direct-threaded body, present only under [`TieringMode::Threaded`]
+    /// (built together with `code` at tier-up, from it).
+    threaded: Option<Rc<ThreadedFunc>>,
+}
+
+/// A tiered function's executable bodies: the specialized bytecode (always
+/// present once tiered) and, in threaded mode, its direct-threaded form.
+/// The two share IC sites, and the threaded form deopts into the bytecode
+/// one pc for pc.
+pub(crate) struct TierCode {
+    pub(crate) cfunc: Rc<CFunc>,
+    pub(crate) threaded: Option<Rc<ThreadedFunc>>,
 }
 
 /// What a poll of the tier engine decided for the current dispatch
@@ -151,10 +183,10 @@ pub(crate) enum TierPoll {
     /// Stay on the generic body.
     Generic,
     /// Run the (already) tiered body.
-    Code(Rc<CFunc>),
+    Code(TierCode),
     /// The function just crossed the threshold: run the fresh tiered body
     /// and let the caller emit telemetry.
-    TieredNow { code: Rc<CFunc>, name: String },
+    TieredNow { code: TierCode, name: String },
 }
 
 /// The per-`Context` adaptive-tier engine: hotness counters, observed
@@ -220,12 +252,18 @@ impl TierEngine {
         let fi = func as usize;
         let ft = &mut self.fns[fi];
         if let Some(code) = &ft.code {
-            return TierPoll::Code(Rc::clone(code));
+            return TierPoll::Code(TierCode {
+                cfunc: Rc::clone(code),
+                threaded: ft.threaded.clone(),
+            });
         }
         let hot = match self.mode {
             TieringMode::Off => false,
             TieringMode::Eager => true,
-            TieringMode::Lazy => {
+            // Threaded shares Lazy's hotness schedule: the extra lowering
+            // is a tier-up *product*, not a different promotion policy, so
+            // the two modes promote the same functions at the same points.
+            TieringMode::Lazy | TieringMode::Threaded => {
                 ft.retired += 1;
                 ft.retired >= self.config.hot_retired
                     || ft.invocations >= self.config.hot_invocations
@@ -235,12 +273,27 @@ impl TierEngine {
             return TierPoll::Generic;
         }
         let tiered = Rc::new(tier_up(&prog.funcs[fi], &ft.obs, &self.config));
+        let threaded = (self.mode == TieringMode::Threaded)
+            .then(|| Rc::new(crate::threaded::compile(&tiered)));
         ft.code = Some(Rc::clone(&tiered));
+        ft.threaded = threaded.clone();
         self.tierups += 1;
         TierPoll::TieredNow {
-            code: tiered,
+            code: TierCode {
+                cfunc: tiered,
+                threaded,
+            },
             name: prog.funcs[fi].name.clone(),
         }
+    }
+
+    /// The direct-threaded body of `func`, if it has been tiered up under
+    /// [`TieringMode::Threaded`]. A plain lookup — no hotness counting —
+    /// used by the threaded executor to chain calls between already-hot
+    /// functions without leaving its inner loop.
+    #[inline]
+    pub(crate) fn threaded_code(&self, func: u32) -> Option<Rc<ThreadedFunc>> {
+        self.fns.get(func as usize)?.threaded.clone()
     }
 
     /// Tier-up and IC state for introspection and tests.
@@ -410,8 +463,10 @@ mod tests {
         assert_eq!(TieringMode::parse("off"), Some(TieringMode::Off));
         assert_eq!(TieringMode::parse("lazy"), Some(TieringMode::Lazy));
         assert_eq!(TieringMode::parse("eager"), Some(TieringMode::Eager));
+        assert_eq!(TieringMode::parse("threaded"), Some(TieringMode::Threaded));
         assert_eq!(TieringMode::parse("warp"), None);
         assert_eq!(TieringMode::Lazy.as_str(), "lazy");
+        assert_eq!(TieringMode::Threaded.as_str(), "threaded");
     }
 
     #[test]

@@ -29,7 +29,8 @@ use hilti_rt::time::Time;
 
 use crate::bytecode::{CFunc, CInstr, COperand, CompiledProgram, IcEntry, IcSite, IntSrc};
 use crate::ops::{self, ExecCtx, ExpiringHandle};
-use crate::tier::{TierConfig, TierEngine, TierPoll, TierReport, TieringMode};
+use crate::threaded::{TOp, TSrc, ThreadedFunc};
+use crate::tier::{TierCode, TierConfig, TierEngine, TierPoll, TierReport, TieringMode};
 use crate::value::{CallableVal, Value};
 
 /// A host-registered function (the inverse direction of the C stubs:
@@ -115,6 +116,31 @@ pub struct Context {
     /// the feature is not armed at all (the static-specialization default);
     /// per-context state keeps the parallel pipeline's shards lock-free.
     tier: Option<TierEngine>,
+    /// Retired-instruction (fuel-unit) attribution per execution tier:
+    /// generic dispatch, the specialized fast loop, and the direct-threaded
+    /// executor. Always-on — counts are added in whole batches at the fast
+    /// tiers' exit points — and surfaced by `hiltic run --stats`; kept out
+    /// of telemetry snapshots so merged-snapshot byte-identity across
+    /// worker counts is unaffected.
+    tier_retired: TierMix,
+}
+
+/// Per-tier retired-instruction counts; see [`Context::tier_mix`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierMix {
+    /// Retired on the generic decode-dispatch path (including all
+    /// observational modes, which pin it).
+    pub generic: u64,
+    /// Retired in the specialized fast loop.
+    pub specialized: u64,
+    /// Retired by the direct-threaded executor.
+    pub threaded: u64,
+}
+
+impl TierMix {
+    pub fn total(&self) -> u64 {
+        self.generic + self.specialized + self.threaded
+    }
 }
 
 /// Upper bound on captured trace lines; tracing silently stops there.
@@ -166,7 +192,14 @@ impl Context {
             watchdog_at: None,
             watchdog_acc: 0,
             tier: None,
+            tier_retired: TierMix::default(),
         }
+    }
+
+    /// How many instructions each execution tier has retired over this
+    /// context's lifetime (`hiltic run --stats` reports this mix).
+    pub fn tier_mix(&self) -> TierMix {
+        self.tier_retired
     }
 
     /// Arms profile-guided adaptive tiering with default thresholds.
@@ -199,7 +232,7 @@ impl Context {
     /// returns the tiered body to execute, if there is one. Emits the
     /// `tier_up` telemetry event at the moment of tier-up.
     #[inline]
-    pub(crate) fn tier_poll(&mut self, prog: &CompiledProgram, func: u32) -> Option<Rc<CFunc>> {
+    pub(crate) fn tier_poll(&mut self, prog: &CompiledProgram, func: u32) -> Option<TierCode> {
         let eng = self.tier.as_mut()?;
         match eng.poll(prog, func) {
             TierPoll::Generic => None,
@@ -212,6 +245,14 @@ impl Context {
                 Some(code)
             }
         }
+    }
+
+    /// The direct-threaded body of `func` if it is already tiered up in
+    /// threaded mode — a plain lookup with no hotness side effects, used
+    /// by the threaded executor to chain hot-to-hot calls in-loop.
+    #[inline]
+    fn tier_threaded(&self, func: u32) -> Option<Rc<ThreadedFunc>> {
+        self.tier.as_ref().and_then(|e| e.threaded_code(func))
     }
 
     /// Feeds an invocation edge (with its argument values) to the tier
@@ -832,6 +873,22 @@ fn int_src(frame: &Frame, s: IntSrc) -> RtResult<i64> {
     }
 }
 
+/// Lean operand reader for the threaded executor: the `Option` return
+/// stays in registers, where the generic `RtResult` moves a formatted
+/// error through memory on every call. `None` (wrong type, bad slot)
+/// exits to the generic loop, which re-executes the op and owns the
+/// error message.
+#[inline(always)]
+fn int_operand(frame: &Frame, s: IntSrc) -> Option<i64> {
+    match s {
+        IntSrc::Imm(i) => Some(i),
+        IntSrc::Slot(s) => match frame.slots.get(s as usize) {
+            Some(Value::Int(i)) => Some(*i),
+            _ => None,
+        },
+    }
+}
+
 /// The main dispatch loop.
 pub fn run(
     prog: &CompiledProgram,
@@ -843,9 +900,14 @@ pub fn run(
     // free list recycling frame slot vectors across calls.
     let mut argbuf: Vec<Value> = Vec::with_capacity(8);
     let mut frame_pool: Vec<Vec<Value>> = Vec::new();
+    // One-shot escape hatch from the threaded executor: when it exits
+    // `Stuck`, exactly one instruction runs on the generic path below
+    // (charging, raising, or IC-resolving it) before re-entering.
+    let mut skip_threaded = false;
     'dispatch: loop {
-        let Some(frame) = frames.last_mut() else {
-            return Ok(Outcome::Done(Value::Null));
+        let func = match frames.last() {
+            Some(f) => f.func,
+            None => return Ok(Outcome::Done(Value::Null)),
         };
         // Observational modes (trace/stats/profile, armed fault injection)
         // pin execution to the generic tier: the adaptive tier is skipped
@@ -856,15 +918,38 @@ pub fn run(
         // the current function's hotness budget; once it tiers up, the
         // re-lowered body (same pcs, same fuel costs — see `crate::tier`)
         // replaces the generic one from this iteration on.
-        let tiered: Option<Rc<CFunc>> = if observing {
+        let tiered: Option<TierCode> = if observing {
             None
         } else {
-            ctx.tier_poll(prog, frame.func)
+            ctx.tier_poll(prog, func)
         };
+
+        // Threaded tier: a function promoted under `--tiering=threaded`
+        // runs its pre-bound ops in `run_threaded` until something needs
+        // the generic loop (deopt site, IC miss, error, fuel window), then
+        // resumes here at the exact same pc — the tiered bytecode below is
+        // its deopt target, one op per pc.
+        if !std::mem::take(&mut skip_threaded) {
+            if let Some(tf) = tiered.as_ref().and_then(|tc| tc.threaded.clone()) {
+                match run_threaded(prog, ctx, &mut frames, tf, &mut argbuf, &mut frame_pool) {
+                    TExit::Frame => {}
+                    TExit::Stuck => skip_threaded = true,
+                }
+                continue 'dispatch;
+            }
+        }
+
+        let frame = frames.last_mut().expect("frame exists");
         let cf: &CFunc = match &tiered {
-            Some(code) => code,
+            Some(code) => &code.cfunc,
             None => &prog.funcs[frame.func as usize],
         };
+        // When a threaded body exists, the specialized inner loop stays
+        // off: the one generic instruction between executor sessions is
+        // what guarantees a charge point (and watchdog clock read) every
+        // `WATCHDOG_CHECK_UNITS`, and what resolves the op the executor
+        // deopted on.
+        let has_threaded = tiered.as_ref().is_some_and(|tc| tc.threaded.is_some());
 
         // Fast tier: consecutive specialized instructions execute in a
         // tight inner loop that keeps the frame borrow, skipping the
@@ -879,7 +964,7 @@ pub fn run(
         // lives in a local for the duration of the loop: each arm checks
         // *before* executing and decrements only on success, so the meter
         // can never be outrun and never double-charges.
-        if !observing {
+        if !observing && !has_threaded {
             let fuel_start = ctx.fuel_left;
             // An armed watchdog needs periodic charge points: cap the
             // local countdown so the inner loop falls back to the generic
@@ -1036,6 +1121,7 @@ pub fn run(
                 // the check itself happens at the next generic charge.
                 ctx.watchdog_acc = ctx.watchdog_acc.saturating_add(used);
             }
+            ctx.tier_retired.specialized += used;
         }
 
         let Some(instr) = cf.code.get(frame.pc as usize) else {
@@ -1116,6 +1202,7 @@ pub fn run(
         if let Err(e) = ctx.charge_fuel(fuel_cost) {
             raise!(e);
         }
+        ctx.tier_retired.generic += fuel_cost;
         if ctx.profile {
             // Charged to the function retiring the instruction; the fused
             // compare-and-branch splits into its two constituent units so
@@ -1544,6 +1631,483 @@ pub fn run(
             CInstr::GlobalStore { .. } => unreachable!("unwrapped above"),
         }
     }
+}
+
+/// Why the threaded executor handed control back to the generic loop.
+enum TExit {
+    /// The top frame changed to one without a threaded body — a call into
+    /// cold code, or a return past this session's entry frame. Re-poll and
+    /// continue wherever the new top frame is.
+    Frame,
+    /// The op at the current pc needs the generic path: a deopt site, a
+    /// type error, an IC miss, an over-limit call, or the local fuel
+    /// window running dry. Nothing was charged for that op; the generic
+    /// loop executes exactly one instruction (charging, raising, tracing
+    /// and counting it through the usual single path) before re-entering.
+    Stuck,
+}
+
+/// The direct-threaded executor (see `crate::threaded`): runs pre-bound
+/// ops for the top frame — and chains into hot callees without leaving the
+/// loop — until something needs the generic dispatch path.
+///
+/// Fuel mirrors the specialized fast loop exactly: a local countdown,
+/// checked before each op and decremented on success, clamped to one
+/// watchdog window while a delivery deadline is armed, and booked back in
+/// a single batch on exit. Ops that would raise exit `Stuck` *without*
+/// advancing pc or charging, so the generic re-execution charges once and
+/// raises through the one exception path — byte-identical governance.
+fn run_threaded(
+    prog: &CompiledProgram,
+    ctx: &mut Context,
+    frames: &mut Vec<Frame>,
+    entry: Rc<ThreadedFunc>,
+    argbuf: &mut Vec<Value>,
+    frame_pool: &mut Vec<Vec<Value>>,
+) -> TExit {
+    let fuel_start = ctx.fuel_left;
+    let clamp = if ctx.deadline_armed() {
+        fuel_start.min(WATCHDOG_CHECK_UNITS)
+    } else {
+        fuel_start
+    };
+    let mut fuel = clamp;
+    let mut code = entry;
+    // Threaded bodies of callers suspended by in-loop calls this session;
+    // popping one resumes the caller without re-polling.
+    let mut callers: Vec<Rc<ThreadedFunc>> = Vec::new();
+    // The executor *owns* the top frame for the session: calls push the
+    // suspended caller onto `frames` and swap the callee in, returns swap
+    // the caller back — so the hot loop never re-borrows the frame stack.
+    // Every exit path re-pushes `cur`, restoring the `run` invariant that
+    // the executing frame is `frames.last()`.
+    let mut cur = match frames.pop() {
+        Some(f) => f,
+        None => return TExit::Stuck,
+    };
+
+    /// Reads a pre-bound operand into an owned value.
+    macro_rules! tsrc {
+        ($a:expr) => {
+            match $a {
+                TSrc::Slot(s) => cur.slots[*s as usize].clone(),
+                TSrc::Global(g) => ctx.globals[*g as usize].clone(),
+                TSrc::Value(v) => v.clone(),
+            }
+        };
+    }
+
+    let exit = loop {
+        let Some(op) = code.ops.get(cur.pc as usize) else {
+            // Out-of-range pc: the generic loop owns the error.
+            break TExit::Stuck;
+        };
+        match op {
+            TOp::AddInt { dst, a, b } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                match (int_operand(&cur, *a), int_operand(&cur, *b)) {
+                    (Some(x), Some(y)) => {
+                        cur.slots[*dst as usize] = Value::Int(x.wrapping_add(y));
+                        cur.pc += 1;
+                        fuel -= 1;
+                    }
+                    _ => break TExit::Stuck,
+                }
+            }
+            TOp::SubInt { dst, a, b } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                match (int_operand(&cur, *a), int_operand(&cur, *b)) {
+                    (Some(x), Some(y)) => {
+                        cur.slots[*dst as usize] = Value::Int(x.wrapping_sub(y));
+                        cur.pc += 1;
+                        fuel -= 1;
+                    }
+                    _ => break TExit::Stuck,
+                }
+            }
+            TOp::MulInt { dst, a, b } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                match (int_operand(&cur, *a), int_operand(&cur, *b)) {
+                    (Some(x), Some(y)) => {
+                        cur.slots[*dst as usize] = Value::Int(x.wrapping_mul(y));
+                        cur.pc += 1;
+                        fuel -= 1;
+                    }
+                    _ => break TExit::Stuck,
+                }
+            }
+            TOp::BitInt { op, dst, a, b } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                match (int_operand(&cur, *a), int_operand(&cur, *b)) {
+                    (Some(x), Some(y)) => {
+                        cur.slots[*dst as usize] = Value::Int(op.apply(x, y));
+                        cur.pc += 1;
+                        fuel -= 1;
+                    }
+                    _ => break TExit::Stuck,
+                }
+            }
+            TOp::CmpInt { cmp, dst, a, b } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                match (int_operand(&cur, *a), int_operand(&cur, *b)) {
+                    (Some(x), Some(y)) => {
+                        cur.slots[*dst as usize] = Value::Bool(cmp.apply(x, y));
+                        cur.pc += 1;
+                        fuel -= 1;
+                    }
+                    _ => break TExit::Stuck,
+                }
+            }
+            TOp::BrIfInt {
+                cmp,
+                a,
+                b,
+                dst,
+                then_pc,
+                else_pc,
+            } => {
+                // Fused compare + branch: costs its two constituents.
+                if fuel < 2 {
+                    break TExit::Stuck;
+                }
+                match (int_operand(&cur, *a), int_operand(&cur, *b)) {
+                    (Some(x), Some(y)) => {
+                        let taken = cmp.apply(x, y);
+                        cur.slots[*dst as usize] = Value::Bool(taken);
+                        cur.pc = if taken { *then_pc } else { *else_pc };
+                        fuel -= 2;
+                    }
+                    _ => break TExit::Stuck,
+                }
+            }
+            TOp::MoveSlot { dst, src } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                cur.slots[*dst as usize] = cur.slots[*src as usize].clone();
+                cur.pc += 1;
+                fuel -= 1;
+            }
+            TOp::LoadImm { dst, v } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                cur.slots[*dst as usize] = v.clone();
+                cur.pc += 1;
+                fuel -= 1;
+            }
+            TOp::BrBool {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                match cur.slots.get(*cond as usize) {
+                    Some(Value::Bool(b)) => {
+                        cur.pc = if *b { *then_pc } else { *else_pc };
+                        fuel -= 1;
+                    }
+                    _ => break TExit::Stuck,
+                }
+            }
+            TOp::Jump(pc) => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                cur.pc = *pc;
+                fuel -= 1;
+            }
+            TOp::Branch {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                let condv = match cond {
+                    TSrc::Slot(s) => cur.slots.get(*s as usize),
+                    TSrc::Global(g) => ctx.globals.get(*g as usize),
+                    TSrc::Value(v) => Some(v),
+                };
+                match condv {
+                    Some(Value::Bool(b)) => {
+                        cur.pc = if *b { *then_pc } else { *else_pc };
+                        fuel -= 1;
+                    }
+                    _ => break TExit::Stuck,
+                }
+            }
+            TOp::PushHandler { pc, kind, binder } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                cur.handlers.push(Handler {
+                    pc: *pc,
+                    kind: Rc::clone(kind),
+                    binder: *binder,
+                });
+                cur.pc += 1;
+                fuel -= 1;
+            }
+            TOp::PopHandler => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                cur.handlers.pop();
+                cur.pc += 1;
+                fuel -= 1;
+            }
+            TOp::StructGetIC { target, obj, ic } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                // Hit path only. Any miss, type error, or unset field
+                // deopts *before* touching the counters; the generic IC
+                // arm then re-executes the op, owning resolution, refill,
+                // hit/miss accounting and error semantics — so counters
+                // never double-book.
+                let objv = match obj {
+                    TSrc::Slot(s) => &cur.slots[*s as usize],
+                    TSrc::Global(g) => &ctx.globals[*g as usize],
+                    TSrc::Value(v) => v,
+                };
+                let Value::Struct(s) = objv else {
+                    break TExit::Stuck;
+                };
+                let s = Rc::clone(s);
+                let val = {
+                    let sb = s.borrow();
+                    let tn: &str = &sb.type_name;
+                    let site = ic.borrow();
+                    let idx = if site.deopt {
+                        None
+                    } else {
+                        site.entries.iter().find_map(|e| match e {
+                            IcEntry::Struct {
+                                type_name,
+                                field_idx,
+                            } if &**type_name == tn => Some(*field_idx as usize),
+                            _ => None,
+                        })
+                    };
+                    let Some(idx) = idx else {
+                        break TExit::Stuck;
+                    };
+                    sb.fields[idx].clone()
+                };
+                if matches!(val, Value::Null) {
+                    break TExit::Stuck;
+                }
+                ic.borrow_mut().hits += 1;
+                ctx.ic_hit();
+                if let Some(t) = target {
+                    cur.slots[*t as usize] = val;
+                }
+                cur.pc += 1;
+                fuel -= 1;
+            }
+            TOp::StructSetIC {
+                target,
+                obj,
+                value,
+                ic,
+            } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                let objv = match obj {
+                    TSrc::Slot(s) => &cur.slots[*s as usize],
+                    TSrc::Global(g) => &ctx.globals[*g as usize],
+                    TSrc::Value(v) => v,
+                };
+                let Value::Struct(s) = objv else {
+                    break TExit::Stuck;
+                };
+                let s = Rc::clone(s);
+                let idx = {
+                    let sb = s.borrow();
+                    let tn: &str = &sb.type_name;
+                    let site = ic.borrow();
+                    if site.deopt {
+                        None
+                    } else {
+                        site.entries.iter().find_map(|e| match e {
+                            IcEntry::Struct {
+                                type_name,
+                                field_idx,
+                            } if &**type_name == tn => Some(*field_idx as usize),
+                            _ => None,
+                        })
+                    }
+                };
+                let Some(idx) = idx else {
+                    break TExit::Stuck;
+                };
+                let val = tsrc!(value);
+                s.borrow_mut().fields[idx] = val;
+                ic.borrow_mut().hits += 1;
+                ctx.ic_hit();
+                if let Some(t) = target {
+                    // Generic struct.set evaluates to Null.
+                    cur.slots[*t as usize] = Value::Null;
+                }
+                cur.pc += 1;
+                fuel -= 1;
+            }
+            TOp::Return(src) => {
+                // The outermost return must produce `Outcome::Done` on the
+                // generic path: never unwind past the stack's last frame.
+                if fuel < 1 || frames.is_empty() {
+                    break TExit::Stuck;
+                }
+                let value = match src {
+                    None => Value::Null,
+                    Some(s) => tsrc!(s),
+                };
+                fuel -= 1;
+                let mut finished =
+                    std::mem::replace(&mut cur, frames.pop().expect("non-empty checked"));
+                // Recycle the finished frame's slot storage (bounded).
+                if frame_pool.len() < 64 {
+                    // Parked uncleared: stale values are dropped in one
+                    // pass when the storage is reused (generic consumers
+                    // `clear` + `resize`, which handles this too).
+                    frame_pool.push(std::mem::take(&mut finished.slots));
+                }
+                match (finished.ret_slot, finished.ret_global) {
+                    (Some(t), None) => cur.slots[t as usize] = value,
+                    (None, Some(g)) => ctx.globals[g as usize] = value,
+                    (Some(t), Some(g)) => {
+                        cur.slots[t as usize] = value.clone();
+                        ctx.globals[g as usize] = value;
+                    }
+                    (None, None) => {}
+                }
+                match callers.pop() {
+                    Some(c) => code = c,
+                    // Returned past the session's entry frame: the caller
+                    // may be anything — re-poll from the dispatch loop.
+                    None => break TExit::Frame,
+                }
+            }
+            TOp::Call {
+                func,
+                args,
+                ret_slot,
+                ret_global,
+            } => {
+                if fuel < 1 {
+                    break TExit::Stuck;
+                }
+                if let Some(max) = ctx.limits.max_call_depth {
+                    // Over the limit the generic arm charges and then
+                    // raises; deopt pre-charge so it does exactly that.
+                    if frames.len() + 1 >= max as usize {
+                        break TExit::Stuck;
+                    }
+                }
+                // Self-recursion (the dominant hot-call shape) reuses the
+                // current body without consulting the tier engine; tiered
+                // code is installed once and never replaced, so this is
+                // exactly what the lookup would return.
+                let hot = if *func == cur.func {
+                    Some(Rc::clone(&code))
+                } else {
+                    ctx.tier_threaded(*func)
+                };
+                match hot {
+                    Some(tf) => {
+                        // Hot-to-hot: build the callee frame directly from
+                        // the caller's slots — no argument buffer round
+                        // trip. (`note_call` is skipped: for a function
+                        // with installed code it is a no-op by
+                        // construction.)
+                        let callee_cf = &prog.funcs[*func as usize];
+                        let n = callee_cf.n_slots as usize;
+                        // Recycled frames keep their stale values (the
+                        // return path skips `clear`); one fused pass here
+                        // drops them and null-initializes — much cheaper
+                        // than `clear` + `resize`, whose separate drop and
+                        // extend loops dominate the call cost for 48-byte
+                        // values.
+                        let mut slots = match frame_pool.pop() {
+                            Some(mut v) => {
+                                if v.len() == n {
+                                    for s in v.iter_mut() {
+                                        *s = Value::Null;
+                                    }
+                                } else {
+                                    v.clear();
+                                    v.resize(n, Value::Null);
+                                }
+                                v
+                            }
+                            None => vec![Value::Null; n],
+                        };
+                        for (i, a) in args.iter().enumerate().take(callee_cf.n_params as usize) {
+                            slots[i] = tsrc!(a);
+                        }
+                        cur.pc += 1;
+                        fuel -= 1;
+                        let callee = Frame {
+                            func: *func,
+                            pc: 0,
+                            slots,
+                            handlers: Vec::new(),
+                            ret_slot: *ret_slot,
+                            ret_global: *ret_global,
+                        };
+                        frames.push(std::mem::replace(&mut cur, callee));
+                        callers.push(std::mem::replace(&mut code, tf));
+                    }
+                    None => {
+                        // Cold callee: replicate the generic Call arm
+                        // exactly — argument buffer, invocation edge to
+                        // the tier engine, pooled frame — then hand the
+                        // new top frame back to the dispatch loop.
+                        argbuf.clear();
+                        for a in args.iter() {
+                            argbuf.push(tsrc!(a));
+                        }
+                        cur.pc += 1;
+                        fuel -= 1;
+                        ctx.tier_note_call(prog.funcs.len(), *func, argbuf);
+                        let mut callee = Frame::new_from_buf(prog, *func, argbuf, frame_pool);
+                        callee.ret_slot = *ret_slot;
+                        callee.ret_global = *ret_global;
+                        frames.push(std::mem::replace(&mut cur, callee));
+                        break TExit::Frame;
+                    }
+                }
+            }
+            TOp::Deopt => break TExit::Stuck,
+        }
+    };
+    // Restore the `run` invariant: the executing frame tops the stack.
+    frames.push(cur);
+    // The loop only ever decrements, so the delta is exact; book it back
+    // in one batch, exactly like the specialized fast loop.
+    let used = clamp - fuel;
+    ctx.fuel_spent = ctx.fuel_spent.wrapping_add(used);
+    ctx.fuel_left = fuel_start - used;
+    if ctx.watchdog_at.is_some() {
+        ctx.watchdog_acc = ctx.watchdog_acc.saturating_add(used);
+    }
+    ctx.tier_retired.threaded += used;
+    exit
 }
 
 /// Runs a callable value synchronously (used for fired timers).

@@ -363,7 +363,7 @@ fn stats_prints_percentages_sorted_descending() {
 fn tiering_flag_modes_agree_and_bad_value_rejected() {
     let f = write_temp("tiering.hlt", FIB);
     let mut outputs = Vec::new();
-    for mode in ["off", "lazy", "eager"] {
+    for mode in ["off", "lazy", "eager", "threaded"] {
         let out = hiltic()
             .args(["run", &format!("--tiering={mode}")])
             .arg(&f)
@@ -385,7 +385,7 @@ fn tiering_flag_modes_agree_and_bad_value_rejected() {
         .unwrap();
     assert!(!bad.status.success());
     assert!(
-        String::from_utf8_lossy(&bad.stderr).contains("off, lazy or eager"),
+        String::from_utf8_lossy(&bad.stderr).contains("off, lazy, eager or threaded"),
         "{bad:?}"
     );
 }

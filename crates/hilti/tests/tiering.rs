@@ -286,7 +286,7 @@ fn callable_ic_caches_callee_resolution() {
 
 #[test]
 fn tiering_modes_agree_on_output_and_fuel() {
-    // The same recursive workload under static specialization and all three
+    // The same recursive workload under static specialization and all four
     // tiering modes: byte-identical results and identical fuel.
     let mut stat =
         Program::from_sources_opts(&[SRC], OptLevel::Full, BuildOptions::default()).unwrap();
@@ -294,7 +294,12 @@ fn tiering_modes_agree_on_output_and_fuel() {
     let want_fuel = stat.context().fuel_spent();
     assert!(want.equals(&Value::Int(610)), "{want:?}");
 
-    for mode in [TieringMode::Off, TieringMode::Lazy, TieringMode::Eager] {
+    for mode in [
+        TieringMode::Off,
+        TieringMode::Lazy,
+        TieringMode::Eager,
+        TieringMode::Threaded,
+    ] {
         let mut p = build(mode);
         let got = p.run("M::fib", &[Value::Int(15)]).unwrap();
         let fuel = p.context().fuel_spent();
@@ -375,4 +380,113 @@ fn observational_modes_pin_generic_tier() {
         p.run("M::getb", &[s.clone()]).unwrap();
     }
     assert_eq!(p.context().tier_report().tierups, 0);
+}
+
+#[test]
+fn threaded_tier_dominates_hot_recursion() {
+    // Once `fib` crosses the hotness threshold the threaded executor should
+    // retire essentially all remaining fuel; only warmup and tier-boundary
+    // single-steps stay generic.
+    let mut p = build(TieringMode::Threaded);
+    let got = p.run("M::fib", &[Value::Int(20)]).unwrap();
+    assert!(got.equals(&Value::Int(6765)), "{got:?}");
+    let mix = p.context().tier_mix();
+    assert!(
+        mix.threaded * 10 > mix.total() * 9,
+        "threaded share too low: {mix:?}"
+    );
+}
+
+#[test]
+#[ignore]
+fn perf_probe() {
+    for mode in [TieringMode::Off, TieringMode::Lazy, TieringMode::Threaded] {
+        let mut p = Program::from_sources_opts(
+            &[SRC],
+            OptLevel::Full,
+            BuildOptions {
+                tiering: Some(mode),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t = std::time::Instant::now();
+        let got = p.run("M::fib", &[Value::Int(28)]).unwrap();
+        let el = t.elapsed();
+        let mix = p.context().tier_mix();
+        let fuel = p.context().fuel_spent();
+        eprintln!(
+            "{mode:?}: {el:?} result={got:?} fuel={fuel} ns/unit={:.1} mix={mix:?}",
+            el.as_nanos() as f64 / fuel as f64
+        );
+    }
+}
+
+#[test]
+fn observational_modes_never_enter_threaded_code() {
+    // Tracing, stats and profiling (and armed fault injection) must see
+    // the canonical instruction stream: with any of them enabled the
+    // dispatch loop never enters tiered code, so their outputs are
+    // byte-identical across tiering modes by construction.
+    let mut off = build(TieringMode::Off);
+    off.context_mut().trace = true;
+    let want = off.run("M::fib", &[Value::Int(12)]).unwrap();
+    let want_trace = off.context_mut().take_trace();
+    assert!(!want_trace.is_empty());
+
+    let mut traced = build(TieringMode::Threaded);
+    traced.context_mut().trace = true;
+    let got = traced.run("M::fib", &[Value::Int(12)]).unwrap();
+    let got_trace = traced.context_mut().take_trace();
+    assert!(got.equals(&want));
+    assert_eq!(want_trace, got_trace, "trace diverged under threaded mode");
+    let mix = traced.context().tier_mix();
+    assert_eq!(
+        mix.threaded, 0,
+        "tracing must pin the generic tier: {mix:?}"
+    );
+    assert_eq!(mix.specialized, 0, "{mix:?}");
+
+    for set in [
+        (|c: &mut hilti::vm::Context| c.stats = true) as fn(&mut hilti::vm::Context),
+        |c| c.profile = true,
+    ] {
+        let mut p = build(TieringMode::Threaded);
+        set(p.context_mut());
+        let got = p.run("M::fib", &[Value::Int(12)]).unwrap();
+        assert!(got.equals(&want));
+        let mix = p.context().tier_mix();
+        assert_eq!(mix.threaded + mix.specialized, 0, "{mix:?}");
+        assert_eq!(mix.generic, mix.total(), "{mix:?}");
+    }
+}
+
+#[test]
+fn threaded_ic_miss_deopts_and_recovers() {
+    // A monomorphic hot function compiles to threaded code with a bound IC
+    // slot; feeding a new receiver type misses in the threaded hit path,
+    // deopts to the generic arm (which owns the refill), and subsequent
+    // calls keep working — with both shapes now cached.
+    let mut p = build(TieringMode::Threaded);
+    let s1 = p.run("M::mk1", &[]).unwrap();
+    let s2 = p.run("M::mk2", &[]).unwrap();
+    for _ in 0..4 {
+        let v = p.run("M::getb", std::slice::from_ref(&s1)).unwrap();
+        assert!(v.equals(&Value::Int(1)), "{v:?}");
+    }
+    let v = p.run("M::getb", std::slice::from_ref(&s2)).unwrap();
+    assert!(
+        v.equals(&Value::Int(2)),
+        "post-deopt miss mishandled: {v:?}"
+    );
+    let v = p.run("M::getb", std::slice::from_ref(&s1)).unwrap();
+    assert!(v.equals(&Value::Int(1)), "{v:?}");
+
+    let report = p.context().tier_report();
+    let ic = site(&report, "M::getb", "struct.get");
+    assert!(ic.misses >= 2, "warmup + T2 refill: {ic:?}");
+    assert!(ic.hits >= 3, "{ic:?}");
+    let mix = p.context().tier_mix();
+    assert!(mix.threaded > 0, "never entered threaded code: {mix:?}");
+    assert!(mix.generic > 0, "deopt path never ran: {mix:?}");
 }
